@@ -1,0 +1,58 @@
+// Accuracy/cost comparison between the analytic engine and Monte-Carlo
+// simulation on the paper's example: at each replication budget, report the
+// simulation's absolute error against the exact analytic value and the
+// wall-clock cost of both. Demonstrates why the paper pursues an analytic,
+// compositional method: exactness at microsecond cost versus ~1/sqrt(n)
+// convergence at second cost.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/sim/simulator.hpp"
+
+int main() {
+  using Clock = std::chrono::steady_clock;
+  using sorel::scenarios::AssemblyKind;
+  using sorel::scenarios::SearchSortParams;
+
+  SearchSortParams p;
+  p.gamma = 5e-2;
+  p.phi_sort2 = 1e-5;   // visible failure levels for the simulator
+  p.phi_search = 1e-5;
+  sorel::core::Assembly assembly =
+      build_search_assembly(AssemblyKind::kRemote, p);
+  const std::vector<double> args{p.elem_size, 2000.0, p.result_size};
+
+  const auto t0 = Clock::now();
+  sorel::core::ReliabilityEngine engine(assembly);
+  const double exact = engine.reliability("search", args);
+  const auto t1 = Clock::now();
+  const double analytic_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+  std::printf("# Analytic vs Monte-Carlo, remote assembly, list = 2000\n");
+  std::printf("analytic R = %.8f  (exact, %.1f us)\n\n", exact, analytic_us);
+  std::printf("%-14s %-12s %-12s %-12s %s\n", "replications", "estimate",
+              "abs error", "time (ms)", "slowdown vs analytic");
+
+  sorel::sim::Simulator simulator(assembly);
+  for (const std::size_t n :
+       {1'000u, 10'000u, 100'000u, 1'000'000u}) {
+    sorel::sim::SimulationOptions options;
+    options.replications = n;
+    options.seed = 1234;
+    const auto s0 = Clock::now();
+    const auto result = simulator.estimate("search", args, options);
+    const auto s1 = Clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(s1 - s0).count();
+    std::printf("%-14zu %-12.6f %-12.2e %-12.2f x%.0f\n", n,
+                result.reliability(), std::fabs(result.reliability() - exact), ms,
+                ms * 1000.0 / analytic_us);
+  }
+  std::printf("\nSimulation error shrinks as ~1/sqrt(n); the analytic engine is "
+              "exact at\nmicrosecond cost and composes (the simulator must "
+              "re-run for every\nparameter change).\n");
+  return 0;
+}

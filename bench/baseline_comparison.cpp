@@ -1,0 +1,155 @@
+// Compares sorel's architecture-based model against the related-work
+// baselines (paper section 5) on the paper's own example, quantifying what
+// each missing feature costs:
+//
+//   Cheung / Dolbec-Shepard (path-based): no connectors — they cannot see
+//       the interconnection infrastructure at all, so local and remote
+//       assemblies look identical to them once component reliabilities are
+//       fixed.
+//   Wang-Wu-Chen: adds connector reliabilities — when its per-component and
+//       per-connector numbers are derived from sorel's parametric
+//       interfaces at the *same* operating point, it reproduces the engine
+//       exactly on this (acyclic, AND-only) example.
+//   None of them have parametric interfaces: calibrating a baseline at one
+//       list size and predicting another produces large errors — the
+//       paper's argument for parameter-dependent analytic interfaces.
+#include <cmath>
+#include <cstdio>
+
+#include "sorel/baselines/cheung.hpp"
+#include "sorel/baselines/path_based.hpp"
+#include "sorel/baselines/wang_wu_chen.hpp"
+#include "sorel/core/engine.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+using sorel::scenarios::pfail_lpc;
+using sorel::scenarios::pfail_rpc;
+using sorel::scenarios::pfail_sort;
+
+namespace {
+
+/// Per-visit reliabilities of the example's "components", derived from the
+/// paper's closed forms at a concrete list size. Component 0 is a virtual
+/// entry (R = 1), 1 is the sort step, 2 is the probe step.
+struct CalibratedNumbers {
+  double r_sort;
+  double r_probe;
+  double r_connector;
+  double q;
+};
+
+CalibratedNumbers calibrate(AssemblyKind kind, const SearchSortParams& p,
+                            double list) {
+  CalibratedNumbers n;
+  n.q = p.q;
+  n.r_sort = kind == AssemblyKind::kLocal
+                 ? 1.0 - pfail_sort(p.phi_sort1, p.lambda1, p.s1, list)
+                 : 1.0 - pfail_sort(p.phi_sort2, p.lambda2, p.s2, list);
+  const double probe_work = std::log2(list);
+  n.r_probe = std::exp(probe_work * std::log1p(-p.phi_search)) *
+              std::exp(-p.lambda1 * probe_work / p.s1);
+  n.r_connector = kind == AssemblyKind::kLocal
+                      ? 1.0 - pfail_lpc(p)
+                      : 1.0 - pfail_rpc(p, p.elem_size + list, p.result_size);
+  return n;
+}
+
+double cheung_prediction(const CalibratedNumbers& n) {
+  sorel::baselines::CheungModel m(3);
+  m.set_reliability(0, 1.0);
+  m.set_reliability(1, n.r_sort);
+  m.set_reliability(2, n.r_probe);
+  m.set_transition(0, 1, n.q);
+  m.set_transition(0, 2, 1.0 - n.q);
+  m.set_transition(1, 2, 1.0);
+  m.set_exit(2, 1.0);
+  m.set_start(0);
+  return m.system_reliability();
+}
+
+double wwc_prediction(const CalibratedNumbers& n) {
+  sorel::baselines::WangWuChenModel m(3);
+  m.set_reliability(0, 1.0);
+  m.set_reliability(1, n.r_sort);
+  m.set_reliability(2, n.r_probe);
+  m.set_transition(0, 1, n.q);
+  m.set_transition(0, 2, 1.0 - n.q);
+  m.set_transition(1, 2, 1.0);
+  m.set_exit(2, 1.0);
+  m.set_connector_reliability(0, 1, n.r_connector);  // the lpc/rpc transfer
+  m.set_start(0);
+  return m.system_reliability();
+}
+
+double path_prediction(const CalibratedNumbers& n) {
+  sorel::baselines::PathBasedModel m(3);
+  m.set_reliability(0, 1.0);
+  m.set_reliability(1, n.r_sort);
+  m.set_reliability(2, n.r_probe);
+  m.set_transition(0, 1, n.q);
+  m.set_transition(0, 2, 1.0 - n.q);
+  m.set_transition(1, 2, 1.0);
+  m.set_exit(2, 1.0);
+  m.set_start(0);
+  return m.system_reliability().reliability;
+}
+
+}  // namespace
+
+int main() {
+  SearchSortParams p;
+  p.gamma = 2.5e-2;
+
+  std::printf("# Baseline comparison on the paper's example (gamma = %.3g)\n\n",
+              p.gamma);
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s %s\n", "kind", "list", "sorel",
+              "WWC[19]", "Cheung", "path[5]", "max baseline error");
+
+  double wwc_worst = 0.0;
+  for (const auto kind : {AssemblyKind::kLocal, AssemblyKind::kRemote}) {
+    sorel::core::Assembly assembly = build_search_assembly(kind, p);
+    sorel::core::ReliabilityEngine engine(assembly);
+    for (const double list : {100.0, 1000.0, 10000.0}) {
+      const std::vector<double> args{p.elem_size, list, p.result_size};
+      const double exact = engine.reliability("search", args);
+      const auto numbers = calibrate(kind, p, list);
+      const double wwc = wwc_prediction(numbers);
+      const double cheung = cheung_prediction(numbers);
+      const double path = path_prediction(numbers);
+      wwc_worst = std::max(wwc_worst, std::fabs(wwc - exact));
+      std::printf("%-8s %-8g %-12.8f %-12.8f %-12.8f %-12.8f %.2e\n",
+                  kind == AssemblyKind::kLocal ? "local" : "remote", list, exact,
+                  wwc, cheung, path,
+                  std::max(std::fabs(cheung - exact), std::fabs(path - exact)));
+    }
+  }
+  std::printf("\nWWC with sorel-derived numbers matches the engine exactly "
+              "(max |err| = %.2e):\nthe example is acyclic and AND-only, so "
+              "connector-aware state models coincide.\n",
+              wwc_worst);
+  std::printf("Cheung and the path-based model ignore connectors: on the remote "
+              "assembly they\nreport the no-infrastructure reliability, hiding "
+              "the network entirely.\n\n");
+
+  // --- stale calibration: what parametric interfaces buy ---------------------
+  std::printf("## Stale calibration error (baselines have no parameters)\n");
+  std::printf("calibrate WWC on the remote assembly at list=100, then ask it "
+              "about other sizes:\n");
+  std::printf("%-8s %-14s %-14s %s\n", "list", "sorel", "stale WWC", "abs error");
+  sorel::core::Assembly remote = build_search_assembly(AssemblyKind::kRemote, p);
+  sorel::core::ReliabilityEngine engine(remote);
+  const auto stale = calibrate(AssemblyKind::kRemote, p, 100.0);
+  for (const double list : {100.0, 1000.0, 10000.0, 100000.0}) {
+    const double exact = engine.reliability(
+        "search", {p.elem_size, list, p.result_size});
+    const double frozen = wwc_prediction(stale);
+    std::printf("%-8g %-14.8f %-14.8f %.3f\n", list, exact, frozen,
+                std::fabs(frozen - exact));
+  }
+  std::printf("\nWithout parameter-dependent interfaces the prediction is only "
+              "valid at the\ncalibration point — the paper's core argument "
+              "(section 2).\n");
+  return wwc_worst < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Regenerates the paper's model diagrams as GraphViz documents:
+//   Figure 1 — flows of the search and sort services;
+//   Figure 2 — flows of the LPC and RPC connectors;
+//   Figure 3 — the local assembly wiring;
+//   Figure 4 — the remote assembly wiring;
+//   Figure 5 — the search flow augmented with the failure structure
+//              (Fail state + scaled transitions), with the probabilities
+//              evaluated at a concrete parameter point.
+// Pipe any section into `dot -Tpng` to render. Also prints structural
+// summaries (state/request/transition counts) so the output is checkable
+// without GraphViz.
+#include <cstdio>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/dsl/dot.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+namespace {
+
+void summarize_flow(const sorel::core::Service& service) {
+  const auto* flow = service.flow();
+  std::size_t requests = 0;
+  std::size_t transitions = flow->transitions_from(sorel::core::FlowGraph::kStart).size();
+  for (const auto sid : flow->real_states()) {
+    requests += flow->state(sid).requests.size();
+    transitions += flow->transitions_from(sid).size();
+  }
+  std::printf("# %s: %zu states, %zu requests, %zu transitions\n",
+              service.name().c_str(), flow->real_states().size(), requests,
+              transitions);
+}
+
+}  // namespace
+
+int main() {
+  SearchSortParams p;
+  sorel::core::Assembly local = build_search_assembly(AssemblyKind::kLocal, p);
+  sorel::core::Assembly remote = build_search_assembly(AssemblyKind::kRemote, p);
+
+  std::printf("## Figure 1: flows of the search and sort services\n");
+  summarize_flow(*local.service("search"));
+  std::printf("%s\n", sorel::dsl::flow_to_dot(*local.service("search")).c_str());
+  summarize_flow(*local.service("sort1"));
+  std::printf("%s\n", sorel::dsl::flow_to_dot(*local.service("sort1")).c_str());
+
+  std::printf("## Figure 2: flows of the LPC and RPC connectors\n");
+  summarize_flow(*local.service("lpc"));
+  std::printf("%s\n", sorel::dsl::flow_to_dot(*local.service("lpc")).c_str());
+  summarize_flow(*remote.service("rpc"));
+  std::printf("%s\n", sorel::dsl::flow_to_dot(*remote.service("rpc")).c_str());
+
+  std::printf("## Figure 3: local assembly\n");
+  std::printf("%s\n", sorel::dsl::assembly_to_dot(local, "local_assembly").c_str());
+
+  std::printf("## Figure 4: remote assembly\n");
+  std::printf("%s\n", sorel::dsl::assembly_to_dot(remote, "remote_assembly").c_str());
+
+  std::printf("## Figure 5: search flow augmented with the failure structure\n");
+  std::printf("# evaluated at (elem=%g, list=1000, res=%g)\n", p.elem_size,
+              p.result_size);
+  sorel::core::ReliabilityEngine engine(local);
+  const auto chain =
+      engine.augmented_flow("search", {p.elem_size, 1000.0, p.result_size});
+  std::printf("%s\n", chain.to_dot("figure5_search_with_failures").c_str());
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Regenerates Figure 6 of the paper: reliability of the local vs remote
+// search assembly as a function of list size, for the paper's parameter
+// grid —
+//   phi1 in {1e-6, 5e-6}  (local sort software failure rate)
+//   phi2 = 1e-7           (remote sort software failure rate)
+//   gamma in {1e-1, 5e-2, 2.5e-2, 5e-3}  (network failure rate)
+//
+// Prints one series per (phi1, gamma, assembly) and then checks the
+// qualitative shape criteria recorded in DESIGN.md/EXPERIMENTS.md:
+//   S1  reliability decreases monotonically with list size everywhere;
+//   S2  with phi1 = 1e-6 the local assembly dominates for gamma in
+//       {1e-1, 5e-2, 2.5e-2} and the remote assembly dominates at 5e-3;
+//   S3  with phi1 = 5e-6 the remote assembly also wins at gamma = 2.5e-2
+//       (the paper: "remote more reliable for gamma > 5e-3 and < 5e-2");
+//   S4  every engine value matches the paper's closed form (eq. 22).
+//
+// Exit status 0 iff all criteria hold.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+namespace {
+
+std::vector<double> list_sweep() {
+  // 12 points, log-spaced over [10, 1e4] (the regime the shape criteria
+  // reference).
+  std::vector<double> out;
+  for (int i = 0; i <= 11; ++i) {
+    out.push_back(std::round(std::pow(10.0, 1.0 + 3.0 * i / 11.0)));
+  }
+  return out;
+}
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++failures;
+    std::printf("SHAPE VIOLATION: %s\n", what.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 6 reproduction: search-service reliability vs list size\n");
+  std::printf("# phi2 = 1e-7; other constants per EXPERIMENTS.md\n\n");
+
+  const std::vector<double> lists = list_sweep();
+  const double phi1_values[] = {1e-6, 5e-6};
+  const double gamma_values[] = {1e-1, 5e-2, 2.5e-2, 5e-3};
+
+  for (const double phi1 : phi1_values) {
+    // Local assemblies do not depend on gamma: one series per phi1.
+    SearchSortParams p;
+    p.phi_sort1 = phi1;
+    sorel::core::Assembly local =
+        build_search_assembly(AssemblyKind::kLocal, p);
+    sorel::core::ReliabilityEngine local_engine(local);
+
+    std::printf("series local  phi1=%.0e\n", phi1);
+    std::printf("%10s %14s\n", "list", "R(local)");
+    double previous = 2.0;
+    std::vector<double> local_series;
+    for (const double list : lists) {
+      const std::vector<double> args{p.elem_size, list, p.result_size};
+      const double r = local_engine.reliability("search", args);
+      local_series.push_back(r);
+      std::printf("%10.0f %14.8f\n", list, r);
+      check(r < previous, "local series not monotone at list=" +
+                              std::to_string(list));
+      check(std::fabs((1.0 - r) -
+                      pfail_search(AssemblyKind::kLocal, p, list)) < 1e-12,
+            "engine vs eq.22 mismatch (local)");
+      previous = r;
+    }
+    std::printf("\n");
+
+    for (const double gamma : gamma_values) {
+      SearchSortParams pr = p;
+      pr.gamma = gamma;
+      sorel::core::Assembly remote =
+          build_search_assembly(AssemblyKind::kRemote, pr);
+      sorel::core::ReliabilityEngine remote_engine(remote);
+
+      std::printf("series remote phi1=%.0e gamma=%.3g\n", phi1, gamma);
+      std::printf("%10s %14s %14s %s\n", "list", "R(remote)", "R(local)",
+                  "winner");
+      previous = 2.0;
+      int remote_wins = 0;
+      for (std::size_t i = 0; i < lists.size(); ++i) {
+        const double list = lists[i];
+        const std::vector<double> args{pr.elem_size, list, pr.result_size};
+        const double r = remote_engine.reliability("search", args);
+        std::printf("%10.0f %14.8f %14.8f %s\n", list, r, local_series[i],
+                    r > local_series[i] ? "remote" : "local");
+        check(r < previous, "remote series not monotone at list=" +
+                                std::to_string(list));
+        check(std::fabs((1.0 - r) -
+                        pfail_search(AssemblyKind::kRemote, pr, list)) < 1e-12,
+              "engine vs eq.22 mismatch (remote)");
+        if (r > local_series[i]) ++remote_wins;
+        previous = r;
+      }
+      std::printf("\n");
+
+      // Dominance criteria at the large-list end of the sweep (the regime
+      // figure 6 plots; at tiny lists the assemblies are indistinguishable).
+      const bool remote_dominates_tail = remote_wins >= 6;
+      if (phi1 == 1e-6) {
+        if (gamma == 5e-3) {
+          check(remote_dominates_tail, "S2: remote should win at gamma=5e-3");
+        } else {
+          check(remote_wins == 0,
+                "S2: local should dominate at gamma=" + std::to_string(gamma));
+        }
+      } else {  // phi1 = 5e-6
+        if (gamma == 5e-3 || gamma == 2.5e-2) {
+          check(remote_dominates_tail,
+                "S3: remote should win at gamma=" + std::to_string(gamma));
+        }
+        if (gamma == 1e-1) {
+          check(remote_wins == 0, "S3: local should dominate at gamma=1e-1");
+        }
+      }
+    }
+  }
+
+  if (failures == 0) {
+    std::printf("All figure-6 shape criteria hold.\n");
+  } else {
+    std::printf("%d shape criteria violated.\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,181 @@
+// Performance benchmarks (google-benchmark) for the evaluation engine and
+// its substrates: scaling with flow length, composition depth, state width
+// (k-of-n DP), dense vs sparse absorption solves, and memoisation leverage.
+// These back DESIGN.md's "engine scalability" experiment row.
+#include <benchmark/benchmark.h>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/expr/compiled.hpp"
+#include "sorel/expr/parser.hpp"
+#include "sorel/markov/absorbing.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+
+namespace {
+
+using sorel::core::CompletionModel;
+using sorel::core::DependencyModel;
+using sorel::core::ReliabilityEngine;
+
+void BM_PaperExampleLocal(benchmark::State& state) {
+  sorel::scenarios::SearchSortParams p;
+  auto assembly =
+      build_search_assembly(sorel::scenarios::AssemblyKind::kLocal, p);
+  for (auto _ : state) {
+    ReliabilityEngine engine(assembly);  // cold engine: no memo reuse
+    benchmark::DoNotOptimize(
+        engine.pfail("search", {p.elem_size, 1000.0, p.result_size}));
+  }
+}
+BENCHMARK(BM_PaperExampleLocal);
+
+void BM_PaperExampleRemote(benchmark::State& state) {
+  sorel::scenarios::SearchSortParams p;
+  auto assembly =
+      build_search_assembly(sorel::scenarios::AssemblyKind::kRemote, p);
+  for (auto _ : state) {
+    ReliabilityEngine engine(assembly);
+    benchmark::DoNotOptimize(
+        engine.pfail("search", {p.elem_size, 1000.0, p.result_size}));
+  }
+}
+BENCHMARK(BM_PaperExampleRemote);
+
+void BM_ChainLength_Dense(benchmark::State& state) {
+  const auto stages = static_cast<std::size_t>(state.range(0));
+  auto assembly = sorel::scenarios::make_chain_assembly(stages);
+  for (auto _ : state) {
+    ReliabilityEngine engine(assembly);
+    benchmark::DoNotOptimize(engine.pfail("pipeline", {1e4}));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(stages));
+}
+BENCHMARK(BM_ChainLength_Dense)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+void BM_ChainLength_Sparse(benchmark::State& state) {
+  const auto stages = static_cast<std::size_t>(state.range(0));
+  auto assembly = sorel::scenarios::make_chain_assembly(stages);
+  ReliabilityEngine::Options options;
+  options.method = sorel::markov::AbsorptionAnalysis::Method::kSparse;
+  for (auto _ : state) {
+    ReliabilityEngine engine(assembly, options);
+    benchmark::DoNotOptimize(engine.pfail("pipeline", {1e4}));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(stages));
+}
+BENCHMARK(BM_ChainLength_Sparse)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+void BM_CompositionDepth(benchmark::State& state) {
+  // Depth-d DAG with fanout 4: without memoisation this would be 4^d calls.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  auto assembly = sorel::scenarios::make_tree_assembly(depth, 4, 1e-9);
+  for (auto _ : state) {
+    ReliabilityEngine engine(assembly);
+    benchmark::DoNotOptimize(engine.pfail("level0", {1.0}));
+  }
+}
+BENCHMARK(BM_CompositionDepth)->DenseRange(4, 24, 4);
+
+void BM_KofN_Width(benchmark::State& state) {
+  // The O(n*k) DP inside one wide state.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto assembly = sorel::scenarios::make_fan_assembly(
+      n, CompletionModel::kKOfN, n / 2, DependencyModel::kNoSharing);
+  for (auto _ : state) {
+    ReliabilityEngine engine(assembly);
+    benchmark::DoNotOptimize(engine.pfail("fan", {100.0}));
+  }
+}
+BENCHMARK(BM_KofN_Width)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_MemoisedReevaluation(benchmark::State& state) {
+  // Warm engine: repeated queries are memo hits.
+  sorel::scenarios::SearchSortParams p;
+  auto assembly =
+      build_search_assembly(sorel::scenarios::AssemblyKind::kRemote, p);
+  ReliabilityEngine engine(assembly);
+  engine.pfail("search", {p.elem_size, 1000.0, p.result_size});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.pfail("search", {p.elem_size, 1000.0, p.result_size}));
+  }
+}
+BENCHMARK(BM_MemoisedReevaluation);
+
+void BM_FixedPointRecursion(benchmark::State& state) {
+  auto assembly = sorel::scenarios::make_recursive_assembly(0.5, 0.01);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  for (auto _ : state) {
+    ReliabilityEngine engine(assembly, options);
+    benchmark::DoNotOptimize(engine.pfail("ping", {}));
+  }
+}
+BENCHMARK(BM_FixedPointRecursion);
+
+void BM_AbsorptionDense(benchmark::State& state) {
+  // Raw substrate: absorption analysis of a birth-death chain.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorel::markov::Dtmc chain;
+  std::vector<sorel::markov::StateId> states;
+  for (std::size_t i = 0; i <= n; ++i) {
+    states.push_back(chain.add_state("s" + std::to_string(i)));
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    chain.add_transition(states[i], states[i + 1], 0.6);
+    chain.add_transition(states[i], states[i - 1], 0.4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sorel::markov::AbsorptionAnalysis::compute(
+        chain, sorel::markov::AbsorptionAnalysis::Method::kDense));
+  }
+}
+BENCHMARK(BM_AbsorptionDense)->RangeMultiplier(4)->Range(16, 256);
+
+void BM_AbsorptionSparse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sorel::markov::Dtmc chain;
+  std::vector<sorel::markov::StateId> states;
+  for (std::size_t i = 0; i <= n; ++i) {
+    states.push_back(chain.add_state("s" + std::to_string(i)));
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    chain.add_transition(states[i], states[i + 1], 0.6);
+    chain.add_transition(states[i], states[i - 1], 0.4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sorel::markov::AbsorptionAnalysis::compute(
+        chain, sorel::markov::AbsorptionAnalysis::Method::kSparse));
+  }
+}
+BENCHMARK(BM_AbsorptionSparse)->RangeMultiplier(4)->Range(16, 256);
+
+void BM_ExprTreeEval(benchmark::State& state) {
+  // The sort service's published laws, evaluated the engine's way.
+  const auto e = sorel::expr::parse(
+      "1 - exp(-(lambda * N * log2(N) / s)) * pow(1 - phi, N * log2(N))");
+  const auto env = sorel::expr::Env{}
+                       .set("N", 1e4)
+                       .set("lambda", 1e-9)
+                       .set("s", 1e9)
+                       .set("phi", 1e-7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.eval(env));
+  }
+}
+BENCHMARK(BM_ExprTreeEval);
+
+void BM_ExprCompiledEval(benchmark::State& state) {
+  const auto e = sorel::expr::parse(
+      "1 - exp(-(lambda * N * log2(N) / s)) * pow(1 - phi, N * log2(N))");
+  const auto program = sorel::expr::compile(e, {"N", "lambda", "s", "phi"});
+  const double values[] = {1e4, 1e-9, 1e9, 1e-7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(program.eval(values));
+  }
+}
+BENCHMARK(BM_ExprCompiledEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

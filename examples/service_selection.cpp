@@ -1,0 +1,74 @@
+// Automated service selection — the paper's motivating scenario: an
+// assembler choosing among candidate services/connectors by predicted QoS.
+// Both sort alternatives (local sort1 via LPC, remote sort2 via RPC) are
+// registered in one assembly; the selector enumerates the wirings and ranks
+// them, first by reliability alone (reproducing the figure-6 decision), then
+// under a reliability/latency trade-off objective.
+//
+// Run: ./service_selection
+#include <cstdio>
+
+#include "sorel/core/selection.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+
+using sorel::core::SelectionObjective;
+using sorel::core::SelectionPoint;
+using sorel::scenarios::SearchSortParams;
+
+int main() {
+  std::printf("automated selection of the search service's sort provider\n\n");
+  std::printf("%-8s %-8s %-24s %-12s %s\n", "gamma", "list", "choice (by R)",
+              "R", "runner-up R");
+
+  for (const double gamma : {1e-1, 5e-2, 2.5e-2, 5e-3}) {
+    for (const double list : {500.0, 5000.0}) {
+      SearchSortParams p;
+      p.gamma = gamma;
+      auto setup = sorel::scenarios::build_search_selection_assembly(p);
+
+      SelectionPoint point;
+      point.service = "search";
+      point.port = "sort";
+      point.candidates = {setup.local_candidate, setup.remote_candidate};
+      point.labels = {"sort1 via lpc (local)", "sort2 via rpc (remote)"};
+
+      const std::vector<double> args{p.elem_size, list, p.result_size};
+      const auto ranking =
+          sorel::core::rank_assemblies(setup.assembly, "search", args, {point});
+      std::printf("%-8.3g %-8g %-24s %-12.8f %.8f\n", gamma, list,
+                  ranking[0].labels[0].c_str(), ranking[0].reliability,
+                  ranking[1].reliability);
+    }
+  }
+
+  // --- trade-off objective ----------------------------------------------------
+  std::printf("\nwith latency in the objective (score = R - 0.1 * E[T]):\n");
+  std::printf("%-8s %-24s %-12s %-12s %s\n", "gamma", "choice", "R", "E[T] (s)",
+              "score");
+  for (const double gamma : {5e-3, 1e-1}) {
+    SearchSortParams p;
+    p.gamma = gamma;
+    auto setup = sorel::scenarios::build_search_selection_assembly(p);
+    SelectionPoint point;
+    point.service = "search";
+    point.port = "sort";
+    point.candidates = {setup.local_candidate, setup.remote_candidate};
+    point.labels = {"local", "remote"};
+    SelectionObjective objective;
+    objective.time_weight = 0.1;
+    const auto ranking = sorel::core::rank_assemblies(
+        setup.assembly, "search", {p.elem_size, 2000.0, p.result_size}, {point},
+        objective);
+    for (const auto& entry : ranking) {
+      std::printf("%-8.3g %-24s %-12.8f %-12.6g %.6f\n", gamma,
+                  entry.labels[0].c_str(), entry.reliability,
+                  entry.expected_duration, entry.score);
+    }
+  }
+  std::printf(
+      "\nAt gamma = 5e-3 the remote assembly is the most *reliable* choice, "
+      "but the\nwire time makes the local assembly win any latency-aware "
+      "objective — exactly\nthe multi-QoS selection problem the paper's "
+      "introduction motivates.\n");
+  return 0;
+}

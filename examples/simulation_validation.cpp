@@ -1,0 +1,81 @@
+// Validate the analytic engine against Monte-Carlo simulation on the paper's
+// example: for each configuration, the analytic prediction must fall inside
+// the simulator's 95% confidence interval. Also reports the cost ratio —
+// the point of the paper's *analytic* approach is that it is exact and
+// orders of magnitude cheaper than simulating.
+//
+// Run: ./simulation_validation [replications]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  using sorel::scenarios::AssemblyKind;
+  using sorel::scenarios::SearchSortParams;
+
+  std::size_t replications = 200'000;
+  if (argc >= 2) replications = static_cast<std::size_t>(std::atoll(argv[1]));
+
+  std::printf("analytic engine vs Monte-Carlo (%zu replications per point)\n\n",
+              replications);
+  std::printf("%-8s %-8s %-8s %-12s %-24s %s\n", "kind", "gamma", "list",
+              "analytic R", "simulated R [95%% CI]", "inside");
+
+  int total = 0;
+  int covered = 0;
+  double analytic_us = 0.0;
+  double simulated_us = 0.0;
+
+  for (const auto kind : {AssemblyKind::kLocal, AssemblyKind::kRemote}) {
+    for (const double gamma : {1e-1, 5e-3}) {
+      SearchSortParams p;
+      p.gamma = gamma;
+      // Inflate software rates so failures are observable at feasible
+      // replication counts.
+      p.phi_sort1 = 1e-4;
+      p.phi_sort2 = 1e-5;
+      p.phi_search = 1e-5;
+      sorel::core::Assembly assembly = build_search_assembly(kind, p);
+
+      for (const double list : {100.0, 1000.0}) {
+        const std::vector<double> args{p.elem_size, list, p.result_size};
+
+        const auto t0 = Clock::now();
+        sorel::core::ReliabilityEngine engine(assembly);
+        const double analytic = engine.reliability("search", args);
+        const auto t1 = Clock::now();
+
+        sorel::sim::Simulator simulator(assembly);
+        sorel::sim::SimulationOptions options;
+        options.replications = replications;
+        options.seed = 0xC0FFEE;
+        const auto result = simulator.estimate("search", args, options);
+        const auto t2 = Clock::now();
+
+        analytic_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+        simulated_us += std::chrono::duration<double, std::micro>(t2 - t1).count();
+
+        const auto ci = result.confidence_interval();
+        const bool inside = analytic >= ci.lower && analytic <= ci.upper;
+        ++total;
+        covered += inside ? 1 : 0;
+        std::printf("%-8s %-8.3g %-8g %-12.6f %.6f [%.6f, %.6f] %s\n",
+                    kind == AssemblyKind::kLocal ? "local" : "remote", gamma, list,
+                    analytic, result.reliability(), ci.lower, ci.upper,
+                    inside ? "yes" : "NO");
+      }
+    }
+  }
+
+  std::printf("\n%d/%d analytic predictions inside the simulation CI\n", covered,
+              total);
+  std::printf("total analytic time: %.1f us, total simulation time: %.0f us "
+              "(x%.0f more)\n",
+              analytic_us, simulated_us, simulated_us / analytic_us);
+  return covered == total ? 0 : 1;
+}

@@ -1,0 +1,275 @@
+// sorel_cli — command-line front end over the JSON assembly format: the
+// "reliability prediction engine" the paper's section 5 imagines behind a
+// machine-processable service-description language.
+//
+// Usage:
+//   sorel_cli validate    <spec.json>
+//   sorel_cli list        <spec.json>
+//   sorel_cli evaluate    <spec.json> <service> [arg...]
+//   sorel_cli modes       <spec.json> <service> [arg...]
+//   sorel_cli duration    <spec.json> <service> [arg...]
+//   sorel_cli sensitivity <spec.json> <service> [arg...]
+//   sorel_cli importance  <spec.json> <service> [arg...]
+//   sorel_cli simulate    <spec.json> <service> <replications> [arg...]
+//   sorel_cli select      <spec.json> <service> [arg...]
+//   sorel_cli uncertainty <spec.json> <service> [arg...]
+//   sorel_cli save        <spec.json>
+//   sorel_cli dot         <spec.json> [service]
+//
+// `select` ranks the candidate wirings declared in the document's
+// "selection" array; `uncertainty` propagates the attribute distributions
+// declared in its "uncertainty" object (see docs/FORMAT.md).
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on model errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/performance.hpp"
+#include "sorel/core/selection.hpp"
+#include "sorel/core/sensitivity.hpp"
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/dsl/dot.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/sim/simulator.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sorel_cli <command> <spec.json> [...]\n"
+               "commands:\n"
+               "  validate    <spec>                     check the assembly\n"
+               "  list        <spec>                     list services\n"
+               "  evaluate    <spec> <service> [arg...]  Pfail / reliability\n"
+               "  modes       <spec> <service> [arg...]  failure-mode split\n"
+               "  duration    <spec> <service> [arg...]  expected time\n"
+               "  sensitivity <spec> <service> [arg...]  dR/d(attribute)\n"
+               "  importance  <spec> <service> [arg...]  Birnbaum measures\n"
+               "  simulate    <spec> <service> <reps> [arg...]\n"
+               "  select      <spec> <service> [arg...]  rank declared candidates\n"
+               "  uncertainty <spec> <service> [arg...]  propagate declared bands\n"
+               "  save        <spec>                     canonicalised document\n"
+               "  dot         <spec> [service]           GraphViz output\n");
+  return 1;
+}
+
+std::vector<double> parse_args(char** begin, char** end) {
+  std::vector<double> out;
+  for (char** it = begin; it != end; ++it) {
+    char* parse_end = nullptr;
+    const double v = std::strtod(*it, &parse_end);
+    if (parse_end == *it || *parse_end != '\0') {
+      throw sorel::InvalidArgument(std::string("not a number: '") + *it + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+int cmd_validate(const sorel::core::Assembly& assembly) {
+  assembly.validate();  // load already validated; explicit for the message
+  std::printf("ok: %zu services, %zu bindings\n", assembly.service_names().size(),
+              assembly.bindings().size());
+  return 0;
+}
+
+int cmd_list(const sorel::core::Assembly& assembly) {
+  for (const std::string& name : assembly.service_names()) {
+    const auto& svc = assembly.service(name);
+    std::printf("%-24s %-10s arity %zu", name.c_str(),
+                svc->is_simple() ? "simple" : "composite", svc->arity());
+    if (!svc->formals().empty()) {
+      std::printf("  (");
+      for (std::size_t i = 0; i < svc->formals().size(); ++i) {
+        std::printf("%s%s", i ? ", " : "", svc->formals()[i].name.c_str());
+      }
+      std::printf(")");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_evaluate(const sorel::core::Assembly& assembly, const std::string& service,
+                 const std::vector<double>& args) {
+  sorel::core::ReliabilityEngine engine(assembly);
+  const double pfail = engine.pfail(service, args);
+  std::printf("Pfail       = %.12g\n", pfail);
+  std::printf("reliability = %.12g\n", 1.0 - pfail);
+  std::printf("evaluations = %zu (memo hits %zu)\n", engine.stats().evaluations,
+              engine.stats().memo_hits);
+  return 0;
+}
+
+int cmd_modes(const sorel::core::Assembly& assembly, const std::string& service,
+              const std::vector<double>& args) {
+  sorel::core::ReliabilityEngine engine(assembly);
+  const auto modes = engine.failure_modes(service, args);
+  std::printf("success          = %.12g\n", modes.success);
+  std::printf("detected failure = %.12g\n", modes.detected_failure);
+  std::printf("silent failure   = %.12g\n", modes.silent_failure);
+  return 0;
+}
+
+int cmd_duration(const sorel::core::Assembly& assembly, const std::string& service,
+                 const std::vector<double>& args) {
+  sorel::core::PerformanceEngine sequential(assembly);
+  std::printf("expected time (sequential AND) = %.12g\n",
+              sequential.expected_duration(service, args));
+  sorel::core::PerformanceEngine::Options options;
+  options.parallel_and = true;
+  sorel::core::PerformanceEngine parallel(assembly, options);
+  std::printf("expected time (parallel AND)   = %.12g\n",
+              parallel.expected_duration(service, args));
+  return 0;
+}
+
+int cmd_sensitivity(const sorel::core::Assembly& assembly,
+                    const std::string& service, const std::vector<double>& args) {
+  const auto rows = sorel::core::attribute_sensitivities(assembly, service, args);
+  std::printf("%-24s %-14s %-14s %s\n", "attribute", "value", "dR/da",
+              "elasticity");
+  for (const auto& row : rows) {
+    std::printf("%-24s %-14.6g %-14.6g %.6g\n", row.attribute.c_str(), row.value,
+                row.derivative, row.elasticity);
+  }
+  return 0;
+}
+
+int cmd_importance(const sorel::core::Assembly& assembly,
+                   const std::string& service, const std::vector<double>& args) {
+  const auto rows = sorel::core::component_importances(assembly, service, args);
+  std::printf("%-24s %-14s %s\n", "component", "Birnbaum", "risk-achievement");
+  for (const auto& row : rows) {
+    std::printf("%-24s %-14.6g %.6g\n", row.component.c_str(), row.birnbaum,
+                row.risk_achievement);
+  }
+  return 0;
+}
+
+int cmd_simulate(const sorel::core::Assembly& assembly, const std::string& service,
+                 std::size_t replications, const std::vector<double>& args) {
+  sorel::sim::Simulator simulator(assembly);
+  sorel::sim::SimulationOptions options;
+  options.replications = replications;
+  const auto result = simulator.estimate(service, args, options);
+  const auto ci = result.confidence_interval();
+  std::printf("reliability = %.8f  (95%% CI [%.8f, %.8f], %zu replications)\n",
+              result.reliability(), ci.lower, ci.upper, result.replications);
+  sorel::core::ReliabilityEngine engine(assembly);
+  std::printf("analytic    = %.8f\n", engine.reliability(service, args));
+  return 0;
+}
+
+int cmd_select(const sorel::core::Assembly& assembly,
+               const sorel::json::Value& document, const std::string& service,
+               const std::vector<double>& args) {
+  const auto points = sorel::dsl::load_selection_points(document);
+  if (points.empty()) {
+    std::fprintf(stderr, "error: the document declares no \"selection\" points\n");
+    return 2;
+  }
+  const auto ranking =
+      sorel::core::rank_assemblies(assembly, service, args, points);
+  std::printf("%-6s %-14s %s\n", "rank", "reliability", "choice");
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    std::string choice;
+    for (std::size_t j = 0; j < ranking[i].labels.size(); ++j) {
+      if (j) choice += ", ";
+      choice += points[j].service + "." + points[j].port + " = " +
+                ranking[i].labels[j];
+    }
+    std::printf("%-6zu %-14.8f %s\n", i + 1, ranking[i].reliability,
+                choice.c_str());
+  }
+  return 0;
+}
+
+int cmd_uncertainty(const sorel::core::Assembly& assembly,
+                    const sorel::json::Value& document, const std::string& service,
+                    const std::vector<double>& args) {
+  const auto distributions = sorel::dsl::load_uncertainty(document);
+  if (distributions.empty()) {
+    std::fprintf(stderr,
+                 "error: the document declares no \"uncertainty\" object\n");
+    return 2;
+  }
+  const auto result = sorel::core::propagate_uncertainty(assembly, service, args,
+                                                         distributions);
+  std::printf("samples     = %zu\n", result.reliability.count());
+  std::printf("mean R      = %.8f (stddev %.2e)\n", result.reliability.mean(),
+              result.reliability.stddev());
+  std::printf("p05/p50/p95 = %.8f / %.8f / %.8f\n", result.p05, result.p50,
+              result.p95);
+  std::printf("min/max     = %.8f / %.8f\n", result.reliability.min(),
+              result.reliability.max());
+  return 0;
+}
+
+int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
+  if (service == nullptr) {
+    std::printf("%s", sorel::dsl::assembly_to_dot(assembly).c_str());
+  } else {
+    std::printf("%s", sorel::dsl::flow_to_dot(*assembly.service(service)).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+
+  try {
+    const sorel::json::Value document = sorel::json::parse_file(argv[2]);
+    sorel::core::Assembly assembly = sorel::dsl::load_assembly(document);
+
+    if (command == "validate") return cmd_validate(assembly);
+    if (command == "list") return cmd_list(assembly);
+    if (command == "save") {
+      // Canonical form: services/bindings normalised through the model.
+      // (Selection/uncertainty sections are analysis inputs, not model
+      // state; carry them over verbatim.)
+      auto saved = sorel::dsl::save_assembly(assembly);
+      if (document.contains("selection")) {
+        saved["selection"] = document.at("selection");
+      }
+      if (document.contains("uncertainty")) {
+        saved["uncertainty"] = document.at("uncertainty");
+      }
+      std::printf("%s\n", saved.dump_pretty().c_str());
+      return 0;
+    }
+    if (command == "dot") {
+      return cmd_dot(assembly, argc >= 4 ? argv[3] : nullptr);
+    }
+    if (argc < 4) return usage();
+    const std::string service = argv[3];
+
+    if (command == "simulate") {
+      if (argc < 5) return usage();
+      const auto reps = static_cast<std::size_t>(std::atoll(argv[4]));
+      return cmd_simulate(assembly, service, reps, parse_args(argv + 5, argv + argc));
+    }
+    const std::vector<double> args = parse_args(argv + 4, argv + argc);
+    if (command == "select") return cmd_select(assembly, document, service, args);
+    if (command == "uncertainty") {
+      return cmd_uncertainty(assembly, document, service, args);
+    }
+    if (command == "evaluate") return cmd_evaluate(assembly, service, args);
+    if (command == "modes") return cmd_modes(assembly, service, args);
+    if (command == "duration") return cmd_duration(assembly, service, args);
+    if (command == "sensitivity") return cmd_sensitivity(assembly, service, args);
+    if (command == "importance") return cmd_importance(assembly, service, args);
+    return usage();
+  } catch (const sorel::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,67 @@
+// Published failure rates are estimates: what does the local-vs-remote
+// decision look like when the network failure rate and the remote provider's
+// software quality are only known up to an order of magnitude? Propagates
+// attribute uncertainty through the exact analytic engine and reports
+// reliability bands and the probability of meeting an SLA target.
+//
+// Run: ./uncertainty_analysis
+#include <cmath>
+#include <cstdio>
+
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+
+using sorel::core::AttributeDistribution;
+using sorel::core::UncertaintyOptions;
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+int main() {
+  SearchSortParams p;
+  p.gamma = 2.5e-2;  // nominal network failure rate
+  const double list = 2000.0;
+  const std::vector<double> args{p.elem_size, list, p.result_size};
+  const double target = 0.97;  // SLA: 97% per-invocation reliability
+
+  UncertaintyOptions options;
+  options.samples = 4'000;
+
+  std::printf("uncertain inputs, search assembly, list = %g, SLA target R >= %g\n\n",
+              list, target);
+  std::printf("%-8s %-12s %-12s %-12s %-12s %s\n", "kind", "mean R", "p05", "p50",
+              "p95", "P(R >= SLA)");
+
+  // Local assembly: only sort1's software rate is uncertain (half an order
+  // of magnitude each way around 1e-6).
+  {
+    auto assembly = build_search_assembly(AssemblyKind::kLocal, p);
+    const auto result = sorel::core::propagate_uncertainty(
+        assembly, "search", args,
+        {{"sort1.phi", AttributeDistribution::log_uniform(3e-7, 3e-6)}}, options,
+        target);
+    std::printf("%-8s %-12.6f %-12.6f %-12.6f %-12.6f %.3f\n", "local",
+                result.reliability.mean(), result.p05, result.p50, result.p95,
+                result.probability_meets_target);
+  }
+
+  // Remote assembly: the network failure rate is uncertain over a full order
+  // of magnitude, and the remote provider's claimed phi2 over half of one.
+  {
+    auto assembly = build_search_assembly(AssemblyKind::kRemote, p);
+    const auto result = sorel::core::propagate_uncertainty(
+        assembly, "search", args,
+        {{"net12.beta", AttributeDistribution::log_uniform(5e-3, 5e-2)},
+         {"sort2.phi", AttributeDistribution::log_uniform(3e-8, 3e-7)}},
+        options, target);
+    std::printf("%-8s %-12.6f %-12.6f %-12.6f %-12.6f %.3f\n", "remote",
+                result.reliability.mean(), result.p05, result.p50, result.p95,
+                result.probability_meets_target);
+  }
+
+  std::printf(
+      "\nThe point predictions at nominal values hide most of the story: the\n"
+      "remote assembly's reliability band is wide (it inherits the network's\n"
+      "uncertainty), so a risk-averse assembler can prefer the local wiring\n"
+      "even where the nominal comparison says otherwise.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Cheung's user-oriented software reliability model (the classic state-based
+// baseline the paper's related work builds on; see also reference [8]'s
+// taxonomy). Components C1..Cn with per-visit reliabilities Ri are composed
+// through a control-transfer probability matrix P; execution starts at a
+// designated component and terminates successfully from components with
+// positive exit probability.
+//
+// The model is solved exactly on the sorel Markov substrate: a DTMC with one
+// state per component plus absorbing C (correct output) and F (failure);
+// transition Ci -> Cj carries Ri·Pij, Ci -> C carries Ri·exit_i, and
+// Ci -> F carries 1 − Ri. System reliability = absorption probability in C.
+//
+// Compared to the paper's model this baseline has no connectors, no
+// parametric interfaces, no completion models, and no sharing — the
+// comparison bench quantifies what those omissions cost.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sorel::baselines {
+
+class CheungModel {
+ public:
+  /// `n` components, all reliabilities 1 and no transitions initially.
+  explicit CheungModel(std::size_t n);
+
+  std::size_t component_count() const noexcept { return reliability_.size(); }
+
+  /// Per-visit reliability Ri in [0, 1].
+  void set_reliability(std::size_t component, double reliability);
+  double reliability(std::size_t component) const;
+
+  /// Control transfer probability Pij (component -> component).
+  void set_transition(std::size_t from, std::size_t to, double probability);
+
+  /// Probability that execution terminates (successfully, if the final
+  /// operation succeeds) after visiting `component`. For each component,
+  /// exit + sum of outgoing transitions must equal 1.
+  void set_exit(std::size_t component, double probability);
+
+  void set_start(std::size_t component);
+  std::size_t start() const noexcept { return start_; }
+
+  /// Solve for system reliability. Throws sorel::ModelError when a row of
+  /// P plus its exit probability does not sum to 1.
+  double system_reliability() const;
+
+ private:
+  std::vector<double> reliability_;
+  std::vector<std::vector<double>> transition_;  // dense n x n
+  std::vector<double> exit_;
+  std::size_t start_ = 0;
+};
+
+}  // namespace sorel::baselines

@@ -1,0 +1,55 @@
+// Dolbec & Shepard's path-based reliability model (paper reference [5]):
+// system reliability is estimated from the set of execution paths, each path
+// weighted by its occurrence probability and contributing the product of the
+// reliabilities of the components it visits.
+//
+// Exact path enumeration diverges on cyclic control flow, so (as in the
+// original model class) enumeration is truncated: paths are expanded
+// breadth-first until their residual probability drops below a cutoff or a
+// depth bound is hit. The truncation error is reported so callers can see
+// the accuracy/effort trade-off versus the exact state-based solutions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sorel::baselines {
+
+class PathBasedModel {
+ public:
+  explicit PathBasedModel(std::size_t n);
+
+  std::size_t component_count() const noexcept { return reliability_.size(); }
+
+  void set_reliability(std::size_t component, double reliability);
+  void set_transition(std::size_t from, std::size_t to, double probability);
+  void set_exit(std::size_t component, double probability);
+  void set_start(std::size_t component);
+
+  struct Options {
+    std::size_t max_path_length = 1'000;
+    /// Paths whose occurrence probability falls below this are dropped.
+    double probability_cutoff = 1e-15;
+    /// Stop after this many expanded paths (safety bound).
+    std::size_t max_paths = 1'000'000;
+  };
+
+  struct Result {
+    double reliability = 0.0;
+    std::size_t paths_expanded = 0;
+    /// Probability mass of dropped (truncated) paths: an upper bound on the
+    /// absolute error of `reliability`.
+    double truncated_mass = 0.0;
+  };
+
+  Result system_reliability() const { return system_reliability(Options{}); }
+  Result system_reliability(const Options& options) const;
+
+ private:
+  std::vector<double> reliability_;
+  std::vector<std::vector<double>> transition_;
+  std::vector<double> exit_;
+  std::size_t start_ = 0;
+};
+
+}  // namespace sorel::baselines

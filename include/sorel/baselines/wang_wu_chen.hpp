@@ -1,0 +1,38 @@
+// The architecture-based state model of Wang, Wu & Chen (paper reference
+// [19]): Cheung's composition extended with *connector* reliabilities —
+// control transfer from Ci to Cj succeeds only if the connecting element
+// RCij also works. This is the closest published baseline to the paper's
+// model; what it still lacks is parametric interfaces (per-invocation actual
+// parameters) and the sharing dependency model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sorel::baselines {
+
+class WangWuChenModel {
+ public:
+  explicit WangWuChenModel(std::size_t n);
+
+  std::size_t component_count() const noexcept { return reliability_.size(); }
+
+  void set_reliability(std::size_t component, double reliability);
+  /// Reliability of the connector carrying transfers from `from` to `to`
+  /// (default 1).
+  void set_connector_reliability(std::size_t from, std::size_t to, double reliability);
+  void set_transition(std::size_t from, std::size_t to, double probability);
+  void set_exit(std::size_t component, double probability);
+  void set_start(std::size_t component);
+
+  double system_reliability() const;
+
+ private:
+  std::vector<double> reliability_;
+  std::vector<std::vector<double>> transition_;
+  std::vector<std::vector<double>> connector_;
+  std::vector<double> exit_;
+  std::size_t start_ = 0;
+};
+
+}  // namespace sorel::baselines

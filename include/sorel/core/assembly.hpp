@@ -1,0 +1,80 @@
+// Service assemblies: the registry of services plus the wiring decisions an
+// assembler makes — which concrete service satisfies each required port of
+// each composite, and through which connector (paper sections 2 and 4).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sorel/core/service.hpp"
+#include "sorel/expr/env.hpp"
+#include "sorel/expr/expr.hpp"
+
+namespace sorel::core {
+
+/// Wiring of one required port: the target service, the connector that
+/// transports the requests (empty = perfect connection, e.g. the paper's
+/// "local processing" association), and how the connector's actual
+/// parameters derive from each call. Connector-actual expressions may
+/// reference the calling service's formals, assembly attributes, and the
+/// pseudo-variables arg0..argK bound to the evaluated request actuals.
+struct PortBinding {
+  std::string target;
+  std::string connector;
+  std::vector<expr::Expr> connector_actuals;
+};
+
+class Assembly {
+ public:
+  /// Register a service; names must be unique. The service's default
+  /// attributes are merged into the assembly attribute table (explicit
+  /// set_attribute calls win regardless of registration order).
+  void add_service(ServicePtr service);
+
+  bool has_service(std::string_view name) const;
+  /// Throws sorel::LookupError when absent.
+  const ServicePtr& service(std::string_view name) const;
+  std::vector<std::string> service_names() const;
+
+  /// Wire `port` of composite `service_name` to a target (and connector).
+  /// Both must already be registered; rebinding a port replaces the wiring.
+  void bind(std::string_view service_name, std::string_view port, PortBinding binding);
+
+  /// Binding lookup; throws sorel::ModelError when the port is unbound.
+  const PortBinding& binding(std::string_view service_name, std::string_view port) const;
+
+  /// Override an attribute value (wins over factory defaults).
+  void set_attribute(std::string name, double value);
+
+  /// Attribute environment: factory defaults overlaid with overrides.
+  expr::Env attribute_env() const;
+
+  /// All bindings, keyed by (service name, port) — serialisation support.
+  const std::map<std::pair<std::string, std::string>, PortBinding>& bindings()
+      const noexcept {
+    return bindings_;
+  }
+
+  /// Explicit attribute overrides (excluding factory defaults).
+  const std::map<std::string, double>& attribute_overrides() const noexcept {
+    return attribute_overrides_;
+  }
+
+  /// Whole-assembly checks: every referenced port of every composite is
+  /// bound to an existing target; connector references exist; request arity
+  /// matches target arity; connector-actual count matches connector arity;
+  /// sharing states address a single port. Throws sorel::ModelError with a
+  /// precise description. (Parameter-dependent checks — probability ranges,
+  /// stochastic rows — happen at evaluation time in the engine.)
+  void validate() const;
+
+ private:
+  std::map<std::string, ServicePtr, std::less<>> services_;
+  // (service name, port) -> binding
+  std::map<std::pair<std::string, std::string>, PortBinding> bindings_;
+  std::map<std::string, double> attribute_overrides_;
+};
+
+}  // namespace sorel::core

@@ -1,0 +1,63 @@
+// Connector factories (paper sections 2, 3.1 and figure 2).
+//
+// In the unified service model a connector is just a service: LPC and RPC
+// connectors are composite services consuming processing and communication
+// services; "local processing" connectors are perfect simple services. All
+// connectors here follow the paper's convention that the connection service
+// has two formal parameters:
+//   ip — size of the data transmitted from client to server,
+//   op — size of the data transmitted back.
+#pragma once
+
+#include <string>
+
+#include "sorel/core/service.hpp"
+
+namespace sorel::core {
+
+/// Local-procedure-call connector (figure 2, left): a single flow state
+/// requesting cpu(l) for the control transfer, where `l` is a constant
+/// independent of ip/op (shared-memory communication). Software failure rate
+/// of the connector code itself is `phi` per operation (the paper assumes 0).
+/// Required port: "cpu".
+ServicePtr make_lpc_connector(std::string name, double control_transfer_ops,
+                              double phi = 0.0);
+
+/// Remote-procedure-call connector (figure 2, right): two AND states —
+///   state 1: cpu_client(c·ip) marshal, net(m·ip) transmit, cpu_server(c·ip)
+///            unmarshal;
+///   state 2: cpu_server(c·op) marshal, net(m·op) transmit, cpu_client(c·op)
+///            unmarshal.
+/// `ops_per_byte` is the marshalling constant c, `bytes_per_byte` the wire
+/// expansion constant m. Software failure rate `phi` per marshalling
+/// operation (the paper assumes 0). Required ports: "cpu_client",
+/// "cpu_server", "net".
+ServicePtr make_rpc_connector(std::string name, double ops_per_byte,
+                              double bytes_per_byte, double phi = 0.0);
+
+/// "Local processing" connector (figures 3 and 4): a pure modeling artefact
+/// associating a software service with the processing resource of its node;
+/// perfectly reliable, zero cost. Equivalent to binding with an empty
+/// connector name — provided so assemblies can mirror the paper's diagrams
+/// one-to-one.
+ServicePtr make_local_processing_connector(std::string name);
+
+/// Extension (not in the paper): a connector that retries the whole
+/// request/response exchange up to `attempts` times over one shared
+/// transport (OR completion across attempts; sharing dependency because
+/// every attempt reuses the same network and hosts). A deliberately
+/// cautionary element: under the paper's fail-stop/no-repair sharing
+/// semantics (eq. 12) a failure of the shared transport defeats *every*
+/// attempt, so with perfectly reliable retry logic (phi = 0) extra attempts
+/// only add exposure — the model predicts retries over a shared, non-
+/// recovering transport are useless or worse, whereas truly independent
+/// replicas (OR without sharing) would help. The ablation bench quantifies
+/// the gap. Retries only pay off here against *internal* (per-attempt
+/// software) failures. Required port: "transport", to be bound to an
+/// (ip, op)-shaped exchange service, typically a make_rpc_connector
+/// instance.
+ServicePtr make_retrying_rpc_connector(std::string name, double ops_per_byte,
+                                       double bytes_per_byte, std::size_t attempts,
+                                       double phi = 0.0);
+
+}  // namespace sorel::core

@@ -1,0 +1,144 @@
+// The reliability-prediction engine: the automated Pfail_Alg procedure of
+// paper section 3.3.
+//
+// For a composite service S invoked with actual arguments `args`:
+//   1. bind S's formals to args (plus assembly attributes) in an Env;
+//   2. for every flow state i, evaluate each request A_ij: its actual
+//      parameters, the recursive Pfail of the bound target, the connector's
+//      Pfail, the internal failure — then combine them into p(i, Fail) with
+//      the completion/dependency combinators (eqs. 4–13);
+//   3. augment the flow into a DTMC with a Fail absorbing state, scaling the
+//      original transitions of state i by (1 − p(i, Fail)) (Start excepted:
+//      no failure occurs in it);
+//   4. Pfail(S, args) = 1 − p*(Start, End) by absorbing-chain analysis
+//      (eq. 3).
+//
+// Simple services bottom out the recursion with their published closed-form
+// unreliability. Results are memoised per (service, args).
+//
+// Recursive assemblies: the paper notes its procedure diverges when services
+// call each other recursively and leaves fixed-point evaluation as future
+// work. With Options::allow_recursion the engine implements it: cyclic
+// evaluations read an assumed unreliability (initially 0) and the engine
+// iterates the whole evaluation until the assumed vector converges.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/markov/absorbing.hpp"
+#include "sorel/markov/dtmc.hpp"
+
+namespace sorel::core {
+
+class ReliabilityEngine {
+ public:
+  struct Options {
+    /// Enable fixed-point evaluation of mutually recursive services.
+    bool allow_recursion = false;
+    std::size_t max_fixpoint_iterations = 1'000;
+    double fixpoint_tolerance = 1e-12;
+    /// Damping factor in (0, 1]: assumed <- assumed + damping*(new - assumed).
+    double damping = 1.0;
+    /// Linear-algebra backend for the absorption solve.
+    markov::AbsorptionAnalysis::Method method =
+        markov::AbsorptionAnalysis::Method::kDense;
+    /// Override the unreliability of named services: every invocation of
+    /// such a service returns the given constant regardless of arguments.
+    /// Used by importance analysis (Birnbaum measures pin a component to
+    /// perfect / failed).
+    std::map<std::string, double> pfail_overrides;
+  };
+
+  /// The engine keeps a reference to `assembly`; it must outlive the engine.
+  /// Calls Assembly::validate() up front.
+  explicit ReliabilityEngine(const Assembly& assembly);
+  ReliabilityEngine(const Assembly& assembly, Options options);
+
+  /// Pfail(service, args). Throws sorel::LookupError for unknown services,
+  /// sorel::InvalidArgument on arity mismatch, sorel::RecursionError for
+  /// cyclic assemblies when recursion is disabled, sorel::ModelError /
+  /// sorel::NumericError for ill-formed models.
+  double pfail(std::string_view service_name, const std::vector<double>& args);
+
+  /// 1 − pfail(...).
+  double reliability(std::string_view service_name, const std::vector<double>& args);
+
+  /// The failure-augmented DTMC of a composite (figure 5): flow states plus
+  /// Start, End and Fail with the evaluated, scaled probabilities. Useful
+  /// for inspection and DOT export. Throws for simple services.
+  markov::Dtmc augmented_flow(std::string_view service_name,
+                              const std::vector<double>& args);
+
+  /// Outcome split of one invocation under the error-propagation extension
+  /// (FlowState::undetected_failure_fraction): `success` + `detected_failure`
+  /// + `silent_failure` = 1. `success` always equals reliability(...);
+  /// the extension only splits the failure mass into fail-stop (absorbed in
+  /// Fail) versus erroneous-output (End reached in a contaminated run).
+  struct FailureModes {
+    double success = 0.0;
+    double detected_failure = 0.0;
+    double silent_failure = 0.0;
+  };
+
+  /// Three-way outcome analysis of a composite service: evaluates the flow
+  /// on a two-layer (clean/contaminated) augmented DTMC. A state's failure
+  /// mass f splits into f·(1−ε) fail-stop and f·ε silent continuation
+  /// (ε = undetected_failure_fraction); once contaminated, execution can
+  /// still fail-stop in later states but a completed run delivers a wrong
+  /// result. Child services are summarised by their pfail (intra-service
+  /// propagation; cross-service latent errors are future work, as in the
+  /// paper). Throws for simple services.
+  FailureModes failure_modes(std::string_view service_name,
+                             const std::vector<double>& args);
+
+  struct Stats {
+    std::size_t evaluations = 0;       // non-memoised service evaluations
+    std::size_t memo_hits = 0;
+    std::size_t fixpoint_iterations = 0;  // outer iterations (0 = acyclic)
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Drop all memoised results (e.g. after Assembly::set_attribute — the
+  /// engine snapshots the attribute environment at construction, so prefer
+  /// constructing a fresh engine in that case).
+  void clear_cache();
+
+ private:
+  using Key = std::pair<const Service*, std::vector<double>>;
+
+  std::vector<std::vector<std::pair<FlowStateId, double>>> evaluate_rows(
+      const Service& service, const std::vector<double>& args,
+      const expr::Env& env) const;
+  static std::vector<bool> reachable_states(
+      const FlowGraph& flow,
+      const std::vector<std::vector<std::pair<FlowStateId, double>>>& rows);
+
+  double pfail_cached(const Service& service, const std::vector<double>& args);
+  double evaluate(const Service& service, const std::vector<double>& args);
+  double evaluate_composite(const CompositeService& service,
+                            const std::vector<double>& args,
+                            markov::Dtmc* export_chain);
+  double state_pfail(const CompositeService& service, const FlowState& state,
+                     const expr::Env& env);
+  double request_external_pfail(const CompositeService& service,
+                                const ServiceRequest& request, const expr::Env& env);
+
+  expr::Env base_env_;  // assembly attributes, snapshotted at construction
+  const Assembly& assembly_;
+  Options options_;
+  Stats stats_;
+
+  std::map<Key, double> memo_;
+  std::vector<Key> stack_;              // in-progress evaluations (cycle check)
+  std::map<Key, double> assumed_;       // fixed-point estimates for cyclic keys
+  std::set<Key> cyclic_keys_;           // keys consulted while on the stack
+  bool recursion_hit_ = false;
+};
+
+}  // namespace sorel::core

@@ -1,0 +1,61 @@
+// Internal-failure models for service requests (paper section 3.2, cases (a)
+// and (b) at the end of the section).
+//
+// The "internal" failure probability Pfail_int(A_ij) covers the operations a
+// service performs itself while issuing the request A_ij:
+//   - for a method call to another software service, the call operation
+//     (often assumed perfectly reliable -> none());
+//   - for a processing request call(cpu, N), the software reliability of the
+//     N operations being executed: Pfail_int = 1 − (1 − φ)^N (eq. 14).
+#pragma once
+
+#include "sorel/expr/env.hpp"
+#include "sorel/expr/expr.hpp"
+
+namespace sorel::core {
+
+class InternalFailure {
+ public:
+  enum class Kind {
+    kNone,          // perfectly reliable (Pfail_int = 0)
+    kConstant,      // fixed probability expression
+    kPerOperation,  // eq. (14): 1 − (1 − φ)^count
+  };
+
+  /// Default: no internal failure.
+  InternalFailure() : kind_(Kind::kNone) {}
+
+  static InternalFailure none() { return InternalFailure(); }
+
+  /// Fixed failure probability. `p` may reference attributes or the caller's
+  /// formal parameters; it must evaluate into [0, 1].
+  static InternalFailure constant(expr::Expr p);
+  static InternalFailure constant(double p);
+
+  /// Eq. (14): the software executing `count` operations with per-operation
+  /// failure probability `phi` fails with probability 1 − (1 − φ)^count.
+  /// Both arguments are expressions over the caller's formal parameters and
+  /// assembly attributes.
+  static InternalFailure per_operation(expr::Expr phi, expr::Expr count);
+  static InternalFailure per_operation(double phi, expr::Expr count);
+
+  Kind kind() const noexcept { return kind_; }
+
+  /// Evaluate Pfail_int under the caller's environment. Throws
+  /// sorel::NumericError if the result leaves [0, 1] beyond round-off.
+  double pfail(const expr::Env& env) const;
+
+  /// Introspection for serialisation. Valid per kind: kConstant -> p();
+  /// kPerOperation -> phi(), count().
+  const expr::Expr& p() const { return p_; }
+  const expr::Expr& phi() const { return phi_; }
+  const expr::Expr& count() const { return count_; }
+
+ private:
+  Kind kind_;
+  expr::Expr p_;
+  expr::Expr phi_;
+  expr::Expr count_;
+};
+
+}  // namespace sorel::core

@@ -1,0 +1,127 @@
+// Flow graphs: the abstract usage profile of a composite service (paper
+// section 2, point (b), and section 3.2).
+//
+// A flow is a discrete-time Markov chain whose states each carry a set of
+// service requests A_i1..A_in, a completion model (when is the state done)
+// and a dependency model (do the requests share one external service).
+// Transition probabilities and request actual parameters are expressions
+// over the offering service's formal parameters — the paper's mechanism for
+// parametric, compositional interfaces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sorel/core/failure.hpp"
+#include "sorel/expr/expr.hpp"
+
+namespace sorel::core {
+
+/// One request A_ij = call(S_j, ap_j) inside a flow state.
+struct ServiceRequest {
+  /// Name of the required-service port this request is addressed to. The
+  /// assembly maps ports to concrete services and connectors.
+  std::string port;
+
+  /// Actual parameters ap_j(fp): expressions over the caller's formals.
+  std::vector<expr::Expr> actuals;
+
+  /// Pfail_int(A_ij) — internal failure of the requesting side.
+  InternalFailure internal;
+
+  /// Optional override of the binding-level connector actual parameters for
+  /// this call site. Empty means "use the binding default". Expressions may
+  /// reference the caller's formals, attributes, and arg0..argK (the
+  /// evaluated request actuals).
+  std::vector<expr::Expr> connector_actuals;
+
+  /// Documentation label ("marshal ip").
+  std::string label;
+};
+
+/// Completion models (paper section 3.2; k-of-n is mentioned there as
+/// future work and implemented here as an extension).
+enum class CompletionModel {
+  kAnd,   // all requests must succeed
+  kOr,    // at least one request must succeed
+  kKOfN,  // at least k of the n requests must succeed
+};
+
+/// Dependency models (paper section 3.2): whether the requests of a state
+/// share a single external service (and connector).
+enum class DependencyModel {
+  kNoSharing,  // independent external services
+  kSharing,    // all requests target the same service through one connector
+};
+
+struct FlowState {
+  std::string name;
+  std::vector<ServiceRequest> requests;
+  CompletionModel completion = CompletionModel::kAnd;
+  /// Threshold for kKOfN (ignored otherwise). Must satisfy 1 <= k <= n.
+  std::size_t k = 0;
+  DependencyModel dependency = DependencyModel::kNoSharing;
+  /// Error-propagation extension (the paper's section-6 future work, after
+  /// Laprie [11]): the fraction of this state's failures that are *silent* —
+  /// undetected, so execution continues with an erroneous result instead of
+  /// fail-stopping. 0 (the default) recovers the paper's pure fail-stop
+  /// model; used by ReliabilityEngine::failure_modes. Plain pfail()
+  /// treats every failure as a failure regardless of detectability.
+  double undetected_failure_fraction = 0.0;
+};
+
+using FlowStateId = std::size_t;
+
+/// The usage-profile Markov chain. Ids 0 and 1 are the reserved pseudo-
+/// states Start (entry; no failures occur in it) and End (successful
+/// completion; absorbing). Real states are added from id 2 upwards.
+class FlowGraph {
+ public:
+  static constexpr FlowStateId kStart = 0;
+  static constexpr FlowStateId kEnd = 1;
+
+  FlowGraph();
+
+  /// Add a flow state; returns its id (>= 2). State names must be unique,
+  /// non-empty, and distinct from "Start"/"End"/"Fail".
+  FlowStateId add_state(FlowState state);
+
+  /// Add a transition with a (possibly parametric) probability expression.
+  /// End cannot have outgoing transitions; no transition may enter Start.
+  void add_transition(FlowStateId from, FlowStateId to, expr::Expr probability);
+
+  std::size_t state_count() const noexcept { return states_.size(); }
+
+  /// Access a real state by id (throws for Start/End).
+  const FlowState& state(FlowStateId id) const;
+
+  /// Name of any state id, including "Start"/"End".
+  std::string state_name(FlowStateId id) const;
+
+  struct FlowTransition {
+    FlowStateId to;
+    expr::Expr probability;
+  };
+  const std::vector<FlowTransition>& transitions_from(FlowStateId id) const;
+
+  /// All real state ids (2 .. state_count()+1).
+  std::vector<FlowStateId> real_states() const;
+
+  /// Union of the ports referenced by all requests, in first-use order.
+  std::vector<std::string> referenced_ports() const;
+
+  /// Structural checks independent of parameter values: Start has outgoing
+  /// transitions, every real state has outgoing transitions, End reachable
+  /// from Start, k-of-n thresholds valid, sharing states have homogeneous
+  /// ports. Throws sorel::ModelError.
+  void validate_structure() const;
+
+ private:
+  void check_id(FlowStateId id, const char* what) const;
+
+  std::vector<FlowState> states_;                          // real states
+  std::vector<std::vector<FlowTransition>> transitions_;   // indexed by raw id
+};
+
+}  // namespace sorel::core

@@ -1,0 +1,26 @@
+// Formal parameters of a published service (paper section 2, point (a)).
+//
+// An analytic interface abstracts the real parameter domains of a service
+// into representative numeric values: a processing service exposes "N
+// operations", a communication service "B bytes", the example search service
+// "elem size" and "list size". Each formal parameter is therefore a named
+// real-valued abstract quantity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sorel::core {
+
+struct FormalParam {
+  std::string name;
+  /// Human-readable meaning of the abstract domain ("number of operations").
+  std::string description;
+
+  bool operator==(const FormalParam&) const = default;
+};
+
+/// Convenience: build a FormalParam list from bare names.
+std::vector<FormalParam> formals(std::initializer_list<std::string> names);
+
+}  // namespace sorel::core

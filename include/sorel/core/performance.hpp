@@ -1,0 +1,62 @@
+// Performance extension (paper section 6: "the presented ideas can also be
+// extended, with appropriate modifications, to other QoS aspects (e.g.
+// performance)"): expected execution time of a service invocation, computed
+// from the same analytic interfaces the reliability engine consumes.
+//
+// Model:
+//  - a simple service publishes an expected service time expression
+//    (SimpleService::duration_expr; cpu: N/s, network: B/b);
+//  - a request's time is its target's expected time plus its connector's
+//    expected time (connectors are services, so RPC time = marshal +
+//    transmit + unmarshal, exactly like its reliability);
+//  - a flow state's time combines its requests per the completion model:
+//    AND states execute their requests sequentially (sum) — or, with
+//    Options::parallel_and, concurrently (max of expectations, a lower
+//    bound); OR and k-of-n states are approximated by the sum of the
+//    requests issued (all n are launched under fail-stop semantics);
+//  - a composite's expected time is the visit-count-weighted sum of its
+//    state times: E[T] = sum_i N(Start, i) * t_i, with N the fundamental
+//    matrix of the (unaugmented) usage-profile chain — i.e. the expected
+//    time of a run in the absence of failures. This is the classic
+//    performance reading of the same DTMC.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+
+namespace sorel::core {
+
+class PerformanceEngine {
+ public:
+  struct Options {
+    /// Treat AND states as concurrent: state time = max of request times
+    /// (expectation of max is approximated by max of expectations).
+    bool parallel_and = false;
+  };
+
+  explicit PerformanceEngine(const Assembly& assembly);
+  PerformanceEngine(const Assembly& assembly, Options options);
+
+  /// Expected execution time of one invocation. Throws
+  /// sorel::RecursionError for cyclic assemblies (expected time of a
+  /// recursive assembly is not supported) and the usual lookup/arity/model
+  /// errors otherwise.
+  double expected_duration(std::string_view service_name,
+                           const std::vector<double>& args);
+
+ private:
+  double duration_cached(const Service& service, const std::vector<double>& args);
+  double evaluate(const Service& service, const std::vector<double>& args);
+
+  expr::Env base_env_;
+  const Assembly& assembly_;
+  Options options_;
+  std::map<std::pair<const Service*, std::vector<double>>, double> memo_;
+  std::vector<std::pair<const Service*, std::vector<double>>> stack_;
+};
+
+}  // namespace sorel::core

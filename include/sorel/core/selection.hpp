@@ -1,0 +1,64 @@
+// Automated service selection — the paper's motivating use case (section 1:
+// prediction exists "to drive the selection of the services to be
+// assembled"). Given an assembly in which some ports have several candidate
+// wirings (different providers, different connectors, local vs remote
+// deployments), enumerate the combinations, predict each one, and rank them
+// by an objective over reliability and (optionally) expected execution time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+
+namespace sorel::core {
+
+/// One selectable wiring decision: the port it concerns and the candidate
+/// bindings an assembler may choose between. The services named by the
+/// candidates must already be registered in the assembly.
+struct SelectionPoint {
+  std::string service;  // composite whose port is being wired
+  std::string port;
+  std::vector<PortBinding> candidates;
+  /// Optional human-readable labels, parallel to `candidates` (defaults to
+  /// the target/connector names).
+  std::vector<std::string> labels;
+};
+
+struct SelectionObjective {
+  /// Maximise: reliability − time_weight · E[T]. With the default weight 0
+  /// the ranking is by predicted reliability alone.
+  double time_weight = 0.0;
+  /// Discard candidates whose reliability falls below this floor.
+  double min_reliability = 0.0;
+};
+
+struct RankedAssembly {
+  /// Chosen candidate index per selection point (parallel to the input).
+  std::vector<std::size_t> choice;
+  std::vector<std::string> labels;
+  double reliability = 0.0;
+  double expected_duration = 0.0;
+  double score = 0.0;
+};
+
+/// Enumerate every combination of candidates (cartesian product, bounded by
+/// `max_combinations`), evaluate each wiring, and return the ranking (best
+/// score first). Throws sorel::InvalidArgument when there are no selection
+/// points, a candidate list is empty, or the product exceeds the bound —
+/// selection is exhaustive by design; prune the candidate lists instead.
+std::vector<RankedAssembly> rank_assemblies(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<SelectionPoint>& points,
+    const SelectionObjective& objective = {}, std::size_t max_combinations = 4096);
+
+/// Convenience: the best entry of rank_assemblies (throws if every
+/// combination was filtered out by the reliability floor).
+RankedAssembly select_best(const Assembly& assembly, std::string_view service_name,
+                           const std::vector<double>& args,
+                           const std::vector<SelectionPoint>& points,
+                           const SelectionObjective& objective = {});
+
+}  // namespace sorel::core

@@ -1,0 +1,51 @@
+// Sensitivity and importance analysis on top of the reliability engine — a
+// practical extension the paper motivates ("drive the selection of the
+// services to be assembled"): which attribute or component should be
+// improved to raise assembly reliability most.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+
+namespace sorel::core {
+
+struct AttributeSensitivity {
+  std::string attribute;
+  double value;        // attribute value at which the derivative is taken
+  double derivative;   // dR_system / d attribute (central difference)
+  double elasticity;   // (attr / R) * derivative — dimensionless ranking
+};
+
+/// Central-difference sensitivity of system reliability to every assembly
+/// attribute (or to `attributes` when non-empty). `relative_step` scales the
+/// perturbation: h = max(|value|, 1e-12) * relative_step. The default step is
+/// deliberately coarse (1e-2): reliabilities live near 1.0, so the numerator
+/// R(a+h) − R(a−h) must stay well above the ~1e-16 absolute noise floor;
+/// reliability curves are smooth enough that the truncation error of a
+/// coarse central difference is negligible by comparison. Results sorted by
+/// |derivative| descending.
+std::vector<AttributeSensitivity> attribute_sensitivities(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<std::string>& attributes = {},
+    double relative_step = 1e-2);
+
+struct ComponentImportance {
+  std::string component;
+  /// Birnbaum structural importance: R_system(component perfect) −
+  /// R_system(component always fails). High values mark components whose
+  /// reliability the system depends on most.
+  double birnbaum;
+  /// Risk-achievement worth: R(system)/R(system | component failed); +inf
+  /// becomes a large finite sentinel when the degraded system cannot succeed.
+  double risk_achievement;
+};
+
+/// Birnbaum importance of each listed component (every registered service
+/// when `components` is empty, excluding the analysed service itself).
+std::vector<ComponentImportance> component_importances(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<std::string>& components = {});
+
+}  // namespace sorel::core

@@ -1,0 +1,125 @@
+// The unified service model (paper section 2): resources, software
+// components, and connectors all offer services described by analytic
+// interfaces. A service is either
+//   - simple: its unreliability is a published closed-form expression of its
+//     formal parameters (cpu, network, perfectly reliable modeling
+//     connectors, black-box components); or
+//   - composite: it publishes a flow graph of cascading requests and its
+//     unreliability is derived by the engine (software components, LPC/RPC
+//     connectors, assembled applications).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sorel/core/flow.hpp"
+#include "sorel/core/params.hpp"
+#include "sorel/expr/expr.hpp"
+
+namespace sorel::core {
+
+class Service;
+using ServicePtr = std::shared_ptr<const Service>;
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<FormalParam>& formals() const noexcept { return formals_; }
+  std::size_t arity() const noexcept { return formals_.size(); }
+
+  /// Attribute defaults registered by the factory that built this service
+  /// (e.g. {"cpu1.lambda": 1e-9, "cpu1.s": 1e9}). The assembly merges these
+  /// into the evaluation environment; Assembly::set_attribute overrides them.
+  const std::map<std::string, double>& default_attributes() const noexcept {
+    return attributes_;
+  }
+
+  /// The usage-profile flow, or nullptr for simple services.
+  virtual const FlowGraph* flow() const noexcept = 0;
+  bool is_simple() const noexcept { return flow() == nullptr; }
+
+ protected:
+  Service(std::string name, std::vector<FormalParam> formal_params,
+          std::map<std::string, double> attributes);
+
+ private:
+  std::string name_;
+  std::vector<FormalParam> formals_;
+  std::map<std::string, double> attributes_;
+};
+
+/// A service whose unreliability is a published expression of its formal
+/// parameters and attribute variables: Pfail(S, fp) = pfail_expr(fp, attrs).
+class SimpleService final : public Service {
+ public:
+  SimpleService(std::string name, std::vector<FormalParam> formal_params,
+                expr::Expr pfail, std::map<std::string, double> attributes = {});
+
+  const expr::Expr& pfail_expr() const noexcept { return pfail_; }
+  const FlowGraph* flow() const noexcept override { return nullptr; }
+
+  /// Published expected service time as a function of the formals and
+  /// attribute variables (performance extension, paper section 6: the same
+  /// analytic-interface machinery applied to another QoS dimension).
+  /// Defaults to 0 (instantaneous). Factories publish N/s for cpu services
+  /// and B/b for network services.
+  const expr::Expr& duration_expr() const noexcept { return duration_; }
+  void set_duration_expr(expr::Expr duration) { duration_ = std::move(duration); }
+
+ private:
+  expr::Expr pfail_;
+  expr::Expr duration_;  // defaults to the constant 0
+};
+
+/// A service realised by cascading requests to other services, published as
+/// a flow graph (its analytic interface usage profile).
+class CompositeService final : public Service {
+ public:
+  CompositeService(std::string name, std::vector<FormalParam> formal_params,
+                   FlowGraph flow_graph, std::map<std::string, double> attributes = {});
+
+  const FlowGraph* flow() const noexcept override { return &flow_; }
+
+ private:
+  FlowGraph flow_;
+};
+
+// ---------------------------------------------------------------------------
+// Factories for the paper's simple resource services (section 3.1)
+// ---------------------------------------------------------------------------
+
+/// Processing service of a cpu-type resource: formal parameter N (number of
+/// operations), attributes `<name>.s` (speed, ops/time) and `<name>.lambda`
+/// (failure rate, failures/time). Eq. (1): Pfail(cpu, N) = 1 − e^(−λN/s).
+ServicePtr make_cpu_service(std::string name, double speed, double failure_rate);
+
+/// Communication service of a network-type resource: formal parameter B
+/// (bytes), attributes `<name>.b` (bandwidth) and `<name>.beta` (failure
+/// rate). Eq. (2): Pfail(net, B) = 1 − e^(−βB/b).
+ServicePtr make_network_service(std::string name, double bandwidth,
+                                double failure_rate);
+
+/// A perfectly reliable service with the given formal parameters — the
+/// paper's "local processing" connectors (pure modeling artefacts with
+/// failure probability zero) and other idealised resources.
+ServicePtr make_perfect_service(std::string name,
+                                std::vector<std::string> formal_names = {});
+
+/// A black-box simple service with an arbitrary published unreliability
+/// expression over its formals (and attribute variables), and optionally an
+/// expected-service-time expression for the performance extension.
+ServicePtr make_simple_service(std::string name, std::vector<std::string> formal_names,
+                               expr::Expr pfail,
+                               std::map<std::string, double> attributes = {});
+ServicePtr make_simple_service(std::string name, std::vector<std::string> formal_names,
+                               expr::Expr pfail, std::map<std::string, double> attributes,
+                               expr::Expr duration);
+
+}  // namespace sorel::core

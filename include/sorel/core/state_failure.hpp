@@ -1,0 +1,64 @@
+// Per-state failure-probability combinators: equations (4)–(13) of the
+// paper plus the k-of-n extension. Exposed as free functions so the algebra
+// can be tested in isolation from the engine.
+//
+// Notation: each request A_ij carries an internal failure probability
+// Pfail_int (the requester's own operations) and an external failure
+// probability Pfail_ext (target service and connector combined, eq. 13/8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sorel/core/flow.hpp"
+
+namespace sorel::core {
+
+/// Failure probabilities of a single request A_ij.
+struct RequestFailure {
+  double internal = 0.0;  // Pfail_int(A_ij)
+  double external = 0.0;  // Pfail_ext(A_ij)
+};
+
+/// Eq. (13)/(8) inner term: probability that the external side of a request
+/// fails — the connector or the target service.
+/// Pfail_ext = 1 − (1 − Pfail(S_j, ap_j)) (1 − Pfail(C_j, [S_j, ap_j])).
+double external_failure_probability(double service_pfail, double connector_pfail);
+
+/// Eq. (8): Pr{fail(A_ij)} = 1 − (1 − Pfail_int)(1 − Pfail_ext).
+double request_failure_probability(const RequestFailure& r);
+
+/// Eq. (6): AND completion, independent requests.
+double and_no_sharing(std::span<const RequestFailure> requests);
+
+/// Eq. (7): OR completion, independent requests.
+double or_no_sharing(std::span<const RequestFailure> requests);
+
+/// Eq. (11): AND completion, one shared external service. (The paper proves
+/// this equals eq. (6); both are implemented so tests can verify the claim.)
+double and_sharing(std::span<const RequestFailure> requests);
+
+/// Eq. (12): OR completion, one shared external service.
+double or_sharing(std::span<const RequestFailure> requests);
+
+/// k-of-n extension, independent requests: the state fails when fewer than k
+/// requests succeed. Computed by dynamic programming over the independent
+/// non-identical Bernoulli successes. k = n reduces to eq. (6), k = 1 to
+/// eq. (7).
+double k_of_n_no_sharing(std::span<const RequestFailure> requests, std::size_t k);
+
+/// k-of-n extension with one shared external service: any external failure
+/// kills every request (fail-stop, no repair), otherwise only the
+/// independent internal failures matter. k = n reduces to eq. (11), k = 1 to
+/// eq. (12).
+double k_of_n_sharing(std::span<const RequestFailure> requests, std::size_t k);
+
+/// Dispatch on completion and dependency model. For kKOfN, `k` is the
+/// threshold; it is ignored for kAnd/kOr. An empty request set never fails
+/// (probability 0). Throws sorel::InvalidArgument for invalid k or
+/// probabilities outside [0, 1].
+double state_failure_probability(std::span<const RequestFailure> requests,
+                                 CompletionModel completion, std::size_t k,
+                                 DependencyModel dependency);
+
+}  // namespace sorel::core

@@ -1,0 +1,69 @@
+// Parameter-uncertainty propagation. The paper's section 5 notes that the
+// published analytic interfaces are only as good as the knowledge behind
+// them (citing hidden-Markov approaches to imperfect usage profiles); in
+// practice failure rates and usage probabilities come with error bars. This
+// module turns attribute uncertainty into a *reliability distribution*:
+// sample the uncertain attributes, run the (exact, cheap) analytic engine
+// per sample, and report moments and percentiles.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/util/stats.hpp"
+
+namespace sorel::core {
+
+/// Marginal distribution of one uncertain attribute. Samples falling
+/// outside [min_value, max_value] are clamped (relevant for kNormal).
+struct AttributeDistribution {
+  enum class Kind {
+    kFixed,       // a: the value (no uncertainty)
+    kUniform,     // uniform on [a, b]
+    kLogUniform,  // log-uniform on [a, b]; a, b > 0
+    kNormal,      // mean a, stddev b
+    kLogNormal,   // exp(Normal(a, b)): a, b are the log-space parameters
+  };
+
+  Kind kind = Kind::kFixed;
+  double a = 0.0;
+  double b = 0.0;
+  double min_value = 0.0;
+  double max_value = 1e300;
+
+  static AttributeDistribution fixed(double value);
+  static AttributeDistribution uniform(double lo, double hi);
+  static AttributeDistribution log_uniform(double lo, double hi);
+  static AttributeDistribution normal(double mean, double stddev);
+  static AttributeDistribution log_normal(double log_mean, double log_stddev);
+};
+
+struct UncertaintyOptions {
+  std::size_t samples = 1'000;
+  std::uint64_t seed = 7;
+};
+
+struct UncertaintyResult {
+  util::RunningStats reliability;  // mean/stddev/min/max over the samples
+  double p05 = 0.0;                // 5th percentile of reliability
+  double p50 = 0.0;
+  double p95 = 0.0;
+  /// Probability (over the parameter uncertainty) that the predicted
+  /// reliability meets the requested target; 0 when no target was given.
+  double probability_meets_target = 0.0;
+};
+
+/// Propagate attribute uncertainty through the analytic engine.
+/// `reliability_target`, when positive, additionally estimates
+/// P(R >= target). Throws sorel::LookupError for attributes the assembly
+/// does not define and sorel::InvalidArgument for malformed distributions.
+UncertaintyResult propagate_uncertainty(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args,
+    const std::map<std::string, AttributeDistribution>& uncertain_attributes,
+    const UncertaintyOptions& options = {}, double reliability_target = -1.0);
+
+}  // namespace sorel::core

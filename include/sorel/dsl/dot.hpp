@@ -1,0 +1,23 @@
+// GraphViz exports used by the figure-regeneration benches: flow graphs
+// (figures 1, 2, 5 of the paper) and assembly wiring diagrams (figures 3, 4).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sorel/core/assembly.hpp"
+
+namespace sorel::dsl {
+
+/// Render the usage-profile flow of a composite service: states with their
+/// requests (port + actual-parameter expressions), completion/dependency
+/// annotations, and symbolic transition probabilities. Throws for simple
+/// services.
+std::string flow_to_dot(const core::Service& service);
+
+/// Render the assembly wiring: one node per service (double octagon for
+/// composites), one edge per port binding labelled "port via connector".
+std::string assembly_to_dot(const core::Assembly& assembly,
+                            std::string_view graph_name = "assembly");
+
+}  // namespace sorel::dsl

@@ -1,0 +1,107 @@
+// The machine-processable analytic-interface format the paper calls for in
+// section 5 ("the embedding of the analytic interface ... into the
+// machine-processable languages used to support the service description and
+// composition"). Instead of extending OWL-S/BPEL, sorel defines a compact
+// JSON schema carrying exactly the information the analysis needs:
+//
+// {
+//   "attributes": {"cpu1.lambda": 1e-9},            // optional overrides
+//   "services": [
+//     {"type": "cpu", "name": "cpu1", "speed": 1e9, "failure_rate": 1e-9},
+//     {"type": "network", "name": "net12", "bandwidth": 1e3,
+//      "failure_rate": 5e-3},
+//     {"type": "perfect", "name": "loc1", "formals": ["ip", "op"]},
+//     {"type": "simple", "name": "blackbox", "formals": ["N"],
+//      "pfail": "1 - exp(-0.001*N)", "attributes": {...}},
+//     {"type": "lpc", "name": "lpc1", "control_transfer_ops": 200},
+//     {"type": "rpc", "name": "rpc1", "ops_per_byte": 5,
+//      "bytes_per_byte": 1, "phi": 0},
+//     {"type": "local_processing", "name": "loc2"},
+//     {"type": "retrying_rpc", "name": "rrpc", "ops_per_byte": 5,
+//      "bytes_per_byte": 1, "attempts": 3},
+//     {"type": "composite", "name": "search",
+//      "formals": ["elem", "list", "res"],
+//      "attributes": {"search.phi": 1e-7},
+//      "flow": {
+//        "states": [
+//          {"name": "sort", "completion": "AND", "dependency": "no_sharing",
+//           "requests": [
+//             {"port": "sort", "actuals": ["list"], "label": "Sort(list)",
+//              "internal": {"model": "none"}}]}],
+//        "transitions": [
+//          {"from": "Start", "to": "sort", "p": "search.q"},
+//          {"from": "sort", "to": "End", "p": "1"}]}}
+//   ],
+//   "bindings": [
+//     {"service": "search", "port": "sort", "target": "sort1",
+//      "connector": "lpc1", "connector_actuals": ["elem + list", "res"]}]
+// }
+//
+// Completion models: "AND", "OR", "K_OF_N" (+ "k"). Dependency models:
+// "no_sharing", "sharing". Internal models: "none", "constant" (+ "p"),
+// "per_operation" (+ "phi", "count"). All expression strings use the
+// sorel::expr grammar.
+// An optional top-level "selection" array declares alternative wirings an
+// automated assembler may choose between (consumed by
+// sorel::core::rank_assemblies; see load_selection_points):
+//
+//   "selection": [
+//     {"service": "search", "port": "sort",
+//      "candidates": [
+//        {"label": "local",  "target": "sort1", "connector": "lpc",
+//         "connector_actuals": ["elem + list", "res"]},
+//        {"label": "remote", "target": "sort2", "connector": "rpc",
+//         "connector_actuals": ["elem + list", "res"]}]}]
+//
+// When a port appears in "selection" it may be omitted from "bindings";
+// load_assembly then binds it to the first candidate so the document always
+// loads into a valid assembly.
+// An optional top-level "uncertainty" object declares attribute
+// distributions for sorel::core::propagate_uncertainty:
+//
+//   "uncertainty": {
+//     "net12.beta": {"dist": "log_uniform", "a": 5e-3, "b": 5e-2},
+//     "sort1.phi":  {"dist": "normal", "a": 1e-6, "b": 3e-7}
+//   }
+//
+// dist kinds: "fixed" (a), "uniform"/"log_uniform" (a = lo, b = hi),
+// "normal"/"log_normal" (a = mean, b = stddev; log-space for log_normal).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/core/selection.hpp"
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/json/json.hpp"
+
+namespace sorel::dsl {
+
+/// Build an assembly from a parsed JSON document. Throws sorel::ParseError /
+/// sorel::ModelError / sorel::InvalidArgument with messages naming the
+/// offending service or field.
+core::Assembly load_assembly(const json::Value& document);
+
+/// Convenience: parse the file at `path` and load it.
+core::Assembly load_assembly_file(const std::string& path);
+
+/// Serialise an assembly back to the JSON schema. Factory-built services are
+/// emitted generically (simple services by their pfail expression, composite
+/// services by their flow), so load(save(a)) yields an assembly that is
+/// behaviourally identical though not always syntactically identical.
+json::Value save_assembly(const core::Assembly& assembly);
+
+/// Parse the document's optional "selection" array into selection points
+/// for sorel::core::rank_assemblies. Returns an empty vector when the
+/// document declares none.
+std::vector<core::SelectionPoint> load_selection_points(const json::Value& document);
+
+/// Parse the document's optional "uncertainty" object into attribute
+/// distributions for sorel::core::propagate_uncertainty. Returns an empty
+/// map when the document declares none.
+std::map<std::string, core::AttributeDistribution> load_uncertainty(
+    const json::Value& document);
+
+}  // namespace sorel::dsl

@@ -1,0 +1,54 @@
+// Variable-binding environment for expression evaluation.
+//
+// The reliability engine evaluates every published expression (actual
+// parameters, transition probabilities, failure laws) in an Env that binds
+// the service's formal parameters plus assembly-level attributes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sorel::expr {
+
+class Env {
+ public:
+  Env() = default;
+  explicit Env(std::map<std::string, double> bindings)
+      : bindings_(std::move(bindings)) {}
+
+  /// Bind (or rebind) a variable.
+  Env& set(std::string name, double value) {
+    bindings_[std::move(name)] = value;
+    return *this;
+  }
+
+  /// Value of `name`, or nullopt when unbound.
+  std::optional<double> lookup(std::string_view name) const {
+    const auto it = bindings_.find(std::string(name));
+    if (it == bindings_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(std::string_view name) const {
+    return bindings_.find(std::string(name)) != bindings_.end();
+  }
+
+  std::size_t size() const noexcept { return bindings_.size(); }
+
+  /// Copy with extra bindings layered on top (later wins).
+  Env extended(const Env& overlay) const {
+    Env out = *this;
+    for (const auto& [k, v] : overlay.bindings_) out.bindings_[k] = v;
+    return out;
+  }
+
+  const std::map<std::string, double>& bindings() const noexcept { return bindings_; }
+
+ private:
+  std::map<std::string, double> bindings_;
+};
+
+}  // namespace sorel::expr

@@ -1,0 +1,109 @@
+// Immutable symbolic expression over named real variables.
+//
+// Analytic interfaces publish actual parameters, transition probabilities,
+// and failure laws as functions of the offering service's formal parameters
+// (paper section 2). Expr is that function representation: a small,
+// shareable AST supporting evaluation, substitution, simplification, and
+// symbolic differentiation (the latter powers sensitivity analysis).
+//
+// Expr values are cheap to copy (shared_ptr to an immutable node) and safe to
+// share across services and threads.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "sorel/expr/env.hpp"
+
+namespace sorel::expr {
+
+namespace detail {
+struct Node;
+}
+
+class Expr {
+ public:
+  /// Default-constructed expression is the constant 0.
+  Expr();
+
+  // -- Factories -------------------------------------------------------
+  static Expr constant(double value);
+  static Expr var(std::string name);
+
+  /// Arithmetic. Operators fold constants eagerly (1*x -> x is done by
+  /// simplify(), but 2*3 -> 6 happens here).
+  friend Expr operator+(const Expr& a, const Expr& b);
+  friend Expr operator-(const Expr& a, const Expr& b);
+  friend Expr operator*(const Expr& a, const Expr& b);
+  friend Expr operator/(const Expr& a, const Expr& b);
+  friend Expr operator-(const Expr& a);
+
+  friend Expr pow(const Expr& base, const Expr& exponent);
+  friend Expr exp(const Expr& x);
+  /// Natural logarithm.
+  friend Expr log(const Expr& x);
+  /// Base-2 logarithm (the paper's example flows use log(list); we expose
+  /// both bases and let the model author choose).
+  friend Expr log2(const Expr& x);
+  friend Expr sqrt(const Expr& x);
+  friend Expr min(const Expr& a, const Expr& b);
+  friend Expr max(const Expr& a, const Expr& b);
+
+  // -- Queries ---------------------------------------------------------
+  /// Evaluate under the environment. Throws sorel::LookupError for unbound
+  /// variables and sorel::NumericError for domain violations (log of a
+  /// non-positive value, division by zero) and non-finite results.
+  double eval(const Env& env) const;
+
+  /// Free variables of the expression.
+  std::set<std::string> variables() const;
+
+  /// True iff the expression has no free variables.
+  bool is_constant() const;
+
+  /// Value of a constant expression; throws sorel::InvalidArgument if not
+  /// constant.
+  double constant_value() const;
+
+  // -- Transformations --------------------------------------------------
+  /// Replace each listed variable with the mapped expression (simultaneous
+  /// substitution). Variables not in the map are kept.
+  Expr substitute(const std::map<std::string, Expr>& replacements) const;
+
+  /// Algebraic cleanup: constant folding, identity elimination (x+0, x*1,
+  /// x*0, x^1, ...). Idempotent.
+  Expr simplify() const;
+
+  /// Symbolic partial derivative with respect to `variable`. min/max are
+  /// differentiated piecewise and are not differentiable at ties; the
+  /// derivative chooses the first branch there.
+  Expr derivative(std::string_view variable) const;
+
+  /// Parenthesised infix rendering, parseable by sorel::expr::parse.
+  std::string to_string() const;
+
+  /// Structural equality (same tree after interior constant comparison).
+  bool equals(const Expr& other) const;
+
+  // Internal: used by the implementation and the parser.
+  explicit Expr(std::shared_ptr<const detail::Node> node);
+  const detail::Node& node() const { return *node_; }
+
+ private:
+  std::shared_ptr<const detail::Node> node_;
+};
+
+/// Convenience mixed-operand overloads so model code can write `2 * n`.
+inline Expr operator+(const Expr& a, double b) { return a + Expr::constant(b); }
+inline Expr operator+(double a, const Expr& b) { return Expr::constant(a) + b; }
+inline Expr operator-(const Expr& a, double b) { return a - Expr::constant(b); }
+inline Expr operator-(double a, const Expr& b) { return Expr::constant(a) - b; }
+inline Expr operator*(const Expr& a, double b) { return a * Expr::constant(b); }
+inline Expr operator*(double a, const Expr& b) { return Expr::constant(a) * b; }
+inline Expr operator/(const Expr& a, double b) { return a / Expr::constant(b); }
+inline Expr operator/(double a, const Expr& b) { return Expr::constant(a) / b; }
+
+}  // namespace sorel::expr

@@ -1,0 +1,26 @@
+// Recursive-descent parser for the expression language used by the DSL.
+//
+// Grammar (standard precedence, left-associative binary operators, right-
+// associative ^):
+//
+//   expr    := term (('+' | '-') term)*
+//   term    := unary (('*' | '/') unary)*
+//   unary   := '-' unary | power
+//   power   := primary ('^' unary)?
+//   primary := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Functions: exp, log (natural), log2, sqrt, pow, min, max.
+// Identifiers may contain dots ("cpu1.lambda") so attribute names parse.
+#pragma once
+
+#include <string_view>
+
+#include "sorel/expr/expr.hpp"
+
+namespace sorel::expr {
+
+/// Parse `source` into an expression. Throws sorel::ParseError (with
+/// line/column) on malformed input.
+Expr parse(std::string_view source);
+
+}  // namespace sorel::expr

@@ -1,0 +1,104 @@
+// Minimal JSON document model, parser, and writer (RFC 8259 subset).
+//
+// Used by the DSL (sorel/dsl) to load and store assembly descriptions — the
+// machine-processable "analytic interface" embedding the paper calls for in
+// section 5. Hand-rolled to keep the project dependency-free.
+//
+// Supported: null, booleans, finite numbers (doubles), strings with the
+// standard escapes (\uXXXX encodes/decodes UTF-16 surrogate pairs), arrays,
+// objects. Duplicate object keys: last one wins. Not supported: comments,
+// NaN/Infinity literals.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sorel::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  /// Null by default.
+  Value() noexcept : type_(Type::kNull) {}
+  Value(std::nullptr_t) noexcept : type_(Type::kNull) {}
+  Value(bool b) noexcept : type_(Type::kBool), bool_(b) {}
+  Value(double n);
+  Value(int n) : Value(static_cast<double>(n)) {}
+  Value(long n) : Value(static_cast<double>(n)) {}
+  Value(unsigned n) : Value(static_cast<double>(n)) {}
+  Value(std::size_t n) : Value(static_cast<double>(n)) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::kString), string_(s) {}
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw sorel::InvalidArgument on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  // -- object conveniences ----------------------------------------------
+  /// True when this is an object containing `key`.
+  bool contains(std::string_view key) const;
+  /// Member access; throws sorel::LookupError when missing,
+  /// sorel::InvalidArgument when not an object.
+  const Value& at(std::string_view key) const;
+  /// Member access with default: returns `fallback` when the key is missing.
+  const Value& get_or(std::string_view key, const Value& fallback) const;
+  /// Mutable member access on an object (inserts null if absent).
+  Value& operator[](const std::string& key);
+
+  // -- array conveniences -------------------------------------------------
+  /// Element access; throws on type mismatch / out of range.
+  const Value& at(std::size_t index) const;
+  std::size_t size() const;
+
+  bool operator==(const Value& other) const;
+
+  /// Compact single-line serialisation.
+  std::string dump() const;
+  /// Pretty-printed serialisation with 2-space indentation.
+  std::string dump_pretty() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse a JSON document. Throws sorel::ParseError with line/column on
+/// malformed input. Input must contain exactly one document (trailing
+/// whitespace allowed).
+Value parse(std::string_view text);
+
+/// Read and parse a JSON file; throws sorel::Error if unreadable.
+Value parse_file(const std::string& path);
+
+}  // namespace sorel::json

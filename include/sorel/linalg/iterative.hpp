@@ -1,0 +1,43 @@
+// Stationary iterative solvers (Jacobi, Gauss–Seidel) for sparse systems
+// A x = b. For absorbing-chain systems (I - Q) x = b with substochastic Q
+// both methods converge; Gauss–Seidel is the default in the engine's sparse
+// path.
+#pragma once
+
+#include <cstddef>
+
+#include "sorel/linalg/sparse.hpp"
+#include "sorel/linalg/vector.hpp"
+
+namespace sorel::linalg {
+
+struct IterativeOptions {
+  std::size_t max_iterations = 10'000;
+  /// Convergence: ||x_{k+1} - x_k||_inf < tolerance.
+  double tolerance = 1e-12;
+};
+
+struct IterativeResult {
+  Vector x;
+  std::size_t iterations = 0;
+  /// Final update norm (not the residual).
+  double update_norm = 0.0;
+  bool converged = false;
+};
+
+/// Jacobi iteration. Requires nonzero diagonal; throws sorel::NumericError
+/// otherwise.
+IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
+                       IterativeOptions options = {});
+
+/// Gauss–Seidel iteration (forward sweep). Requires nonzero diagonal.
+IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
+                             IterativeOptions options = {});
+
+/// Power-style fixed-point for x = Q x + b with substochastic Q — this is the
+/// "probability mass propagation" formulation of absorption probabilities and
+/// needs no diagonal extraction. `q` must be square.
+IterativeResult fixed_point_iteration(const SparseMatrix& q, const Vector& b,
+                                      IterativeOptions options = {});
+
+}  // namespace sorel::linalg

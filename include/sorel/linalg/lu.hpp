@@ -1,0 +1,49 @@
+// LU decomposition with partial pivoting, and the solve/inverse/determinant
+// operations built on it. This is the workhorse behind the fundamental-matrix
+// computation for absorbing Markov chains: (I - Q) X = R.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sorel/linalg/matrix.hpp"
+#include "sorel/linalg/vector.hpp"
+
+namespace sorel::linalg {
+
+class LuDecomposition {
+ public:
+  /// Factor PA = LU. Throws sorel::InvalidArgument for non-square input.
+  /// Singularity is detected lazily: is_singular() reports it, and solve()
+  /// throws sorel::NumericError when the factorisation is unusable.
+  static LuDecomposition compute(const Matrix& a, double pivot_tolerance = 1e-13);
+
+  bool is_singular() const noexcept { return singular_; }
+  std::size_t dimension() const noexcept { return lu_.rows(); }
+
+  /// Solve A x = b. Throws sorel::NumericError if singular,
+  /// sorel::InvalidArgument on dimension mismatch.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// det(A), including the permutation sign. 0 if singular.
+  double determinant() const;
+
+ private:
+  LuDecomposition() = default;
+
+  Matrix lu_;                  // packed L (unit diagonal implicit) and U
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  int sign_ = 1;
+  bool singular_ = false;
+};
+
+/// Convenience: solve A x = b with a one-shot factorisation.
+Vector solve(const Matrix& a, const Vector& b);
+
+/// Convenience: A^-1. Throws sorel::NumericError if singular.
+Matrix inverse(const Matrix& a);
+
+}  // namespace sorel::linalg

@@ -1,0 +1,83 @@
+// Dense row-major double matrix with the operations the absorbing-chain
+// analysis needs: products, transpose, and LU-based solves (see lu.hpp).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sorel/linalg/vector.hpp"
+
+namespace sorel::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// Constant-filled matrix.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Row-of-rows initialiser; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(const Vector& d);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+  bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws sorel::InvalidArgument.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s) noexcept;
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) noexcept { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) noexcept { return rhs *= s; }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& x) const;
+
+  bool operator==(const Matrix&) const = default;
+
+  Matrix transpose() const;
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+  void set_row(std::size_t r, const Vector& v);
+
+  /// Largest absolute entry.
+  double norm_max() const noexcept;
+  /// Induced infinity norm (max absolute row sum).
+  double norm_inf() const noexcept;
+
+  /// Frobenius distance to another matrix of the same shape.
+  double distance(const Matrix& rhs) const;
+
+  /// Human-readable multi-line rendering (debugging/tests).
+  std::string to_string(int precision = 6) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sorel::linalg

@@ -1,0 +1,75 @@
+// Compressed-sparse-row matrix for large flow graphs. The reliability engine
+// uses the dense path for the small chains in the paper's example and the
+// sparse path (with iterative solvers, see iterative.hpp) for the synthetic
+// scalability benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sorel/linalg/matrix.hpp"
+#include "sorel/linalg/vector.hpp"
+
+namespace sorel::linalg {
+
+class SparseMatrix {
+ public:
+  /// Coordinate-format builder; duplicate (row, col) entries are summed.
+  class Builder {
+   public:
+    Builder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+    /// Record a contribution; bounds-checked.
+    Builder& add(std::size_t row, std::size_t col, double value);
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+
+    /// Sort, merge duplicates, drop explicit zeros, and produce CSR storage.
+    SparseMatrix build() &&;
+
+   private:
+    struct Entry {
+      std::size_t row;
+      std::size_t col;
+      double value;
+    };
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<Entry> entries_;
+  };
+
+  SparseMatrix() = default;
+
+  static SparseMatrix from_dense(const Matrix& dense, double drop_tolerance = 0.0);
+  Matrix to_dense() const;
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  /// y = A x.
+  Vector multiply(const Vector& x) const;
+  /// y = A^T x.
+  Vector multiply_transpose(const Vector& x) const;
+
+  /// Entry lookup by binary search within the row: O(log nnz(row)).
+  double at(std::size_t row, std::size_t col) const;
+
+  /// Row access for solver kernels: column indices and values of row r.
+  struct RowView {
+    const std::size_t* cols;
+    const double* values;
+    std::size_t size;
+  };
+  RowView row(std::size_t r) const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};  // size rows_+1
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace sorel::linalg

@@ -1,0 +1,66 @@
+// Dense double-precision vector for the Markov-chain solvers.
+//
+// The reliability engine only ever needs double precision, so the type is not
+// templated; keeping it concrete makes errors readable and compile times low.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace sorel::linalg {
+
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero vector of the given dimension.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  /// Constant vector of the given dimension.
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+  Vector(std::initializer_list<double> init) : data_(init) {}
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator[](std::size_t i) noexcept { return data_[i]; }
+  double operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Bounds-checked access; throws sorel::InvalidArgument.
+  double& at(std::size_t i);
+  double at(std::size_t i) const;
+
+  const std::vector<double>& data() const noexcept { return data_; }
+  std::vector<double>& data() noexcept { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s) noexcept;
+  Vector& operator/=(double s);
+
+  friend Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+  friend Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+  friend Vector operator*(Vector lhs, double s) noexcept { return lhs *= s; }
+  friend Vector operator*(double s, Vector rhs) noexcept { return rhs *= s; }
+  friend Vector operator/(Vector lhs, double s) { return lhs /= s; }
+
+  bool operator==(const Vector&) const = default;
+
+  double dot(const Vector& rhs) const;
+  /// Euclidean norm.
+  double norm2() const noexcept;
+  /// Max-abs norm.
+  double norm_inf() const noexcept;
+  /// Sum of entries (L1 without absolute values — used for stochastic rows).
+  double sum() const noexcept;
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace sorel::linalg

@@ -1,0 +1,66 @@
+// Absorbing-chain analysis: absorption probabilities, fundamental matrix,
+// expected visits and steps. Implements the "standard Markov methods" the
+// paper invokes for evaluating p*(Start, End).
+//
+// For a chain with transient states T and absorbing states A, write the
+// transition matrix as [[Q, R], [0, I]]. Then:
+//   N = (I − Q)^-1          — fundamental matrix (expected visits)
+//   B = N R                  — absorption probabilities
+//   t = N 1                  — expected steps to absorption
+//
+// Dense path: LU on (I − Q) (exact, used for the paper-scale chains).
+// Sparse path: Gauss–Seidel on (I − Q) x = r per absorbing target (used by
+// the scalability benches for chains with thousands of states).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sorel/linalg/matrix.hpp"
+#include "sorel/markov/dtmc.hpp"
+
+namespace sorel::markov {
+
+class AbsorptionAnalysis {
+ public:
+  enum class Method {
+    kDense,   // LU on the fundamental system
+    kSparse,  // Gauss–Seidel, one solve per absorbing state of interest
+  };
+
+  /// Analyse the chain. Throws sorel::ModelError if the chain fails
+  /// validate() or has no absorbing state, and sorel::NumericError if some
+  /// transient state cannot reach any absorbing state (the fundamental
+  /// system is then singular).
+  static AbsorptionAnalysis compute(const Dtmc& chain, Method method = Method::kDense);
+
+  /// Probability of eventually being absorbed in `target` starting from
+  /// `from`. `target` must be absorbing. If `from` is absorbing the result
+  /// is the indicator from == target.
+  double absorption_probability(StateId from, StateId target) const;
+
+  /// Expected number of visits to transient state `to` starting from
+  /// transient state `from` (entry of the fundamental matrix N).
+  double expected_visits(StateId from, StateId to) const;
+
+  /// Expected number of steps until absorption starting from `from`
+  /// (0 when `from` is absorbing).
+  double expected_steps(StateId from) const;
+
+  const std::vector<StateId>& transient_states() const noexcept { return transient_; }
+  const std::vector<StateId>& absorbing_states() const noexcept { return absorbing_; }
+
+ private:
+  AbsorptionAnalysis() = default;
+
+  std::vector<StateId> transient_;
+  std::vector<StateId> absorbing_;
+  std::vector<std::ptrdiff_t> transient_index_;  // state -> row in Q, or -1
+  std::vector<std::ptrdiff_t> absorbing_index_;  // state -> col in R, or -1
+  linalg::Matrix absorption_;                    // |T| x |A|
+  linalg::Matrix fundamental_;                   // |T| x |T| (dense method only)
+  linalg::Vector steps_;                         // |T|
+  bool have_fundamental_ = false;
+};
+
+}  // namespace sorel::markov

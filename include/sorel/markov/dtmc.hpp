@@ -1,0 +1,71 @@
+// Discrete-time Markov chain with named states.
+//
+// The reliability engine turns every composite service's flow graph into a
+// Dtmc (flow states + Start + End + Fail) and asks for the probability of
+// absorption into End — eq. (3) of the paper: Pfail = 1 − p*(Start, End).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sorel/util/rng.hpp"
+
+namespace sorel::markov {
+
+using StateId = std::size_t;
+
+struct Transition {
+  StateId to;
+  double probability;
+};
+
+class Dtmc {
+ public:
+  /// Add a state; names must be unique and non-empty.
+  StateId add_state(std::string name);
+
+  /// Add probability mass from one state to another. Repeated calls for the
+  /// same (from, to) accumulate. Probability must be in [0, 1].
+  void add_transition(StateId from, StateId to, double probability);
+
+  std::size_t state_count() const noexcept { return names_.size(); }
+  const std::string& state_name(StateId s) const;
+  /// Resolve a state by name; nullopt when absent.
+  std::optional<StateId> find_state(std::string_view name) const;
+
+  const std::vector<Transition>& transitions_from(StateId s) const;
+
+  /// Sum of outgoing probability of `s`.
+  double row_sum(StateId s) const;
+
+  /// A state is absorbing when it has no outgoing probability mass.
+  /// (Self-loops with probability 1 also count.)
+  bool is_absorbing(StateId s) const;
+
+  /// Check that every non-absorbing row sums to 1 within `tolerance` and all
+  /// probabilities are in [0, 1]. Throws sorel::ModelError on violation.
+  void validate(double tolerance = 1e-9) const;
+
+  /// States reachable from `from` (including it) following positive-
+  /// probability transitions.
+  std::vector<bool> reachable_from(StateId from) const;
+
+  /// Sample the successor of `s`; returns nullopt for absorbing states.
+  /// Residual mass (row sum < 1 within round-off) is assigned to the last
+  /// listed transition.
+  std::optional<StateId> sample_step(StateId s, util::Rng& rng) const;
+
+  /// GraphViz rendering; probabilities printed with 6 significant digits.
+  std::string to_dot(std::string_view graph_name = "dtmc") const;
+
+ private:
+  void check_state(StateId s, const char* what) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<Transition>> rows_;
+};
+
+}  // namespace sorel::markov

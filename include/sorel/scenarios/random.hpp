@@ -1,0 +1,41 @@
+// Random valid assemblies for differential testing: every generated
+// assembly passes validation and is acyclic, with random flow shapes,
+// completion/dependency models, connectors, and parametric actuals. Used to
+// cross-check the analytic engine against the Monte-Carlo simulator, the
+// dense against the sparse solver, and the DSL round-trip — on inputs no
+// human wrote.
+#pragma once
+
+#include <string>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace sorel::scenarios {
+
+struct RandomAssemblyOptions {
+  std::size_t simple_services = 4;
+  std::size_t composite_services = 4;
+  std::size_t max_states_per_flow = 4;
+  std::size_t max_requests_per_state = 3;
+  /// Upper bound for simple-service failure probabilities (keep failures
+  /// observable but reliabilities away from 0).
+  double max_simple_pfail = 0.25;
+  /// Probability that a binding routes through a lossy connector.
+  double connector_probability = 0.4;
+};
+
+struct RandomAssembly {
+  core::Assembly assembly;
+  /// Name of the root composite to evaluate.
+  std::string root;
+};
+
+/// Generate an assembly. All composites form a DAG (service i only requires
+/// services with smaller indices), every flow reaches End, every port is
+/// bound, sharing states are port-homogeneous, and k-of-n thresholds are
+/// valid. The root service has one formal parameter "x".
+RandomAssembly make_random_assembly(util::Rng& rng,
+                                    const RandomAssemblyOptions& options = {});
+
+}  // namespace sorel::scenarios

@@ -1,0 +1,102 @@
+// The paper's running example (section 4): a search service that may first
+// sort its input list, assembled either locally (LPC to sort1 on the same
+// cpu1) or remotely (RPC over net12 to sort2 on cpu2).
+//
+// This header provides both the model builder (figures 1–4 as a sorel
+// assembly) and the hand-derived closed forms (equations 15–22), so tests
+// can verify the engine against the paper's algebra and the figure-6 bench
+// can cross-check every data point.
+//
+// The paper leaves several constants unspecified (λ, s, b, c, m, l, q, φ of
+// search, element/result sizes); the defaults below are chosen so figure 6's
+// qualitative shape is reproduced — see EXPERIMENTS.md for the rationale.
+// The paper's "log" is interpreted as log2 (comparison count of a binary
+// search / comparison sort); any base only rescales the curves.
+#pragma once
+
+#include "sorel/core/assembly.hpp"
+
+namespace sorel::scenarios {
+
+struct SearchSortParams {
+  // Usage profile.
+  double q = 0.9;  // probability the list is not already sorted (figure 1)
+
+  // Software failure rates (per operation).
+  double phi_search = 1e-7;  // φ  — search service
+  double phi_sort1 = 1e-6;   // φ1 — local sort service
+  double phi_sort2 = 1e-7;   // φ2 — remote sort service
+
+  // Processing resources (eq. 1 attributes).
+  double lambda1 = 1e-10;  // λ1 — cpu1 failure rate
+  double s1 = 1e9;         // s1 — cpu1 speed (ops/time)
+  double lambda2 = 1e-10;  // λ2 — cpu2 failure rate
+  double s2 = 1e9;         // s2 — cpu2 speed
+
+  // Communication resource (eq. 2 attributes).
+  double gamma = 5e-3;      // γ — net12 failure rate
+  double bandwidth = 1e3;   // b — net12 bandwidth (bytes/time)
+
+  // Connector constants (figure 2).
+  double lpc_ops = 200.0;          // l — control-transfer operations
+  double rpc_ops_per_byte = 5.0;   // c — marshal/unmarshal cost
+  double rpc_bytes_per_byte = 1.0; // m — wire expansion
+
+  // Abstract sizes for the search call (elem, list, res); list is the swept
+  // variable, the other two are the fixed actual parameters.
+  double elem_size = 8.0;
+  double result_size = 1.0;
+
+  // Error-propagation extension: fraction of sort-state failures that are
+  // silent (an unsorted or corrupted list is returned and the search
+  // continues on it). 0 = the paper's pure fail-stop model.
+  double undetected_sort_fraction = 0.0;
+};
+
+enum class AssemblyKind {
+  kLocal,   // figure 3: search --lpc--> sort1, everything on cpu1
+  kRemote,  // figure 4: search --rpc/net12--> sort2 on cpu2
+};
+
+/// Build the full assembly of figures 3/4: search, sort1/sort2, cpu1, cpu2
+/// (remote only), net12 (remote only), the lpc/rpc connector, and the
+/// "local processing" connectors loc1..loc5. The search service is named
+/// "search" and takes (elem, list, res).
+core::Assembly build_search_assembly(AssemblyKind kind, const SearchSortParams& p);
+
+/// Selection variant: one assembly registering BOTH alternatives — sort1 +
+/// lpc on cpu1 and sort2 + rpc over net12 on cpu2 — with every port bound
+/// except `search.sort`, plus the two candidate bindings for it. Feed the
+/// result to sorel::core::rank_assemblies to automate the paper's
+/// local-vs-remote decision.
+struct SearchSelectionSetup {
+  core::Assembly assembly;
+  core::PortBinding local_candidate;   // sort1 via lpc
+  core::PortBinding remote_candidate;  // sort2 via rpc
+};
+SearchSelectionSetup build_search_selection_assembly(const SearchSortParams& p);
+
+// -- Closed forms (equations 15–22), for verification -----------------------
+
+/// Eq. (1)/(15)/(16): Pfail(cpu, N) = 1 − e^(−λN/s).
+double pfail_cpu(double lambda, double speed, double operations);
+
+/// Eq. (2)/(17): Pfail(net, B) = 1 − e^(−γB/b).
+double pfail_net(double gamma, double bandwidth, double bytes);
+
+/// Eq. (18): Pfail(sortx, list) = 1 − (1−φx)^(list·log2 list) ·
+///           e^(−λx·list·log2 list/sx).
+double pfail_sort(double phi, double lambda, double speed, double list);
+
+/// Eq. (19): Pfail(lpc, ip, op) = 1 − e^(−λ1·l/s1).
+double pfail_lpc(const SearchSortParams& p);
+
+/// Eq. (20): Pfail(rpc, ip, op) = 1 − e^(−λ1·c(ip+op)/s1) ·
+///           e^(−γ·m(ip+op)/b) · e^(−λ2·c(ip+op)/s2).
+double pfail_rpc(const SearchSortParams& p, double ip, double op);
+
+/// Eq. (22) with the (19)/(20) connector term substituted: the paper's final
+/// closed form for the search service unreliability.
+double pfail_search(AssemblyKind kind, const SearchSortParams& p, double list);
+
+}  // namespace sorel::scenarios

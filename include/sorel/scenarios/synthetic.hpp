@@ -1,0 +1,49 @@
+// Synthetic assembly generators for scalability benchmarks and stress tests:
+// long sequential flows, deep composition hierarchies, wide fan-out states,
+// and mutually recursive assemblies (the fixed-point extension's workload).
+#pragma once
+
+#include <cstddef>
+
+#include "sorel/core/assembly.hpp"
+
+namespace sorel::scenarios {
+
+/// A single composite "pipeline" whose flow is a chain of `stages` states,
+/// each requesting cpu(ops_per_stage) with per-operation software failure
+/// rate `phi`. Root service: "pipeline" (one formal: "work", the cpu request
+/// scales with it). Exercises the absorbing-chain solver on long chains.
+core::Assembly make_chain_assembly(std::size_t stages, double phi = 1e-7,
+                                   double lambda = 1e-9, double speed = 1e9);
+
+/// A balanced composition tree of depth `depth` and fan-out `fanout`: every
+/// inner service's flow is one AND state calling all its children; leaves
+/// call cpu. Root service: "svc_0_0" (one formal: "work"). Exercises
+/// recursive evaluation and memoisation (the engine should evaluate each
+/// distinct (service, args) pair once).
+core::Assembly make_tree_assembly(std::size_t depth, std::size_t fanout,
+                                  double phi = 1e-7, double lambda = 1e-9,
+                                  double speed = 1e9);
+
+/// A fan assembly: one composite with a single state containing `n` requests
+/// to the same shared cpu port, with the given completion model parameters.
+/// Root service: "fan" (one formal: "work"). Exercises the k-of-n DP and the
+/// sharing combinators.
+core::Assembly make_fan_assembly(std::size_t n, core::CompletionModel completion,
+                                 std::size_t k, core::DependencyModel dependency,
+                                 double phi = 1e-4, double lambda = 1e-9,
+                                 double speed = 1e9);
+
+/// Two mutually recursive services: "ping" calls "pong" with probability
+/// `p_recurse` (else finishes), and "pong" always calls "ping"; both also
+/// consume cpu work. The exact unreliability is computable in closed form
+/// (geometric series), so tests can verify the fixed-point engine. Root
+/// service: "ping" (no formals).
+core::Assembly make_recursive_assembly(double p_recurse, double step_pfail);
+
+/// Closed-form unreliability of make_recursive_assembly's "ping" service:
+/// with per-visit success s = 1 − step_pfail, R = Σ_k (p·s²)^k (1−p)·s =
+/// (1−p)s / (1 − p s²).
+double recursive_assembly_pfail(double p_recurse, double step_pfail);
+
+}  // namespace sorel::scenarios

@@ -1,0 +1,105 @@
+// Monte-Carlo simulation of service assemblies under the paper's model
+// assumptions (fail-stop, no repair, per-state completion and dependency
+// semantics). The simulator samples whole invocation trees and estimates
+// reliability as the success fraction — an independent check of the
+// analytic engine: for any assembly both must agree within sampling noise.
+//
+// Semantics mirrored from the analytic model:
+//  - a simple-service invocation succeeds with probability 1 − pfail(args);
+//  - a composite invocation walks its flow from Start, sampling transitions;
+//    in each state every request samples an internal failure and an
+//    external failure (connector and target sampled recursively);
+//  - sharing states draw each request's external outcome independently, but
+//    any external failure fails the whole state (no repair of the shared
+//    service), while internal failures stay per-request — exactly the
+//    conditioning that yields eqs. (11)/(12);
+//  - the state completes per its AND / OR / k-of-n model; failure moves the
+//    walk to the absorbing Fail outcome.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/util/rng.hpp"
+#include "sorel/util/stats.hpp"
+
+namespace sorel::sim {
+
+struct SimulationOptions {
+  std::size_t replications = 100'000;
+  std::uint64_t seed = 42;
+  /// Abort a single replication when the invocation tree exceeds this depth
+  /// (defensive bound for recursive assemblies); the replication counts as a
+  /// failure, which is conservative.
+  std::size_t max_depth = 10'000;
+};
+
+struct SimulationResult {
+  std::size_t replications = 0;
+  std::size_t successes = 0;
+
+  double reliability() const {
+    return replications == 0
+               ? 0.0
+               : static_cast<double>(successes) / static_cast<double>(replications);
+  }
+  double pfail() const { return 1.0 - reliability(); }
+  /// 95% Wilson confidence interval for the reliability.
+  util::Interval confidence_interval() const {
+    return util::wilson_interval(successes, replications);
+  }
+};
+
+class Simulator {
+ public:
+  /// Keeps a reference to `assembly`; it must outlive the simulator.
+  explicit Simulator(const core::Assembly& assembly);
+
+  /// Estimate the reliability of one service invocation.
+  SimulationResult estimate(std::string_view service_name,
+                            const std::vector<double>& args,
+                            const SimulationOptions& options = {}) const;
+
+  /// Failure-mode estimation under the error-propagation extension
+  /// (FlowState::undetected_failure_fraction): per replication the root
+  /// composite's walk classifies the outcome as success, detected
+  /// (fail-stop) failure, or silent failure (End reached after an undetected
+  /// state failure). Mirrors ReliabilityEngine::failure_modes: child
+  /// services are sampled as plain success/fail.
+  struct ModeCounts {
+    std::size_t replications = 0;
+    std::size_t successes = 0;
+    std::size_t detected = 0;
+    std::size_t silent = 0;
+  };
+  ModeCounts estimate_failure_modes(std::string_view service_name,
+                                    const std::vector<double>& args,
+                                    const SimulationOptions& options = {}) const;
+
+  /// Sample a single invocation; true on success. Exposed for tests and for
+  /// embedding in larger experiments.
+  bool sample_invocation(const core::Service& service,
+                         const std::vector<double>& args, util::Rng& rng,
+                         std::size_t depth = 0,
+                         std::size_t max_depth = 10'000) const;
+
+ private:
+  bool sample_composite(const core::CompositeService& service,
+                        const std::vector<double>& args, util::Rng& rng,
+                        std::size_t depth, std::size_t max_depth) const;
+  bool sample_state(const core::CompositeService& service,
+                    const core::FlowState& state, const expr::Env& env,
+                    util::Rng& rng, std::size_t depth, std::size_t max_depth) const;
+  /// Sample the external side of one request (connector + target service).
+  bool sample_request_external(const core::CompositeService& service,
+                               const core::ServiceRequest& request,
+                               const expr::Env& env, util::Rng& rng,
+                               std::size_t depth, std::size_t max_depth) const;
+
+  const core::Assembly& assembly_;
+  expr::Env base_env_;
+};
+
+}  // namespace sorel::sim

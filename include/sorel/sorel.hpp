@@ -1,0 +1,53 @@
+// Umbrella header: the full public API of the sorel library.
+//
+//   #include "sorel/sorel.hpp"
+//
+// Module map (each header is also usable standalone):
+//   core/      the paper's contribution — analytic interfaces, services,
+//              connectors, assemblies, the reliability engine, and the
+//              extensions (failure modes, performance, selection,
+//              sensitivity, uncertainty)
+//   expr/      symbolic expressions over formal parameters and attributes
+//   markov/    DTMCs and absorbing-chain analysis
+//   linalg/    the dense/sparse linear-algebra substrate
+//   json/      dependency-free JSON
+//   dsl/       the machine-processable assembly description format
+//   sim/       Monte-Carlo validation of the analytic predictions
+//   baselines/ related-work models (Cheung, Wang-Wu-Chen, path-based)
+//   util/      errors, RNG, statistics
+#pragma once
+
+#include "sorel/baselines/cheung.hpp"
+#include "sorel/baselines/path_based.hpp"
+#include "sorel/baselines/wang_wu_chen.hpp"
+#include "sorel/core/assembly.hpp"
+#include "sorel/core/connectors.hpp"
+#include "sorel/core/engine.hpp"
+#include "sorel/core/failure.hpp"
+#include "sorel/core/flow.hpp"
+#include "sorel/core/params.hpp"
+#include "sorel/core/performance.hpp"
+#include "sorel/core/selection.hpp"
+#include "sorel/core/sensitivity.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/core/state_failure.hpp"
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/dsl/dot.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/expr/compiled.hpp"
+#include "sorel/expr/env.hpp"
+#include "sorel/expr/expr.hpp"
+#include "sorel/expr/parser.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/linalg/iterative.hpp"
+#include "sorel/linalg/lu.hpp"
+#include "sorel/linalg/matrix.hpp"
+#include "sorel/linalg/sparse.hpp"
+#include "sorel/linalg/vector.hpp"
+#include "sorel/markov/absorbing.hpp"
+#include "sorel/markov/dtmc.hpp"
+#include "sorel/sim/simulator.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+#include "sorel/util/stats.hpp"
+#include "sorel/util/strings.hpp"

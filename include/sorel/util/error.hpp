@@ -1,0 +1,73 @@
+// Error hierarchy shared by every sorel library.
+//
+// All sorel errors derive from sorel::Error (itself a std::runtime_error), so
+// callers may catch either the precise category or the whole family. Each
+// category corresponds to a distinct caller mistake or model defect; none is
+// used for internal invariant violations (those are assert()s).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sorel {
+
+/// Root of the sorel exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A function argument violated its documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A name (service, port, state, variable, attribute) could not be resolved.
+class LookupError : public Error {
+ public:
+  explicit LookupError(const std::string& what) : Error(what) {}
+};
+
+/// Text input (expression source, JSON document, DSL spec) failed to parse.
+/// Carries 1-based line/column of the offending position when known.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column)
+      : Error(what + " (at line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  explicit ParseError(const std::string& what) : Error(what), line_(0), column_(0) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// A model is structurally ill-formed (non-stochastic row, unreachable End,
+/// sharing state with heterogeneous targets, unbound port, ...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// A numeric routine could not complete (singular matrix, divergent
+/// iteration, probability outside [0,1] after round-off tolerance).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// The recursive evaluation procedure met a cyclic service dependency while
+/// fixed-point evaluation was disabled (paper section 3.3 limitation).
+class RecursionError : public ModelError {
+ public:
+  explicit RecursionError(const std::string& what) : ModelError(what) {}
+};
+
+}  // namespace sorel

@@ -1,0 +1,49 @@
+// Streaming statistics used by the Monte-Carlo simulator and benches.
+#pragma once
+
+#include <cstddef>
+
+namespace sorel::util {
+
+/// Welford streaming accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval half-width for a Bernoulli proportion
+/// estimated from `successes` out of `trials`, using the normal
+/// approximation with the given z value (default 1.96 ~ 95%).
+double proportion_ci_halfwidth(std::size_t successes, std::size_t trials,
+                               double z = 1.96);
+
+/// Wilson score interval for a Bernoulli proportion — better behaved than the
+/// normal approximation near 0 and 1, which is exactly where reliability
+/// estimates live. Returns {lower, upper}.
+struct Interval {
+  double lower;
+  double upper;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z = 1.96);
+
+}  // namespace sorel::util

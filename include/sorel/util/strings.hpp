@@ -1,0 +1,28 @@
+// Small string helpers shared across libraries (no heavy dependencies).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sorel::util {
+
+/// Format a double the way the library prints probabilities: up to
+/// `precision` significant digits, no trailing zeros, "0"/"1" exact.
+std::string format_double(double value, int precision = 12);
+
+/// Join parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split on a single character separator; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` is a valid C-style identifier ([A-Za-z_][A-Za-z0-9_.]*).
+/// Dots are allowed after the first character so attribute names like
+/// "cpu1.lambda" qualify.
+bool is_identifier(std::string_view text);
+
+}  // namespace sorel::util

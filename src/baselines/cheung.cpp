@@ -1,0 +1,87 @@
+#include "sorel/baselines/cheung.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "sorel/markov/absorbing.hpp"
+#include "sorel/markov/dtmc.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::baselines {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw InvalidArgument(std::string(what) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+CheungModel::CheungModel(std::size_t n)
+    : reliability_(n, 1.0),
+      transition_(n, std::vector<double>(n, 0.0)),
+      exit_(n, 0.0) {
+  if (n == 0) throw InvalidArgument("Cheung model needs at least one component");
+}
+
+void CheungModel::set_reliability(std::size_t component, double reliability) {
+  check_probability(reliability, "component reliability");
+  reliability_.at(component) = reliability;
+}
+
+double CheungModel::reliability(std::size_t component) const {
+  return reliability_.at(component);
+}
+
+void CheungModel::set_transition(std::size_t from, std::size_t to,
+                                 double probability) {
+  check_probability(probability, "transition probability");
+  transition_.at(from).at(to) = probability;
+}
+
+void CheungModel::set_exit(std::size_t component, double probability) {
+  check_probability(probability, "exit probability");
+  exit_.at(component) = probability;
+}
+
+void CheungModel::set_start(std::size_t component) {
+  if (component >= component_count()) {
+    throw InvalidArgument("start component out of range");
+  }
+  start_ = component;
+}
+
+double CheungModel::system_reliability() const {
+  const std::size_t n = component_count();
+  markov::Dtmc chain;
+  std::vector<markov::StateId> comp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    comp[i] = chain.add_state("C" + std::to_string(i));
+  }
+  const markov::StateId correct = chain.add_state("C");
+  const markov::StateId failed = chain.add_state("F");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = exit_[i];
+    for (std::size_t j = 0; j < n; ++j) row += transition_[i][j];
+    if (std::fabs(row - 1.0) > 1e-9) {
+      throw ModelError("Cheung model: transitions plus exit of component " +
+                       std::to_string(i) + " sum to " + std::to_string(row));
+    }
+    const double r = reliability_[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (transition_[i][j] > 0.0) {
+        chain.add_transition(comp[i], comp[j], r * transition_[i][j]);
+      }
+    }
+    if (exit_[i] > 0.0) chain.add_transition(comp[i], correct, r * exit_[i]);
+    if (r < 1.0) chain.add_transition(comp[i], failed, 1.0 - r);
+  }
+
+  const auto analysis = markov::AbsorptionAnalysis::compute(chain);
+  return analysis.absorption_probability(comp[start_], correct);
+}
+
+}  // namespace sorel::baselines

@@ -1,0 +1,107 @@
+#include "sorel/baselines/path_based.hpp"
+
+#include <cmath>
+#include <deque>
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::baselines {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw InvalidArgument(std::string(what) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+PathBasedModel::PathBasedModel(std::size_t n)
+    : reliability_(n, 1.0),
+      transition_(n, std::vector<double>(n, 0.0)),
+      exit_(n, 0.0) {
+  if (n == 0) throw InvalidArgument("path-based model needs at least one component");
+}
+
+void PathBasedModel::set_reliability(std::size_t component, double reliability) {
+  check_probability(reliability, "component reliability");
+  reliability_.at(component) = reliability;
+}
+
+void PathBasedModel::set_transition(std::size_t from, std::size_t to,
+                                    double probability) {
+  check_probability(probability, "transition probability");
+  transition_.at(from).at(to) = probability;
+}
+
+void PathBasedModel::set_exit(std::size_t component, double probability) {
+  check_probability(probability, "exit probability");
+  exit_.at(component) = probability;
+}
+
+void PathBasedModel::set_start(std::size_t component) {
+  if (component >= component_count()) {
+    throw InvalidArgument("start component out of range");
+  }
+  start_ = component;
+}
+
+PathBasedModel::Result PathBasedModel::system_reliability(
+    const Options& options) const {
+  const std::size_t n = component_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = exit_[i];
+    for (std::size_t j = 0; j < n; ++j) row += transition_[i][j];
+    if (std::fabs(row - 1.0) > 1e-9) {
+      throw ModelError("path-based model: transitions plus exit of component " +
+                       std::to_string(i) + " sum to " + std::to_string(row));
+    }
+  }
+
+  // Breadth-first expansion of path prefixes. Each frontier entry carries
+  // the current component, the prefix occurrence probability, and the
+  // product of reliabilities of the components visited so far.
+  struct Prefix {
+    std::size_t at;
+    double probability;
+    double path_reliability;
+    std::size_t length;
+  };
+
+  Result result;
+  std::deque<Prefix> frontier;
+  frontier.push_back({start_, 1.0, reliability_[start_], 1});
+
+  while (!frontier.empty() && result.paths_expanded < options.max_paths) {
+    const Prefix p = frontier.front();
+    frontier.pop_front();
+    ++result.paths_expanded;
+
+    // Terminate here with probability exit.
+    if (exit_[p.at] > 0.0) {
+      result.reliability += p.probability * exit_[p.at] * p.path_reliability;
+    }
+    if (p.length >= options.max_path_length) {
+      result.truncated_mass += p.probability * (1.0 - exit_[p.at]);
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const double tp = transition_[p.at][j];
+      if (tp == 0.0) continue;
+      const double prefix_probability = p.probability * tp;
+      if (prefix_probability < options.probability_cutoff) {
+        result.truncated_mass += prefix_probability;
+        continue;
+      }
+      frontier.push_back({j, prefix_probability,
+                          p.path_reliability * reliability_[j], p.length + 1});
+    }
+  }
+  // Anything left in the frontier when max_paths hit is truncated mass.
+  for (const Prefix& p : frontier) result.truncated_mass += p.probability;
+  return result;
+}
+
+}  // namespace sorel::baselines

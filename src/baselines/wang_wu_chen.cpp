@@ -1,0 +1,96 @@
+#include "sorel/baselines/wang_wu_chen.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "sorel/markov/absorbing.hpp"
+#include "sorel/markov/dtmc.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::baselines {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw InvalidArgument(std::string(what) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+WangWuChenModel::WangWuChenModel(std::size_t n)
+    : reliability_(n, 1.0),
+      transition_(n, std::vector<double>(n, 0.0)),
+      connector_(n, std::vector<double>(n, 1.0)),
+      exit_(n, 0.0) {
+  if (n == 0) {
+    throw InvalidArgument("Wang-Wu-Chen model needs at least one component");
+  }
+}
+
+void WangWuChenModel::set_reliability(std::size_t component, double reliability) {
+  check_probability(reliability, "component reliability");
+  reliability_.at(component) = reliability;
+}
+
+void WangWuChenModel::set_connector_reliability(std::size_t from, std::size_t to,
+                                                double reliability) {
+  check_probability(reliability, "connector reliability");
+  connector_.at(from).at(to) = reliability;
+}
+
+void WangWuChenModel::set_transition(std::size_t from, std::size_t to,
+                                     double probability) {
+  check_probability(probability, "transition probability");
+  transition_.at(from).at(to) = probability;
+}
+
+void WangWuChenModel::set_exit(std::size_t component, double probability) {
+  check_probability(probability, "exit probability");
+  exit_.at(component) = probability;
+}
+
+void WangWuChenModel::set_start(std::size_t component) {
+  if (component >= component_count()) {
+    throw InvalidArgument("start component out of range");
+  }
+  start_ = component;
+}
+
+double WangWuChenModel::system_reliability() const {
+  const std::size_t n = component_count();
+  markov::Dtmc chain;
+  std::vector<markov::StateId> comp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    comp[i] = chain.add_state("C" + std::to_string(i));
+  }
+  const markov::StateId correct = chain.add_state("C");
+  const markov::StateId failed = chain.add_state("F");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = exit_[i];
+    for (std::size_t j = 0; j < n; ++j) row += transition_[i][j];
+    if (std::fabs(row - 1.0) > 1e-9) {
+      throw ModelError("Wang-Wu-Chen model: transitions plus exit of component " +
+                       std::to_string(i) + " sum to " + std::to_string(row));
+    }
+    const double r = reliability_[i];
+    double to_fail = 1.0 - r;  // component's own failure
+    for (std::size_t j = 0; j < n; ++j) {
+      const double p = transition_[i][j];
+      if (p == 0.0) continue;
+      // Transfer succeeds only when the connector also works; connector
+      // failure contributes to the failure mass of this row.
+      chain.add_transition(comp[i], comp[j], r * connector_[i][j] * p);
+      to_fail += r * (1.0 - connector_[i][j]) * p;
+    }
+    if (exit_[i] > 0.0) chain.add_transition(comp[i], correct, r * exit_[i]);
+    if (to_fail > 0.0) chain.add_transition(comp[i], failed, to_fail);
+  }
+
+  const auto analysis = markov::AbsorptionAnalysis::compute(chain);
+  return analysis.absorption_probability(comp[start_], correct);
+}
+
+}  // namespace sorel::baselines

@@ -1,0 +1,119 @@
+#include "sorel/core/assembly.hpp"
+
+#include <string>
+#include <utility>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::core {
+
+void Assembly::add_service(ServicePtr service) {
+  if (!service) throw InvalidArgument("add_service: null service");
+  const std::string& name = service->name();
+  if (services_.count(name)) {
+    throw InvalidArgument("duplicate service name '" + name + "' in assembly");
+  }
+  services_.emplace(name, std::move(service));
+}
+
+bool Assembly::has_service(std::string_view name) const {
+  return services_.find(name) != services_.end();
+}
+
+const ServicePtr& Assembly::service(std::string_view name) const {
+  const auto it = services_.find(name);
+  if (it == services_.end()) {
+    throw LookupError("assembly has no service named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Assembly::service_names() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, svc] : services_) out.push_back(name);
+  return out;
+}
+
+void Assembly::bind(std::string_view service_name, std::string_view port,
+                    PortBinding port_binding) {
+  const ServicePtr& svc = service(service_name);
+  if (svc->is_simple()) {
+    throw ModelError("cannot bind port '" + std::string(port) +
+                     "' of simple service '" + std::string(service_name) + "'");
+  }
+  if (!has_service(port_binding.target)) {
+    throw LookupError("binding target '" + port_binding.target +
+                      "' is not a registered service");
+  }
+  if (!port_binding.connector.empty() && !has_service(port_binding.connector)) {
+    throw LookupError("binding connector '" + port_binding.connector +
+                      "' is not a registered service");
+  }
+  bindings_[{std::string(service_name), std::string(port)}] = std::move(port_binding);
+}
+
+const PortBinding& Assembly::binding(std::string_view service_name,
+                                     std::string_view port) const {
+  const auto it = bindings_.find({std::string(service_name), std::string(port)});
+  if (it == bindings_.end()) {
+    throw ModelError("port '" + std::string(port) + "' of service '" +
+                     std::string(service_name) + "' is not bound");
+  }
+  return it->second;
+}
+
+void Assembly::set_attribute(std::string name, double value) {
+  attribute_overrides_[std::move(name)] = value;
+}
+
+expr::Env Assembly::attribute_env() const {
+  expr::Env env;
+  for (const auto& [name, svc] : services_) {
+    for (const auto& [attr, value] : svc->default_attributes()) {
+      env.set(attr, value);
+    }
+  }
+  for (const auto& [attr, value] : attribute_overrides_) env.set(attr, value);
+  return env;
+}
+
+void Assembly::validate() const {
+  for (const auto& [name, svc] : services_) {
+    const FlowGraph* flow = svc->flow();
+    if (flow == nullptr) continue;
+    flow->validate_structure();
+    for (const std::string& port : flow->referenced_ports()) {
+      const PortBinding& b = binding(name, port);  // throws when unbound
+      const ServicePtr& target = service(b.target);
+      // Arity of each request against the bound target.
+      for (const FlowStateId sid : flow->real_states()) {
+        for (const ServiceRequest& req : flow->state(sid).requests) {
+          if (req.port != port) continue;
+          if (req.actuals.size() != target->arity()) {
+            throw ModelError(
+                "service '" + name + "', state '" + flow->state(sid).name +
+                "': request to port '" + port + "' passes " +
+                std::to_string(req.actuals.size()) + " actuals but target '" +
+                b.target + "' expects " + std::to_string(target->arity()));
+          }
+          const auto& conn_actuals =
+              req.connector_actuals.empty() ? b.connector_actuals : req.connector_actuals;
+          if (!b.connector.empty()) {
+            const ServicePtr& conn = service(b.connector);
+            if (conn_actuals.size() != conn->arity()) {
+              throw ModelError("service '" + name + "', state '" +
+                               flow->state(sid).name + "': connector '" +
+                               b.connector + "' expects " +
+                               std::to_string(conn->arity()) +
+                               " actuals, binding provides " +
+                               std::to_string(conn_actuals.size()));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sorel::core

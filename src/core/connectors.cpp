@@ -1,0 +1,169 @@
+#include "sorel/core/connectors.hpp"
+
+#include <utility>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::core {
+
+using expr::Expr;
+
+ServicePtr make_lpc_connector(std::string name, double control_transfer_ops,
+                              double phi) {
+  if (control_transfer_ops < 0.0) {
+    throw InvalidArgument("lpc connector '" + name +
+                          "': control transfer cost must be non-negative");
+  }
+  const std::string l_attr = name + ".l";
+  const Expr l = Expr::var(l_attr);
+
+  // Figure 2 (left): Start -> {cpu(l)} -> End. Shared-memory communication:
+  // the cost is independent of ip/op.
+  FlowGraph flow;
+  FlowState transfer;
+  transfer.name = "transfer";
+  transfer.completion = CompletionModel::kAnd;
+  ServiceRequest cpu_call;
+  cpu_call.port = "cpu";
+  cpu_call.actuals = {l};
+  cpu_call.label = "control transfer";
+  if (phi > 0.0) cpu_call.internal = InternalFailure::per_operation(phi, l);
+  transfer.requests.push_back(std::move(cpu_call));
+  const FlowStateId sid = flow.add_state(std::move(transfer));
+  flow.add_transition(FlowGraph::kStart, sid, Expr::constant(1.0));
+  flow.add_transition(sid, FlowGraph::kEnd, Expr::constant(1.0));
+
+  return std::make_shared<CompositeService>(
+      std::move(name),
+      std::vector<FormalParam>{{"ip", "client-to-server data size"},
+                               {"op", "server-to-client data size"}},
+      std::move(flow), std::map<std::string, double>{{l_attr, control_transfer_ops}});
+}
+
+namespace {
+
+/// Build the two AND states of figure 2 (right): request leg over `ip`,
+/// response leg over `op`. Used by both the plain and retrying RPC
+/// factories.
+void append_rpc_legs(FlowGraph& flow, const std::string& c_attr,
+                     const std::string& m_attr, double phi,
+                     FlowStateId& first_state, FlowStateId& last_state) {
+  const Expr c = Expr::var(c_attr);
+  const Expr m = Expr::var(m_attr);
+  const Expr ip = Expr::var("ip");
+  const Expr op = Expr::var("op");
+
+  const auto make_leg = [&](const std::string& state_name, const Expr& size,
+                            const char* from_cpu, const char* to_cpu) {
+    FlowState leg;
+    leg.name = state_name;
+    leg.completion = CompletionModel::kAnd;
+    leg.dependency = DependencyModel::kNoSharing;
+
+    ServiceRequest marshal;
+    marshal.port = from_cpu;
+    marshal.actuals = {c * size};
+    marshal.label = "marshal";
+    if (phi > 0.0) marshal.internal = InternalFailure::per_operation(phi, c * size);
+
+    ServiceRequest transmit;
+    transmit.port = "net";
+    transmit.actuals = {m * size};
+    transmit.label = "transmit";
+
+    ServiceRequest unmarshal;
+    unmarshal.port = to_cpu;
+    unmarshal.actuals = {c * size};
+    unmarshal.label = "unmarshal";
+    if (phi > 0.0) unmarshal.internal = InternalFailure::per_operation(phi, c * size);
+
+    leg.requests = {std::move(marshal), std::move(transmit), std::move(unmarshal)};
+    return leg;
+  };
+
+  first_state = flow.add_state(make_leg("request", ip, "cpu_client", "cpu_server"));
+  last_state = flow.add_state(make_leg("response", op, "cpu_server", "cpu_client"));
+  flow.add_transition(first_state, last_state, Expr::constant(1.0));
+}
+
+}  // namespace
+
+ServicePtr make_rpc_connector(std::string name, double ops_per_byte,
+                              double bytes_per_byte, double phi) {
+  if (ops_per_byte < 0.0 || bytes_per_byte <= 0.0) {
+    throw InvalidArgument("rpc connector '" + name +
+                          "': marshalling/wire constants out of range");
+  }
+  const std::string c_attr = name + ".c";
+  const std::string m_attr = name + ".m";
+
+  FlowGraph flow;
+  FlowStateId first = 0;
+  FlowStateId last = 0;
+  append_rpc_legs(flow, c_attr, m_attr, phi, first, last);
+  flow.add_transition(FlowGraph::kStart, first, Expr::constant(1.0));
+  flow.add_transition(last, FlowGraph::kEnd, Expr::constant(1.0));
+
+  return std::make_shared<CompositeService>(
+      std::move(name),
+      std::vector<FormalParam>{{"ip", "client-to-server data size"},
+                               {"op", "server-to-client data size"}},
+      std::move(flow),
+      std::map<std::string, double>{{c_attr, ops_per_byte}, {m_attr, bytes_per_byte}});
+}
+
+ServicePtr make_local_processing_connector(std::string name) {
+  // A deployment association, not a tangible artefact: Pfail = 0 (paper
+  // section 3.1). Two formals so it is signature-compatible with lpc/rpc.
+  return make_perfect_service(std::move(name), {"ip", "op"});
+}
+
+ServicePtr make_retrying_rpc_connector(std::string name, double ops_per_byte,
+                                       double bytes_per_byte, std::size_t attempts,
+                                       double phi) {
+  if (attempts == 0) {
+    throw InvalidArgument("retrying rpc connector '" + name +
+                          "': attempts must be >= 1");
+  }
+  if (ops_per_byte < 0.0 || bytes_per_byte <= 0.0) {
+    throw InvalidArgument("retrying rpc connector '" + name +
+                          "': marshalling/wire constants out of range");
+  }
+  const std::string c_attr = name + ".c";
+  const std::string m_attr = name + ".m";
+  const Expr c = Expr::var(c_attr);
+  const Expr total = Expr::var("ip") + Expr::var("op");
+
+  // Modeled as one OR/sharing state with `attempts` identical requests for
+  // the full exchange against a shared transport port. Sharing is the honest
+  // dependency model here: every attempt reuses the same network and hosts,
+  // so per the paper's OR-sharing result (eq. 12) an external transport
+  // failure defeats every retry at once.
+  FlowGraph flow;
+  FlowState exchange;
+  exchange.name = "exchange";
+  exchange.completion = CompletionModel::kOr;
+  exchange.dependency = DependencyModel::kSharing;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    ServiceRequest attempt;
+    attempt.port = "transport";
+    attempt.actuals = {Expr::var("ip"), Expr::var("op")};
+    attempt.label = "attempt " + std::to_string(i + 1);
+    if (phi > 0.0) {
+      attempt.internal = InternalFailure::per_operation(phi, c * total);
+    }
+    exchange.requests.push_back(std::move(attempt));
+  }
+  const FlowStateId sid = flow.add_state(std::move(exchange));
+  flow.add_transition(FlowGraph::kStart, sid, Expr::constant(1.0));
+  flow.add_transition(sid, FlowGraph::kEnd, Expr::constant(1.0));
+
+  return std::make_shared<CompositeService>(
+      std::move(name),
+      std::vector<FormalParam>{{"ip", "client-to-server data size"},
+                               {"op", "server-to-client data size"}},
+      std::move(flow),
+      std::map<std::string, double>{{c_attr, ops_per_byte}, {m_attr, bytes_per_byte}});
+}
+
+}  // namespace sorel::core

@@ -1,0 +1,426 @@
+#include "sorel/core/engine.hpp"
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "sorel/core/state_failure.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace sorel::core {
+
+namespace {
+
+constexpr double kProbTolerance = 1e-9;
+
+double clamp_probability(double p, const std::string& context) {
+  if (!(p >= -kProbTolerance && p <= 1.0 + kProbTolerance) || std::isnan(p)) {
+    throw NumericError(context + " evaluated to " + util::format_double(p) +
+                       ", outside [0, 1]");
+  }
+  return std::min(1.0, std::max(0.0, p));
+}
+
+}  // namespace
+
+// Rows of the flow's transition matrix evaluated under `env`, indexed by
+// flow state id. Validates stochasticity of every non-End row.
+std::vector<std::vector<std::pair<FlowStateId, double>>>
+ReliabilityEngine::evaluate_rows(const Service& service,
+                                 const std::vector<double>& args,
+                                 const expr::Env& env) const {
+  const FlowGraph& flow = *service.flow();
+  std::vector<std::vector<std::pair<FlowStateId, double>>> rows(flow.state_count() +
+                                                                2);
+  const auto fill_row = [&](FlowStateId from) {
+    double row_sum = 0.0;
+    for (const auto& t : flow.transitions_from(from)) {
+      const double p = clamp_probability(
+          t.probability.eval(env), "transition probability out of '" +
+                                       flow.state_name(from) + "' in service '" +
+                                       service.name() + "'");
+      row_sum += p;
+      rows[from].emplace_back(t.to, p);
+    }
+    if (std::fabs(row_sum - 1.0) > kProbTolerance) {
+      std::string arg_list = "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) arg_list += ", ";
+        arg_list += util::format_double(args[i]);
+      }
+      throw ModelError("service '" + service.name() + "': transitions out of '" +
+                       flow.state_name(from) + "' sum to " +
+                       util::format_double(row_sum) +
+                       " (expected 1) for actual parameters " + arg_list + ")");
+    }
+  };
+  fill_row(FlowGraph::kStart);
+  for (const FlowStateId sid : flow.real_states()) fill_row(sid);
+  return rows;
+}
+
+// States reachable from Start following positive-probability transitions.
+std::vector<bool> ReliabilityEngine::reachable_states(
+    const FlowGraph& flow,
+    const std::vector<std::vector<std::pair<FlowStateId, double>>>& rows) {
+  std::vector<bool> seen(flow.state_count() + 2, false);
+  std::vector<FlowStateId> frontier{FlowGraph::kStart};
+  seen[FlowGraph::kStart] = true;
+  while (!frontier.empty()) {
+    const FlowStateId id = frontier.back();
+    frontier.pop_back();
+    for (const auto& [to, p] : rows[id]) {
+      if (p > 0.0 && !seen[to]) {
+        seen[to] = true;
+        frontier.push_back(to);
+      }
+    }
+  }
+  return seen;
+}
+
+ReliabilityEngine::ReliabilityEngine(const Assembly& assembly)
+    : ReliabilityEngine(assembly, Options{}) {}
+
+ReliabilityEngine::ReliabilityEngine(const Assembly& assembly, Options options)
+    : base_env_(assembly.attribute_env()),
+      assembly_(assembly),
+      options_(std::move(options)) {
+  assembly_.validate();
+}
+
+double ReliabilityEngine::pfail(std::string_view service_name,
+                                const std::vector<double>& args) {
+  const ServicePtr& svc = assembly_.service(service_name);
+  recursion_hit_ = false;
+  cyclic_keys_.clear();
+
+  double result = pfail_cached(*svc, args);
+  if (!recursion_hit_) return result;
+
+  // Fixed-point mode: some evaluation consulted an assumed value. Re-run the
+  // whole evaluation, feeding back the computed unreliabilities of the
+  // cyclic keys, until they stabilise. The map F is monotone in each
+  // assumed unreliability and bounded in [0,1]^n; starting from the optimistic
+  // all-zero vector the damped iteration converges to the least fixed point.
+  for (std::size_t iter = 1; iter <= options_.max_fixpoint_iterations; ++iter) {
+    stats_.fixpoint_iterations = iter;
+    double max_delta = 0.0;
+    for (const Key& key : cyclic_keys_) {
+      const auto it = memo_.find(key);
+      if (it == memo_.end()) continue;  // not reached this round
+      const double previous = assumed_.count(key) ? assumed_[key] : 0.0;
+      const double updated = previous + options_.damping * (it->second - previous);
+      max_delta = std::max(max_delta, std::fabs(updated - previous));
+      assumed_[key] = updated;
+    }
+    if (max_delta < options_.fixpoint_tolerance) break;
+    memo_.clear();
+    result = pfail_cached(*svc, args);
+    if (iter == options_.max_fixpoint_iterations) {
+      throw NumericError("fixed-point evaluation of recursive assembly did not "
+                         "converge within " +
+                         std::to_string(options_.max_fixpoint_iterations) +
+                         " iterations");
+    }
+  }
+  // The memo now holds values computed against near-converged assumptions;
+  // drop it so later queries with fresh roots re-derive from scratch.
+  memo_.clear();
+  assumed_.clear();
+  return result;
+}
+
+double ReliabilityEngine::reliability(std::string_view service_name,
+                                      const std::vector<double>& args) {
+  return 1.0 - pfail(service_name, args);
+}
+
+markov::Dtmc ReliabilityEngine::augmented_flow(std::string_view service_name,
+                                               const std::vector<double>& args) {
+  const ServicePtr& svc = assembly_.service(service_name);
+  const auto* composite = dynamic_cast<const CompositeService*>(svc.get());
+  if (composite == nullptr) {
+    throw InvalidArgument("augmented_flow: service '" + std::string(service_name) +
+                          "' is simple (no flow to augment)");
+  }
+  markov::Dtmc chain;
+  evaluate_composite(*composite, args, &chain);
+  return chain;
+}
+
+ReliabilityEngine::FailureModes ReliabilityEngine::failure_modes(
+    std::string_view service_name, const std::vector<double>& args) {
+  const ServicePtr& svc = assembly_.service(service_name);
+  const auto* composite = dynamic_cast<const CompositeService*>(svc.get());
+  if (composite == nullptr) {
+    throw InvalidArgument("failure_modes: service '" + std::string(service_name) +
+                          "' is simple (no flow)");
+  }
+  if (args.size() != composite->arity()) {
+    throw InvalidArgument("service '" + composite->name() + "' expects " +
+                          std::to_string(composite->arity()) + " arguments, got " +
+                          std::to_string(args.size()));
+  }
+  const FlowGraph& flow = *composite->flow();
+  expr::Env env = base_env_;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    env.set(composite->formals()[i].name, args[i]);
+  }
+
+  const auto rows = evaluate_rows(*composite, args, env);
+  const std::vector<bool> reachable = reachable_states(flow, rows);
+
+  // Two-layer augmented chain: a clean and a contaminated copy of every
+  // state. Layer 0 = clean, layer 1 = contaminated.
+  markov::Dtmc chain;
+  const std::size_t flow_ids = flow.state_count() + 2;
+  std::vector<std::array<markov::StateId, 2>> to_chain(flow_ids);
+  to_chain[FlowGraph::kStart] = {chain.add_state("Start"), 0};
+  to_chain[FlowGraph::kEnd] = {chain.add_state("End"), chain.add_state("End?")};
+  for (const FlowStateId sid : flow.real_states()) {
+    const std::string& name = flow.state(sid).name;
+    to_chain[sid] = {chain.add_state(name), chain.add_state(name + "?")};
+  }
+  const markov::StateId fail_state = chain.add_state("Fail");
+
+  const auto emit = [&](FlowStateId from, int layer, double continue_scale,
+                        int continue_layer) {
+    for (const auto& [to, p] : rows[from]) {
+      chain.add_transition(to_chain[from][layer], to_chain[to][continue_layer],
+                           std::min(1.0, continue_scale * p));
+    }
+  };
+
+  emit(FlowGraph::kStart, 0, 1.0, 0);
+  for (const FlowStateId sid : flow.real_states()) {
+    if (!reachable[sid]) {
+      emit(sid, 0, 1.0, 0);
+      emit(sid, 1, 1.0, 1);
+      continue;
+    }
+    const FlowState& state = flow.state(sid);
+    const double f = clamp_probability(
+        state_pfail(*composite, state, env),
+        "failure probability of state '" + state.name + "'");
+    const double eps = state.undetected_failure_fraction;
+    if (!(eps >= 0.0 && eps <= 1.0)) {
+      throw ModelError("state '" + state.name +
+                       "': undetected_failure_fraction outside [0, 1]");
+    }
+    // Clean layer: detected failure stops; silent failure continues
+    // contaminated; success continues clean.
+    if (f * (1.0 - eps) > 0.0) {
+      chain.add_transition(to_chain[sid][0], fail_state, f * (1.0 - eps));
+    }
+    if (f * eps > 0.0) emit(sid, 0, f * eps, 1);
+    emit(sid, 0, 1.0 - f, 0);
+    // Contaminated layer: only detected failures matter; everything else
+    // continues contaminated (further silent failures change nothing).
+    if (f * (1.0 - eps) > 0.0) {
+      chain.add_transition(to_chain[sid][1], fail_state, f * (1.0 - eps));
+    }
+    emit(sid, 1, 1.0 - f * (1.0 - eps), 1);
+  }
+
+  const auto analysis = markov::AbsorptionAnalysis::compute(chain, options_.method);
+  FailureModes modes;
+  const markov::StateId start = to_chain[FlowGraph::kStart][0];
+  modes.success = analysis.absorption_probability(start, to_chain[FlowGraph::kEnd][0]);
+  modes.silent_failure =
+      analysis.absorption_probability(start, to_chain[FlowGraph::kEnd][1]);
+  modes.detected_failure = analysis.absorption_probability(start, fail_state);
+  return modes;
+}
+
+void ReliabilityEngine::clear_cache() {
+  memo_.clear();
+  assumed_.clear();
+}
+
+double ReliabilityEngine::pfail_cached(const Service& service,
+                                       const std::vector<double>& args) {
+  if (args.size() != service.arity()) {
+    throw InvalidArgument("service '" + service.name() + "' expects " +
+                          std::to_string(service.arity()) + " arguments, got " +
+                          std::to_string(args.size()));
+  }
+  // Overrides short-circuit everything, including memoisation.
+  if (const auto it = options_.pfail_overrides.find(service.name());
+      it != options_.pfail_overrides.end()) {
+    return clamp_probability(it->second,
+                             "pfail override for '" + service.name() + "'");
+  }
+
+  Key key{&service, args};
+  if (const auto it = memo_.find(key); it != memo_.end()) {
+    ++stats_.memo_hits;
+    return it->second;
+  }
+
+  // Cycle?
+  for (const Key& open : stack_) {
+    if (open == key) {
+      if (!options_.allow_recursion) {
+        throw RecursionError(
+            "service '" + service.name() +
+            "' recursively requires itself (with identical actual parameters); "
+            "enable Options::allow_recursion for fixed-point evaluation");
+      }
+      recursion_hit_ = true;
+      cyclic_keys_.insert(key);
+      const auto it = assumed_.find(key);
+      return it == assumed_.end() ? 0.0 : it->second;
+    }
+  }
+
+  stack_.push_back(key);
+  double result;
+  try {
+    result = evaluate(service, args);
+  } catch (...) {
+    stack_.pop_back();
+    throw;
+  }
+  stack_.pop_back();
+  memo_.emplace(std::move(key), result);
+  return result;
+}
+
+double ReliabilityEngine::evaluate(const Service& service,
+                                   const std::vector<double>& args) {
+  ++stats_.evaluations;
+  if (const auto* simple = dynamic_cast<const SimpleService*>(&service)) {
+    expr::Env env = base_env_;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      env.set(simple->formals()[i].name, args[i]);
+    }
+    return clamp_probability(simple->pfail_expr().eval(env),
+                             "Pfail of simple service '" + service.name() + "'");
+  }
+  const auto& composite = dynamic_cast<const CompositeService&>(service);
+  return evaluate_composite(composite, args, nullptr);
+}
+
+double ReliabilityEngine::evaluate_composite(const CompositeService& service,
+                                             const std::vector<double>& args,
+                                             markov::Dtmc* export_chain) {
+  if (args.size() != service.arity()) {
+    throw InvalidArgument("service '" + service.name() + "' expects " +
+                          std::to_string(service.arity()) + " arguments, got " +
+                          std::to_string(args.size()));
+  }
+  const FlowGraph& flow = *service.flow();
+
+  expr::Env env = base_env_;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    env.set(service.formals()[i].name, args[i]);
+  }
+
+  // Evaluate all transition rows once, check stochasticity, and compute the
+  // set of states reachable from Start under the *current* parameters.
+  // Unreachable states contribute nothing to the absorption probability and
+  // are skipped entirely — this also makes argument-decreasing recursion
+  // (e.g. countdown(x) calling countdown(x-1) behind a probability-0 branch
+  // at x = 0) bottom out naturally.
+  const auto rows = evaluate_rows(service, args, env);
+  const std::vector<bool> reachable = reachable_states(flow, rows);
+
+  // Assemble the failure-augmented DTMC (paper section 3.2 / figure 5):
+  // original states plus an absorbing Fail state; transitions out of state i
+  // scaled by (1 - p(i, Fail)); Start exempt from failures.
+  markov::Dtmc local_chain;
+  markov::Dtmc& chain = export_chain ? *export_chain : local_chain;
+  const std::size_t flow_ids = flow.state_count() + 2;
+  std::vector<markov::StateId> to_chain(flow_ids);
+  to_chain[FlowGraph::kStart] = chain.add_state("Start");
+  to_chain[FlowGraph::kEnd] = chain.add_state("End");
+  for (const FlowStateId sid : flow.real_states()) {
+    to_chain[sid] = chain.add_state(flow.state(sid).name);
+  }
+  const markov::StateId fail_state = chain.add_state("Fail");
+
+  const auto emit_transitions = [&](FlowStateId from, double scale) {
+    for (const auto& [to, p] : rows[from]) {
+      // scale*p can exceed 1 by a few ulps when the state-failure DP rounds
+      // f marginally below 0; clamp before the chain's strict range check.
+      chain.add_transition(to_chain[from], to_chain[to], std::min(1.0, scale * p));
+    }
+  };
+
+  emit_transitions(FlowGraph::kStart, 1.0);
+  for (const FlowStateId sid : flow.real_states()) {
+    if (!reachable[sid]) {
+      // Keep the chain well-formed but do not evaluate the state's requests.
+      emit_transitions(sid, 1.0);
+      continue;
+    }
+    const FlowState& state = flow.state(sid);
+    const double f = clamp_probability(
+        state_pfail(service, state, env),
+        "failure probability of state '" + state.name + "' in service '" +
+            service.name() + "'");
+    if (f > 0.0) chain.add_transition(to_chain[sid], fail_state, f);
+    emit_transitions(sid, 1.0 - f);
+  }
+
+  // Eq. (3): Pfail(S, fp) = 1 − p*(Start, End).
+  const auto analysis = markov::AbsorptionAnalysis::compute(chain, options_.method);
+  const double p_end = analysis.absorption_probability(
+      to_chain[FlowGraph::kStart], to_chain[FlowGraph::kEnd]);
+  return clamp_probability(1.0 - p_end,
+                           "Pfail of composite service '" + service.name() + "'");
+}
+
+double ReliabilityEngine::state_pfail(const CompositeService& service,
+                                      const FlowState& state, const expr::Env& env) {
+  std::vector<RequestFailure> failures;
+  failures.reserve(state.requests.size());
+  for (const ServiceRequest& request : state.requests) {
+    RequestFailure rf;
+    rf.internal = request.internal.pfail(env);
+    rf.external = request_external_pfail(service, request, env);
+    failures.push_back(rf);
+  }
+  return state_failure_probability(failures, state.completion, state.k,
+                                   state.dependency);
+}
+
+double ReliabilityEngine::request_external_pfail(const CompositeService& service,
+                                                 const ServiceRequest& request,
+                                                 const expr::Env& env) {
+  const PortBinding& bind = assembly_.binding(service.name(), request.port);
+  const ServicePtr& target = assembly_.service(bind.target);
+
+  std::vector<double> child_args;
+  child_args.reserve(request.actuals.size());
+  for (const expr::Expr& actual : request.actuals) {
+    child_args.push_back(actual.eval(env));
+  }
+  const double service_pfail = pfail_cached(*target, child_args);
+
+  double connector_pfail = 0.0;
+  if (!bind.connector.empty()) {
+    const ServicePtr& connector = assembly_.service(bind.connector);
+    // Connector actuals may reference the caller's formals, attributes, and
+    // the evaluated request actuals as arg0..argK.
+    expr::Env conn_env = env;
+    for (std::size_t i = 0; i < child_args.size(); ++i) {
+      conn_env.set("arg" + std::to_string(i), child_args[i]);
+    }
+    const auto& actual_exprs = request.connector_actuals.empty()
+                                   ? bind.connector_actuals
+                                   : request.connector_actuals;
+    std::vector<double> conn_args;
+    conn_args.reserve(actual_exprs.size());
+    for (const expr::Expr& actual : actual_exprs) {
+      conn_args.push_back(actual.eval(conn_env));
+    }
+    connector_pfail = pfail_cached(*connector, conn_args);
+  }
+  return external_failure_probability(service_pfail, connector_pfail);
+}
+
+}  // namespace sorel::core

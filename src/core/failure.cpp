@@ -1,0 +1,71 @@
+#include "sorel/core/failure.hpp"
+
+#include <cmath>
+
+#include "sorel/util/error.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace sorel::core {
+
+namespace {
+
+double check_probability(double p, const char* what) {
+  // Tolerate tiny round-off excursions, reject real violations.
+  constexpr double kSlack = 1e-12;
+  if (p < -kSlack || p > 1.0 + kSlack || std::isnan(p)) {
+    throw NumericError(std::string(what) + " evaluated to " +
+                       util::format_double(p) + ", outside [0, 1]");
+  }
+  return std::min(1.0, std::max(0.0, p));
+}
+
+}  // namespace
+
+InternalFailure InternalFailure::constant(expr::Expr p) {
+  InternalFailure f;
+  f.kind_ = Kind::kConstant;
+  f.p_ = std::move(p);
+  return f;
+}
+
+InternalFailure InternalFailure::constant(double p) {
+  return constant(expr::Expr::constant(p));
+}
+
+InternalFailure InternalFailure::per_operation(expr::Expr phi, expr::Expr count) {
+  InternalFailure f;
+  f.kind_ = Kind::kPerOperation;
+  f.phi_ = std::move(phi);
+  f.count_ = std::move(count);
+  return f;
+}
+
+InternalFailure InternalFailure::per_operation(double phi, expr::Expr count) {
+  return per_operation(expr::Expr::constant(phi), std::move(count));
+}
+
+double InternalFailure::pfail(const expr::Env& env) const {
+  switch (kind_) {
+    case Kind::kNone:
+      return 0.0;
+    case Kind::kConstant:
+      return check_probability(p_.eval(env), "internal failure probability");
+    case Kind::kPerOperation: {
+      // Eq. (14): 1 − (1 − φ)^N. Computed as -expm1(N log1p(-φ)) so that
+      // per-operation rates of 1e-10 over millions of operations keep full
+      // precision instead of cancelling.
+      const double phi =
+          check_probability(phi_.eval(env), "per-operation failure rate");
+      const double count = count_.eval(env);
+      if (count < 0.0) {
+        throw NumericError("per-operation failure count evaluated to " +
+                           util::format_double(count) + " < 0");
+      }
+      if (phi >= 1.0) return count > 0.0 ? 1.0 : 0.0;
+      return -std::expm1(count * std::log1p(-phi));
+    }
+  }
+  throw NumericError("corrupt internal-failure model");
+}
+
+}  // namespace sorel::core

@@ -1,0 +1,133 @@
+#include "sorel/core/flow.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::core {
+
+FlowGraph::FlowGraph() : transitions_(2) {}  // rows for Start and End
+
+FlowStateId FlowGraph::add_state(FlowState state) {
+  if (state.name.empty()) throw InvalidArgument("flow state name must be non-empty");
+  if (state.name == "Start" || state.name == "End" || state.name == "Fail") {
+    throw InvalidArgument("flow state name '" + state.name + "' is reserved");
+  }
+  for (const FlowState& existing : states_) {
+    if (existing.name == state.name) {
+      throw InvalidArgument("duplicate flow state name '" + state.name + "'");
+    }
+  }
+  states_.push_back(std::move(state));
+  transitions_.emplace_back();
+  return states_.size() + 1;  // ids 0/1 reserved for Start/End
+}
+
+void FlowGraph::add_transition(FlowStateId from, FlowStateId to,
+                               expr::Expr probability) {
+  check_id(from, "transition source");
+  check_id(to, "transition target");
+  if (from == kEnd) throw InvalidArgument("End state cannot have outgoing transitions");
+  if (to == kStart) throw InvalidArgument("no transition may enter the Start state");
+  transitions_[from].push_back({to, std::move(probability)});
+}
+
+const FlowState& FlowGraph::state(FlowStateId id) const {
+  if (id < 2 || id >= states_.size() + 2) {
+    throw InvalidArgument("flow state id " + std::to_string(id) +
+                          " does not name a real state");
+  }
+  return states_[id - 2];
+}
+
+std::string FlowGraph::state_name(FlowStateId id) const {
+  if (id == kStart) return "Start";
+  if (id == kEnd) return "End";
+  return state(id).name;
+}
+
+const std::vector<FlowGraph::FlowTransition>& FlowGraph::transitions_from(
+    FlowStateId id) const {
+  check_id(id, "state");
+  return transitions_[id];
+}
+
+std::vector<FlowStateId> FlowGraph::real_states() const {
+  std::vector<FlowStateId> out(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) out[i] = i + 2;
+  return out;
+}
+
+std::vector<std::string> FlowGraph::referenced_ports() const {
+  std::vector<std::string> out;
+  for (const FlowState& s : states_) {
+    for (const ServiceRequest& r : s.requests) {
+      if (std::find(out.begin(), out.end(), r.port) == out.end()) {
+        out.push_back(r.port);
+      }
+    }
+  }
+  return out;
+}
+
+void FlowGraph::validate_structure() const {
+  if (transitions_[kStart].empty()) {
+    throw ModelError("flow has no transition out of Start");
+  }
+  for (FlowStateId id : real_states()) {
+    const FlowState& s = state(id);
+    if (transitions_[id].empty()) {
+      throw ModelError("flow state '" + s.name +
+                       "' has no outgoing transition (End is unreachable from it)");
+    }
+    if (s.completion == CompletionModel::kKOfN) {
+      if (s.k < 1 || s.k > s.requests.size()) {
+        throw ModelError("flow state '" + s.name + "' uses k-of-n with k=" +
+                         std::to_string(s.k) + " outside [1, " +
+                         std::to_string(s.requests.size()) + "]");
+      }
+    }
+    if (s.dependency == DependencyModel::kSharing && s.requests.size() > 1) {
+      for (const ServiceRequest& r : s.requests) {
+        if (r.port != s.requests.front().port) {
+          throw ModelError("sharing state '" + s.name +
+                           "' addresses multiple ports ('" +
+                           s.requests.front().port + "' and '" + r.port +
+                           "'); the sharing dependency model requires a single "
+                           "shared service");
+        }
+      }
+    }
+    for (const ServiceRequest& r : s.requests) {
+      if (r.port.empty()) {
+        throw ModelError("flow state '" + s.name + "' has a request with an "
+                         "empty port name");
+      }
+    }
+  }
+  // End must be reachable from Start following the transition structure.
+  std::vector<bool> seen(states_.size() + 2, false);
+  std::deque<FlowStateId> frontier{kStart};
+  seen[kStart] = true;
+  while (!frontier.empty()) {
+    const FlowStateId id = frontier.front();
+    frontier.pop_front();
+    for (const FlowTransition& t : transitions_[id]) {
+      if (!seen[t.to]) {
+        seen[t.to] = true;
+        frontier.push_back(t.to);
+      }
+    }
+  }
+  if (!seen[kEnd]) throw ModelError("End state is unreachable from Start");
+}
+
+void FlowGraph::check_id(FlowStateId id, const char* what) const {
+  if (id >= states_.size() + 2) {
+    throw InvalidArgument(std::string(what) + " id " + std::to_string(id) +
+                          " out of range");
+  }
+}
+
+}  // namespace sorel::core

@@ -1,0 +1,12 @@
+#include "sorel/core/params.hpp"
+
+namespace sorel::core {
+
+std::vector<FormalParam> formals(std::initializer_list<std::string> names) {
+  std::vector<FormalParam> out;
+  out.reserve(names.size());
+  for (const auto& n : names) out.push_back({n, ""});
+  return out;
+}
+
+}  // namespace sorel::core

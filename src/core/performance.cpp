@@ -1,0 +1,147 @@
+#include "sorel/core/performance.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sorel/markov/absorbing.hpp"
+#include "sorel/markov/dtmc.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace sorel::core {
+
+PerformanceEngine::PerformanceEngine(const Assembly& assembly)
+    : PerformanceEngine(assembly, Options{}) {}
+
+PerformanceEngine::PerformanceEngine(const Assembly& assembly, Options options)
+    : base_env_(assembly.attribute_env()), assembly_(assembly), options_(options) {
+  assembly_.validate();
+}
+
+double PerformanceEngine::expected_duration(std::string_view service_name,
+                                            const std::vector<double>& args) {
+  return duration_cached(*assembly_.service(service_name), args);
+}
+
+double PerformanceEngine::duration_cached(const Service& service,
+                                          const std::vector<double>& args) {
+  if (args.size() != service.arity()) {
+    throw InvalidArgument("service '" + service.name() + "' expects " +
+                          std::to_string(service.arity()) + " arguments, got " +
+                          std::to_string(args.size()));
+  }
+  std::pair<const Service*, std::vector<double>> key{&service, args};
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+  for (const auto& open : stack_) {
+    if (open == key) {
+      throw RecursionError("expected duration of recursively assembled service '" +
+                           service.name() + "' is unsupported");
+    }
+  }
+  stack_.push_back(key);
+  double result;
+  try {
+    result = evaluate(service, args);
+  } catch (...) {
+    stack_.pop_back();
+    throw;
+  }
+  stack_.pop_back();
+  memo_.emplace(std::move(key), result);
+  return result;
+}
+
+double PerformanceEngine::evaluate(const Service& service,
+                                   const std::vector<double>& args) {
+  expr::Env env = base_env_;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    env.set(service.formals()[i].name, args[i]);
+  }
+
+  if (const auto* simple = dynamic_cast<const SimpleService*>(&service)) {
+    const double t = simple->duration_expr().eval(env);
+    if (t < 0.0) {
+      throw NumericError("duration of '" + service.name() + "' evaluated to " +
+                         util::format_double(t) + " < 0");
+    }
+    return t;
+  }
+
+  const auto& composite = dynamic_cast<const CompositeService&>(service);
+  const FlowGraph& flow = *composite.flow();
+
+  // Expected visits to each state from the usage-profile chain (no failure
+  // augmentation: this is the expected time of an undisturbed run).
+  markov::Dtmc chain;
+  const std::size_t flow_ids = flow.state_count() + 2;
+  std::vector<markov::StateId> to_chain(flow_ids);
+  to_chain[FlowGraph::kStart] = chain.add_state("Start");
+  to_chain[FlowGraph::kEnd] = chain.add_state("End");
+  for (const FlowStateId sid : flow.real_states()) {
+    to_chain[sid] = chain.add_state(flow.state(sid).name);
+  }
+  const auto emit = [&](FlowStateId from) {
+    for (const auto& t : flow.transitions_from(from)) {
+      const double p = t.probability.eval(env);
+      if (!(p >= 0.0 && p <= 1.0 + 1e-9)) {
+        throw NumericError("transition probability out of range in '" +
+                           composite.name() + "'");
+      }
+      chain.add_transition(to_chain[from], to_chain[t.to], std::min(1.0, p));
+    }
+  };
+  emit(FlowGraph::kStart);
+  for (const FlowStateId sid : flow.real_states()) emit(sid);
+
+  const auto analysis = markov::AbsorptionAnalysis::compute(chain);
+  double total = 0.0;
+  for (const FlowStateId sid : flow.real_states()) {
+    // Skip never-visited states entirely: they contribute no time, and
+    // evaluating their requests could recurse into parameter regions the
+    // flow guards against (argument-decreasing recursion).
+    const double visits =
+        analysis.expected_visits(to_chain[FlowGraph::kStart], to_chain[sid]);
+    if (visits == 0.0) continue;
+    const FlowState& state = flow.state(sid);
+
+    // State time: request time = connector time + target time, combined
+    // sequentially (sum) or concurrently (max) per Options.
+    double state_time = 0.0;
+    for (const ServiceRequest& request : state.requests) {
+      const PortBinding& bind = assembly_.binding(composite.name(), request.port);
+      const ServicePtr& target = assembly_.service(bind.target);
+      std::vector<double> child_args;
+      child_args.reserve(request.actuals.size());
+      for (const expr::Expr& actual : request.actuals) {
+        child_args.push_back(actual.eval(env));
+      }
+      double request_time = duration_cached(*target, child_args);
+      if (!bind.connector.empty()) {
+        const ServicePtr& connector = assembly_.service(bind.connector);
+        expr::Env conn_env = env;
+        for (std::size_t i = 0; i < child_args.size(); ++i) {
+          conn_env.set("arg" + std::to_string(i), child_args[i]);
+        }
+        const auto& actual_exprs = request.connector_actuals.empty()
+                                       ? bind.connector_actuals
+                                       : request.connector_actuals;
+        std::vector<double> conn_args;
+        conn_args.reserve(actual_exprs.size());
+        for (const expr::Expr& actual : actual_exprs) {
+          conn_args.push_back(actual.eval(conn_env));
+        }
+        request_time += duration_cached(*connector, conn_args);
+      }
+      if (options_.parallel_and && state.completion == CompletionModel::kAnd) {
+        state_time = std::max(state_time, request_time);
+      } else {
+        state_time += request_time;
+      }
+    }
+
+    total += visits * state_time;
+  }
+  return total;
+}
+
+}  // namespace sorel::core

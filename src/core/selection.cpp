@@ -1,0 +1,103 @@
+#include "sorel/core/selection.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/performance.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::core {
+
+namespace {
+
+std::string default_label(const PortBinding& binding) {
+  std::string label = binding.target;
+  if (!binding.connector.empty()) label += " via " + binding.connector;
+  return label;
+}
+
+}  // namespace
+
+std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
+                                            std::string_view service_name,
+                                            const std::vector<double>& args,
+                                            const std::vector<SelectionPoint>& points,
+                                            const SelectionObjective& objective,
+                                            std::size_t max_combinations) {
+  if (points.empty()) {
+    throw InvalidArgument("rank_assemblies: no selection points given");
+  }
+  std::size_t combinations = 1;
+  for (const SelectionPoint& point : points) {
+    if (point.candidates.empty()) {
+      throw InvalidArgument("selection point " + point.service + "." + point.port +
+                            " has no candidates");
+    }
+    if (!point.labels.empty() && point.labels.size() != point.candidates.size()) {
+      throw InvalidArgument("selection point " + point.service + "." + point.port +
+                            ": labels must parallel candidates");
+    }
+    if (combinations > max_combinations / point.candidates.size()) {
+      throw InvalidArgument(
+          "selection space exceeds " + std::to_string(max_combinations) +
+          " combinations; prune candidate lists or raise the bound");
+    }
+    combinations *= point.candidates.size();
+  }
+
+  std::vector<RankedAssembly> ranking;
+  ranking.reserve(combinations);
+  std::vector<std::size_t> choice(points.size(), 0);
+  for (std::size_t combo = 0; combo < combinations; ++combo) {
+    // Decode the combination index into per-point choices (mixed radix).
+    std::size_t rest = combo;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      choice[i] = rest % points[i].candidates.size();
+      rest /= points[i].candidates.size();
+    }
+
+    Assembly wired = assembly;
+    RankedAssembly entry;
+    entry.choice = choice;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SelectionPoint& point = points[i];
+      const PortBinding& binding = point.candidates[choice[i]];
+      wired.bind(point.service, point.port, binding);
+      entry.labels.push_back(point.labels.empty() ? default_label(binding)
+                                                  : point.labels[choice[i]]);
+    }
+
+    ReliabilityEngine engine(wired);
+    entry.reliability = engine.reliability(service_name, args);
+    if (entry.reliability < objective.min_reliability) continue;
+    if (objective.time_weight != 0.0) {
+      PerformanceEngine perf(wired);
+      entry.expected_duration = perf.expected_duration(service_name, args);
+    }
+    entry.score =
+        entry.reliability - objective.time_weight * entry.expected_duration;
+    ranking.push_back(std::move(entry));
+  }
+
+  std::sort(ranking.begin(), ranking.end(),
+            [](const RankedAssembly& a, const RankedAssembly& b) {
+              return a.score > b.score;
+            });
+  return ranking;
+}
+
+RankedAssembly select_best(const Assembly& assembly, std::string_view service_name,
+                           const std::vector<double>& args,
+                           const std::vector<SelectionPoint>& points,
+                           const SelectionObjective& objective) {
+  auto ranking = rank_assemblies(assembly, service_name, args, points, objective);
+  if (ranking.empty()) {
+    throw InvalidArgument(
+        "select_best: every candidate combination fell below the reliability "
+        "floor");
+  }
+  return std::move(ranking.front());
+}
+
+}  // namespace sorel::core

@@ -1,0 +1,111 @@
+#include "sorel/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::core {
+
+std::vector<AttributeSensitivity> attribute_sensitivities(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<std::string>& attributes,
+    double relative_step) {
+  if (relative_step <= 0.0) {
+    throw InvalidArgument("attribute_sensitivities: relative_step must be positive");
+  }
+  const expr::Env attr_env = assembly.attribute_env();
+  std::vector<std::string> names = attributes;
+  if (names.empty()) {
+    for (const auto& [name, value] : attr_env.bindings()) names.push_back(name);
+  }
+
+  ReliabilityEngine base_engine(assembly);
+  const double base_reliability = base_engine.reliability(service_name, args);
+
+  std::vector<AttributeSensitivity> out;
+  out.reserve(names.size());
+  for (const std::string& attr : names) {
+    const auto value = attr_env.lookup(attr);
+    if (!value) {
+      throw LookupError("attribute '" + attr + "' is not defined in the assembly");
+    }
+    const double h = std::max(std::fabs(*value), 1e-12) * relative_step;
+
+    // Central difference: each probe runs on a copy of the assembly-level
+    // attribute table; the engine snapshots attributes at construction.
+    const auto probe = [&](double v) {
+      Assembly copy = assembly;
+      copy.set_attribute(attr, v);
+      ReliabilityEngine engine(copy);
+      return engine.reliability(service_name, args);
+    };
+    const double r_plus = probe(*value + h);
+    const double r_minus = probe(*value - h);
+    const double derivative = (r_plus - r_minus) / (2.0 * h);
+
+    AttributeSensitivity s;
+    s.attribute = attr;
+    s.value = *value;
+    s.derivative = derivative;
+    s.elasticity =
+        base_reliability != 0.0 ? derivative * (*value / base_reliability) : 0.0;
+    out.push_back(std::move(s));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const AttributeSensitivity& a, const AttributeSensitivity& b) {
+              return std::fabs(a.derivative) > std::fabs(b.derivative);
+            });
+  return out;
+}
+
+std::vector<ComponentImportance> component_importances(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<std::string>& components) {
+  std::vector<std::string> names = components;
+  if (names.empty()) {
+    for (const std::string& n : assembly.service_names()) {
+      if (n != service_name) names.push_back(n);
+    }
+  }
+
+  ReliabilityEngine base_engine(assembly);
+  const double base_reliability = base_engine.reliability(service_name, args);
+
+  std::vector<ComponentImportance> out;
+  out.reserve(names.size());
+  for (const std::string& component : names) {
+    if (!assembly.has_service(component)) {
+      throw LookupError("component '" + component + "' is not a registered service");
+    }
+    const auto with_override = [&](double pfail_value) {
+      ReliabilityEngine::Options options;
+      options.pfail_overrides[component] = pfail_value;
+      ReliabilityEngine engine(assembly, options);
+      return engine.reliability(service_name, args);
+    };
+    const double r_perfect = with_override(0.0);
+    const double r_failed = with_override(1.0);
+
+    ComponentImportance imp;
+    imp.component = component;
+    imp.birnbaum = r_perfect - r_failed;
+    // Risk-achievement worth compares nominal unreliability against the
+    // unreliability with the component pinned to failed.
+    const double q_base = 1.0 - base_reliability;
+    const double q_failed = 1.0 - r_failed;
+    imp.risk_achievement = q_base > 0.0 ? q_failed / q_base
+                                        : (q_failed > 0.0 ? 1e12 : 1.0);
+    out.push_back(std::move(imp));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const ComponentImportance& a, const ComponentImportance& b) {
+              return a.birnbaum > b.birnbaum;
+            });
+  return out;
+}
+
+}  // namespace sorel::core

@@ -1,0 +1,123 @@
+#include "sorel/core/service.hpp"
+
+#include <utility>
+
+#include "sorel/util/error.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace sorel::core {
+
+using expr::Expr;
+
+Service::Service(std::string name, std::vector<FormalParam> formal_params,
+                 std::map<std::string, double> attributes)
+    : name_(std::move(name)),
+      formals_(std::move(formal_params)),
+      attributes_(std::move(attributes)) {
+  if (name_.empty()) throw InvalidArgument("service name must be non-empty");
+  for (std::size_t i = 0; i < formals_.size(); ++i) {
+    if (!util::is_identifier(formals_[i].name)) {
+      throw InvalidArgument("service '" + name_ + "': formal parameter '" +
+                            formals_[i].name + "' is not a valid identifier");
+    }
+    for (std::size_t j = i + 1; j < formals_.size(); ++j) {
+      if (formals_[i].name == formals_[j].name) {
+        throw InvalidArgument("service '" + name_ +
+                              "': duplicate formal parameter '" +
+                              formals_[i].name + "'");
+      }
+    }
+  }
+}
+
+SimpleService::SimpleService(std::string name, std::vector<FormalParam> formal_params,
+                             Expr pfail, std::map<std::string, double> attributes)
+    : Service(std::move(name), std::move(formal_params), std::move(attributes)),
+      pfail_(std::move(pfail)) {}
+
+CompositeService::CompositeService(std::string name,
+                                   std::vector<FormalParam> formal_params,
+                                   FlowGraph flow_graph,
+                                   std::map<std::string, double> attributes)
+    : Service(std::move(name), std::move(formal_params), std::move(attributes)),
+      flow_(std::move(flow_graph)) {
+  flow_.validate_structure();
+}
+
+namespace {
+
+std::vector<FormalParam> to_formals(const std::vector<std::string>& names) {
+  std::vector<FormalParam> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) out.push_back({n, ""});
+  return out;
+}
+
+}  // namespace
+
+ServicePtr make_cpu_service(std::string name, double speed, double failure_rate) {
+  if (speed <= 0.0) {
+    throw InvalidArgument("cpu service '" + name + "': speed must be positive");
+  }
+  if (failure_rate < 0.0) {
+    throw InvalidArgument("cpu service '" + name +
+                          "': failure rate must be non-negative");
+  }
+  const std::string lambda_attr = name + ".lambda";
+  const std::string speed_attr = name + ".s";
+  // Eq. (1): Pfail(cpu, N) = 1 − e^(−λ N / s), published over attribute
+  // variables so sensitivity analysis can perturb λ and s.
+  const Expr pfail =
+      1.0 - exp(-(Expr::var(lambda_attr) * Expr::var("N") / Expr::var(speed_attr)));
+  auto service = std::make_shared<SimpleService>(
+      std::move(name), std::vector<FormalParam>{{"N", "operations to execute"}},
+      pfail,
+      std::map<std::string, double>{{lambda_attr, failure_rate}, {speed_attr, speed}});
+  service->set_duration_expr(Expr::var("N") / Expr::var(speed_attr));
+  return service;
+}
+
+ServicePtr make_network_service(std::string name, double bandwidth,
+                                double failure_rate) {
+  if (bandwidth <= 0.0) {
+    throw InvalidArgument("network service '" + name +
+                          "': bandwidth must be positive");
+  }
+  if (failure_rate < 0.0) {
+    throw InvalidArgument("network service '" + name +
+                          "': failure rate must be non-negative");
+  }
+  const std::string beta_attr = name + ".beta";
+  const std::string bw_attr = name + ".b";
+  // Eq. (2): Pfail(net, B) = 1 − e^(−β B / b).
+  const Expr pfail =
+      1.0 - exp(-(Expr::var(beta_attr) * Expr::var("B") / Expr::var(bw_attr)));
+  auto service = std::make_shared<SimpleService>(
+      std::move(name), std::vector<FormalParam>{{"B", "bytes to transmit"}}, pfail,
+      std::map<std::string, double>{{beta_attr, failure_rate}, {bw_attr, bandwidth}});
+  service->set_duration_expr(Expr::var("B") / Expr::var(bw_attr));
+  return service;
+}
+
+ServicePtr make_perfect_service(std::string name, std::vector<std::string> formal_names) {
+  return std::make_shared<SimpleService>(std::move(name), to_formals(formal_names),
+                                         Expr::constant(0.0));
+}
+
+ServicePtr make_simple_service(std::string name, std::vector<std::string> formal_names,
+                               Expr pfail, std::map<std::string, double> attributes) {
+  return std::make_shared<SimpleService>(std::move(name), to_formals(formal_names),
+                                         std::move(pfail), std::move(attributes));
+}
+
+ServicePtr make_simple_service(std::string name, std::vector<std::string> formal_names,
+                               Expr pfail, std::map<std::string, double> attributes,
+                               Expr duration) {
+  auto service = std::make_shared<SimpleService>(
+      std::move(name), to_formals(formal_names), std::move(pfail),
+      std::move(attributes));
+  service->set_duration_expr(std::move(duration));
+  return service;
+}
+
+}  // namespace sorel::core

@@ -1,0 +1,163 @@
+#include "sorel/core/state_failure.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sorel/util/error.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace sorel::core {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw InvalidArgument(std::string(what) + " = " + util::format_double(p) +
+                          " outside [0, 1]");
+  }
+}
+
+void check_requests(std::span<const RequestFailure> requests) {
+  for (const RequestFailure& r : requests) {
+    check_probability(r.internal, "internal failure probability");
+    check_probability(r.external, "external failure probability");
+  }
+}
+
+void check_k(std::span<const RequestFailure> requests, std::size_t k) {
+  if (k < 1 || k > requests.size()) {
+    throw InvalidArgument("k-of-n threshold k=" + std::to_string(k) +
+                          " outside [1, " + std::to_string(requests.size()) + "]");
+  }
+}
+
+/// P(#successes >= k) for independent Bernoulli successes with
+/// probabilities `success[i]`, by the standard O(n·k) DP over "number of
+/// successes so far", truncated at k (every count >= k is equivalent).
+double prob_at_least_k(const std::vector<double>& success, std::size_t k) {
+  // dp[c] = probability of exactly c successes among the processed prefix,
+  // with dp[k] accumulating "k or more".
+  std::vector<double> dp(k + 1, 0.0);
+  dp[0] = 1.0;
+  for (const double p : success) {
+    for (std::size_t c = k; c-- > 0;) {
+      const double move = dp[c] * p;
+      dp[c] -= move;
+      dp[std::min(c + 1, k)] += move;
+    }
+  }
+  return dp[k];
+}
+
+}  // namespace
+
+double external_failure_probability(double service_pfail, double connector_pfail) {
+  check_probability(service_pfail, "service failure probability");
+  check_probability(connector_pfail, "connector failure probability");
+  // Eq. (13): Pfail_ext = 1 − (1 − Pfail(S))(1 − Pfail(C)).
+  return 1.0 - (1.0 - service_pfail) * (1.0 - connector_pfail);
+}
+
+double request_failure_probability(const RequestFailure& r) {
+  check_probability(r.internal, "internal failure probability");
+  check_probability(r.external, "external failure probability");
+  // Eq. (8): fail iff an internal or an external failure occurs.
+  return 1.0 - (1.0 - r.internal) * (1.0 - r.external);
+}
+
+double and_no_sharing(std::span<const RequestFailure> requests) {
+  check_requests(requests);
+  // Eq. (6): 1 − Π (1 − Pr{fail(A_ij)}).
+  double all_ok = 1.0;
+  for (const RequestFailure& r : requests) {
+    all_ok *= (1.0 - r.internal) * (1.0 - r.external);
+  }
+  return 1.0 - all_ok;
+}
+
+double or_no_sharing(std::span<const RequestFailure> requests) {
+  check_requests(requests);
+  if (requests.empty()) return 0.0;  // nothing required: the state cannot fail
+  // Eq. (7): Π Pr{fail(A_ij)}.
+  double all_fail = 1.0;
+  for (const RequestFailure& r : requests) {
+    all_fail *= 1.0 - (1.0 - r.internal) * (1.0 - r.external);
+  }
+  return all_fail;
+}
+
+double and_sharing(std::span<const RequestFailure> requests) {
+  check_requests(requests);
+  // Eq. (11): 1 − Π (1 − Pfail_int) · Π (1 − Pfail_ext).
+  double int_ok = 1.0;
+  double ext_ok = 1.0;
+  for (const RequestFailure& r : requests) {
+    int_ok *= 1.0 - r.internal;
+    ext_ok *= 1.0 - r.external;
+  }
+  return 1.0 - int_ok * ext_ok;
+}
+
+double or_sharing(std::span<const RequestFailure> requests) {
+  check_requests(requests);
+  if (requests.empty()) return 0.0;
+  // Eq. (12): 1 − Π (1 − Pfail_ext) · (1 − Π Pfail_int).
+  double ext_ok = 1.0;
+  double int_all_fail = 1.0;
+  for (const RequestFailure& r : requests) {
+    ext_ok *= 1.0 - r.external;
+    int_all_fail *= r.internal;
+  }
+  return 1.0 - ext_ok * (1.0 - int_all_fail);
+}
+
+double k_of_n_no_sharing(std::span<const RequestFailure> requests, std::size_t k) {
+  check_requests(requests);
+  if (requests.empty()) return 0.0;
+  check_k(requests, k);
+  std::vector<double> success;
+  success.reserve(requests.size());
+  for (const RequestFailure& r : requests) {
+    success.push_back((1.0 - r.internal) * (1.0 - r.external));
+  }
+  return 1.0 - prob_at_least_k(success, k);
+}
+
+double k_of_n_sharing(std::span<const RequestFailure> requests, std::size_t k) {
+  check_requests(requests);
+  if (requests.empty()) return 0.0;
+  check_k(requests, k);
+  // Any external failure of the shared service defeats every request
+  // (fail-stop, no repair); conditioned on no external failure only the
+  // independent internal failures decide the success count.
+  double ext_ok = 1.0;
+  std::vector<double> internal_success;
+  internal_success.reserve(requests.size());
+  for (const RequestFailure& r : requests) {
+    ext_ok *= 1.0 - r.external;
+    internal_success.push_back(1.0 - r.internal);
+  }
+  return 1.0 - ext_ok * prob_at_least_k(internal_success, k);
+}
+
+double state_failure_probability(std::span<const RequestFailure> requests,
+                                 CompletionModel completion, std::size_t k,
+                                 DependencyModel dependency) {
+  if (requests.empty()) return 0.0;
+  switch (completion) {
+    case CompletionModel::kAnd:
+      return dependency == DependencyModel::kSharing ? and_sharing(requests)
+                                                     : and_no_sharing(requests);
+    case CompletionModel::kOr:
+      return dependency == DependencyModel::kSharing ? or_sharing(requests)
+                                                     : or_no_sharing(requests);
+    case CompletionModel::kKOfN:
+      return dependency == DependencyModel::kSharing
+                 ? k_of_n_sharing(requests, k)
+                 : k_of_n_no_sharing(requests, k);
+  }
+  throw InvalidArgument("unknown completion model");
+}
+
+}  // namespace sorel::core

@@ -1,0 +1,142 @@
+#include "sorel/core/uncertainty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace sorel::core {
+
+namespace {
+
+double sample_value(const AttributeDistribution& dist, util::Rng& rng) {
+  double value = 0.0;
+  switch (dist.kind) {
+    case AttributeDistribution::Kind::kFixed:
+      value = dist.a;
+      break;
+    case AttributeDistribution::Kind::kUniform:
+      value = rng.uniform(dist.a, dist.b);
+      break;
+    case AttributeDistribution::Kind::kLogUniform:
+      value = std::exp(rng.uniform(std::log(dist.a), std::log(dist.b)));
+      break;
+    case AttributeDistribution::Kind::kNormal:
+      value = rng.normal(dist.a, dist.b);
+      break;
+    case AttributeDistribution::Kind::kLogNormal:
+      value = std::exp(rng.normal(dist.a, dist.b));
+      break;
+  }
+  return std::clamp(value, dist.min_value, dist.max_value);
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+AttributeDistribution AttributeDistribution::fixed(double value) {
+  AttributeDistribution d;
+  d.kind = Kind::kFixed;
+  d.a = value;
+  d.min_value = -1e300;
+  return d;
+}
+
+AttributeDistribution AttributeDistribution::uniform(double lo, double hi) {
+  if (!(lo <= hi)) throw InvalidArgument("uniform distribution needs lo <= hi");
+  AttributeDistribution d;
+  d.kind = Kind::kUniform;
+  d.a = lo;
+  d.b = hi;
+  d.min_value = -1e300;
+  return d;
+}
+
+AttributeDistribution AttributeDistribution::log_uniform(double lo, double hi) {
+  if (!(0.0 < lo && lo <= hi)) {
+    throw InvalidArgument("log-uniform distribution needs 0 < lo <= hi");
+  }
+  AttributeDistribution d;
+  d.kind = Kind::kLogUniform;
+  d.a = lo;
+  d.b = hi;
+  return d;
+}
+
+AttributeDistribution AttributeDistribution::normal(double mean, double stddev) {
+  if (stddev < 0.0) throw InvalidArgument("normal distribution needs stddev >= 0");
+  AttributeDistribution d;
+  d.kind = Kind::kNormal;
+  d.a = mean;
+  d.b = stddev;
+  return d;  // default clamp at [0, inf): rates/speeds are non-negative
+}
+
+AttributeDistribution AttributeDistribution::log_normal(double log_mean,
+                                                        double log_stddev) {
+  if (log_stddev < 0.0) {
+    throw InvalidArgument("log-normal distribution needs stddev >= 0");
+  }
+  AttributeDistribution d;
+  d.kind = Kind::kLogNormal;
+  d.a = log_mean;
+  d.b = log_stddev;
+  return d;
+}
+
+UncertaintyResult propagate_uncertainty(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args,
+    const std::map<std::string, AttributeDistribution>& uncertain_attributes,
+    const UncertaintyOptions& options, double reliability_target) {
+  if (options.samples == 0) {
+    throw InvalidArgument("propagate_uncertainty: need at least one sample");
+  }
+  const expr::Env known = assembly.attribute_env();
+  for (const auto& [name, dist] : uncertain_attributes) {
+    (void)dist;
+    if (!known.contains(name)) {
+      throw LookupError("uncertain attribute '" + name +
+                        "' is not defined in the assembly");
+    }
+  }
+
+  util::Rng rng(options.seed);
+  UncertaintyResult result;
+  std::vector<double> samples;
+  samples.reserve(options.samples);
+  std::size_t meets = 0;
+  for (std::size_t i = 0; i < options.samples; ++i) {
+    Assembly probe = assembly;
+    for (const auto& [name, dist] : uncertain_attributes) {
+      probe.set_attribute(name, sample_value(dist, rng));
+    }
+    ReliabilityEngine engine(probe);
+    const double r = engine.reliability(service_name, args);
+    result.reliability.add(r);
+    samples.push_back(r);
+    if (reliability_target > 0.0 && r >= reliability_target) ++meets;
+  }
+  std::sort(samples.begin(), samples.end());
+  result.p05 = percentile(samples, 0.05);
+  result.p50 = percentile(samples, 0.50);
+  result.p95 = percentile(samples, 0.95);
+  if (reliability_target > 0.0) {
+    result.probability_meets_target =
+        static_cast<double>(meets) / static_cast<double>(options.samples);
+  }
+  return result;
+}
+
+}  // namespace sorel::core

@@ -1,0 +1,129 @@
+#include "sorel/dsl/dot.hpp"
+
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::dsl {
+
+using core::CompletionModel;
+using core::DependencyModel;
+using core::FlowGraph;
+using core::FlowState;
+using core::FlowStateId;
+using core::ServiceRequest;
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string request_line(const ServiceRequest& req) {
+  std::string line = req.port + "(";
+  for (std::size_t i = 0; i < req.actuals.size(); ++i) {
+    if (i != 0) line += ", ";
+    line += req.actuals[i].to_string();
+  }
+  line += ")";
+  if (!req.label.empty()) line += "  // " + req.label;
+  return line;
+}
+
+std::string state_label(const FlowState& state) {
+  std::string label = state.name;
+  if (state.requests.size() > 1 || state.completion != CompletionModel::kAnd) {
+    switch (state.completion) {
+      case CompletionModel::kAnd:
+        label += " [AND";
+        break;
+      case CompletionModel::kOr:
+        label += " [OR";
+        break;
+      case CompletionModel::kKOfN:
+        label += " [" + std::to_string(state.k) + "-of-" +
+                 std::to_string(state.requests.size());
+        break;
+    }
+    if (state.dependency == DependencyModel::kSharing) label += ", sharing";
+    label += "]";
+  }
+  for (const ServiceRequest& req : state.requests) {
+    label += "\\n" + request_line(req);
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string flow_to_dot(const core::Service& service) {
+  const FlowGraph* flow = service.flow();
+  if (flow == nullptr) {
+    throw InvalidArgument("flow_to_dot: service '" + service.name() +
+                          "' is simple (no flow)");
+  }
+  std::string out = "digraph \"" + escape(service.name()) + "\" {\n";
+  out += "  rankdir=TB;\n  node [shape=box, style=rounded, fontsize=11];\n";
+  out += "  Start [shape=circle];\n  End [shape=doublecircle];\n";
+  for (const FlowStateId sid : flow->real_states()) {
+    out += "  s" + std::to_string(sid) + " [label=\"" +
+           escape(state_label(flow->state(sid))) + "\"];\n";
+  }
+  const auto node_ref = [&](FlowStateId id) -> std::string {
+    if (id == FlowGraph::kStart) return "Start";
+    if (id == FlowGraph::kEnd) return "End";
+    return "s" + std::to_string(id);
+  };
+  const auto emit = [&](FlowStateId from) {
+    for (const auto& t : flow->transitions_from(from)) {
+      out += "  " + node_ref(from) + " -> " + node_ref(t.to) + " [label=\"" +
+             escape(t.probability.to_string()) + "\"];\n";
+    }
+  };
+  emit(FlowGraph::kStart);
+  for (const FlowStateId sid : flow->real_states()) emit(sid);
+  out += "}\n";
+  return out;
+}
+
+std::string assembly_to_dot(const core::Assembly& assembly,
+                            std::string_view graph_name) {
+  std::string out = "digraph \"";
+  out += graph_name;
+  out += "\" {\n  rankdir=LR;\n  node [fontsize=11];\n";
+  for (const std::string& name : assembly.service_names()) {
+    const auto& svc = assembly.service(name);
+    out += "  \"" + escape(name) + "\" [shape=" +
+           (svc->is_simple() ? "box" : "doubleoctagon");
+    std::string label = name;
+    if (!svc->formals().empty()) {
+      label += "(";
+      for (std::size_t i = 0; i < svc->formals().size(); ++i) {
+        if (i != 0) label += ", ";
+        label += svc->formals()[i].name;
+      }
+      label += ")";
+    }
+    out += ", label=\"" + escape(label) + "\"];\n";
+  }
+  for (const auto& [key, binding] : assembly.bindings()) {
+    std::string label = key.second;
+    if (!binding.connector.empty()) label += " via " + binding.connector;
+    out += "  \"" + escape(key.first) + "\" -> \"" + escape(binding.target) +
+           "\" [label=\"" + escape(label) + "\"];\n";
+    if (!binding.connector.empty()) {
+      out += "  \"" + escape(key.first) + "\" -> \"" + escape(binding.connector) +
+             "\" [style=dashed, arrowhead=none];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sorel::dsl

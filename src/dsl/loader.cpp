@@ -1,0 +1,488 @@
+#include "sorel/dsl/loader.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sorel/core/connectors.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/expr/parser.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::dsl {
+
+using core::Assembly;
+using core::CompletionModel;
+using core::CompositeService;
+using core::DependencyModel;
+using core::FlowGraph;
+using core::FlowState;
+using core::FlowStateId;
+using core::FormalParam;
+using core::InternalFailure;
+using core::PortBinding;
+using core::ServicePtr;
+using core::ServiceRequest;
+using expr::Expr;
+using json::Value;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& context, const std::string& message) {
+  throw ModelError("assembly spec: " + context + ": " + message);
+}
+
+Expr parse_expr_field(const Value& v, const std::string& context) {
+  if (v.is_number()) return Expr::constant(v.as_number());
+  if (v.is_string()) {
+    try {
+      return expr::parse(v.as_string());
+    } catch (const ParseError& e) {
+      fail(context, std::string("bad expression '") + v.as_string() + "': " + e.what());
+    }
+  }
+  fail(context, "expected an expression (string) or number");
+}
+
+std::vector<Expr> parse_expr_list(const Value& v, const std::string& context) {
+  std::vector<Expr> out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out.push_back(parse_expr_field(v.at(i), context + "[" + std::to_string(i) + "]"));
+  }
+  return out;
+}
+
+std::vector<std::string> parse_string_list(const Value& v, const std::string& context) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!v.at(i).is_string()) fail(context, "expected a string array");
+    out.push_back(v.at(i).as_string());
+  }
+  return out;
+}
+
+std::map<std::string, double> parse_attributes(const Value& v,
+                                               const std::string& context) {
+  std::map<std::string, double> out;
+  for (const auto& [name, value] : v.as_object()) {
+    if (!value.is_number()) fail(context, "attribute '" + name + "' must be a number");
+    out[name] = value.as_number();
+  }
+  return out;
+}
+
+InternalFailure parse_internal(const Value& v, const std::string& context) {
+  const std::string model = v.at("model").as_string();
+  if (model == "none") return InternalFailure::none();
+  if (model == "constant") {
+    return InternalFailure::constant(parse_expr_field(v.at("p"), context + ".p"));
+  }
+  if (model == "per_operation") {
+    return InternalFailure::per_operation(
+        parse_expr_field(v.at("phi"), context + ".phi"),
+        parse_expr_field(v.at("count"), context + ".count"));
+  }
+  fail(context, "unknown internal-failure model '" + model + "'");
+}
+
+CompletionModel parse_completion(const std::string& text, const std::string& context) {
+  if (text == "AND") return CompletionModel::kAnd;
+  if (text == "OR") return CompletionModel::kOr;
+  if (text == "K_OF_N") return CompletionModel::kKOfN;
+  fail(context, "unknown completion model '" + text + "'");
+}
+
+DependencyModel parse_dependency(const std::string& text, const std::string& context) {
+  if (text == "no_sharing") return DependencyModel::kNoSharing;
+  if (text == "sharing") return DependencyModel::kSharing;
+  fail(context, "unknown dependency model '" + text + "'");
+}
+
+ServicePtr load_composite(const Value& spec, const std::string& name) {
+  const std::string context = "composite '" + name + "'";
+  std::vector<FormalParam> formal_params;
+  for (const std::string& f :
+       parse_string_list(spec.get_or("formals", Value(json::Array{})), context)) {
+    formal_params.push_back({f, ""});
+  }
+
+  const Value& flow_spec = spec.at("flow");
+  FlowGraph flow;
+  std::map<std::string, FlowStateId> state_ids;
+  state_ids["Start"] = FlowGraph::kStart;
+  state_ids["End"] = FlowGraph::kEnd;
+
+  for (const Value& state_spec : flow_spec.at("states").as_array()) {
+    FlowState state;
+    state.name = state_spec.at("name").as_string();
+    const std::string state_context = context + ", state '" + state.name + "'";
+    state.completion = parse_completion(
+        state_spec.get_or("completion", Value("AND")).as_string(), state_context);
+    state.dependency = parse_dependency(
+        state_spec.get_or("dependency", Value("no_sharing")).as_string(),
+        state_context);
+    if (state.completion == CompletionModel::kKOfN) {
+      state.k = static_cast<std::size_t>(state_spec.at("k").as_number());
+    }
+    state.undetected_failure_fraction =
+        state_spec.get_or("undetected_fraction", Value(0.0)).as_number();
+    for (const Value& req_spec :
+         state_spec.get_or("requests", Value(json::Array{})).as_array()) {
+      ServiceRequest req;
+      req.port = req_spec.at("port").as_string();
+      const std::string req_context = state_context + ", request to '" + req.port + "'";
+      req.actuals = parse_expr_list(req_spec.get_or("actuals", Value(json::Array{})),
+                                    req_context + ".actuals");
+      if (req_spec.contains("internal")) {
+        req.internal = parse_internal(req_spec.at("internal"), req_context + ".internal");
+      }
+      if (req_spec.contains("connector_actuals")) {
+        req.connector_actuals = parse_expr_list(req_spec.at("connector_actuals"),
+                                                req_context + ".connector_actuals");
+      }
+      req.label = req_spec.get_or("label", Value("")).as_string();
+      state.requests.push_back(std::move(req));
+    }
+    const FlowStateId id = flow.add_state(std::move(state));
+    state_ids[flow.state(id).name] = id;
+  }
+
+  for (const Value& t : flow_spec.at("transitions").as_array()) {
+    const std::string from = t.at("from").as_string();
+    const std::string to = t.at("to").as_string();
+    const auto from_it = state_ids.find(from);
+    const auto to_it = state_ids.find(to);
+    if (from_it == state_ids.end()) fail(context, "unknown state '" + from + "'");
+    if (to_it == state_ids.end()) fail(context, "unknown state '" + to + "'");
+    flow.add_transition(from_it->second, to_it->second,
+                        parse_expr_field(t.at("p"), context + " transition"));
+  }
+
+  std::map<std::string, double> attributes;
+  if (spec.contains("attributes")) {
+    attributes = parse_attributes(spec.at("attributes"), context);
+  }
+  return std::make_shared<CompositeService>(name, std::move(formal_params),
+                                            std::move(flow), std::move(attributes));
+}
+
+ServicePtr load_service(const Value& spec) {
+  const std::string type = spec.at("type").as_string();
+  const std::string name = spec.at("name").as_string();
+  const std::string context = type + " '" + name + "'";
+
+  if (type == "cpu") {
+    return core::make_cpu_service(name, spec.at("speed").as_number(),
+                                  spec.at("failure_rate").as_number());
+  }
+  if (type == "network") {
+    return core::make_network_service(name, spec.at("bandwidth").as_number(),
+                                      spec.at("failure_rate").as_number());
+  }
+  if (type == "perfect") {
+    return core::make_perfect_service(
+        name, parse_string_list(spec.get_or("formals", Value(json::Array{})), context));
+  }
+  if (type == "simple") {
+    std::map<std::string, double> attributes;
+    if (spec.contains("attributes")) {
+      attributes = parse_attributes(spec.at("attributes"), context);
+    }
+    auto formal_names =
+        parse_string_list(spec.get_or("formals", Value(json::Array{})), context);
+    Expr pfail = parse_expr_field(spec.at("pfail"), context + ".pfail");
+    if (spec.contains("duration")) {
+      return core::make_simple_service(
+          name, std::move(formal_names), std::move(pfail), std::move(attributes),
+          parse_expr_field(spec.at("duration"), context + ".duration"));
+    }
+    return core::make_simple_service(name, std::move(formal_names), std::move(pfail),
+                                     std::move(attributes));
+  }
+  if (type == "lpc") {
+    return core::make_lpc_connector(name, spec.at("control_transfer_ops").as_number(),
+                                    spec.get_or("phi", Value(0.0)).as_number());
+  }
+  if (type == "rpc") {
+    return core::make_rpc_connector(name, spec.at("ops_per_byte").as_number(),
+                                    spec.at("bytes_per_byte").as_number(),
+                                    spec.get_or("phi", Value(0.0)).as_number());
+  }
+  if (type == "local_processing") {
+    return core::make_local_processing_connector(name);
+  }
+  if (type == "retrying_rpc") {
+    return core::make_retrying_rpc_connector(
+        name, spec.at("ops_per_byte").as_number(),
+        spec.at("bytes_per_byte").as_number(),
+        static_cast<std::size_t>(spec.at("attempts").as_number()),
+        spec.get_or("phi", Value(0.0)).as_number());
+  }
+  if (type == "composite") {
+    return load_composite(spec, name);
+  }
+  fail(context, "unknown service type");
+}
+
+}  // namespace
+
+namespace {
+
+PortBinding parse_binding_body(const Value& b, const std::string& context) {
+  PortBinding binding;
+  binding.target = b.at("target").as_string();
+  binding.connector = b.get_or("connector", Value("")).as_string();
+  if (b.contains("connector_actuals")) {
+    binding.connector_actuals =
+        parse_expr_list(b.at("connector_actuals"), context + ".connector_actuals");
+  }
+  return binding;
+}
+
+}  // namespace
+
+Assembly load_assembly(const Value& document) {
+  Assembly assembly;
+  for (const Value& spec : document.at("services").as_array()) {
+    assembly.add_service(load_service(spec));
+  }
+  for (const Value& b :
+       document.get_or("bindings", Value(json::Array{})).as_array()) {
+    const std::string service = b.at("service").as_string();
+    const std::string port = b.at("port").as_string();
+    assembly.bind(service, port,
+                  parse_binding_body(b, "binding " + service + "." + port));
+  }
+  // Ports declared only through "selection" default to the first candidate
+  // so the document loads into a complete, valid assembly.
+  for (const Value& point :
+       document.get_or("selection", Value(json::Array{})).as_array()) {
+    const std::string service = point.at("service").as_string();
+    const std::string port = point.at("port").as_string();
+    bool already_bound = true;
+    try {
+      assembly.binding(service, port);
+    } catch (const ModelError&) {
+      already_bound = false;
+    }
+    if (!already_bound) {
+      assembly.bind(service, port,
+                    parse_binding_body(point.at("candidates").at(0),
+                                       "selection " + service + "." + port));
+    }
+  }
+  if (document.contains("attributes")) {
+    for (const auto& [attr, value] :
+         parse_attributes(document.at("attributes"), "top-level attributes")) {
+      assembly.set_attribute(attr, value);
+    }
+  }
+  assembly.validate();
+  return assembly;
+}
+
+Assembly load_assembly_file(const std::string& path) {
+  return load_assembly(json::parse_file(path));
+}
+
+std::map<std::string, core::AttributeDistribution> load_uncertainty(
+    const Value& document) {
+  std::map<std::string, core::AttributeDistribution> out;
+  const Value empty{json::Object{}};
+  for (const auto& [attr, spec] :
+       document.get_or("uncertainty", empty).as_object()) {
+    const std::string kind = spec.at("dist").as_string();
+    const double a = spec.at("a").as_number();
+    if (kind == "fixed") {
+      out.emplace(attr, core::AttributeDistribution::fixed(a));
+      continue;
+    }
+    const double b = spec.at("b").as_number();
+    if (kind == "uniform") {
+      out.emplace(attr, core::AttributeDistribution::uniform(a, b));
+    } else if (kind == "log_uniform") {
+      out.emplace(attr, core::AttributeDistribution::log_uniform(a, b));
+    } else if (kind == "normal") {
+      out.emplace(attr, core::AttributeDistribution::normal(a, b));
+    } else if (kind == "log_normal") {
+      out.emplace(attr, core::AttributeDistribution::log_normal(a, b));
+    } else {
+      fail("uncertainty of '" + attr + "'", "unknown distribution '" + kind + "'");
+    }
+  }
+  return out;
+}
+
+std::vector<core::SelectionPoint> load_selection_points(const Value& document) {
+  std::vector<core::SelectionPoint> points;
+  for (const Value& spec :
+       document.get_or("selection", Value(json::Array{})).as_array()) {
+    core::SelectionPoint point;
+    point.service = spec.at("service").as_string();
+    point.port = spec.at("port").as_string();
+    const std::string context = "selection " + point.service + "." + point.port;
+    for (const Value& candidate : spec.at("candidates").as_array()) {
+      point.candidates.push_back(parse_binding_body(candidate, context));
+      std::string label = candidate.get_or("label", Value("")).as_string();
+      if (label.empty()) {
+        label = point.candidates.back().target;
+        if (!point.candidates.back().connector.empty()) {
+          label += " via " + point.candidates.back().connector;
+        }
+      }
+      point.labels.push_back(std::move(label));
+    }
+    if (point.candidates.empty()) {
+      throw ModelError("assembly spec: " + context + ": no candidates");
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+namespace {
+
+Value save_internal(const InternalFailure& internal) {
+  json::Object out;
+  switch (internal.kind()) {
+    case InternalFailure::Kind::kNone:
+      out["model"] = Value("none");
+      break;
+    case InternalFailure::Kind::kConstant:
+      out["model"] = Value("constant");
+      out["p"] = Value(internal.p().to_string());
+      break;
+    case InternalFailure::Kind::kPerOperation:
+      out["model"] = Value("per_operation");
+      out["phi"] = Value(internal.phi().to_string());
+      out["count"] = Value(internal.count().to_string());
+      break;
+  }
+  return Value(std::move(out));
+}
+
+Value save_expr_list(const std::vector<Expr>& exprs) {
+  json::Array out;
+  for (const Expr& e : exprs) out.emplace_back(e.to_string());
+  return Value(std::move(out));
+}
+
+Value save_service(const core::Service& service) {
+  json::Object out;
+  out["name"] = Value(service.name());
+  json::Array formal_names;
+  for (const FormalParam& f : service.formals()) formal_names.emplace_back(f.name);
+  out["formals"] = Value(std::move(formal_names));
+  if (!service.default_attributes().empty()) {
+    json::Object attrs;
+    for (const auto& [name, value] : service.default_attributes()) {
+      attrs[name] = Value(value);
+    }
+    out["attributes"] = Value(std::move(attrs));
+  }
+
+  if (const auto* simple = dynamic_cast<const core::SimpleService*>(&service)) {
+    out["type"] = Value("simple");
+    out["pfail"] = Value(simple->pfail_expr().to_string());
+    const expr::Expr& duration = simple->duration_expr();
+    if (!(duration.is_constant() && duration.constant_value() == 0.0)) {
+      out["duration"] = Value(duration.to_string());
+    }
+    return Value(std::move(out));
+  }
+
+  const FlowGraph& flow = *service.flow();
+  out["type"] = Value("composite");
+  json::Array states;
+  json::Array transitions;
+  const auto emit_transitions = [&](FlowStateId from) {
+    for (const auto& t : flow.transitions_from(from)) {
+      json::Object tr;
+      tr["from"] = Value(flow.state_name(from));
+      tr["to"] = Value(flow.state_name(t.to));
+      tr["p"] = Value(t.probability.to_string());
+      transitions.emplace_back(std::move(tr));
+    }
+  };
+  emit_transitions(FlowGraph::kStart);
+  for (const FlowStateId sid : flow.real_states()) {
+    const FlowState& state = flow.state(sid);
+    json::Object s;
+    s["name"] = Value(state.name);
+    switch (state.completion) {
+      case CompletionModel::kAnd:
+        s["completion"] = Value("AND");
+        break;
+      case CompletionModel::kOr:
+        s["completion"] = Value("OR");
+        break;
+      case CompletionModel::kKOfN:
+        s["completion"] = Value("K_OF_N");
+        s["k"] = Value(state.k);
+        break;
+    }
+    s["dependency"] = Value(state.dependency == DependencyModel::kSharing
+                                ? "sharing"
+                                : "no_sharing");
+    if (state.undetected_failure_fraction != 0.0) {
+      s["undetected_fraction"] = Value(state.undetected_failure_fraction);
+    }
+    json::Array requests;
+    for (const ServiceRequest& req : state.requests) {
+      json::Object r;
+      r["port"] = Value(req.port);
+      r["actuals"] = save_expr_list(req.actuals);
+      r["internal"] = save_internal(req.internal);
+      if (!req.connector_actuals.empty()) {
+        r["connector_actuals"] = save_expr_list(req.connector_actuals);
+      }
+      if (!req.label.empty()) r["label"] = Value(req.label);
+      requests.emplace_back(std::move(r));
+    }
+    s["requests"] = Value(std::move(requests));
+    states.emplace_back(std::move(s));
+    emit_transitions(sid);
+  }
+  json::Object flow_obj;
+  flow_obj["states"] = Value(std::move(states));
+  flow_obj["transitions"] = Value(std::move(transitions));
+  out["flow"] = Value(std::move(flow_obj));
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+Value save_assembly(const Assembly& assembly) {
+  json::Object document;
+
+  json::Array services;
+  for (const std::string& name : assembly.service_names()) {
+    services.push_back(save_service(*assembly.service(name)));
+  }
+  document["services"] = Value(std::move(services));
+
+  json::Array bindings;
+  for (const auto& [key, binding] : assembly.bindings()) {
+    json::Object b;
+    b["service"] = Value(key.first);
+    b["port"] = Value(key.second);
+    b["target"] = Value(binding.target);
+    if (!binding.connector.empty()) b["connector"] = Value(binding.connector);
+    if (!binding.connector_actuals.empty()) {
+      b["connector_actuals"] = save_expr_list(binding.connector_actuals);
+    }
+    bindings.emplace_back(std::move(b));
+  }
+  document["bindings"] = Value(std::move(bindings));
+
+  if (!assembly.attribute_overrides().empty()) {
+    json::Object attrs;
+    for (const auto& [name, value] : assembly.attribute_overrides()) {
+      attrs[name] = Value(value);
+    }
+    document["attributes"] = Value(std::move(attrs));
+  }
+  return Value(std::move(document));
+}
+
+}  // namespace sorel::dsl

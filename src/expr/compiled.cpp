@@ -1,0 +1,188 @@
+// CompiledExpr lives in its own translation unit but needs the Node layout,
+// which is private to the expr implementation; the shared definition is
+// pulled in through the implementation header below.
+#include "sorel/expr/compiled.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "expr_nodes.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::expr {
+
+namespace {
+
+using detail::Kind;
+using detail::Node;
+
+void emit(const Node& node, const std::map<std::string, std::uint32_t>& slots,
+          std::vector<CompiledExpr::Instruction>& program);
+
+}  // namespace
+
+double CompiledExpr::eval(std::span<const double> values) const {
+  if (values.size() != variable_count_) {
+    throw InvalidArgument("compiled expression expects " +
+                          std::to_string(variable_count_) + " values, got " +
+                          std::to_string(values.size()));
+  }
+  // The stack depth is bounded at compile time; a small inline buffer covers
+  // realistic programs. (Zero-initialised only to satisfy conservative
+  // -Wmaybe-uninitialized analysis; every slot is written before it is read.)
+  double stack_storage[64] = {};
+  std::vector<double> heap_storage;
+  double* stack = stack_storage;
+  if (max_stack_ > 64) {
+    heap_storage.resize(max_stack_);
+    stack = heap_storage.data();
+  }
+  std::size_t top = 0;
+
+  const auto check_finite = [](double v) {
+    if (!std::isfinite(v)) {
+      throw NumericError("compiled expression produced a non-finite value");
+    }
+    return v;
+  };
+
+  for (const Instruction& instr : program_) {
+    switch (instr.op) {
+      case Op::kConst:
+        stack[top++] = instr.value;
+        break;
+      case Op::kLoad:
+        stack[top++] = values[instr.slot];
+        break;
+      case Op::kNeg:
+        stack[top - 1] = -stack[top - 1];
+        break;
+      case Op::kExp:
+        stack[top - 1] = check_finite(std::exp(stack[top - 1]));
+        break;
+      case Op::kLog:
+        if (stack[top - 1] <= 0.0) throw NumericError("log of non-positive value");
+        stack[top - 1] = std::log(stack[top - 1]);
+        break;
+      case Op::kLog2:
+        if (stack[top - 1] <= 0.0) throw NumericError("log2 of non-positive value");
+        stack[top - 1] = std::log2(stack[top - 1]);
+        break;
+      case Op::kSqrt:
+        if (stack[top - 1] < 0.0) throw NumericError("sqrt of negative value");
+        stack[top - 1] = std::sqrt(stack[top - 1]);
+        break;
+      default: {
+        const double rhs = stack[--top];
+        double& lhs = stack[top - 1];
+        switch (instr.op) {
+          case Op::kAdd:
+            lhs = check_finite(lhs + rhs);
+            break;
+          case Op::kSub:
+            lhs = check_finite(lhs - rhs);
+            break;
+          case Op::kMul:
+            lhs = check_finite(lhs * rhs);
+            break;
+          case Op::kDiv:
+            if (rhs == 0.0) throw NumericError("division by zero in expression");
+            lhs = check_finite(lhs / rhs);
+            break;
+          case Op::kPow:
+            if (lhs < 0.0 && rhs != std::floor(rhs)) {
+              throw NumericError("pow with negative base and non-integer exponent");
+            }
+            lhs = check_finite(std::pow(lhs, rhs));
+            break;
+          case Op::kMin:
+            lhs = std::min(lhs, rhs);
+            break;
+          case Op::kMax:
+            lhs = std::max(lhs, rhs);
+            break;
+          default:
+            throw NumericError("corrupt compiled expression");
+        }
+      }
+    }
+  }
+  return stack[0];
+}
+
+namespace {
+
+void emit(const Node& node, const std::map<std::string, std::uint32_t>& slots,
+          std::vector<CompiledExpr::Instruction>& program) {
+  using Instruction = CompiledExpr::Instruction;
+  using Op = CompiledExpr::Op;
+  switch (node.kind) {
+    case Kind::kConstant:
+      program.push_back(Instruction{Op::kConst, 0, node.value});
+      return;
+    case Kind::kVariable: {
+      const auto it = slots.find(node.name);
+      if (it == slots.end()) {
+        throw LookupError("compiled expression: variable '" + node.name +
+                          "' is not in the layout");
+      }
+      program.push_back(Instruction{Op::kLoad, it->second, 0.0});
+      return;
+    }
+    default:
+      break;
+  }
+  emit(*node.lhs, slots, program);
+  if (node.rhs) emit(*node.rhs, slots, program);
+  Op op;
+  switch (node.kind) {
+    case Kind::kAdd: op = Op::kAdd; break;
+    case Kind::kSub: op = Op::kSub; break;
+    case Kind::kMul: op = Op::kMul; break;
+    case Kind::kDiv: op = Op::kDiv; break;
+    case Kind::kNeg: op = Op::kNeg; break;
+    case Kind::kPow: op = Op::kPow; break;
+    case Kind::kExp: op = Op::kExp; break;
+    case Kind::kLog: op = Op::kLog; break;
+    case Kind::kLog2: op = Op::kLog2; break;
+    case Kind::kSqrt: op = Op::kSqrt; break;
+    case Kind::kMin: op = Op::kMin; break;
+    case Kind::kMax: op = Op::kMax; break;
+    default:
+      throw NumericError("corrupt expression node");
+  }
+  program.push_back(CompiledExpr::Instruction{op, 0, 0.0});
+}
+
+std::size_t stack_need(const Node& node) {
+  switch (node.kind) {
+    case Kind::kConstant:
+    case Kind::kVariable:
+      return 1;
+    default: {
+      const std::size_t left = stack_need(*node.lhs);
+      if (!node.rhs) return left;
+      // Right operand is evaluated while the left result occupies one slot.
+      return std::max(left, 1 + stack_need(*node.rhs));
+    }
+  }
+}
+
+}  // namespace
+
+CompiledExpr compile(const Expr& expression, const std::vector<std::string>& layout) {
+  std::map<std::string, std::uint32_t> slots;
+  for (std::uint32_t i = 0; i < layout.size(); ++i) {
+    if (!slots.emplace(layout[i], i).second) {
+      throw InvalidArgument("compiled expression layout repeats variable '" +
+                            layout[i] + "'");
+    }
+  }
+  CompiledExpr compiled;
+  compiled.variable_count_ = layout.size();
+  emit(expression.node(), slots, compiled.program_);
+  compiled.max_stack_ = stack_need(expression.node());
+  return compiled;
+}
+
+}  // namespace sorel::expr

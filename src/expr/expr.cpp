@@ -1,0 +1,501 @@
+#include "sorel/expr/expr.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "expr_nodes.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace sorel::expr {
+
+namespace detail {
+
+namespace {
+
+NodePtr make_constant(double v) {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kConstant;
+  n->value = v;
+  return n;
+}
+
+NodePtr make_unary(Kind kind, NodePtr operand) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->lhs = std::move(operand);
+  return n;
+}
+
+NodePtr make_binary(Kind kind, NodePtr lhs, NodePtr rhs) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+bool is_const(const NodePtr& n, double v) {
+  return n->kind == Kind::kConstant && n->value == v;
+}
+
+double check_finite(double v, const char* context) {
+  if (!std::isfinite(v)) {
+    throw NumericError(
+        std::string("expression evaluation produced a non-finite value in ") +
+        context);
+  }
+  return v;
+}
+
+double eval_node(const Node& n, const Env& env) {
+  switch (n.kind) {
+    case Kind::kConstant:
+      return n.value;
+    case Kind::kVariable: {
+      const auto v = env.lookup(n.name);
+      if (!v) throw LookupError("unbound variable '" + n.name + "' in expression");
+      return *v;
+    }
+    case Kind::kAdd:
+      return check_finite(eval_node(*n.lhs, env) + eval_node(*n.rhs, env), "+");
+    case Kind::kSub:
+      return check_finite(eval_node(*n.lhs, env) - eval_node(*n.rhs, env), "-");
+    case Kind::kMul:
+      return check_finite(eval_node(*n.lhs, env) * eval_node(*n.rhs, env), "*");
+    case Kind::kDiv: {
+      const double denom = eval_node(*n.rhs, env);
+      if (denom == 0.0) throw NumericError("division by zero in expression");
+      return check_finite(eval_node(*n.lhs, env) / denom, "/");
+    }
+    case Kind::kNeg:
+      return -eval_node(*n.lhs, env);
+    case Kind::kPow: {
+      const double b = eval_node(*n.lhs, env);
+      const double e = eval_node(*n.rhs, env);
+      if (b < 0.0 && e != std::floor(e)) {
+        throw NumericError("pow with negative base and non-integer exponent");
+      }
+      return check_finite(std::pow(b, e), "pow");
+    }
+    case Kind::kExp:
+      return check_finite(std::exp(eval_node(*n.lhs, env)), "exp");
+    case Kind::kLog: {
+      const double x = eval_node(*n.lhs, env);
+      if (x <= 0.0) throw NumericError("log of non-positive value");
+      return std::log(x);
+    }
+    case Kind::kLog2: {
+      const double x = eval_node(*n.lhs, env);
+      if (x <= 0.0) throw NumericError("log2 of non-positive value");
+      return std::log2(x);
+    }
+    case Kind::kSqrt: {
+      const double x = eval_node(*n.lhs, env);
+      if (x < 0.0) throw NumericError("sqrt of negative value");
+      return std::sqrt(x);
+    }
+    case Kind::kMin:
+      return std::min(eval_node(*n.lhs, env), eval_node(*n.rhs, env));
+    case Kind::kMax:
+      return std::max(eval_node(*n.lhs, env), eval_node(*n.rhs, env));
+  }
+  throw NumericError("corrupt expression node");
+}
+
+void collect_variables(const Node& n, std::set<std::string>& out) {
+  switch (n.kind) {
+    case Kind::kConstant:
+      return;
+    case Kind::kVariable:
+      out.insert(n.name);
+      return;
+    default:
+      if (n.lhs) collect_variables(*n.lhs, out);
+      if (n.rhs) collect_variables(*n.rhs, out);
+  }
+}
+
+NodePtr substitute_node(const NodePtr& n, const std::map<std::string, NodePtr>& repl) {
+  switch (n->kind) {
+    case Kind::kConstant:
+      return n;
+    case Kind::kVariable: {
+      const auto it = repl.find(n->name);
+      return it == repl.end() ? n : it->second;
+    }
+    default: {
+      const NodePtr lhs = n->lhs ? substitute_node(n->lhs, repl) : nullptr;
+      const NodePtr rhs = n->rhs ? substitute_node(n->rhs, repl) : nullptr;
+      if (lhs == n->lhs && rhs == n->rhs) return n;  // untouched subtree: share
+      auto out = std::make_shared<Node>(*n);
+      out->lhs = lhs;
+      out->rhs = rhs;
+      return out;
+    }
+  }
+}
+
+/// Fold when all children are constants and the operation is defined there.
+NodePtr try_fold(const NodePtr& n) {
+  const bool lhs_const = !n->lhs || n->lhs->kind == Kind::kConstant;
+  const bool rhs_const = !n->rhs || n->rhs->kind == Kind::kConstant;
+  if (!lhs_const || !rhs_const) return nullptr;
+  try {
+    return make_constant(eval_node(*n, Env{}));
+  } catch (const Error&) {
+    return nullptr;  // domain error: keep symbolic, fail at eval time
+  }
+}
+
+NodePtr simplify_node(const NodePtr& n) {
+  switch (n->kind) {
+    case Kind::kConstant:
+    case Kind::kVariable:
+      return n;
+    default:
+      break;
+  }
+  const NodePtr lhs = n->lhs ? simplify_node(n->lhs) : nullptr;
+  const NodePtr rhs = n->rhs ? simplify_node(n->rhs) : nullptr;
+  auto rebuilt = std::make_shared<Node>(*n);
+  rebuilt->lhs = lhs;
+  rebuilt->rhs = rhs;
+  const NodePtr node = rebuilt;
+
+  if (NodePtr folded = try_fold(node)) return folded;
+
+  switch (node->kind) {
+    case Kind::kAdd:
+      if (is_const(lhs, 0.0)) return rhs;
+      if (is_const(rhs, 0.0)) return lhs;
+      break;
+    case Kind::kSub:
+      if (is_const(rhs, 0.0)) return lhs;
+      if (is_const(lhs, 0.0)) return make_unary(Kind::kNeg, rhs);
+      break;
+    case Kind::kMul:
+      if (is_const(lhs, 0.0) || is_const(rhs, 0.0)) return make_constant(0.0);
+      if (is_const(lhs, 1.0)) return rhs;
+      if (is_const(rhs, 1.0)) return lhs;
+      break;
+    case Kind::kDiv:
+      if (is_const(lhs, 0.0) && !is_const(rhs, 0.0)) return make_constant(0.0);
+      if (is_const(rhs, 1.0)) return lhs;
+      break;
+    case Kind::kNeg:
+      if (lhs->kind == Kind::kNeg) return lhs->lhs;  // --x -> x
+      break;
+    case Kind::kPow:
+      if (is_const(rhs, 1.0)) return lhs;
+      if (is_const(rhs, 0.0)) return make_constant(1.0);  // x^0 == 1 (incl. 0^0)
+      if (is_const(lhs, 1.0)) return make_constant(1.0);
+      break;
+    case Kind::kExp:
+      if (is_const(lhs, 0.0)) return make_constant(1.0);
+      break;
+    default:
+      break;
+  }
+  return node;
+}
+
+NodePtr derive_node(const NodePtr& n, std::string_view var) {
+  switch (n->kind) {
+    case Kind::kConstant:
+      return make_constant(0.0);
+    case Kind::kVariable:
+      return make_constant(n->name == var ? 1.0 : 0.0);
+    case Kind::kAdd:
+      return make_binary(Kind::kAdd, derive_node(n->lhs, var), derive_node(n->rhs, var));
+    case Kind::kSub:
+      return make_binary(Kind::kSub, derive_node(n->lhs, var), derive_node(n->rhs, var));
+    case Kind::kMul:
+      // (ab)' = a'b + ab'
+      return make_binary(
+          Kind::kAdd, make_binary(Kind::kMul, derive_node(n->lhs, var), n->rhs),
+          make_binary(Kind::kMul, n->lhs, derive_node(n->rhs, var)));
+    case Kind::kDiv: {
+      // (a/b)' = (a'b - ab') / b^2
+      const NodePtr num = make_binary(
+          Kind::kSub, make_binary(Kind::kMul, derive_node(n->lhs, var), n->rhs),
+          make_binary(Kind::kMul, n->lhs, derive_node(n->rhs, var)));
+      return make_binary(Kind::kDiv, num, make_binary(Kind::kMul, n->rhs, n->rhs));
+    }
+    case Kind::kNeg:
+      return make_unary(Kind::kNeg, derive_node(n->lhs, var));
+    case Kind::kPow: {
+      // Constant exponent shortcut: d(a^c) = c a^(c-1) a'.
+      if (n->rhs->kind == Kind::kConstant) {
+        const double c = n->rhs->value;
+        return make_binary(
+            Kind::kMul, make_constant(c),
+            make_binary(Kind::kMul,
+                        make_binary(Kind::kPow, n->lhs, make_constant(c - 1.0)),
+                        derive_node(n->lhs, var)));
+      }
+      // General case: d(a^b) = a^b (b' ln a + b a' / a).
+      const NodePtr term1 = make_binary(Kind::kMul, derive_node(n->rhs, var),
+                                        make_unary(Kind::kLog, n->lhs));
+      const NodePtr term2 = make_binary(
+          Kind::kDiv, make_binary(Kind::kMul, n->rhs, derive_node(n->lhs, var)),
+          n->lhs);
+      return make_binary(Kind::kMul, make_binary(Kind::kPow, n->lhs, n->rhs),
+                         make_binary(Kind::kAdd, term1, term2));
+    }
+    case Kind::kExp:
+      return make_binary(Kind::kMul, make_unary(Kind::kExp, n->lhs),
+                         derive_node(n->lhs, var));
+    case Kind::kLog:
+      return make_binary(Kind::kDiv, derive_node(n->lhs, var), n->lhs);
+    case Kind::kLog2:
+      return make_binary(Kind::kDiv, derive_node(n->lhs, var),
+                         make_binary(Kind::kMul, n->lhs, make_constant(std::log(2.0))));
+    case Kind::kSqrt:
+      return make_binary(Kind::kDiv, derive_node(n->lhs, var),
+                         make_binary(Kind::kMul, make_constant(2.0),
+                                     make_unary(Kind::kSqrt, n->lhs)));
+    case Kind::kMin:
+    case Kind::kMax:
+      throw InvalidArgument(
+          "derivative of min/max is not supported; rewrite the model without "
+          "piecewise expressions or use finite differences");
+  }
+  throw NumericError("corrupt expression node");
+}
+
+/// Precedence levels for printing: higher binds tighter.
+int precedence(Kind k) {
+  switch (k) {
+    case Kind::kAdd:
+    case Kind::kSub:
+      return 1;
+    case Kind::kMul:
+    case Kind::kDiv:
+      return 2;
+    case Kind::kNeg:
+      return 3;
+    case Kind::kPow:
+      return 4;
+    default:
+      return 5;  // atoms and function calls never need parens
+  }
+}
+
+void print_node(const Node& n, std::string& out);
+
+void print_child(const Node& parent, const Node& child, bool needs_parens,
+                 std::string& out) {
+  const bool parens = needs_parens || precedence(child.kind) < precedence(parent.kind);
+  if (parens) out += '(';
+  print_node(child, out);
+  if (parens) out += ')';
+}
+
+void print_binary(const Node& n, const char* op, std::string& out) {
+  print_child(n, *n.lhs, false, out);
+  out += op;
+  // Right child needs parens at equal precedence when the operator is not
+  // right-associative: a - (b - c), a / (b / c). '^' is right-associative.
+  const bool right_needs = precedence(n.rhs->kind) == precedence(n.kind) &&
+                           (n.kind == Kind::kSub || n.kind == Kind::kDiv);
+  print_child(n, *n.rhs, right_needs, out);
+}
+
+void print_call(const char* name, const Node& n, std::string& out) {
+  out += name;
+  out += '(';
+  print_node(*n.lhs, out);
+  if (n.rhs) {
+    out += ", ";
+    print_node(*n.rhs, out);
+  }
+  out += ')';
+}
+
+void print_node(const Node& n, std::string& out) {
+  switch (n.kind) {
+    case Kind::kConstant:
+      if (n.value < 0) {
+        out += '(' + util::format_double(n.value, 17) + ')';
+      } else {
+        out += util::format_double(n.value, 17);
+      }
+      return;
+    case Kind::kVariable:
+      out += n.name;
+      return;
+    case Kind::kAdd:
+      print_binary(n, " + ", out);
+      return;
+    case Kind::kSub:
+      print_binary(n, " - ", out);
+      return;
+    case Kind::kMul:
+      print_binary(n, "*", out);
+      return;
+    case Kind::kDiv:
+      print_binary(n, "/", out);
+      return;
+    case Kind::kNeg:
+      out += '-';
+      print_child(n, *n.lhs, false, out);
+      return;
+    case Kind::kPow:
+      print_binary(n, "^", out);
+      return;
+    case Kind::kExp:
+      print_call("exp", n, out);
+      return;
+    case Kind::kLog:
+      print_call("log", n, out);
+      return;
+    case Kind::kLog2:
+      print_call("log2", n, out);
+      return;
+    case Kind::kSqrt:
+      print_call("sqrt", n, out);
+      return;
+    case Kind::kMin:
+      print_call("min", n, out);
+      return;
+    case Kind::kMax:
+      print_call("max", n, out);
+      return;
+  }
+}
+
+bool equal_nodes(const Node& a, const Node& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Kind::kConstant:
+      return a.value == b.value;
+    case Kind::kVariable:
+      return a.name == b.name;
+    default: {
+      const bool lhs_eq =
+          (a.lhs == b.lhs) || (a.lhs && b.lhs && equal_nodes(*a.lhs, *b.lhs));
+      if (!lhs_eq) return false;
+      if (!a.rhs && !b.rhs) return true;
+      return a.rhs && b.rhs && equal_nodes(*a.rhs, *b.rhs);
+    }
+  }
+}
+
+/// Recover the owning pointer from a public Expr (node is immutable).
+NodePtr ptr_of(const Expr& e) {
+  // Expr exposes node() by const reference; copying the node would lose
+  // structural sharing, so Expr grants the implementation access through
+  // this friend-equivalent: the Expr(NodePtr) constructor plus a shared
+  // clone. A shallow copy of Node shares its children, so this is cheap.
+  return std::make_shared<Node>(e.node());
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::Kind;
+using detail::Node;
+
+Expr::Expr() : node_(std::make_shared<Node>(Node{Kind::kConstant, 0.0, {}, nullptr, nullptr})) {}
+Expr::Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Expr Expr::constant(double value) {
+  return Expr(std::make_shared<Node>(Node{Kind::kConstant, value, {}, nullptr, nullptr}));
+}
+
+Expr Expr::var(std::string name) {
+  if (!util::is_identifier(name)) {
+    throw InvalidArgument("'" + name + "' is not a valid variable name");
+  }
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kVariable;
+  n->name = std::move(name);
+  return Expr(n);
+}
+
+namespace {
+
+Expr make_binary_expr(Kind kind, const Expr& a, const Expr& b) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->lhs = detail::ptr_of(a);
+  n->rhs = detail::ptr_of(b);
+  if (n->lhs->kind == Kind::kConstant && n->rhs->kind == Kind::kConstant) {
+    if (auto folded = detail::try_fold(n)) return Expr(folded);
+  }
+  return Expr(n);
+}
+
+Expr make_unary_expr(Kind kind, const Expr& x) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->lhs = detail::ptr_of(x);
+  if (n->lhs->kind == Kind::kConstant) {
+    if (auto folded = detail::try_fold(n)) return Expr(folded);
+  }
+  return Expr(n);
+}
+
+}  // namespace
+
+Expr operator+(const Expr& a, const Expr& b) { return make_binary_expr(Kind::kAdd, a, b); }
+Expr operator-(const Expr& a, const Expr& b) { return make_binary_expr(Kind::kSub, a, b); }
+Expr operator*(const Expr& a, const Expr& b) { return make_binary_expr(Kind::kMul, a, b); }
+Expr operator/(const Expr& a, const Expr& b) { return make_binary_expr(Kind::kDiv, a, b); }
+Expr operator-(const Expr& a) { return make_unary_expr(Kind::kNeg, a); }
+
+Expr pow(const Expr& base, const Expr& exponent) {
+  return make_binary_expr(Kind::kPow, base, exponent);
+}
+Expr min(const Expr& a, const Expr& b) { return make_binary_expr(Kind::kMin, a, b); }
+Expr max(const Expr& a, const Expr& b) { return make_binary_expr(Kind::kMax, a, b); }
+Expr exp(const Expr& x) { return make_unary_expr(Kind::kExp, x); }
+Expr log(const Expr& x) { return make_unary_expr(Kind::kLog, x); }
+Expr log2(const Expr& x) { return make_unary_expr(Kind::kLog2, x); }
+Expr sqrt(const Expr& x) { return make_unary_expr(Kind::kSqrt, x); }
+
+double Expr::eval(const Env& env) const { return detail::eval_node(*node_, env); }
+
+std::set<std::string> Expr::variables() const {
+  std::set<std::string> out;
+  detail::collect_variables(*node_, out);
+  return out;
+}
+
+bool Expr::is_constant() const { return variables().empty(); }
+
+double Expr::constant_value() const {
+  if (!is_constant()) {
+    throw InvalidArgument("constant_value() called on non-constant expression '" +
+                          to_string() + "'");
+  }
+  return eval(Env{});
+}
+
+Expr Expr::substitute(const std::map<std::string, Expr>& replacements) const {
+  std::map<std::string, detail::NodePtr> repl;
+  for (const auto& [name, e] : replacements) {
+    repl.emplace(name, detail::ptr_of(e));
+  }
+  return Expr(detail::substitute_node(node_, repl));
+}
+
+Expr Expr::simplify() const { return Expr(detail::simplify_node(node_)); }
+
+Expr Expr::derivative(std::string_view variable) const {
+  return Expr(detail::derive_node(node_, variable)).simplify();
+}
+
+std::string Expr::to_string() const {
+  std::string out;
+  detail::print_node(*node_, out);
+  return out;
+}
+
+bool Expr::equals(const Expr& other) const {
+  return node_ == other.node_ || detail::equal_nodes(*node_, *other.node_);
+}
+
+}  // namespace sorel::expr

@@ -1,0 +1,38 @@
+// Internal: the expression AST node layout, shared by the evaluator
+// (expr.cpp) and the program compiler (compiled.cpp). Not installed; the
+// public API never exposes nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace sorel::expr::detail {
+
+enum class Kind {
+  kConstant,
+  kVariable,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kPow,
+  kExp,
+  kLog,
+  kLog2,
+  kSqrt,
+  kMin,
+  kMax,
+};
+
+struct Node {
+  Kind kind;
+  double value = 0.0;               // kConstant
+  std::string name;                 // kVariable
+  std::shared_ptr<const Node> lhs;  // unary operand or left child
+  std::shared_ptr<const Node> rhs;  // right child (binary only)
+};
+
+using NodePtr = std::shared_ptr<const Node>;
+
+}  // namespace sorel::expr::detail

@@ -1,0 +1,207 @@
+#include "sorel/expr/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::expr {
+
+namespace {
+
+/// Hand-written recursive-descent parser. Tracks line/column so ParseError
+/// messages point at the offending character in multi-line DSL files.
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  Expr parse() {
+    skip_ws();
+    if (at_end()) fail("empty expression");
+    Expr e = parse_expr();
+    skip_ws();
+    if (!at_end()) fail(std::string("unexpected character '") + peek() + "'");
+    return e;
+  }
+
+ private:
+  // Parenthesised sub-expressions and function calls recurse; bound the
+  // depth so pathological input reports an error instead of exhausting the
+  // call stack.
+  static constexpr std::size_t kMaxDepth = 400;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("expression nesting deeper than 400 levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
+  // expr := term (('+' | '-') term)*
+  Expr parse_expr() {
+    const DepthGuard guard(*this);
+    Expr lhs = parse_term();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) {
+        lhs = lhs + parse_term();
+      } else if (consume('-')) {
+        lhs = lhs - parse_term();
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  // term := unary (('*' | '/') unary)*
+  Expr parse_term() {
+    Expr lhs = parse_unary();
+    for (;;) {
+      skip_ws();
+      if (consume('*')) {
+        lhs = lhs * parse_unary();
+      } else if (consume('/')) {
+        lhs = lhs / parse_unary();
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  // unary := '-' unary | power
+  Expr parse_unary() {
+    skip_ws();
+    if (consume('-')) return -parse_unary();
+    return parse_power();
+  }
+
+  // power := primary ('^' unary)?   (right-associative)
+  Expr parse_power() {
+    Expr base = parse_primary();
+    skip_ws();
+    if (consume('^')) return pow(base, parse_unary());
+    return base;
+  }
+
+  Expr parse_primary() {
+    skip_ws();
+    if (at_end()) fail("unexpected end of expression");
+    const char c = peek();
+    if (consume('(')) {
+      Expr e = parse_expr();
+      expect(')');
+      return e;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parse_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return parse_identifier();
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Expr parse_number() {
+    const std::size_t begin = pos_;
+    double value = 0.0;
+    const char* first = src_.data() + pos_;
+    const char* last = src_.data() + src_.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr == first) fail("malformed number literal");
+    advance_to(begin + static_cast<std::size_t>(ptr - first));
+    return Expr::constant(value);
+  }
+
+  Expr parse_identifier() {
+    const std::size_t begin = pos_;
+    while (!at_end()) {
+      const auto c = static_cast<unsigned char>(peek());
+      if (std::isalnum(c) || c == '_' || c == '.') {
+        advance();
+      } else {
+        break;
+      }
+    }
+    const std::string name(src_.substr(begin, pos_ - begin));
+    skip_ws();
+    if (!at_end() && peek() == '(') return parse_call(name);
+    return Expr::var(name);
+  }
+
+  Expr parse_call(const std::string& name) {
+    expect('(');
+    Expr arg0 = parse_expr();
+    if (name == "exp" || name == "log" || name == "log2" || name == "sqrt") {
+      expect(')');
+      if (name == "exp") return exp(arg0);
+      if (name == "log") return log(arg0);
+      if (name == "log2") return log2(arg0);
+      return sqrt(arg0);
+    }
+    if (name == "pow" || name == "min" || name == "max") {
+      expect(',');
+      Expr arg1 = parse_expr();
+      expect(')');
+      if (name == "pow") return pow(arg0, arg1);
+      if (name == "min") return min(arg0, arg1);
+      return max(arg0, arg1);
+    }
+    fail("unknown function '" + name + "'");
+  }
+
+  // -- lexing helpers ----------------------------------------------------
+  bool at_end() const noexcept { return pos_ >= src_.size(); }
+  char peek() const noexcept { return src_[pos_]; }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void advance_to(std::size_t new_pos) {
+    while (pos_ < new_pos) advance();
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    advance();
+    return true;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (!consume(c)) {
+      fail(at_end() ? std::string("expected '") + c + "' before end of input"
+                    : std::string("expected '") + c + "', found '" + peek() + "'");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("expression parse error: " + message, line_, column_);
+  }
+
+  std::string_view src_;
+  std::size_t depth_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+Expr parse(std::string_view source) { return Parser(source).parse(); }
+
+}  // namespace sorel::expr

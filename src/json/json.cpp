@@ -1,0 +1,553 @@
+#include "sorel/json/json.hpp"
+
+#include <cmath>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::json {
+
+namespace {
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return "bool";
+    case Type::kNumber:
+      return "number";
+    case Type::kString:
+      return "string";
+    case Type::kArray:
+      return "array";
+    case Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(Type actual, const char* wanted) {
+  throw InvalidArgument(std::string("JSON value is ") + type_name(actual) +
+                        ", expected " + wanted);
+}
+
+}  // namespace
+
+Value::Value(double n) : type_(Type::kNumber), number_(n) {
+  if (!std::isfinite(n)) {
+    throw InvalidArgument("JSON numbers must be finite");
+  }
+}
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) type_error(type_, "bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::kNumber) type_error(type_, "number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) type_error(type_, "string");
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (type_ != Type::kArray) type_error(type_, "array");
+  return array_;
+}
+
+Array& Value::as_array() {
+  if (type_ != Type::kArray) type_error(type_, "array");
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  if (type_ != Type::kObject) type_error(type_, "object");
+  return object_;
+}
+
+Object& Value::as_object() {
+  if (type_ != Type::kObject) type_error(type_, "object");
+  return object_;
+}
+
+bool Value::contains(std::string_view key) const {
+  return type_ == Type::kObject && object_.find(std::string(key)) != object_.end();
+}
+
+const Value& Value::at(std::string_view key) const {
+  if (type_ != Type::kObject) type_error(type_, "object");
+  const auto it = object_.find(std::string(key));
+  if (it == object_.end()) {
+    throw LookupError("JSON object has no member '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+const Value& Value::get_or(std::string_view key, const Value& fallback) const {
+  if (type_ != Type::kObject) type_error(type_, "object");
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? fallback : it->second;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (type_ == Type::kNull) *this = Value(Object{});
+  if (type_ != Type::kObject) type_error(type_, "object");
+  return object_[key];
+}
+
+const Value& Value::at(std::size_t index) const {
+  if (type_ != Type::kArray) type_error(type_, "array");
+  if (index >= array_.size()) {
+    throw InvalidArgument("JSON array index " + std::to_string(index) +
+                          " out of range (size " + std::to_string(array_.size()) +
+                          ")");
+  }
+  return array_[index];
+}
+
+std::size_t Value::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  type_error(type_, "array or object");
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_escaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;  // UTF-8 bytes pass through unchanged
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(double n, std::string& out) {
+  if (n == static_cast<long long>(n) && std::fabs(n) < 1e15) {
+    out += std::to_string(static_cast<long long>(n));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", n);
+  out += buf;
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type()) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Type::kNumber:
+      write_number(v.as_number(), out);
+      return;
+    case Type::kString:
+      write_escaped(v.as_string(), out);
+      return;
+    case Type::kArray: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) out += indent < 0 ? "," : ",";
+        newline(depth + 1);
+        dump_value(a[i], out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : o) {
+        if (!first) out += ",";
+        first = false;
+        newline(depth + 1);
+        write_escaped(key, out);
+        out += indent < 0 ? ":" : ": ";
+        dump_value(member, out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(*this, out, -1, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  dump_value(*this, out, 2, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (!at_end()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  // Containers recurse; bound the depth so adversarial input exhausts the
+  // error path instead of the call stack.
+  static constexpr std::size_t kMaxDepth = 500;
+
+  Value parse_value() {
+    if (depth_ > kMaxDepth) fail("nesting deeper than 500 levels");
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value(parse_string());
+      case 't':
+        expect_keyword("true");
+        return Value(true);
+      case 'f':
+        expect_keyword("false");
+        return Value(false);
+      case 'n':
+        expect_keyword("null");
+        return Value(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    ++depth_;
+    advance();  // '{'
+    Object obj;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (!consume(':')) fail("expected ':' after object key");
+      skip_ws();
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return Value(std::move(obj));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    ++depth_;
+    advance();  // '['
+    Array arr;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return Value(std::move(arr));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    advance();  // '"'
+    std::string out;
+    for (;;) {
+      if (at_end()) fail("unterminated string");
+      const char c = peek();
+      if (c == '"') {
+        advance();
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
+      if (c != '\\') {
+        out += c;
+        advance();
+        continue;
+      }
+      advance();  // '\\'
+      if (at_end()) fail("unterminated escape");
+      const char esc = peek();
+      advance();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (!consume('\\') || !consume('u')) fail("unpaired UTF-16 surrogate");
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default:
+          fail(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) fail("truncated \\u escape");
+      const char c = peek();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+      advance();
+    }
+    return value;
+  }
+
+  static void append_utf8(unsigned cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t begin = pos_;
+    if (!at_end() && peek() == '-') advance();
+    bool saw_digit = false;
+    while (!at_end() && peek() >= '0' && peek() <= '9') {
+      saw_digit = true;
+      advance();
+    }
+    if (!at_end() && peek() == '.') {
+      advance();
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) advance();
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!saw_digit) fail("malformed number");
+    double value = 0.0;
+    const char* first = text_.data() + begin;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) fail("malformed number");
+    return Value(value);
+  }
+
+  void expect_keyword(std::string_view kw) {
+    for (const char c : kw) {
+      if (at_end() || peek() != c) fail("invalid literal");
+      advance();
+    }
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    advance();
+    return true;
+  }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("JSON parse error: " + message, line_, column_);
+  }
+
+  std::string_view text_;
+  std::size_t depth_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open JSON file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace sorel::json

@@ -1,0 +1,128 @@
+#include "sorel/linalg/iterative.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::linalg {
+
+namespace {
+
+void check_system(const SparseMatrix& a, const Vector& b, const char* name) {
+  if (a.rows() != a.cols()) {
+    throw InvalidArgument(std::string(name) + ": matrix must be square");
+  }
+  if (a.rows() != b.size()) {
+    throw InvalidArgument(std::string(name) + ": rhs length " +
+                          std::to_string(b.size()) + " != dimension " +
+                          std::to_string(a.rows()));
+  }
+}
+
+/// Extract the diagonal of a; throws if any entry is (numerically) zero.
+Vector extract_diagonal(const SparseMatrix& a, const char* name) {
+  const std::size_t n = a.rows();
+  Vector diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a.at(i, i);
+    if (d == 0.0) {
+      throw NumericError(std::string(name) + ": zero diagonal at row " +
+                         std::to_string(i));
+    }
+    diag[i] = d;
+  }
+  return diag;
+}
+
+}  // namespace
+
+IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
+                       IterativeOptions options) {
+  check_system(a, b, "jacobi");
+  const std::size_t n = a.rows();
+  const Vector diag = extract_diagonal(a, "jacobi");
+
+  IterativeResult result;
+  result.x = Vector(n);
+  Vector next(n);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b[i];
+      const auto row = a.row(i);
+      for (std::size_t k = 0; k < row.size; ++k) {
+        if (row.cols[k] != i) acc -= row.values[k] * result.x[row.cols[k]];
+      }
+      next[i] = acc / diag[i];
+    }
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      delta = std::max(delta, std::fabs(next[i] - result.x[i]));
+    }
+    std::swap(result.x, next);
+    result.iterations = iter + 1;
+    result.update_norm = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
+                             IterativeOptions options) {
+  check_system(a, b, "gauss_seidel");
+  const std::size_t n = a.rows();
+  const Vector diag = extract_diagonal(a, "gauss_seidel");
+
+  IterativeResult result;
+  result.x = Vector(n);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b[i];
+      const auto row = a.row(i);
+      for (std::size_t k = 0; k < row.size; ++k) {
+        if (row.cols[k] != i) acc -= row.values[k] * result.x[row.cols[k]];
+      }
+      const double updated = acc / diag[i];
+      delta = std::max(delta, std::fabs(updated - result.x[i]));
+      result.x[i] = updated;
+    }
+    result.iterations = iter + 1;
+    result.update_norm = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+IterativeResult fixed_point_iteration(const SparseMatrix& q, const Vector& b,
+                                      IterativeOptions options) {
+  check_system(q, b, "fixed_point_iteration");
+  const std::size_t n = q.rows();
+
+  IterativeResult result;
+  result.x = Vector(n);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    Vector next = q.multiply(result.x);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] += b[i];
+      delta = std::max(delta, std::fabs(next[i] - result.x[i]));
+    }
+    result.x = std::move(next);
+    result.iterations = iter + 1;
+    result.update_norm = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace sorel::linalg

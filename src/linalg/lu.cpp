@@ -1,0 +1,109 @@
+#include "sorel/linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::linalg {
+
+LuDecomposition LuDecomposition::compute(const Matrix& a, double pivot_tolerance) {
+  if (!a.square()) {
+    throw InvalidArgument("LU decomposition requires a square matrix, got " +
+                          std::to_string(a.rows()) + "x" + std::to_string(a.cols()));
+  }
+  const std::size_t n = a.rows();
+  LuDecomposition d;
+  d.lu_ = a;
+  d.perm_.resize(n);
+  std::iota(d.perm_.begin(), d.perm_.end(), std::size_t{0});
+
+  Matrix& lu = d.lu_;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| in column k to the diagonal.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::fabs(lu(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag <= pivot_tolerance) {
+      d.singular_ = true;
+      continue;  // keep factoring remaining columns for determinant() = 0
+    }
+    if (pivot_row != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot_row, j));
+      std::swap(d.perm_[k], d.perm_[pivot_row]);
+      d.sign_ = -d.sign_;
+    }
+    const double pivot = lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) / pivot;
+      lu(i, k) = factor;  // store L below the diagonal
+      if (factor == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
+    }
+  }
+  return d;
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = dimension();
+  if (b.size() != n) {
+    throw InvalidArgument("LU solve: rhs length " + std::to_string(b.size()) +
+                          " != dimension " + std::to_string(n));
+  }
+  if (singular_) {
+    throw NumericError("LU solve: matrix is singular to working precision");
+  }
+  // Forward substitution with permuted rhs: L y = P b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution: U x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  const std::size_t n = dimension();
+  if (b.rows() != n) {
+    throw InvalidArgument("LU solve: rhs has " + std::to_string(b.rows()) +
+                          " rows, expected " + std::to_string(n));
+  }
+  Matrix x(n, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector xc = solve(b.col(c));
+    for (std::size_t i = 0; i < n; ++i) x(i, c) = xc[i];
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = sign_;
+  for (std::size_t i = 0; i < dimension(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  return LuDecomposition::compute(a).solve(b);
+}
+
+Matrix inverse(const Matrix& a) {
+  return LuDecomposition::compute(a).solve(Matrix::identity(a.rows()));
+}
+
+}  // namespace sorel::linalg

@@ -1,0 +1,190 @@
+#include "sorel/linalg/matrix.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::linalg {
+
+namespace {
+
+void check_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw InvalidArgument(std::string("matrix ") + op + ": shape mismatch (" +
+                          std::to_string(a.rows()) + "x" + std::to_string(a.cols()) +
+                          " vs " + std::to_string(b.rows()) + "x" +
+                          std::to_string(b.cols()) + ")");
+  }
+}
+
+}  // namespace
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw InvalidArgument("matrix initializer rows have unequal lengths");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw InvalidArgument("matrix index (" + std::to_string(r) + ", " +
+                          std::to_string(c) + ") out of range for " +
+                          std::to_string(rows_) + "x" + std::to_string(cols_));
+  }
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  return const_cast<Matrix*>(this)->at(r, c);
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  check_same_shape(*this, rhs, "addition");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  check_same_shape(*this, rhs, "subtraction");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw InvalidArgument("matrix product: inner dimensions differ (" +
+                          std::to_string(cols_) + " vs " +
+                          std::to_string(rhs.rows_) + ")");
+  }
+  Matrix out(rows_, rhs.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& x) const {
+  if (cols_ != x.size()) {
+    throw InvalidArgument("matrix-vector product: dimension mismatch (" +
+                          std::to_string(cols_) + " vs " +
+                          std::to_string(x.size()) + ")");
+  }
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  if (r >= rows_) {
+    throw InvalidArgument("row index " + std::to_string(r) + " out of range");
+  }
+  Vector out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) out[j] = (*this)(r, j);
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  if (c >= cols_) {
+    throw InvalidArgument("column index " + std::to_string(c) + " out of range");
+  }
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, c);
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  if (r >= rows_) {
+    throw InvalidArgument("row index " + std::to_string(r) + " out of range");
+  }
+  if (v.size() != cols_) {
+    throw InvalidArgument("set_row: vector length " + std::to_string(v.size()) +
+                          " != column count " + std::to_string(cols_));
+  }
+  for (std::size_t j = 0; j < cols_; ++j) (*this)(r, j) = v[j];
+}
+
+double Matrix::norm_max() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc = std::max(acc, std::fabs(x));
+  return acc;
+}
+
+double Matrix::norm_inf() const noexcept {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) row_sum += std::fabs((*this)(i, j));
+    best = std::max(best, row_sum);
+  }
+  return best;
+}
+
+double Matrix::distance(const Matrix& rhs) const {
+  check_same_shape(*this, rhs, "distance");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - rhs.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out += "[";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof buf, "%.*g", precision, (*this)(i, j));
+      if (j != 0) out += ", ";
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace sorel::linalg

@@ -1,0 +1,123 @@
+#include "sorel/linalg/sparse.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::linalg {
+
+SparseMatrix::Builder& SparseMatrix::Builder::add(std::size_t row, std::size_t col,
+                                                  double value) {
+  if (row >= rows_ || col >= cols_) {
+    throw InvalidArgument("sparse builder entry (" + std::to_string(row) + ", " +
+                          std::to_string(col) + ") out of range for " +
+                          std::to_string(rows_) + "x" + std::to_string(cols_));
+  }
+  entries_.push_back({row, col, value});
+  return *this;
+}
+
+SparseMatrix SparseMatrix::Builder::build() && {
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  SparseMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
+
+  // Merge duplicates, drop zeros.
+  std::size_t i = 0;
+  while (i < entries_.size()) {
+    const std::size_t row = entries_[i].row;
+    const std::size_t col = entries_[i].col;
+    double value = 0.0;
+    while (i < entries_.size() && entries_[i].row == row && entries_[i].col == col) {
+      value += entries_[i].value;
+      ++i;
+    }
+    if (value != 0.0) {
+      m.col_idx_.push_back(col);
+      m.values_.push_back(value);
+      ++m.row_ptr_[row + 1];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double drop_tolerance) {
+  Builder b(dense.rows(), dense.cols());
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense(i, j);
+      if (v != 0.0 && std::abs(v) > drop_tolerance) b.add(i, j, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  if (x.size() != cols_) {
+    throw InvalidArgument("sparse multiply: dimension mismatch (" +
+                          std::to_string(cols_) + " vs " + std::to_string(x.size()) +
+                          ")");
+  }
+  Vector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector SparseMatrix::multiply_transpose(const Vector& x) const {
+  if (x.size() != rows_) {
+    throw InvalidArgument("sparse multiply_transpose: dimension mismatch (" +
+                          std::to_string(rows_) + " vs " + std::to_string(x.size()) +
+                          ")");
+  }
+  Vector y(cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * xr;
+    }
+  }
+  return y;
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) {
+    throw InvalidArgument("sparse at(" + std::to_string(row) + ", " +
+                          std::to_string(col) + ") out of range");
+  }
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+SparseMatrix::RowView SparseMatrix::row(std::size_t r) const noexcept {
+  const std::size_t begin = row_ptr_[r];
+  return {col_idx_.data() + begin, values_.data() + begin, row_ptr_[r + 1] - begin};
+}
+
+}  // namespace sorel::linalg

@@ -1,0 +1,82 @@
+#include "sorel/linalg/vector.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::linalg {
+
+namespace {
+
+void check_same_size(const Vector& a, const Vector& b, const char* op) {
+  if (a.size() != b.size()) {
+    throw InvalidArgument(std::string("vector ") + op + ": size mismatch (" +
+                          std::to_string(a.size()) + " vs " +
+                          std::to_string(b.size()) + ")");
+  }
+}
+
+}  // namespace
+
+double& Vector::at(std::size_t i) {
+  if (i >= size()) {
+    throw InvalidArgument("vector index " + std::to_string(i) +
+                          " out of range [0, " + std::to_string(size()) + ")");
+  }
+  return data_[i];
+}
+
+double Vector::at(std::size_t i) const {
+  return const_cast<Vector*>(this)->at(i);
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  check_same_size(*this, rhs, "addition");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  check_same_size(*this, rhs, "subtraction");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) noexcept {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  if (s == 0.0) throw InvalidArgument("vector division by zero");
+  for (double& x : data_) x /= s;
+  return *this;
+}
+
+double Vector::dot(const Vector& rhs) const {
+  check_same_size(*this, rhs, "dot product");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) acc += data_[i] * rhs.data_[i];
+  return acc;
+}
+
+double Vector::norm2() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Vector::norm_inf() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc = std::max(acc, std::fabs(x));
+  return acc;
+}
+
+double Vector::sum() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+}  // namespace sorel::linalg

@@ -1,0 +1,145 @@
+#include "sorel/markov/absorbing.hpp"
+
+#include <string>
+
+#include "sorel/linalg/iterative.hpp"
+#include "sorel/linalg/lu.hpp"
+#include "sorel/linalg/sparse.hpp"
+#include "sorel/linalg/vector.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::markov {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+AbsorptionAnalysis AbsorptionAnalysis::compute(const Dtmc& chain, Method method) {
+  chain.validate();
+
+  AbsorptionAnalysis a;
+  a.transient_index_.assign(chain.state_count(), -1);
+  a.absorbing_index_.assign(chain.state_count(), -1);
+  for (StateId s = 0; s < chain.state_count(); ++s) {
+    if (chain.is_absorbing(s)) {
+      a.absorbing_index_[s] = static_cast<std::ptrdiff_t>(a.absorbing_.size());
+      a.absorbing_.push_back(s);
+    } else {
+      a.transient_index_[s] = static_cast<std::ptrdiff_t>(a.transient_.size());
+      a.transient_.push_back(s);
+    }
+  }
+  if (a.absorbing_.empty()) {
+    throw ModelError("absorption analysis: chain has no absorbing state");
+  }
+
+  const std::size_t nt = a.transient_.size();
+  const std::size_t na = a.absorbing_.size();
+
+  // Every transient state must reach some absorbing state, otherwise the
+  // chain has a closed recurrent class among "transient" states and
+  // (I - Q) is singular.
+  for (StateId s : a.transient_) {
+    const auto reach = chain.reachable_from(s);
+    bool ok = false;
+    for (StateId t : a.absorbing_) ok = ok || reach[t];
+    if (!ok) {
+      throw NumericError("absorption analysis: state '" + chain.state_name(s) +
+                         "' cannot reach any absorbing state");
+    }
+  }
+
+  if (nt == 0) {
+    a.absorption_ = Matrix(0, na);
+    a.steps_ = Vector(0);
+    return a;
+  }
+
+  if (method == Method::kDense) {
+    // Assemble I - Q and R.
+    Matrix i_minus_q = Matrix::identity(nt);
+    Matrix r(nt, na);
+    for (std::size_t row = 0; row < nt; ++row) {
+      for (const Transition& t : chain.transitions_from(a.transient_[row])) {
+        if (const auto ti = a.transient_index_[t.to]; ti >= 0) {
+          i_minus_q(row, static_cast<std::size_t>(ti)) -= t.probability;
+        } else {
+          r(row, static_cast<std::size_t>(a.absorbing_index_[t.to])) += t.probability;
+        }
+      }
+    }
+    const auto lu = linalg::LuDecomposition::compute(i_minus_q);
+    a.absorption_ = lu.solve(r);
+    a.fundamental_ = lu.solve(Matrix::identity(nt));
+    a.have_fundamental_ = true;
+    a.steps_ = lu.solve(Vector(nt, 1.0));
+  } else {
+    // Sparse path: one Gauss–Seidel solve per absorbing column plus one for
+    // the expected steps. No fundamental matrix (it is dense in general).
+    linalg::SparseMatrix::Builder builder(nt, nt);
+    Matrix r(nt, na);
+    for (std::size_t row = 0; row < nt; ++row) {
+      builder.add(row, row, 1.0);
+      for (const Transition& t : chain.transitions_from(a.transient_[row])) {
+        if (const auto ti = a.transient_index_[t.to]; ti >= 0) {
+          builder.add(row, static_cast<std::size_t>(ti), -t.probability);
+        } else {
+          r(row, static_cast<std::size_t>(a.absorbing_index_[t.to])) += t.probability;
+        }
+      }
+    }
+    const linalg::SparseMatrix i_minus_q = std::move(builder).build();
+    linalg::IterativeOptions options;
+    options.tolerance = 1e-14;
+    options.max_iterations = 100'000;
+
+    a.absorption_ = Matrix(nt, na);
+    for (std::size_t c = 0; c < na; ++c) {
+      const auto res = linalg::gauss_seidel(i_minus_q, r.col(c), options);
+      if (!res.converged) {
+        throw NumericError("absorption analysis: Gauss-Seidel failed to converge");
+      }
+      for (std::size_t row = 0; row < nt; ++row) a.absorption_(row, c) = res.x[row];
+    }
+    const auto res = linalg::gauss_seidel(i_minus_q, Vector(nt, 1.0), options);
+    if (!res.converged) {
+      throw NumericError("absorption analysis: Gauss-Seidel failed to converge");
+    }
+    a.steps_ = res.x;
+  }
+  return a;
+}
+
+double AbsorptionAnalysis::absorption_probability(StateId from, StateId target) const {
+  if (target >= absorbing_index_.size() || absorbing_index_[target] < 0) {
+    throw InvalidArgument("absorption_probability: target state is not absorbing");
+  }
+  if (from >= transient_index_.size()) {
+    throw InvalidArgument("absorption_probability: unknown source state");
+  }
+  if (transient_index_[from] < 0) return from == target ? 1.0 : 0.0;
+  return absorption_(static_cast<std::size_t>(transient_index_[from]),
+                     static_cast<std::size_t>(absorbing_index_[target]));
+}
+
+double AbsorptionAnalysis::expected_visits(StateId from, StateId to) const {
+  if (!have_fundamental_) {
+    throw InvalidArgument(
+        "expected_visits requires the dense analysis method (fundamental matrix)");
+  }
+  if (from >= transient_index_.size() || transient_index_[from] < 0 ||
+      to >= transient_index_.size() || transient_index_[to] < 0) {
+    throw InvalidArgument("expected_visits: both states must be transient");
+  }
+  return fundamental_(static_cast<std::size_t>(transient_index_[from]),
+                      static_cast<std::size_t>(transient_index_[to]));
+}
+
+double AbsorptionAnalysis::expected_steps(StateId from) const {
+  if (from >= transient_index_.size()) {
+    throw InvalidArgument("expected_steps: unknown state");
+  }
+  if (transient_index_[from] < 0) return 0.0;
+  return steps_[static_cast<std::size_t>(transient_index_[from])];
+}
+
+}  // namespace sorel::markov

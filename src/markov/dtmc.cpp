@@ -1,0 +1,148 @@
+#include "sorel/markov/dtmc.hpp"
+
+#include <cmath>
+#include <deque>
+#include <string>
+
+#include "sorel/util/error.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace sorel::markov {
+
+StateId Dtmc::add_state(std::string name) {
+  if (name.empty()) throw InvalidArgument("DTMC state name must be non-empty");
+  if (find_state(name)) {
+    throw InvalidArgument("duplicate DTMC state name '" + name + "'");
+  }
+  names_.push_back(std::move(name));
+  rows_.emplace_back();
+  return names_.size() - 1;
+}
+
+void Dtmc::add_transition(StateId from, StateId to, double probability) {
+  check_state(from, "transition source");
+  check_state(to, "transition target");
+  if (!(probability >= 0.0 && probability <= 1.0)) {
+    throw InvalidArgument("transition probability " +
+                          util::format_double(probability) +
+                          " outside [0, 1] (from '" + names_[from] + "' to '" +
+                          names_[to] + "')");
+  }
+  if (probability == 0.0) return;
+  for (Transition& t : rows_[from]) {
+    if (t.to == to) {
+      t.probability += probability;
+      return;
+    }
+  }
+  rows_[from].push_back({to, probability});
+}
+
+const std::string& Dtmc::state_name(StateId s) const {
+  check_state(s, "state");
+  return names_[s];
+}
+
+std::optional<StateId> Dtmc::find_state(std::string_view name) const {
+  for (StateId s = 0; s < names_.size(); ++s) {
+    if (names_[s] == name) return s;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Transition>& Dtmc::transitions_from(StateId s) const {
+  check_state(s, "state");
+  return rows_[s];
+}
+
+double Dtmc::row_sum(StateId s) const {
+  check_state(s, "state");
+  double sum = 0.0;
+  for (const Transition& t : rows_[s]) sum += t.probability;
+  return sum;
+}
+
+bool Dtmc::is_absorbing(StateId s) const {
+  check_state(s, "state");
+  for (const Transition& t : rows_[s]) {
+    if (t.to != s && t.probability > 0.0) return false;
+  }
+  return true;
+}
+
+void Dtmc::validate(double tolerance) const {
+  for (StateId s = 0; s < state_count(); ++s) {
+    if (rows_[s].empty()) continue;  // absorbing by omission: fine
+    double sum = 0.0;
+    for (const Transition& t : rows_[s]) {
+      if (!(t.probability >= 0.0 && t.probability <= 1.0 + tolerance)) {
+        throw ModelError("transition probability out of range from state '" +
+                         names_[s] + "'");
+      }
+      sum += t.probability;
+    }
+    if (std::fabs(sum - 1.0) > tolerance) {
+      throw ModelError("outgoing probabilities of state '" + names_[s] +
+                       "' sum to " + util::format_double(sum) + ", expected 1");
+    }
+  }
+}
+
+std::vector<bool> Dtmc::reachable_from(StateId from) const {
+  check_state(from, "state");
+  std::vector<bool> seen(state_count(), false);
+  std::deque<StateId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const StateId s = frontier.front();
+    frontier.pop_front();
+    for (const Transition& t : rows_[s]) {
+      if (t.probability > 0.0 && !seen[t.to]) {
+        seen[t.to] = true;
+        frontier.push_back(t.to);
+      }
+    }
+  }
+  return seen;
+}
+
+std::optional<StateId> Dtmc::sample_step(StateId s, util::Rng& rng) const {
+  check_state(s, "state");
+  if (rows_[s].empty() || is_absorbing(s)) return std::nullopt;
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (const Transition& t : rows_[s]) {
+    acc += t.probability;
+    if (u < acc) return t.to;
+  }
+  return rows_[s].back().to;  // round-off residual goes to the last branch
+}
+
+std::string Dtmc::to_dot(std::string_view graph_name) const {
+  std::string out = "digraph \"";
+  out += graph_name;
+  out += "\" {\n  rankdir=LR;\n  node [shape=circle, fontsize=11];\n";
+  for (StateId s = 0; s < state_count(); ++s) {
+    out += "  s" + std::to_string(s) + " [label=\"" + names_[s] + "\"";
+    if (is_absorbing(s)) out += ", shape=doublecircle";
+    out += "];\n";
+  }
+  for (StateId s = 0; s < state_count(); ++s) {
+    for (const Transition& t : rows_[s]) {
+      out += "  s" + std::to_string(s) + " -> s" + std::to_string(t.to) +
+             " [label=\"" + util::format_double(t.probability, 6) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void Dtmc::check_state(StateId s, const char* what) const {
+  if (s >= state_count()) {
+    throw InvalidArgument(std::string(what) + " id " + std::to_string(s) +
+                          " out of range (chain has " +
+                          std::to_string(state_count()) + " states)");
+  }
+}
+
+}  // namespace sorel::markov

@@ -1,0 +1,186 @@
+#include "sorel/scenarios/random.hpp"
+
+#include <string>
+#include <vector>
+
+#include "sorel/core/service.hpp"
+
+namespace sorel::scenarios {
+
+using core::Assembly;
+using core::CompletionModel;
+using core::CompositeService;
+using core::DependencyModel;
+using core::FlowGraph;
+using core::FlowState;
+using core::FlowStateId;
+using core::FormalParam;
+using core::InternalFailure;
+using core::PortBinding;
+using core::ServiceRequest;
+using util::Rng;
+using expr::Expr;
+
+namespace {
+
+/// A random actual-parameter expression over the caller formal "x",
+/// guaranteed non-negative for x >= 0.
+Expr random_actual(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0:
+      return Expr::var("x");
+    case 1:
+      return Expr::var("x") * rng.uniform(0.5, 3.0);
+    case 2:
+      return Expr::var("x") + rng.uniform(0.0, 10.0);
+    default:
+      return Expr::constant(rng.uniform(0.0, 20.0));
+  }
+}
+
+InternalFailure random_internal(Rng& rng) {
+  switch (rng.below(3)) {
+    case 0:
+      return InternalFailure::none();
+    case 1:
+      return InternalFailure::constant(rng.uniform(0.0, 0.2));
+    default:
+      // Per-operation with a count that stays modest so probabilities stay
+      // informative.
+      return InternalFailure::per_operation(rng.uniform(0.0, 0.05),
+                                            Expr::var("x") * 0.1 + 1.0);
+  }
+}
+
+}  // namespace
+
+RandomAssembly make_random_assembly(Rng& rng, const RandomAssemblyOptions& options) {
+  RandomAssembly out;
+  Assembly& assembly = out.assembly;
+
+  // --- simple leaf services (each takes one abstract size parameter) ------
+  std::vector<std::string> callable;  // services usable as request targets
+  for (std::size_t i = 0; i < options.simple_services; ++i) {
+    const std::string name = "leaf" + std::to_string(i);
+    // pfail = p0 * (1 - exp(-rate * B)) -- increasing in the size argument,
+    // bounded by p0 < max_simple_pfail.
+    const double p0 = rng.uniform(0.0, options.max_simple_pfail);
+    const double rate = rng.uniform(0.01, 0.2);
+    assembly.add_service(core::make_simple_service(
+        name, {"B"},
+        Expr::constant(p0) * (1.0 - exp(-(Expr::constant(rate) * Expr::var("B"))))));
+    callable.push_back(name);
+  }
+
+  // --- a pool of connectors -------------------------------------------------
+  const std::size_t connector_count = 2;
+  std::vector<std::string> connectors;
+  for (std::size_t i = 0; i < connector_count; ++i) {
+    const std::string name = "conn" + std::to_string(i);
+    // Lossy simple connector over (ip, op).
+    const double rate = rng.uniform(1e-4, 5e-3);
+    assembly.add_service(core::make_simple_service(
+        name, {"ip", "op"},
+        1.0 - exp(-(Expr::constant(rate) * (Expr::var("ip") + Expr::var("op"))))));
+    connectors.push_back(name);
+  }
+
+  // --- composites, topologically ordered ------------------------------------
+  for (std::size_t c = 0; c < options.composite_services; ++c) {
+    const std::string name = "svc" + std::to_string(c);
+    FlowGraph flow;
+    const std::size_t state_count = 1 + rng.below(options.max_states_per_flow);
+    std::vector<FlowStateId> states;
+    std::vector<PortBinding> bindings;  // one port per (state, request-group)
+    std::vector<std::string> port_names;
+
+    for (std::size_t s = 0; s < state_count; ++s) {
+      FlowState state;
+      state.name = "st" + std::to_string(s);
+      const std::size_t request_count = rng.below(options.max_requests_per_state + 1);
+
+      const bool sharing = request_count >= 2 && rng.uniform() < 0.3;
+      std::string shared_port;
+      for (std::size_t r = 0; r < request_count; ++r) {
+        ServiceRequest req;
+        if (sharing && r > 0) {
+          req.port = shared_port;  // homogeneous port for sharing states
+        } else {
+          req.port = "p" + std::to_string(s) + "_" + std::to_string(r);
+          shared_port = req.port;
+          // Bind this port to a random already-existing service.
+          PortBinding binding;
+          binding.target = callable[rng.below(callable.size())];
+          if (rng.uniform() < options.connector_probability) {
+            binding.connector = connectors[rng.below(connectors.size())];
+            binding.connector_actuals = {random_actual(rng), random_actual(rng)};
+          }
+          port_names.push_back(req.port);
+          bindings.push_back(std::move(binding));
+        }
+        // bindings.back() is this request's port binding: for sharing states
+        // it was pushed by the first request of the group.
+        const auto& target = assembly.service(bindings.back().target);
+        req.actuals.resize(target->arity());
+        for (auto& a : req.actuals) a = random_actual(rng);
+        req.internal = random_internal(rng);
+        state.requests.push_back(std::move(req));
+      }
+
+      if (request_count >= 1) {
+        if (sharing) state.dependency = DependencyModel::kSharing;
+        switch (rng.below(3)) {
+          case 0:
+            state.completion = CompletionModel::kAnd;
+            break;
+          case 1:
+            state.completion = CompletionModel::kOr;
+            break;
+          default:
+            state.completion = CompletionModel::kKOfN;
+            state.k = 1 + rng.below(request_count);
+            break;
+        }
+      }
+      states.push_back(flow.add_state(std::move(state)));
+    }
+
+    // Transitions: a forward DAG over the states. Start fans out to a random
+    // non-empty prefix; each state moves forward or to End.
+    const auto forward_row = [&](FlowStateId from, std::size_t min_next_index) {
+      // Choose 1-2 forward targets (later states or End) with normalised
+      // probabilities.
+      std::vector<FlowStateId> targets;
+      if (min_next_index < states.size() && rng.uniform() < 0.8) {
+        targets.push_back(states[min_next_index + rng.below(states.size() - min_next_index)]);
+      }
+      targets.push_back(FlowGraph::kEnd);
+      if (targets.size() == 1) {
+        flow.add_transition(from, targets[0], Expr::constant(1.0));
+        return;
+      }
+      const double p = rng.uniform(0.1, 0.9);
+      flow.add_transition(from, targets[0], Expr::constant(p));
+      flow.add_transition(from, targets[1], Expr::constant(1.0 - p));
+    };
+
+    forward_row(FlowGraph::kStart, 0);
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      forward_row(states[s], s + 1);
+    }
+
+    assembly.add_service(std::make_shared<CompositeService>(
+        name, std::vector<FormalParam>{{"x", "abstract workload"}},
+        std::move(flow)));
+    for (std::size_t b = 0; b < bindings.size(); ++b) {
+      assembly.bind(name, port_names[b], bindings[b]);
+    }
+    callable.push_back(name);
+    out.root = name;
+  }
+
+  assembly.validate();
+  return out;
+}
+
+}  // namespace sorel::scenarios

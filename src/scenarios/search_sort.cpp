@@ -1,0 +1,258 @@
+#include "sorel/scenarios/search_sort.hpp"
+
+#include <cmath>
+
+#include "sorel/core/connectors.hpp"
+#include "sorel/core/service.hpp"
+
+namespace sorel::scenarios {
+
+using core::Assembly;
+using core::CompletionModel;
+using core::CompositeService;
+using core::FlowGraph;
+using core::FlowState;
+using core::FormalParam;
+using core::InternalFailure;
+using core::PortBinding;
+using core::ServicePtr;
+using core::ServiceRequest;
+using expr::Expr;
+
+namespace {
+
+/// Figure 1 (right): Sort(in-out: list) — one state requesting
+/// cpu(list·log2 list), with the sort software's eq.-(14) internal failure.
+ServicePtr make_sort_service(const std::string& name, double phi) {
+  const Expr list = Expr::var("list");
+  const Expr work = list * log2(list);
+
+  FlowGraph flow;
+  FlowState s;
+  s.name = "sorting";
+  ServiceRequest cpu_call;
+  cpu_call.port = "cpu";
+  cpu_call.actuals = {work};
+  cpu_call.internal = InternalFailure::per_operation(Expr::var(name + ".phi"), work);
+  cpu_call.label = "comparison sort";
+  s.requests.push_back(std::move(cpu_call));
+  const auto sid = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, sid, Expr::constant(1.0));
+  flow.add_transition(sid, FlowGraph::kEnd, Expr::constant(1.0));
+
+  return std::make_shared<CompositeService>(
+      name, std::vector<FormalParam>{{"list", "list size (in-out)"}},
+      std::move(flow), std::map<std::string, double>{{name + ".phi", phi}});
+}
+
+/// Figure 1 (left): Search(in: elem, in: list, out: res) —
+///   Start --q--> sort state --1--> cpu(log2 list) --1--> End
+///   Start --(1-q)--> cpu(log2 list)
+ServicePtr make_search_service(double phi, double q, double undetected_sort) {
+  const Expr list = Expr::var("list");
+  const Expr probe_work = log2(list);
+
+  FlowGraph flow;
+
+  FlowState sort_state;
+  sort_state.name = "sort";
+  sort_state.undetected_failure_fraction = undetected_sort;
+  ServiceRequest sort_call;
+  sort_call.port = "sort";
+  sort_call.actuals = {list};
+  // Paper assumption after eq. (21): a method call within search is
+  // perfectly reliable -> Pfail_int(call(sortx, list)) = 0.
+  sort_call.internal = InternalFailure::none();
+  sort_call.label = "Sort(list)";
+  sort_state.requests.push_back(std::move(sort_call));
+  const auto sort_id = flow.add_state(std::move(sort_state));
+
+  FlowState probe_state;
+  probe_state.name = "probe";
+  ServiceRequest cpu_call;
+  cpu_call.port = "cpu";
+  cpu_call.actuals = {probe_work};
+  cpu_call.internal = InternalFailure::per_operation(Expr::var("search.phi"), probe_work);
+  cpu_call.label = "binary search";
+  probe_state.requests.push_back(std::move(cpu_call));
+  const auto probe_id = flow.add_state(std::move(probe_state));
+
+  const Expr q_expr = Expr::var("search.q");
+  flow.add_transition(FlowGraph::kStart, sort_id, q_expr);
+  flow.add_transition(FlowGraph::kStart, probe_id, 1.0 - q_expr);
+  flow.add_transition(sort_id, probe_id, Expr::constant(1.0));
+  flow.add_transition(probe_id, FlowGraph::kEnd, Expr::constant(1.0));
+
+  return std::make_shared<CompositeService>(
+      "search",
+      std::vector<FormalParam>{{"elem", "element size"},
+                               {"list", "list size"},
+                               {"res", "result size"}},
+      std::move(flow),
+      std::map<std::string, double>{{"search.phi", phi}, {"search.q", q}});
+}
+
+}  // namespace
+
+Assembly build_search_assembly(AssemblyKind kind, const SearchSortParams& p) {
+  Assembly assembly;
+  assembly.add_service(
+      make_search_service(p.phi_search, p.q, p.undetected_sort_fraction));
+  assembly.add_service(core::make_cpu_service("cpu1", p.s1, p.lambda1));
+
+  // Figures 3/4 draw explicit "local processing" connectors loc1..loc5; they
+  // are perfectly reliable modeling artefacts (section 3.1).
+  assembly.add_service(core::make_local_processing_connector("loc1"));
+  assembly.add_service(core::make_local_processing_connector("loc2"));
+  assembly.add_service(core::make_local_processing_connector("loc3"));
+
+  const auto loc_binding = [](const std::string& target, const std::string& loc) {
+    PortBinding b;
+    b.target = target;
+    b.connector = loc;
+    // Deployment association: sizes are irrelevant to a perfect connector.
+    b.connector_actuals = {Expr::constant(0.0), Expr::constant(0.0)};
+    return b;
+  };
+
+  if (kind == AssemblyKind::kLocal) {
+    // Figure 3: search --lpc--> sort1; both on cpu1.
+    assembly.add_service(make_sort_service("sort1", p.phi_sort1));
+    assembly.add_service(core::make_lpc_connector("lpc", p.lpc_ops));
+
+    PortBinding sort_binding;
+    sort_binding.target = "sort1";
+    sort_binding.connector = "lpc";
+    // Connection service actuals (figure 2 / eq. 21): ip = elem + list,
+    // op = res — expressions over the *search* formals.
+    sort_binding.connector_actuals = {Expr::var("elem") + Expr::var("list"),
+                                      Expr::var("res")};
+    assembly.bind("search", "sort", std::move(sort_binding));
+
+    assembly.bind("search", "cpu", loc_binding("cpu1", "loc1"));
+    assembly.bind("sort1", "cpu", loc_binding("cpu1", "loc2"));
+    assembly.bind("lpc", "cpu", loc_binding("cpu1", "loc3"));
+  } else {
+    // Figure 4: search --rpc/net12--> sort2 on cpu2.
+    assembly.add_service(make_sort_service("sort2", p.phi_sort2));
+    assembly.add_service(core::make_cpu_service("cpu2", p.s2, p.lambda2));
+    assembly.add_service(core::make_network_service("net12", p.bandwidth, p.gamma));
+    assembly.add_service(
+        core::make_rpc_connector("rpc", p.rpc_ops_per_byte, p.rpc_bytes_per_byte));
+    assembly.add_service(core::make_local_processing_connector("loc4"));
+    assembly.add_service(core::make_local_processing_connector("loc5"));
+
+    PortBinding sort_binding;
+    sort_binding.target = "sort2";
+    sort_binding.connector = "rpc";
+    sort_binding.connector_actuals = {Expr::var("elem") + Expr::var("list"),
+                                      Expr::var("res")};
+    assembly.bind("search", "sort", std::move(sort_binding));
+
+    assembly.bind("search", "cpu", loc_binding("cpu1", "loc1"));
+    assembly.bind("sort2", "cpu", loc_binding("cpu2", "loc2"));
+    // The rpc connector's own resource usage (figure 4's loc3/loc4/loc5
+    // associations): marshal on cpu1, unmarshal on cpu2, wire on net12.
+    assembly.bind("rpc", "cpu_client", loc_binding("cpu1", "loc3"));
+    assembly.bind("rpc", "cpu_server", loc_binding("cpu2", "loc4"));
+    assembly.bind("rpc", "net", loc_binding("net12", "loc5"));
+  }
+  return assembly;
+}
+
+SearchSelectionSetup build_search_selection_assembly(const SearchSortParams& p) {
+  SearchSelectionSetup setup;
+  Assembly& assembly = setup.assembly;
+  assembly.add_service(
+      make_search_service(p.phi_search, p.q, p.undetected_sort_fraction));
+  assembly.add_service(core::make_cpu_service("cpu1", p.s1, p.lambda1));
+  assembly.add_service(core::make_cpu_service("cpu2", p.s2, p.lambda2));
+  assembly.add_service(core::make_network_service("net12", p.bandwidth, p.gamma));
+  assembly.add_service(make_sort_service("sort1", p.phi_sort1));
+  assembly.add_service(make_sort_service("sort2", p.phi_sort2));
+  assembly.add_service(core::make_lpc_connector("lpc", p.lpc_ops));
+  assembly.add_service(
+      core::make_rpc_connector("rpc", p.rpc_ops_per_byte, p.rpc_bytes_per_byte));
+  for (int i = 1; i <= 5; ++i) {
+    assembly.add_service(
+        core::make_local_processing_connector("loc" + std::to_string(i)));
+  }
+
+  const auto loc_binding = [](const std::string& target, const std::string& loc) {
+    PortBinding b;
+    b.target = target;
+    b.connector = loc;
+    b.connector_actuals = {Expr::constant(0.0), Expr::constant(0.0)};
+    return b;
+  };
+  assembly.bind("search", "cpu", loc_binding("cpu1", "loc1"));
+  assembly.bind("sort1", "cpu", loc_binding("cpu1", "loc2"));
+  assembly.bind("sort2", "cpu", loc_binding("cpu2", "loc2"));
+  assembly.bind("lpc", "cpu", loc_binding("cpu1", "loc3"));
+  assembly.bind("rpc", "cpu_client", loc_binding("cpu1", "loc3"));
+  assembly.bind("rpc", "cpu_server", loc_binding("cpu2", "loc4"));
+  assembly.bind("rpc", "net", loc_binding("net12", "loc5"));
+
+  setup.local_candidate.target = "sort1";
+  setup.local_candidate.connector = "lpc";
+  setup.local_candidate.connector_actuals = {Expr::var("elem") + Expr::var("list"),
+                                             Expr::var("res")};
+  setup.remote_candidate.target = "sort2";
+  setup.remote_candidate.connector = "rpc";
+  setup.remote_candidate.connector_actuals = setup.local_candidate.connector_actuals;
+  return setup;
+}
+
+// ---------------------------------------------------------------------------
+// Closed forms (equations 15–22)
+// ---------------------------------------------------------------------------
+
+double pfail_cpu(double lambda, double speed, double operations) {
+  return 1.0 - std::exp(-lambda * operations / speed);
+}
+
+double pfail_net(double gamma, double bandwidth, double bytes) {
+  return 1.0 - std::exp(-gamma * bytes / bandwidth);
+}
+
+double pfail_sort(double phi, double lambda, double speed, double list) {
+  const double work = list * std::log2(list);
+  // (1 − φ)^work computed as e^(work·log1p(−φ)) so the oracle keeps full
+  // precision for tiny φ and large work, matching the engine's evaluation
+  // of eq. (14).
+  const double software_ok = std::exp(work * std::log1p(-phi));
+  const double hardware_ok = std::exp(-lambda * work / speed);
+  return 1.0 - software_ok * hardware_ok;
+}
+
+double pfail_lpc(const SearchSortParams& p) {
+  return 1.0 - std::exp(-p.lambda1 * p.lpc_ops / p.s1);
+}
+
+double pfail_rpc(const SearchSortParams& p, double ip, double op) {
+  const double total = ip + op;
+  const double client_ok = std::exp(-p.lambda1 * p.rpc_ops_per_byte * total / p.s1);
+  const double wire_ok = std::exp(-p.gamma * p.rpc_bytes_per_byte * total / p.bandwidth);
+  const double server_ok = std::exp(-p.lambda2 * p.rpc_ops_per_byte * total / p.s2);
+  return 1.0 - client_ok * wire_ok * server_ok;
+}
+
+double pfail_search(AssemblyKind kind, const SearchSortParams& p, double list) {
+  // Probe term: Pr{fail(call(cpu1, log2 list))} with eq. (14) internals.
+  const double probe_work = std::log2(list);
+  const double probe_fail = 1.0 - std::exp(probe_work * std::log1p(-p.phi_search)) *
+                                      std::exp(-p.lambda1 * probe_work / p.s1);
+
+  const double connector_fail = kind == AssemblyKind::kLocal
+                                    ? pfail_lpc(p)
+                                    : pfail_rpc(p, p.elem_size + list, p.result_size);
+  const double sort_fail = kind == AssemblyKind::kLocal
+                               ? pfail_sort(p.phi_sort1, p.lambda1, p.s1, list)
+                               : pfail_sort(p.phi_sort2, p.lambda2, p.s2, list);
+
+  // Eq. (22).
+  return (1.0 - p.q) * probe_fail +
+         p.q * (1.0 - (1.0 - probe_fail) * (1.0 - connector_fail) * (1.0 - sort_fail));
+}
+
+}  // namespace sorel::scenarios

@@ -1,0 +1,185 @@
+#include "sorel/scenarios/synthetic.hpp"
+
+#include <string>
+
+#include "sorel/core/service.hpp"
+
+namespace sorel::scenarios {
+
+using core::Assembly;
+using core::CompletionModel;
+using core::CompositeService;
+using core::DependencyModel;
+using core::FlowGraph;
+using core::FlowState;
+using core::FlowStateId;
+using core::FormalParam;
+using core::InternalFailure;
+using core::PortBinding;
+using core::ServiceRequest;
+using expr::Expr;
+
+namespace {
+
+PortBinding plain_binding(std::string target) {
+  PortBinding b;
+  b.target = std::move(target);
+  return b;  // empty connector: perfect connection
+}
+
+ServiceRequest cpu_request(double phi) {
+  ServiceRequest r;
+  r.port = "cpu";
+  r.actuals = {Expr::var("work")};
+  if (phi > 0.0) {
+    r.internal = InternalFailure::per_operation(phi, Expr::var("work"));
+  }
+  return r;
+}
+
+}  // namespace
+
+Assembly make_chain_assembly(std::size_t stages, double phi, double lambda,
+                             double speed) {
+  FlowGraph flow;
+  FlowStateId previous = FlowGraph::kStart;
+  for (std::size_t i = 0; i < stages; ++i) {
+    FlowState s;
+    s.name = "stage" + std::to_string(i);
+    s.requests.push_back(cpu_request(phi));
+    const auto id = flow.add_state(std::move(s));
+    flow.add_transition(previous, id, Expr::constant(1.0));
+    previous = id;
+  }
+  flow.add_transition(previous, FlowGraph::kEnd, Expr::constant(1.0));
+
+  Assembly assembly;
+  assembly.add_service(std::make_shared<CompositeService>(
+      "pipeline", std::vector<FormalParam>{{"work", "operations per stage"}},
+      std::move(flow)));
+  assembly.add_service(core::make_cpu_service("cpu", speed, lambda));
+  assembly.bind("pipeline", "cpu", plain_binding("cpu"));
+  return assembly;
+}
+
+Assembly make_tree_assembly(std::size_t depth, std::size_t fanout, double phi,
+                            double lambda, double speed) {
+  Assembly assembly;
+  assembly.add_service(core::make_cpu_service("cpu", speed, lambda));
+
+  // One service per level; level i issues `fanout` requests to level i+1.
+  // Memoisation makes the evaluation linear in depth even though the call
+  // tree has fanout^depth leaves.
+  for (std::size_t level = 0; level <= depth; ++level) {
+    FlowGraph flow;
+    FlowState s;
+    s.name = "delegate";
+    s.completion = CompletionModel::kAnd;
+    if (level == depth) {
+      s.requests.push_back(cpu_request(phi));
+    } else {
+      for (std::size_t j = 0; j < fanout; ++j) {
+        ServiceRequest r;
+        r.port = "child";
+        r.actuals = {Expr::var("work")};
+        r.label = "child call " + std::to_string(j);
+        s.requests.push_back(std::move(r));
+      }
+    }
+    const auto id = flow.add_state(std::move(s));
+    flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+    flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+
+    assembly.add_service(std::make_shared<CompositeService>(
+        "level" + std::to_string(level),
+        std::vector<FormalParam>{{"work", "operations at the leaves"}},
+        std::move(flow)));
+  }
+  for (std::size_t level = 0; level < depth; ++level) {
+    assembly.bind("level" + std::to_string(level), "child",
+                  plain_binding("level" + std::to_string(level + 1)));
+  }
+  assembly.bind("level" + std::to_string(depth), "cpu", plain_binding("cpu"));
+  return assembly;
+}
+
+Assembly make_fan_assembly(std::size_t n, CompletionModel completion, std::size_t k,
+                           DependencyModel dependency, double phi, double lambda,
+                           double speed) {
+  FlowGraph flow;
+  FlowState s;
+  s.name = "fan_out";
+  s.completion = completion;
+  s.k = k;
+  s.dependency = dependency;
+  for (std::size_t i = 0; i < n; ++i) {
+    ServiceRequest r = cpu_request(phi);
+    r.label = "replica " + std::to_string(i);
+    s.requests.push_back(std::move(r));
+  }
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+
+  Assembly assembly;
+  assembly.add_service(std::make_shared<CompositeService>(
+      "fan", std::vector<FormalParam>{{"work", "operations per replica"}},
+      std::move(flow)));
+  assembly.add_service(core::make_cpu_service("cpu", speed, lambda));
+  assembly.bind("fan", "cpu", plain_binding("cpu"));
+  return assembly;
+}
+
+Assembly make_recursive_assembly(double p_recurse, double step_pfail) {
+  const auto make_half = [&](const std::string& name, bool conditional) {
+    FlowGraph flow;
+    FlowState work;
+    work.name = "work";
+    ServiceRequest step;
+    step.port = "step";
+    step.label = "local work";
+    work.requests.push_back(std::move(step));
+    const auto work_id = flow.add_state(std::move(work));
+
+    FlowState call_peer;
+    call_peer.name = "call_peer";
+    ServiceRequest peer;
+    peer.port = "peer";
+    peer.label = "mutual recursion";
+    call_peer.requests.push_back(std::move(peer));
+    const auto peer_id = flow.add_state(std::move(call_peer));
+
+    flow.add_transition(FlowGraph::kStart, work_id, Expr::constant(1.0));
+    if (conditional) {
+      flow.add_transition(work_id, peer_id, Expr::constant(p_recurse));
+      flow.add_transition(work_id, FlowGraph::kEnd, Expr::constant(1.0 - p_recurse));
+    } else {
+      flow.add_transition(work_id, peer_id, Expr::constant(1.0));
+    }
+    flow.add_transition(peer_id, FlowGraph::kEnd, Expr::constant(1.0));
+
+    return std::make_shared<CompositeService>(name, std::vector<FormalParam>{},
+                                              std::move(flow));
+  };
+
+  Assembly assembly;
+  assembly.add_service(make_half("ping", /*conditional=*/true));
+  assembly.add_service(make_half("pong", /*conditional=*/false));
+  assembly.add_service(core::make_simple_service(
+      "step_svc", {}, Expr::constant(step_pfail)));
+  assembly.bind("ping", "step", plain_binding("step_svc"));
+  assembly.bind("ping", "peer", plain_binding("pong"));
+  assembly.bind("pong", "step", plain_binding("step_svc"));
+  assembly.bind("pong", "peer", plain_binding("ping"));
+  return assembly;
+}
+
+double recursive_assembly_pfail(double p_recurse, double step_pfail) {
+  // R_ping = s(1−p) + s·p·R_pong, R_pong = s·R_ping, s = 1 − step_pfail:
+  // R_ping = s(1−p) / (1 − p s²).
+  const double s = 1.0 - step_pfail;
+  const double reliability = s * (1.0 - p_recurse) / (1.0 - p_recurse * s * s);
+  return 1.0 - reliability;
+}
+
+}  // namespace sorel::scenarios

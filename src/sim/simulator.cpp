@@ -1,0 +1,238 @@
+#include "sorel/sim/simulator.hpp"
+
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::sim {
+
+using core::CompletionModel;
+using core::CompositeService;
+using core::DependencyModel;
+using core::FlowGraph;
+using core::FlowState;
+using core::Service;
+using core::ServiceRequest;
+using core::SimpleService;
+
+Simulator::Simulator(const core::Assembly& assembly)
+    : assembly_(assembly), base_env_(assembly.attribute_env()) {
+  assembly_.validate();
+}
+
+SimulationResult Simulator::estimate(std::string_view service_name,
+                                     const std::vector<double>& args,
+                                     const SimulationOptions& options) const {
+  const core::ServicePtr& svc = assembly_.service(service_name);
+  util::Rng rng(options.seed);
+  SimulationResult result;
+  result.replications = options.replications;
+  for (std::size_t i = 0; i < options.replications; ++i) {
+    if (sample_invocation(*svc, args, rng, 0, options.max_depth)) {
+      ++result.successes;
+    }
+  }
+  return result;
+}
+
+Simulator::ModeCounts Simulator::estimate_failure_modes(
+    std::string_view service_name, const std::vector<double>& args,
+    const SimulationOptions& options) const {
+  const core::ServicePtr& svc = assembly_.service(service_name);
+  const auto* composite = dynamic_cast<const CompositeService*>(svc.get());
+  if (composite == nullptr) {
+    throw InvalidArgument("estimate_failure_modes: service '" +
+                          std::string(service_name) + "' is simple (no flow)");
+  }
+  if (args.size() != composite->arity()) {
+    throw InvalidArgument("simulator: service '" + composite->name() +
+                          "' expects " + std::to_string(composite->arity()) +
+                          " arguments, got " + std::to_string(args.size()));
+  }
+  const FlowGraph& flow = *composite->flow();
+  expr::Env env = base_env_;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    env.set(composite->formals()[i].name, args[i]);
+  }
+
+  util::Rng rng(options.seed);
+  ModeCounts counts;
+  counts.replications = options.replications;
+  for (std::size_t rep = 0; rep < options.replications; ++rep) {
+    core::FlowStateId current = FlowGraph::kStart;
+    bool contaminated = false;
+    bool detected = false;
+    for (std::size_t step = 0; step <= options.max_depth; ++step) {
+      if (current == FlowGraph::kEnd) break;
+      if (current != FlowGraph::kStart) {
+        const FlowState& state = flow.state(current);
+        if (!sample_state(*composite, state, env, rng, 0, options.max_depth)) {
+          if (rng.bernoulli(state.undetected_failure_fraction)) {
+            contaminated = true;  // silent: keep walking
+          } else {
+            detected = true;  // fail-stop
+            break;
+          }
+        }
+      }
+      const auto& transitions = flow.transitions_from(current);
+      const double u = rng.uniform();
+      double acc = 0.0;
+      core::FlowStateId next = transitions.back().to;
+      for (const auto& t : transitions) {
+        acc += t.probability.eval(env);
+        if (u < acc) {
+          next = t.to;
+          break;
+        }
+      }
+      current = next;
+    }
+    if (detected || current != FlowGraph::kEnd) {
+      ++counts.detected;  // fail-stop (or walk bound exhausted: conservative)
+    } else if (contaminated) {
+      ++counts.silent;  // completed, but an undetected failure slipped through
+    } else {
+      ++counts.successes;
+    }
+  }
+  return counts;
+}
+
+bool Simulator::sample_invocation(const Service& service,
+                                  const std::vector<double>& args, util::Rng& rng,
+                                  std::size_t depth, std::size_t max_depth) const {
+  if (args.size() != service.arity()) {
+    throw InvalidArgument("simulator: service '" + service.name() + "' expects " +
+                          std::to_string(service.arity()) + " arguments, got " +
+                          std::to_string(args.size()));
+  }
+  if (depth > max_depth) return false;  // conservative: count as failure
+
+  if (const auto* simple = dynamic_cast<const SimpleService*>(&service)) {
+    expr::Env env = base_env_;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      env.set(simple->formals()[i].name, args[i]);
+    }
+    return !rng.bernoulli(simple->pfail_expr().eval(env));
+  }
+  return sample_composite(dynamic_cast<const CompositeService&>(service), args, rng,
+                          depth, max_depth);
+}
+
+bool Simulator::sample_composite(const CompositeService& service,
+                                 const std::vector<double>& args, util::Rng& rng,
+                                 std::size_t depth, std::size_t max_depth) const {
+  const FlowGraph& flow = *service.flow();
+  expr::Env env = base_env_;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    env.set(service.formals()[i].name, args[i]);
+  }
+
+  core::FlowStateId current = FlowGraph::kStart;
+  // Walk the flow. Start incurs no failures (paper: no real behaviour there).
+  for (std::size_t step = 0; step <= max_depth; ++step) {
+    if (current == FlowGraph::kEnd) return true;
+    if (current != FlowGraph::kStart) {
+      if (!sample_state(service, flow.state(current), env, rng, depth, max_depth)) {
+        return false;
+      }
+    }
+    // Sample the next state from the (parametric) transition row.
+    const auto& transitions = flow.transitions_from(current);
+    const double u = rng.uniform();
+    double acc = 0.0;
+    core::FlowStateId next = transitions.empty() ? current : transitions.back().to;
+    for (const auto& t : transitions) {
+      acc += t.probability.eval(env);
+      if (u < acc) {
+        next = t.to;
+        break;
+      }
+    }
+    if (transitions.empty()) {
+      throw ModelError("simulator: state '" + flow.state_name(current) +
+                       "' of service '" + service.name() + "' has no successor");
+    }
+    current = next;
+  }
+  return false;  // walk did not terminate within the step bound
+}
+
+bool Simulator::sample_state(const CompositeService& service, const FlowState& state,
+                             const expr::Env& env, util::Rng& rng, std::size_t depth,
+                             std::size_t max_depth) const {
+  const std::size_t n = state.requests.size();
+  if (n == 0) return true;
+
+  // Sample outcomes request by request.
+  std::size_t successes = 0;
+  bool any_external_failure = false;
+  std::vector<bool> internal_ok(n, true);
+  for (std::size_t j = 0; j < n; ++j) {
+    const ServiceRequest& request = state.requests[j];
+    internal_ok[j] = !rng.bernoulli(request.internal.pfail(env));
+    const bool ext_ok =
+        sample_request_external(service, request, env, rng, depth, max_depth);
+    any_external_failure = any_external_failure || !ext_ok;
+    if (internal_ok[j] && ext_ok) ++successes;
+  }
+
+  if (state.dependency == DependencyModel::kSharing && any_external_failure) {
+    // Fail-stop, no repair: one external failure of the shared service
+    // defeats every request in the state.
+    successes = 0;
+  } else if (state.dependency == DependencyModel::kSharing) {
+    // No external failure occurred: only internal failures filter successes.
+    successes = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (internal_ok[j]) ++successes;
+    }
+  }
+
+  switch (state.completion) {
+    case CompletionModel::kAnd:
+      return successes == n;
+    case CompletionModel::kOr:
+      return successes >= 1;
+    case CompletionModel::kKOfN:
+      return successes >= state.k;
+  }
+  throw ModelError("simulator: unknown completion model");
+}
+
+bool Simulator::sample_request_external(const CompositeService& service,
+                                        const ServiceRequest& request,
+                                        const expr::Env& env, util::Rng& rng,
+                                        std::size_t depth,
+                                        std::size_t max_depth) const {
+  const core::PortBinding& bind = assembly_.binding(service.name(), request.port);
+  const core::ServicePtr& target = assembly_.service(bind.target);
+
+  std::vector<double> child_args;
+  child_args.reserve(request.actuals.size());
+  for (const expr::Expr& actual : request.actuals) {
+    child_args.push_back(actual.eval(env));
+  }
+  if (!sample_invocation(*target, child_args, rng, depth + 1, max_depth)) {
+    return false;
+  }
+  if (bind.connector.empty()) return true;
+
+  const core::ServicePtr& connector = assembly_.service(bind.connector);
+  expr::Env conn_env = env;
+  for (std::size_t i = 0; i < child_args.size(); ++i) {
+    conn_env.set("arg" + std::to_string(i), child_args[i]);
+  }
+  const auto& actual_exprs = request.connector_actuals.empty()
+                                 ? bind.connector_actuals
+                                 : request.connector_actuals;
+  std::vector<double> conn_args;
+  conn_args.reserve(actual_exprs.size());
+  for (const expr::Expr& actual : actual_exprs) {
+    conn_args.push_back(actual.eval(conn_env));
+  }
+  return sample_invocation(*connector, conn_args, rng, depth + 1, max_depth);
+}
+
+}  // namespace sorel::sim

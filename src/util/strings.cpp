@@ -1,0 +1,57 @@
+#include "sorel/util/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace sorel::util {
+
+std::string format_double(double value, int precision) {
+  if (value == 0.0) return "0";
+  if (value == 1.0) return "1";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool is_identifier(std::string_view text) {
+  if (text.empty()) return false;
+  const auto head = static_cast<unsigned char>(text.front());
+  if (!std::isalpha(head) && head != '_') return false;
+  for (std::size_t i = 1; i < text.size(); ++i) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (!std::isalnum(c) && c != '_' && c != '.') return false;
+  }
+  return true;
+}
+
+}  // namespace sorel::util

@@ -1,0 +1,175 @@
+// Tests for the related-work baseline models (Cheung, Wang-Wu-Chen,
+// Dolbec-Shepard path-based), including the cross-model consistency
+// relations used by the comparison bench.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/baselines/cheung.hpp"
+#include "sorel/baselines/path_based.hpp"
+#include "sorel/baselines/wang_wu_chen.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::ModelError;
+using sorel::baselines::CheungModel;
+using sorel::baselines::PathBasedModel;
+using sorel::baselines::WangWuChenModel;
+
+TEST(Cheung, SequentialSystemIsProduct) {
+  // C0 -> C1 -> C2 -> exit: R = R0 R1 R2.
+  CheungModel m(3);
+  m.set_reliability(0, 0.9);
+  m.set_reliability(1, 0.8);
+  m.set_reliability(2, 0.95);
+  m.set_transition(0, 1, 1.0);
+  m.set_transition(1, 2, 1.0);
+  m.set_exit(2, 1.0);
+  EXPECT_NEAR(m.system_reliability(), 0.9 * 0.8 * 0.95, 1e-12);
+}
+
+TEST(Cheung, BranchingSystem) {
+  // C0 branches 50/50 to C1 or C2, both exit.
+  CheungModel m(3);
+  m.set_reliability(0, 1.0);
+  m.set_reliability(1, 0.9);
+  m.set_reliability(2, 0.5);
+  m.set_transition(0, 1, 0.5);
+  m.set_transition(0, 2, 0.5);
+  m.set_exit(1, 1.0);
+  m.set_exit(2, 1.0);
+  EXPECT_NEAR(m.system_reliability(), 0.5 * 0.9 + 0.5 * 0.5, 1e-12);
+}
+
+TEST(Cheung, CyclicSystemGeometric) {
+  // C0 retries itself with p=0.5, exits otherwise: R = sum_k (0.5 R0)^k
+  // (0.5 R0) = 0.5 R0 / (1 - 0.5 R0).
+  CheungModel m(1);
+  m.set_reliability(0, 0.9);
+  m.set_transition(0, 0, 0.5);
+  m.set_exit(0, 0.5);
+  const double r0 = 0.9;
+  EXPECT_NEAR(m.system_reliability(), 0.5 * r0 / (1.0 - 0.5 * r0), 1e-12);
+}
+
+TEST(Cheung, ValidatesRowSums) {
+  CheungModel m(2);
+  m.set_transition(0, 1, 0.5);  // row sums to 0.5 without exit
+  m.set_exit(1, 1.0);
+  EXPECT_THROW(m.system_reliability(), ModelError);
+}
+
+TEST(Cheung, RejectsBadInputs) {
+  EXPECT_THROW(CheungModel(0), InvalidArgument);
+  CheungModel m(2);
+  EXPECT_THROW(m.set_reliability(0, 1.5), InvalidArgument);
+  EXPECT_THROW(m.set_reliability(5, 0.5), std::out_of_range);
+  EXPECT_THROW(m.set_start(7), InvalidArgument);
+}
+
+TEST(WangWuChen, ReducesToCheungWithPerfectConnectors) {
+  CheungModel cheung(3);
+  WangWuChenModel wwc(3);
+  const double r[] = {0.9, 0.85, 0.99};
+  for (std::size_t i = 0; i < 3; ++i) {
+    cheung.set_reliability(i, r[i]);
+    wwc.set_reliability(i, r[i]);
+  }
+  cheung.set_transition(0, 1, 0.6);
+  cheung.set_transition(0, 2, 0.4);
+  cheung.set_transition(1, 2, 1.0);
+  cheung.set_exit(2, 1.0);
+  wwc.set_transition(0, 1, 0.6);
+  wwc.set_transition(0, 2, 0.4);
+  wwc.set_transition(1, 2, 1.0);
+  wwc.set_exit(2, 1.0);
+  EXPECT_NEAR(cheung.system_reliability(), wwc.system_reliability(), 1e-12);
+}
+
+TEST(WangWuChen, ConnectorFailuresLowerReliability) {
+  WangWuChenModel m(2);
+  m.set_reliability(0, 0.95);
+  m.set_reliability(1, 0.95);
+  m.set_transition(0, 1, 1.0);
+  m.set_exit(1, 1.0);
+  const double perfect = m.system_reliability();
+  m.set_connector_reliability(0, 1, 0.9);
+  const double lossy = m.system_reliability();
+  EXPECT_NEAR(lossy, perfect * 0.9, 1e-12);
+  EXPECT_LT(lossy, perfect);
+}
+
+TEST(PathBased, AcyclicSystemExact) {
+  // Same branching system as the Cheung test: path enumeration is exact.
+  PathBasedModel m(3);
+  m.set_reliability(0, 1.0);
+  m.set_reliability(1, 0.9);
+  m.set_reliability(2, 0.5);
+  m.set_transition(0, 1, 0.5);
+  m.set_transition(0, 2, 0.5);
+  m.set_exit(1, 1.0);
+  m.set_exit(2, 1.0);
+  const auto result = m.system_reliability();
+  EXPECT_NEAR(result.reliability, 0.7, 1e-12);
+  EXPECT_EQ(result.truncated_mass, 0.0);
+  EXPECT_EQ(result.paths_expanded, 3u);
+}
+
+TEST(PathBased, CyclicSystemConvergesToCheung) {
+  CheungModel exact(2);
+  PathBasedModel paths(2);
+  for (auto* m : {static_cast<void*>(&exact), static_cast<void*>(&paths)}) {
+    (void)m;
+  }
+  exact.set_reliability(0, 0.95);
+  exact.set_reliability(1, 0.9);
+  exact.set_transition(0, 1, 0.7);
+  exact.set_exit(0, 0.3);
+  exact.set_transition(1, 0, 0.5);
+  exact.set_exit(1, 0.5);
+  paths.set_reliability(0, 0.95);
+  paths.set_reliability(1, 0.9);
+  paths.set_transition(0, 1, 0.7);
+  paths.set_exit(0, 0.3);
+  paths.set_transition(1, 0, 0.5);
+  paths.set_exit(1, 0.5);
+
+  const auto result = paths.system_reliability();
+  EXPECT_NEAR(result.reliability, exact.system_reliability(), 1e-10);
+  EXPECT_LT(result.truncated_mass, 1e-10);
+}
+
+TEST(PathBased, TruncationReportsDroppedMass) {
+  PathBasedModel m(1);
+  m.set_reliability(0, 1.0);
+  m.set_transition(0, 0, 0.9);
+  m.set_exit(0, 0.1);
+  PathBasedModel::Options options;
+  options.max_path_length = 5;
+  const auto result = m.system_reliability(options);
+  // After 5 visits the residual probability 0.9^5 is truncated.
+  EXPECT_NEAR(result.truncated_mass, std::pow(0.9, 5), 1e-12);
+  EXPECT_NEAR(result.reliability + result.truncated_mass, 1.0, 1e-12);
+}
+
+TEST(PathBased, CutoffTradesAccuracyForWork) {
+  PathBasedModel m(2);
+  m.set_reliability(0, 0.99);
+  m.set_reliability(1, 0.98);
+  m.set_transition(0, 1, 0.8);
+  m.set_exit(0, 0.2);
+  m.set_transition(1, 0, 0.6);
+  m.set_exit(1, 0.4);
+  PathBasedModel::Options coarse;
+  coarse.probability_cutoff = 1e-3;
+  PathBasedModel::Options fine;
+  fine.probability_cutoff = 1e-12;
+  const auto coarse_result = m.system_reliability(coarse);
+  const auto fine_result = m.system_reliability(fine);
+  EXPECT_LT(coarse_result.paths_expanded, fine_result.paths_expanded);
+  EXPECT_GT(coarse_result.truncated_mass, fine_result.truncated_mass);
+}
+
+}  // namespace

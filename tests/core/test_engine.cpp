@@ -1,0 +1,285 @@
+// Behavioural tests of the reliability engine: the Pfail_Alg recursion,
+// memoisation, parametric transition probabilities, failure augmentation,
+// recursion handling (error and fixed-point modes), and overrides.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/connectors.hpp"
+#include "sorel/core/engine.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::LookupError;
+using sorel::ModelError;
+using sorel::RecursionError;
+using sorel::core::Assembly;
+using sorel::core::CompletionModel;
+using sorel::core::CompositeService;
+using sorel::core::DependencyModel;
+using sorel::core::FlowGraph;
+using sorel::core::FlowState;
+using sorel::core::FormalParam;
+using sorel::core::PortBinding;
+using sorel::core::ReliabilityEngine;
+using sorel::core::ServiceRequest;
+using sorel::expr::Expr;
+
+TEST(Engine, UnknownServiceAndArityErrors) {
+  Assembly a = sorel::scenarios::make_chain_assembly(2);
+  ReliabilityEngine engine(a);
+  EXPECT_THROW(engine.pfail("ghost", {}), LookupError);
+  EXPECT_THROW(engine.pfail("pipeline", {}), InvalidArgument);       // needs 1 arg
+  EXPECT_THROW(engine.pfail("pipeline", {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Engine, ChainClosedForm) {
+  // n independent stages, each surviving with probability
+  // (1-phi)^work * exp(-lambda*work/s): the pipeline reliability is the
+  // product.
+  const std::size_t stages = 7;
+  const double phi = 1e-5;
+  const double lambda = 1e-9;
+  const double speed = 1e9;
+  const double work = 1e4;
+  Assembly a = sorel::scenarios::make_chain_assembly(stages, phi, lambda, speed);
+  ReliabilityEngine engine(a);
+  const double stage_ok =
+      std::exp(work * std::log1p(-phi)) * std::exp(-lambda * work / speed);
+  EXPECT_NEAR(engine.reliability("pipeline", {work}),
+              std::pow(stage_ok, static_cast<double>(stages)), 1e-12);
+}
+
+TEST(Engine, MemoisationCollapsesDags) {
+  // Tree/DAG of depth 12, fanout 4: naive evaluation would visit 4^12 ~ 16M
+  // leaves; memoisation evaluates each service once. The leaf failure rate
+  // is tiny so the 16M-fold product stays away from 0.
+  Assembly a = sorel::scenarios::make_tree_assembly(12, 4, /*phi=*/1e-9);
+  ReliabilityEngine engine(a);
+  const double r = engine.reliability("level0", {1.0});
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);
+  // One evaluation per service: levels 0..12 plus cpu.
+  EXPECT_EQ(engine.stats().evaluations, 14u);
+  EXPECT_GT(engine.stats().memo_hits, 0u);
+}
+
+TEST(Engine, MemoKeyIncludesArguments) {
+  Assembly a = sorel::scenarios::make_chain_assembly(1);
+  ReliabilityEngine engine(a);
+  const double r1 = engine.pfail("pipeline", {10.0});
+  const double r2 = engine.pfail("pipeline", {1e6});
+  EXPECT_NE(r1, r2);  // distinct args, distinct results
+}
+
+TEST(Engine, ParametricTransitionProbabilities) {
+  // A flow whose branch probability is a function of the formal parameter:
+  // Start --x--> risky --1--> End; Start --(1-x)--> End... modelled with a
+  // safe state to respect "no transition into Start".
+  FlowGraph flow;
+  FlowState risky;
+  risky.name = "risky";
+  ServiceRequest r;
+  r.port = "step";
+  r.internal = sorel::core::InternalFailure::constant(0.5);
+  risky.requests.push_back(std::move(r));
+  const auto risky_id = flow.add_state(std::move(risky));
+  FlowState safe;
+  safe.name = "safe";
+  const auto safe_id = flow.add_state(std::move(safe));
+  flow.add_transition(FlowGraph::kStart, risky_id, Expr::var("x"));
+  flow.add_transition(FlowGraph::kStart, safe_id, 1.0 - Expr::var("x"));
+  flow.add_transition(risky_id, FlowGraph::kEnd, Expr::constant(1.0));
+  flow.add_transition(safe_id, FlowGraph::kEnd, Expr::constant(1.0));
+
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "svc", std::vector<FormalParam>{{"x", ""}}, std::move(flow)));
+  a.add_service(sorel::core::make_perfect_service("noop"));
+  PortBinding b;
+  b.target = "noop";
+  a.bind("svc", "step", b);
+
+  ReliabilityEngine engine(a);
+  for (const double x : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_NEAR(engine.pfail("svc", {x}), 0.5 * x, 1e-12) << "x=" << x;
+  }
+  // Out-of-range probability must be rejected at evaluation time.
+  EXPECT_THROW(engine.pfail("svc", {1.5}), sorel::NumericError);
+}
+
+TEST(Engine, NonStochasticRowRejected) {
+  FlowGraph flow;
+  FlowState s;
+  s.name = "s";
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(0.5));  // sums to 0.5
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "svc", std::vector<FormalParam>{}, std::move(flow)));
+  ReliabilityEngine engine(a);
+  EXPECT_THROW(engine.pfail("svc", {}), ModelError);
+}
+
+TEST(Engine, LoopingFlowGeometric) {
+  // One state that retries itself with probability p and exits with (1-p),
+  // failing each visit with probability f: success = sum over k of
+  // p^k (1-f)^(k+1) (1-p) = (1-f)(1-p) / (1 - p(1-f)).
+  const double p = 0.4;
+  const double f = 0.1;
+  FlowGraph flow;
+  FlowState s;
+  s.name = "retry";
+  ServiceRequest r;
+  r.port = "step";
+  r.internal = sorel::core::InternalFailure::constant(f);
+  s.requests.push_back(std::move(r));
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, id, Expr::constant(p));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0 - p));
+
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "svc", std::vector<FormalParam>{}, std::move(flow)));
+  a.add_service(sorel::core::make_perfect_service("noop"));
+  PortBinding b;
+  b.target = "noop";
+  a.bind("svc", "step", b);
+
+  ReliabilityEngine engine(a);
+  const double expected = (1.0 - f) * (1.0 - p) / (1.0 - p * (1.0 - f));
+  EXPECT_NEAR(engine.reliability("svc", {}), expected, 1e-12);
+}
+
+TEST(Engine, RecursionRejectedByDefault) {
+  Assembly a = sorel::scenarios::make_recursive_assembly(0.3, 0.01);
+  ReliabilityEngine engine(a);
+  EXPECT_THROW(engine.pfail("ping", {}), RecursionError);
+}
+
+TEST(Engine, FixedPointSolvesMutualRecursion) {
+  for (const double p : {0.1, 0.3, 0.6, 0.9}) {
+    for (const double step : {0.0, 0.01, 0.2}) {
+      Assembly a = sorel::scenarios::make_recursive_assembly(p, step);
+      ReliabilityEngine::Options options;
+      options.allow_recursion = true;
+      ReliabilityEngine engine(a, options);
+      EXPECT_NEAR(engine.pfail("ping", {}),
+                  sorel::scenarios::recursive_assembly_pfail(p, step), 1e-9)
+          << "p=" << p << " step=" << step;
+      EXPECT_GT(engine.stats().fixpoint_iterations, 0u);
+    }
+  }
+}
+
+TEST(Engine, FixedPointWithDamping) {
+  Assembly a = sorel::scenarios::make_recursive_assembly(0.5, 0.05);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  options.damping = 0.5;
+  ReliabilityEngine engine(a, options);
+  EXPECT_NEAR(engine.pfail("ping", {}),
+              sorel::scenarios::recursive_assembly_pfail(0.5, 0.05), 1e-9);
+}
+
+TEST(Engine, AcyclicAssemblyNeedsNoFixpoint) {
+  Assembly a = sorel::scenarios::make_chain_assembly(3);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  ReliabilityEngine engine(a, options);
+  engine.pfail("pipeline", {100.0});
+  EXPECT_EQ(engine.stats().fixpoint_iterations, 0u);
+}
+
+TEST(Engine, PfailOverridesPinServices) {
+  Assembly a = sorel::scenarios::make_chain_assembly(3, /*phi=*/1e-3);
+  ReliabilityEngine::Options options;
+  options.pfail_overrides["cpu"] = 1.0;  // cpu always fails
+  ReliabilityEngine engine(a, options);
+  EXPECT_EQ(engine.pfail("pipeline", {100.0}), 1.0);
+
+  options.pfail_overrides["cpu"] = 0.0;  // cpu perfect: only software failures
+  ReliabilityEngine engine2(a, options);
+  const double software_only = engine2.pfail("pipeline", {100.0});
+  ReliabilityEngine engine3(a);
+  EXPECT_LT(software_only, engine3.pfail("pipeline", {100.0}) + 1e-15);
+}
+
+TEST(Engine, SparseMethodMatchesDense) {
+  Assembly a = sorel::scenarios::make_chain_assembly(40, 1e-6);
+  ReliabilityEngine dense(a);
+  ReliabilityEngine::Options options;
+  options.method = sorel::markov::AbsorptionAnalysis::Method::kSparse;
+  ReliabilityEngine sparse(a, options);
+  EXPECT_NEAR(dense.pfail("pipeline", {1e5}), sparse.pfail("pipeline", {1e5}), 1e-10);
+}
+
+TEST(Engine, AugmentedFlowOnlyForComposites) {
+  Assembly a = sorel::scenarios::make_chain_assembly(2);
+  ReliabilityEngine engine(a);
+  EXPECT_THROW(engine.augmented_flow("cpu", {1.0}), InvalidArgument);
+  const auto chain = engine.augmented_flow("pipeline", {100.0});
+  EXPECT_TRUE(chain.find_state("Fail").has_value());
+  chain.validate();
+}
+
+TEST(Engine, ClearCacheForcesReevaluation) {
+  Assembly a = sorel::scenarios::make_chain_assembly(2);
+  ReliabilityEngine engine(a);
+  engine.pfail("pipeline", {10.0});
+  const auto before = engine.stats().evaluations;
+  engine.pfail("pipeline", {10.0});
+  EXPECT_EQ(engine.stats().evaluations, before);  // memo hit
+  engine.clear_cache();
+  engine.pfail("pipeline", {10.0});
+  EXPECT_GT(engine.stats().evaluations, before);
+}
+
+TEST(Engine, KOfNStateEndToEnd) {
+  // 2-of-3 replicas with per-replica failure probability f (internal only):
+  // state failure = P(at most 1 success).
+  const double phi = 0.2;
+  Assembly a = sorel::scenarios::make_fan_assembly(
+      3, CompletionModel::kKOfN, 2, DependencyModel::kNoSharing, phi,
+      /*lambda=*/0.0, /*speed=*/1e9);
+  ReliabilityEngine engine(a);
+  const double f = 1.0 - std::exp(1.0 * std::log1p(-phi));  // work=1 -> f=phi
+  const double p0 = f * f * f;
+  const double p1 = 3.0 * (1.0 - f) * f * f;
+  EXPECT_NEAR(engine.pfail("fan", {1.0}), p0 + p1, 1e-12);
+}
+
+TEST(Engine, SharingVersusNoSharingEndToEnd) {
+  // OR completion over 3 replicas on one shared cpu: the shared-dependency
+  // unreliability must exceed the no-sharing one whenever the cpu can fail.
+  const double phi = 0.05;
+  const double lambda = 0.1;
+  const double speed = 1.0;  // strong hardware failure effect
+  Assembly shared = sorel::scenarios::make_fan_assembly(
+      3, CompletionModel::kOr, 0, DependencyModel::kSharing, phi, lambda, speed);
+  Assembly independent = sorel::scenarios::make_fan_assembly(
+      3, CompletionModel::kOr, 0, DependencyModel::kNoSharing, phi, lambda, speed);
+  ReliabilityEngine shared_engine(shared);
+  ReliabilityEngine independent_engine(independent);
+  EXPECT_GT(shared_engine.pfail("fan", {1.0}),
+            independent_engine.pfail("fan", {1.0}));
+
+  // AND completion: sharing makes no difference (the paper's claim), even
+  // end-to-end through the engine.
+  Assembly shared_and = sorel::scenarios::make_fan_assembly(
+      3, CompletionModel::kAnd, 0, DependencyModel::kSharing, phi, lambda, speed);
+  Assembly indep_and = sorel::scenarios::make_fan_assembly(
+      3, CompletionModel::kAnd, 0, DependencyModel::kNoSharing, phi, lambda, speed);
+  ReliabilityEngine shared_and_engine(shared_and);
+  ReliabilityEngine indep_and_engine(indep_and);
+  EXPECT_NEAR(shared_and_engine.pfail("fan", {1.0}),
+              indep_and_engine.pfail("fan", {1.0}), 1e-14);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Edge cases and failure injection for the reliability engine: direct
+// self-recursion, argument-dependent recursion that terminates, evaluation
+// errors surfacing from deep in the composition, name shadowing between
+// formals and attributes, and k-of-n sharing end-to-end closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/core/state_failure.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::CompletionModel;
+using sorel::core::CompositeService;
+using sorel::core::DependencyModel;
+using sorel::core::FlowGraph;
+using sorel::core::FlowState;
+using sorel::core::FormalParam;
+using sorel::core::InternalFailure;
+using sorel::core::PortBinding;
+using sorel::core::ReliabilityEngine;
+using sorel::core::ServiceRequest;
+using sorel::expr::Expr;
+
+/// A service that calls itself through port "self" with probability p.
+Assembly make_self_recursive(double p, double step_pfail) {
+  FlowGraph flow;
+  FlowState work;
+  work.name = "work";
+  ServiceRequest step;
+  step.port = "step";
+  step.internal = InternalFailure::constant(step_pfail);
+  work.requests.push_back(std::move(step));
+  const auto work_id = flow.add_state(std::move(work));
+
+  FlowState recurse;
+  recurse.name = "recurse";
+  ServiceRequest self_call;
+  self_call.port = "self";
+  recurse.requests.push_back(std::move(self_call));
+  const auto recurse_id = flow.add_state(std::move(recurse));
+
+  flow.add_transition(FlowGraph::kStart, work_id, Expr::constant(1.0));
+  flow.add_transition(work_id, recurse_id, Expr::constant(p));
+  flow.add_transition(work_id, FlowGraph::kEnd, Expr::constant(1.0 - p));
+  flow.add_transition(recurse_id, FlowGraph::kEnd, Expr::constant(1.0));
+
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "recursive", std::vector<FormalParam>{}, std::move(flow)));
+  a.add_service(sorel::core::make_perfect_service("noop"));
+  PortBinding b;
+  b.target = "noop";
+  a.bind("recursive", "step", b);
+  PortBinding self_binding;
+  self_binding.target = "recursive";
+  a.bind("recursive", "self", self_binding);
+  return a;
+}
+
+TEST(EngineEdge, DirectSelfRecursionFixedPoint) {
+  // R = s[(1-p) + p R]  =>  R = s(1-p)/(1 - p s).
+  const double p = 0.4;
+  const double step = 0.1;
+  Assembly a = make_self_recursive(p, step);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  ReliabilityEngine engine(a, options);
+  const double s = 1.0 - step;
+  const double expected = 1.0 - s * (1.0 - p) / (1.0 - p * s);
+  EXPECT_NEAR(engine.pfail("recursive", {}), expected, 1e-9);
+}
+
+TEST(EngineEdge, ArgumentDecreasingRecursionTerminatesWithoutFixpoint) {
+  // "countdown(x)" calls countdown(x-1) while x >= 1: distinct (service,
+  // args) keys at each level, so the recursion bottoms out naturally and
+  // needs no fixed point even with allow_recursion = false.
+  FlowGraph flow;
+  FlowState step;
+  step.name = "step";
+  ServiceRequest self_call;
+  self_call.port = "self";
+  self_call.actuals = {Expr::var("x") - 1.0};
+  self_call.internal = InternalFailure::constant(0.01);
+  step.requests.push_back(std::move(self_call));
+  const auto step_id = flow.add_state(std::move(step));
+
+  FlowState done;
+  done.name = "done";
+  const auto done_id = flow.add_state(std::move(done));
+
+  // Branch on x through min/max: p(go deeper) = 1 when x >= 1 else 0.
+  const Expr deeper = min(max(Expr::var("x"), Expr::constant(0.0)), Expr::constant(1.0));
+  flow.add_transition(FlowGraph::kStart, step_id, deeper);
+  flow.add_transition(FlowGraph::kStart, done_id, 1.0 - deeper);
+  flow.add_transition(step_id, FlowGraph::kEnd, Expr::constant(1.0));
+  flow.add_transition(done_id, FlowGraph::kEnd, Expr::constant(1.0));
+
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "countdown", std::vector<FormalParam>{{"x", ""}}, std::move(flow)));
+  PortBinding self_binding;
+  self_binding.target = "countdown";
+  a.bind("countdown", "self", self_binding);
+
+  ReliabilityEngine engine(a);  // recursion disabled: must still work
+  // Depth 5: five requests each with internal pfail 0.01 and the child's
+  // own failure — R(x) = 0.99^x recursively.
+  EXPECT_NEAR(engine.reliability("countdown", {5.0}), std::pow(0.99, 5.0), 1e-12);
+  EXPECT_NEAR(engine.reliability("countdown", {0.0}), 1.0, 1e-15);
+}
+
+TEST(EngineEdge, EvaluationErrorsSurfaceFromDepth) {
+  // A child whose pfail expression divides by an attribute set to zero:
+  // the NumericError must propagate out with the engine stack unwound
+  // (subsequent queries still work).
+  Assembly a;
+  a.add_service(sorel::core::make_simple_service(
+      "bad", {"x"}, Expr::var("x") / Expr::var("bad.divisor"),
+      {{"bad.divisor", 0.0}}));
+  FlowGraph flow;
+  FlowState s;
+  s.name = "call";
+  ServiceRequest r;
+  r.port = "dep";
+  r.actuals = {Expr::constant(0.5)};
+  s.requests.push_back(std::move(r));
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+  a.add_service(std::make_shared<CompositeService>(
+      "app", std::vector<FormalParam>{}, std::move(flow)));
+  PortBinding b;
+  b.target = "bad";
+  a.bind("app", "dep", b);
+
+  ReliabilityEngine engine(a);
+  EXPECT_THROW(engine.pfail("app", {}), sorel::NumericError);
+  // The engine remains usable after the failure.
+  a.set_attribute("bad.divisor", 1.0);
+  ReliabilityEngine fixed(a);
+  EXPECT_NEAR(fixed.pfail("app", {}), 0.5, 1e-12);
+}
+
+TEST(EngineEdge, FormalsShadowAttributes) {
+  // A formal parameter named like an attribute: the argument wins inside
+  // that service's evaluation.
+  Assembly a;
+  a.add_service(sorel::core::make_simple_service(
+      "svc", {"knob"}, Expr::var("knob") * 0.1, {{"knob", 7.0}}));
+  ReliabilityEngine engine(a);
+  EXPECT_NEAR(engine.pfail("svc", {2.0}), 0.2, 1e-15);  // not 0.7
+}
+
+TEST(EngineEdge, KOfNSharingEndToEndClosedForm) {
+  // 2-of-3 on a shared cpu with visible hardware risk: engine must equal
+  // the k_of_n_sharing combinator fed with the exact component numbers.
+  const double phi = 0.1;
+  const double lambda = 0.2;
+  const double work = 1.0;
+  Assembly a = sorel::scenarios::make_fan_assembly(
+      3, CompletionModel::kKOfN, 2, DependencyModel::kSharing, phi, lambda, 1.0);
+  ReliabilityEngine engine(a);
+
+  sorel::core::RequestFailure rf;
+  rf.internal = 1.0 - std::exp(work * std::log1p(-phi));
+  rf.external = 1.0 - std::exp(-lambda * work);
+  const std::vector<sorel::core::RequestFailure> requests(3, rf);
+  EXPECT_NEAR(engine.pfail("fan", {work}),
+              sorel::core::k_of_n_sharing(requests, 2), 1e-12);
+}
+
+TEST(EngineEdge, ZeroProbabilityBranchSkipsBrokenSubtree) {
+  // A branch with probability 0 leads to a state whose request would
+  // divide by zero. Unreachable states contribute nothing to the absorption
+  // probability, so the engine must skip them rather than fault — this is
+  // also what makes guarded argument-decreasing recursion terminate.
+  Assembly a;
+  a.add_service(sorel::core::make_simple_service(
+      "fragile", {"x"}, Expr::constant(1.0) / Expr::var("x") * 0.0 + 0.1));
+  FlowGraph flow;
+  FlowState good;
+  good.name = "good";
+  const auto good_id = flow.add_state(std::move(good));
+  FlowState brittle;
+  brittle.name = "brittle";
+  ServiceRequest r;
+  r.port = "dep";
+  r.actuals = {Expr::constant(0.0)};  // x = 0 -> division by zero
+  brittle.requests.push_back(std::move(r));
+  const auto brittle_id = flow.add_state(std::move(brittle));
+  flow.add_transition(FlowGraph::kStart, good_id, Expr::constant(1.0));
+  flow.add_transition(FlowGraph::kStart, brittle_id, Expr::constant(0.0));
+  flow.add_transition(good_id, FlowGraph::kEnd, Expr::constant(1.0));
+  flow.add_transition(brittle_id, FlowGraph::kEnd, Expr::constant(1.0));
+  a.add_service(std::make_shared<CompositeService>(
+      "app", std::vector<FormalParam>{}, std::move(flow)));
+  PortBinding b;
+  b.target = "fragile";
+  a.bind("app", "dep", b);
+  ReliabilityEngine engine(a);
+  EXPECT_NEAR(engine.pfail("app", {}), 0.0, 1e-15);
+}
+
+TEST(EngineEdge, ManyArgumentsMemoisedIndependently) {
+  Assembly a = sorel::scenarios::make_chain_assembly(2, 1e-4);
+  ReliabilityEngine engine(a);
+  double previous = -1.0;
+  for (double w = 100.0; w <= 1e5; w *= 10.0) {
+    const double p = engine.pfail("pipeline", {w});
+    EXPECT_GT(p, previous);  // strictly increasing in workload
+    previous = p;
+  }
+  // Re-query all of them: only memo hits, no new evaluations.
+  const auto evals = engine.stats().evaluations;
+  for (double w = 100.0; w <= 1e5; w *= 10.0) {
+    engine.pfail("pipeline", {w});
+  }
+  EXPECT_EQ(engine.stats().evaluations, evals);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Unit tests for the internal-failure models (eq. 14) and the FlowGraph
+// structure (states, transitions, structural validation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/failure.hpp"
+#include "sorel/core/flow.hpp"
+#include "sorel/expr/expr.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::ModelError;
+using sorel::NumericError;
+using sorel::core::CompletionModel;
+using sorel::core::DependencyModel;
+using sorel::core::FlowGraph;
+using sorel::core::FlowState;
+using sorel::core::InternalFailure;
+using sorel::core::ServiceRequest;
+using sorel::expr::Env;
+using sorel::expr::Expr;
+
+// --- InternalFailure ---------------------------------------------------------
+
+TEST(InternalFailure, NoneIsZero) {
+  EXPECT_EQ(InternalFailure::none().pfail(Env{}), 0.0);
+  EXPECT_EQ(InternalFailure().pfail(Env{}), 0.0);
+  EXPECT_EQ(InternalFailure::none().kind(), InternalFailure::Kind::kNone);
+}
+
+TEST(InternalFailure, ConstantEvaluates) {
+  EXPECT_DOUBLE_EQ(InternalFailure::constant(0.25).pfail(Env{}), 0.25);
+  const auto parametric = InternalFailure::constant(Expr::var("p") * 2.0);
+  EXPECT_DOUBLE_EQ(parametric.pfail(Env{}.set("p", 0.1)), 0.2);
+}
+
+TEST(InternalFailure, ConstantRejectsOutOfRange) {
+  EXPECT_THROW(InternalFailure::constant(1.5).pfail(Env{}), NumericError);
+  EXPECT_THROW(InternalFailure::constant(-0.5).pfail(Env{}), NumericError);
+}
+
+TEST(InternalFailure, PerOperationEq14) {
+  // 1 - (1 - phi)^N.
+  const auto f = InternalFailure::per_operation(1e-3, Expr::var("N"));
+  EXPECT_NEAR(f.pfail(Env{}.set("N", 1.0)), 1e-3, 1e-15);
+  EXPECT_NEAR(f.pfail(Env{}.set("N", 2.0)), 1.0 - 0.999 * 0.999, 1e-15);
+  EXPECT_EQ(f.pfail(Env{}.set("N", 0.0)), 0.0);
+}
+
+TEST(InternalFailure, PerOperationPrecisionAtScale) {
+  // phi = 1e-12 over 1e6 operations: naive pow loses digits, expm1 keeps
+  // them: result must be ~1e-6 within 1e-18 relative error.
+  const auto f = InternalFailure::per_operation(1e-12, Expr::var("N"));
+  const double p = f.pfail(Env{}.set("N", 1e6));
+  EXPECT_NEAR(p, 1e-6, 1e-12);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(InternalFailure, PerOperationEdgeCases) {
+  // phi = 1: any positive work fails certainly.
+  const auto certain = InternalFailure::per_operation(1.0, Expr::var("N"));
+  EXPECT_EQ(certain.pfail(Env{}.set("N", 5.0)), 1.0);
+  EXPECT_EQ(certain.pfail(Env{}.set("N", 0.0)), 0.0);
+  // Negative work is a model error.
+  const auto f = InternalFailure::per_operation(0.1, Expr::var("N"));
+  EXPECT_THROW(f.pfail(Env{}.set("N", -1.0)), NumericError);
+  // phi outside [0, 1] rejected.
+  const auto bad = InternalFailure::per_operation(1.5, Expr::constant(1.0));
+  EXPECT_THROW(bad.pfail(Env{}), NumericError);
+}
+
+TEST(InternalFailure, MonotoneInCount) {
+  const auto f = InternalFailure::per_operation(1e-4, Expr::var("N"));
+  double previous = -1.0;
+  for (const double n : {0.0, 1.0, 10.0, 100.0, 1e4, 1e6}) {
+    const double p = f.pfail(Env{}.set("N", n));
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+}
+
+// --- FlowGraph ----------------------------------------------------------------
+
+FlowState simple_state(const std::string& name, const std::string& port = "cpu") {
+  FlowState s;
+  s.name = name;
+  ServiceRequest r;
+  r.port = port;
+  r.actuals = {Expr::constant(1.0)};
+  s.requests.push_back(std::move(r));
+  return s;
+}
+
+TEST(FlowGraph, ReservedIdsAndNames) {
+  FlowGraph flow;
+  EXPECT_EQ(flow.state_name(FlowGraph::kStart), "Start");
+  EXPECT_EQ(flow.state_name(FlowGraph::kEnd), "End");
+  EXPECT_THROW(flow.add_state(simple_state("Start")), InvalidArgument);
+  EXPECT_THROW(flow.add_state(simple_state("End")), InvalidArgument);
+  EXPECT_THROW(flow.add_state(simple_state("Fail")), InvalidArgument);
+  EXPECT_THROW(flow.add_state(simple_state("")), InvalidArgument);
+}
+
+TEST(FlowGraph, DuplicateStateNamesRejected) {
+  FlowGraph flow;
+  flow.add_state(simple_state("a"));
+  EXPECT_THROW(flow.add_state(simple_state("a")), InvalidArgument);
+}
+
+TEST(FlowGraph, TransitionEndpointRules) {
+  FlowGraph flow;
+  const auto a = flow.add_state(simple_state("a"));
+  EXPECT_THROW(flow.add_transition(FlowGraph::kEnd, a, Expr::constant(1.0)),
+               InvalidArgument);
+  EXPECT_THROW(flow.add_transition(a, FlowGraph::kStart, Expr::constant(1.0)),
+               InvalidArgument);
+  EXPECT_NO_THROW(flow.add_transition(FlowGraph::kStart, a, Expr::constant(1.0)));
+  EXPECT_NO_THROW(flow.add_transition(a, FlowGraph::kEnd, Expr::constant(1.0)));
+}
+
+TEST(FlowGraph, ValidateRequiresStartTransition) {
+  FlowGraph flow;
+  flow.add_state(simple_state("a"));
+  EXPECT_THROW(flow.validate_structure(), ModelError);
+}
+
+TEST(FlowGraph, ValidateRequiresOutgoingFromEveryState) {
+  FlowGraph flow;
+  const auto a = flow.add_state(simple_state("a"));
+  flow.add_transition(FlowGraph::kStart, a, Expr::constant(1.0));
+  EXPECT_THROW(flow.validate_structure(), ModelError);  // a is a dead end
+  flow.add_transition(a, FlowGraph::kEnd, Expr::constant(1.0));
+  EXPECT_NO_THROW(flow.validate_structure());
+}
+
+TEST(FlowGraph, ValidateRequiresEndReachable) {
+  FlowGraph flow;
+  const auto a = flow.add_state(simple_state("a"));
+  const auto b = flow.add_state(simple_state("b"));
+  flow.add_transition(FlowGraph::kStart, a, Expr::constant(1.0));
+  flow.add_transition(a, b, Expr::constant(1.0));
+  flow.add_transition(b, a, Expr::constant(1.0));  // loop, End unreachable
+  EXPECT_THROW(flow.validate_structure(), ModelError);
+}
+
+TEST(FlowGraph, ValidateKOfNThreshold) {
+  FlowGraph flow;
+  FlowState s = simple_state("kofn");
+  s.requests.push_back(s.requests.front());
+  s.completion = CompletionModel::kKOfN;
+  s.k = 3;  // only 2 requests
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+  EXPECT_THROW(flow.validate_structure(), ModelError);
+}
+
+TEST(FlowGraph, ValidateSharingHomogeneity) {
+  FlowGraph flow;
+  FlowState s = simple_state("shared", "cpu");
+  s.requests.push_back(simple_state("tmp", "net").requests.front());
+  s.dependency = DependencyModel::kSharing;
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+  EXPECT_THROW(flow.validate_structure(), ModelError);
+}
+
+TEST(FlowGraph, ReferencedPortsInFirstUseOrder) {
+  FlowGraph flow;
+  const auto a = flow.add_state(simple_state("a", "gamma"));
+  FlowState b = simple_state("b", "alpha");
+  b.requests.push_back(simple_state("tmp", "gamma").requests.front());
+  const auto bid = flow.add_state(std::move(b));
+  flow.add_transition(FlowGraph::kStart, a, Expr::constant(1.0));
+  flow.add_transition(a, bid, Expr::constant(1.0));
+  flow.add_transition(bid, FlowGraph::kEnd, Expr::constant(1.0));
+  const auto ports = flow.referenced_ports();
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], "gamma");
+  EXPECT_EQ(ports[1], "alpha");
+}
+
+TEST(FlowGraph, StateAccessors) {
+  FlowGraph flow;
+  const auto a = flow.add_state(simple_state("a"));
+  EXPECT_EQ(flow.state(a).name, "a");
+  EXPECT_EQ(flow.state_name(a), "a");
+  EXPECT_THROW(flow.state(FlowGraph::kStart), InvalidArgument);
+  EXPECT_THROW(flow.state(99), InvalidArgument);
+  EXPECT_EQ(flow.real_states().size(), 1u);
+  EXPECT_EQ(flow.real_states()[0], a);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Tests for the error-propagation extension (the paper's section-6 future
+// work): three-way failure-mode analysis (success / detected fail-stop /
+// silent erroneous output), analytic engine vs closed forms vs simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/sim/simulator.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::CompositeService;
+using sorel::core::FlowGraph;
+using sorel::core::FlowState;
+using sorel::core::FormalParam;
+using sorel::core::InternalFailure;
+using sorel::core::PortBinding;
+using sorel::core::ReliabilityEngine;
+using sorel::core::ServiceRequest;
+using sorel::expr::Expr;
+
+/// A linear pipeline whose stages have per-stage failure probability `f` and
+/// undetected fraction `eps`.
+Assembly make_pipeline(std::size_t stages, double f, double eps) {
+  FlowGraph flow;
+  sorel::core::FlowStateId previous = FlowGraph::kStart;
+  for (std::size_t i = 0; i < stages; ++i) {
+    FlowState s;
+    s.name = "stage" + std::to_string(i);
+    s.undetected_failure_fraction = eps;
+    ServiceRequest r;
+    r.port = "step";
+    r.internal = InternalFailure::constant(f);
+    s.requests.push_back(std::move(r));
+    const auto id = flow.add_state(std::move(s));
+    flow.add_transition(previous, id, Expr::constant(1.0));
+    previous = id;
+  }
+  flow.add_transition(previous, FlowGraph::kEnd, Expr::constant(1.0));
+
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "job", std::vector<FormalParam>{}, std::move(flow)));
+  a.add_service(sorel::core::make_perfect_service("noop"));
+  PortBinding b;
+  b.target = "noop";
+  a.bind("job", "step", b);
+  return a;
+}
+
+/// Closed form for the pipeline: per stage, success (1-f), silent f·eps,
+/// detected f(1-eps). A run succeeds iff every stage succeeds; it is silent
+/// iff no stage detects but at least one is silent; detected otherwise.
+struct Closed {
+  double success;
+  double detected;
+  double silent;
+};
+
+Closed closed_pipeline(std::size_t stages, double f, double eps) {
+  const double n = static_cast<double>(stages);
+  Closed c;
+  c.success = std::pow(1.0 - f, n);
+  // No detected failure at any stage: each stage "passes" (success or
+  // silent) with probability 1 - f(1-eps).
+  const double no_detect = std::pow(1.0 - f * (1.0 - eps), n);
+  c.silent = no_detect - c.success;
+  c.detected = 1.0 - no_detect;
+  return c;
+}
+
+TEST(FailureModes, ZeroEpsilonIsPureFailStop) {
+  Assembly a = make_pipeline(4, 0.1, 0.0);
+  ReliabilityEngine engine(a);
+  const auto modes = engine.failure_modes("job", {});
+  EXPECT_NEAR(modes.success, std::pow(0.9, 4.0), 1e-12);
+  EXPECT_NEAR(modes.silent_failure, 0.0, 1e-15);
+  EXPECT_NEAR(modes.detected_failure, 1.0 - std::pow(0.9, 4.0), 1e-12);
+  // And matches the plain pfail path.
+  EXPECT_NEAR(modes.success, engine.reliability("job", {}), 1e-12);
+}
+
+TEST(FailureModes, FullEpsilonNeverFailStops) {
+  Assembly a = make_pipeline(3, 0.2, 1.0);
+  ReliabilityEngine engine(a);
+  const auto modes = engine.failure_modes("job", {});
+  EXPECT_NEAR(modes.detected_failure, 0.0, 1e-15);
+  EXPECT_NEAR(modes.success, std::pow(0.8, 3.0), 1e-12);
+  EXPECT_NEAR(modes.silent_failure, 1.0 - std::pow(0.8, 3.0), 1e-12);
+}
+
+class FailureModeGrid
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(FailureModeGrid, MatchesClosedForm) {
+  const auto [stages, f, eps] = GetParam();
+  Assembly a = make_pipeline(static_cast<std::size_t>(stages), f, eps);
+  ReliabilityEngine engine(a);
+  const auto modes = engine.failure_modes("job", {});
+  const Closed expected = closed_pipeline(static_cast<std::size_t>(stages), f, eps);
+  EXPECT_NEAR(modes.success, expected.success, 1e-12);
+  EXPECT_NEAR(modes.detected_failure, expected.detected, 1e-12);
+  EXPECT_NEAR(modes.silent_failure, expected.silent, 1e-12);
+  // Partition of unity and success == plain reliability, always.
+  EXPECT_NEAR(modes.success + modes.detected_failure + modes.silent_failure, 1.0,
+              1e-12);
+  EXPECT_NEAR(modes.success, engine.reliability("job", {}), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FailureModeGrid,
+    ::testing::Combine(::testing::Values(1, 3, 8),
+                       ::testing::Values(0.05, 0.3),
+                       ::testing::Values(0.0, 0.25, 0.7, 1.0)));
+
+TEST(FailureModes, BranchingFlowPartitionsToOne) {
+  // A branching flow with heterogeneous epsilons.
+  FlowGraph flow;
+  FlowState risky;
+  risky.name = "risky";
+  risky.undetected_failure_fraction = 0.5;
+  ServiceRequest r1;
+  r1.port = "step";
+  r1.internal = InternalFailure::constant(0.3);
+  risky.requests.push_back(std::move(r1));
+  const auto risky_id = flow.add_state(std::move(risky));
+
+  FlowState safe;
+  safe.name = "safe";
+  safe.undetected_failure_fraction = 0.9;
+  ServiceRequest r2;
+  r2.port = "step";
+  r2.internal = InternalFailure::constant(0.1);
+  safe.requests.push_back(std::move(r2));
+  const auto safe_id = flow.add_state(std::move(safe));
+
+  flow.add_transition(FlowGraph::kStart, risky_id, Expr::constant(0.6));
+  flow.add_transition(FlowGraph::kStart, safe_id, Expr::constant(0.4));
+  flow.add_transition(risky_id, safe_id, Expr::constant(1.0));
+  flow.add_transition(safe_id, FlowGraph::kEnd, Expr::constant(1.0));
+
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "app", std::vector<FormalParam>{}, std::move(flow)));
+  a.add_service(sorel::core::make_perfect_service("noop"));
+  PortBinding b;
+  b.target = "noop";
+  a.bind("app", "step", b);
+
+  ReliabilityEngine engine(a);
+  const auto modes = engine.failure_modes("app", {});
+  EXPECT_NEAR(modes.success + modes.detected_failure + modes.silent_failure, 1.0,
+              1e-12);
+  EXPECT_NEAR(modes.success, engine.reliability("app", {}), 1e-12);
+  EXPECT_GT(modes.silent_failure, 0.0);
+  EXPECT_GT(modes.detected_failure, 0.0);
+
+  // Hand computation: success = (0.6*0.7 + 0.4)*0.9 per path...
+  // path risky->safe: 0.6 * [0.7 clean][0.9 clean] ; path safe: 0.4 * 0.9.
+  const double success = 0.6 * 0.7 * 0.9 + 0.4 * 0.9;
+  EXPECT_NEAR(modes.success, success, 1e-12);
+}
+
+TEST(FailureModes, SimulatorAgrees) {
+  Assembly a = make_pipeline(5, 0.15, 0.4);
+  ReliabilityEngine engine(a);
+  const auto analytic = engine.failure_modes("job", {});
+
+  sorel::sim::Simulator simulator(a);
+  sorel::sim::SimulationOptions options;
+  options.replications = 80'000;
+  options.seed = 99;
+  const auto counts = simulator.estimate_failure_modes("job", {}, options);
+  const double n = static_cast<double>(counts.replications);
+  EXPECT_NEAR(counts.successes / n, analytic.success, 0.01);
+  EXPECT_NEAR(counts.detected / n, analytic.detected_failure, 0.01);
+  EXPECT_NEAR(counts.silent / n, analytic.silent_failure, 0.01);
+}
+
+TEST(FailureModes, RejectsSimpleServicesAndBadEpsilon) {
+  Assembly a = make_pipeline(1, 0.1, 2.0);  // invalid epsilon
+  ReliabilityEngine engine(a);
+  EXPECT_THROW(engine.failure_modes("job", {}), sorel::ModelError);
+  EXPECT_THROW(engine.failure_modes("noop", {}), sorel::InvalidArgument);
+}
+
+TEST(FailureModes, DslRoundTripsUndetectedFraction) {
+  Assembly a = make_pipeline(2, 0.1, 0.35);
+  const auto doc = sorel::dsl::save_assembly(a);
+  Assembly reloaded = sorel::dsl::load_assembly(doc);
+  ReliabilityEngine e1(a);
+  ReliabilityEngine e2(reloaded);
+  const auto m1 = e1.failure_modes("job", {});
+  const auto m2 = e2.failure_modes("job", {});
+  EXPECT_NEAR(m1.silent_failure, m2.silent_failure, 1e-14);
+  EXPECT_NEAR(m1.detected_failure, m2.detected_failure, 1e-14);
+}
+
+}  // namespace

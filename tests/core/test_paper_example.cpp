@@ -1,0 +1,200 @@
+// Integration tests: the engine evaluated on the paper's section-4 example
+// must reproduce the hand-derived closed forms (equations 15-22) to within
+// numerical round-off, for both the local (figure 3) and remote (figure 4)
+// assemblies, across parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::ReliabilityEngine;
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+constexpr double kTol = 1e-12;
+
+std::vector<double> search_args(const SearchSortParams& p, double list) {
+  return {p.elem_size, list, p.result_size};
+}
+
+TEST(PaperExample, SimpleServiceClosedFormsCpu) {
+  // Eq. (15)/(16) directly against the engine's evaluation of cpu services.
+  SearchSortParams p;
+  Assembly assembly = build_search_assembly(AssemblyKind::kLocal, p);
+  ReliabilityEngine engine(assembly);
+  for (const double n : {0.0, 1.0, 1e3, 1e6, 1e9}) {
+    EXPECT_NEAR(engine.pfail("cpu1", {n}),
+                sorel::scenarios::pfail_cpu(p.lambda1, p.s1, n), kTol)
+        << "N=" << n;
+  }
+}
+
+TEST(PaperExample, SimpleServiceClosedFormsNetwork) {
+  SearchSortParams p;
+  p.gamma = 0.1;
+  Assembly assembly = build_search_assembly(AssemblyKind::kRemote, p);
+  ReliabilityEngine engine(assembly);
+  for (const double b : {0.0, 1.0, 100.0, 1e4}) {
+    EXPECT_NEAR(engine.pfail("net12", {b}),
+                sorel::scenarios::pfail_net(p.gamma, p.bandwidth, b), kTol)
+        << "B=" << b;
+  }
+}
+
+TEST(PaperExample, SortMatchesEq18Local) {
+  SearchSortParams p;
+  Assembly assembly = build_search_assembly(AssemblyKind::kLocal, p);
+  ReliabilityEngine engine(assembly);
+  for (const double list : {2.0, 10.0, 100.0, 1e4}) {
+    EXPECT_NEAR(engine.pfail("sort1", {list}),
+                sorel::scenarios::pfail_sort(p.phi_sort1, p.lambda1, p.s1, list), kTol)
+        << "list=" << list;
+  }
+}
+
+TEST(PaperExample, SortMatchesEq18Remote) {
+  SearchSortParams p;
+  Assembly assembly = build_search_assembly(AssemblyKind::kRemote, p);
+  ReliabilityEngine engine(assembly);
+  for (const double list : {2.0, 10.0, 100.0, 1e4}) {
+    EXPECT_NEAR(engine.pfail("sort2", {list}),
+                sorel::scenarios::pfail_sort(p.phi_sort2, p.lambda2, p.s2, list), kTol)
+        << "list=" << list;
+  }
+}
+
+TEST(PaperExample, LpcConnectorMatchesEq19) {
+  SearchSortParams p;
+  p.lambda1 = 1e-6;  // make the connector term visible
+  Assembly assembly = build_search_assembly(AssemblyKind::kLocal, p);
+  ReliabilityEngine engine(assembly);
+  // The lpc cost is independent of ip/op (shared memory).
+  EXPECT_NEAR(engine.pfail("lpc", {123.0, 45.0}), sorel::scenarios::pfail_lpc(p), kTol);
+  EXPECT_NEAR(engine.pfail("lpc", {0.0, 0.0}), sorel::scenarios::pfail_lpc(p), kTol);
+}
+
+TEST(PaperExample, RpcConnectorMatchesEq20) {
+  SearchSortParams p;
+  p.gamma = 0.05;
+  Assembly assembly = build_search_assembly(AssemblyKind::kRemote, p);
+  ReliabilityEngine engine(assembly);
+  for (const double ip : {1.0, 64.0, 4096.0}) {
+    for (const double op : {1.0, 64.0}) {
+      EXPECT_NEAR(engine.pfail("rpc", {ip, op}),
+                  sorel::scenarios::pfail_rpc(p, ip, op), kTol)
+          << "ip=" << ip << " op=" << op;
+    }
+  }
+}
+
+struct Eq22Case {
+  AssemblyKind kind;
+  double phi1;
+  double gamma;
+  double list;
+};
+
+class Eq22Suite : public ::testing::TestWithParam<Eq22Case> {};
+
+TEST_P(Eq22Suite, SearchMatchesEq22) {
+  const Eq22Case c = GetParam();
+  SearchSortParams p;
+  p.phi_sort1 = c.phi1;
+  p.gamma = c.gamma;
+  Assembly assembly = build_search_assembly(c.kind, p);
+  ReliabilityEngine engine(assembly);
+  const double expected = sorel::scenarios::pfail_search(c.kind, p, c.list);
+  EXPECT_NEAR(engine.pfail("search", search_args(p, c.list)), expected, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullGrid, Eq22Suite,
+    ::testing::Values(
+        Eq22Case{AssemblyKind::kLocal, 1e-6, 5e-3, 10.0},
+        Eq22Case{AssemblyKind::kLocal, 1e-6, 5e-3, 1000.0},
+        Eq22Case{AssemblyKind::kLocal, 5e-6, 5e-3, 100.0},
+        Eq22Case{AssemblyKind::kLocal, 5e-6, 1e-1, 10000.0},
+        Eq22Case{AssemblyKind::kRemote, 1e-6, 5e-3, 10.0},
+        Eq22Case{AssemblyKind::kRemote, 1e-6, 2.5e-2, 1000.0},
+        Eq22Case{AssemblyKind::kRemote, 5e-6, 5e-2, 100.0},
+        Eq22Case{AssemblyKind::kRemote, 5e-6, 1e-1, 10000.0}));
+
+TEST(PaperExample, AugmentedFlowMatchesFigure5) {
+  // Figure 5: the search flow plus Fail, with outgoing probabilities scaled
+  // by (1 - p(i, Fail)). Spot-check the chain structure and that Fail
+  // absorbs the complementary mass.
+  SearchSortParams p;
+  Assembly assembly = build_search_assembly(AssemblyKind::kLocal, p);
+  ReliabilityEngine engine(assembly);
+  const auto chain = engine.augmented_flow("search", search_args(p, 1000.0));
+
+  ASSERT_TRUE(chain.find_state("Start").has_value());
+  ASSERT_TRUE(chain.find_state("End").has_value());
+  ASSERT_TRUE(chain.find_state("Fail").has_value());
+  ASSERT_TRUE(chain.find_state("sort").has_value());
+  ASSERT_TRUE(chain.find_state("probe").has_value());
+  chain.validate();
+
+  EXPECT_TRUE(chain.is_absorbing(*chain.find_state("End")));
+  EXPECT_TRUE(chain.is_absorbing(*chain.find_state("Fail")));
+  // Start splits q / 1-q without failure scaling.
+  double start_sum = 0.0;
+  for (const auto& t : chain.transitions_from(*chain.find_state("Start"))) {
+    start_sum += t.probability;
+  }
+  EXPECT_NEAR(start_sum, 1.0, 1e-12);
+}
+
+TEST(PaperExample, LocalBeatsRemoteOnUnreliableNetwork) {
+  // The paper's headline observation: with gamma = 0.1 the local assembly
+  // dominates even though sort2's software is 10x more reliable than sort1's.
+  SearchSortParams p;
+  p.phi_sort1 = 1e-6;
+  p.gamma = 1e-1;
+  Assembly local = build_search_assembly(AssemblyKind::kLocal, p);
+  Assembly remote = build_search_assembly(AssemblyKind::kRemote, p);
+  ReliabilityEngine local_engine(local);
+  ReliabilityEngine remote_engine(remote);
+  for (const double list : {10.0, 100.0, 1000.0, 10000.0}) {
+    EXPECT_LT(local_engine.pfail("search", search_args(p, list)),
+              remote_engine.pfail("search", search_args(p, list)))
+        << "list=" << list;
+  }
+}
+
+TEST(PaperExample, RemoteBeatsLocalOnReliableNetwork) {
+  // ... and with gamma = 5e-3 the remote assembly wins (figure 6).
+  SearchSortParams p;
+  p.phi_sort1 = 1e-6;
+  p.gamma = 5e-3;
+  Assembly local = build_search_assembly(AssemblyKind::kLocal, p);
+  Assembly remote = build_search_assembly(AssemblyKind::kRemote, p);
+  ReliabilityEngine local_engine(local);
+  ReliabilityEngine remote_engine(remote);
+  for (const double list : {100.0, 1000.0, 10000.0}) {
+    EXPECT_GT(local_engine.pfail("search", search_args(p, list)),
+              remote_engine.pfail("search", search_args(p, list)))
+        << "list=" << list;
+  }
+}
+
+TEST(PaperExample, ReliabilityDecreasesWithListSize) {
+  SearchSortParams p;
+  for (const AssemblyKind kind : {AssemblyKind::kLocal, AssemblyKind::kRemote}) {
+    Assembly assembly = build_search_assembly(kind, p);
+    ReliabilityEngine engine(assembly);
+    double previous = engine.reliability("search", search_args(p, 10.0));
+    for (const double list : {100.0, 1000.0, 10000.0}) {
+      const double r = engine.reliability("search", search_args(p, list));
+      EXPECT_LT(r, previous) << "list=" << list;
+      previous = r;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Tests for the performance extension: expected execution time computed
+// over the same analytic interfaces (paper section 6's suggested QoS
+// generalisation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/performance.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::CompositeService;
+using sorel::core::FlowGraph;
+using sorel::core::FlowState;
+using sorel::core::FormalParam;
+using sorel::core::PerformanceEngine;
+using sorel::core::PortBinding;
+using sorel::core::ServiceRequest;
+using sorel::expr::Expr;
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+TEST(Performance, SimpleServiceDurations) {
+  Assembly a;
+  a.add_service(sorel::core::make_cpu_service("cpu", 2e9, 1e-9));
+  a.add_service(sorel::core::make_network_service("net", 125.0, 1e-3));
+  a.add_service(sorel::core::make_perfect_service("loc", {"ip", "op"}));
+  PerformanceEngine engine(a);
+  EXPECT_DOUBLE_EQ(engine.expected_duration("cpu", {4e9}), 2.0);   // N/s
+  EXPECT_DOUBLE_EQ(engine.expected_duration("net", {250.0}), 2.0); // B/b
+  EXPECT_DOUBLE_EQ(engine.expected_duration("loc", {5.0, 5.0}), 0.0);
+}
+
+TEST(Performance, ChainIsSumOfStages) {
+  Assembly a = sorel::scenarios::make_chain_assembly(6, 1e-7, 1e-9, 1e9);
+  PerformanceEngine engine(a);
+  // 6 stages, each cpu(work)/s.
+  EXPECT_NEAR(engine.expected_duration("pipeline", {3e9}), 6.0 * 3.0, 1e-9);
+}
+
+TEST(Performance, LoopMultipliesByExpectedVisits) {
+  // One state retrying itself with probability p: expected visits 1/(1-p).
+  FlowGraph flow;
+  FlowState s;
+  s.name = "retry";
+  ServiceRequest r;
+  r.port = "cpu";
+  r.actuals = {Expr::constant(1e9)};
+  s.requests.push_back(std::move(r));
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, id, Expr::constant(0.75));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(0.25));
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "svc", std::vector<FormalParam>{}, std::move(flow)));
+  a.add_service(sorel::core::make_cpu_service("cpu", 1e9, 1e-9));
+  PortBinding b;
+  b.target = "cpu";
+  a.bind("svc", "cpu", b);
+  PerformanceEngine engine(a);
+  EXPECT_NEAR(engine.expected_duration("svc", {}), 4.0, 1e-9);  // 1s x 4 visits
+}
+
+TEST(Performance, ConnectorTimeAdds) {
+  // Remote assembly: the rpc connector contributes marshal + transmit +
+  // unmarshal time on top of the sort time.
+  SearchSortParams p;
+  Assembly remote = build_search_assembly(AssemblyKind::kRemote, p);
+  Assembly local = build_search_assembly(AssemblyKind::kLocal, p);
+  PerformanceEngine remote_engine(remote);
+  PerformanceEngine local_engine(local);
+  const double list = 1000.0;
+  const std::vector<double> args{p.elem_size, list, p.result_size};
+  const double t_remote = remote_engine.expected_duration("search", args);
+  const double t_local = local_engine.expected_duration("search", args);
+  // Closed form (remote): q*(sort_time + rpc_time) + probe_time where
+  // sort runs on cpu2 and the rpc moves m*(elem+list) + m*res bytes at b
+  // and marshals c*(ip+op) operations on each host.
+  const double sort_time = list * std::log2(list) / p.s2;
+  const double total_payload = p.elem_size + list + p.result_size;
+  const double rpc_time = 2.0 * p.rpc_ops_per_byte * total_payload / p.s1 +
+                          p.rpc_bytes_per_byte * total_payload / p.bandwidth;
+  const double probe_time = std::log2(list) / p.s1;
+  EXPECT_NEAR(t_remote, p.q * (sort_time + rpc_time) + probe_time, 1e-12);
+  // The local assembly only pays the lpc constant: far faster on this slow
+  // network.
+  EXPECT_LT(t_local, t_remote);
+  const double lpc_time = p.lpc_ops / p.s1;
+  const double sort1_time = list * std::log2(list) / p.s1;
+  EXPECT_NEAR(t_local, p.q * (sort1_time + lpc_time) + probe_time, 1e-12);
+}
+
+TEST(Performance, ParallelAndUsesMax) {
+  // One AND state with two requests of different durations.
+  FlowGraph flow;
+  FlowState s;
+  s.name = "fanout";
+  for (const double n : {1e9, 3e9}) {
+    ServiceRequest r;
+    r.port = "cpu";
+    r.actuals = {Expr::constant(n)};
+    s.requests.push_back(std::move(r));
+  }
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+  Assembly a;
+  a.add_service(std::make_shared<CompositeService>(
+      "svc", std::vector<FormalParam>{}, std::move(flow)));
+  a.add_service(sorel::core::make_cpu_service("cpu", 1e9, 1e-9));
+  PortBinding b;
+  b.target = "cpu";
+  a.bind("svc", "cpu", b);
+
+  PerformanceEngine sequential(a);
+  EXPECT_NEAR(sequential.expected_duration("svc", {}), 4.0, 1e-12);
+  PerformanceEngine::Options options;
+  options.parallel_and = true;
+  PerformanceEngine parallel(a, options);
+  EXPECT_NEAR(parallel.expected_duration("svc", {}), 3.0, 1e-12);
+}
+
+TEST(Performance, RecursionRejected) {
+  Assembly a = sorel::scenarios::make_recursive_assembly(0.5, 0.01);
+  PerformanceEngine engine(a);
+  EXPECT_THROW(engine.expected_duration("ping", {}), sorel::RecursionError);
+}
+
+TEST(Performance, DurationRoundTripsThroughDsl) {
+  Assembly a;
+  a.add_service(sorel::core::make_simple_service(
+      "svc", {"x"}, Expr::constant(0.01), {}, Expr::var("x") * 2.0));
+  Assembly reloaded = sorel::dsl::load_assembly(sorel::dsl::save_assembly(a));
+  PerformanceEngine engine(reloaded);
+  EXPECT_DOUBLE_EQ(engine.expected_duration("svc", {5.0}), 10.0);
+}
+
+TEST(Performance, CpuNetworkDurationsSurviveSerialisation) {
+  // Factory-built cpu/net services serialise generically but must keep
+  // their N/s and B/b duration laws.
+  Assembly a;
+  a.add_service(sorel::core::make_cpu_service("cpu", 2e9, 1e-9));
+  a.add_service(sorel::core::make_network_service("net", 500.0, 1e-3));
+  Assembly reloaded = sorel::dsl::load_assembly(sorel::dsl::save_assembly(a));
+  PerformanceEngine engine(reloaded);
+  EXPECT_DOUBLE_EQ(engine.expected_duration("cpu", {4e9}), 2.0);
+  EXPECT_DOUBLE_EQ(engine.expected_duration("net", {1000.0}), 2.0);
+}
+
+TEST(Performance, NegativeDurationRejected) {
+  Assembly a;
+  a.add_service(sorel::core::make_simple_service(
+      "svc", {"x"}, Expr::constant(0.0), {}, Expr::var("x") - 10.0));
+  PerformanceEngine engine(a);
+  EXPECT_THROW(engine.expected_duration("svc", {0.0}), sorel::NumericError);
+  EXPECT_DOUBLE_EQ(engine.expected_duration("svc", {15.0}), 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for automated service selection (the paper's motivating use case):
+// ranking candidate wirings by predicted reliability (and optionally
+// expected time) must reproduce the figure-6 decision automatically.
+#include <gtest/gtest.h>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/selection.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::RankedAssembly;
+using sorel::core::SelectionObjective;
+using sorel::core::SelectionPoint;
+using sorel::scenarios::build_search_selection_assembly;
+using sorel::scenarios::SearchSortParams;
+
+SelectionPoint sort_point(const sorel::scenarios::SearchSelectionSetup& setup) {
+  SelectionPoint point;
+  point.service = "search";
+  point.port = "sort";
+  point.candidates = {setup.local_candidate, setup.remote_candidate};
+  point.labels = {"local", "remote"};
+  return point;
+}
+
+TEST(Selection, ReproducesFigure6Decision) {
+  // gamma = 0.1: pick local; gamma = 5e-3: pick remote (phi1 = 1e-6).
+  for (const auto& [gamma, expected] :
+       std::vector<std::pair<double, std::string>>{{1e-1, "local"},
+                                                   {5e-3, "remote"}}) {
+    SearchSortParams p;
+    p.gamma = gamma;
+    auto setup = build_search_selection_assembly(p);
+    const auto best = sorel::core::select_best(
+        setup.assembly, "search", {p.elem_size, 2000.0, p.result_size},
+        {sort_point(setup)});
+    EXPECT_EQ(best.labels[0], expected) << "gamma=" << gamma;
+    EXPECT_GT(best.reliability, 0.9);
+  }
+}
+
+TEST(Selection, RankingMatchesDirectEvaluation) {
+  SearchSortParams p;
+  p.gamma = 2.5e-2;
+  auto setup = build_search_selection_assembly(p);
+  const std::vector<double> args{p.elem_size, 5000.0, p.result_size};
+  const auto ranking = sorel::core::rank_assemblies(setup.assembly, "search", args,
+                                                    {sort_point(setup)});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_GE(ranking[0].reliability, ranking[1].reliability);
+
+  // Each entry's reliability must equal a direct evaluation of that wiring.
+  for (const RankedAssembly& entry : ranking) {
+    sorel::core::Assembly wired = setup.assembly;
+    wired.bind("search", "sort",
+               entry.labels[0] == "local" ? setup.local_candidate
+                                          : setup.remote_candidate);
+    sorel::core::ReliabilityEngine engine(wired);
+    EXPECT_NEAR(entry.reliability, engine.reliability("search", args), 1e-14);
+  }
+}
+
+TEST(Selection, TimeWeightFlipsParetoChoice) {
+  // gamma = 5e-3, list = 2000: remote is (slightly) more reliable but ~1.8 s
+  // slower (wire time). With reliability-only ranking remote wins; with a
+  // modest time weight the local assembly takes over.
+  SearchSortParams p;
+  p.gamma = 5e-3;
+  auto setup = build_search_selection_assembly(p);
+  const std::vector<double> args{p.elem_size, 2000.0, p.result_size};
+
+  const auto by_reliability = sorel::core::select_best(
+      setup.assembly, "search", args, {sort_point(setup)});
+  EXPECT_EQ(by_reliability.labels[0], "remote");
+
+  SelectionObjective weighted;
+  weighted.time_weight = 0.1;  // 0.1 reliability-points per second
+  const auto by_score = sorel::core::select_best(setup.assembly, "search", args,
+                                                 {sort_point(setup)}, weighted);
+  EXPECT_EQ(by_score.labels[0], "local");
+  EXPECT_GT(by_score.expected_duration, 0.0);
+}
+
+TEST(Selection, ReliabilityFloorFilters) {
+  SearchSortParams p;
+  p.gamma = 1e-1;  // remote is bad here
+  auto setup = build_search_selection_assembly(p);
+  // At list = 2000: R(local) ~ 0.980, R(remote) ~ 0.835.
+  const std::vector<double> args{p.elem_size, 2000.0, p.result_size};
+  SelectionObjective floor;
+  floor.min_reliability = 0.95;
+  const auto ranking = sorel::core::rank_assemblies(setup.assembly, "search", args,
+                                                    {sort_point(setup)}, floor);
+  ASSERT_EQ(ranking.size(), 1u);  // only local clears the floor
+  EXPECT_EQ(ranking[0].labels[0], "local");
+
+  floor.min_reliability = 0.9999;
+  EXPECT_THROW(sorel::core::select_best(setup.assembly, "search", args,
+                                        {sort_point(setup)}, floor),
+               sorel::InvalidArgument);
+}
+
+TEST(Selection, InputValidation) {
+  SearchSortParams p;
+  auto setup = build_search_selection_assembly(p);
+  const std::vector<double> args{p.elem_size, 100.0, p.result_size};
+  EXPECT_THROW(sorel::core::rank_assemblies(setup.assembly, "search", args, {}),
+               sorel::InvalidArgument);
+  SelectionPoint empty;
+  empty.service = "search";
+  empty.port = "sort";
+  EXPECT_THROW(
+      sorel::core::rank_assemblies(setup.assembly, "search", args, {empty}),
+      sorel::InvalidArgument);
+  // Combination-bound enforcement.
+  SelectionPoint point = sort_point(setup);
+  EXPECT_THROW(sorel::core::rank_assemblies(setup.assembly, "search", args,
+                                            {point, point, point}, {}, 4),
+               sorel::InvalidArgument);
+}
+
+TEST(Selection, MultiplePointsEnumerateCartesianProduct) {
+  // Same point twice (sort wired last-wins) is artificial but exercises the
+  // mixed-radix enumeration: 2 x 2 = 4 entries.
+  SearchSortParams p;
+  auto setup = build_search_selection_assembly(p);
+  const std::vector<double> args{p.elem_size, 500.0, p.result_size};
+  const auto point = sort_point(setup);
+  const auto ranking = sorel::core::rank_assemblies(setup.assembly, "search", args,
+                                                    {point, point});
+  EXPECT_EQ(ranking.size(), 4u);
+  for (const auto& entry : ranking) {
+    EXPECT_EQ(entry.choice.size(), 2u);
+    EXPECT_EQ(entry.labels.size(), 2u);
+  }
+}
+
+}  // namespace

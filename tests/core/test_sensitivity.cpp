@@ -1,0 +1,112 @@
+// Tests of the sensitivity / importance analysis extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/sensitivity.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::LookupError;
+using sorel::core::Assembly;
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+TEST(Sensitivity, DerivativeMatchesClosedFormOnChain) {
+  // pipeline of 1 stage: R = (1-phi)^w * exp(-lambda w / s);
+  // dR/dlambda = -(w/s) R.
+  const double work = 1e6;
+  const double lambda = 1e-9;
+  const double speed = 1e9;
+  Assembly a = sorel::scenarios::make_chain_assembly(1, 1e-7, lambda, speed);
+  const auto result = sorel::core::attribute_sensitivities(
+      a, "pipeline", {work}, {"cpu.lambda"}, /*relative_step=*/0.05);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].attribute, "cpu.lambda");
+  const double r = std::exp(work * std::log1p(-1e-7)) * std::exp(-lambda * work / speed);
+  EXPECT_NEAR(result[0].derivative, -(work / speed) * r, 1e-2 * (work / speed) * r);
+  EXPECT_LT(result[0].derivative, 0.0);  // higher failure rate, lower reliability
+}
+
+TEST(Sensitivity, UnknownAttributeRejected) {
+  Assembly a = sorel::scenarios::make_chain_assembly(1);
+  EXPECT_THROW(
+      sorel::core::attribute_sensitivities(a, "pipeline", {1.0}, {"nope"}),
+      LookupError);
+  EXPECT_THROW(
+      sorel::core::attribute_sensitivities(a, "pipeline", {1.0}, {}, -1.0),
+      InvalidArgument);
+}
+
+TEST(Sensitivity, RanksNetworkHighestOnFragileRemoteAssembly) {
+  // Remote assembly with a dominant network failure rate: gamma must rank
+  // above the cpu hardware rates.
+  SearchSortParams p;
+  p.gamma = 0.1;
+  Assembly a = build_search_assembly(AssemblyKind::kRemote, p);
+  const auto result = sorel::core::attribute_sensitivities(
+      a, "search", {p.elem_size, 1000.0, p.result_size},
+      {"net12.beta", "cpu1.lambda", "cpu2.lambda"});
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].attribute, "net12.beta");  // sorted by |derivative|
+  EXPECT_LT(result[0].derivative, 0.0);
+}
+
+TEST(Sensitivity, AllAttributesWhenUnspecified) {
+  Assembly a = sorel::scenarios::make_chain_assembly(1);
+  const auto result = sorel::core::attribute_sensitivities(a, "pipeline", {10.0});
+  // cpu.lambda and cpu.s registered by the factory.
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(Importance, BirnbaumBoundsAndOrdering) {
+  SearchSortParams p;
+  Assembly a = build_search_assembly(AssemblyKind::kLocal, p);
+  const auto result = sorel::core::component_importances(
+      a, "search", {p.elem_size, 1000.0, p.result_size});
+  ASSERT_FALSE(result.empty());
+  for (const auto& imp : result) {
+    EXPECT_GE(imp.birnbaum, -1e-12);
+    EXPECT_LE(imp.birnbaum, 1.0 + 1e-12);
+    EXPECT_GE(imp.risk_achievement, 0.0);
+  }
+  // cpu1 carries every state of every service in the local assembly: pinning
+  // it failed kills the system, so its Birnbaum importance is nearly maximal
+  // (bounded by the residual software unreliability on the perfect side).
+  const auto cpu1 = std::find_if(result.begin(), result.end(),
+                                 [](const auto& i) { return i.component == "cpu1"; });
+  ASSERT_NE(cpu1, result.end());
+  EXPECT_GT(cpu1->birnbaum, 0.9);
+  // The perfect modeling connectors have (near) zero importance only if
+  // pinning them to failed matters — they do matter structurally (they carry
+  // the requests), so instead check ordering: cpu1 >= loc1.
+  const auto loc1 = std::find_if(result.begin(), result.end(),
+                                 [](const auto& i) { return i.component == "loc1"; });
+  ASSERT_NE(loc1, result.end());
+  EXPECT_GE(cpu1->birnbaum + 1e-12, loc1->birnbaum);
+}
+
+TEST(Importance, UnknownComponentRejected) {
+  Assembly a = sorel::scenarios::make_chain_assembly(1);
+  EXPECT_THROW(sorel::core::component_importances(a, "pipeline", {1.0}, {"ghost"}),
+               LookupError);
+}
+
+TEST(Importance, SortSwapDecision) {
+  // The paper's motivating use: deciding which sort service to improve.
+  // In the local assembly, sort1's software failure rate dominates at large
+  // lists, so sort1 must out-rank the lpc connector.
+  SearchSortParams p;
+  p.phi_sort1 = 5e-6;
+  Assembly a = build_search_assembly(AssemblyKind::kLocal, p);
+  const auto result = sorel::core::component_importances(
+      a, "search", {p.elem_size, 10000.0, p.result_size}, {"sort1", "lpc"});
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].component, "sort1");
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Unit tests for the service hierarchy, factory functions, connector
+// factories, and assembly wiring/validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/core/connectors.hpp"
+#include "sorel/core/engine.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/expr/expr.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::LookupError;
+using sorel::ModelError;
+using sorel::core::Assembly;
+using sorel::core::CompositeService;
+using sorel::core::FlowGraph;
+using sorel::core::FlowState;
+using sorel::core::FormalParam;
+using sorel::core::PortBinding;
+using sorel::core::ReliabilityEngine;
+using sorel::core::ServiceRequest;
+using sorel::expr::Expr;
+
+// --- services & factories -----------------------------------------------------
+
+TEST(Service, NameAndFormalValidation) {
+  EXPECT_THROW(sorel::core::make_perfect_service(""), InvalidArgument);
+  EXPECT_THROW(sorel::core::make_perfect_service("ok", {"1bad"}), InvalidArgument);
+  EXPECT_THROW(sorel::core::make_perfect_service("ok", {"a", "a"}), InvalidArgument);
+}
+
+TEST(Service, CpuFactoryPublishesAttributesAndFormula) {
+  const auto cpu = sorel::core::make_cpu_service("cpuX", 2e9, 3e-9);
+  EXPECT_EQ(cpu->name(), "cpuX");
+  EXPECT_TRUE(cpu->is_simple());
+  ASSERT_EQ(cpu->arity(), 1u);
+  EXPECT_EQ(cpu->formals()[0].name, "N");
+  EXPECT_EQ(cpu->default_attributes().at("cpuX.lambda"), 3e-9);
+  EXPECT_EQ(cpu->default_attributes().at("cpuX.s"), 2e9);
+  EXPECT_THROW(sorel::core::make_cpu_service("bad", 0.0, 1e-9), InvalidArgument);
+  EXPECT_THROW(sorel::core::make_cpu_service("bad", 1e9, -1.0), InvalidArgument);
+}
+
+TEST(Service, NetworkFactoryValidation) {
+  const auto net = sorel::core::make_network_service("netX", 125.0, 0.01);
+  EXPECT_EQ(net->formals()[0].name, "B");
+  EXPECT_THROW(sorel::core::make_network_service("bad", -1.0, 0.0), InvalidArgument);
+}
+
+TEST(Service, CompositeValidatesFlowAtConstruction) {
+  FlowGraph bad;  // Start has no outgoing transition
+  EXPECT_THROW(CompositeService("c", {}, std::move(bad)), ModelError);
+}
+
+TEST(Connector, LpcStructure) {
+  const auto lpc = sorel::core::make_lpc_connector("l1", 150.0);
+  EXPECT_FALSE(lpc->is_simple());
+  EXPECT_EQ(lpc->arity(), 2u);  // (ip, op)
+  EXPECT_EQ(lpc->default_attributes().at("l1.l"), 150.0);
+  const auto ports = lpc->flow()->referenced_ports();
+  ASSERT_EQ(ports.size(), 1u);
+  EXPECT_EQ(ports[0], "cpu");
+  EXPECT_THROW(sorel::core::make_lpc_connector("bad", -1.0), InvalidArgument);
+}
+
+TEST(Connector, RpcStructure) {
+  const auto rpc = sorel::core::make_rpc_connector("r1", 4.0, 1.2);
+  EXPECT_EQ(rpc->arity(), 2u);
+  const auto ports = rpc->flow()->referenced_ports();
+  ASSERT_EQ(ports.size(), 3u);  // cpu_client, net, cpu_server
+  EXPECT_EQ(rpc->flow()->real_states().size(), 2u);  // request + response legs
+  for (const auto sid : rpc->flow()->real_states()) {
+    EXPECT_EQ(rpc->flow()->state(sid).requests.size(), 3u);  // figure 2
+  }
+  EXPECT_THROW(sorel::core::make_rpc_connector("bad", 1.0, 0.0), InvalidArgument);
+}
+
+TEST(Connector, LocalProcessingIsPerfect) {
+  const auto loc = sorel::core::make_local_processing_connector("locX");
+  EXPECT_TRUE(loc->is_simple());
+  Assembly a;
+  a.add_service(loc);
+  ReliabilityEngine engine(a);
+  EXPECT_EQ(engine.pfail("locX", {10.0, 20.0}), 0.0);
+}
+
+TEST(Connector, RetryingRpcValidation) {
+  EXPECT_THROW(sorel::core::make_retrying_rpc_connector("bad", 1.0, 1.0, 0),
+               InvalidArgument);
+  const auto c = sorel::core::make_retrying_rpc_connector("rr", 1.0, 1.0, 3);
+  const auto& state = c->flow()->state(c->flow()->real_states()[0]);
+  EXPECT_EQ(state.requests.size(), 3u);
+  EXPECT_EQ(state.completion, sorel::core::CompletionModel::kOr);
+  EXPECT_EQ(state.dependency, sorel::core::DependencyModel::kSharing);
+}
+
+// --- assembly -------------------------------------------------------------------
+
+sorel::core::ServicePtr one_call_composite(const std::string& name,
+                                           const std::string& port,
+                                           std::size_t actual_count = 1) {
+  FlowGraph flow;
+  FlowState s;
+  s.name = "call";
+  ServiceRequest r;
+  r.port = port;
+  for (std::size_t i = 0; i < actual_count; ++i) r.actuals.push_back(Expr::constant(1.0));
+  s.requests.push_back(std::move(r));
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+  return std::make_shared<CompositeService>(
+      name, std::vector<FormalParam>{{"x", ""}}, std::move(flow));
+}
+
+TEST(Assembly, ServiceRegistry) {
+  Assembly a;
+  a.add_service(sorel::core::make_perfect_service("s1"));
+  EXPECT_TRUE(a.has_service("s1"));
+  EXPECT_FALSE(a.has_service("s2"));
+  EXPECT_THROW(a.add_service(sorel::core::make_perfect_service("s1")),
+               InvalidArgument);
+  EXPECT_THROW(a.add_service(nullptr), InvalidArgument);
+  EXPECT_THROW(a.service("nope"), LookupError);
+  EXPECT_EQ(a.service_names().size(), 1u);
+}
+
+TEST(Assembly, BindValidatesEndpoints) {
+  Assembly a;
+  a.add_service(one_call_composite("comp", "dep"));
+  a.add_service(sorel::core::make_cpu_service("cpu", 1e9, 1e-9));
+  PortBinding missing_target;
+  missing_target.target = "ghost";
+  EXPECT_THROW(a.bind("comp", "dep", missing_target), LookupError);
+  PortBinding missing_connector;
+  missing_connector.target = "cpu";
+  missing_connector.connector = "ghost";
+  EXPECT_THROW(a.bind("comp", "dep", missing_connector), LookupError);
+  PortBinding ok;
+  ok.target = "cpu";
+  EXPECT_NO_THROW(a.bind("comp", "dep", ok));
+  // Cannot bind ports of simple services.
+  EXPECT_THROW(a.bind("cpu", "whatever", ok), ModelError);
+}
+
+TEST(Assembly, ValidateDetectsUnboundPort) {
+  Assembly a;
+  a.add_service(one_call_composite("comp", "dep"));
+  a.add_service(sorel::core::make_cpu_service("cpu", 1e9, 1e-9));
+  EXPECT_THROW(a.validate(), ModelError);
+  PortBinding b;
+  b.target = "cpu";
+  a.bind("comp", "dep", b);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Assembly, ValidateDetectsArityMismatch) {
+  Assembly a;
+  a.add_service(one_call_composite("comp", "dep", 2));  // passes 2 actuals
+  a.add_service(sorel::core::make_cpu_service("cpu", 1e9, 1e-9));  // arity 1
+  PortBinding b;
+  b.target = "cpu";
+  a.bind("comp", "dep", b);
+  EXPECT_THROW(a.validate(), ModelError);
+}
+
+TEST(Assembly, ValidateDetectsConnectorArityMismatch) {
+  Assembly a;
+  a.add_service(one_call_composite("comp", "dep"));
+  a.add_service(sorel::core::make_cpu_service("cpu", 1e9, 1e-9));
+  a.add_service(sorel::core::make_local_processing_connector("loc"));  // arity 2
+  PortBinding b;
+  b.target = "cpu";
+  b.connector = "loc";
+  b.connector_actuals = {Expr::constant(0.0)};  // needs 2
+  a.bind("comp", "dep", b);
+  EXPECT_THROW(a.validate(), ModelError);
+}
+
+TEST(Assembly, AttributeDefaultsAndOverrides) {
+  Assembly a;
+  a.add_service(sorel::core::make_cpu_service("cpu", 1e9, 1e-9));
+  EXPECT_EQ(a.attribute_env().lookup("cpu.lambda"), 1e-9);
+  a.set_attribute("cpu.lambda", 5.0);
+  EXPECT_EQ(a.attribute_env().lookup("cpu.lambda"), 5.0);
+  // The engine sees the overridden value: pfail = 1 - exp(-5 * 1e9 / 1e9).
+  ReliabilityEngine engine(a);
+  EXPECT_NEAR(engine.pfail("cpu", {1e9}), 1.0 - std::exp(-5.0), 1e-12);
+}
+
+TEST(Assembly, RebindReplacesWiring) {
+  Assembly a;
+  a.add_service(one_call_composite("comp", "dep"));
+  a.add_service(sorel::core::make_simple_service("good", {"x"}, Expr::constant(0.0)));
+  a.add_service(sorel::core::make_simple_service("bad", {"x"}, Expr::constant(1.0)));
+  PortBinding b;
+  b.target = "bad";
+  a.bind("comp", "dep", b);
+  {
+    ReliabilityEngine engine(a);
+    EXPECT_EQ(engine.pfail("comp", {0.0}), 1.0);
+  }
+  b.target = "good";
+  a.bind("comp", "dep", b);
+  {
+    ReliabilityEngine engine(a);
+    EXPECT_EQ(engine.pfail("comp", {0.0}), 0.0);
+  }
+}
+
+}  // namespace

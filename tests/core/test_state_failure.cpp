@@ -1,0 +1,221 @@
+// Tests for the per-state combinators — equations (4)-(13) of the paper plus
+// the k-of-n extension — including the paper's two analytical claims:
+//   1. AND completion is invariant under sharing (eqs. 6/8 == 11/13);
+//   2. OR completion is NOT: sharing strictly weakens redundancy whenever
+//      external failures are possible.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sorel/core/state_failure.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::core::CompletionModel;
+using sorel::core::DependencyModel;
+using sorel::core::RequestFailure;
+
+std::vector<RequestFailure> random_requests(sorel::util::Rng& rng, std::size_t n) {
+  std::vector<RequestFailure> out(n);
+  for (auto& r : out) {
+    r.internal = rng.uniform();
+    r.external = rng.uniform();
+  }
+  return out;
+}
+
+TEST(StateFailure, ExternalFailureEq13) {
+  EXPECT_DOUBLE_EQ(sorel::core::external_failure_probability(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sorel::core::external_failure_probability(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sorel::core::external_failure_probability(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sorel::core::external_failure_probability(0.5, 0.5), 0.75);
+  EXPECT_THROW(sorel::core::external_failure_probability(-0.1, 0.0), InvalidArgument);
+  EXPECT_THROW(sorel::core::external_failure_probability(0.0, 1.1), InvalidArgument);
+}
+
+TEST(StateFailure, RequestFailureEq8) {
+  EXPECT_DOUBLE_EQ(sorel::core::request_failure_probability({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(sorel::core::request_failure_probability({0.2, 0.0}), 0.2);
+  EXPECT_DOUBLE_EQ(sorel::core::request_failure_probability({0.0, 0.3}), 0.3);
+  EXPECT_DOUBLE_EQ(sorel::core::request_failure_probability({0.5, 0.5}), 0.75);
+}
+
+TEST(StateFailure, SingleRequestAllModelsAgree) {
+  // With one request every completion/dependency combination reduces to
+  // eq. (8).
+  const std::vector<RequestFailure> one{{0.1, 0.2}};
+  const double expected = sorel::core::request_failure_probability(one[0]);
+  EXPECT_DOUBLE_EQ(sorel::core::and_no_sharing(one), expected);
+  EXPECT_DOUBLE_EQ(sorel::core::or_no_sharing(one), expected);
+  EXPECT_DOUBLE_EQ(sorel::core::and_sharing(one), expected);
+  EXPECT_DOUBLE_EQ(sorel::core::or_sharing(one), expected);
+  EXPECT_DOUBLE_EQ(sorel::core::k_of_n_no_sharing(one, 1), expected);
+  EXPECT_DOUBLE_EQ(sorel::core::k_of_n_sharing(one, 1), expected);
+}
+
+TEST(StateFailure, AndNoSharingEq6KnownValues) {
+  const std::vector<RequestFailure> reqs{{0.1, 0.0}, {0.0, 0.2}};
+  // 1 - (0.9)(0.8) = 0.28
+  EXPECT_NEAR(sorel::core::and_no_sharing(reqs), 0.28, 1e-15);
+}
+
+TEST(StateFailure, OrNoSharingEq7KnownValues) {
+  const std::vector<RequestFailure> reqs{{0.1, 0.0}, {0.0, 0.2}};
+  // 0.1 * 0.2
+  EXPECT_NEAR(sorel::core::or_no_sharing(reqs), 0.02, 1e-15);
+}
+
+TEST(StateFailure, OrSharingEq12KnownValues) {
+  // Two requests to one shared service: ext each 0.2, int each 0.1.
+  const std::vector<RequestFailure> reqs{{0.1, 0.2}, {0.1, 0.2}};
+  // Eq. (12): 1 - (0.8)(0.8)(1 - 0.01) = 1 - 0.64*0.99 = 0.3664
+  EXPECT_NEAR(sorel::core::or_sharing(reqs), 0.3664, 1e-15);
+  // Eq. (7): (1-(0.9*0.8))^2 = 0.28^2 = 0.0784 — sharing is much worse.
+  EXPECT_NEAR(sorel::core::or_no_sharing(reqs), 0.0784, 1e-15);
+}
+
+// --- The paper's section 3.2 analytical claims, as random properties -------
+
+class SharingClaimSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharingClaimSuite, AndIsInvariantUnderSharing) {
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 50; ++round) {
+    const auto reqs = random_requests(rng, 1 + rng.below(6));
+    EXPECT_NEAR(sorel::core::and_no_sharing(reqs), sorel::core::and_sharing(reqs),
+                1e-14);
+  }
+}
+
+TEST_P(SharingClaimSuite, OrSharingIsNeverMoreReliable) {
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int round = 0; round < 50; ++round) {
+    const auto reqs = random_requests(rng, 2 + rng.below(5));
+    EXPECT_GE(sorel::core::or_sharing(reqs) + 1e-14,
+              sorel::core::or_no_sharing(reqs));
+  }
+}
+
+TEST_P(SharingClaimSuite, OrSharingStrictlyWorseWithExternalFailures) {
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<RequestFailure> reqs(2 + rng.below(4));
+    for (auto& r : reqs) {
+      r.internal = rng.uniform(0.01, 0.5);
+      r.external = rng.uniform(0.01, 0.5);  // strictly positive externals
+    }
+    EXPECT_GT(sorel::core::or_sharing(reqs), sorel::core::or_no_sharing(reqs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharingClaimSuite, ::testing::Range(1, 11));
+
+// --- k-of-n extension -------------------------------------------------------
+
+TEST(KOfN, ReducesToAndAtKEqualsN) {
+  sorel::util::Rng rng(5);
+  for (int round = 0; round < 30; ++round) {
+    const auto reqs = random_requests(rng, 1 + rng.below(6));
+    EXPECT_NEAR(sorel::core::k_of_n_no_sharing(reqs, reqs.size()),
+                sorel::core::and_no_sharing(reqs), 1e-14);
+    EXPECT_NEAR(sorel::core::k_of_n_sharing(reqs, reqs.size()),
+                sorel::core::and_sharing(reqs), 1e-14);
+  }
+}
+
+TEST(KOfN, ReducesToOrAtKEqualsOne) {
+  sorel::util::Rng rng(6);
+  for (int round = 0; round < 30; ++round) {
+    const auto reqs = random_requests(rng, 1 + rng.below(6));
+    EXPECT_NEAR(sorel::core::k_of_n_no_sharing(reqs, 1),
+                sorel::core::or_no_sharing(reqs), 1e-14);
+    EXPECT_NEAR(sorel::core::k_of_n_sharing(reqs, 1), sorel::core::or_sharing(reqs),
+                1e-14);
+  }
+}
+
+TEST(KOfN, MonotoneInK) {
+  // Requiring more successes can only increase the failure probability.
+  sorel::util::Rng rng(7);
+  for (int round = 0; round < 30; ++round) {
+    const auto reqs = random_requests(rng, 3 + rng.below(4));
+    double previous_ns = -1.0;
+    double previous_s = -1.0;
+    for (std::size_t k = 1; k <= reqs.size(); ++k) {
+      const double ns = sorel::core::k_of_n_no_sharing(reqs, k);
+      const double s = sorel::core::k_of_n_sharing(reqs, k);
+      EXPECT_GE(ns + 1e-14, previous_ns);
+      EXPECT_GE(s + 1e-14, previous_s);
+      previous_ns = ns;
+      previous_s = s;
+    }
+  }
+}
+
+TEST(KOfN, BinomialCrossCheck) {
+  // Identical requests: P(fewer than k successes) is a binomial tail.
+  const double p_fail = 0.3;  // per-request failure (internal only)
+  std::vector<RequestFailure> reqs(4, RequestFailure{p_fail, 0.0});
+  // n=4, success prob 0.7. P(at least 2) = 1 - P(0) - P(1).
+  const double p0 = 0.3 * 0.3 * 0.3 * 0.3;
+  const double p1 = 4 * 0.7 * 0.3 * 0.3 * 0.3;
+  EXPECT_NEAR(sorel::core::k_of_n_no_sharing(reqs, 2), p0 + p1, 1e-14);
+}
+
+TEST(KOfN, ValidatesThreshold) {
+  const std::vector<RequestFailure> reqs{{0.1, 0.1}, {0.1, 0.1}};
+  EXPECT_THROW(sorel::core::k_of_n_no_sharing(reqs, 0), InvalidArgument);
+  EXPECT_THROW(sorel::core::k_of_n_no_sharing(reqs, 3), InvalidArgument);
+  EXPECT_THROW(sorel::core::k_of_n_sharing(reqs, 0), InvalidArgument);
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+TEST(StateFailure, DispatchMatchesDirectCalls) {
+  sorel::util::Rng rng(8);
+  const auto reqs = random_requests(rng, 4);
+  using sorel::core::state_failure_probability;
+  EXPECT_EQ(state_failure_probability(reqs, CompletionModel::kAnd, 0,
+                                      DependencyModel::kNoSharing),
+            sorel::core::and_no_sharing(reqs));
+  EXPECT_EQ(state_failure_probability(reqs, CompletionModel::kOr, 0,
+                                      DependencyModel::kSharing),
+            sorel::core::or_sharing(reqs));
+  EXPECT_EQ(state_failure_probability(reqs, CompletionModel::kKOfN, 2,
+                                      DependencyModel::kNoSharing),
+            sorel::core::k_of_n_no_sharing(reqs, 2));
+  EXPECT_EQ(state_failure_probability(reqs, CompletionModel::kKOfN, 3,
+                                      DependencyModel::kSharing),
+            sorel::core::k_of_n_sharing(reqs, 3));
+}
+
+TEST(StateFailure, EmptyStateNeverFails) {
+  const std::vector<RequestFailure> none;
+  for (const auto completion :
+       {CompletionModel::kAnd, CompletionModel::kOr, CompletionModel::kKOfN}) {
+    for (const auto dep : {DependencyModel::kNoSharing, DependencyModel::kSharing}) {
+      EXPECT_EQ(sorel::core::state_failure_probability(none, completion, 1, dep), 0.0);
+    }
+  }
+}
+
+TEST(StateFailure, ResultsAlwaysProbabilities) {
+  sorel::util::Rng rng(9);
+  for (int round = 0; round < 200; ++round) {
+    const auto reqs = random_requests(rng, 1 + rng.below(8));
+    const std::size_t k = 1 + rng.below(reqs.size());
+    for (const double f :
+         {sorel::core::and_no_sharing(reqs), sorel::core::or_no_sharing(reqs),
+          sorel::core::and_sharing(reqs), sorel::core::or_sharing(reqs),
+          sorel::core::k_of_n_no_sharing(reqs, k),
+          sorel::core::k_of_n_sharing(reqs, k)}) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Tests for parameter-uncertainty propagation: degenerate distributions
+// reduce to the deterministic prediction, percentiles respect monotonicity
+// in the underlying attribute, and target-probability estimation works.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::AttributeDistribution;
+using sorel::core::UncertaintyOptions;
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+TEST(Uncertainty, FixedDistributionIsDeterministic) {
+  Assembly a = sorel::scenarios::make_chain_assembly(3, 1e-4, 1e-3, 1.0);
+  sorel::core::ReliabilityEngine engine(a);
+  const double exact = engine.reliability("pipeline", {50.0});
+
+  UncertaintyOptions options;
+  options.samples = 25;
+  const auto result = sorel::core::propagate_uncertainty(
+      a, "pipeline", {50.0},
+      {{"cpu.lambda", AttributeDistribution::fixed(1e-3)}}, options);
+  EXPECT_NEAR(result.reliability.mean(), exact, 1e-12);
+  EXPECT_NEAR(result.reliability.stddev(), 0.0, 1e-12);
+  EXPECT_NEAR(result.p05, exact, 1e-12);
+  EXPECT_NEAR(result.p95, exact, 1e-12);
+}
+
+TEST(Uncertainty, PercentilesBracketDeterministicValue) {
+  // Uniform uncertainty on the network failure rate of the remote assembly:
+  // the p05..p95 band must contain the prediction at the nominal value, and
+  // the band edges must match evaluations near the attribute extremes
+  // (reliability is monotone decreasing in gamma).
+  SearchSortParams p;
+  p.gamma = 2.5e-2;
+  Assembly a = build_search_assembly(AssemblyKind::kRemote, p);
+  const std::vector<double> args{p.elem_size, 2000.0, p.result_size};
+
+  sorel::core::ReliabilityEngine engine(a);
+  const double nominal = engine.reliability("search", args);
+
+  UncertaintyOptions options;
+  options.samples = 2'000;
+  const auto result = sorel::core::propagate_uncertainty(
+      a, "search", args,
+      {{"net12.beta", AttributeDistribution::uniform(1e-2, 4e-2)}}, options);
+  EXPECT_LT(result.p05, nominal);
+  EXPECT_GT(result.p95, nominal);
+  EXPECT_GT(result.reliability.stddev(), 0.0);
+
+  // Monotonicity: the 95th percentile of reliability corresponds to small
+  // gamma. Evaluate at the 5%/95% quantiles of the uniform attribute.
+  Assembly low = build_search_assembly(AssemblyKind::kRemote, p);
+  low.set_attribute("net12.beta", 1e-2 + 0.05 * 3e-2);
+  sorel::core::ReliabilityEngine low_engine(low);
+  EXPECT_NEAR(result.p95, low_engine.reliability("search", args), 5e-3);
+}
+
+TEST(Uncertainty, TargetProbability) {
+  SearchSortParams p;
+  p.gamma = 2.5e-2;
+  Assembly a = build_search_assembly(AssemblyKind::kRemote, p);
+  const std::vector<double> args{p.elem_size, 2000.0, p.result_size};
+  UncertaintyOptions options;
+  options.samples = 1'000;
+  // gamma uniform over a range where R straddles 0.96: P(R >= 0.96) strictly
+  // between 0 and 1.
+  const auto result = sorel::core::propagate_uncertainty(
+      a, "search", args,
+      {{"net12.beta", AttributeDistribution::uniform(5e-3, 5e-2)}}, options, 0.96);
+  EXPECT_GT(result.probability_meets_target, 0.05);
+  EXPECT_LT(result.probability_meets_target, 0.95);
+}
+
+TEST(Uncertainty, LogUniformAndLogNormalStayPositive) {
+  Assembly a = sorel::scenarios::make_chain_assembly(1, 0.0, 1e-3, 1.0);
+  UncertaintyOptions options;
+  options.samples = 300;
+  for (const auto& dist :
+       {AttributeDistribution::log_uniform(1e-5, 1e-1),
+        AttributeDistribution::log_normal(std::log(1e-3), 1.0)}) {
+    const auto result = sorel::core::propagate_uncertainty(
+        a, "pipeline", {10.0}, {{"cpu.lambda", dist}}, options);
+    EXPECT_GT(result.reliability.min(), 0.0);
+    EXPECT_LE(result.reliability.max(), 1.0);
+    EXPECT_GT(result.reliability.stddev(), 0.0);
+  }
+}
+
+TEST(Uncertainty, NormalClampedToNonNegative) {
+  // A normal with large stddev would produce negative failure rates; the
+  // default clamp keeps the engine inputs legal.
+  Assembly a = sorel::scenarios::make_chain_assembly(1, 0.0, 1e-3, 1.0);
+  UncertaintyOptions options;
+  options.samples = 500;
+  const auto result = sorel::core::propagate_uncertainty(
+      a, "pipeline", {10.0},
+      {{"cpu.lambda", AttributeDistribution::normal(1e-3, 5e-3)}}, options);
+  EXPECT_LE(result.reliability.max(), 1.0);  // lambda=0 samples give R=1
+  EXPECT_GT(result.reliability.stddev(), 0.0);
+}
+
+TEST(Uncertainty, Validation) {
+  Assembly a = sorel::scenarios::make_chain_assembly(1);
+  EXPECT_THROW(sorel::core::propagate_uncertainty(
+                   a, "pipeline", {1.0},
+                   {{"ghost", AttributeDistribution::fixed(1.0)}}),
+               sorel::LookupError);
+  EXPECT_THROW(AttributeDistribution::uniform(2.0, 1.0), sorel::InvalidArgument);
+  EXPECT_THROW(AttributeDistribution::log_uniform(0.0, 1.0), sorel::InvalidArgument);
+  EXPECT_THROW(AttributeDistribution::normal(0.0, -1.0), sorel::InvalidArgument);
+  UncertaintyOptions zero;
+  zero.samples = 0;
+  EXPECT_THROW(
+      sorel::core::propagate_uncertainty(
+          a, "pipeline", {1.0}, {{"cpu.lambda", AttributeDistribution::fixed(1e-9)}},
+          zero),
+      sorel::InvalidArgument);
+}
+
+TEST(Uncertainty, ReproducibleUnderSeed) {
+  Assembly a = sorel::scenarios::make_chain_assembly(2, 1e-5, 1e-3, 1.0);
+  UncertaintyOptions options;
+  options.samples = 100;
+  options.seed = 5;
+  const std::map<std::string, AttributeDistribution> dists{
+      {"cpu.lambda", AttributeDistribution::uniform(1e-4, 1e-2)}};
+  const auto r1 =
+      sorel::core::propagate_uncertainty(a, "pipeline", {10.0}, dists, options);
+  const auto r2 =
+      sorel::core::propagate_uncertainty(a, "pipeline", {10.0}, dists, options);
+  EXPECT_EQ(r1.reliability.mean(), r2.reliability.mean());
+  EXPECT_EQ(r1.p50, r2.p50);
+}
+
+}  // namespace

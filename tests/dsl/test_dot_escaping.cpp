@@ -1,0 +1,65 @@
+// DOT export must escape quotes/backslashes in names and labels so the
+// generated GraphViz is always syntactically valid.
+#include <gtest/gtest.h>
+
+#include "sorel/core/service.hpp"
+#include "sorel/dsl/dot.hpp"
+#include "sorel/expr/expr.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::CompositeService;
+using sorel::core::FlowGraph;
+using sorel::core::FlowState;
+using sorel::core::PortBinding;
+using sorel::core::ServiceRequest;
+using sorel::expr::Expr;
+
+TEST(DotEscaping, QuotesInNamesAndLabels) {
+  Assembly a;
+  a.add_service(sorel::core::make_perfect_service("dep\"svc"));
+
+  FlowGraph flow;
+  FlowState s;
+  s.name = "state";
+  ServiceRequest r;
+  r.port = "p";
+  r.label = "say \"hi\" \\ bye";
+  s.requests.push_back(std::move(r));
+  const auto id = flow.add_state(std::move(s));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+  a.add_service(std::make_shared<CompositeService>(
+      "app", std::vector<sorel::core::FormalParam>{}, std::move(flow)));
+  PortBinding b;
+  b.target = "dep\"svc";
+  a.bind("app", "p", b);
+
+  const std::string assembly_dot = sorel::dsl::assembly_to_dot(a);
+  const std::string flow_dot = sorel::dsl::flow_to_dot(*a.service("app"));
+  // Raw quotes must not appear unescaped inside quoted strings: every '"'
+  // inside the emitted name is preceded by a backslash.
+  EXPECT_NE(assembly_dot.find("dep\\\"svc"), std::string::npos);
+  EXPECT_NE(flow_dot.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(flow_dot.find("\\\\ bye"), std::string::npos);
+
+  // Balanced-quote sanity: an even number of unescaped quotes per line.
+  for (const std::string& dot : {assembly_dot, flow_dot}) {
+    std::size_t line_start = 0;
+    while (line_start < dot.size()) {
+      const std::size_t line_end = dot.find('\n', line_start);
+      const std::string line =
+          dot.substr(line_start, line_end - line_start);
+      int quotes = 0;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) ++quotes;
+      }
+      EXPECT_EQ(quotes % 2, 0) << line;
+      if (line_end == std::string::npos) break;
+      line_start = line_end + 1;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// DSL tests: loading assemblies from JSON specs, full save/load round-trips
+// on the paper example, error reporting, and DOT export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/dsl/dot.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::ModelError;
+using sorel::core::Assembly;
+using sorel::core::ReliabilityEngine;
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+constexpr const char* kMinimalSpec = R"json({
+  "services": [
+    {"type": "cpu", "name": "cpu1", "speed": 1e9, "failure_rate": 1e-9},
+    {"type": "composite", "name": "app", "formals": ["work"],
+     "attributes": {"app.phi": 1e-6},
+     "flow": {
+       "states": [
+         {"name": "compute",
+          "requests": [
+            {"port": "cpu", "actuals": ["work"],
+             "internal": {"model": "per_operation", "phi": "app.phi",
+                          "count": "work"}}]}],
+       "transitions": [
+         {"from": "Start", "to": "compute", "p": 1},
+         {"from": "compute", "to": "End", "p": 1}]}}
+  ],
+  "bindings": [
+    {"service": "app", "port": "cpu", "target": "cpu1"}]
+})json";
+
+TEST(DslLoader, MinimalSpecEvaluates) {
+  Assembly a = sorel::dsl::load_assembly(sorel::json::parse(kMinimalSpec));
+  ReliabilityEngine engine(a);
+  const double work = 1e6;
+  const double expected =
+      1.0 - std::exp(work * std::log1p(-1e-6)) * std::exp(-1e-9 * work / 1e9);
+  EXPECT_NEAR(engine.pfail("app", {work}), expected, 1e-12);
+}
+
+TEST(DslLoader, AttributeOverridesApply) {
+  auto doc = sorel::json::parse(kMinimalSpec);
+  doc["attributes"] = sorel::json::Value(
+      sorel::json::Object{{"cpu1.lambda", sorel::json::Value(1e-6)}});
+  Assembly a = sorel::dsl::load_assembly(doc);
+  ReliabilityEngine engine(a);
+  const double work = 1e6;
+  // phi dominated by the new hardware rate 1e-6.
+  const double expected =
+      1.0 - std::exp(work * std::log1p(-1e-6)) * std::exp(-1e-6 * work / 1e9);
+  EXPECT_NEAR(engine.pfail("app", {work}), expected, 1e-12);
+}
+
+TEST(DslLoader, AllServiceTypesParse) {
+  const char* spec = R"json({
+    "services": [
+      {"type": "cpu", "name": "c", "speed": 1e9, "failure_rate": 1e-9},
+      {"type": "network", "name": "n", "bandwidth": 1e3, "failure_rate": 1e-3},
+      {"type": "perfect", "name": "p", "formals": ["x"]},
+      {"type": "simple", "name": "s", "formals": ["N"],
+       "pfail": "1 - exp(-0.001 * N)"},
+      {"type": "lpc", "name": "l", "control_transfer_ops": 100},
+      {"type": "rpc", "name": "r", "ops_per_byte": 5, "bytes_per_byte": 1.1},
+      {"type": "local_processing", "name": "loc"},
+      {"type": "retrying_rpc", "name": "rr", "ops_per_byte": 5,
+       "bytes_per_byte": 1, "attempts": 2}
+    ],
+    "bindings": [
+      {"service": "l", "port": "cpu", "target": "c"},
+      {"service": "r", "port": "cpu_client", "target": "c"},
+      {"service": "r", "port": "cpu_server", "target": "c"},
+      {"service": "r", "port": "net", "target": "n"},
+      {"service": "rr", "port": "transport", "target": "r",
+       "connector_actuals": []}
+    ]
+  })json";
+  Assembly a = sorel::dsl::load_assembly(sorel::json::parse(spec));
+  EXPECT_EQ(a.service_names().size(), 8u);
+  EXPECT_TRUE(a.service("r")->flow() != nullptr);
+  EXPECT_TRUE(a.service("loc")->is_simple());
+}
+
+TEST(DslLoader, CompletionAndDependencyVariants) {
+  const char* spec = R"json({
+    "services": [
+      {"type": "perfect", "name": "dep", "formals": []},
+      {"type": "composite", "name": "app", "formals": [],
+       "flow": {
+         "states": [
+           {"name": "s1", "completion": "OR", "dependency": "sharing",
+            "requests": [
+              {"port": "d", "actuals": [], "internal": {"model": "constant", "p": 0.5}},
+              {"port": "d", "actuals": [], "internal": {"model": "constant", "p": 0.5}}]},
+           {"name": "s2", "completion": "K_OF_N", "k": 2,
+            "requests": [
+              {"port": "d", "actuals": []},
+              {"port": "d", "actuals": []},
+              {"port": "d", "actuals": []}]}],
+         "transitions": [
+           {"from": "Start", "to": "s1", "p": 1},
+           {"from": "s1", "to": "s2", "p": 1},
+           {"from": "s2", "to": "End", "p": 1}]}}
+    ],
+    "bindings": [{"service": "app", "port": "d", "target": "dep"}]
+  })json";
+  Assembly a = sorel::dsl::load_assembly(sorel::json::parse(spec));
+  ReliabilityEngine engine(a);
+  // s1: OR/sharing, ext=0, int=0.5 each -> eq.(12): 1 - 1*(1-0.25) = 0.25.
+  // s2: perfect deps -> 0. Total pfail = 0.25.
+  EXPECT_NEAR(engine.pfail("app", {}), 0.25, 1e-12);
+}
+
+struct BadSpec {
+  const char* description;
+  const char* spec;
+};
+
+class DslErrorSuite : public ::testing::TestWithParam<BadSpec> {};
+
+TEST_P(DslErrorSuite, Rejects) {
+  EXPECT_THROW(sorel::dsl::load_assembly(sorel::json::parse(GetParam().spec)),
+               sorel::Error)
+      << GetParam().description;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, DslErrorSuite,
+    ::testing::Values(
+        BadSpec{"unknown service type",
+                R"json({"services": [{"type": "quantum", "name": "q"}]})json"},
+        BadSpec{"missing flow",
+                R"json({"services": [{"type": "composite", "name": "c"}]})json"},
+        BadSpec{"bad expression",
+                R"json({"services": [{"type": "simple", "name": "s", "formals": [],
+                     "pfail": "1 +"}]})json"},
+        BadSpec{"unknown transition state",
+                R"json({"services": [{"type": "composite", "name": "c", "formals": [],
+                     "flow": {"states": [], "transitions":
+                       [{"from": "Start", "to": "ghost", "p": 1}]}}]})json"},
+        BadSpec{"unbound port",
+                R"json({"services": [
+                     {"type": "composite", "name": "c", "formals": [],
+                      "flow": {"states": [{"name": "s", "requests":
+                                 [{"port": "dep", "actuals": []}]}],
+                               "transitions": [
+                                 {"from": "Start", "to": "s", "p": 1},
+                                 {"from": "s", "to": "End", "p": 1}]}}]})json"},
+        BadSpec{"binding to unknown target",
+                R"json({"services": [], "bindings":
+                     [{"service": "a", "port": "p", "target": "b"}]})json"},
+        BadSpec{"unknown completion model",
+                R"json({"services": [{"type": "composite", "name": "c", "formals": [],
+                     "flow": {"states": [{"name": "s", "completion": "XOR"}],
+                              "transitions": [
+                                {"from": "Start", "to": "s", "p": 1},
+                                {"from": "s", "to": "End", "p": 1}]}}]})json"}));
+
+class RoundTripSuite : public ::testing::TestWithParam<AssemblyKind> {};
+
+TEST_P(RoundTripSuite, PaperExampleSurvivesSaveLoad) {
+  SearchSortParams p;
+  p.gamma = 2.5e-2;
+  Assembly original = build_search_assembly(GetParam(), p);
+  original.set_attribute("search.q", 0.75);
+
+  const auto doc = sorel::dsl::save_assembly(original);
+  Assembly reloaded = sorel::dsl::load_assembly(doc);
+
+  const std::vector<double> args{p.elem_size, 2000.0, p.result_size};
+  ReliabilityEngine original_engine(original);
+  ReliabilityEngine reloaded_engine(reloaded);
+  EXPECT_NEAR(original_engine.pfail("search", args),
+              reloaded_engine.pfail("search", args), 1e-12);
+
+  // Second round trip is a fixed point (modulo map ordering, the document
+  // must be identical).
+  const auto doc2 = sorel::dsl::save_assembly(reloaded);
+  EXPECT_EQ(doc, doc2);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAssemblies, RoundTripSuite,
+                         ::testing::Values(AssemblyKind::kLocal,
+                                           AssemblyKind::kRemote));
+
+TEST(DslRoundTrip, SyntheticAssembliesSurvive) {
+  for (const auto& assembly :
+       {sorel::scenarios::make_chain_assembly(4, 1e-5),
+        sorel::scenarios::make_fan_assembly(3, sorel::core::CompletionModel::kKOfN, 2,
+                                            sorel::core::DependencyModel::kSharing)}) {
+    Assembly reloaded = sorel::dsl::load_assembly(sorel::dsl::save_assembly(assembly));
+    const std::string root = assembly.has_service("pipeline") ? "pipeline" : "fan";
+    ReliabilityEngine e1(const_cast<Assembly&>(assembly));
+    ReliabilityEngine e2(reloaded);
+    EXPECT_NEAR(e1.pfail(root, {100.0}), e2.pfail(root, {100.0}), 1e-12);
+  }
+}
+
+TEST(DslDot, FlowExportShowsStructure) {
+  SearchSortParams p;
+  Assembly a = build_search_assembly(AssemblyKind::kLocal, p);
+  const std::string dot = sorel::dsl::flow_to_dot(*a.service("search"));
+  EXPECT_NE(dot.find("Start"), std::string::npos);
+  EXPECT_NE(dot.find("End"), std::string::npos);
+  EXPECT_NE(dot.find("sort(list)"), std::string::npos);  // request rendering
+  EXPECT_NE(dot.find("search.q"), std::string::npos);    // symbolic probability
+  EXPECT_THROW(sorel::dsl::flow_to_dot(*a.service("cpu1")), sorel::InvalidArgument);
+}
+
+TEST(DslDot, AssemblyExportShowsBindings) {
+  SearchSortParams p;
+  Assembly a = build_search_assembly(AssemblyKind::kRemote, p);
+  const std::string dot = sorel::dsl::assembly_to_dot(a, "remote");
+  EXPECT_NE(dot.find("digraph \"remote\""), std::string::npos);
+  EXPECT_NE(dot.find("rpc"), std::string::npos);
+  EXPECT_NE(dot.find("via rpc"), std::string::npos);
+  EXPECT_NE(dot.find("net12"), std::string::npos);
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);  // composite marker
+}
+
+}  // namespace

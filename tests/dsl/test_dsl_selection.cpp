@@ -1,0 +1,109 @@
+// Tests for selection points in the DSL: parsing, default binding of the
+// first candidate, and integration with rank_assemblies.
+#include <gtest/gtest.h>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/selection.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::ReliabilityEngine;
+
+constexpr const char* kSpec = R"json({
+  "services": [
+    {"type": "simple", "name": "good", "formals": ["x"], "pfail": 0.01},
+    {"type": "simple", "name": "bad", "formals": ["x"], "pfail": 0.5},
+    {"type": "composite", "name": "app", "formals": ["x"],
+     "flow": {
+       "states": [
+         {"name": "work",
+          "requests": [{"port": "dep", "actuals": ["x"]}]}],
+       "transitions": [
+         {"from": "Start", "to": "work", "p": 1},
+         {"from": "work", "to": "End", "p": 1}]}}
+  ],
+  "bindings": [],
+  "selection": [
+    {"service": "app", "port": "dep",
+     "candidates": [
+       {"label": "risky", "target": "bad"},
+       {"label": "solid", "target": "good"}]}
+  ]
+})json";
+
+TEST(DslSelection, FirstCandidateBecomesDefaultBinding) {
+  const auto doc = sorel::json::parse(kSpec);
+  Assembly a = sorel::dsl::load_assembly(doc);
+  // The port was not in "bindings": the loader wired it to candidate 0.
+  EXPECT_EQ(a.binding("app", "dep").target, "bad");
+  ReliabilityEngine engine(a);
+  EXPECT_NEAR(engine.pfail("app", {1.0}), 0.5, 1e-12);
+}
+
+TEST(DslSelection, ExplicitBindingWins) {
+  auto doc = sorel::json::parse(kSpec);
+  doc["bindings"] = sorel::json::parse(
+      R"json([{"service": "app", "port": "dep", "target": "good"}])json");
+  Assembly a = sorel::dsl::load_assembly(doc);
+  EXPECT_EQ(a.binding("app", "dep").target, "good");
+}
+
+TEST(DslSelection, PointsParseAndRank) {
+  const auto doc = sorel::json::parse(kSpec);
+  Assembly a = sorel::dsl::load_assembly(doc);
+  const auto points = sorel::dsl::load_selection_points(doc);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].service, "app");
+  EXPECT_EQ(points[0].port, "dep");
+  ASSERT_EQ(points[0].candidates.size(), 2u);
+  EXPECT_EQ(points[0].labels[0], "risky");
+  EXPECT_EQ(points[0].labels[1], "solid");
+
+  const auto ranking = sorel::core::rank_assemblies(a, "app", {1.0}, points);
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].labels[0], "solid");
+  EXPECT_NEAR(ranking[0].reliability, 0.99, 1e-12);
+  EXPECT_NEAR(ranking[1].reliability, 0.5, 1e-12);
+}
+
+TEST(DslSelection, MissingLabelDefaultsToTargetName) {
+  const char* spec = R"json({
+    "services": [
+      {"type": "simple", "name": "svc", "formals": [], "pfail": 0},
+      {"type": "perfect", "name": "conn", "formals": ["ip", "op"]},
+      {"type": "composite", "name": "app", "formals": [],
+       "flow": {"states": [{"name": "s",
+                            "requests": [{"port": "p", "actuals": []}]}],
+                "transitions": [{"from": "Start", "to": "s", "p": 1},
+                                {"from": "s", "to": "End", "p": 1}]}}
+    ],
+    "selection": [
+      {"service": "app", "port": "p",
+       "candidates": [{"target": "svc", "connector": "conn",
+                       "connector_actuals": [0, 0]}]}]
+  })json";
+  const auto doc = sorel::json::parse(spec);
+  (void)sorel::dsl::load_assembly(doc);
+  const auto points = sorel::dsl::load_selection_points(doc);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].labels[0], "svc via conn");
+}
+
+TEST(DslSelection, EmptyCandidateListRejected) {
+  const char* spec = R"json({
+    "services": [],
+    "selection": [{"service": "a", "port": "p", "candidates": []}]
+  })json";
+  const auto doc = sorel::json::parse(spec);
+  EXPECT_THROW(sorel::dsl::load_selection_points(doc), sorel::Error);
+}
+
+TEST(DslSelection, DocumentsWithoutSelectionYieldNoPoints) {
+  const auto doc = sorel::json::parse(R"json({"services": []})json");
+  EXPECT_TRUE(sorel::dsl::load_selection_points(doc).empty());
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Tests for the DSL's "uncertainty" section and its integration with the
+// propagation engine.
+#include <gtest/gtest.h>
+
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+constexpr const char* kSpec = R"json({
+  "services": [
+    {"type": "cpu", "name": "cpu", "speed": 1e9, "failure_rate": 1e-3},
+    {"type": "composite", "name": "app", "formals": ["work"],
+     "flow": {"states": [{"name": "go",
+                          "requests": [{"port": "cpu", "actuals": ["work"]}]}],
+              "transitions": [{"from": "Start", "to": "go", "p": 1},
+                              {"from": "go", "to": "End", "p": 1}]}}
+  ],
+  "bindings": [{"service": "app", "port": "cpu", "target": "cpu"}],
+  "uncertainty": {
+    "cpu.lambda": {"dist": "log_uniform", "a": 1e-4, "b": 1e-2},
+    "cpu.s": {"dist": "fixed", "a": 1e9}
+  }
+})json";
+
+TEST(DslUncertainty, ParsesAllKinds) {
+  const char* spec = R"json({
+    "services": [],
+    "uncertainty": {
+      "a": {"dist": "fixed", "a": 1.0},
+      "b": {"dist": "uniform", "a": 0.0, "b": 2.0},
+      "c": {"dist": "log_uniform", "a": 0.1, "b": 10.0},
+      "d": {"dist": "normal", "a": 5.0, "b": 1.0},
+      "e": {"dist": "log_normal", "a": 0.0, "b": 0.5}
+    }
+  })json";
+  const auto dists = sorel::dsl::load_uncertainty(sorel::json::parse(spec));
+  EXPECT_EQ(dists.size(), 5u);
+  EXPECT_EQ(dists.at("a").kind, sorel::core::AttributeDistribution::Kind::kFixed);
+  EXPECT_EQ(dists.at("c").kind,
+            sorel::core::AttributeDistribution::Kind::kLogUniform);
+  EXPECT_EQ(dists.at("e").kind,
+            sorel::core::AttributeDistribution::Kind::kLogNormal);
+}
+
+TEST(DslUncertainty, EndToEndPropagation) {
+  const auto doc = sorel::json::parse(kSpec);
+  const auto assembly = sorel::dsl::load_assembly(doc);
+  const auto dists = sorel::dsl::load_uncertainty(doc);
+  sorel::core::UncertaintyOptions options;
+  options.samples = 500;
+  const auto result = sorel::core::propagate_uncertainty(assembly, "app", {1e6},
+                                                         dists, options);
+  EXPECT_GT(result.reliability.stddev(), 0.0);
+  // lambda in [1e-4, 1e-2] over 1e6 ops at 1e9 ops/s -> R in roughly
+  // [e^-1e-5, e^-1e-7]: all samples near 1 but strictly below.
+  EXPECT_LT(result.reliability.max(), 1.0);
+  EXPECT_GT(result.reliability.min(), 0.99);
+}
+
+TEST(DslUncertainty, RejectsUnknownKindAndMissingFields) {
+  EXPECT_THROW(sorel::dsl::load_uncertainty(sorel::json::parse(
+                   R"json({"uncertainty": {"a": {"dist": "triangular",
+                                                 "a": 0, "b": 1}}})json")),
+               sorel::Error);
+  EXPECT_THROW(sorel::dsl::load_uncertainty(sorel::json::parse(
+                   R"json({"uncertainty": {"a": {"dist": "uniform", "a": 0}}})json")),
+               sorel::Error);
+  // Malformed parameters surface the core validation errors.
+  EXPECT_THROW(sorel::dsl::load_uncertainty(sorel::json::parse(
+                   R"json({"uncertainty": {"a": {"dist": "log_uniform",
+                                                 "a": -1, "b": 1}}})json")),
+               sorel::InvalidArgument);
+}
+
+TEST(DslUncertainty, AbsentSectionYieldsEmptyMap) {
+  EXPECT_TRUE(
+      sorel::dsl::load_uncertainty(sorel::json::parse(R"json({"services": []})json"))
+          .empty());
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Tests for compiled expression evaluation: semantics identical to
+// Expr::eval across random programs, domain errors preserved, layout
+// validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/expr/compiled.hpp"
+#include "sorel/expr/parser.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::expr::CompiledExpr;
+using sorel::expr::Env;
+using sorel::expr::Expr;
+using sorel::expr::compile;
+using sorel::expr::parse;
+
+TEST(CompiledExpr, MatchesTreeEvaluation) {
+  const Expr e = parse("1 - exp(-(lambda * N / s)) * pow(1 - phi, N)");
+  const CompiledExpr program = compile(e, {"N", "lambda", "s", "phi"});
+  EXPECT_EQ(program.variable_count(), 4u);
+  for (const double n : {1.0, 1e3, 1e6}) {
+    const double values[] = {n, 1e-9, 1e9, 1e-7};
+    const Env env = Env{}
+                        .set("N", n)
+                        .set("lambda", 1e-9)
+                        .set("s", 1e9)
+                        .set("phi", 1e-7);
+    EXPECT_DOUBLE_EQ(program.eval(values), e.eval(env)) << "N=" << n;
+  }
+}
+
+TEST(CompiledExpr, RandomProgramsAgreeWithTreeEval) {
+  sorel::util::Rng rng(31415);
+  const std::vector<std::string> layout{"a", "b", "c"};
+  for (int round = 0; round < 150; ++round) {
+    std::vector<Expr> pool = {Expr::var("a"), Expr::var("b"), Expr::var("c"),
+                              Expr::constant(0.5), Expr::constant(2.0)};
+    for (int step = 0; step < 8; ++step) {
+      const Expr& x = pool[rng.below(pool.size())];
+      const Expr& y = pool[rng.below(pool.size())];
+      switch (rng.below(7)) {
+        case 0: pool.push_back(x + y); break;
+        case 1: pool.push_back(x - y); break;
+        case 2: pool.push_back(x * y); break;
+        case 3: pool.push_back(x / (y * y + 1.0)); break;
+        case 4: pool.push_back(min(x, y)); break;
+        case 5: pool.push_back(max(x, -y)); break;
+        case 6: pool.push_back(sqrt(x * x + y * y)); break;
+      }
+    }
+    const Expr& e = pool.back();
+    const CompiledExpr program = compile(e, layout);
+    for (int sample = 0; sample < 5; ++sample) {
+      const double values[] = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+                               rng.uniform(-2.0, 2.0)};
+      const Env env = Env{}
+                          .set("a", values[0])
+                          .set("b", values[1])
+                          .set("c", values[2]);
+      EXPECT_NEAR(program.eval(values), e.eval(env), 1e-12) << e.to_string();
+    }
+  }
+}
+
+TEST(CompiledExpr, DomainErrorsPreserved) {
+  const double zero[] = {0.0};
+  const double negative[] = {-1.0};
+  EXPECT_THROW(compile(parse("1 / x"), {"x"}).eval(zero), sorel::NumericError);
+  EXPECT_THROW(compile(parse("log(x)"), {"x"}).eval(zero), sorel::NumericError);
+  EXPECT_THROW(compile(parse("sqrt(x)"), {"x"}).eval(negative),
+               sorel::NumericError);
+  EXPECT_THROW(compile(parse("x ^ 0.5"), {"x"}).eval(negative),
+               sorel::NumericError);
+  const double one[] = {1.0};
+  EXPECT_THROW(compile(parse("exp(x * 1e9)"), {"x"}).eval(one),
+               sorel::NumericError);  // overflow to +inf is rejected
+}
+
+TEST(CompiledExpr, LayoutValidation) {
+  const Expr e = parse("x + y");
+  EXPECT_THROW(compile(e, {"x"}), sorel::LookupError);        // y missing
+  EXPECT_THROW(compile(e, {"x", "x", "y"}), sorel::InvalidArgument);
+  const CompiledExpr ok = compile(e, {"y", "x"});             // order respected
+  const double values[] = {10.0, 1.0};                        // y=10, x=1
+  EXPECT_DOUBLE_EQ(ok.eval(values), 11.0);
+  const double wrong_arity[] = {1.0};
+  EXPECT_THROW(ok.eval(wrong_arity), sorel::InvalidArgument);
+}
+
+TEST(CompiledExpr, UnusedLayoutVariablesAllowed) {
+  const CompiledExpr program = compile(parse("x * 2"), {"x", "spare"});
+  const double values[] = {3.0, 999.0};
+  EXPECT_DOUBLE_EQ(program.eval(values), 6.0);
+}
+
+TEST(CompiledExpr, DeepRightNestedStack) {
+  // Right-leaning tree maximises stack depth; must exceed the inline buffer.
+  Expr e = Expr::var("x");
+  for (int i = 0; i < 100; ++i) e = Expr::constant(1.0) + (e * 1.0 + 0.0);
+  const CompiledExpr program = compile(e, {"x"});
+  const double values[] = {0.5};
+  EXPECT_DOUBLE_EQ(program.eval(values), 100.5);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/expr/parser.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::expr::Env;
+using sorel::expr::Expr;
+using sorel::expr::parse;
+
+/// Compare the symbolic derivative with a central finite difference at
+/// several points.
+void expect_derivative_matches(const std::string& source, double lo, double hi) {
+  const Expr e = parse(source);
+  const Expr d = e.derivative("x");
+  for (double x = lo; x <= hi; x += (hi - lo) / 7.0) {
+    const double h = 1e-6 * std::max(1.0, std::fabs(x));
+    const Env at = Env{}.set("x", x);
+    const double numeric = (e.eval(Env{}.set("x", x + h)) -
+                            e.eval(Env{}.set("x", x - h))) /
+                           (2.0 * h);
+    EXPECT_NEAR(d.eval(at), numeric, 1e-5 * std::max(1.0, std::fabs(numeric)))
+        << source << " at x=" << x;
+  }
+}
+
+TEST(Derivative, Polynomials) {
+  expect_derivative_matches("x ^ 3 + 2 * x ^ 2 - x + 7", -3.0, 3.0);
+  expect_derivative_matches("(x + 1) * (x - 2)", -3.0, 3.0);
+}
+
+TEST(Derivative, Quotients) {
+  expect_derivative_matches("(x + 1) / (x ^ 2 + 1)", -3.0, 3.0);
+  expect_derivative_matches("1 / x", 0.5, 4.0);
+}
+
+TEST(Derivative, Transcendental) {
+  expect_derivative_matches("exp(-x * x)", -2.0, 2.0);
+  expect_derivative_matches("log(x)", 0.5, 5.0);
+  expect_derivative_matches("log2(x)", 0.5, 5.0);
+  expect_derivative_matches("sqrt(x)", 0.5, 5.0);
+  expect_derivative_matches("x * exp(x) - log(x + 2)", 0.1, 2.0);
+}
+
+TEST(Derivative, GeneralPower) {
+  // Non-constant exponent: d(x^x) = x^x (ln x + 1).
+  expect_derivative_matches("x ^ x", 0.5, 3.0);
+  expect_derivative_matches("2 ^ x", -2.0, 2.0);
+}
+
+TEST(Derivative, ReliabilityExpressions) {
+  // The paper's eq. (1): d/dλ of 1 - exp(-λN/s) — differentiate w.r.t. the
+  // attribute variable.
+  const Expr pfail = parse("1 - exp(-x * 1000 / 1e9)");  // x plays λ
+  const Expr d = pfail.derivative("x");
+  const double at = d.eval(Env{}.set("x", 1e-9));
+  EXPECT_NEAR(at, 1000.0 / 1e9 * std::exp(-1e-9 * 1000 / 1e9), 1e-15);
+}
+
+TEST(Derivative, OtherVariablesAreConstants) {
+  const Expr e = parse("x * y + y ^ 2");
+  const Expr dx = e.derivative("x");
+  EXPECT_DOUBLE_EQ(dx.eval(Env{}.set("x", 5.0).set("y", 3.0)), 3.0);
+  const Expr dz = e.derivative("z").simplify();
+  EXPECT_TRUE(dz.is_constant());
+  EXPECT_EQ(dz.constant_value(), 0.0);
+}
+
+TEST(Derivative, MinMaxUnsupported) {
+  EXPECT_THROW(parse("min(x, 1)").derivative("x"), InvalidArgument);
+  EXPECT_THROW(parse("max(x, 1)").derivative("x"), InvalidArgument);
+}
+
+TEST(Derivative, SecondDerivative) {
+  const Expr e = parse("x ^ 4");
+  const Expr d2 = e.derivative("x").derivative("x");
+  EXPECT_NEAR(d2.eval(Env{}.set("x", 2.0)), 48.0, 1e-9);
+}
+
+}  // namespace

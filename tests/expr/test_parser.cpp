@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/expr/parser.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::ParseError;
+using sorel::expr::Env;
+using sorel::expr::Expr;
+using sorel::expr::parse;
+
+double eval(const std::string& src, const Env& env = Env{}) {
+  return parse(src).eval(env);
+}
+
+TEST(Parser, Numbers) {
+  EXPECT_EQ(eval("42"), 42.0);
+  EXPECT_EQ(eval("3.25"), 3.25);
+  EXPECT_EQ(eval("1e-6"), 1e-6);
+  EXPECT_EQ(eval("2.5E3"), 2500.0);
+  EXPECT_EQ(eval(".5"), 0.5);
+}
+
+TEST(Parser, Precedence) {
+  EXPECT_EQ(eval("2 + 3 * 4"), 14.0);
+  EXPECT_EQ(eval("(2 + 3) * 4"), 20.0);
+  EXPECT_EQ(eval("2 * 3 ^ 2"), 18.0);     // ^ binds tighter than *
+  EXPECT_EQ(eval("-3 ^ 2"), -9.0);        // unary minus below ^? -(3^2)
+  EXPECT_EQ(eval("(-3) ^ 2"), 9.0);
+  EXPECT_EQ(eval("10 - 4 - 3"), 3.0);     // left-associative
+  EXPECT_EQ(eval("16 / 4 / 2"), 2.0);
+  EXPECT_EQ(eval("2 ^ 3 ^ 2"), 512.0);    // right-associative
+}
+
+TEST(Parser, UnaryMinus) {
+  EXPECT_EQ(eval("-5"), -5.0);
+  EXPECT_EQ(eval("--5"), 5.0);
+  EXPECT_EQ(eval("2 - -3"), 5.0);
+  EXPECT_EQ(eval("-2 * -3"), 6.0);
+}
+
+TEST(Parser, Variables) {
+  const Env env = Env{}.set("list", 16.0).set("cpu1.lambda", 0.5);
+  EXPECT_EQ(eval("list * 2", env), 32.0);
+  EXPECT_EQ(eval("cpu1.lambda + 1", env), 1.5);
+}
+
+TEST(Parser, Functions) {
+  EXPECT_DOUBLE_EQ(eval("log2(8)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("log(exp(1))"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("sqrt(16)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval("pow(2, 10)"), 1024.0);
+  EXPECT_DOUBLE_EQ(eval("min(3, max(1, 2))"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("exp(-0.5) * exp(0.5)"), 1.0);
+}
+
+TEST(Parser, PaperExpressions) {
+  // The expressions published in the paper's analytic interfaces.
+  const Env env = Env{}.set("list", 1024.0).set("elem", 8.0).set("res", 1.0);
+  EXPECT_DOUBLE_EQ(eval("list * log2(list)", env), 10240.0);
+  EXPECT_DOUBLE_EQ(eval("elem + list", env), 1032.0);
+  EXPECT_DOUBLE_EQ(eval("1 - exp(-1e-9 * list * log2(list) / 1e9)", env),
+                   1.0 - std::exp(-1e-9 * 10240.0 / 1e9));
+}
+
+TEST(Parser, Whitespace) {
+  EXPECT_EQ(eval("  1\n + \t2 "), 3.0);
+  EXPECT_EQ(eval("min( 1 ,\n2 )"), 1.0);
+}
+
+struct BadInput {
+  const char* source;
+};
+
+class ParserErrorSuite : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserErrorSuite, Rejects) {
+  EXPECT_THROW(parse(GetParam().source), ParseError) << GetParam().source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ParserErrorSuite,
+    ::testing::Values(BadInput{""}, BadInput{"   "}, BadInput{"1 +"},
+                      BadInput{"* 2"}, BadInput{"(1 + 2"}, BadInput{"1 + 2)"},
+                      BadInput{"foo(1)"}, BadInput{"min(1)"}, BadInput{"log(1, 2)"},
+                      BadInput{"1 2"}, BadInput{"1..2"}, BadInput{"@"},
+                      BadInput{"pow(2)"}, BadInput{"max(1,)"}));
+
+TEST(Parser, ErrorCarriesPosition) {
+  try {
+    parse("1 +\n  * 2");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 0u);
+  }
+}
+
+TEST(Parser, PrinterRoundTrip) {
+  // to_string() output must reparse to an expression with identical values.
+  const char* sources[] = {
+      "1 + 2 * x",         "(x + 1) * (x - 2) / (x + 3)",
+      "x - (y - z)",       "x / (y / z)",
+      "2 ^ x ^ 2",         "-x * -y",
+      "log2(x * y) + exp(-x)", "min(x, y) * max(x, 1 - y)",
+      "pow(1 - x, y)",     "sqrt(x + y) - x ^ 3",
+  };
+  // x < 1 keeps pow(1 - x, y) inside its domain.
+  const Env env = Env{}.set("x", 0.7).set("y", 0.3).set("z", 2.9);
+  for (const char* src : sources) {
+    const Expr original = parse(src);
+    const Expr reparsed = parse(original.to_string());
+    EXPECT_DOUBLE_EQ(reparsed.eval(env), original.eval(env)) << src;
+  }
+}
+
+TEST(Parser, RandomRoundTripProperty) {
+  // Generate random expression trees, print, reparse, compare evaluation.
+  sorel::util::Rng rng(2024);
+  const Env env = Env{}.set("a", 1.25).set("b", 3.5);
+
+  // Build by combining random sub-expressions with random operators.
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Expr> pool = {Expr::var("a"), Expr::var("b"),
+                              Expr::constant(2.0), Expr::constant(0.5)};
+    for (int step = 0; step < 6; ++step) {
+      const Expr& lhs = pool[rng.below(pool.size())];
+      const Expr& rhs = pool[rng.below(pool.size())];
+      switch (rng.below(6)) {
+        case 0: pool.push_back(lhs + rhs); break;
+        case 1: pool.push_back(lhs - rhs); break;
+        case 2: pool.push_back(lhs * rhs); break;
+        case 3: pool.push_back(lhs / (rhs * rhs + 1.0)); break;
+        case 4: pool.push_back(min(lhs, rhs)); break;
+        case 5: pool.push_back(max(lhs, -rhs)); break;
+      }
+    }
+    const Expr& e = pool.back();
+    const Expr reparsed = parse(e.to_string());
+    EXPECT_NEAR(reparsed.eval(env), e.eval(env), 1e-12) << e.to_string();
+  }
+}
+
+}  // namespace

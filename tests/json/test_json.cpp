@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/json/json.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::LookupError;
+using sorel::ParseError;
+using sorel::json::Array;
+using sorel::json::Object;
+using sorel::json::Type;
+using sorel::json::Value;
+using sorel::json::parse;
+
+TEST(Json, ScalarParsing) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_number(), 42.0);
+  EXPECT_EQ(parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse("0.125").as_number(), 0.125);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("line\nbreak\ttab")").as_string(), "line\nbreak\ttab");
+  EXPECT_EQ(parse(R"("back\\slash \/ solidus")").as_string(), "back\\slash / solidus");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xC3\xA9");          // é
+  EXPECT_EQ(parse(R"("中")").as_string(), "\xE4\xB8\xAD");      // 中
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");  // 😀
+}
+
+TEST(Json, Containers) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  EXPECT_EQ(v.type(), Type::kObject);
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_EQ(v.at("a").at(0).as_number(), 1.0);
+  EXPECT_TRUE(v.at("a").at(2).at("b").as_bool());
+  EXPECT_TRUE(v.at("c").is_null());
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("z"));
+  EXPECT_THROW(v.at("z"), LookupError);
+  EXPECT_THROW(v.at("a").at(3), InvalidArgument);
+}
+
+TEST(Json, GetOrFallsBack) {
+  const Value v = parse(R"({"present": 5})");
+  EXPECT_EQ(v.get_or("present", Value(0.0)).as_number(), 5.0);
+  EXPECT_EQ(v.get_or("absent", Value(7.0)).as_number(), 7.0);
+}
+
+TEST(Json, TypeMismatchErrors) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), InvalidArgument);
+  EXPECT_THROW(v.as_string(), InvalidArgument);
+  EXPECT_THROW(v.at(0).as_bool(), InvalidArgument);
+}
+
+TEST(Json, DuplicateKeysLastWins) {
+  EXPECT_EQ(parse(R"({"k": 1, "k": 2})").at("k").as_number(), 2.0);
+}
+
+TEST(Json, RejectsNonFiniteConstruction) {
+  EXPECT_THROW(Value(std::nan("")), InvalidArgument);
+  EXPECT_THROW(Value(1.0 / 0.0), InvalidArgument);
+}
+
+struct BadJson {
+  const char* text;
+};
+
+class JsonErrorSuite : public ::testing::TestWithParam<BadJson> {};
+
+TEST_P(JsonErrorSuite, Rejects) {
+  EXPECT_THROW(parse(GetParam().text), ParseError) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonErrorSuite,
+    ::testing::Values(
+        BadJson{""}, BadJson{"{"}, BadJson{"[1,]"}, BadJson{"{\"a\":}"},
+        BadJson{"{\"a\" 1}"}, BadJson{"tru"}, BadJson{"01x"}, BadJson{"\"unterminated"},
+        BadJson{"\"bad \\q escape\""}, BadJson{"\"\\u12\""}, BadJson{"1 2"},
+        BadJson{"{\"a\":1} extra"}, BadJson{"\"\\ud800\""},  // unpaired surrogate
+        BadJson{"[1, 2"}, BadJson{"nan"}));
+
+TEST(Json, ParseErrorCarriesPosition) {
+  try {
+    parse("{\n  \"a\": ?\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Json, DumpCompact) {
+  Object obj;
+  obj["num"] = Value(1.5);
+  obj["int"] = Value(3.0);
+  obj["arr"] = Value(Array{Value(1.0), Value("two")});
+  obj["s"] = Value("a\"b");
+  const std::string dumped = Value(obj).dump();
+  EXPECT_EQ(parse(dumped), Value(obj));
+  EXPECT_NE(dumped.find("\"int\":3"), std::string::npos);  // integral rendering
+}
+
+TEST(Json, DumpPrettyRoundTrips) {
+  const Value original =
+      parse(R"({"services": [{"name": "cpu1", "speed": 1e9}], "empty": [], "eo": {}})");
+  const Value reparsed = parse(original.dump_pretty());
+  EXPECT_EQ(reparsed, original);
+  EXPECT_NE(original.dump_pretty().find('\n'), std::string::npos);
+}
+
+TEST(Json, RoundTripPreservesPrecision) {
+  const double values[] = {1e-300, 0.1, 1.0 / 3.0, 12345678901234.0, -2.5e-7};
+  for (const double v : values) {
+    const std::string dumped = Value(v).dump();
+    EXPECT_EQ(parse(dumped).as_number(), v) << dumped;
+  }
+}
+
+TEST(Json, MutableObjectBuilding) {
+  Value v;  // null
+  v["a"] = Value(1.0);
+  v["b"]["nested"] = Value(true);
+  EXPECT_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_TRUE(v.at("b").at("nested").as_bool());
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Robustness tests: the JSON and expression parsers must survive
+// adversarial input — deep nesting bounded by a clean error, random byte
+// mutations of valid documents never crashing, and large documents round-
+// tripping intact.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sorel/expr/parser.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::ParseError;
+
+TEST(JsonRobustness, DeepNestingRejectedCleanly) {
+  // 600 nested arrays exceed the 500-level bound: ParseError, not a crash.
+  std::string deep;
+  for (int i = 0; i < 600; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 600; ++i) deep += ']';
+  EXPECT_THROW(sorel::json::parse(deep), ParseError);
+
+  // 400 levels are fine.
+  std::string ok;
+  for (int i = 0; i < 400; ++i) ok += '[';
+  ok += "1";
+  for (int i = 0; i < 400; ++i) ok += ']';
+  EXPECT_NO_THROW(sorel::json::parse(ok));
+}
+
+TEST(JsonRobustness, SiblingContainersDoNotAccumulateDepth) {
+  // Many siblings at shallow depth must not trip the nesting bound.
+  std::string doc = "[";
+  for (int i = 0; i < 2000; ++i) {
+    if (i) doc += ",";
+    doc += "[{}]";
+  }
+  doc += "]";
+  const auto v = sorel::json::parse(doc);
+  EXPECT_EQ(v.size(), 2000u);
+}
+
+TEST(JsonRobustness, MutationFuzzNeverCrashes) {
+  const std::string valid = R"({
+    "services": [{"type": "cpu", "name": "c", "speed": 1e9,
+                  "failure_rate": 1e-9}],
+    "bindings": [],
+    "attributes": {"a.b": 0.25, "unicode": "é😀"}
+  })";
+  // Sanity: the seed document parses.
+  ASSERT_NO_THROW(sorel::json::parse(valid));
+
+  sorel::util::Rng rng(0xF422);
+  int parsed = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = valid;
+    const std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.below(mutated.size());
+      switch (rng.below(3)) {
+        case 0:  // flip to random byte
+          mutated[pos] = static_cast<char>(rng.below(256));
+          break;
+        case 1:  // delete
+          mutated.erase(pos, 1);
+          break;
+        default:  // duplicate
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+    }
+    try {
+      (void)sorel::json::parse(mutated);
+      ++parsed;  // still-valid documents are fine
+    } catch (const sorel::Error&) {
+      // expected for most mutations
+    }
+  }
+  // Some mutations keep the document valid (e.g. inside strings); most not.
+  EXPECT_LT(parsed, 2000);
+}
+
+TEST(ExprRobustness, DeepNestingRejectedCleanly) {
+  std::string deep;
+  for (int i = 0; i < 500; ++i) deep += '(';
+  deep += "1";
+  for (int i = 0; i < 500; ++i) deep += ')';
+  EXPECT_THROW(sorel::expr::parse(deep), ParseError);
+
+  std::string ok;
+  for (int i = 0; i < 300; ++i) ok += '(';
+  ok += "x";
+  for (int i = 0; i < 300; ++i) ok += ')';
+  const auto e = sorel::expr::parse(ok);
+  EXPECT_DOUBLE_EQ(e.eval(sorel::expr::Env{}.set("x", 3.0)), 3.0);
+}
+
+TEST(ExprRobustness, LongFlatExpressionsAreFine) {
+  // Left-deep chains do not recurse per operand: 20k terms must parse.
+  std::string flat = "x";
+  for (int i = 0; i < 20'000; ++i) flat += " + 1";
+  const auto e = sorel::expr::parse(flat);
+  EXPECT_DOUBLE_EQ(e.eval(sorel::expr::Env{}.set("x", 0.5)), 20'000.5);
+}
+
+TEST(ExprRobustness, MutationFuzzNeverCrashes) {
+  const std::string valid = "1 - exp(-(cpu1.lambda * N / cpu1.s)) * pow(1 - phi, N)";
+  ASSERT_NO_THROW(sorel::expr::parse(valid));
+  sorel::util::Rng rng(0xFACE);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = valid;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] = static_cast<char>(rng.below(128));
+    try {
+      (void)sorel::expr::parse(mutated);
+    } catch (const sorel::Error&) {
+      // expected
+    }
+  }
+}
+
+TEST(JsonRobustness, LargeDocumentRoundTrip) {
+  sorel::json::Array services;
+  for (int i = 0; i < 3000; ++i) {
+    sorel::json::Object svc;
+    svc["name"] = sorel::json::Value("svc" + std::to_string(i));
+    svc["pfail"] = sorel::json::Value(i * 1e-7);
+    svc["tags"] = sorel::json::Value(
+        sorel::json::Array{sorel::json::Value(i), sorel::json::Value("x")});
+    services.emplace_back(std::move(svc));
+  }
+  const sorel::json::Value doc{sorel::json::Object{
+      {"services", sorel::json::Value(std::move(services))}}};
+  const auto reparsed = sorel::json::parse(doc.dump());
+  EXPECT_EQ(reparsed, doc);
+  EXPECT_EQ(reparsed.at("services").size(), 3000u);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/linalg/lu.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::NumericError;
+using sorel::linalg::LuDecomposition;
+using sorel::linalg::Matrix;
+using sorel::linalg::Vector;
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(LuDecomposition::compute(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Lu, SolvesSmallSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{5.0, 10.0};
+  const Vector x = sorel::linalg::solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolveRequiresMatchingDimension) {
+  const auto lu = LuDecomposition::compute(Matrix::identity(3));
+  EXPECT_THROW(lu.solve(Vector{1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  // Without pivoting this matrix fails immediately (a00 = 0).
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = sorel::linalg::solve(a, Vector{3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const auto lu = LuDecomposition::compute(a);
+  EXPECT_TRUE(lu.is_singular());
+  EXPECT_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve(Vector{1.0, 1.0}), NumericError);
+}
+
+TEST(Lu, Determinant) {
+  const Matrix a{{3.0, 8.0}, {4.0, 6.0}};
+  EXPECT_NEAR(LuDecomposition::compute(a).determinant(), -14.0, 1e-12);
+  // Permutation sign: swapping rows flips the determinant.
+  const Matrix swapped{{4.0, 6.0}, {3.0, 8.0}};
+  EXPECT_NEAR(LuDecomposition::compute(swapped).determinant(), 14.0, 1e-12);
+}
+
+TEST(Lu, InverseRoundTrip) {
+  const Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix inv = sorel::linalg::inverse(a);
+  const Matrix product = a * inv;
+  EXPECT_LT(product.distance(Matrix::identity(2)), 1e-12);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  const Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  const Matrix b{{2.0, 4.0}, {8.0, 12.0}};
+  const Matrix x = LuDecomposition::compute(a).solve(b);
+  EXPECT_LT(x.distance(Matrix{{1.0, 2.0}, {2.0, 3.0}}), 1e-12);
+}
+
+// Property: for random diagonally dominant systems, the residual of the LU
+// solve is at the round-off level.
+class LuRandomSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomSuite, ResidualIsSmall) {
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 5 + static_cast<std::size_t>(GetParam()) % 20;
+  Matrix a(n, n);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      row_sum += std::fabs(a(i, j));
+    }
+    a(i, i) = row_sum + 1.0;  // diagonal dominance -> well conditioned
+    b[i] = rng.uniform(-10.0, 10.0);
+  }
+  const Vector x = sorel::linalg::solve(a, b);
+  const Vector residual = a * x - b;
+  EXPECT_LT(residual.norm_inf(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuRandomSuite, ::testing::Range(1, 21));
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sorel/linalg/matrix.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::linalg::Matrix;
+using sorel::linalg::Vector;
+
+TEST(Matrix, ConstructionAndShape) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, InitializerListRequiresRectangular) {
+  EXPECT_NO_THROW((Matrix{{1.0, 2.0}, {3.0, 4.0}}));
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+  }
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, BoundsCheckedAccess) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+  m.at(1, 1) = 5.0;
+  EXPECT_EQ(m(1, 1), 5.0);
+}
+
+TEST(Matrix, Arithmetic) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum, (Matrix{{6.0, 8.0}, {10.0, 12.0}}));
+  const Matrix diff = b - a;
+  EXPECT_EQ(diff, (Matrix{{4.0, 4.0}, {4.0, 4.0}}));
+  const Matrix scaled = a * 2.0;
+  EXPECT_EQ(scaled, (Matrix{{2.0, 4.0}, {6.0, 8.0}}));
+  EXPECT_THROW(a + Matrix(3, 3), InvalidArgument);
+}
+
+TEST(Matrix, Product) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_EQ(a * b, (Matrix{{19.0, 22.0}, {43.0, 50.0}}));
+  // Non-square shapes.
+  const Matrix c{{1.0, 0.0, 2.0}};       // 1x3
+  const Matrix d{{1.0}, {2.0}, {3.0}};   // 3x1
+  EXPECT_EQ(c * d, (Matrix{{7.0}}));
+  EXPECT_THROW(c * a, InvalidArgument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x{5.0, 6.0};
+  const Vector y = a * x;
+  EXPECT_EQ(y[0], 17.0);
+  EXPECT_EQ(y[1], 39.0);
+  EXPECT_THROW(a * Vector{1.0}, InvalidArgument);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transpose(), a);
+}
+
+TEST(Matrix, RowColAccess) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a.row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(a.col(0), (Vector{1.0, 3.0}));
+  EXPECT_THROW(a.row(2), InvalidArgument);
+  Matrix b = a;
+  b.set_row(0, Vector{9.0, 8.0});
+  EXPECT_EQ(b(0, 0), 9.0);
+  EXPECT_THROW(b.set_row(0, Vector{1.0}), InvalidArgument);
+}
+
+TEST(Matrix, Norms) {
+  const Matrix a{{1.0, -2.0}, {-3.0, 4.0}};
+  EXPECT_EQ(a.norm_max(), 4.0);
+  EXPECT_EQ(a.norm_inf(), 7.0);  // max row abs sum
+}
+
+TEST(Matrix, Distance) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 2.0}, {3.0, 7.0}};
+  EXPECT_DOUBLE_EQ(a.distance(b), 3.0);
+}
+
+TEST(Vector, ArithmeticAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+  EXPECT_DOUBLE_EQ(a.dot(Vector{1.0, 2.0}), 11.0);
+  a += Vector{1.0, 1.0};
+  EXPECT_EQ(a, (Vector{4.0, 5.0}));
+  a *= 2.0;
+  EXPECT_EQ(a, (Vector{8.0, 10.0}));
+  EXPECT_THROW(a += Vector{1.0}, InvalidArgument);
+  EXPECT_THROW(a /= 0.0, InvalidArgument);
+}
+
+TEST(Vector, BoundsCheckedAccess) {
+  Vector v(3);
+  EXPECT_THROW(v.at(3), InvalidArgument);
+  v.at(2) = 1.5;
+  EXPECT_EQ(v[2], 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Cross-cutting mathematical property tests for the substrates: linear
+// algebra identities on random matrices, absorbing-chain identities on
+// random chains, and algebraic identities of the expression engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/expr/parser.hpp"
+#include "sorel/linalg/lu.hpp"
+#include "sorel/markov/absorbing.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::linalg::LuDecomposition;
+using sorel::linalg::Matrix;
+using sorel::linalg::Vector;
+using sorel::markov::AbsorptionAnalysis;
+using sorel::markov::Dtmc;
+using sorel::markov::StateId;
+
+Matrix random_well_conditioned(std::size_t n, sorel::util::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1.0, 1.0);
+      row += std::fabs(a(i, j));
+    }
+    a(i, i) += (a(i, i) < 0 ? -row : row) + 1.0;  // diagonal dominance
+  }
+  return a;
+}
+
+class MatrixPropertySuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixPropertySuite, InverseRoundTrip) {
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + rng.below(12);
+  const Matrix a = random_well_conditioned(n, rng);
+  const Matrix inv = sorel::linalg::inverse(a);
+  EXPECT_LT((a * inv).distance(Matrix::identity(n)), 1e-9);
+  EXPECT_LT((inv * a).distance(Matrix::identity(n)), 1e-9);
+}
+
+TEST_P(MatrixPropertySuite, DeterminantIsMultiplicative) {
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  const std::size_t n = 3 + rng.below(6);
+  const Matrix a = random_well_conditioned(n, rng);
+  const Matrix b = random_well_conditioned(n, rng);
+  const double det_a = LuDecomposition::compute(a).determinant();
+  const double det_b = LuDecomposition::compute(b).determinant();
+  const double det_ab = LuDecomposition::compute(a * b).determinant();
+  EXPECT_NEAR(det_ab, det_a * det_b,
+              1e-8 * std::max(1.0, std::fabs(det_a * det_b)));
+}
+
+TEST_P(MatrixPropertySuite, TransposePreservesDeterminant) {
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const std::size_t n = 2 + rng.below(8);
+  const Matrix a = random_well_conditioned(n, rng);
+  const double det_a = LuDecomposition::compute(a).determinant();
+  const double det_at = LuDecomposition::compute(a.transpose()).determinant();
+  EXPECT_NEAR(det_at, det_a, 1e-8 * std::max(1.0, std::fabs(det_a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixPropertySuite, ::testing::Range(1, 13));
+
+class ChainPropertySuite : public ::testing::TestWithParam<int> {};
+
+Dtmc random_absorbing_chain(sorel::util::Rng& rng, std::size_t transient,
+                            std::size_t absorbing) {
+  Dtmc chain;
+  std::vector<StateId> t_states;
+  std::vector<StateId> a_states;
+  for (std::size_t i = 0; i < transient; ++i) {
+    t_states.push_back(chain.add_state("t" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < absorbing; ++i) {
+    a_states.push_back(chain.add_state("a" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < transient; ++i) {
+    std::vector<double> weights;
+    std::vector<StateId> targets;
+    for (const StateId s : t_states) {
+      if (s != t_states[i] && rng.uniform() < 0.4) {
+        targets.push_back(s);
+        weights.push_back(rng.uniform(0.1, 1.0));
+      }
+    }
+    // Always some absorbing mass so the chain terminates.
+    targets.push_back(a_states[rng.below(a_states.size())]);
+    weights.push_back(rng.uniform(0.2, 1.0));
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      chain.add_transition(t_states[i], targets[k], weights[k] / total);
+    }
+  }
+  return chain;
+}
+
+TEST_P(ChainPropertySuite, AbsorptionProbabilitiesPartitionUnity) {
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::size_t transient = 3 + rng.below(10);
+  const std::size_t absorbing = 2 + rng.below(3);
+  Dtmc chain = random_absorbing_chain(rng, transient, absorbing);
+  const auto analysis = AbsorptionAnalysis::compute(chain);
+  for (const StateId s : analysis.transient_states()) {
+    double total = 0.0;
+    for (const StateId a : analysis.absorbing_states()) {
+      const double p = analysis.absorption_probability(s, a);
+      EXPECT_GE(p, -1e-12);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(ChainPropertySuite, ExpectedStepsEqualsSumOfVisits) {
+  // Identity t = N·1: expected steps to absorption equals the total expected
+  // visits over all transient states.
+  sorel::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  Dtmc chain = random_absorbing_chain(rng, 4 + rng.below(8), 2);
+  const auto analysis = AbsorptionAnalysis::compute(chain);
+  for (const StateId s : analysis.transient_states()) {
+    double visit_sum = 0.0;
+    for (const StateId t : analysis.transient_states()) {
+      visit_sum += analysis.expected_visits(s, t);
+    }
+    EXPECT_NEAR(analysis.expected_steps(s), visit_sum, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainPropertySuite, ::testing::Range(1, 13));
+
+TEST(ExprProperties, SimplifyIsIdempotentAndValuePreserving) {
+  sorel::util::Rng rng(271828);
+  const sorel::expr::Env env =
+      sorel::expr::Env{}.set("a", 0.6).set("b", 2.25).set("c", 5.0);
+  for (int round = 0; round < 100; ++round) {
+    using sorel::expr::Expr;
+    std::vector<Expr> pool = {Expr::var("a"), Expr::var("b"), Expr::var("c"),
+                              Expr::constant(0.0), Expr::constant(1.0),
+                              Expr::constant(2.0)};
+    for (int step = 0; step < 8; ++step) {
+      const Expr& x = pool[rng.below(pool.size())];
+      const Expr& y = pool[rng.below(pool.size())];
+      switch (rng.below(5)) {
+        case 0: pool.push_back(x + y); break;
+        case 1: pool.push_back(x - y); break;
+        case 2: pool.push_back(x * y); break;
+        case 3: pool.push_back(x / (y * y + 1.0)); break;
+        case 4: pool.push_back(exp(x / (1.0 + y * y))); break;
+      }
+    }
+    const auto& e = pool.back();
+    const auto simplified = e.simplify();
+    EXPECT_NEAR(simplified.eval(env), e.eval(env),
+                1e-12 * std::max(1.0, std::fabs(e.eval(env))));
+    EXPECT_TRUE(simplified.simplify().equals(simplified));
+  }
+}
+
+TEST(ExprProperties, DerivativeLinearity) {
+  // d(f + g) == df + dg pointwise, on random rational functions.
+  using sorel::expr::Expr;
+  const Expr x = Expr::var("x");
+  const Expr f = (x * x + 1.0) / (x + 2.0);
+  const Expr g = exp(-x) * (x - 1.0);
+  const Expr lhs = (f + g).derivative("x");
+  const Expr rhs = f.derivative("x") + g.derivative("x");
+  for (double v = -1.5; v <= 1.5; v += 0.5) {
+    const auto env = sorel::expr::Env{}.set("x", v);
+    EXPECT_NEAR(lhs.eval(env), rhs.eval(env), 1e-10);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "sorel/linalg/iterative.hpp"
+#include "sorel/linalg/lu.hpp"
+#include "sorel/linalg/sparse.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::NumericError;
+using sorel::linalg::Matrix;
+using sorel::linalg::SparseMatrix;
+using sorel::linalg::Vector;
+
+TEST(Sparse, BuilderMergesDuplicatesAndDropsZeros) {
+  SparseMatrix::Builder b(2, 2);
+  b.add(0, 0, 1.0).add(0, 0, 2.0).add(1, 1, 0.0).add(0, 1, -1.0).add(0, 1, 1.0);
+  const SparseMatrix m = std::move(b).build();
+  EXPECT_EQ(m.nonzeros(), 1u);  // (0,0)=3; (0,1) cancels; (1,1) is zero
+  EXPECT_EQ(m.at(0, 0), 3.0);
+  EXPECT_EQ(m.at(0, 1), 0.0);
+  EXPECT_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(Sparse, BuilderBoundsChecked) {
+  SparseMatrix::Builder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(b.add(0, 2, 1.0), InvalidArgument);
+}
+
+TEST(Sparse, DenseRoundTrip) {
+  const Matrix dense{{1.0, 0.0, 2.0}, {0.0, 0.0, 0.0}, {3.0, 4.0, 5.0}};
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  EXPECT_EQ(sparse.nonzeros(), 5u);
+  EXPECT_EQ(sparse.to_dense(), dense);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  sorel::util::Rng rng(7);
+  Matrix dense(20, 20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) {
+      if (rng.uniform() < 0.2) dense(i, j) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  const SparseMatrix sparse = SparseMatrix::from_dense(dense);
+  Vector x(20);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const Vector dense_y = dense * x;
+  const Vector sparse_y = sparse.multiply(x);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(sparse_y[i], dense_y[i], 1e-12);
+
+  const Vector dense_ty = dense.transpose() * x;
+  const Vector sparse_ty = sparse.multiply_transpose(x);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(sparse_ty[i], dense_ty[i], 1e-12);
+}
+
+TEST(Sparse, MultiplyRejectsWrongDimension) {
+  const SparseMatrix m = SparseMatrix::from_dense(Matrix::identity(3));
+  EXPECT_THROW(m.multiply(Vector(2)), InvalidArgument);
+}
+
+TEST(Sparse, RowView) {
+  const Matrix dense{{0.0, 1.0, 0.0}, {2.0, 0.0, 3.0}};
+  const SparseMatrix m = SparseMatrix::from_dense(dense);
+  const auto row0 = m.row(0);
+  ASSERT_EQ(row0.size, 1u);
+  EXPECT_EQ(row0.cols[0], 1u);
+  EXPECT_EQ(row0.values[0], 1.0);
+  const auto row1 = m.row(1);
+  ASSERT_EQ(row1.size, 2u);
+  EXPECT_EQ(row1.values[1], 3.0);
+}
+
+// --- iterative solvers ------------------------------------------------------
+
+Matrix diagonally_dominant(std::size_t n, std::uint64_t seed) {
+  sorel::util::Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform() < 0.3) {
+        a(i, j) = rng.uniform(-1.0, 1.0);
+        row += std::abs(a(i, j));
+      }
+    }
+    a(i, i) = row + 1.0;
+  }
+  return a;
+}
+
+TEST(Iterative, JacobiConvergesOnDominantSystem) {
+  const Matrix dense = diagonally_dominant(30, 11);
+  const SparseMatrix a = SparseMatrix::from_dense(dense);
+  Vector b(30, 1.0);
+  const auto result = sorel::linalg::jacobi(a, b);
+  ASSERT_TRUE(result.converged);
+  const Vector residual = dense * result.x - b;
+  EXPECT_LT(residual.norm_inf(), 1e-9);
+}
+
+TEST(Iterative, GaussSeidelConvergesFasterThanJacobi) {
+  const Matrix dense = diagonally_dominant(30, 13);
+  const SparseMatrix a = SparseMatrix::from_dense(dense);
+  Vector b(30, 1.0);
+  const auto jacobi_result = sorel::linalg::jacobi(a, b);
+  const auto gs_result = sorel::linalg::gauss_seidel(a, b);
+  ASSERT_TRUE(jacobi_result.converged);
+  ASSERT_TRUE(gs_result.converged);
+  EXPECT_LE(gs_result.iterations, jacobi_result.iterations);
+  const Vector residual = dense * gs_result.x - b;
+  EXPECT_LT(residual.norm_inf(), 1e-9);
+}
+
+TEST(Iterative, RejectsZeroDiagonal) {
+  SparseMatrix::Builder builder(2, 2);
+  builder.add(0, 1, 1.0).add(1, 0, 1.0);
+  const SparseMatrix a = std::move(builder).build();
+  EXPECT_THROW(sorel::linalg::jacobi(a, Vector(2)), NumericError);
+  EXPECT_THROW(sorel::linalg::gauss_seidel(a, Vector(2)), NumericError);
+}
+
+TEST(Iterative, ReportsNonConvergence) {
+  // x = 2x + 1 diverges.
+  SparseMatrix::Builder builder(1, 1);
+  builder.add(0, 0, 2.0);
+  const SparseMatrix q = std::move(builder).build();
+  sorel::linalg::IterativeOptions options;
+  options.max_iterations = 50;
+  const auto result = sorel::linalg::fixed_point_iteration(q, Vector{1.0}, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 50u);
+}
+
+TEST(Iterative, FixedPointSolvesAbsorptionSystem) {
+  // Substochastic Q from a 3-state chain; x = Qx + b.
+  const Matrix q_dense{{0.0, 0.5, 0.0}, {0.2, 0.0, 0.3}, {0.0, 0.4, 0.0}};
+  const SparseMatrix q = SparseMatrix::from_dense(q_dense);
+  const Vector b{0.5, 0.5, 0.6};
+  const auto result = sorel::linalg::fixed_point_iteration(q, b);
+  ASSERT_TRUE(result.converged);
+  // Verify against the dense solve of (I - Q) x = b.
+  const Matrix i_minus_q = Matrix::identity(3) - q_dense;
+  const Vector exact = sorel::linalg::solve(i_minus_q, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(result.x[i], exact[i], 1e-10);
+}
+
+}  // namespace

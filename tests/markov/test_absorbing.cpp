@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/markov/absorbing.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::ModelError;
+using sorel::NumericError;
+using sorel::markov::AbsorptionAnalysis;
+using sorel::markov::Dtmc;
+using sorel::markov::StateId;
+
+using Method = AbsorptionAnalysis::Method;
+
+/// Classic gambler's-ruin chain: states 0..n, absorbing at both ends, win
+/// probability p per round. Known absorption probability at state n from i:
+/// fair game: i/n; biased: (1-(q/p)^i) / (1-(q/p)^n).
+Dtmc gamblers_ruin(std::size_t n, double p) {
+  Dtmc chain;
+  std::vector<StateId> states;
+  for (std::size_t i = 0; i <= n; ++i) {
+    states.push_back(chain.add_state("s" + std::to_string(i)));
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    chain.add_transition(states[i], states[i + 1], p);
+    chain.add_transition(states[i], states[i - 1], 1.0 - p);
+  }
+  return chain;
+}
+
+double ruin_win_probability(std::size_t n, std::size_t i, double p) {
+  if (p == 0.5) return static_cast<double>(i) / static_cast<double>(n);
+  const double r = (1.0 - p) / p;
+  return (1.0 - std::pow(r, static_cast<double>(i))) /
+         (1.0 - std::pow(r, static_cast<double>(n)));
+}
+
+class GamblersRuinSuite
+    : public ::testing::TestWithParam<std::tuple<double, Method>> {};
+
+TEST_P(GamblersRuinSuite, AbsorptionMatchesClosedForm) {
+  const auto [p, method] = GetParam();
+  constexpr std::size_t n = 10;
+  Dtmc chain = gamblers_ruin(n, p);
+  const auto analysis = AbsorptionAnalysis::compute(chain, method);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_NEAR(analysis.absorption_probability(i, n), ruin_win_probability(n, i, p),
+                1e-10)
+        << "i=" << i << " p=" << p;
+    // The two absorption probabilities must sum to 1 (no other fate).
+    EXPECT_NEAR(analysis.absorption_probability(i, n) +
+                    analysis.absorption_probability(i, 0),
+                1.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GamblersRuinSuite,
+    ::testing::Combine(::testing::Values(0.5, 0.3, 0.7, 0.45),
+                       ::testing::Values(Method::kDense, Method::kSparse)));
+
+TEST(Absorbing, AbsorbingSourceIsIndicator) {
+  Dtmc chain = gamblers_ruin(5, 0.5);
+  const auto analysis = AbsorptionAnalysis::compute(chain);
+  EXPECT_EQ(analysis.absorption_probability(0, 0), 1.0);
+  EXPECT_EQ(analysis.absorption_probability(0, 5), 0.0);
+}
+
+TEST(Absorbing, ExpectedStepsFairRuin) {
+  // Fair gambler's ruin from i: expected duration i(n-i).
+  constexpr std::size_t n = 12;
+  Dtmc chain = gamblers_ruin(n, 0.5);
+  const auto analysis = AbsorptionAnalysis::compute(chain);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_NEAR(analysis.expected_steps(i), static_cast<double>(i * (n - i)), 1e-8);
+  }
+  EXPECT_EQ(analysis.expected_steps(0), 0.0);
+}
+
+TEST(Absorbing, ExpectedVisitsGeometric) {
+  // Single transient state with self-loop p, exit 1-p: expected visits
+  // 1/(1-p).
+  Dtmc chain;
+  const StateId s = chain.add_state("s");
+  const StateId done = chain.add_state("done");
+  chain.add_transition(s, s, 0.8);
+  chain.add_transition(s, done, 0.2);
+  const auto analysis = AbsorptionAnalysis::compute(chain);
+  EXPECT_NEAR(analysis.expected_visits(s, s), 5.0, 1e-12);
+  EXPECT_NEAR(analysis.expected_steps(s), 5.0, 1e-12);
+}
+
+TEST(Absorbing, RequiresAbsorbingState) {
+  Dtmc chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  chain.add_transition(a, b, 1.0);
+  chain.add_transition(b, a, 1.0);
+  EXPECT_THROW(AbsorptionAnalysis::compute(chain), ModelError);
+}
+
+TEST(Absorbing, DetectsTrappedTransientClass) {
+  // a <-> b closed cycle next to an absorbing state reachable only from c.
+  Dtmc chain;
+  const StateId a = chain.add_state("a");
+  const StateId b = chain.add_state("b");
+  const StateId c = chain.add_state("c");
+  const StateId end = chain.add_state("end");
+  chain.add_transition(a, b, 1.0);
+  chain.add_transition(b, a, 1.0);
+  chain.add_transition(c, end, 1.0);
+  EXPECT_THROW(AbsorptionAnalysis::compute(chain), NumericError);
+}
+
+TEST(Absorbing, ValidatesChainFirst) {
+  Dtmc chain;
+  const StateId a = chain.add_state("a");
+  const StateId end = chain.add_state("end");
+  chain.add_transition(a, end, 0.4);  // row sums to 0.4
+  EXPECT_THROW(AbsorptionAnalysis::compute(chain), ModelError);
+}
+
+TEST(Absorbing, TargetMustBeAbsorbing) {
+  Dtmc chain = gamblers_ruin(4, 0.5);
+  const auto analysis = AbsorptionAnalysis::compute(chain);
+  EXPECT_THROW(analysis.absorption_probability(1, 2), InvalidArgument);
+}
+
+TEST(Absorbing, SparseVisitsUnavailable) {
+  Dtmc chain = gamblers_ruin(4, 0.5);
+  const auto analysis = AbsorptionAnalysis::compute(chain, Method::kSparse);
+  EXPECT_THROW(analysis.expected_visits(1, 1), InvalidArgument);
+  // Absorption and steps still work.
+  EXPECT_NEAR(analysis.absorption_probability(2, 4), 0.5, 1e-9);
+  EXPECT_NEAR(analysis.expected_steps(2), 4.0, 1e-8);
+}
+
+TEST(Absorbing, DenseAndSparseAgreeOnRandomChains) {
+  sorel::util::Rng rng(31337);
+  for (int round = 0; round < 10; ++round) {
+    Dtmc chain;
+    const std::size_t n = 5 + rng.below(15);
+    std::vector<StateId> states;
+    for (std::size_t i = 0; i < n; ++i) {
+      states.push_back(chain.add_state("s" + std::to_string(i)));
+    }
+    const StateId success = chain.add_state("success");
+    const StateId failure = chain.add_state("failure");
+    for (std::size_t i = 0; i < n; ++i) {
+      // Random row: forward edges plus both absorbers, normalised.
+      std::vector<double> weights;
+      std::vector<StateId> targets;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i && rng.uniform() < 0.3) {
+          targets.push_back(states[j]);
+          weights.push_back(rng.uniform());
+        }
+      }
+      targets.push_back(success);
+      weights.push_back(rng.uniform());
+      targets.push_back(failure);
+      weights.push_back(rng.uniform());
+      double total = 0.0;
+      for (const double w : weights) total += w;
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        chain.add_transition(states[i], targets[k], weights[k] / total);
+      }
+    }
+    const auto dense = AbsorptionAnalysis::compute(chain, Method::kDense);
+    const auto sparse = AbsorptionAnalysis::compute(chain, Method::kSparse);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(dense.absorption_probability(states[i], success),
+                  sparse.absorption_probability(states[i], success), 1e-9);
+      EXPECT_NEAR(dense.expected_steps(states[i]), sparse.expected_steps(states[i]),
+                  1e-7);
+    }
+  }
+}
+
+}  // namespace

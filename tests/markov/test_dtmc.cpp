@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "sorel/markov/dtmc.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::InvalidArgument;
+using sorel::ModelError;
+using sorel::markov::Dtmc;
+using sorel::markov::StateId;
+
+TEST(Dtmc, StateManagement) {
+  Dtmc chain;
+  const StateId a = chain.add_state("A");
+  const StateId b = chain.add_state("B");
+  EXPECT_EQ(chain.state_count(), 2u);
+  EXPECT_EQ(chain.state_name(a), "A");
+  EXPECT_EQ(chain.find_state("B"), b);
+  EXPECT_FALSE(chain.find_state("C").has_value());
+  EXPECT_THROW(chain.add_state("A"), InvalidArgument);
+  EXPECT_THROW(chain.add_state(""), InvalidArgument);
+  EXPECT_THROW(chain.state_name(5), InvalidArgument);
+}
+
+TEST(Dtmc, TransitionsAccumulate) {
+  Dtmc chain;
+  const StateId a = chain.add_state("A");
+  const StateId b = chain.add_state("B");
+  chain.add_transition(a, b, 0.25);
+  chain.add_transition(a, b, 0.25);
+  ASSERT_EQ(chain.transitions_from(a).size(), 1u);
+  EXPECT_DOUBLE_EQ(chain.transitions_from(a)[0].probability, 0.5);
+  EXPECT_DOUBLE_EQ(chain.row_sum(a), 0.5);
+}
+
+TEST(Dtmc, RejectsBadProbabilities) {
+  Dtmc chain;
+  const StateId a = chain.add_state("A");
+  EXPECT_THROW(chain.add_transition(a, a, -0.1), InvalidArgument);
+  EXPECT_THROW(chain.add_transition(a, a, 1.5), InvalidArgument);
+  EXPECT_THROW(chain.add_transition(a, 9, 0.5), InvalidArgument);
+}
+
+TEST(Dtmc, AbsorbingDetection) {
+  Dtmc chain;
+  const StateId a = chain.add_state("A");
+  const StateId b = chain.add_state("B");
+  const StateId c = chain.add_state("C");
+  chain.add_transition(a, b, 1.0);
+  chain.add_transition(b, b, 1.0);  // explicit self-loop
+  EXPECT_FALSE(chain.is_absorbing(a));
+  EXPECT_TRUE(chain.is_absorbing(b));
+  EXPECT_TRUE(chain.is_absorbing(c));  // no outgoing mass at all
+}
+
+TEST(Dtmc, ValidateChecksRowSums) {
+  Dtmc chain;
+  const StateId a = chain.add_state("A");
+  const StateId b = chain.add_state("B");
+  chain.add_transition(a, b, 0.7);
+  EXPECT_THROW(chain.validate(), ModelError);
+  chain.add_transition(a, a, 0.3);
+  EXPECT_NO_THROW(chain.validate());
+}
+
+TEST(Dtmc, Reachability) {
+  Dtmc chain;
+  const StateId a = chain.add_state("A");
+  const StateId b = chain.add_state("B");
+  const StateId c = chain.add_state("C");
+  const StateId d = chain.add_state("D");
+  chain.add_transition(a, b, 1.0);
+  chain.add_transition(b, c, 1.0);
+  chain.add_transition(d, a, 1.0);
+  const auto reach = chain.reachable_from(a);
+  EXPECT_TRUE(reach[a]);
+  EXPECT_TRUE(reach[b]);
+  EXPECT_TRUE(reach[c]);
+  EXPECT_FALSE(reach[d]);
+}
+
+TEST(Dtmc, SampleStepFollowsDistribution) {
+  Dtmc chain;
+  const StateId a = chain.add_state("A");
+  const StateId b = chain.add_state("B");
+  const StateId c = chain.add_state("C");
+  chain.add_transition(a, b, 0.25);
+  chain.add_transition(a, c, 0.75);
+  sorel::util::Rng rng(99);
+  std::size_t to_b = 0;
+  constexpr std::size_t kTrials = 40'000;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    const auto next = chain.sample_step(a, rng);
+    ASSERT_TRUE(next.has_value());
+    if (*next == b) ++to_b;
+  }
+  EXPECT_NEAR(static_cast<double>(to_b) / kTrials, 0.25, 0.01);
+  EXPECT_FALSE(chain.sample_step(b, rng).has_value());  // absorbing
+}
+
+TEST(Dtmc, DotExportMentionsStatesAndEdges) {
+  Dtmc chain;
+  const StateId a = chain.add_state("Start");
+  const StateId b = chain.add_state("End");
+  chain.add_transition(a, b, 1.0);
+  const std::string dot = chain.to_dot("flow");
+  EXPECT_NE(dot.find("digraph \"flow\""), std::string::npos);
+  EXPECT_NE(dot.find("Start"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // End is absorbing
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace

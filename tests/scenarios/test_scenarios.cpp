@@ -1,0 +1,141 @@
+// Tests for the scenario generators themselves: the paper-example builder's
+// structure, the closed-form oracles' internal consistency, and the
+// synthetic generators' parameter handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::CompletionModel;
+using sorel::core::DependencyModel;
+using sorel::core::ReliabilityEngine;
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+
+TEST(SearchSortScenario, LocalAssemblyServiceSet) {
+  SearchSortParams p;
+  Assembly a = build_search_assembly(AssemblyKind::kLocal, p);
+  for (const char* name : {"search", "sort1", "lpc", "cpu1", "loc1", "loc2", "loc3"}) {
+    EXPECT_TRUE(a.has_service(name)) << name;
+  }
+  EXPECT_FALSE(a.has_service("net12"));
+  EXPECT_FALSE(a.has_service("rpc"));
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(SearchSortScenario, RemoteAssemblyServiceSet) {
+  SearchSortParams p;
+  Assembly a = build_search_assembly(AssemblyKind::kRemote, p);
+  for (const char* name :
+       {"search", "sort2", "rpc", "cpu1", "cpu2", "net12", "loc4", "loc5"}) {
+    EXPECT_TRUE(a.has_service(name)) << name;
+  }
+  EXPECT_FALSE(a.has_service("lpc"));
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(SearchSortScenario, QZeroSkipsSortEntirely) {
+  // With q = 0 the sort branch never executes: local and remote assemblies
+  // have identical reliability (the probe path only).
+  SearchSortParams p;
+  p.q = 0.0;
+  p.gamma = 0.5;  // would devastate the remote path if it were taken
+  Assembly local = build_search_assembly(AssemblyKind::kLocal, p);
+  Assembly remote = build_search_assembly(AssemblyKind::kRemote, p);
+  ReliabilityEngine le(local);
+  ReliabilityEngine re(remote);
+  const std::vector<double> args{p.elem_size, 1000.0, p.result_size};
+  EXPECT_NEAR(le.pfail("search", args), re.pfail("search", args), 1e-14);
+}
+
+TEST(SearchSortScenario, QOneAlwaysSorts) {
+  // With q = 1 the closed form loses its (1-q) term.
+  SearchSortParams p;
+  p.q = 1.0;
+  Assembly a = build_search_assembly(AssemblyKind::kLocal, p);
+  ReliabilityEngine engine(a);
+  const double list = 512.0;
+  EXPECT_NEAR(engine.pfail("search", {p.elem_size, list, p.result_size}),
+              pfail_search(AssemblyKind::kLocal, p, list), 1e-12);
+}
+
+TEST(SearchSortScenario, OracleInternalConsistency) {
+  // pfail_search must be built from its own pieces: recompute eq. 22
+  // manually from the component oracles and compare.
+  SearchSortParams p;
+  p.gamma = 5e-2;
+  const double list = 3000.0;
+  const double probe_work = std::log2(list);
+  const double probe_fail =
+      1.0 - std::exp(probe_work * std::log1p(-p.phi_search)) *
+                std::exp(-p.lambda1 * probe_work / p.s1);
+  const double conn = sorel::scenarios::pfail_rpc(p, p.elem_size + list,
+                                                  p.result_size);
+  const double sort_fail =
+      sorel::scenarios::pfail_sort(p.phi_sort2, p.lambda2, p.s2, list);
+  const double manual =
+      (1.0 - p.q) * probe_fail +
+      p.q * (1.0 - (1.0 - probe_fail) * (1.0 - conn) * (1.0 - sort_fail));
+  EXPECT_NEAR(pfail_search(AssemblyKind::kRemote, p, list), manual, 1e-15);
+}
+
+TEST(SearchSortScenario, AttributeOverridesFlowThrough) {
+  // scenario attributes are genuine assembly attributes: overriding
+  // sort1.phi changes the prediction exactly like rebuilding with new params.
+  SearchSortParams p;
+  Assembly a = build_search_assembly(AssemblyKind::kLocal, p);
+  a.set_attribute("sort1.phi", 5e-6);
+  ReliabilityEngine engine(a);
+  SearchSortParams p2 = p;
+  p2.phi_sort1 = 5e-6;
+  Assembly a2 = build_search_assembly(AssemblyKind::kLocal, p2);
+  ReliabilityEngine engine2(a2);
+  const std::vector<double> args{p.elem_size, 2000.0, p.result_size};
+  EXPECT_NEAR(engine.pfail("search", args), engine2.pfail("search", args), 1e-14);
+}
+
+TEST(SyntheticScenario, ChainStageCountMatters) {
+  Assembly a1 = sorel::scenarios::make_chain_assembly(1, 1e-4);
+  Assembly a4 = sorel::scenarios::make_chain_assembly(4, 1e-4);
+  ReliabilityEngine engine1(a1);
+  ReliabilityEngine engine4(a4);
+  const double r1 = engine1.reliability("pipeline", {100.0});
+  const double r4 = engine4.reliability("pipeline", {100.0});
+  EXPECT_NEAR(r4, std::pow(r1, 4.0), 1e-12);
+}
+
+TEST(SyntheticScenario, TreeDepthZeroIsLeafOnly) {
+  Assembly a = sorel::scenarios::make_tree_assembly(0, 3, 1e-4);
+  ReliabilityEngine engine(a);
+  const double work = 100.0;
+  const double expected =
+      std::exp(work * std::log1p(-1e-4)) * std::exp(-1e-9 * work / 1e9);
+  EXPECT_NEAR(engine.reliability("level0", {work}), expected, 1e-12);
+}
+
+TEST(SyntheticScenario, FanValidatesSharingHomogeneity) {
+  // All fan requests target the same port, so sharing must be accepted.
+  EXPECT_NO_THROW(sorel::scenarios::make_fan_assembly(
+      5, CompletionModel::kOr, 0, DependencyModel::kSharing));
+}
+
+TEST(SyntheticScenario, RecursiveClosedFormSanity) {
+  // p = 0: no recursion, R = s.
+  EXPECT_NEAR(sorel::scenarios::recursive_assembly_pfail(0.0, 0.1), 0.1, 1e-15);
+  // step failure 0: recursion is harmless, R = 1.
+  EXPECT_NEAR(sorel::scenarios::recursive_assembly_pfail(0.7, 0.0), 0.0, 1e-15);
+  // monotone in both arguments.
+  EXPECT_LT(sorel::scenarios::recursive_assembly_pfail(0.3, 0.1),
+            sorel::scenarios::recursive_assembly_pfail(0.6, 0.1));
+  EXPECT_LT(sorel::scenarios::recursive_assembly_pfail(0.3, 0.1),
+            sorel::scenarios::recursive_assembly_pfail(0.3, 0.2));
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Monte-Carlo simulator tests: statistical agreement with the analytic
+// engine on every model feature (simple services, chains, branching flows,
+// completion models, sharing, connectors, the full paper example).
+#include <gtest/gtest.h>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/sim/simulator.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::CompletionModel;
+using sorel::core::DependencyModel;
+using sorel::core::ReliabilityEngine;
+using sorel::scenarios::AssemblyKind;
+using sorel::scenarios::SearchSortParams;
+using sorel::sim::SimulationOptions;
+using sorel::sim::Simulator;
+
+/// Assert the analytic value lies inside the simulation's 95% Wilson
+/// interval widened by a small safety slack (so the suite is not flaky).
+void expect_agreement(const Assembly& assembly, const std::string& service,
+                      const std::vector<double>& args,
+                      std::size_t replications = 60'000) {
+  ReliabilityEngine engine(const_cast<Assembly&>(assembly));
+  const double analytic = engine.reliability(service, args);
+
+  Simulator simulator(assembly);
+  SimulationOptions options;
+  options.replications = replications;
+  options.seed = 20260707;
+  const auto result = simulator.estimate(service, args, options);
+  const auto ci = result.confidence_interval();
+  const double slack = 4.0 * (ci.upper - ci.lower);  // ~8 sigma total
+  EXPECT_GE(analytic, ci.lower - slack)
+      << service << ": analytic=" << analytic << " sim=" << result.reliability();
+  EXPECT_LE(analytic, ci.upper + slack)
+      << service << ": analytic=" << analytic << " sim=" << result.reliability();
+}
+
+TEST(Simulator, SimpleServiceFrequency) {
+  Assembly a;
+  a.add_service(sorel::core::make_simple_service(
+      "coin", {}, sorel::expr::Expr::constant(0.3)));
+  Simulator simulator(a);
+  SimulationOptions options;
+  options.replications = 100'000;
+  const auto result = simulator.estimate("coin", {}, options);
+  EXPECT_NEAR(result.reliability(), 0.7, 0.01);
+}
+
+TEST(Simulator, ChainAgreement) {
+  // Strong failure rates so the estimate is far from both 0 and 1.
+  Assembly a = sorel::scenarios::make_chain_assembly(5, 1e-2, 1e-3, 1.0);
+  expect_agreement(a, "pipeline", {10.0});
+}
+
+TEST(Simulator, FanCompletionModels) {
+  for (const auto completion :
+       {CompletionModel::kAnd, CompletionModel::kOr, CompletionModel::kKOfN}) {
+    for (const auto dependency :
+         {DependencyModel::kNoSharing, DependencyModel::kSharing}) {
+      Assembly a = sorel::scenarios::make_fan_assembly(
+          4, completion, 2, dependency, /*phi=*/0.15, /*lambda=*/0.1, /*speed=*/1.0);
+      expect_agreement(a, "fan", {1.0});
+    }
+  }
+}
+
+TEST(Simulator, SharingCorrelationIsVisible) {
+  // The OR/sharing unreliability (eq. 12) is far larger than OR/no-sharing
+  // (eq. 7); the simulator must reproduce the *sharing* value, i.e. the
+  // correlation, not just the marginals.
+  const double phi = 0.2;
+  const double lambda = 0.3;
+  Assembly shared = sorel::scenarios::make_fan_assembly(
+      3, CompletionModel::kOr, 0, DependencyModel::kSharing, phi, lambda, 1.0);
+  ReliabilityEngine engine(shared);
+  const double analytic_shared = engine.pfail("fan", {1.0});
+
+  Assembly independent = sorel::scenarios::make_fan_assembly(
+      3, CompletionModel::kOr, 0, DependencyModel::kNoSharing, phi, lambda, 1.0);
+  ReliabilityEngine engine_indep(independent);
+  const double analytic_indep = engine_indep.pfail("fan", {1.0});
+  ASSERT_GT(analytic_shared, analytic_indep + 0.05);  // the gap is material
+
+  Simulator simulator(shared);
+  SimulationOptions options;
+  options.replications = 60'000;
+  const auto result = simulator.estimate("fan", {1.0}, options);
+  EXPECT_NEAR(result.pfail(), analytic_shared, 0.01);
+}
+
+TEST(Simulator, BranchingFlowAgreement) {
+  SearchSortParams p;
+  p.phi_sort1 = 1e-3;   // inflate rates so failures are observable
+  p.phi_search = 1e-4;
+  p.lambda1 = 1e-6;
+  p.gamma = 0.5;
+  Assembly local = build_search_assembly(AssemblyKind::kLocal, p);
+  expect_agreement(local, "search", {p.elem_size, 500.0, p.result_size});
+}
+
+TEST(Simulator, RemoteAssemblyWithConnectors) {
+  SearchSortParams p;
+  p.phi_sort2 = 1e-4;
+  p.gamma = 0.2;  // visible network failures through the rpc connector
+  Assembly remote = build_search_assembly(AssemblyKind::kRemote, p);
+  expect_agreement(remote, "search", {p.elem_size, 300.0, p.result_size});
+}
+
+TEST(Simulator, RecursiveAssemblyAgreesWithFixedPoint) {
+  Assembly a = sorel::scenarios::make_recursive_assembly(0.4, 0.05);
+  Simulator simulator(a);
+  SimulationOptions options;
+  options.replications = 60'000;
+  const auto result = simulator.estimate("ping", {}, options);
+  EXPECT_NEAR(result.pfail(), sorel::scenarios::recursive_assembly_pfail(0.4, 0.05),
+              0.01);
+}
+
+TEST(Simulator, DeterministicUnderSeed) {
+  Assembly a = sorel::scenarios::make_chain_assembly(3, 1e-2, 1e-3, 1.0);
+  Simulator simulator(a);
+  SimulationOptions options;
+  options.replications = 10'000;
+  options.seed = 7;
+  const auto r1 = simulator.estimate("pipeline", {10.0}, options);
+  const auto r2 = simulator.estimate("pipeline", {10.0}, options);
+  EXPECT_EQ(r1.successes, r2.successes);
+  options.seed = 8;
+  const auto r3 = simulator.estimate("pipeline", {10.0}, options);
+  EXPECT_NE(r1.successes, r3.successes);
+}
+
+TEST(Simulator, ArityChecked) {
+  Assembly a = sorel::scenarios::make_chain_assembly(1);
+  Simulator simulator(a);
+  EXPECT_THROW(simulator.estimate("pipeline", {}), sorel::InvalidArgument);
+}
+
+TEST(Simulator, ConfidenceIntervalCoversTruth) {
+  // Repeat small estimates with different seeds; the 95% CI must cover the
+  // analytic value in the vast majority of runs.
+  Assembly a = sorel::scenarios::make_chain_assembly(4, 5e-3, 1e-3, 1.0);
+  ReliabilityEngine engine(a);
+  const double truth = engine.reliability("pipeline", {20.0});
+  Simulator simulator(a);
+  int covered = 0;
+  constexpr int kRuns = 40;
+  for (int run = 0; run < kRuns; ++run) {
+    SimulationOptions options;
+    options.replications = 4'000;
+    options.seed = 1000 + static_cast<std::uint64_t>(run);
+    const auto result = simulator.estimate("pipeline", {20.0}, options);
+    const auto ci = result.confidence_interval();
+    if (truth >= ci.lower && truth <= ci.upper) ++covered;
+  }
+  EXPECT_GE(covered, kRuns * 85 / 100);  // 95% nominal, allow slack
+}
+
+}  // namespace

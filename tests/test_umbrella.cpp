@@ -1,0 +1,11 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "sorel/sorel.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  sorel::core::Assembly assembly;
+  assembly.add_service(sorel::core::make_cpu_service("cpu", 1e9, 1e-9));
+  sorel::core::ReliabilityEngine engine(assembly);
+  EXPECT_GT(engine.reliability("cpu", {1e6}), 0.99);
+}

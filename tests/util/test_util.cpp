@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/util/rng.hpp"
+#include "sorel/util/stats.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace {
+
+using sorel::util::Rng;
+using sorel::util::RunningStats;
+
+TEST(Rng, Deterministic) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng c(5678);
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  double sum = 0.0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossRange) {
+  Rng rng(99);
+  constexpr std::uint64_t n = 7;
+  std::size_t counts[n] = {};
+  constexpr int kTrials = 70'000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.below(n)];
+  for (const std::size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 1.0 / n, 0.01);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(1);
+  Rng b = a.split();
+  // Streams should differ immediately.
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stderr_mean(), s.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 3.0 + i * 0.01;
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+}
+
+TEST(Stats, WilsonIntervalContainsPointEstimate) {
+  const auto iv = sorel::util::wilson_interval(90, 100);
+  EXPECT_LT(iv.lower, 0.9);
+  EXPECT_GT(iv.upper, 0.9);
+  EXPECT_GE(iv.lower, 0.0);
+  EXPECT_LE(iv.upper, 1.0);
+  // Extremes stay in [0, 1] (where the normal approximation would escape).
+  const auto all = sorel::util::wilson_interval(100, 100);
+  EXPECT_LE(all.upper, 1.0);
+  EXPECT_LT(all.lower, 1.0);
+  const auto none = sorel::util::wilson_interval(0, 100);
+  EXPECT_GE(none.lower, 0.0);
+  EXPECT_GT(none.upper, 0.0);
+}
+
+TEST(Stats, ProportionHalfwidthShrinksWithN) {
+  const double wide = sorel::util::proportion_ci_halfwidth(50, 100);
+  const double narrow = sorel::util::proportion_ci_halfwidth(5000, 10'000);
+  EXPECT_GT(wide, narrow);
+  EXPECT_EQ(sorel::util::proportion_ci_halfwidth(0, 0), 0.0);
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(sorel::util::format_double(0.0), "0");
+  EXPECT_EQ(sorel::util::format_double(1.0), "1");
+  EXPECT_EQ(sorel::util::format_double(0.25), "0.25");
+  EXPECT_EQ(sorel::util::format_double(1e-6), "1e-06");
+}
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(sorel::util::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(sorel::util::join({}, ", "), "");
+  const auto parts = sorel::util::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(sorel::util::split("", ',').size(), 1u);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(sorel::util::trim("  x  "), "x");
+  EXPECT_EQ(sorel::util::trim("\t\n"), "");
+  EXPECT_EQ(sorel::util::trim("ab"), "ab");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(sorel::util::is_identifier("abc"));
+  EXPECT_TRUE(sorel::util::is_identifier("a1_b.c"));
+  EXPECT_TRUE(sorel::util::is_identifier("_x"));
+  EXPECT_FALSE(sorel::util::is_identifier(""));
+  EXPECT_FALSE(sorel::util::is_identifier("1a"));
+  EXPECT_FALSE(sorel::util::is_identifier(".a"));
+  EXPECT_FALSE(sorel::util::is_identifier("a b"));
+}
+
+}  // namespace
