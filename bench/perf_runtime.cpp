@@ -1,0 +1,176 @@
+// Scaling curves for the sorel::runtime subsystem: the three embarrassingly
+// parallel workloads (uncertainty sampling, selection enumeration, Monte-Carlo
+// simulation) at 1/2/4/8 worker threads. Output is machine-readable JSON —
+// one object per (workload, threads) cell with the evaluation throughput and
+// the speedup over the single-threaded run of the same workload — so CI can
+// diff the scaling shape. Determinism makes the comparison exact: every cell
+// of one workload computes bit-identical results, only wall time may differ.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sorel/core/selection.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/sim/simulator.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::AttributeDistribution;
+using sorel::core::PortBinding;
+using sorel::core::SelectionPoint;
+
+/// A composite "app" with one AND state issuing five requests (ports
+/// p0..p4), plus four candidate cpu services per port: 4^5 = 1024 wiring
+/// combinations for the selection workload.
+struct SelectionWorkload {
+  Assembly assembly;
+  std::vector<SelectionPoint> points;
+};
+
+SelectionWorkload build_selection_workload() {
+  using sorel::core::CompositeService;
+  using sorel::core::FlowGraph;
+  using sorel::core::FlowState;
+  using sorel::core::FormalParam;
+  using sorel::core::ServiceRequest;
+  using sorel::expr::Expr;
+
+  constexpr std::size_t kPorts = 5;
+  constexpr std::size_t kCandidates = 4;
+
+  FlowGraph flow;
+  FlowState state;
+  state.name = "fanout";
+  state.completion = sorel::core::CompletionModel::kAnd;
+  for (std::size_t port = 0; port < kPorts; ++port) {
+    ServiceRequest r;
+    r.port = "p" + std::to_string(port);
+    r.actuals = {Expr::var("work")};
+    state.requests.push_back(std::move(r));
+  }
+  const auto id = flow.add_state(std::move(state));
+  flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+  flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+
+  SelectionWorkload w;
+  w.assembly.add_service(std::make_shared<CompositeService>(
+      "app", std::vector<FormalParam>{{"work", "operations per request"}},
+      std::move(flow)));
+  for (std::size_t c = 0; c < kCandidates; ++c) {
+    // Distinct failure rates so the 1024 combinations rank non-trivially.
+    w.assembly.add_service(sorel::core::make_cpu_service(
+        "node" + std::to_string(c), 1e9,
+        1e-10 * static_cast<double>(c + 1)));
+  }
+  for (std::size_t port = 0; port < kPorts; ++port) {
+    SelectionPoint point;
+    point.service = "app";
+    point.port = "p" + std::to_string(port);
+    for (std::size_t c = 0; c < kCandidates; ++c) {
+      PortBinding binding;
+      binding.target = "node" + std::to_string(c);
+      point.candidates.push_back(std::move(binding));
+    }
+    w.points.push_back(std::move(point));
+    w.assembly.bind("app", "p" + std::to_string(port), w.points.back().candidates[0]);
+  }
+  return w;
+}
+
+double time_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Cell {
+  std::string workload;
+  std::size_t threads = 0;
+  std::size_t evaluations = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  std::vector<Cell> cells;
+
+  // Workload 1: uncertainty propagation, 1000 samples.
+  {
+    const Assembly assembly =
+        sorel::scenarios::make_chain_assembly(8, 1e-7, 1e-9, 1e9);
+    const std::map<std::string, AttributeDistribution> bands = {
+        {"cpu.lambda", AttributeDistribution::log_uniform(1e-10, 1e-8)},
+        {"cpu.s", AttributeDistribution::uniform(5e8, 2e9)},
+    };
+    for (const std::size_t threads : thread_counts) {
+      sorel::core::UncertaintyOptions options;
+      options.samples = 1'000;
+      options.threads = threads;
+      const double seconds = time_seconds([&] {
+        (void)sorel::core::propagate_uncertainty(assembly, "pipeline", {1e6},
+                                                 bands, options);
+      });
+      cells.push_back({"uncertainty", threads, options.samples, seconds});
+    }
+  }
+
+  // Workload 2: selection over 4^5 = 1024 wiring combinations.
+  {
+    const SelectionWorkload w = build_selection_workload();
+    for (const std::size_t threads : thread_counts) {
+      const double seconds = time_seconds([&] {
+        (void)sorel::core::rank_assemblies(w.assembly, "app", {1e6}, w.points,
+                                           {}, 4096, threads);
+      });
+      cells.push_back({"selection", threads, 1024, seconds});
+    }
+  }
+
+  // Workload 3: Monte-Carlo simulation, 100k replications.
+  {
+    const Assembly assembly =
+        sorel::scenarios::make_chain_assembly(4, 1e-7, 1e-9, 1e9);
+    const sorel::sim::Simulator simulator(assembly);
+    for (const std::size_t threads : thread_counts) {
+      sorel::sim::SimulationOptions options;
+      options.replications = 100'000;
+      options.threads = threads;
+      const double seconds = time_seconds([&] {
+        (void)simulator.estimate("pipeline", {1e4}, options);
+      });
+      cells.push_back({"simulation", threads, options.replications, seconds});
+    }
+  }
+
+  // Emit one JSON array; speedup is relative to the same workload's
+  // single-thread cell.
+  std::printf("[\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    double base_seconds = cell.seconds;
+    for (const Cell& other : cells) {
+      if (other.workload == cell.workload && other.threads == 1) {
+        base_seconds = other.seconds;
+        break;
+      }
+    }
+    const double evals_per_sec =
+        cell.seconds > 0.0 ? static_cast<double>(cell.evaluations) / cell.seconds
+                           : 0.0;
+    const double speedup = cell.seconds > 0.0 ? base_seconds / cell.seconds : 0.0;
+    std::printf("  {\"workload\": \"%s\", \"threads\": %zu, "
+                "\"evals_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+                cell.workload.c_str(), cell.threads, evals_per_sec, speedup,
+                i + 1 < cells.size() ? "," : "");
+  }
+  std::printf("]\n");
+  return 0;
+}

@@ -3,6 +3,8 @@
 // machine-processable service-description language.
 //
 // Usage:
+//   sorel_cli [--threads N] <command> <spec.json> [...]
+//
 //   sorel_cli validate    <spec.json>
 //   sorel_cli list        <spec.json>
 //   sorel_cli evaluate    <spec.json> <service> [arg...]
@@ -19,6 +21,12 @@
 // `select` ranks the candidate wirings declared in the document's
 // "selection" array; `uncertainty` propagates the attribute distributions
 // declared in its "uncertainty" object (see docs/FORMAT.md).
+//
+// `--threads N` (anywhere on the command line; also `--threads=N`) sets the
+// worker count for the many-evaluation commands — uncertainty, select,
+// sensitivity, importance, simulate. 0 (the default) uses every hardware
+// thread; the SOREL_THREADS environment variable overrides that default.
+// Results are bit-identical for every thread count.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on model errors.
 #include <cstdio>
@@ -41,7 +49,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sorel_cli <command> <spec.json> [...]\n"
+               "usage: sorel_cli [--threads N] <command> <spec.json> [...]\n"
                "commands:\n"
                "  validate    <spec>                     check the assembly\n"
                "  list        <spec>                     list services\n"
@@ -54,8 +62,45 @@ int usage() {
                "  select      <spec> <service> [arg...]  rank declared candidates\n"
                "  uncertainty <spec> <service> [arg...]  propagate declared bands\n"
                "  save        <spec>                     canonicalised document\n"
-               "  dot         <spec> [service]           GraphViz output\n");
+               "  dot         <spec> [service]           GraphViz output\n"
+               "options:\n"
+               "  --threads N   workers for uncertainty/select/sensitivity/\n"
+               "                importance/simulate (0 = hardware concurrency;\n"
+               "                results are identical for every N)\n");
   return 1;
+}
+
+/// Strip `--threads N` / `--threads=N` from argv (any position) and return
+/// the requested worker count (0 = hardware concurrency). Throws
+/// sorel::InvalidArgument on a malformed count.
+std::size_t extract_threads_flag(int& argc, char** argv) {
+  std::size_t threads = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--threads") == 0) {
+      if (i + 1 >= argc) {
+        throw sorel::InvalidArgument("--threads needs a worker count");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    char* parse_end = nullptr;
+    const long parsed = std::strtol(value, &parse_end, 10);
+    if (parse_end == value || *parse_end != '\0' || parsed < 0) {
+      throw sorel::InvalidArgument(std::string("--threads: not a count: '") +
+                                   value + "'");
+    }
+    threads = static_cast<std::size_t>(parsed);
+  }
+  argc = out;
+  return threads;
 }
 
 std::vector<double> parse_args(char** begin, char** end) {
@@ -130,8 +175,10 @@ int cmd_duration(const sorel::core::Assembly& assembly, const std::string& servi
 }
 
 int cmd_sensitivity(const sorel::core::Assembly& assembly,
-                    const std::string& service, const std::vector<double>& args) {
-  const auto rows = sorel::core::attribute_sensitivities(assembly, service, args);
+                    const std::string& service, const std::vector<double>& args,
+                    std::size_t threads) {
+  const auto rows = sorel::core::attribute_sensitivities(assembly, service, args,
+                                                         {}, 1e-2, threads);
   std::printf("%-24s %-14s %-14s %s\n", "attribute", "value", "dR/da",
               "elasticity");
   for (const auto& row : rows) {
@@ -142,8 +189,10 @@ int cmd_sensitivity(const sorel::core::Assembly& assembly,
 }
 
 int cmd_importance(const sorel::core::Assembly& assembly,
-                   const std::string& service, const std::vector<double>& args) {
-  const auto rows = sorel::core::component_importances(assembly, service, args);
+                   const std::string& service, const std::vector<double>& args,
+                   std::size_t threads) {
+  const auto rows =
+      sorel::core::component_importances(assembly, service, args, {}, threads);
   std::printf("%-24s %-14s %s\n", "component", "Birnbaum", "risk-achievement");
   for (const auto& row : rows) {
     std::printf("%-24s %-14.6g %.6g\n", row.component.c_str(), row.birnbaum,
@@ -153,10 +202,12 @@ int cmd_importance(const sorel::core::Assembly& assembly,
 }
 
 int cmd_simulate(const sorel::core::Assembly& assembly, const std::string& service,
-                 std::size_t replications, const std::vector<double>& args) {
+                 std::size_t replications, const std::vector<double>& args,
+                 std::size_t threads) {
   sorel::sim::Simulator simulator(assembly);
   sorel::sim::SimulationOptions options;
   options.replications = replications;
+  options.threads = threads;
   const auto result = simulator.estimate(service, args, options);
   const auto ci = result.confidence_interval();
   std::printf("reliability = %.8f  (95%% CI [%.8f, %.8f], %zu replications)\n",
@@ -168,14 +219,14 @@ int cmd_simulate(const sorel::core::Assembly& assembly, const std::string& servi
 
 int cmd_select(const sorel::core::Assembly& assembly,
                const sorel::json::Value& document, const std::string& service,
-               const std::vector<double>& args) {
+               const std::vector<double>& args, std::size_t threads) {
   const auto points = sorel::dsl::load_selection_points(document);
   if (points.empty()) {
     std::fprintf(stderr, "error: the document declares no \"selection\" points\n");
     return 2;
   }
-  const auto ranking =
-      sorel::core::rank_assemblies(assembly, service, args, points);
+  const auto ranking = sorel::core::rank_assemblies(assembly, service, args,
+                                                    points, {}, 4096, threads);
   std::printf("%-6s %-14s %s\n", "rank", "reliability", "choice");
   for (std::size_t i = 0; i < ranking.size(); ++i) {
     std::string choice;
@@ -192,15 +243,17 @@ int cmd_select(const sorel::core::Assembly& assembly,
 
 int cmd_uncertainty(const sorel::core::Assembly& assembly,
                     const sorel::json::Value& document, const std::string& service,
-                    const std::vector<double>& args) {
+                    const std::vector<double>& args, std::size_t threads) {
   const auto distributions = sorel::dsl::load_uncertainty(document);
   if (distributions.empty()) {
     std::fprintf(stderr,
                  "error: the document declares no \"uncertainty\" object\n");
     return 2;
   }
+  sorel::core::UncertaintyOptions options;
+  options.threads = threads;
   const auto result = sorel::core::propagate_uncertainty(assembly, service, args,
-                                                         distributions);
+                                                         distributions, options);
   std::printf("samples     = %zu\n", result.reliability.count());
   std::printf("mean R      = %.8f (stddev %.2e)\n", result.reliability.mean(),
               result.reliability.stddev());
@@ -223,6 +276,13 @@ int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::size_t threads = 0;
+  try {
+    threads = extract_threads_flag(argc, argv);
+  } catch (const sorel::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   if (argc < 3) return usage();
   const std::string command = argv[1];
 
@@ -255,18 +315,25 @@ int main(int argc, char** argv) {
     if (command == "simulate") {
       if (argc < 5) return usage();
       const auto reps = static_cast<std::size_t>(std::atoll(argv[4]));
-      return cmd_simulate(assembly, service, reps, parse_args(argv + 5, argv + argc));
+      return cmd_simulate(assembly, service, reps,
+                          parse_args(argv + 5, argv + argc), threads);
     }
     const std::vector<double> args = parse_args(argv + 4, argv + argc);
-    if (command == "select") return cmd_select(assembly, document, service, args);
+    if (command == "select") {
+      return cmd_select(assembly, document, service, args, threads);
+    }
     if (command == "uncertainty") {
-      return cmd_uncertainty(assembly, document, service, args);
+      return cmd_uncertainty(assembly, document, service, args, threads);
     }
     if (command == "evaluate") return cmd_evaluate(assembly, service, args);
     if (command == "modes") return cmd_modes(assembly, service, args);
     if (command == "duration") return cmd_duration(assembly, service, args);
-    if (command == "sensitivity") return cmd_sensitivity(assembly, service, args);
-    if (command == "importance") return cmd_importance(assembly, service, args);
+    if (command == "sensitivity") {
+      return cmd_sensitivity(assembly, service, args, threads);
+    }
+    if (command == "importance") {
+      return cmd_importance(assembly, service, args, threads);
+    }
     return usage();
   } catch (const sorel::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

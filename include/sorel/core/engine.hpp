@@ -104,10 +104,20 @@ class ReliabilityEngine {
   };
   const Stats& stats() const noexcept { return stats_; }
 
-  /// Drop all memoised results (e.g. after Assembly::set_attribute — the
-  /// engine snapshots the attribute environment at construction, so prefer
-  /// constructing a fresh engine in that case).
+  /// Drop all memoised results (e.g. after Assembly::bind — the engine
+  /// reads port bindings live from the assembly, so a rebind only needs the
+  /// memo cleared, not a new engine).
   void clear_cache();
+
+  /// Re-snapshot the attribute environment from the assembly and drop
+  /// memoised results. Supports reusing one engine (one validate() call)
+  /// across many attribute overrides — the batch-evaluation hot path.
+  void refresh_attributes();
+
+  /// Replace Options::pfail_overrides and drop memoised results (an empty
+  /// map removes all overrides). Supports reusing one engine across the
+  /// perfect/failed probes of importance analysis.
+  void set_pfail_overrides(std::map<std::string, double> overrides);
 
  private:
   using Key = std::pair<const Service*, std::vector<double>>;

@@ -48,6 +48,10 @@ class PerformanceEngine {
   double expected_duration(std::string_view service_name,
                            const std::vector<double>& args);
 
+  /// Drop memoised results (needed after Assembly::bind — bindings are read
+  /// live from the assembly, so a rebind only invalidates the memo).
+  void clear_cache() { memo_.clear(); }
+
  private:
   double duration_cached(const Service& service, const std::vector<double>& args);
   double evaluate(const Service& service, const std::vector<double>& args);

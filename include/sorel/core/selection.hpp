@@ -49,10 +49,16 @@ struct RankedAssembly {
 /// score first). Throws sorel::InvalidArgument when there are no selection
 /// points, a candidate list is empty, or the product exceeds the bound —
 /// selection is exhaustive by design; prune the candidate lists instead.
+/// `threads` splits the combination range across workers (0 = as many as
+/// the hardware allows; SOREL_THREADS overrides); each worker keeps one
+/// mutable Assembly copy and one engine, rebinding only the selection-point
+/// ports between combinations, and results are identical for every thread
+/// count.
 std::vector<RankedAssembly> rank_assemblies(
     const Assembly& assembly, std::string_view service_name,
     const std::vector<double>& args, const std::vector<SelectionPoint>& points,
-    const SelectionObjective& objective = {}, std::size_t max_combinations = 4096);
+    const SelectionObjective& objective = {}, std::size_t max_combinations = 4096,
+    std::size_t threads = 0);
 
 /// Convenience: the best entry of rank_assemblies (throws if every
 /// combination was filtered out by the reliability floor).

@@ -26,10 +26,13 @@ struct AttributeSensitivity {
 /// reliability curves are smooth enough that the truncation error of a
 /// coarse central difference is negligible by comparison. Results sorted by
 /// |derivative| descending.
+/// `threads` splits the attribute list across workers (0 = as many as the
+/// hardware allows; SOREL_THREADS overrides); results are identical for
+/// every thread count.
 std::vector<AttributeSensitivity> attribute_sensitivities(
     const Assembly& assembly, std::string_view service_name,
     const std::vector<double>& args, const std::vector<std::string>& attributes = {},
-    double relative_step = 1e-2);
+    double relative_step = 1e-2, std::size_t threads = 0);
 
 struct ComponentImportance {
   std::string component;
@@ -44,8 +47,10 @@ struct ComponentImportance {
 
 /// Birnbaum importance of each listed component (every registered service
 /// when `components` is empty, excluding the analysed service itself).
+/// `threads` as in attribute_sensitivities.
 std::vector<ComponentImportance> component_importances(
     const Assembly& assembly, std::string_view service_name,
-    const std::vector<double>& args, const std::vector<std::string>& components = {});
+    const std::vector<double>& args, const std::vector<std::string>& components = {},
+    std::size_t threads = 0);
 
 }  // namespace sorel::core

@@ -44,6 +44,11 @@ struct AttributeDistribution {
 struct UncertaintyOptions {
   std::size_t samples = 1'000;
   std::uint64_t seed = 7;
+  /// Worker chunks for the sampling loop; 0 = as many as the hardware
+  /// allows (SOREL_THREADS overrides). Sample i always draws from the RNG
+  /// substream (seed, i) and the reduction runs in index order, so every
+  /// thread count produces bit-identical results.
+  std::size_t threads = 0;
 };
 
 struct UncertaintyResult {

@@ -1,0 +1,78 @@
+// Batch evaluation of many reliability queries against one assembly — the
+// "many what-if questions" interface of the prediction engine the paper's
+// section 5 imagines. A job is a service invocation plus the knobs the
+// analyses turn between queries: assembly-attribute overrides (uncertainty
+// sampling, sensitivity probes) and per-service pfail pins (importance
+// measures). Jobs are embarrassingly parallel; the evaluator runs them on
+// the sorel::runtime thread pool with one Assembly copy and one
+// ReliabilityEngine per worker chunk (one validate() per worker, not per
+// job) and returns results in input order regardless of thread count.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/core/engine.hpp"
+
+namespace sorel::runtime {
+
+/// One reliability query. Overridden attributes must exist in the
+/// assembly's attribute environment (checked up front); overrides apply to
+/// this job only — the next job starts from the assembly's own values.
+struct BatchJob {
+  std::string service;
+  std::vector<double> args;
+  std::map<std::string, double> attribute_overrides;
+  /// Pin named services to a constant unreliability for this job (the
+  /// engine-level override importance analysis uses).
+  std::map<std::string, double> pfail_overrides;
+};
+
+struct BatchItem {
+  double pfail = 1.0;
+  double reliability = 0.0;
+  double wall_seconds = 0.0;  // this job's evaluation time on its worker
+};
+
+/// Aggregated over the whole batch (merged in chunk order).
+struct BatchStats {
+  std::size_t jobs = 0;
+  std::size_t chunks = 0;                // worker chunks the batch ran on
+  std::size_t engine_evaluations = 0;    // non-memoised service evaluations
+  std::size_t engine_memo_hits = 0;
+  double wall_seconds = 0.0;             // whole-batch elapsed time
+};
+
+class BatchEvaluator {
+ public:
+  struct Options {
+    /// Worker chunks to split a batch into; 0 = as many as the hardware
+    /// allows (SOREL_THREADS overrides, see sorel::runtime::ThreadPool).
+    std::size_t threads = 0;
+    /// Engine configuration shared by every worker (per-job
+    /// pfail_overrides are layered on top of, and replace, this map).
+    core::ReliabilityEngine::Options engine;
+  };
+
+  /// Keeps a reference to `assembly`; it must outlive the evaluator.
+  explicit BatchEvaluator(const core::Assembly& assembly);
+  BatchEvaluator(const core::Assembly& assembly, Options options);
+
+  /// Evaluate every job; results are parallel to `jobs`. Deterministic for
+  /// any thread count. Throws sorel::LookupError for overrides of unknown
+  /// attributes and propagates the first engine error otherwise.
+  std::vector<BatchItem> evaluate(const std::vector<BatchJob>& jobs);
+
+  /// Statistics of the most recent evaluate() call.
+  const BatchStats& stats() const noexcept { return stats_; }
+
+ private:
+  const core::Assembly& assembly_;
+  Options options_;
+  BatchStats stats_;
+};
+
+}  // namespace sorel::runtime

@@ -1,0 +1,66 @@
+// Deterministic fork/join over an index range.
+//
+// parallel_for(n, threads, fn) splits [0, n) into `min(threads, n)`
+// contiguous chunks (static chunking — chunk c covers
+// [c*n/chunks, (c+1)*n/chunks)) and runs fn(begin, end, chunk) for each,
+// chunk 0 on the calling thread and the rest on the global ThreadPool.
+//
+// Contract for deterministic callers: derive all per-item state (RNG
+// streams, outputs) from the *global* index, never from the chunk index —
+// the chunk index is only an identifier for worker-local scratch (e.g.
+// which Assembly copy to use). Under that contract any thread count,
+// including 1, produces bit-identical results.
+//
+// Degradation rules:
+//  - n == 0: no call at all;
+//  - n == 1, threads == 1, or a nested call from inside a pool worker:
+//    fn(0, n, 0) runs inline on the calling thread (no queueing, no
+//    deadlock when the pool is saturated);
+//  - exceptions: every chunk's exception is captured; after all chunks
+//    finish, the first one (lowest chunk index) is rethrown.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <latch>
+#include <utility>
+#include <vector>
+
+#include "sorel/runtime/thread_pool.hpp"
+
+namespace sorel::runtime {
+
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t threads, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, resolve_threads(threads));
+  if (chunks <= 1 || ThreadPool::on_worker_thread()) {
+    std::forward<Fn>(fn)(std::size_t{0}, n, std::size_t{0});
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(chunks);
+  std::latch pending(static_cast<std::ptrdiff_t>(chunks - 1));
+  ThreadPool& pool = ThreadPool::global();
+  for (std::size_t c = 1; c < chunks; ++c) {
+    pool.submit([&, c] {
+      try {
+        fn(c * n / chunks, (c + 1) * n / chunks, c);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+      pending.count_down();
+    });
+  }
+  try {
+    fn(std::size_t{0}, n / chunks, std::size_t{0});
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  pending.wait();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace sorel::runtime

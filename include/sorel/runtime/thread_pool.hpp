@@ -1,0 +1,89 @@
+// Fixed-size worker pool behind every parallel workload in sorel.
+//
+// The paper's section 5 pictures the analytic method inside an automated
+// "reliability prediction engine" answering many what-if queries at once;
+// this pool is the execution substrate for those query batches. Design
+// points:
+//
+//  - fixed size, chosen once: the SOREL_THREADS environment variable wins,
+//    otherwise std::thread::hardware_concurrency();
+//  - a single lazy global instance (`ThreadPool::global()`) shared by every
+//    workload, so nested analyses never oversubscribe the machine;
+//  - tasks submitted from inside a worker run the caller's loop inline
+//    (see parallel_for.hpp) — nested parallelism degrades to serial instead
+//    of deadlocking on a saturated queue;
+//  - determinism is a property of the *callers* (per-index RNG substreams,
+//    ordered reductions), never of scheduling: the pool makes no ordering
+//    promises beyond running every task exactly once.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sorel::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Safe to call from any thread, including pool workers
+  /// (the task is queued, not run inline — do not block a worker on work
+  /// that has not been scheduled yet; use parallel_for for fork/join).
+  void submit(std::function<void()> task);
+
+  /// Convenience: submit a callable and obtain its result via a future.
+  template <typename F>
+  auto async(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = packaged->get_future();
+    submit([packaged] { (*packaged)(); });
+    return result;
+  }
+
+  /// True when the calling thread is a worker of *any* ThreadPool — the
+  /// signal parallel_for uses to run nested loops inline.
+  static bool on_worker_thread() noexcept;
+
+  /// The process-wide shared pool, created on first use with
+  /// default_threads() workers. SOREL_THREADS is read once, at creation.
+  static ThreadPool& global();
+
+  /// Thread count the global pool would use: SOREL_THREADS when set to a
+  /// positive integer, else std::thread::hardware_concurrency() (min 1).
+  /// Re-reads the environment on every call (tests override it).
+  static std::size_t default_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stop_ = false;
+};
+
+/// Resolve a user-facing `threads` option: 0 means "as many as the
+/// hardware allows" (default_threads()); any other value is taken as-is.
+/// Callers may request more chunks than the pool has workers — the extra
+/// chunks queue up, and results are identical by construction.
+std::size_t resolve_threads(std::size_t requested);
+
+}  // namespace sorel::runtime

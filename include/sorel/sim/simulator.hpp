@@ -34,6 +34,11 @@ struct SimulationOptions {
   /// (defensive bound for recursive assemblies); the replication counts as a
   /// failure, which is conservative.
   std::size_t max_depth = 10'000;
+  /// Worker chunks for the replication loop; 0 = as many as the hardware
+  /// allows (SOREL_THREADS overrides). Replication i always draws from the
+  /// RNG substream (seed, i), so every thread count — including 1 —
+  /// produces identical counts.
+  std::size_t threads = 0;
 };
 
 struct SimulationResult {

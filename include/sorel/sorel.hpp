@@ -13,6 +13,8 @@
 //   json/      dependency-free JSON
 //   dsl/       the machine-processable assembly description format
 //   sim/       Monte-Carlo validation of the analytic predictions
+//   runtime/   deterministic parallel execution — thread pool, parallel_for,
+//              batch evaluation of many reliability queries
 //   baselines/ related-work models (Cheung, Wang-Wu-Chen, path-based)
 //   util/      errors, RNG, statistics
 #pragma once
@@ -46,6 +48,9 @@
 #include "sorel/linalg/vector.hpp"
 #include "sorel/markov/absorbing.hpp"
 #include "sorel/markov/dtmc.hpp"
+#include "sorel/runtime/batch.hpp"
+#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/runtime/thread_pool.hpp"
 #include "sorel/sim/simulator.hpp"
 #include "sorel/util/error.hpp"
 #include "sorel/util/rng.hpp"

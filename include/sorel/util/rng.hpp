@@ -121,4 +121,19 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Seed for the `index`-th substream of a seeded experiment. Monte-Carlo
+/// loops that may run on several threads draw sample i from
+/// Rng(substream_seed(seed, i)) instead of advancing one shared generator:
+/// the draws for a given (seed, index) are then independent of how the index
+/// range is partitioned, which is what makes parallel replications
+/// bit-identical to serial ones. Two SplitMix64 finalisations decorrelate
+/// nearby seeds and nearby indices.
+constexpr std::uint64_t substream_seed(std::uint64_t seed,
+                                       std::uint64_t index) noexcept {
+  SplitMix64 outer(seed);
+  SplitMix64 inner(outer.next() ^
+                   (index * 0xD2B74407B1CE6E93ULL + 0x9E3779B97F4A7C15ULL));
+  return inner.next();
+}
+
 }  // namespace sorel::util

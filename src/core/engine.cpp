@@ -240,6 +240,17 @@ void ReliabilityEngine::clear_cache() {
   assumed_.clear();
 }
 
+void ReliabilityEngine::refresh_attributes() {
+  base_env_ = assembly_.attribute_env();
+  clear_cache();
+}
+
+void ReliabilityEngine::set_pfail_overrides(
+    std::map<std::string, double> overrides) {
+  options_.pfail_overrides = std::move(overrides);
+  clear_cache();
+}
+
 double ReliabilityEngine::pfail_cached(const Service& service,
                                        const std::vector<double>& args) {
   if (args.size() != service.arity()) {

@@ -1,10 +1,12 @@
 #include "sorel/core/selection.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 #include "sorel/core/engine.hpp"
 #include "sorel/core/performance.hpp"
+#include "sorel/runtime/parallel_for.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::core {
@@ -24,7 +26,8 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
                                             const std::vector<double>& args,
                                             const std::vector<SelectionPoint>& points,
                                             const SelectionObjective& objective,
-                                            std::size_t max_combinations) {
+                                            std::size_t max_combinations,
+                                            std::size_t threads) {
   if (points.empty()) {
     throw InvalidArgument("rank_assemblies: no selection points given");
   }
@@ -46,40 +49,78 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
     combinations *= point.candidates.size();
   }
 
+  // Evaluate combinations on the runtime. Each worker hoists one mutable
+  // Assembly copy and one engine pair for its whole chunk (one validate()
+  // per worker, not per combination) and rebinds only the selection-point
+  // ports whose choice changed between consecutive combinations — the
+  // engines read bindings live, so a rebind only needs the memo cleared.
+  std::vector<RankedAssembly> entries(combinations);
+  std::vector<char> kept(combinations, 0);
+  runtime::parallel_for(
+      combinations, threads,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        Assembly wired = assembly;
+        std::vector<std::size_t> choice(points.size(), 0);
+        const auto decode = [&](std::size_t combo, std::vector<std::size_t>& out) {
+          std::size_t rest = combo;  // mixed radix, least significant first
+          for (std::size_t i = 0; i < points.size(); ++i) {
+            out[i] = rest % points[i].candidates.size();
+            rest /= points[i].candidates.size();
+          }
+        };
+        const auto bind_point = [&](std::size_t i) {
+          wired.bind(points[i].service, points[i].port,
+                     points[i].candidates[choice[i]]);
+        };
+
+        decode(begin, choice);
+        for (std::size_t i = 0; i < points.size(); ++i) bind_point(i);
+        ReliabilityEngine engine(wired);
+        std::optional<PerformanceEngine> perf;
+        if (objective.time_weight != 0.0) perf.emplace(wired);
+
+        std::vector<std::size_t> next(points.size(), 0);
+        for (std::size_t combo = begin; combo < end; ++combo) {
+          if (combo != begin) {
+            decode(combo, next);
+            for (std::size_t i = 0; i < points.size(); ++i) {
+              if (next[i] != choice[i]) {
+                choice[i] = next[i];
+                bind_point(i);
+              }
+            }
+            engine.clear_cache();
+            if (perf) perf->clear_cache();
+          }
+
+          RankedAssembly entry;
+          entry.choice = choice;
+          entry.labels.reserve(points.size());
+          for (std::size_t i = 0; i < points.size(); ++i) {
+            entry.labels.push_back(
+                points[i].labels.empty()
+                    ? default_label(points[i].candidates[choice[i]])
+                    : points[i].labels[choice[i]]);
+          }
+          entry.reliability = engine.reliability(service_name, args);
+          if (entry.reliability < objective.min_reliability) continue;
+          if (perf) {
+            entry.expected_duration = perf->expected_duration(service_name, args);
+          }
+          entry.score =
+              entry.reliability - objective.time_weight * entry.expected_duration;
+          entries[combo] = std::move(entry);
+          kept[combo] = 1;
+        }
+      });
+
+  // Ordered reduction: collect in combination order so the (unstable) sort
+  // below sees the same input sequence for every thread count.
   std::vector<RankedAssembly> ranking;
   ranking.reserve(combinations);
-  std::vector<std::size_t> choice(points.size(), 0);
   for (std::size_t combo = 0; combo < combinations; ++combo) {
-    // Decode the combination index into per-point choices (mixed radix).
-    std::size_t rest = combo;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      choice[i] = rest % points[i].candidates.size();
-      rest /= points[i].candidates.size();
-    }
-
-    Assembly wired = assembly;
-    RankedAssembly entry;
-    entry.choice = choice;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const SelectionPoint& point = points[i];
-      const PortBinding& binding = point.candidates[choice[i]];
-      wired.bind(point.service, point.port, binding);
-      entry.labels.push_back(point.labels.empty() ? default_label(binding)
-                                                  : point.labels[choice[i]]);
-    }
-
-    ReliabilityEngine engine(wired);
-    entry.reliability = engine.reliability(service_name, args);
-    if (entry.reliability < objective.min_reliability) continue;
-    if (objective.time_weight != 0.0) {
-      PerformanceEngine perf(wired);
-      entry.expected_duration = perf.expected_duration(service_name, args);
-    }
-    entry.score =
-        entry.reliability - objective.time_weight * entry.expected_duration;
-    ranking.push_back(std::move(entry));
+    if (kept[combo]) ranking.push_back(std::move(entries[combo]));
   }
-
   std::sort(ranking.begin(), ranking.end(),
             [](const RankedAssembly& a, const RankedAssembly& b) {
               return a.score > b.score;

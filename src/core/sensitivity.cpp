@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sorel/core/engine.hpp"
+#include "sorel/runtime/parallel_for.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::core {
@@ -11,7 +12,7 @@ namespace sorel::core {
 std::vector<AttributeSensitivity> attribute_sensitivities(
     const Assembly& assembly, std::string_view service_name,
     const std::vector<double>& args, const std::vector<std::string>& attributes,
-    double relative_step) {
+    double relative_step, std::size_t threads) {
   if (relative_step <= 0.0) {
     throw InvalidArgument("attribute_sensitivities: relative_step must be positive");
   }
@@ -20,39 +21,54 @@ std::vector<AttributeSensitivity> attribute_sensitivities(
   if (names.empty()) {
     for (const auto& [name, value] : attr_env.bindings()) names.push_back(name);
   }
-
-  ReliabilityEngine base_engine(assembly);
-  const double base_reliability = base_engine.reliability(service_name, args);
-
-  std::vector<AttributeSensitivity> out;
-  out.reserve(names.size());
+  // Resolve every attribute up front so an unknown name throws the same
+  // LookupError regardless of how the list is chunked across workers.
+  std::vector<double> values;
+  values.reserve(names.size());
   for (const std::string& attr : names) {
     const auto value = attr_env.lookup(attr);
     if (!value) {
       throw LookupError("attribute '" + attr + "' is not defined in the assembly");
     }
-    const double h = std::max(std::fabs(*value), 1e-12) * relative_step;
-
-    // Central difference: each probe runs on a copy of the assembly-level
-    // attribute table; the engine snapshots attributes at construction.
-    const auto probe = [&](double v) {
-      Assembly copy = assembly;
-      copy.set_attribute(attr, v);
-      ReliabilityEngine engine(copy);
-      return engine.reliability(service_name, args);
-    };
-    const double r_plus = probe(*value + h);
-    const double r_minus = probe(*value - h);
-    const double derivative = (r_plus - r_minus) / (2.0 * h);
-
-    AttributeSensitivity s;
-    s.attribute = attr;
-    s.value = *value;
-    s.derivative = derivative;
-    s.elasticity =
-        base_reliability != 0.0 ? derivative * (*value / base_reliability) : 0.0;
-    out.push_back(std::move(s));
+    values.push_back(*value);
   }
+
+  ReliabilityEngine base_engine(assembly);
+  const double base_reliability = base_engine.reliability(service_name, args);
+
+  // Two engine evaluations per attribute, fanned out on the runtime. Each
+  // worker hoists one mutable Assembly copy and one engine for its chunk;
+  // perturbed attributes are restored before moving to the next one.
+  std::vector<AttributeSensitivity> out(names.size());
+  runtime::parallel_for(
+      names.size(), threads,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        Assembly copy = assembly;
+        ReliabilityEngine engine(copy);
+        const auto probe = [&](const std::string& attr, double v) {
+          copy.set_attribute(attr, v);
+          engine.refresh_attributes();
+          return engine.reliability(service_name, args);
+        };
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::string& attr = names[i];
+          const double value = values[i];
+          const double h = std::max(std::fabs(value), 1e-12) * relative_step;
+          const double r_plus = probe(attr, value + h);
+          const double r_minus = probe(attr, value - h);
+          copy.set_attribute(attr, value);  // restore for the next attribute
+          const double derivative = (r_plus - r_minus) / (2.0 * h);
+
+          AttributeSensitivity s;
+          s.attribute = attr;
+          s.value = value;
+          s.derivative = derivative;
+          s.elasticity = base_reliability != 0.0
+                             ? derivative * (value / base_reliability)
+                             : 0.0;
+          out[i] = std::move(s);
+        }
+      });
 
   std::sort(out.begin(), out.end(),
             [](const AttributeSensitivity& a, const AttributeSensitivity& b) {
@@ -63,43 +79,52 @@ std::vector<AttributeSensitivity> attribute_sensitivities(
 
 std::vector<ComponentImportance> component_importances(
     const Assembly& assembly, std::string_view service_name,
-    const std::vector<double>& args, const std::vector<std::string>& components) {
+    const std::vector<double>& args, const std::vector<std::string>& components,
+    std::size_t threads) {
   std::vector<std::string> names = components;
   if (names.empty()) {
     for (const std::string& n : assembly.service_names()) {
       if (n != service_name) names.push_back(n);
     }
   }
-
-  ReliabilityEngine base_engine(assembly);
-  const double base_reliability = base_engine.reliability(service_name, args);
-
-  std::vector<ComponentImportance> out;
-  out.reserve(names.size());
   for (const std::string& component : names) {
     if (!assembly.has_service(component)) {
       throw LookupError("component '" + component + "' is not a registered service");
     }
-    const auto with_override = [&](double pfail_value) {
-      ReliabilityEngine::Options options;
-      options.pfail_overrides[component] = pfail_value;
-      ReliabilityEngine engine(assembly, options);
-      return engine.reliability(service_name, args);
-    };
-    const double r_perfect = with_override(0.0);
-    const double r_failed = with_override(1.0);
-
-    ComponentImportance imp;
-    imp.component = component;
-    imp.birnbaum = r_perfect - r_failed;
-    // Risk-achievement worth compares nominal unreliability against the
-    // unreliability with the component pinned to failed.
-    const double q_base = 1.0 - base_reliability;
-    const double q_failed = 1.0 - r_failed;
-    imp.risk_achievement = q_base > 0.0 ? q_failed / q_base
-                                        : (q_failed > 0.0 ? 1e12 : 1.0);
-    out.push_back(std::move(imp));
   }
+
+  ReliabilityEngine base_engine(assembly);
+  const double base_reliability = base_engine.reliability(service_name, args);
+
+  // The perfect/failed probes only change engine-level pfail overrides, so
+  // workers share the (read-only) assembly and reuse one engine per chunk.
+  std::vector<ComponentImportance> out(names.size());
+  runtime::parallel_for(
+      names.size(), threads,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        ReliabilityEngine engine(assembly);
+        const auto with_override = [&](const std::string& component,
+                                       double pfail_value) {
+          engine.set_pfail_overrides({{component, pfail_value}});
+          return engine.reliability(service_name, args);
+        };
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::string& component = names[i];
+          const double r_perfect = with_override(component, 0.0);
+          const double r_failed = with_override(component, 1.0);
+
+          ComponentImportance imp;
+          imp.component = component;
+          imp.birnbaum = r_perfect - r_failed;
+          // Risk-achievement worth compares nominal unreliability against the
+          // unreliability with the component pinned to failed.
+          const double q_base = 1.0 - base_reliability;
+          const double q_failed = 1.0 - r_failed;
+          imp.risk_achievement = q_base > 0.0 ? q_failed / q_base
+                                              : (q_failed > 0.0 ? 1e12 : 1.0);
+          out[i] = std::move(imp);
+        }
+      });
 
   std::sort(out.begin(), out.end(),
             [](const ComponentImportance& a, const ComponentImportance& b) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sorel/core/engine.hpp"
+#include "sorel/runtime/parallel_for.hpp"
 #include "sorel/util/error.hpp"
 #include "sorel/util/rng.hpp"
 
@@ -112,20 +113,32 @@ UncertaintyResult propagate_uncertainty(
     }
   }
 
-  util::Rng rng(options.seed);
+  // Evaluate the samples on the runtime: sample i draws its attribute
+  // values from the RNG substream (seed, i), so the draws are independent
+  // of how the index range is chunked across workers. Each worker hoists
+  // one Assembly copy and one engine (one validate()) for its whole chunk.
+  std::vector<double> samples(options.samples);
+  runtime::parallel_for(
+      options.samples, options.threads,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        Assembly probe = assembly;
+        ReliabilityEngine engine(probe);
+        for (std::size_t i = begin; i < end; ++i) {
+          util::Rng rng(util::substream_seed(options.seed, i));
+          for (const auto& [name, dist] : uncertain_attributes) {
+            probe.set_attribute(name, sample_value(dist, rng));
+          }
+          engine.refresh_attributes();
+          samples[i] = engine.reliability(service_name, args);
+        }
+      });
+
+  // Ordered reduction: fold in index order so the accumulated moments are
+  // bit-identical for every thread count.
   UncertaintyResult result;
-  std::vector<double> samples;
-  samples.reserve(options.samples);
   std::size_t meets = 0;
-  for (std::size_t i = 0; i < options.samples; ++i) {
-    Assembly probe = assembly;
-    for (const auto& [name, dist] : uncertain_attributes) {
-      probe.set_attribute(name, sample_value(dist, rng));
-    }
-    ReliabilityEngine engine(probe);
-    const double r = engine.reliability(service_name, args);
+  for (const double r : samples) {
     result.reliability.add(r);
-    samples.push_back(r);
     if (reliability_target > 0.0 && r >= reliability_target) ++meets;
   }
   std::sort(samples.begin(), samples.end());

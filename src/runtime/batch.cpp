@@ -1,0 +1,100 @@
+#include "sorel/runtime/batch.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::runtime {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(const core::Assembly& assembly)
+    : BatchEvaluator(assembly, Options{}) {}
+
+BatchEvaluator::BatchEvaluator(const core::Assembly& assembly, Options options)
+    : assembly_(assembly), options_(std::move(options)) {
+  assembly_.validate();
+}
+
+std::vector<BatchItem> BatchEvaluator::evaluate(
+    const std::vector<BatchJob>& jobs) {
+  const expr::Env base_env = assembly_.attribute_env();
+  for (const BatchJob& job : jobs) {
+    for (const auto& [name, value] : job.attribute_overrides) {
+      (void)value;
+      if (!base_env.contains(name)) {
+        throw LookupError("batch job overrides attribute '" + name +
+                          "' which is not defined in the assembly");
+      }
+    }
+  }
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  const std::size_t chunks =
+      jobs.empty() ? 0 : std::min(jobs.size(), resolve_threads(options_.threads));
+
+  std::vector<BatchItem> results(jobs.size());
+  std::vector<core::ReliabilityEngine::Stats> chunk_stats(
+      chunks == 0 ? 1 : chunks);
+  parallel_for(jobs.size(), options_.threads,
+               [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+    core::Assembly local = assembly_;           // one copy per worker
+    core::ReliabilityEngine engine(local, options_.engine);  // one validate
+    bool attrs_dirty = false;
+    bool pfail_dirty = false;
+    for (std::size_t i = begin; i < end; ++i) {
+      const BatchJob& job = jobs[i];
+      if (!job.attribute_overrides.empty() || attrs_dirty) {
+        if (attrs_dirty) {
+          // Restore every attribute to the base value before layering this
+          // job's overrides (jobs see the assembly's own values by default).
+          for (const auto& [name, value] : base_env.bindings()) {
+            local.set_attribute(name, value);
+          }
+        }
+        for (const auto& [name, value] : job.attribute_overrides) {
+          local.set_attribute(name, value);
+        }
+        engine.refresh_attributes();
+        attrs_dirty = !job.attribute_overrides.empty();
+      }
+      if (!job.pfail_overrides.empty() || pfail_dirty) {
+        auto merged = options_.engine.pfail_overrides;
+        for (const auto& [name, value] : job.pfail_overrides) {
+          merged[name] = value;
+        }
+        engine.set_pfail_overrides(std::move(merged));
+        pfail_dirty = !job.pfail_overrides.empty();
+      }
+
+      const auto job_start = std::chrono::steady_clock::now();
+      const double pfail = engine.pfail(job.service, job.args);
+      results[i].pfail = pfail;
+      results[i].reliability = 1.0 - pfail;
+      results[i].wall_seconds = seconds_since(job_start);
+    }
+    chunk_stats[chunk] = engine.stats();
+  });
+
+  BatchStats stats;
+  stats.jobs = jobs.size();
+  stats.chunks = chunks;
+  for (const core::ReliabilityEngine::Stats& s : chunk_stats) {
+    stats.engine_evaluations += s.evaluations;
+    stats.engine_memo_hits += s.memo_hits;
+  }
+  stats.wall_seconds = seconds_since(batch_start);
+  stats_ = stats;
+  return results;
+}
+
+}  // namespace sorel::runtime

@@ -1,0 +1,82 @@
+#include "sorel/runtime/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace sorel::runtime {
+
+namespace {
+
+// Set for the lifetime of every worker thread; parallel_for consults it to
+// degrade nested loops to the calling thread.
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are the task's responsibility (parallel_for
+             // captures them into exception_ptr slots)
+  }
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("SOREL_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  return requested == 0 ? ThreadPool::default_threads() : requested;
+}
+
+}  // namespace sorel::runtime

@@ -1,7 +1,9 @@
 #include "sorel/sim/simulator.hpp"
 
+#include <atomic>
 #include <string>
 
+#include "sorel/runtime/parallel_for.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::sim {
@@ -24,14 +26,24 @@ SimulationResult Simulator::estimate(std::string_view service_name,
                                      const std::vector<double>& args,
                                      const SimulationOptions& options) const {
   const core::ServicePtr& svc = assembly_.service(service_name);
-  util::Rng rng(options.seed);
+  // Replication i draws from the substream (seed, i): counts are identical
+  // for every thread count because each replication's draws are independent
+  // of how the index range is chunked. The reduction is a plain sum of
+  // per-chunk counters, which is order-insensitive for integers.
+  std::atomic<std::size_t> successes{0};
+  runtime::parallel_for(
+      options.replications, options.threads,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        std::size_t local = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          util::Rng rng(util::substream_seed(options.seed, i));
+          if (sample_invocation(*svc, args, rng, 0, options.max_depth)) ++local;
+        }
+        successes.fetch_add(local, std::memory_order_relaxed);
+      });
   SimulationResult result;
   result.replications = options.replications;
-  for (std::size_t i = 0; i < options.replications; ++i) {
-    if (sample_invocation(*svc, args, rng, 0, options.max_depth)) {
-      ++result.successes;
-    }
-  }
+  result.successes = successes.load(std::memory_order_relaxed);
   return result;
 }
 
@@ -55,47 +67,66 @@ Simulator::ModeCounts Simulator::estimate_failure_modes(
     env.set(composite->formals()[i].name, args[i]);
   }
 
-  util::Rng rng(options.seed);
-  ModeCounts counts;
-  counts.replications = options.replications;
-  for (std::size_t rep = 0; rep < options.replications; ++rep) {
-    core::FlowStateId current = FlowGraph::kStart;
-    bool contaminated = false;
-    bool detected = false;
-    for (std::size_t step = 0; step <= options.max_depth; ++step) {
-      if (current == FlowGraph::kEnd) break;
-      if (current != FlowGraph::kStart) {
-        const FlowState& state = flow.state(current);
-        if (!sample_state(*composite, state, env, rng, 0, options.max_depth)) {
-          if (rng.bernoulli(state.undetected_failure_fraction)) {
-            contaminated = true;  // silent: keep walking
+  // Per-replication substreams, as in estimate(): identical counts for
+  // every thread count.
+  std::atomic<std::size_t> successes{0};
+  std::atomic<std::size_t> detected_total{0};
+  std::atomic<std::size_t> silent{0};
+  runtime::parallel_for(
+      options.replications, options.threads,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        std::size_t local_success = 0;
+        std::size_t local_detected = 0;
+        std::size_t local_silent = 0;
+        for (std::size_t rep = begin; rep < end; ++rep) {
+          util::Rng rng(util::substream_seed(options.seed, rep));
+          core::FlowStateId current = FlowGraph::kStart;
+          bool contaminated = false;
+          bool detected = false;
+          for (std::size_t step = 0; step <= options.max_depth; ++step) {
+            if (current == FlowGraph::kEnd) break;
+            if (current != FlowGraph::kStart) {
+              const FlowState& state = flow.state(current);
+              if (!sample_state(*composite, state, env, rng, 0,
+                                options.max_depth)) {
+                if (rng.bernoulli(state.undetected_failure_fraction)) {
+                  contaminated = true;  // silent: keep walking
+                } else {
+                  detected = true;  // fail-stop
+                  break;
+                }
+              }
+            }
+            const auto& transitions = flow.transitions_from(current);
+            const double u = rng.uniform();
+            double acc = 0.0;
+            core::FlowStateId next = transitions.back().to;
+            for (const auto& t : transitions) {
+              acc += t.probability.eval(env);
+              if (u < acc) {
+                next = t.to;
+                break;
+              }
+            }
+            current = next;
+          }
+          if (detected || current != FlowGraph::kEnd) {
+            ++local_detected;  // fail-stop (or walk bound exhausted)
+          } else if (contaminated) {
+            ++local_silent;  // completed, but an undetected failure slipped
           } else {
-            detected = true;  // fail-stop
-            break;
+            ++local_success;
           }
         }
-      }
-      const auto& transitions = flow.transitions_from(current);
-      const double u = rng.uniform();
-      double acc = 0.0;
-      core::FlowStateId next = transitions.back().to;
-      for (const auto& t : transitions) {
-        acc += t.probability.eval(env);
-        if (u < acc) {
-          next = t.to;
-          break;
-        }
-      }
-      current = next;
-    }
-    if (detected || current != FlowGraph::kEnd) {
-      ++counts.detected;  // fail-stop (or walk bound exhausted: conservative)
-    } else if (contaminated) {
-      ++counts.silent;  // completed, but an undetected failure slipped through
-    } else {
-      ++counts.successes;
-    }
-  }
+        successes.fetch_add(local_success, std::memory_order_relaxed);
+        detected_total.fetch_add(local_detected, std::memory_order_relaxed);
+        silent.fetch_add(local_silent, std::memory_order_relaxed);
+      });
+  ModeCounts counts;
+  counts.replications = options.replications;
+  counts.successes = successes.load(std::memory_order_relaxed);
+  counts.detected = detected_total.load(std::memory_order_relaxed);
+  counts.silent = silent.load(std::memory_order_relaxed);
   return counts;
 }
 

@@ -1,0 +1,150 @@
+// BatchEvaluator: many reliability queries against one assembly must come
+// back in input order, match one-off engine evaluations exactly, keep
+// per-job overrides isolated, and report batch statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/runtime/batch.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::ReliabilityEngine;
+using sorel::runtime::BatchEvaluator;
+using sorel::runtime::BatchItem;
+using sorel::runtime::BatchJob;
+
+Assembly chain() { return sorel::scenarios::make_chain_assembly(4, 1e-5, 1e-4, 1.0); }
+
+TEST(BatchEvaluator, MatchesDirectEvaluationInInputOrder) {
+  const Assembly assembly = chain();
+  std::vector<BatchJob> jobs;
+  for (int i = 1; i <= 20; ++i) {
+    BatchJob job;
+    job.service = "pipeline";
+    job.args = {static_cast<double>(10 * i)};
+    jobs.push_back(std::move(job));
+  }
+
+  BatchEvaluator evaluator(assembly);
+  const std::vector<BatchItem> results = evaluator.evaluate(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+
+  ReliabilityEngine engine(assembly);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double expected = engine.pfail("pipeline", jobs[i].args);
+    EXPECT_EQ(results[i].pfail, expected) << "job " << i;
+    EXPECT_EQ(results[i].reliability, 1.0 - expected);
+    EXPECT_GE(results[i].wall_seconds, 0.0);
+  }
+  EXPECT_EQ(evaluator.stats().jobs, jobs.size());
+  EXPECT_GE(evaluator.stats().chunks, 1u);
+  EXPECT_GT(evaluator.stats().engine_evaluations, 0u);
+  EXPECT_GT(evaluator.stats().wall_seconds, 0.0);
+}
+
+TEST(BatchEvaluator, AttributeOverridesApplyPerJobOnly) {
+  const Assembly assembly = chain();
+  ReliabilityEngine base_engine(assembly);
+  const double base = base_engine.pfail("pipeline", {50.0});
+
+  Assembly degraded = assembly;
+  degraded.set_attribute("cpu.lambda", 1e-2);
+  ReliabilityEngine degraded_engine(degraded);
+  const double worse = degraded_engine.pfail("pipeline", {50.0});
+
+  // Job 0 overrides, job 1 (same worker chunk at threads=1) must see the
+  // assembly's own value again, job 2 overrides again.
+  std::vector<BatchJob> jobs(3);
+  for (BatchJob& job : jobs) {
+    job.service = "pipeline";
+    job.args = {50.0};
+  }
+  jobs[0].attribute_overrides["cpu.lambda"] = 1e-2;
+  jobs[2].attribute_overrides["cpu.lambda"] = 1e-2;
+
+  BatchEvaluator::Options options;
+  options.threads = 1;
+  BatchEvaluator evaluator(assembly, options);
+  const auto results = evaluator.evaluate(jobs);
+  EXPECT_EQ(results[0].pfail, worse);
+  EXPECT_EQ(results[1].pfail, base);
+  EXPECT_EQ(results[2].pfail, worse);
+}
+
+TEST(BatchEvaluator, PfailOverridesPinServices) {
+  const Assembly assembly = chain();
+  std::vector<BatchJob> jobs(2);
+  for (BatchJob& job : jobs) {
+    job.service = "pipeline";
+    job.args = {50.0};
+  }
+  jobs[0].pfail_overrides["cpu"] = 1.0;  // every stage fails
+  jobs[1].pfail_overrides["cpu"] = 0.0;  // cpu is perfect
+
+  BatchEvaluator evaluator(assembly);
+  const auto results = evaluator.evaluate(jobs);
+
+  const auto reference = [&](double pinned) {
+    ReliabilityEngine::Options options;
+    options.pfail_overrides["cpu"] = pinned;
+    ReliabilityEngine engine(assembly, options);
+    return engine.pfail("pipeline", {50.0});
+  };
+  EXPECT_EQ(results[0].pfail, reference(1.0));
+  EXPECT_EQ(results[1].pfail, reference(0.0));
+  EXPECT_NEAR(results[0].pfail, 1.0, 1e-12);
+  EXPECT_LT(results[1].pfail, results[0].pfail);
+}
+
+TEST(BatchEvaluator, DeterministicAcrossThreadCounts) {
+  const Assembly assembly = chain();
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 97; ++i) {
+    BatchJob job;
+    job.service = "pipeline";
+    job.args = {static_cast<double>(i + 1)};
+    if (i % 3 == 0) job.attribute_overrides["cpu.lambda"] = 1e-4 * (i + 1);
+    jobs.push_back(std::move(job));
+  }
+
+  std::vector<std::vector<BatchItem>> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    BatchEvaluator::Options options;
+    options.threads = threads;
+    BatchEvaluator evaluator(assembly, options);
+    runs.push_back(evaluator.evaluate(jobs));
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].pfail, runs[0][i].pfail)
+          << "run " << run << " job " << i;
+    }
+  }
+}
+
+TEST(BatchEvaluator, RejectsUnknownAttributeOverride) {
+  const Assembly assembly = chain();
+  BatchJob job;
+  job.service = "pipeline";
+  job.args = {50.0};
+  job.attribute_overrides["no.such.attribute"] = 1.0;
+  BatchEvaluator evaluator(assembly);
+  EXPECT_THROW(evaluator.evaluate({job}), sorel::LookupError);
+}
+
+TEST(BatchEvaluator, PropagatesEngineErrors) {
+  const Assembly assembly = chain();
+  BatchJob job;
+  job.service = "pipeline";
+  job.args = {1.0, 2.0};  // wrong arity
+  BatchEvaluator evaluator(assembly);
+  EXPECT_THROW(evaluator.evaluate({job}), sorel::InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Determinism of every workload rewired onto sorel::runtime: for the same
+// seed, results at threads ∈ {1, 2, 8} must be bit-identical — the chunked
+// loops derive all per-item state from the global index, never from the
+// chunk — and must equal a straightforward serial reference implementation
+// of the same computation (fresh engine per evaluation, no hoisting), so
+// the per-worker copy/rebind/refresh machinery provably changes nothing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/selection.hpp"
+#include "sorel/core/sensitivity.hpp"
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/scenarios/search_sort.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/sim/simulator.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::AttributeDistribution;
+using sorel::core::RankedAssembly;
+using sorel::core::ReliabilityEngine;
+using sorel::core::SelectionPoint;
+using sorel::core::UncertaintyOptions;
+using sorel::scenarios::SearchSortParams;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+TEST(Determinism, UncertaintyIsBitIdenticalAcrossThreadCounts) {
+  const Assembly assembly = sorel::scenarios::make_chain_assembly(4, 1e-4, 1e-3, 1.0);
+  const std::map<std::string, AttributeDistribution> bands = {
+      {"cpu.lambda", AttributeDistribution::log_uniform(1e-4, 1e-2)},
+      {"cpu.s", AttributeDistribution::uniform(0.5, 2.0)},
+  };
+
+  std::vector<sorel::core::UncertaintyResult> runs;
+  for (const std::size_t threads : kThreadCounts) {
+    UncertaintyOptions options;
+    options.samples = 500;
+    options.seed = 2026;
+    options.threads = threads;
+    runs.push_back(sorel::core::propagate_uncertainty(assembly, "pipeline", {50.0},
+                                                      bands, options, 0.9));
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    EXPECT_EQ(runs[run].reliability.mean(), runs[0].reliability.mean());
+    EXPECT_EQ(runs[run].reliability.stddev(), runs[0].reliability.stddev());
+    EXPECT_EQ(runs[run].reliability.min(), runs[0].reliability.min());
+    EXPECT_EQ(runs[run].reliability.max(), runs[0].reliability.max());
+    EXPECT_EQ(runs[run].p05, runs[0].p05);
+    EXPECT_EQ(runs[run].p50, runs[0].p50);
+    EXPECT_EQ(runs[run].p95, runs[0].p95);
+    EXPECT_EQ(runs[run].probability_meets_target,
+              runs[0].probability_meets_target);
+  }
+}
+
+TEST(Determinism, UncertaintyMatchesSerialReference) {
+  // Reference: the same per-sample substream scheme, written as the obvious
+  // serial loop with a fresh assembly copy and engine per sample.
+  const Assembly assembly = sorel::scenarios::make_chain_assembly(3, 1e-4, 1e-3, 1.0);
+  const double lo = 1e-4;
+  const double hi = 1e-2;
+  const std::map<std::string, AttributeDistribution> bands = {
+      {"cpu.lambda", AttributeDistribution::log_uniform(lo, hi)},
+  };
+  const std::size_t samples = 200;
+  const std::uint64_t seed = 7;
+
+  std::vector<double> reference(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    sorel::util::Rng rng(sorel::util::substream_seed(seed, i));
+    const double value =
+        std::clamp(std::exp(rng.uniform(std::log(lo), std::log(hi))), 0.0, 1e300);
+    Assembly probe = assembly;
+    probe.set_attribute("cpu.lambda", value);
+    ReliabilityEngine engine(probe);
+    reference[i] = engine.reliability("pipeline", {50.0});
+  }
+  std::sort(reference.begin(), reference.end());
+  const double reference_min = reference.front();
+  const double reference_max = reference.back();
+
+  for (const std::size_t threads : kThreadCounts) {
+    UncertaintyOptions options;
+    options.samples = samples;
+    options.seed = seed;
+    options.threads = threads;
+    const auto result = sorel::core::propagate_uncertainty(
+        assembly, "pipeline", {50.0}, bands, options);
+    EXPECT_EQ(result.reliability.min(), reference_min) << threads;
+    EXPECT_EQ(result.reliability.max(), reference_max) << threads;
+    // percentile(): pos = 0.5 * 199 = 99.5, so frac is exactly 0.5.
+    EXPECT_EQ(result.p50, reference[99] * 0.5 + reference[100] * 0.5) << threads;
+  }
+}
+
+TEST(Determinism, SelectionIsBitIdenticalAndMatchesSerialReference) {
+  SearchSortParams p;
+  p.gamma = 2.5e-2;
+  auto setup = sorel::scenarios::build_search_selection_assembly(p);
+  SelectionPoint point;
+  point.service = "search";
+  point.port = "sort";
+  point.candidates = {setup.local_candidate, setup.remote_candidate};
+  point.labels = {"local", "remote"};
+  const std::vector<double> args{p.elem_size, 2000.0, p.result_size};
+
+  // Serial reference: the pre-runtime algorithm — fresh Assembly copy and
+  // fresh engine (fresh validate) per combination, in combination order.
+  std::vector<double> reference;
+  for (std::size_t combo = 0; combo < point.candidates.size(); ++combo) {
+    Assembly wired = setup.assembly;
+    wired.bind(point.service, point.port, point.candidates[combo]);
+    ReliabilityEngine engine(wired);
+    reference.push_back(engine.reliability("search", args));
+  }
+
+  std::vector<std::vector<RankedAssembly>> runs;
+  for (const std::size_t threads : kThreadCounts) {
+    runs.push_back(sorel::core::rank_assemblies(setup.assembly, "search", args,
+                                                {point}, {}, 4096, threads));
+  }
+  for (const auto& ranking : runs) {
+    ASSERT_EQ(ranking.size(), runs[0].size());
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
+      EXPECT_EQ(ranking[i].choice, runs[0][i].choice);
+      EXPECT_EQ(ranking[i].labels, runs[0][i].labels);
+      EXPECT_EQ(ranking[i].reliability, runs[0][i].reliability);
+      EXPECT_EQ(ranking[i].score, runs[0][i].score);
+      // The hoisted per-worker engine must reproduce the fresh-engine value.
+      EXPECT_EQ(ranking[i].reliability, reference[ranking[i].choice[0]]);
+    }
+  }
+}
+
+TEST(Determinism, SensitivityIsBitIdenticalAndMatchesSerialReference) {
+  const Assembly assembly = sorel::scenarios::make_chain_assembly(4, 1e-4, 1e-3, 1.0);
+  const std::vector<double> args{50.0};
+
+  // Serial reference: fresh copy + fresh engine per probe (the pre-runtime
+  // implementation of the central difference).
+  const auto attr_env = assembly.attribute_env();
+  ReliabilityEngine base_engine(assembly);
+  const double base = base_engine.reliability("pipeline", args);
+  std::map<std::string, double> reference_derivative;
+  for (const auto& [attr, value] : attr_env.bindings()) {
+    const double h = std::max(std::fabs(value), 1e-12) * 1e-2;
+    const auto probe = [&, attr = attr](double v) {
+      Assembly copy = assembly;
+      copy.set_attribute(attr, v);
+      ReliabilityEngine engine(copy);
+      return engine.reliability("pipeline", args);
+    };
+    reference_derivative[attr] = (probe(value + h) - probe(value - h)) / (2.0 * h);
+  }
+  ASSERT_GT(base, 0.0);
+
+  std::vector<std::vector<sorel::core::AttributeSensitivity>> runs;
+  for (const std::size_t threads : kThreadCounts) {
+    runs.push_back(sorel::core::attribute_sensitivities(assembly, "pipeline", args,
+                                                        {}, 1e-2, threads));
+  }
+  for (const auto& rows : runs) {
+    ASSERT_EQ(rows.size(), runs[0].size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].attribute, runs[0][i].attribute);
+      EXPECT_EQ(rows[i].derivative, runs[0][i].derivative);
+      EXPECT_EQ(rows[i].elasticity, runs[0][i].elasticity);
+      EXPECT_EQ(rows[i].derivative, reference_derivative.at(rows[i].attribute));
+    }
+  }
+}
+
+TEST(Determinism, ImportanceIsBitIdenticalAndMatchesSerialReference) {
+  const Assembly assembly = sorel::scenarios::make_tree_assembly(3, 2, 1e-4, 1e-3, 1.0);
+  const std::vector<double> args{10.0};
+
+  // Serial reference: fresh engine (with override options) per probe.
+  std::map<std::string, double> reference_birnbaum;
+  for (const std::string& name : assembly.service_names()) {
+    if (name == "level0") continue;
+    const auto with_override = [&](double pinned) {
+      ReliabilityEngine::Options options;
+      options.pfail_overrides[name] = pinned;
+      ReliabilityEngine engine(assembly, options);
+      return engine.reliability("level0", args);
+    };
+    reference_birnbaum[name] = with_override(0.0) - with_override(1.0);
+  }
+
+  std::vector<std::vector<sorel::core::ComponentImportance>> runs;
+  for (const std::size_t threads : kThreadCounts) {
+    runs.push_back(sorel::core::component_importances(assembly, "level0", args,
+                                                      {}, threads));
+  }
+  for (const auto& rows : runs) {
+    ASSERT_EQ(rows.size(), runs[0].size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].component, runs[0][i].component);
+      EXPECT_EQ(rows[i].birnbaum, runs[0][i].birnbaum);
+      EXPECT_EQ(rows[i].risk_achievement, runs[0][i].risk_achievement);
+      EXPECT_EQ(rows[i].birnbaum, reference_birnbaum.at(rows[i].component));
+    }
+  }
+}
+
+TEST(Determinism, SimulationCountsAreIdenticalAcrossThreadCounts) {
+  const Assembly assembly = sorel::scenarios::make_chain_assembly(3, 1e-3, 1e-3, 1.0);
+  sorel::sim::Simulator simulator(assembly);
+
+  // Serial reference: the per-replication substream scheme as a plain loop.
+  const std::uint64_t seed = 99;
+  const std::size_t replications = 20'000;
+  std::size_t reference = 0;
+  for (std::size_t i = 0; i < replications; ++i) {
+    sorel::util::Rng rng(sorel::util::substream_seed(seed, i));
+    const auto& svc = assembly.service("pipeline");
+    if (simulator.sample_invocation(*svc, {25.0}, rng)) ++reference;
+  }
+
+  for (const std::size_t threads : kThreadCounts) {
+    sorel::sim::SimulationOptions options;
+    options.replications = replications;
+    options.seed = seed;
+    options.threads = threads;
+    const auto result = simulator.estimate("pipeline", {25.0}, options);
+    EXPECT_EQ(result.successes, reference) << "threads=" << threads;
+    EXPECT_EQ(result.replications, replications);
+  }
+}
+
+TEST(Determinism, FailureModeCountsAreIdenticalAcrossThreadCounts) {
+  const Assembly assembly = sorel::scenarios::make_chain_assembly(3, 5e-3, 1e-3, 1.0);
+  sorel::sim::Simulator simulator(assembly);
+
+  std::vector<sorel::sim::Simulator::ModeCounts> runs;
+  for (const std::size_t threads : kThreadCounts) {
+    sorel::sim::SimulationOptions options;
+    options.replications = 20'000;
+    options.seed = 7;
+    options.threads = threads;
+    runs.push_back(simulator.estimate_failure_modes("pipeline", {40.0}, options));
+  }
+  for (const auto& counts : runs) {
+    EXPECT_EQ(counts.successes, runs[0].successes);
+    EXPECT_EQ(counts.detected, runs[0].detected);
+    EXPECT_EQ(counts.silent, runs[0].silent);
+    EXPECT_EQ(counts.successes + counts.detected + counts.silent,
+              counts.replications);
+  }
+}
+
+}  // namespace

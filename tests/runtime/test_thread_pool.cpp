@@ -1,0 +1,187 @@
+// ThreadPool and parallel_for: the fork/join substrate must run every task
+// exactly once, survive reuse across many batches, propagate the first
+// exception, and degrade nested loops to the calling thread instead of
+// deadlocking on its own queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/runtime/thread_pool.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::runtime::parallel_for;
+using sorel::runtime::resolve_threads;
+using sorel::runtime::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> results;
+  for (int i = 0; i < 64; ++i) {
+    results.push_back(pool.async([&counter, i] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, WorkersReportOnWorkerThread) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  auto result = pool.async([] { return ThreadPool::on_worker_thread(); });
+  EXPECT_TRUE(result.get());
+}
+
+TEST(ThreadPool, AsyncPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto result = pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(result.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  // The global pool serves every workload in the process; simulate that
+  // reuse pattern with many small fork/join batches on one pool.
+  std::atomic<long> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    parallel_for(100, 4, [&](std::size_t begin, std::size_t end, std::size_t) {
+      long local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += static_cast<long>(i);
+      total.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * (99L * 100L / 2));
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}, std::size_t{8},
+                                    std::size_t{100}}) {
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{64},
+          std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      parallel_for(n, threads, [&](std::size_t begin, std::size_t end,
+                                   std::size_t chunk) {
+        EXPECT_LE(begin, end);
+        EXPECT_LE(end, n);
+        EXPECT_LT(chunk, std::max<std::size_t>(threads, 1));
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " threads=" << threads
+                                     << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, SerialDegradationUsesCallingThread) {
+  // threads == 1 and n == 1 must run inline: same thread, chunk 0, full range.
+  const std::thread::id caller = std::this_thread::get_id();
+  parallel_for(100, 1, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+    EXPECT_EQ(chunk, 0u);
+  });
+  parallel_for(1, 8, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    EXPECT_EQ(chunk, 0u);
+  });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  // Several chunks throw; the rethrown exception must be the lowest-index
+  // chunk's (deterministic regardless of which chunk finished first).
+  try {
+    parallel_for(8, 8, [&](std::size_t begin, std::size_t, std::size_t chunk) {
+      if (chunk >= 2) {
+        throw std::out_of_range("chunk " + std::to_string(begin));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "chunk 2");
+  }
+  // The pool must stay usable after an exceptional batch.
+  std::atomic<int> count{0};
+  parallel_for(8, 8, [&](std::size_t begin, std::size_t end, std::size_t) {
+    count.fetch_add(static_cast<int>(end - begin), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  // A nested parallel_for from inside a pool worker degrades to the worker
+  // thread. With more chunks than workers this would deadlock if the inner
+  // loop queued and waited on the saturated pool.
+  std::atomic<long> total{0};
+  parallel_for(64, 64, [&](std::size_t begin, std::size_t end, std::size_t) {
+    const bool on_worker = ThreadPool::on_worker_thread();
+    for (std::size_t i = begin; i < end; ++i) {
+      parallel_for(32, 8, [&](std::size_t inner_begin, std::size_t inner_end,
+                              std::size_t chunk) {
+        // From a pool worker the inner loop is inline: one chunk, index 0.
+        // (The outer chunk that runs on the caller thread may still fan out.)
+        if (on_worker) EXPECT_EQ(chunk, 0u);
+        total.fetch_add(static_cast<long>(inner_end - inner_begin),
+                        std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64L * 32L);
+}
+
+TEST(ParallelFor, NestedSubmitsToThePoolComplete) {
+  // submit() from inside a worker enqueues (never runs inline); a batch of
+  // fire-and-forget children must all run even when submitted by workers.
+  ThreadPool pool(2);
+  std::atomic<int> children{0};
+  std::atomic<int> pending{0};
+  std::vector<std::future<void>> parents;
+  for (int i = 0; i < 8; ++i) {
+    parents.push_back(pool.async([&] {
+      for (int j = 0; j < 4; ++j) {
+        pending.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([&] {
+          children.fetch_add(1, std::memory_order_relaxed);
+          pending.fetch_sub(1, std::memory_order_relaxed);
+        });
+      }
+    }));
+  }
+  for (auto& parent : parents) parent.get();
+  while (pending.load(std::memory_order_relaxed) != 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(children.load(), 32);
+}
+
+TEST(ThreadPool, DefaultThreadsHonoursEnvOverride) {
+  ::setenv("SOREL_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  EXPECT_EQ(resolve_threads(0), 3u);
+  EXPECT_EQ(resolve_threads(5), 5u);
+  ::setenv("SOREL_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);  // falls back to hardware
+  ::unsetenv("SOREL_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+}  // namespace
