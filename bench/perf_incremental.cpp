@@ -1,0 +1,116 @@
+// Incremental re-evaluation experiment: dependency-tracked invalidation
+// (EvalSession's default) versus the full-memo-clear baseline on a large
+// partitioned assembly under small-blast-radius deltas. Each step perturbs
+// one leaf attribute and re-queries the root: the baseline re-evaluates
+// every service, the tracked mode only the leaf, its group, and the root.
+// Output is machine-readable JSON — one object per mode with evaluations
+// per step and wall time, plus a comparison object — and the binary
+// self-checks the acceptance criteria: bit-identical pfail per step and an
+// evaluations-per-step reduction of at least 5x.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sorel/core/session.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::EvalSession;
+
+constexpr std::size_t kGroups = 16;
+constexpr std::size_t kLeaves = 16;
+constexpr std::size_t kSteps = 200;
+
+struct ModeResult {
+  std::string mode;
+  std::size_t evaluations = 0;  // engine evaluations over the delta steps
+  double seconds = 0.0;
+  std::vector<double> pfails;  // per-step results (for the bitwise check)
+};
+
+// Step i perturbs exactly one leaf attribute — a minimal blast radius that
+// still walks every group/leaf over the run.
+std::string step_attribute(std::size_t i) {
+  return "g" + std::to_string(i % kGroups) + "_s" +
+         std::to_string((i / kGroups) % kLeaves) + ".p";
+}
+
+ModeResult run_mode(const Assembly& assembly, bool track_dependencies) {
+  EvalSession::Options options;
+  options.engine.track_dependencies = track_dependencies;
+  EvalSession session(assembly, options);
+  session.pfail("app", {});  // warm the memo outside the measured region
+
+  ModeResult result;
+  result.mode = track_dependencies ? "dependency_tracked" : "full_clear";
+  result.pfails.reserve(kSteps);
+  const std::size_t evals_before = session.stats().evaluations;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kSteps; ++i) {
+    session.set_attribute(step_attribute(i),
+                          1e-4 + 1e-6 * static_cast<double>(i + 1));
+    result.pfails.push_back(session.pfail("app", {}));
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.evaluations = session.stats().evaluations - evals_before;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Assembly assembly =
+      sorel::scenarios::make_partitioned_assembly(kGroups, kLeaves);
+
+  const ModeResult baseline = run_mode(assembly, /*track_dependencies=*/false);
+  const ModeResult tracked = run_mode(assembly, /*track_dependencies=*/true);
+
+  bool bit_identical = baseline.pfails.size() == tracked.pfails.size();
+  for (std::size_t i = 0; bit_identical && i < baseline.pfails.size(); ++i) {
+    bit_identical = baseline.pfails[i] == tracked.pfails[i];
+  }
+  const double baseline_per_step =
+      static_cast<double>(baseline.evaluations) / kSteps;
+  const double tracked_per_step =
+      static_cast<double>(tracked.evaluations) / kSteps;
+  const double evaluations_ratio =
+      tracked.evaluations > 0
+          ? static_cast<double>(baseline.evaluations) /
+                static_cast<double>(tracked.evaluations)
+          : 0.0;
+  const double speedup =
+      tracked.seconds > 0.0 ? baseline.seconds / tracked.seconds : 0.0;
+
+  std::printf("[\n");
+  for (const ModeResult* r : {&baseline, &tracked}) {
+    std::printf("  {\"mode\": \"%s\", \"groups\": %zu, \"leaves\": %zu, "
+                "\"steps\": %zu, \"evaluations\": %zu, "
+                "\"evals_per_step\": %.2f, \"seconds\": %.4f},\n",
+                r->mode.c_str(), kGroups, kLeaves, kSteps, r->evaluations,
+                static_cast<double>(r->evaluations) / kSteps, r->seconds);
+  }
+  std::printf("  {\"evaluations_ratio\": %.1f, \"speedup\": %.2f, "
+              "\"bit_identical\": %s}\n]\n",
+              evaluations_ratio, speedup, bit_identical ? "true" : "false");
+
+  // Self-check: the full-clear baseline re-evaluates all 1 + G(1+L) keys
+  // per step, the tracked mode just 3 — anything under 5x or any result
+  // divergence is a regression.
+  if (!bit_identical) {
+    std::fprintf(stderr, "FAIL: modes disagree on pfail\n");
+    return 1;
+  }
+  if (evaluations_ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: evaluations ratio %.1f < 5.0 (baseline %.1f/step, "
+                 "tracked %.1f/step)\n",
+                 evaluations_ratio, baseline_per_step, tracked_per_step);
+    return 1;
+  }
+  return 0;
+}

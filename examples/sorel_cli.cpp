@@ -15,12 +15,16 @@
 //   sorel_cli simulate    <spec.json> <service> <replications> [arg...]
 //   sorel_cli select      <spec.json> <service> [arg...]
 //   sorel_cli uncertainty <spec.json> <service> [arg...]
+//   sorel_cli batch       <spec.json> <jobs.json>
 //   sorel_cli save        <spec.json>
 //   sorel_cli dot         <spec.json> [service]
 //
 // `select` ranks the candidate wirings declared in the document's
 // "selection" array; `uncertainty` propagates the attribute distributions
-// declared in its "uncertainty" object (see docs/FORMAT.md).
+// declared in its "uncertainty" object; `batch` evaluates a jobs file (an
+// array of {"service", "args", "attributes", "pfail_overrides"} queries, or
+// an object with such a "jobs" array) on the delta-based batch evaluator
+// and emits one JSON result line per job (see docs/FORMAT.md).
 //
 // `--threads N` (anywhere on the command line; also `--threads=N`) sets the
 // worker count for the many-evaluation commands — uncertainty, select,
@@ -42,6 +46,7 @@
 #include "sorel/core/uncertainty.hpp"
 #include "sorel/dsl/dot.hpp"
 #include "sorel/dsl/loader.hpp"
+#include "sorel/runtime/batch.hpp"
 #include "sorel/sim/simulator.hpp"
 #include "sorel/util/error.hpp"
 
@@ -61,6 +66,7 @@ int usage() {
                "  simulate    <spec> <service> <reps> [arg...]\n"
                "  select      <spec> <service> [arg...]  rank declared candidates\n"
                "  uncertainty <spec> <service> [arg...]  propagate declared bands\n"
+               "  batch       <spec> <jobs.json>         one JSON line per job\n"
                "  save        <spec>                     canonicalised document\n"
                "  dot         <spec> [service]           GraphViz output\n"
                "options:\n"
@@ -264,6 +270,64 @@ int cmd_uncertainty(const sorel::core::Assembly& assembly,
   return 0;
 }
 
+int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
+              std::size_t threads) {
+  const sorel::json::Value doc = sorel::json::parse_file(jobs_path);
+  const sorel::json::Value& jobs_value = doc.is_object() ? doc.at("jobs") : doc;
+  if (!jobs_value.is_array()) {
+    std::fprintf(stderr,
+                 "error: jobs file must be a JSON array of jobs or an object "
+                 "with a \"jobs\" array\n");
+    return 2;
+  }
+
+  std::vector<sorel::runtime::BatchJob> jobs;
+  jobs.reserve(jobs_value.size());
+  for (std::size_t i = 0; i < jobs_value.size(); ++i) {
+    const sorel::json::Value& entry = jobs_value.at(i);
+    sorel::runtime::BatchJob job;
+    job.service = entry.at("service").as_string();
+    if (entry.contains("args")) {
+      for (const sorel::json::Value& a : entry.at("args").as_array()) {
+        job.args.push_back(a.as_number());
+      }
+    }
+    if (entry.contains("attributes")) {
+      for (const auto& [name, value] : entry.at("attributes").as_object()) {
+        job.attribute_overrides[name] = value.as_number();
+      }
+    }
+    if (entry.contains("pfail_overrides")) {
+      for (const auto& [name, value] : entry.at("pfail_overrides").as_object()) {
+        job.pfail_overrides[name] = value.as_number();
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  sorel::runtime::BatchEvaluator::Options options;
+  options.threads = threads;
+  sorel::runtime::BatchEvaluator evaluator(assembly, options);
+  const auto results = evaluator.evaluate(jobs);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    sorel::json::Object line;
+    line["job"] = i;
+    line["service"] = jobs[i].service;
+    line["pfail"] = results[i].pfail;
+    line["reliability"] = results[i].reliability;
+    std::printf("%s\n", sorel::json::Value(std::move(line)).dump().c_str());
+  }
+  const auto& stats = evaluator.stats();
+  std::fprintf(stderr,
+               "batch: %zu jobs on %zu chunks, %zu evaluations, %zu memo hits, "
+               "%zu invalidated, %.3fs\n",
+               stats.jobs, stats.chunks, stats.engine_evaluations,
+               stats.engine_memo_hits, stats.engine_memo_invalidated,
+               stats.wall_seconds);
+  return 0;
+}
+
 int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
   if (service == nullptr) {
     std::printf("%s", sorel::dsl::assembly_to_dot(assembly).c_str());
@@ -310,6 +374,7 @@ int main(int argc, char** argv) {
       return cmd_dot(assembly, argc >= 4 ? argv[3] : nullptr);
     }
     if (argc < 4) return usage();
+    if (command == "batch") return cmd_batch(assembly, argv[3], threads);
     const std::string service = argv[3];
 
     if (command == "simulate") {

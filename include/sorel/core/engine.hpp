@@ -24,10 +24,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
@@ -53,6 +56,14 @@ class ReliabilityEngine {
     /// Used by importance analysis (Birnbaum measures pin a component to
     /// perfect / failed).
     std::map<std::string, double> pfail_overrides;
+    /// Record, per memoised result, which assembly attributes and port
+    /// bindings its evaluation (transitively) read, so that
+    /// apply_attribute_deltas() / invalidate_binding() drop only the
+    /// dependents of a change instead of the whole memo. When false those
+    /// calls degrade to the clear-everything behaviour of
+    /// refresh_attributes() (the pre-session baseline; also what
+    /// perf_incremental benchmarks against).
+    bool track_dependencies = true;
   };
 
   /// The engine keeps a reference to `assembly`; it must outlive the engine.
@@ -101,8 +112,15 @@ class ReliabilityEngine {
     std::size_t evaluations = 0;       // non-memoised service evaluations
     std::size_t memo_hits = 0;
     std::size_t fixpoint_iterations = 0;  // outer iterations (0 = acyclic)
+    /// Memo entries dropped by dependency-tracked invalidation
+    /// (apply_attribute_deltas / invalidate_binding); full clears
+    /// (clear_cache, refresh_attributes) are not counted here.
+    std::size_t memo_invalidated = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
+
+  /// Number of memoised (service, args) results currently held.
+  std::size_t memo_size() const noexcept { return memo_.size(); }
 
   /// Drop all memoised results (e.g. after Assembly::bind — the engine
   /// reads port bindings live from the assembly, so a rebind only needs the
@@ -119,12 +137,64 @@ class ReliabilityEngine {
   /// perfect/failed probes of importance analysis.
   void set_pfail_overrides(std::map<std::string, double> overrides);
 
+  /// The per-service pfail pins currently in effect.
+  const std::map<std::string, double>& pfail_overrides() const noexcept {
+    return options_.pfail_overrides;
+  }
+
+  // -- Delta-based incremental re-evaluation (the EvalSession substrate) --
+
+  /// Sparse attribute update: rebind the listed attributes in the engine's
+  /// environment snapshot (the assembly itself is not touched) and drop
+  /// only the memoised results whose evaluation (transitively) read one of
+  /// the changed attributes. Deltas equal to the current value are no-ops.
+  /// Returns the number of memo entries invalidated. Throws
+  /// sorel::LookupError for attributes the snapshot does not define. With
+  /// Options::track_dependencies == false this clears the whole memo
+  /// whenever any value actually changed — the refresh_attributes()
+  /// baseline.
+  std::size_t apply_attribute_deltas(const std::map<std::string, double>& deltas);
+
+  /// Drop the memoised results whose evaluation (transitively) consulted
+  /// the binding of `port` on composite `service` — call after
+  /// Assembly::bind rewires a selection point. Returns the number of memo
+  /// entries invalidated (0 when no cached result ever consulted the
+  /// binding). Degrades to clear_cache() when dependency tracking is off.
+  std::size_t invalidate_binding(std::string_view service, std::string_view port);
+
+  /// Current engine-side value of an attribute: the construction-time
+  /// snapshot overlaid with every apply_attribute_deltas() since.
+  std::optional<double> attribute(std::string_view name) const {
+    return base_env_.lookup(name);
+  }
+
  private:
   using Key = std::pair<const Service*, std::vector<double>>;
 
+  // Dependency universe: one bit per assembly attribute (ids assigned from
+  // the environment snapshot) and, above those, one bit per consulted
+  // (service, port) binding (ids assigned lazily at first consultation).
+  using DepId = std::uint32_t;
+  class DepSet {
+   public:
+    void set(DepId id);
+    void merge(const DepSet& other);
+    bool intersects(const DepSet& other) const noexcept;
+    bool any() const noexcept { return !words_.empty(); }
+    void clear() noexcept { words_.clear(); }
+
+   private:
+    std::vector<std::uint64_t> words_;  // trailing zero words elided
+  };
+
+  struct MemoEntry {
+    double value = 0.0;
+    DepSet deps;  // transitive closure: own reads plus every child's
+  };
+
   std::vector<std::vector<std::pair<FlowStateId, double>>> evaluate_rows(
       const Service& service, const std::vector<double>& args,
-      const expr::Env& env) const;
+      const expr::Env& env);
   static std::vector<bool> reachable_states(
       const FlowGraph& flow,
       const std::vector<std::vector<std::pair<FlowStateId, double>>>& rows);
@@ -139,16 +209,36 @@ class ReliabilityEngine {
   double request_external_pfail(const CompositeService& service,
                                 const ServiceRequest& request, const expr::Env& env);
 
+  // Dependency recording: while a (service, args) key is being evaluated, a
+  // frame on dep_stack_ accumulates the attribute/binding ids it reads;
+  // completed children merge their stored closure into the open frame.
+  // All three are no-ops when track_dependencies is off or no frame is open
+  // (failure_modes / augmented_flow evaluate their root outside the memo).
+  void note_expr_deps(const expr::Expr& e);
+  void note_internal_failure_deps(const InternalFailure& internal);
+  void note_binding_dep(const std::string& service, const std::string& port);
+  void rebuild_attribute_ids();
+  std::size_t invalidate_intersecting(const DepSet& changed);
+
   expr::Env base_env_;  // assembly attributes, snapshotted at construction
   const Assembly& assembly_;
   Options options_;
   Stats stats_;
 
-  std::map<Key, double> memo_;
+  std::map<Key, MemoEntry> memo_;
   std::vector<Key> stack_;              // in-progress evaluations (cycle check)
+  std::vector<DepSet> dep_stack_;       // open dependency frames (parallel)
   std::map<Key, double> assumed_;       // fixed-point estimates for cyclic keys
   std::set<Key> cyclic_keys_;           // keys consulted while on the stack
   bool recursion_hit_ = false;
+
+  std::map<std::string, DepId, std::less<>> attribute_ids_;
+  std::map<std::pair<std::string, std::string>, DepId> binding_ids_;
+  DepId next_binding_id_ = 0;  // == attribute_ids_.size() + bindings seen
+  // Per-expression attribute reads, keyed by the shared immutable AST node;
+  // computed once per node per engine (expressions are evaluated millions of
+  // times in the sampling hot loops, their variable sets never change).
+  std::unordered_map<const void*, DepSet> expr_deps_;
 };
 
 }  // namespace sorel::core

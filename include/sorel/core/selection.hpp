@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 
 namespace sorel::core {
 
@@ -44,16 +45,32 @@ struct RankedAssembly {
   double score = 0.0;
 };
 
+/// Knobs of rank_assemblies. The execution knobs are inherited from
+/// runtime::ExecPolicy — `options.threads` splits the combination range
+/// across workers (0 = as many as the hardware allows; SOREL_THREADS
+/// overrides); `seed` is unused (selection is deterministic).
+struct SelectionOptions : runtime::ExecPolicy {
+  SelectionObjective objective;
+  /// Hard cap on the cartesian product — selection is exhaustive by design;
+  /// prune the candidate lists instead of raising this blindly.
+  std::size_t max_combinations = 4096;
+};
+
 /// Enumerate every combination of candidates (cartesian product, bounded by
-/// `max_combinations`), evaluate each wiring, and return the ranking (best
-/// score first). Throws sorel::InvalidArgument when there are no selection
-/// points, a candidate list is empty, or the product exceeds the bound —
-/// selection is exhaustive by design; prune the candidate lists instead.
-/// `threads` splits the combination range across workers (0 = as many as
-/// the hardware allows; SOREL_THREADS overrides); each worker keeps one
-/// mutable Assembly copy and one engine, rebinding only the selection-point
-/// ports between combinations, and results are identical for every thread
-/// count.
+/// `options.max_combinations`), evaluate each wiring, and return the ranking
+/// (best score first). Throws sorel::InvalidArgument when there are no
+/// selection points, a candidate list is empty, or the product exceeds the
+/// bound. Each worker keeps one mutable Assembly copy and one EvalSession,
+/// rebinding only the selection-point ports whose choice changed between
+/// consecutive combinations — a rebind drops just the memoised results that
+/// consulted that binding, so shared substructure stays warm across the
+/// whole chunk. Results are identical for every thread count.
+std::vector<RankedAssembly> rank_assemblies(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<SelectionPoint>& points,
+    const SelectionOptions& options);
+
+/// Back-compat spelling: objective/bound/threads as loose parameters.
 std::vector<RankedAssembly> rank_assemblies(
     const Assembly& assembly, std::string_view service_name,
     const std::vector<double>& args, const std::vector<SelectionPoint>& points,

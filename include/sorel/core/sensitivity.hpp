@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 
 namespace sorel::core {
 
@@ -18,17 +20,40 @@ struct AttributeSensitivity {
   double elasticity;   // (attr / R) * derivative — dimensionless ranking
 };
 
+/// Knobs of attribute_sensitivities. `relative_step` scales the
+/// perturbation: h = max(|value|, 1e-12) * relative_step. The default step
+/// is deliberately coarse (1e-2): reliabilities live near 1.0, so the
+/// numerator R(a+h) − R(a−h) must stay well above the ~1e-16 absolute noise
+/// floor; reliability curves are smooth enough that the truncation error of
+/// a coarse central difference is negligible by comparison.
+/// The execution knobs are inherited from runtime::ExecPolicy —
+/// `options.threads` splits the attribute list across workers; `seed` is
+/// unused (the analysis is deterministic).
+struct SensitivityOptions : runtime::ExecPolicy {
+  double relative_step = 1e-2;
+};
+
 /// Central-difference sensitivity of system reliability to every assembly
-/// attribute (or to `attributes` when non-empty). `relative_step` scales the
-/// perturbation: h = max(|value|, 1e-12) * relative_step. The default step is
-/// deliberately coarse (1e-2): reliabilities live near 1.0, so the numerator
-/// R(a+h) − R(a−h) must stay well above the ~1e-16 absolute noise floor;
-/// reliability curves are smooth enough that the truncation error of a
-/// coarse central difference is negligible by comparison. Results sorted by
-/// |derivative| descending.
-/// `threads` splits the attribute list across workers (0 = as many as the
-/// hardware allows; SOREL_THREADS overrides); results are identical for
-/// every thread count.
+/// attribute (or to `attributes` when non-empty), sorted by |derivative|
+/// descending. Results are identical for every thread count. Each worker
+/// probes through one EvalSession over the shared assembly, so a ±h nudge
+/// re-evaluates only the attribute's dependents.
+std::vector<AttributeSensitivity> attribute_sensitivities(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const SensitivityOptions& options,
+    const std::vector<std::string>& attributes = {});
+
+/// Same probes on a caller-provided warm session (no Assembly::validate(),
+/// no engine build; the memo carries over). Derivatives are taken at the
+/// *session's* current attribute values, not the assembly defaults. Serial
+/// on the calling thread; `options.threads` is ignored. The session's
+/// attribute state is restored before returning.
+std::vector<AttributeSensitivity> attribute_sensitivities(
+    EvalSession& session, std::string_view service_name,
+    const std::vector<double>& args, const SensitivityOptions& options = {},
+    const std::vector<std::string>& attributes = {});
+
+/// Back-compat spelling: (relative_step, threads) as loose parameters.
 std::vector<AttributeSensitivity> attribute_sensitivities(
     const Assembly& assembly, std::string_view service_name,
     const std::vector<double>& args, const std::vector<std::string>& attributes = {},
@@ -47,7 +72,22 @@ struct ComponentImportance {
 
 /// Birnbaum importance of each listed component (every registered service
 /// when `components` is empty, excluding the analysed service itself).
-/// `threads` as in attribute_sensitivities.
+/// `exec.threads` splits the component list across workers; results are
+/// identical for every thread count.
+std::vector<ComponentImportance> component_importances(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const runtime::ExecPolicy& exec,
+    const std::vector<std::string>& components = {});
+
+/// Importance probes on a caller-provided warm session. Serial on the
+/// calling thread. The session's pfail overrides are replaced during the
+/// probes and cleared before returning.
+std::vector<ComponentImportance> component_importances(
+    EvalSession& session, std::string_view service_name,
+    const std::vector<double>& args,
+    const std::vector<std::string>& components = {});
+
+/// Back-compat spelling: threads as a loose parameter.
 std::vector<ComponentImportance> component_importances(
     const Assembly& assembly, std::string_view service_name,
     const std::vector<double>& args, const std::vector<std::string>& components = {},

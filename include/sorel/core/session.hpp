@@ -1,0 +1,124 @@
+// EvalSession: the delta-based evaluation surface over one assembly.
+//
+// The paper's central lever is parametric composition: each service's Pfail
+// depends only on the attributes its published laws actually mention. The
+// session exploits that locality. Construct once per assembly (one
+// Assembly::validate(), one engine build), then apply sparse attribute
+// deltas and query pfail/reliability/failure_modes through it:
+//
+//   EvalSession session(assembly);
+//   double r0 = session.reliability("app", {1e6});
+//   session.set_attributes({{"cpu1.lambda", 2e-9}});   // sparse delta
+//   double r1 = session.reliability("app", {1e6});     // re-evaluates only
+//                                                      // cpu1's dependents
+//
+// Under the hood the engine records, per memoised (service, args) result,
+// the set of assembly attributes and port bindings its evaluation
+// (transitively) read; a delta invalidates only the transitive dependents
+// instead of clearing the whole memo. Per-delta cost is therefore
+// proportional to the changed attributes' blast radius, not to assembly
+// size — the uncertainty/sensitivity/selection hot loops and
+// runtime::BatchEvaluator all run on sessions (one per worker).
+//
+// Deltas live in the session (engine snapshot), never in the assembly:
+// many sessions over one shared const Assembly are independent, which is
+// what makes one-session-per-worker safe without copying the assembly.
+// A session, like the engine, is single-threaded; parallel analyses hold
+// one session per worker chunk.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/core/engine.hpp"
+
+namespace sorel::core {
+
+class EvalSession {
+ public:
+  struct Options {
+    /// Engine configuration. engine.track_dependencies selects between
+    /// dependency-tracked invalidation (default) and the full-memo-clear
+    /// baseline every delta (what refresh_attributes() used to cost).
+    ReliabilityEngine::Options engine;
+  };
+
+  /// Keeps a reference to `assembly`; it must outlive the session. Validates
+  /// the assembly once, up front.
+  explicit EvalSession(const Assembly& assembly);
+  EvalSession(const Assembly& assembly, Options options);
+
+  // -- Deltas -----------------------------------------------------------
+
+  /// Layer sparse attribute deltas onto the session's current state and
+  /// invalidate only their transitive dependents. Values equal to the
+  /// current state are no-ops. Returns the number of memoised results
+  /// invalidated. Throws sorel::LookupError for attributes the assembly
+  /// does not define (and leaves the session state untouched in that case).
+  std::size_t set_attributes(const std::map<std::string, double>& deltas);
+
+  /// Single-attribute convenience for sensitivity-style probes.
+  std::size_t set_attribute(std::string_view name, double value);
+
+  /// Make the session's attribute state exactly `assembly defaults +
+  /// overrides`: previously overridden attributes absent from `overrides`
+  /// revert to their assembly values. Internally reduced to the sparse
+  /// delta between the two states — the per-job path of BatchEvaluator and
+  /// the per-sample path of propagate_uncertainty.
+  std::size_t rebase_attributes(const std::map<std::string, double>& overrides);
+
+  /// Revert every session delta: rebase_attributes({}).
+  std::size_t reset_attributes();
+
+  /// Replace the engine's per-service pfail pins (importance probes).
+  /// Clears the whole memo — overrides bypass dependency recording.
+  void set_pfail_overrides(std::map<std::string, double> overrides);
+
+  /// The per-service pfail pins currently in effect.
+  const std::map<std::string, double>& pfail_overrides() const noexcept {
+    return engine_.pfail_overrides();
+  }
+
+  /// After Assembly::bind rewired `port` of `service` on the session's
+  /// assembly: drop exactly the memoised results that consulted that
+  /// binding (the selection hot path). Returns entries invalidated.
+  std::size_t invalidate_binding(std::string_view service, std::string_view port);
+
+  // -- Queries ----------------------------------------------------------
+
+  double pfail(std::string_view service_name, const std::vector<double>& args);
+  double reliability(std::string_view service_name, const std::vector<double>& args);
+  ReliabilityEngine::FailureModes failure_modes(std::string_view service_name,
+                                                const std::vector<double>& args);
+
+  /// Current session-side value of an attribute (assembly defaults overlaid
+  /// with every delta applied so far); nullopt for unknown names.
+  std::optional<double> attribute(std::string_view name) const;
+
+  /// The deltas currently in effect relative to the assembly's own values.
+  const std::map<std::string, double>& attribute_overlay() const noexcept {
+    return overlay_;
+  }
+
+  const ReliabilityEngine::Stats& stats() const noexcept { return engine_.stats(); }
+  std::size_t memo_size() const noexcept { return engine_.memo_size(); }
+  const Assembly& assembly() const noexcept { return assembly_; }
+
+  /// The underlying engine — escape hatch for augmented_flow and other
+  /// APIs not mirrored here. Deltas applied through the session are visible
+  /// to it; mutating the engine directly bypasses overlay bookkeeping.
+  ReliabilityEngine& engine() noexcept { return engine_; }
+
+ private:
+  const Assembly& assembly_;
+  expr::Env base_;                        // assembly defaults, snapshotted once
+  std::map<std::string, double> overlay_;  // current deltas vs base_
+  ReliabilityEngine engine_;
+};
+
+}  // namespace sorel::core

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 #include "sorel/util/stats.hpp"
 
 namespace sorel::core {
@@ -41,14 +43,19 @@ struct AttributeDistribution {
   static AttributeDistribution log_normal(double log_mean, double log_stddev);
 };
 
-struct UncertaintyOptions {
+/// The execution knobs (`threads`, `seed`) are inherited from
+/// runtime::ExecPolicy — the shared policy struct of every parallel
+/// analysis. The old per-struct spellings `options.threads` /
+/// `options.seed` still compile (they *are* the policy fields now); prefer
+/// writing through `exec()` in new code. Sample i always draws from the RNG
+/// substream (seed, i) and the reduction runs in index order, so every
+/// thread count produces bit-identical results.
+struct UncertaintyOptions : runtime::ExecPolicy {
+  UncertaintyOptions() { seed = 7; }
   std::size_t samples = 1'000;
-  std::uint64_t seed = 7;
-  /// Worker chunks for the sampling loop; 0 = as many as the hardware
-  /// allows (SOREL_THREADS overrides). Sample i always draws from the RNG
-  /// substream (seed, i) and the reduction runs in index order, so every
-  /// thread count produces bit-identical results.
-  std::size_t threads = 0;
+
+  runtime::ExecPolicy& exec() noexcept { return *this; }
+  const runtime::ExecPolicy& exec() const noexcept { return *this; }
 };
 
 struct UncertaintyResult {
@@ -65,8 +72,26 @@ struct UncertaintyResult {
 /// `reliability_target`, when positive, additionally estimates
 /// P(R >= target). Throws sorel::LookupError for attributes the assembly
 /// does not define and sorel::InvalidArgument for malformed distributions.
+/// Each worker chunk holds one EvalSession over the shared assembly; sample
+/// deltas invalidate only the perturbed attributes' dependents, so
+/// per-sample cost tracks the uncertain attributes' blast radius rather
+/// than assembly size.
 UncertaintyResult propagate_uncertainty(
     const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args,
+    const std::map<std::string, AttributeDistribution>& uncertain_attributes,
+    const UncertaintyOptions& options = {}, double reliability_target = -1.0);
+
+/// Same propagation on a caller-provided warm session: no
+/// Assembly::validate(), no engine build, and the session's memo carries
+/// over between calls. Attributes outside the uncertain set keep the
+/// session's current values throughout the sampling (the samples are drawn
+/// around the session state, not the assembly defaults). Runs every sample
+/// on the calling thread (a session is single-threaded; `options.threads`
+/// is ignored) but the draws are the assembly overload's at any thread
+/// count. The session's attribute state is restored before returning.
+UncertaintyResult propagate_uncertainty(
+    EvalSession& session, std::string_view service_name,
     const std::vector<double>& args,
     const std::map<std::string, AttributeDistribution>& uncertain_attributes,
     const UncertaintyOptions& options = {}, double reliability_target = -1.0);

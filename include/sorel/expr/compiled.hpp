@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sorel/expr/expr.hpp"
@@ -30,6 +31,18 @@ class CompiledExpr {
 
   std::size_t instruction_count() const noexcept { return program_.size(); }
   std::size_t variable_count() const noexcept { return variable_count_; }
+
+  /// The layout the program was compiled against, in slot order.
+  const std::vector<std::string>& layout() const noexcept { return layout_; }
+
+  /// Names of the layout slots the program actually loads (the compiled
+  /// analogue of Expr::variables()), in slot order. A layout may be wider
+  /// than the expression; delta-based re-evaluation only needs to re-run the
+  /// program when one of *these* inputs changed.
+  std::vector<std::string> referenced_variables() const;
+
+  /// True iff the program loads the slot bound to `name`.
+  bool references(std::string_view name) const;
 
   // Implementation detail, public so the compiler helpers can build
   // programs; not part of the supported API surface.
@@ -61,6 +74,7 @@ class CompiledExpr {
                               const std::vector<std::string>& layout);
 
   std::vector<Instruction> program_;  // postfix order
+  std::vector<std::string> layout_;   // slot -> variable name
   std::size_t max_stack_ = 0;
   std::size_t variable_count_ = 0;
 };

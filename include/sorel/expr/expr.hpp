@@ -61,6 +61,11 @@ class Expr {
   /// Free variables of the expression.
   std::set<std::string> variables() const;
 
+  /// True iff `name` occurs as a free variable. Early-exit tree walk — no
+  /// allocation; the dependency-tracked evaluation session uses this to
+  /// decide whether an attribute delta can affect a published law.
+  bool references(std::string_view name) const;
+
   /// True iff the expression has no free variables.
   bool is_constant() const;
 

@@ -4,9 +4,12 @@
 // analyses turn between queries: assembly-attribute overrides (uncertainty
 // sampling, sensitivity probes) and per-service pfail pins (importance
 // measures). Jobs are embarrassingly parallel; the evaluator runs them on
-// the sorel::runtime thread pool with one Assembly copy and one
-// ReliabilityEngine per worker chunk (one validate() per worker, not per
-// job) and returns results in input order regardless of thread count.
+// the sorel::runtime thread pool with one core::EvalSession per worker
+// chunk over the *shared* assembly (one validate() per worker, not per job;
+// deltas live in the session, so no Assembly copies) and returns results in
+// input order regardless of thread count. Consecutive jobs on a worker are
+// sparse re-bases: only the memoised results depending on attributes that
+// actually changed between jobs are re-evaluated.
 #pragma once
 
 #include <cstddef>
@@ -43,6 +46,9 @@ struct BatchStats {
   std::size_t chunks = 0;                // worker chunks the batch ran on
   std::size_t engine_evaluations = 0;    // non-memoised service evaluations
   std::size_t engine_memo_hits = 0;
+  /// Memo entries dropped by dependency-tracked invalidation between jobs
+  /// (0 when Options::engine.track_dependencies is off).
+  std::size_t engine_memo_invalidated = 0;
   double wall_seconds = 0.0;             // whole-batch elapsed time
 };
 

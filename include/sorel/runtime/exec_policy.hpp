@@ -1,0 +1,28 @@
+// ExecPolicy: the shared execution knobs of every parallel analysis.
+//
+// UncertaintyOptions, SensitivityOptions, SelectionOptions, and
+// SimulationOptions used to duplicate `threads`/`seed` fields; they now all
+// derive from this one struct, so the old spellings (`options.threads`,
+// `options.seed`) keep compiling while the policy can be passed around as a
+// unit (e.g. from a CLI flag into every analysis call).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sorel::runtime {
+
+struct ExecPolicy {
+  /// Worker chunks for the analysis' parallel loop; 0 = as many as the
+  /// hardware allows (the SOREL_THREADS environment variable overrides the
+  /// 0 default, see sorel::runtime::ThreadPool). Deterministic analyses
+  /// produce bit-identical results for every value.
+  std::size_t threads = 0;
+
+  /// Base seed for analyses that draw random numbers; item i always draws
+  /// from the RNG substream (seed, i) regardless of chunking. Ignored by
+  /// deterministic analyses (sensitivity, selection).
+  std::uint64_t seed = 0;
+};
+
+}  // namespace sorel::runtime

@@ -34,6 +34,19 @@ core::Assembly make_fan_assembly(std::size_t n, core::CompletionModel completion
                                  double phi = 1e-4, double lambda = 1e-9,
                                  double speed = 1e9);
 
+/// A two-level partitioned assembly for delta/blast-radius workloads:
+/// `groups` group composites, each aggregating `leaves_per_group` leaf
+/// services whose unreliability is a *distinct* per-leaf attribute
+/// ("g<i>_s<j>.p", default `leaf_pfail`). Root service: "app" (no formals)
+/// — a single AND state calling every group; each group's single AND state
+/// calls its leaves. A delta to one leaf attribute dirties exactly three
+/// memoised results (the leaf, its group, the root) out of
+/// 1 + groups·(1 + leaves_per_group) — the workload that separates
+/// dependency-tracked invalidation from a full memo clear.
+core::Assembly make_partitioned_assembly(std::size_t groups,
+                                         std::size_t leaves_per_group,
+                                         double leaf_pfail = 1e-4);
+
 /// Two mutually recursive services: "ping" calls "pong" with probability
 /// `p_recurse` (else finishes), and "pong" always calls "ping"; both also
 /// consume cpu work. The exact unreliability is computable in closed form

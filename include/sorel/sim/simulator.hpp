@@ -22,23 +22,25 @@
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 #include "sorel/util/rng.hpp"
 #include "sorel/util/stats.hpp"
 
 namespace sorel::sim {
 
-struct SimulationOptions {
+/// The execution knobs (`threads`, `seed`) are inherited from
+/// runtime::ExecPolicy — the shared policy struct of every parallel
+/// analysis; the old spellings `options.threads` / `options.seed` are the
+/// policy fields themselves. Replication i always draws from the RNG
+/// substream (seed, i), so every thread count — including 1 — produces
+/// identical counts.
+struct SimulationOptions : runtime::ExecPolicy {
+  SimulationOptions() { seed = 42; }
   std::size_t replications = 100'000;
-  std::uint64_t seed = 42;
   /// Abort a single replication when the invocation tree exceeds this depth
   /// (defensive bound for recursive assemblies); the replication counts as a
   /// failure, which is conservative.
   std::size_t max_depth = 10'000;
-  /// Worker chunks for the replication loop; 0 = as many as the hardware
-  /// allows (SOREL_THREADS overrides). Replication i always draws from the
-  /// RNG substream (seed, i), so every thread count — including 1 —
-  /// produces identical counts.
-  std::size_t threads = 0;
 };
 
 struct SimulationResult {

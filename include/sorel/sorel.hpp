@@ -4,9 +4,9 @@
 //
 // Module map (each header is also usable standalone):
 //   core/      the paper's contribution — analytic interfaces, services,
-//              connectors, assemblies, the reliability engine, and the
-//              extensions (failure modes, performance, selection,
-//              sensitivity, uncertainty)
+//              connectors, assemblies, the reliability engine, the
+//              delta-based EvalSession, and the extensions (failure modes,
+//              performance, selection, sensitivity, uncertainty)
 //   expr/      symbolic expressions over formal parameters and attributes
 //   markov/    DTMCs and absorbing-chain analysis
 //   linalg/    the dense/sparse linear-algebra substrate
@@ -32,6 +32,7 @@
 #include "sorel/core/selection.hpp"
 #include "sorel/core/sensitivity.hpp"
 #include "sorel/core/service.hpp"
+#include "sorel/core/session.hpp"
 #include "sorel/core/state_failure.hpp"
 #include "sorel/core/uncertainty.hpp"
 #include "sorel/dsl/dot.hpp"
@@ -49,6 +50,7 @@
 #include "sorel/markov/absorbing.hpp"
 #include "sorel/markov/dtmc.hpp"
 #include "sorel/runtime/batch.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 #include "sorel/runtime/parallel_for.hpp"
 #include "sorel/runtime/thread_pool.hpp"
 #include "sorel/sim/simulator.hpp"

@@ -25,18 +25,151 @@ double clamp_probability(double p, const std::string& context) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Dependency sets
+// ---------------------------------------------------------------------------
+
+void ReliabilityEngine::DepSet::set(DepId id) {
+  const std::size_t word = id / 64;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  words_[word] |= std::uint64_t{1} << (id % 64);
+}
+
+void ReliabilityEngine::DepSet::merge(const DepSet& other) {
+  if (other.words_.size() > words_.size()) words_.resize(other.words_.size(), 0);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+bool ReliabilityEngine::DepSet::intersects(const DepSet& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+void ReliabilityEngine::rebuild_attribute_ids() {
+  attribute_ids_.clear();
+  binding_ids_.clear();
+  expr_deps_.clear();
+  DepId id = 0;
+  for (const auto& [name, value] : base_env_.bindings()) {
+    (void)value;
+    attribute_ids_.emplace(name, id++);
+  }
+  next_binding_id_ = id;
+}
+
+// Union the attribute ids read by `e` into the open dependency frame. A
+// formal parameter shadowing an attribute name records a spurious attribute
+// dependency — over-invalidation is harmless, missing one is not.
+void ReliabilityEngine::note_expr_deps(const expr::Expr& e) {
+  if (!options_.track_dependencies || dep_stack_.empty()) return;
+  const void* node = &e.node();
+  auto it = expr_deps_.find(node);
+  if (it == expr_deps_.end()) {
+    DepSet deps;
+    for (const std::string& variable : e.variables()) {
+      const auto attr = attribute_ids_.find(variable);
+      if (attr != attribute_ids_.end()) deps.set(attr->second);
+    }
+    it = expr_deps_.emplace(node, std::move(deps)).first;
+  }
+  if (it->second.any()) dep_stack_.back().merge(it->second);
+}
+
+void ReliabilityEngine::note_internal_failure_deps(const InternalFailure& internal) {
+  switch (internal.kind()) {
+    case InternalFailure::Kind::kNone:
+      return;
+    case InternalFailure::Kind::kConstant:
+      note_expr_deps(internal.p());
+      return;
+    case InternalFailure::Kind::kPerOperation:
+      note_expr_deps(internal.phi());
+      note_expr_deps(internal.count());
+      return;
+  }
+}
+
+void ReliabilityEngine::note_binding_dep(const std::string& service,
+                                         const std::string& port) {
+  if (!options_.track_dependencies || dep_stack_.empty()) return;
+  const auto [it, inserted] =
+      binding_ids_.try_emplace({service, port}, next_binding_id_);
+  if (inserted) ++next_binding_id_;
+  dep_stack_.back().set(it->second);
+}
+
+std::size_t ReliabilityEngine::invalidate_intersecting(const DepSet& changed) {
+  std::size_t dropped = 0;
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    if (it->second.deps.intersects(changed)) {
+      it = memo_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.memo_invalidated += dropped;
+  return dropped;
+}
+
+std::size_t ReliabilityEngine::apply_attribute_deltas(
+    const std::map<std::string, double>& deltas) {
+  DepSet changed;
+  bool any_change = false;
+  for (const auto& [name, value] : deltas) {
+    const auto it = attribute_ids_.find(name);
+    if (it == attribute_ids_.end()) {
+      throw LookupError("attribute '" + name +
+                        "' is not defined in the assembly");
+    }
+    const auto current = base_env_.lookup(name);
+    if (current && *current == value) continue;  // no-op delta
+    base_env_.set(name, value);
+    changed.set(it->second);
+    any_change = true;
+  }
+  if (!any_change) return 0;
+  if (!options_.track_dependencies) {
+    const std::size_t dropped = memo_.size();
+    clear_cache();
+    return dropped;
+  }
+  return invalidate_intersecting(changed);
+}
+
+std::size_t ReliabilityEngine::invalidate_binding(std::string_view service,
+                                                  std::string_view port) {
+  if (!options_.track_dependencies) {
+    const std::size_t dropped = memo_.size();
+    clear_cache();
+    return dropped;
+  }
+  const auto it =
+      binding_ids_.find({std::string(service), std::string(port)});
+  if (it == binding_ids_.end()) return 0;  // never consulted by a cached result
+  DepSet changed;
+  changed.set(it->second);
+  return invalidate_intersecting(changed);
+}
+
 // Rows of the flow's transition matrix evaluated under `env`, indexed by
 // flow state id. Validates stochasticity of every non-End row.
 std::vector<std::vector<std::pair<FlowStateId, double>>>
 ReliabilityEngine::evaluate_rows(const Service& service,
                                  const std::vector<double>& args,
-                                 const expr::Env& env) const {
+                                 const expr::Env& env) {
   const FlowGraph& flow = *service.flow();
   std::vector<std::vector<std::pair<FlowStateId, double>>> rows(flow.state_count() +
                                                                 2);
   const auto fill_row = [&](FlowStateId from) {
     double row_sum = 0.0;
     for (const auto& t : flow.transitions_from(from)) {
+      note_expr_deps(t.probability);
       const double p = clamp_probability(
           t.probability.eval(env), "transition probability out of '" +
                                        flow.state_name(from) + "' in service '" +
@@ -89,6 +222,7 @@ ReliabilityEngine::ReliabilityEngine(const Assembly& assembly, Options options)
       assembly_(assembly),
       options_(std::move(options)) {
   assembly_.validate();
+  rebuild_attribute_ids();
 }
 
 double ReliabilityEngine::pfail(std::string_view service_name,
@@ -112,7 +246,8 @@ double ReliabilityEngine::pfail(std::string_view service_name,
       const auto it = memo_.find(key);
       if (it == memo_.end()) continue;  // not reached this round
       const double previous = assumed_.count(key) ? assumed_[key] : 0.0;
-      const double updated = previous + options_.damping * (it->second - previous);
+      const double updated =
+          previous + options_.damping * (it->second.value - previous);
       max_delta = std::max(max_delta, std::fabs(updated - previous));
       assumed_[key] = updated;
     }
@@ -242,6 +377,10 @@ void ReliabilityEngine::clear_cache() {
 
 void ReliabilityEngine::refresh_attributes() {
   base_env_ = assembly_.attribute_env();
+  // The attribute set itself may have changed (Assembly::set_attribute can
+  // introduce names), so the id universe — and the per-expression dep cache
+  // keyed against it — must be rebuilt along with the full memo clear.
+  rebuild_attribute_ids();
   clear_cache();
 }
 
@@ -268,10 +407,16 @@ double ReliabilityEngine::pfail_cached(const Service& service,
   Key key{&service, args};
   if (const auto it = memo_.find(key); it != memo_.end()) {
     ++stats_.memo_hits;
-    return it->second;
+    // The parent's result depends on everything this cached child read.
+    if (options_.track_dependencies && !dep_stack_.empty()) {
+      dep_stack_.back().merge(it->second.deps);
+    }
+    return it->second.value;
   }
 
-  // Cycle?
+  // Cycle? (Cyclic evaluations never leave memo entries behind — pfail()
+  // clears the memo after every fixed-point solve — so the dependency
+  // closure only has to be right for acyclic keys.)
   for (const Key& open : stack_) {
     if (open == key) {
       if (!options_.allow_recursion) {
@@ -288,15 +433,24 @@ double ReliabilityEngine::pfail_cached(const Service& service,
   }
 
   stack_.push_back(key);
+  dep_stack_.emplace_back();
   double result;
   try {
     result = evaluate(service, args);
   } catch (...) {
     stack_.pop_back();
+    dep_stack_.pop_back();
     throw;
   }
   stack_.pop_back();
-  memo_.emplace(std::move(key), result);
+  MemoEntry entry;
+  entry.value = result;
+  entry.deps = std::move(dep_stack_.back());
+  dep_stack_.pop_back();
+  if (options_.track_dependencies && !dep_stack_.empty()) {
+    dep_stack_.back().merge(entry.deps);  // close the transitive closure
+  }
+  memo_.emplace(std::move(key), std::move(entry));
   return result;
 }
 
@@ -308,6 +462,7 @@ double ReliabilityEngine::evaluate(const Service& service,
     for (std::size_t i = 0; i < args.size(); ++i) {
       env.set(simple->formals()[i].name, args[i]);
     }
+    note_expr_deps(simple->pfail_expr());
     return clamp_probability(simple->pfail_expr().eval(env),
                              "Pfail of simple service '" + service.name() + "'");
   }
@@ -391,6 +546,7 @@ double ReliabilityEngine::state_pfail(const CompositeService& service,
   failures.reserve(state.requests.size());
   for (const ServiceRequest& request : state.requests) {
     RequestFailure rf;
+    note_internal_failure_deps(request.internal);
     rf.internal = request.internal.pfail(env);
     rf.external = request_external_pfail(service, request, env);
     failures.push_back(rf);
@@ -402,12 +558,14 @@ double ReliabilityEngine::state_pfail(const CompositeService& service,
 double ReliabilityEngine::request_external_pfail(const CompositeService& service,
                                                  const ServiceRequest& request,
                                                  const expr::Env& env) {
+  note_binding_dep(service.name(), request.port);
   const PortBinding& bind = assembly_.binding(service.name(), request.port);
   const ServicePtr& target = assembly_.service(bind.target);
 
   std::vector<double> child_args;
   child_args.reserve(request.actuals.size());
   for (const expr::Expr& actual : request.actuals) {
+    note_expr_deps(actual);
     child_args.push_back(actual.eval(env));
   }
   const double service_pfail = pfail_cached(*target, child_args);
@@ -427,6 +585,7 @@ double ReliabilityEngine::request_external_pfail(const CompositeService& service
     std::vector<double> conn_args;
     conn_args.reserve(actual_exprs.size());
     for (const expr::Expr& actual : actual_exprs) {
+      note_expr_deps(actual);
       conn_args.push_back(actual.eval(conn_env));
     }
     connector_pfail = pfail_cached(*connector, conn_args);

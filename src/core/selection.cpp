@@ -4,8 +4,8 @@
 #include <optional>
 #include <string>
 
-#include "sorel/core/engine.hpp"
 #include "sorel/core/performance.hpp"
+#include "sorel/core/session.hpp"
 #include "sorel/runtime/parallel_for.hpp"
 #include "sorel/util/error.hpp"
 
@@ -25,9 +25,8 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
                                             std::string_view service_name,
                                             const std::vector<double>& args,
                                             const std::vector<SelectionPoint>& points,
-                                            const SelectionObjective& objective,
-                                            std::size_t max_combinations,
-                                            std::size_t threads) {
+                                            const SelectionOptions& options) {
+  const SelectionObjective& objective = options.objective;
   if (points.empty()) {
     throw InvalidArgument("rank_assemblies: no selection points given");
   }
@@ -41,23 +40,24 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
       throw InvalidArgument("selection point " + point.service + "." + point.port +
                             ": labels must parallel candidates");
     }
-    if (combinations > max_combinations / point.candidates.size()) {
+    if (combinations > options.max_combinations / point.candidates.size()) {
       throw InvalidArgument(
-          "selection space exceeds " + std::to_string(max_combinations) +
+          "selection space exceeds " + std::to_string(options.max_combinations) +
           " combinations; prune candidate lists or raise the bound");
     }
     combinations *= point.candidates.size();
   }
 
   // Evaluate combinations on the runtime. Each worker hoists one mutable
-  // Assembly copy and one engine pair for its whole chunk (one validate()
-  // per worker, not per combination) and rebinds only the selection-point
-  // ports whose choice changed between consecutive combinations — the
-  // engines read bindings live, so a rebind only needs the memo cleared.
+  // Assembly copy (bind() mutates, so the shared assembly cannot back the
+  // sessions here) and one EvalSession for its whole chunk — one validate()
+  // per worker, not per combination. Rebinding a selection point drops only
+  // the memoised results that consulted that binding, so results for
+  // subtrees unaffected by the choice survive across combinations.
   std::vector<RankedAssembly> entries(combinations);
   std::vector<char> kept(combinations, 0);
   runtime::parallel_for(
-      combinations, threads,
+      combinations, options.threads,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
         Assembly wired = assembly;
         std::vector<std::size_t> choice(points.size(), 0);
@@ -75,7 +75,7 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
 
         decode(begin, choice);
         for (std::size_t i = 0; i < points.size(); ++i) bind_point(i);
-        ReliabilityEngine engine(wired);
+        EvalSession session(wired);
         std::optional<PerformanceEngine> perf;
         if (objective.time_weight != 0.0) perf.emplace(wired);
 
@@ -87,9 +87,9 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
               if (next[i] != choice[i]) {
                 choice[i] = next[i];
                 bind_point(i);
+                session.invalidate_binding(points[i].service, points[i].port);
               }
             }
-            engine.clear_cache();
             if (perf) perf->clear_cache();
           }
 
@@ -102,7 +102,7 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
                     ? default_label(points[i].candidates[choice[i]])
                     : points[i].labels[choice[i]]);
           }
-          entry.reliability = engine.reliability(service_name, args);
+          entry.reliability = session.reliability(service_name, args);
           if (entry.reliability < objective.min_reliability) continue;
           if (perf) {
             entry.expected_duration = perf->expected_duration(service_name, args);
@@ -126,6 +126,20 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
               return a.score > b.score;
             });
   return ranking;
+}
+
+std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
+                                            std::string_view service_name,
+                                            const std::vector<double>& args,
+                                            const std::vector<SelectionPoint>& points,
+                                            const SelectionObjective& objective,
+                                            std::size_t max_combinations,
+                                            std::size_t threads) {
+  SelectionOptions options;
+  options.objective = objective;
+  options.max_combinations = max_combinations;
+  options.threads = threads;
+  return rank_assemblies(assembly, service_name, args, points, options);
 }
 
 RankedAssembly select_best(const Assembly& assembly, std::string_view service_name,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "sorel/core/engine.hpp"
 #include "sorel/runtime/parallel_for.hpp"
@@ -9,78 +10,85 @@
 
 namespace sorel::core {
 
-std::vector<AttributeSensitivity> attribute_sensitivities(
-    const Assembly& assembly, std::string_view service_name,
-    const std::vector<double>& args, const std::vector<std::string>& attributes,
-    double relative_step, std::size_t threads) {
-  if (relative_step <= 0.0) {
-    throw InvalidArgument("attribute_sensitivities: relative_step must be positive");
-  }
-  const expr::Env attr_env = assembly.attribute_env();
-  std::vector<std::string> names = attributes;
-  if (names.empty()) {
-    for (const auto& [name, value] : attr_env.bindings()) names.push_back(name);
-  }
-  // Resolve every attribute up front so an unknown name throws the same
-  // LookupError regardless of how the list is chunked across workers.
+namespace {
+
+// Attribute list with every value resolved up front, so an unknown name
+// throws the same LookupError regardless of how the list is chunked.
+struct ResolvedAttributes {
+  std::vector<std::string> names;
   std::vector<double> values;
-  values.reserve(names.size());
-  for (const std::string& attr : names) {
+};
+
+ResolvedAttributes resolve_attributes(const Assembly& assembly,
+                                      const std::vector<std::string>& attributes) {
+  const expr::Env attr_env = assembly.attribute_env();
+  ResolvedAttributes out;
+  out.names = attributes;
+  if (out.names.empty()) {
+    for (const auto& [name, value] : attr_env.bindings()) {
+      (void)value;
+      out.names.push_back(name);
+    }
+  }
+  out.values.reserve(out.names.size());
+  for (const std::string& attr : out.names) {
     const auto value = attr_env.lookup(attr);
     if (!value) {
       throw LookupError("attribute '" + attr + "' is not defined in the assembly");
     }
-    values.push_back(*value);
+    out.values.push_back(*value);
   }
-
-  ReliabilityEngine base_engine(assembly);
-  const double base_reliability = base_engine.reliability(service_name, args);
-
-  // Two engine evaluations per attribute, fanned out on the runtime. Each
-  // worker hoists one mutable Assembly copy and one engine for its chunk;
-  // perturbed attributes are restored before moving to the next one.
-  std::vector<AttributeSensitivity> out(names.size());
-  runtime::parallel_for(
-      names.size(), threads,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        Assembly copy = assembly;
-        ReliabilityEngine engine(copy);
-        const auto probe = [&](const std::string& attr, double v) {
-          copy.set_attribute(attr, v);
-          engine.refresh_attributes();
-          return engine.reliability(service_name, args);
-        };
-        for (std::size_t i = begin; i < end; ++i) {
-          const std::string& attr = names[i];
-          const double value = values[i];
-          const double h = std::max(std::fabs(value), 1e-12) * relative_step;
-          const double r_plus = probe(attr, value + h);
-          const double r_minus = probe(attr, value - h);
-          copy.set_attribute(attr, value);  // restore for the next attribute
-          const double derivative = (r_plus - r_minus) / (2.0 * h);
-
-          AttributeSensitivity s;
-          s.attribute = attr;
-          s.value = value;
-          s.derivative = derivative;
-          s.elasticity = base_reliability != 0.0
-                             ? derivative * (value / base_reliability)
-                             : 0.0;
-          out[i] = std::move(s);
-        }
-      });
-
-  std::sort(out.begin(), out.end(),
-            [](const AttributeSensitivity& a, const AttributeSensitivity& b) {
-              return std::fabs(a.derivative) > std::fabs(b.derivative);
-            });
   return out;
 }
 
-std::vector<ComponentImportance> component_importances(
+// Warm-session variant: derivatives are taken at the *session's* current
+// values (assembly defaults plus every delta applied so far).
+ResolvedAttributes resolve_attributes(EvalSession& session,
+                                      const std::vector<std::string>& attributes) {
+  ResolvedAttributes out = resolve_attributes(session.assembly(), attributes);
+  for (std::size_t i = 0; i < out.names.size(); ++i) {
+    out.values[i] = *session.attribute(out.names[i]);
+  }
+  return out;
+}
+
+// Central difference of one attribute through a session: two sparse deltas
+// (±h) plus a restore — each invalidates only the attribute's dependents.
+AttributeSensitivity probe_attribute(EvalSession& session,
+                                     std::string_view service_name,
+                                     const std::vector<double>& args,
+                                     const std::string& attr, double value,
+                                     double relative_step,
+                                     double base_reliability) {
+  const double h = std::max(std::fabs(value), 1e-12) * relative_step;
+  session.set_attribute(attr, value + h);
+  const double r_plus = session.reliability(service_name, args);
+  session.set_attribute(attr, value - h);
+  const double r_minus = session.reliability(service_name, args);
+  session.set_attribute(attr, value);  // restore for the next attribute
+  const double derivative = (r_plus - r_minus) / (2.0 * h);
+
+  AttributeSensitivity s;
+  s.attribute = attr;
+  s.value = value;
+  s.derivative = derivative;
+  s.elasticity =
+      base_reliability != 0.0 ? derivative * (value / base_reliability) : 0.0;
+  return s;
+}
+
+std::vector<AttributeSensitivity> sort_by_derivative(
+    std::vector<AttributeSensitivity> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const AttributeSensitivity& a, const AttributeSensitivity& b) {
+              return std::fabs(a.derivative) > std::fabs(b.derivative);
+            });
+  return rows;
+}
+
+std::vector<std::string> resolve_components(
     const Assembly& assembly, std::string_view service_name,
-    const std::vector<double>& args, const std::vector<std::string>& components,
-    std::size_t threads) {
+    const std::vector<std::string>& components) {
   std::vector<std::string> names = components;
   if (names.empty()) {
     for (const std::string& n : assembly.service_names()) {
@@ -92,45 +100,167 @@ std::vector<ComponentImportance> component_importances(
       throw LookupError("component '" + component + "' is not a registered service");
     }
   }
+  return names;
+}
+
+ComponentImportance probe_component(EvalSession& session,
+                                    std::string_view service_name,
+                                    const std::vector<double>& args,
+                                    const std::string& component,
+                                    double base_reliability) {
+  const auto with_override = [&](double pfail_value) {
+    session.set_pfail_overrides({{component, pfail_value}});
+    return session.reliability(service_name, args);
+  };
+  const double r_perfect = with_override(0.0);
+  const double r_failed = with_override(1.0);
+
+  ComponentImportance imp;
+  imp.component = component;
+  imp.birnbaum = r_perfect - r_failed;
+  // Risk-achievement worth compares nominal unreliability against the
+  // unreliability with the component pinned to failed.
+  const double q_base = 1.0 - base_reliability;
+  const double q_failed = 1.0 - r_failed;
+  imp.risk_achievement =
+      q_base > 0.0 ? q_failed / q_base : (q_failed > 0.0 ? 1e12 : 1.0);
+  return imp;
+}
+
+std::vector<ComponentImportance> sort_by_birnbaum(
+    std::vector<ComponentImportance> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const ComponentImportance& a, const ComponentImportance& b) {
+              return a.birnbaum > b.birnbaum;
+            });
+  return rows;
+}
+
+}  // namespace
+
+std::vector<AttributeSensitivity> attribute_sensitivities(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const SensitivityOptions& options,
+    const std::vector<std::string>& attributes) {
+  if (options.relative_step <= 0.0) {
+    throw InvalidArgument("attribute_sensitivities: relative_step must be positive");
+  }
+  const ResolvedAttributes resolved = resolve_attributes(assembly, attributes);
+
+  ReliabilityEngine base_engine(assembly);
+  const double base_reliability = base_engine.reliability(service_name, args);
+
+  // Two engine evaluations per attribute, fanned out on the runtime. Each
+  // worker holds one session over the shared assembly; perturbed attributes
+  // are restored before moving to the next one.
+  std::vector<AttributeSensitivity> out(resolved.names.size());
+  runtime::parallel_for(
+      resolved.names.size(), options.threads,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        EvalSession session(assembly);
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = probe_attribute(session, service_name, args, resolved.names[i],
+                                   resolved.values[i], options.relative_step,
+                                   base_reliability);
+        }
+      });
+
+  return sort_by_derivative(std::move(out));
+}
+
+std::vector<AttributeSensitivity> attribute_sensitivities(
+    EvalSession& session, std::string_view service_name,
+    const std::vector<double>& args, const SensitivityOptions& options,
+    const std::vector<std::string>& attributes) {
+  if (options.relative_step <= 0.0) {
+    throw InvalidArgument("attribute_sensitivities: relative_step must be positive");
+  }
+  const ResolvedAttributes resolved = resolve_attributes(session, attributes);
+  const double base_reliability = session.reliability(service_name, args);
+
+  const std::map<std::string, double> entry_overlay = session.attribute_overlay();
+  std::vector<AttributeSensitivity> out(resolved.names.size());
+  try {
+    for (std::size_t i = 0; i < resolved.names.size(); ++i) {
+      out[i] = probe_attribute(session, service_name, args, resolved.names[i],
+                               resolved.values[i], options.relative_step,
+                               base_reliability);
+    }
+  } catch (...) {
+    session.rebase_attributes(entry_overlay);
+    throw;
+  }
+  session.rebase_attributes(entry_overlay);
+  return sort_by_derivative(std::move(out));
+}
+
+std::vector<AttributeSensitivity> attribute_sensitivities(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<std::string>& attributes,
+    double relative_step, std::size_t threads) {
+  SensitivityOptions options;
+  options.relative_step = relative_step;
+  options.threads = threads;
+  return attribute_sensitivities(assembly, service_name, args, options, attributes);
+}
+
+std::vector<ComponentImportance> component_importances(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const runtime::ExecPolicy& exec,
+    const std::vector<std::string>& components) {
+  const std::vector<std::string> names =
+      resolve_components(assembly, service_name, components);
 
   ReliabilityEngine base_engine(assembly);
   const double base_reliability = base_engine.reliability(service_name, args);
 
   // The perfect/failed probes only change engine-level pfail overrides, so
-  // workers share the (read-only) assembly and reuse one engine per chunk.
+  // workers share the (read-only) assembly and reuse one session per chunk.
   std::vector<ComponentImportance> out(names.size());
   runtime::parallel_for(
-      names.size(), threads,
+      names.size(), exec.threads,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        ReliabilityEngine engine(assembly);
-        const auto with_override = [&](const std::string& component,
-                                       double pfail_value) {
-          engine.set_pfail_overrides({{component, pfail_value}});
-          return engine.reliability(service_name, args);
-        };
+        EvalSession session(assembly);
         for (std::size_t i = begin; i < end; ++i) {
-          const std::string& component = names[i];
-          const double r_perfect = with_override(component, 0.0);
-          const double r_failed = with_override(component, 1.0);
-
-          ComponentImportance imp;
-          imp.component = component;
-          imp.birnbaum = r_perfect - r_failed;
-          // Risk-achievement worth compares nominal unreliability against the
-          // unreliability with the component pinned to failed.
-          const double q_base = 1.0 - base_reliability;
-          const double q_failed = 1.0 - r_failed;
-          imp.risk_achievement = q_base > 0.0 ? q_failed / q_base
-                                              : (q_failed > 0.0 ? 1e12 : 1.0);
-          out[i] = std::move(imp);
+          out[i] = probe_component(session, service_name, args, names[i],
+                                   base_reliability);
         }
       });
 
-  std::sort(out.begin(), out.end(),
-            [](const ComponentImportance& a, const ComponentImportance& b) {
-              return a.birnbaum > b.birnbaum;
-            });
-  return out;
+  return sort_by_birnbaum(std::move(out));
+}
+
+std::vector<ComponentImportance> component_importances(
+    EvalSession& session, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<std::string>& components) {
+  const std::vector<std::string> names =
+      resolve_components(session.assembly(), service_name, components);
+
+  std::map<std::string, double> entry_overrides = session.pfail_overrides();
+  session.set_pfail_overrides({});
+  const double base_reliability = session.reliability(service_name, args);
+
+  std::vector<ComponentImportance> out(names.size());
+  try {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      out[i] = probe_component(session, service_name, args, names[i],
+                               base_reliability);
+    }
+  } catch (...) {
+    session.set_pfail_overrides(std::move(entry_overrides));
+    throw;
+  }
+  session.set_pfail_overrides(std::move(entry_overrides));
+  return sort_by_birnbaum(std::move(out));
+}
+
+std::vector<ComponentImportance> component_importances(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<std::string>& components,
+    std::size_t threads) {
+  runtime::ExecPolicy exec;
+  exec.threads = threads;
+  return component_importances(assembly, service_name, args, exec, components);
 }
 
 }  // namespace sorel::core

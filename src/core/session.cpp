@@ -1,0 +1,86 @@
+#include "sorel/core/session.hpp"
+
+#include <utility>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::core {
+
+EvalSession::EvalSession(const Assembly& assembly)
+    : EvalSession(assembly, Options{}) {}
+
+EvalSession::EvalSession(const Assembly& assembly, Options options)
+    : assembly_(assembly),
+      base_(assembly.attribute_env()),
+      engine_(assembly, std::move(options.engine)) {}
+
+std::size_t EvalSession::set_attributes(
+    const std::map<std::string, double>& deltas) {
+  // Validate before mutating anything so a LookupError leaves the session
+  // state (overlay and engine snapshot) consistent.
+  for (const auto& [name, value] : deltas) {
+    (void)value;
+    if (!base_.contains(name)) {
+      throw LookupError("attribute '" + name +
+                        "' is not defined in the assembly");
+    }
+  }
+  const std::size_t invalidated = engine_.apply_attribute_deltas(deltas);
+  for (const auto& [name, value] : deltas) {
+    const auto base_value = base_.lookup(name);
+    if (base_value && *base_value == value) {
+      overlay_.erase(name);  // back to the assembly's own value
+    } else {
+      overlay_[name] = value;
+    }
+  }
+  return invalidated;
+}
+
+std::size_t EvalSession::set_attribute(std::string_view name, double value) {
+  return set_attributes({{std::string(name), value}});
+}
+
+std::size_t EvalSession::rebase_attributes(
+    const std::map<std::string, double>& overrides) {
+  std::map<std::string, double> deltas = overrides;
+  for (const auto& [name, value] : overlay_) {
+    (void)value;
+    if (deltas.find(name) == deltas.end()) {
+      deltas.emplace(name, *base_.lookup(name));  // revert to assembly value
+    }
+  }
+  return set_attributes(deltas);
+}
+
+std::size_t EvalSession::reset_attributes() { return rebase_attributes({}); }
+
+void EvalSession::set_pfail_overrides(std::map<std::string, double> overrides) {
+  engine_.set_pfail_overrides(std::move(overrides));
+}
+
+std::size_t EvalSession::invalidate_binding(std::string_view service,
+                                            std::string_view port) {
+  return engine_.invalidate_binding(service, port);
+}
+
+double EvalSession::pfail(std::string_view service_name,
+                          const std::vector<double>& args) {
+  return engine_.pfail(service_name, args);
+}
+
+double EvalSession::reliability(std::string_view service_name,
+                                const std::vector<double>& args) {
+  return engine_.reliability(service_name, args);
+}
+
+ReliabilityEngine::FailureModes EvalSession::failure_modes(
+    std::string_view service_name, const std::vector<double>& args) {
+  return engine_.failure_modes(service_name, args);
+}
+
+std::optional<double> EvalSession::attribute(std::string_view name) const {
+  return engine_.attribute(name);
+}
+
+}  // namespace sorel::core

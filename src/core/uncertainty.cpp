@@ -44,6 +44,63 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+void check_inputs(
+    const Assembly& assembly, std::size_t samples,
+    const std::map<std::string, AttributeDistribution>& uncertain_attributes) {
+  if (samples == 0) {
+    throw InvalidArgument("propagate_uncertainty: need at least one sample");
+  }
+  const expr::Env known = assembly.attribute_env();
+  for (const auto& [name, dist] : uncertain_attributes) {
+    (void)dist;
+    if (!known.contains(name)) {
+      throw LookupError("uncertain attribute '" + name +
+                        "' is not defined in the assembly");
+    }
+  }
+}
+
+// Sample i of the uncertainty loop: draw every uncertain attribute from the
+// substream (seed, i) — in map order, so the draws are identical for every
+// chunking — rebase the session onto `base_overlay` + the draw (draw wins),
+// and evaluate. `base_overlay` carries a warm session's own deltas so that
+// attributes outside the uncertain set keep their session values.
+double evaluate_sample(EvalSession& session, std::string_view service_name,
+                       const std::vector<double>& args,
+                       const std::map<std::string, AttributeDistribution>&
+                           uncertain_attributes,
+                       const std::map<std::string, double>& base_overlay,
+                       std::uint64_t seed, std::size_t index) {
+  util::Rng rng(util::substream_seed(seed, index));
+  std::map<std::string, double> target = base_overlay;
+  for (const auto& [name, dist] : uncertain_attributes) {
+    target[name] = sample_value(dist, rng);
+  }
+  session.rebase_attributes(target);
+  return session.reliability(service_name, args);
+}
+
+// Ordered reduction: fold in index order so the accumulated moments are
+// bit-identical for every thread count.
+UncertaintyResult reduce_samples(std::vector<double> samples,
+                                 double reliability_target) {
+  UncertaintyResult result;
+  std::size_t meets = 0;
+  for (const double r : samples) {
+    result.reliability.add(r);
+    if (reliability_target > 0.0 && r >= reliability_target) ++meets;
+  }
+  std::sort(samples.begin(), samples.end());
+  result.p05 = percentile(samples, 0.05);
+  result.p50 = percentile(samples, 0.50);
+  result.p95 = percentile(samples, 0.95);
+  if (reliability_target > 0.0) {
+    result.probability_meets_target =
+        static_cast<double>(meets) / static_cast<double>(samples.size());
+  }
+  return result;
+}
+
 }  // namespace
 
 AttributeDistribution AttributeDistribution::fixed(double value) {
@@ -101,55 +158,49 @@ UncertaintyResult propagate_uncertainty(
     const std::vector<double>& args,
     const std::map<std::string, AttributeDistribution>& uncertain_attributes,
     const UncertaintyOptions& options, double reliability_target) {
-  if (options.samples == 0) {
-    throw InvalidArgument("propagate_uncertainty: need at least one sample");
-  }
-  const expr::Env known = assembly.attribute_env();
-  for (const auto& [name, dist] : uncertain_attributes) {
-    (void)dist;
-    if (!known.contains(name)) {
-      throw LookupError("uncertain attribute '" + name +
-                        "' is not defined in the assembly");
-    }
-  }
+  check_inputs(assembly, options.samples, uncertain_attributes);
 
   // Evaluate the samples on the runtime: sample i draws its attribute
   // values from the RNG substream (seed, i), so the draws are independent
-  // of how the index range is chunked across workers. Each worker hoists
-  // one Assembly copy and one engine (one validate()) for its whole chunk.
+  // of how the index range is chunked across workers. Each worker holds one
+  // EvalSession over the *shared* assembly (one validate() per worker, no
+  // assembly copy — deltas live in the session); per-sample rebasing
+  // invalidates only the uncertain attributes' dependents in the memo.
   std::vector<double> samples(options.samples);
   runtime::parallel_for(
       options.samples, options.threads,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        Assembly probe = assembly;
-        ReliabilityEngine engine(probe);
+        EvalSession session(assembly);
         for (std::size_t i = begin; i < end; ++i) {
-          util::Rng rng(util::substream_seed(options.seed, i));
-          for (const auto& [name, dist] : uncertain_attributes) {
-            probe.set_attribute(name, sample_value(dist, rng));
-          }
-          engine.refresh_attributes();
-          samples[i] = engine.reliability(service_name, args);
+          samples[i] = evaluate_sample(session, service_name, args,
+                                       uncertain_attributes, {}, options.seed, i);
         }
       });
 
-  // Ordered reduction: fold in index order so the accumulated moments are
-  // bit-identical for every thread count.
-  UncertaintyResult result;
-  std::size_t meets = 0;
-  for (const double r : samples) {
-    result.reliability.add(r);
-    if (reliability_target > 0.0 && r >= reliability_target) ++meets;
+  return reduce_samples(std::move(samples), reliability_target);
+}
+
+UncertaintyResult propagate_uncertainty(
+    EvalSession& session, std::string_view service_name,
+    const std::vector<double>& args,
+    const std::map<std::string, AttributeDistribution>& uncertain_attributes,
+    const UncertaintyOptions& options, double reliability_target) {
+  check_inputs(session.assembly(), options.samples, uncertain_attributes);
+
+  const std::map<std::string, double> entry_overlay = session.attribute_overlay();
+  std::vector<double> samples(options.samples);
+  try {
+    for (std::size_t i = 0; i < options.samples; ++i) {
+      samples[i] = evaluate_sample(session, service_name, args,
+                                   uncertain_attributes, entry_overlay,
+                                   options.seed, i);
+    }
+  } catch (...) {
+    session.rebase_attributes(entry_overlay);
+    throw;
   }
-  std::sort(samples.begin(), samples.end());
-  result.p05 = percentile(samples, 0.05);
-  result.p50 = percentile(samples, 0.50);
-  result.p95 = percentile(samples, 0.95);
-  if (reliability_target > 0.0) {
-    result.probability_meets_target =
-        static_cast<double>(meets) / static_cast<double>(options.samples);
-  }
-  return result;
+  session.rebase_attributes(entry_overlay);
+  return reduce_samples(std::move(samples), reliability_target);
 }
 
 }  // namespace sorel::core

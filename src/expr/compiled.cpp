@@ -180,9 +180,29 @@ CompiledExpr compile(const Expr& expression, const std::vector<std::string>& lay
   }
   CompiledExpr compiled;
   compiled.variable_count_ = layout.size();
+  compiled.layout_ = layout;
   emit(expression.node(), slots, compiled.program_);
   compiled.max_stack_ = stack_need(expression.node());
   return compiled;
+}
+
+std::vector<std::string> CompiledExpr::referenced_variables() const {
+  std::vector<bool> loaded(layout_.size(), false);
+  for (const Instruction& instr : program_) {
+    if (instr.op == Op::kLoad) loaded[instr.slot] = true;
+  }
+  std::vector<std::string> out;
+  for (std::size_t slot = 0; slot < layout_.size(); ++slot) {
+    if (loaded[slot]) out.push_back(layout_[slot]);
+  }
+  return out;
+}
+
+bool CompiledExpr::references(std::string_view name) const {
+  for (const Instruction& instr : program_) {
+    if (instr.op == Op::kLoad && layout_[instr.slot] == name) return true;
+  }
+  return false;
 }
 
 }  // namespace sorel::expr

@@ -464,6 +464,26 @@ std::set<std::string> Expr::variables() const {
   return out;
 }
 
+namespace {
+
+bool node_references(const detail::Node& n, std::string_view name) {
+  switch (n.kind) {
+    case detail::Kind::kConstant:
+      return false;
+    case detail::Kind::kVariable:
+      return n.name == name;
+    default:
+      return (n.lhs && node_references(*n.lhs, name)) ||
+             (n.rhs && node_references(*n.rhs, name));
+  }
+}
+
+}  // namespace
+
+bool Expr::references(std::string_view name) const {
+  return node_references(*node_, name);
+}
+
 bool Expr::is_constant() const { return variables().empty(); }
 
 double Expr::constant_value() const {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "sorel/core/session.hpp"
 #include "sorel/runtime/parallel_for.hpp"
 #include "sorel/util/error.hpp"
 
@@ -47,42 +48,33 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
       chunks == 0 ? 1 : chunks);
   parallel_for(jobs.size(), options_.threads,
                [&](std::size_t begin, std::size_t end, std::size_t chunk) {
-    core::Assembly local = assembly_;           // one copy per worker
-    core::ReliabilityEngine engine(local, options_.engine);  // one validate
-    bool attrs_dirty = false;
+    // One session per worker over the *shared* assembly — one validate()
+    // per chunk, no Assembly copy (job overrides live in the session).
+    core::EvalSession::Options session_options;
+    session_options.engine = options_.engine;
+    core::EvalSession session(assembly_, std::move(session_options));
     bool pfail_dirty = false;
     for (std::size_t i = begin; i < end; ++i) {
       const BatchJob& job = jobs[i];
-      if (!job.attribute_overrides.empty() || attrs_dirty) {
-        if (attrs_dirty) {
-          // Restore every attribute to the base value before layering this
-          // job's overrides (jobs see the assembly's own values by default).
-          for (const auto& [name, value] : base_env.bindings()) {
-            local.set_attribute(name, value);
-          }
-        }
-        for (const auto& [name, value] : job.attribute_overrides) {
-          local.set_attribute(name, value);
-        }
-        engine.refresh_attributes();
-        attrs_dirty = !job.attribute_overrides.empty();
-      }
+      // Sparse re-base: consecutive jobs usually override the same few
+      // attributes, so this invalidates only what actually changed.
+      session.rebase_attributes(job.attribute_overrides);
       if (!job.pfail_overrides.empty() || pfail_dirty) {
         auto merged = options_.engine.pfail_overrides;
         for (const auto& [name, value] : job.pfail_overrides) {
           merged[name] = value;
         }
-        engine.set_pfail_overrides(std::move(merged));
+        session.set_pfail_overrides(std::move(merged));
         pfail_dirty = !job.pfail_overrides.empty();
       }
 
       const auto job_start = std::chrono::steady_clock::now();
-      const double pfail = engine.pfail(job.service, job.args);
+      const double pfail = session.pfail(job.service, job.args);
       results[i].pfail = pfail;
       results[i].reliability = 1.0 - pfail;
       results[i].wall_seconds = seconds_since(job_start);
     }
-    chunk_stats[chunk] = engine.stats();
+    chunk_stats[chunk] = session.stats();
   });
 
   BatchStats stats;
@@ -91,6 +83,7 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
   for (const core::ReliabilityEngine::Stats& s : chunk_stats) {
     stats.engine_evaluations += s.evaluations;
     stats.engine_memo_hits += s.memo_hits;
+    stats.engine_memo_invalidated += s.memo_invalidated;
   }
   stats.wall_seconds = seconds_since(batch_start);
   stats_ = stats;

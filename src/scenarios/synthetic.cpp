@@ -130,6 +130,55 @@ Assembly make_fan_assembly(std::size_t n, CompletionModel completion, std::size_
   return assembly;
 }
 
+Assembly make_partitioned_assembly(std::size_t groups,
+                                   std::size_t leaves_per_group,
+                                   double leaf_pfail) {
+  Assembly assembly;
+
+  // One AND state whose requests fan out over the given ports (no actuals:
+  // every service in this assembly is nullary).
+  const auto fan_composite = [](const std::string& name,
+                                const std::vector<std::string>& ports) {
+    FlowGraph flow;
+    FlowState s;
+    s.name = "fan_out";
+    s.completion = CompletionModel::kAnd;
+    for (const std::string& port : ports) {
+      ServiceRequest r;
+      r.port = port;
+      s.requests.push_back(std::move(r));
+    }
+    const auto id = flow.add_state(std::move(s));
+    flow.add_transition(FlowGraph::kStart, id, Expr::constant(1.0));
+    flow.add_transition(id, FlowGraph::kEnd, Expr::constant(1.0));
+    return std::make_shared<CompositeService>(name, std::vector<FormalParam>{},
+                                              std::move(flow));
+  };
+
+  std::vector<std::string> group_names;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::string group = "g" + std::to_string(g);
+    std::vector<std::string> leaf_names;
+    for (std::size_t s = 0; s < leaves_per_group; ++s) {
+      const std::string leaf = group + "_s" + std::to_string(s);
+      const std::string attr = leaf + ".p";
+      assembly.add_service(core::make_simple_service(
+          leaf, {}, Expr::var(attr), {{attr, leaf_pfail}}));
+      leaf_names.push_back(leaf);
+    }
+    assembly.add_service(fan_composite(group, leaf_names));
+    for (const std::string& leaf : leaf_names) {
+      assembly.bind(group, leaf, plain_binding(leaf));
+    }
+    group_names.push_back(group);
+  }
+  assembly.add_service(fan_composite("app", group_names));
+  for (const std::string& group : group_names) {
+    assembly.bind("app", group, plain_binding(group));
+  }
+  return assembly;
+}
+
 Assembly make_recursive_assembly(double p_recurse, double step_pfail) {
   const auto make_half = [&](const std::string& name, bool conditional) {
     FlowGraph flow;

@@ -1,0 +1,258 @@
+// EvalSession: sparse deltas must give results bit-identical to a freshly
+// built engine while invalidating only the changed attributes' transitive
+// dependents; rebasing, binding invalidation, and the full-clear fallback
+// must all preserve exact agreement.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/sensitivity.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::EvalSession;
+using sorel::core::ReliabilityEngine;
+
+// Fresh-engine reference: the assembly with `overrides` applied, evaluated
+// from scratch. Sessions must match this bitwise.
+double reference_pfail(const Assembly& assembly,
+                       const std::map<std::string, double>& overrides,
+                       const std::string& service,
+                       const std::vector<double>& args = {}) {
+  Assembly copy = assembly;
+  for (const auto& [name, value] : overrides) copy.set_attribute(name, value);
+  ReliabilityEngine engine(copy);
+  return engine.pfail(service, args);
+}
+
+TEST(EvalSession, DeltaMatchesFreshEngineBitwise) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  EvalSession session(assembly);
+  EXPECT_EQ(session.pfail("app", {}), reference_pfail(assembly, {}, "app"));
+
+  const std::map<std::string, double> delta{{"g1_s2.p", 3e-3}};
+  session.set_attributes(delta);
+  EXPECT_EQ(session.pfail("app", {}), reference_pfail(assembly, delta, "app"));
+
+  // Layer a second delta on top of the first.
+  session.set_attributes({{"g0_s0.p", 7e-4}});
+  EXPECT_EQ(session.pfail("app", {}),
+            reference_pfail(assembly, {{"g1_s2.p", 3e-3}, {"g0_s0.p", 7e-4}},
+                            "app"));
+}
+
+TEST(EvalSession, SmallDeltaInvalidatesOnlyItsBlastRadius) {
+  // 4 groups x 4 leaves: 1 root + 4 groups + 16 leaves = 21 memoised keys.
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  EvalSession session(assembly);
+  session.pfail("app", {});
+  ASSERT_EQ(session.memo_size(), 21u);
+  const std::size_t evals_before = session.stats().evaluations;
+  ASSERT_EQ(evals_before, 21u);
+
+  // One leaf attribute dirties exactly the leaf, its group, and the root.
+  const std::size_t invalidated = session.set_attribute("g2_s3.p", 5e-4);
+  EXPECT_EQ(invalidated, 3u);
+  EXPECT_EQ(session.stats().memo_invalidated, 3u);
+  EXPECT_EQ(session.memo_size(), 18u);
+
+  session.pfail("app", {});
+  EXPECT_EQ(session.stats().evaluations - evals_before, 3u);
+  EXPECT_EQ(session.pfail("app", {}),
+            reference_pfail(assembly, {{"g2_s3.p", 5e-4}}, "app"));
+}
+
+TEST(EvalSession, NoOpDeltaInvalidatesNothing) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 3);
+  EvalSession session(assembly);
+  session.pfail("app", {});
+  const std::size_t memo = session.memo_size();
+
+  // Re-assert the current value: nothing may be dropped.
+  EXPECT_EQ(session.set_attribute("g0_s0.p", *session.attribute("g0_s0.p")), 0u);
+  EXPECT_EQ(session.memo_size(), memo);
+  EXPECT_TRUE(session.attribute_overlay().empty());
+}
+
+TEST(EvalSession, UnknownAttributeThrowsAndLeavesStateUntouched) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(2, 2);
+  EvalSession session(assembly);
+  session.pfail("app", {});
+  const std::size_t memo = session.memo_size();
+
+  EXPECT_THROW(
+      session.set_attributes({{"g0_s0.p", 0.5}, {"no_such.attr", 1.0}}),
+      sorel::LookupError);
+  EXPECT_EQ(session.memo_size(), memo);
+  EXPECT_TRUE(session.attribute_overlay().empty());
+  EXPECT_EQ(session.pfail("app", {}), reference_pfail(assembly, {}, "app"));
+}
+
+TEST(EvalSession, RebaseRevertsOverridesAbsentFromTheNewSet) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 3);
+  EvalSession session(assembly);
+  session.set_attributes({{"g0_s0.p", 1e-3}, {"g1_s1.p", 2e-3}});
+
+  // Rebase to a set that keeps one override, changes nothing else: g0_s0.p
+  // must revert to the assembly's own value.
+  session.rebase_attributes({{"g1_s1.p", 2e-3}});
+  EXPECT_EQ(session.attribute_overlay(),
+            (std::map<std::string, double>{{"g1_s1.p", 2e-3}}));
+  EXPECT_EQ(session.pfail("app", {}),
+            reference_pfail(assembly, {{"g1_s1.p", 2e-3}}, "app"));
+
+  session.reset_attributes();
+  EXPECT_TRUE(session.attribute_overlay().empty());
+  EXPECT_EQ(session.pfail("app", {}), reference_pfail(assembly, {}, "app"));
+}
+
+TEST(EvalSession, FullClearFallbackMatchesTrackedResults) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 4);
+  EvalSession::Options options;
+  options.engine.track_dependencies = false;
+  EvalSession fallback(assembly, options);
+  EvalSession tracked(assembly);
+
+  fallback.pfail("app", {});
+  tracked.pfail("app", {});
+
+  // The fallback drops the whole memo on any real change...
+  const std::size_t memo = fallback.memo_size();
+  EXPECT_EQ(fallback.set_attribute("g0_s0.p", 9e-4), memo);
+  EXPECT_EQ(fallback.memo_size(), 0u);
+  EXPECT_EQ(fallback.stats().memo_invalidated, 0u);  // full clears not counted
+  // ...but both modes agree bitwise with the fresh-engine reference.
+  tracked.set_attribute("g0_s0.p", 9e-4);
+  const double expected = reference_pfail(assembly, {{"g0_s0.p", 9e-4}}, "app");
+  EXPECT_EQ(fallback.pfail("app", {}), expected);
+  EXPECT_EQ(tracked.pfail("app", {}), expected);
+}
+
+TEST(EvalSession, BindingInvalidationDropsOnlyConsultingResults) {
+  const Assembly base = sorel::scenarios::make_partitioned_assembly(3, 3);
+  Assembly assembly = base;  // bind() mutates: session needs a local copy
+  EvalSession session(assembly);
+  session.pfail("app", {});
+  ASSERT_EQ(session.memo_size(), 13u);  // 1 + 3 + 9
+
+  // Rewire group g0's first leaf port onto another leaf of the same group.
+  sorel::core::PortBinding binding;
+  binding.target = "g0_s1";
+  assembly.bind("g0", "g0_s0", binding);
+  const std::size_t invalidated = session.invalidate_binding("g0", "g0_s0");
+  // Consulting results: g0 itself and the root that includes it.
+  EXPECT_EQ(invalidated, 2u);
+  EXPECT_EQ(session.memo_size(), 11u);
+
+  Assembly rewired = base;
+  rewired.bind("g0", "g0_s0", binding);
+  ReliabilityEngine reference(rewired);
+  EXPECT_EQ(session.pfail("app", {}), reference.pfail("app", {}));
+
+  // A binding no cached result ever consulted is a no-op to invalidate.
+  EXPECT_EQ(session.invalidate_binding("g1", "g1_s0"), 2u);  // consulted above
+  EXPECT_EQ(session.invalidate_binding("g1", "g1_s0"), 0u);  // already dropped
+}
+
+TEST(EvalSession, PfailOverridesBypassTrackingViaFullClear) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(2, 3);
+  EvalSession session(assembly);
+  session.pfail("app", {});
+
+  session.set_pfail_overrides({{"g0", 0.0}});
+  EXPECT_EQ(session.memo_size(), 0u);
+  Assembly copy = assembly;
+  ReliabilityEngine::Options options;
+  options.pfail_overrides = {{"g0", 0.0}};
+  ReliabilityEngine reference(copy, options);
+  EXPECT_EQ(session.pfail("app", {}), reference.pfail("app", {}));
+  EXPECT_EQ(session.pfail_overrides().size(), 1u);
+
+  session.set_pfail_overrides({});
+  EXPECT_EQ(session.pfail("app", {}), reference_pfail(assembly, {}, "app"));
+}
+
+TEST(EvalSession, AnalysisOverloadsMatchAssemblyEntryPointsAndRestoreState) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 3);
+  EvalSession session(assembly);
+  session.set_attribute("g0_s0.p", 2e-3);  // pre-existing session state
+  const auto entry_overlay = session.attribute_overlay();
+  const double entry_pfail = session.pfail("app", {});
+
+  // Sensitivity: session overload == assembly overload (same step).
+  sorel::core::SensitivityOptions sens;
+  sens.threads = 1;
+  Assembly perturbed = assembly;
+  perturbed.set_attribute("g0_s0.p", 2e-3);
+  const auto rows_assembly =
+      sorel::core::attribute_sensitivities(perturbed, "app", {}, sens);
+  const auto rows_session =
+      sorel::core::attribute_sensitivities(session, "app", {}, sens);
+  ASSERT_EQ(rows_session.size(), rows_assembly.size());
+  for (std::size_t i = 0; i < rows_session.size(); ++i) {
+    EXPECT_EQ(rows_session[i].attribute, rows_assembly[i].attribute);
+    EXPECT_EQ(rows_session[i].derivative, rows_assembly[i].derivative);
+  }
+  EXPECT_EQ(session.attribute_overlay(), entry_overlay);
+
+  // Importance: session overload == assembly overload, pins restored.
+  const auto imp_assembly =
+      sorel::core::component_importances(perturbed, "app", {}, {"g1", "g2"}, 1);
+  const auto imp_session =
+      sorel::core::component_importances(session, "app", {}, {"g1", "g2"});
+  ASSERT_EQ(imp_session.size(), imp_assembly.size());
+  for (std::size_t i = 0; i < imp_session.size(); ++i) {
+    EXPECT_EQ(imp_session[i].component, imp_assembly[i].component);
+    EXPECT_EQ(imp_session[i].birnbaum, imp_assembly[i].birnbaum);
+  }
+  EXPECT_TRUE(session.pfail_overrides().empty());
+
+  // Uncertainty: session overload == assembly overload on the *unperturbed*
+  // base? No — the sampled attributes are rebased per sample; attributes
+  // outside the uncertain set keep their session values. Compare against
+  // the perturbed assembly, and check the overlay survives the run.
+  std::map<std::string, sorel::core::AttributeDistribution> dists;
+  dists["g1_s1.p"] = sorel::core::AttributeDistribution::uniform(1e-4, 1e-2);
+  sorel::core::UncertaintyOptions unc;
+  unc.samples = 64;
+  unc.threads = 1;
+  const auto unc_assembly =
+      sorel::core::propagate_uncertainty(perturbed, "app", {}, dists, unc);
+  const auto unc_session =
+      sorel::core::propagate_uncertainty(session, "app", {}, dists, unc);
+  EXPECT_EQ(unc_session.reliability.mean(), unc_assembly.reliability.mean());
+  EXPECT_EQ(unc_session.p50, unc_assembly.p50);
+  EXPECT_EQ(session.attribute_overlay(), entry_overlay);
+  EXPECT_EQ(session.pfail("app", {}), entry_pfail);
+}
+
+TEST(EvalSession, ChainAssemblyDeltasStayExact) {
+  // Non-trivial flow expressions (per-operation failure laws with formals):
+  // deltas through the session must still match fresh engines bitwise.
+  const Assembly assembly =
+      sorel::scenarios::make_chain_assembly(6, 1e-5, 1e-4, 1.0);
+  EvalSession session(assembly);
+  const std::vector<double> args{50.0};
+  EXPECT_EQ(session.pfail("pipeline", args),
+            reference_pfail(assembly, {}, "pipeline", args));
+
+  session.set_attributes({{"cpu.lambda", 2e-4}});
+  EXPECT_EQ(session.pfail("pipeline", args),
+            reference_pfail(assembly, {{"cpu.lambda", 2e-4}}, "pipeline", args));
+
+  session.set_attributes({{"cpu.s", 2.0}});
+  EXPECT_EQ(
+      session.pfail("pipeline", args),
+      reference_pfail(assembly, {{"cpu.lambda", 2e-4}, {"cpu.s", 2.0}},
+                      "pipeline", args));
+}
+
+}  // namespace

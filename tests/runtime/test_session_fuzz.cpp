@@ -1,0 +1,164 @@
+// Randomized attribute-delta fuzz for EvalSession: long random delta
+// sequences applied through warm sessions must stay bit-identical to
+// freshly built engines at every step — serially, with per-worker sessions
+// at 1, 2, and 8 threads (the TSan job exercises the concurrent case), and
+// in the full-clear fallback mode.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::EvalSession;
+using sorel::core::ReliabilityEngine;
+
+std::vector<std::string> attribute_names(const Assembly& assembly) {
+  std::vector<std::string> names;
+  const auto env = assembly.attribute_env();  // keep the Env alive
+  for (const auto& [name, value] : env.bindings()) {
+    (void)value;
+    names.push_back(name);
+  }
+  return names;
+}
+
+// A fuzz scenario: per step, a sparse delta of 1-3 random attributes, plus
+// the cumulative attribute state after the step (what a fresh engine needs).
+struct FuzzSequence {
+  std::vector<std::map<std::string, double>> deltas;
+  std::vector<std::map<std::string, double>> cumulative;
+};
+
+FuzzSequence make_sequence(const std::vector<std::string>& names,
+                           std::size_t steps, std::uint64_t seed) {
+  FuzzSequence seq;
+  sorel::util::Rng rng(seed);
+  std::map<std::string, double> state;
+  for (std::size_t i = 0; i < steps; ++i) {
+    std::map<std::string, double> delta;
+    const std::size_t count = 1 + rng.below(3);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::string& name = names[rng.below(names.size())];
+      delta[name] = rng.uniform(1e-5, 5e-2);
+    }
+    for (const auto& [name, value] : delta) state[name] = value;
+    seq.deltas.push_back(std::move(delta));
+    seq.cumulative.push_back(state);
+  }
+  return seq;
+}
+
+std::vector<double> reference_results(const Assembly& assembly,
+                                      const FuzzSequence& seq,
+                                      const std::string& service,
+                                      const std::vector<double>& args) {
+  std::vector<double> expected(seq.cumulative.size());
+  for (std::size_t i = 0; i < seq.cumulative.size(); ++i) {
+    Assembly copy = assembly;
+    for (const auto& [name, value] : seq.cumulative[i]) {
+      copy.set_attribute(name, value);
+    }
+    ReliabilityEngine engine(copy);
+    expected[i] = engine.pfail(service, args);
+  }
+  return expected;
+}
+
+void fuzz_assembly(const Assembly& assembly, const std::string& service,
+                   const std::vector<double>& args, std::uint64_t seed) {
+  const std::vector<std::string> names = attribute_names(assembly);
+  ASSERT_FALSE(names.empty());
+  const FuzzSequence seq = make_sequence(names, 40, seed);
+  const std::vector<double> expected =
+      reference_results(assembly, seq, service, args);
+
+  // One warm session, incremental deltas: every step bit-identical.
+  EvalSession session(assembly);
+  for (std::size_t i = 0; i < seq.deltas.size(); ++i) {
+    session.set_attributes(seq.deltas[i]);
+    EXPECT_EQ(session.pfail(service, args), expected[i]) << "step " << i;
+  }
+
+  // Full-clear fallback: same results without dependency tracking.
+  EvalSession::Options fallback_options;
+  fallback_options.engine.track_dependencies = false;
+  EvalSession fallback(assembly, fallback_options);
+  for (std::size_t i = 0; i < seq.deltas.size(); ++i) {
+    fallback.set_attributes(seq.deltas[i]);
+    EXPECT_EQ(fallback.pfail(service, args), expected[i]) << "step " << i;
+  }
+
+  // Per-worker sessions over the shared assembly: each chunk rebases its
+  // session to each step's cumulative state. Runs under TSan in CI.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    std::vector<double> results(seq.cumulative.size());
+    sorel::runtime::parallel_for(
+        seq.cumulative.size(), threads,
+        [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+          EvalSession worker(assembly);
+          for (std::size_t i = begin; i < end; ++i) {
+            worker.rebase_attributes(seq.cumulative[i]);
+            results[i] = worker.pfail(service, args);
+          }
+        });
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], expected[i])
+          << "threads " << threads << " step " << i;
+    }
+  }
+}
+
+TEST(SessionFuzz, PartitionedAssemblyDeltasBitIdentical) {
+  fuzz_assembly(sorel::scenarios::make_partitioned_assembly(4, 4), "app", {},
+                0xF00DULL);
+}
+
+TEST(SessionFuzz, ChainAssemblyDeltasBitIdentical) {
+  fuzz_assembly(sorel::scenarios::make_chain_assembly(5, 1e-5, 1e-4, 1.0),
+                "pipeline", {25.0}, 0xBEEFULL);
+}
+
+TEST(SessionFuzz, TreeAssemblyDeltasBitIdentical) {
+  fuzz_assembly(sorel::scenarios::make_tree_assembly(3, 2, 1e-6, 1e-5, 1e3),
+                "level0", {100.0}, 0xCAFEULL);
+}
+
+TEST(SessionFuzz, InterleavedNoOpAndRevertDeltasStayConsistent) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 3);
+  const std::vector<std::string> names = attribute_names(assembly);
+  sorel::util::Rng rng(0x5EEDULL);
+
+  EvalSession session(assembly);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::string& name = names[rng.below(names.size())];
+    switch (rng.below(3)) {
+      case 0:  // fresh random value
+        session.set_attribute(name, rng.uniform(1e-5, 5e-2));
+        break;
+      case 1:  // re-assert the current value (no-op)
+        session.set_attribute(name, *session.attribute(name));
+        break;
+      default:  // revert everything
+        session.reset_attributes();
+        break;
+    }
+    Assembly copy = assembly;
+    for (const auto& [attr, value] : session.attribute_overlay()) {
+      copy.set_attribute(attr, value);
+    }
+    ReliabilityEngine reference(copy);
+    EXPECT_EQ(session.pfail("app", {}), reference.pfail("app", {}))
+        << "step " << i;
+  }
+}
+
+}  // namespace
