@@ -1,0 +1,169 @@
+// Fault-injection campaign experiment: warm-session injection
+// (faults::CampaignRunner) versus fresh-engine re-evaluation on a large
+// partitioned assembly. A campaign of 1024 single attribute faults runs
+// through warm EvalSessions at several thread counts; the baseline builds
+// one Assembly copy + ReliabilityEngine per scenario and pays the full
+// service closure each time. Output is machine-readable JSON, and the
+// binary self-checks the acceptance criteria: per-scenario rows
+// bit-identical across thread counts, results bit-identical with the
+// fresh-engine baseline, and at least 5x fewer engine evaluations.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/faults/campaign.hpp"
+#include "sorel/faults/fault_spec.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::ReliabilityEngine;
+using sorel::faults::Campaign;
+using sorel::faults::CampaignReport;
+using sorel::faults::CampaignRunner;
+using sorel::faults::FaultSpec;
+
+constexpr std::size_t kGroups = 16;
+constexpr std::size_t kLeaves = 16;
+constexpr std::size_t kScenarios = 1024;
+
+// Fault i degrades exactly one leaf attribute; with 1024 faults over 256
+// leaves every leaf is hit four times, each with a distinct value.
+FaultSpec campaign_fault(std::size_t i) {
+  std::string attr = "g";
+  attr += std::to_string(i % kGroups);
+  attr += "_s";
+  attr += std::to_string((i / kGroups) % kLeaves);
+  attr += ".p";
+  return FaultSpec::attribute_set(std::move(attr),
+                                  1e-4 + 1e-6 * static_cast<double>(i + 1));
+}
+
+struct RunResult {
+  std::size_t threads = 0;
+  CampaignReport report;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const Assembly assembly =
+      sorel::scenarios::make_partitioned_assembly(kGroups, kLeaves);
+
+  std::vector<FaultSpec> faults;
+  faults.reserve(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    faults.push_back(campaign_fault(i));
+  }
+  const Campaign campaign =
+      Campaign::single_faults("app", {}, std::move(faults));
+
+  std::vector<RunResult> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    CampaignRunner::Options options;
+    options.threads = threads;
+    CampaignRunner runner(assembly, options);
+    RunResult run;
+    run.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    run.report = runner.run(campaign);
+    run.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    runs.push_back(std::move(run));
+  }
+
+  // Fresh-engine baseline: every scenario pays a full assembly copy, engine
+  // build, and whole-closure evaluation.
+  std::size_t fresh_evaluations = 0;
+  std::vector<double> fresh_pfails;
+  fresh_pfails.reserve(kScenarios);
+  const auto fresh_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    Assembly faulted = assembly;
+    sorel::faults::apply_to_assembly(campaign.faults[i], faulted);
+    ReliabilityEngine engine(faulted);
+    fresh_pfails.push_back(engine.pfail("app", {}));
+    fresh_evaluations += engine.stats().evaluations;
+  }
+  const double fresh_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    fresh_start)
+          .count();
+
+  // Bitwise checks: every run agrees with run 0 row by row, and run 0
+  // agrees with the fresh-engine baseline.
+  bool thread_identical = true;
+  const CampaignReport& reference = runs.front().report;
+  for (const RunResult& run : runs) {
+    const CampaignReport& r = run.report;
+    thread_identical = thread_identical &&
+                       r.baseline_pfail == reference.baseline_pfail &&
+                       r.outcomes.size() == reference.outcomes.size();
+    for (std::size_t i = 0; thread_identical && i < r.outcomes.size(); ++i) {
+      const auto& a = reference.outcomes[i];
+      const auto& b = r.outcomes[i];
+      thread_identical = a.ok == b.ok && a.pfail == b.pfail &&
+                         a.delta_pfail == b.delta_pfail &&
+                         a.blast_radius == b.blast_radius &&
+                         a.evaluations == b.evaluations;
+    }
+  }
+  bool matches_fresh = reference.outcomes.size() == fresh_pfails.size();
+  for (std::size_t i = 0; matches_fresh && i < fresh_pfails.size(); ++i) {
+    matches_fresh =
+        reference.outcomes[i].ok && reference.outcomes[i].pfail == fresh_pfails[i];
+  }
+
+  std::size_t max_warm_evaluations = 0;
+  for (const RunResult& run : runs) {
+    if (run.report.engine_evaluations > max_warm_evaluations) {
+      max_warm_evaluations = run.report.engine_evaluations;
+    }
+  }
+  const double evaluations_ratio =
+      max_warm_evaluations > 0
+          ? static_cast<double>(fresh_evaluations) /
+                static_cast<double>(max_warm_evaluations)
+          : 0.0;
+
+  std::printf("[\n");
+  for (const RunResult& run : runs) {
+    std::printf("  {\"mode\": \"warm_campaign\", \"threads\": %zu, "
+                "\"chunks\": %zu, \"scenarios\": %zu, \"evaluations\": %zu, "
+                "\"seconds\": %.4f},\n",
+                run.threads, run.report.chunks, run.report.outcomes.size(),
+                run.report.engine_evaluations, run.seconds);
+  }
+  std::printf("  {\"mode\": \"fresh_engines\", \"scenarios\": %zu, "
+              "\"evaluations\": %zu, \"seconds\": %.4f},\n",
+              kScenarios, fresh_evaluations, fresh_seconds);
+  std::printf("  {\"groups\": %zu, \"leaves\": %zu, "
+              "\"evaluations_ratio\": %.1f, \"thread_identical\": %s, "
+              "\"matches_fresh\": %s}\n]\n",
+              kGroups, kLeaves, evaluations_ratio,
+              thread_identical ? "true" : "false",
+              matches_fresh ? "true" : "false");
+
+  if (!thread_identical) {
+    std::fprintf(stderr, "FAIL: campaign rows differ across thread counts\n");
+    return 1;
+  }
+  if (!matches_fresh) {
+    std::fprintf(stderr,
+                 "FAIL: warm-session results differ from fresh engines\n");
+    return 1;
+  }
+  if (evaluations_ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: evaluations ratio %.1f < 5.0 (fresh %zu, warm %zu)\n",
+                 evaluations_ratio, fresh_evaluations, max_warm_evaluations);
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 //   sorel_cli select      <spec.json> <service> [arg...]
 //   sorel_cli uncertainty <spec.json> <service> [arg...]
 //   sorel_cli batch       <spec.json> <jobs.json>
+//   sorel_cli inject      <spec.json> <campaign.json>
 //   sorel_cli save        <spec.json>
 //   sorel_cli dot         <spec.json> [service]
 //
@@ -24,22 +25,33 @@
 // declared in its "uncertainty" object; `batch` evaluates a jobs file (an
 // array of {"service", "args", "attributes", "pfail_overrides"} queries, or
 // an object with such a "jobs" array) on the delta-based batch evaluator
-// and emits one JSON result line per job (see docs/FORMAT.md).
+// and emits one JSON result line per job; `inject` runs a fault-injection
+// campaign file on warm sessions and emits one JSON line per scenario plus
+// a summary line (see docs/FORMAT.md).
+//
+// Both batch and inject keep going on per-job failures: a malformed or
+// failing job/scenario yields a JSON error line for that entry only, the
+// rest of the batch still runs, and the process exits 3 at the end.
 //
 // `--threads N` (anywhere on the command line; also `--threads=N`) sets the
 // worker count for the many-evaluation commands — uncertainty, select,
-// sensitivity, importance, simulate. 0 (the default) uses every hardware
-// thread; the SOREL_THREADS environment variable overrides that default.
-// Results are bit-identical for every thread count.
+// sensitivity, importance, simulate, batch, inject. 0 (the default) uses
+// every hardware thread; the SOREL_THREADS environment variable overrides
+// that default. Results are bit-identical for every thread count.
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on model errors.
+// Exit status: 0 on success, 1 on usage errors, 2 on model/spec errors,
+// 3 when a batch/inject run completed but some jobs or scenarios failed.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sorel/core/engine.hpp"
+#include "sorel/faults/campaign_json.hpp"
+#include "sorel/faults/runner.hpp"
 #include "sorel/core/performance.hpp"
 #include "sorel/core/selection.hpp"
 #include "sorel/core/sensitivity.hpp"
@@ -67,6 +79,7 @@ int usage() {
                "  select      <spec> <service> [arg...]  rank declared candidates\n"
                "  uncertainty <spec> <service> [arg...]  propagate declared bands\n"
                "  batch       <spec> <jobs.json>         one JSON line per job\n"
+               "  inject      <spec> <campaign.json>     fault-injection report\n"
                "  save        <spec>                     canonicalised document\n"
                "  dot         <spec> [service]           GraphViz output\n"
                "options:\n"
@@ -116,6 +129,10 @@ std::vector<double> parse_args(char** begin, char** end) {
     const double v = std::strtod(*it, &parse_end);
     if (parse_end == *it || *parse_end != '\0') {
       throw sorel::InvalidArgument(std::string("not a number: '") + *it + "'");
+    }
+    if (!std::isfinite(v)) {
+      throw sorel::InvalidArgument(std::string("argument must be finite: '") +
+                                   *it + "'");
     }
     out.push_back(v);
   }
@@ -281,28 +298,42 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
     return 2;
   }
 
+  // Keep-going parse: a malformed entry degrades to an error line for that
+  // job only; the well-formed jobs still run.
+  struct ParsedJob {
+    std::optional<sorel::runtime::BatchJob> job;
+    std::string error_category;
+    std::string error_message;
+  };
+  std::vector<ParsedJob> parsed(jobs_value.size());
   std::vector<sorel::runtime::BatchJob> jobs;
   jobs.reserve(jobs_value.size());
   for (std::size_t i = 0; i < jobs_value.size(); ++i) {
     const sorel::json::Value& entry = jobs_value.at(i);
-    sorel::runtime::BatchJob job;
-    job.service = entry.at("service").as_string();
-    if (entry.contains("args")) {
-      for (const sorel::json::Value& a : entry.at("args").as_array()) {
-        job.args.push_back(a.as_number());
+    try {
+      sorel::runtime::BatchJob job;
+      job.service = entry.at("service").as_string();
+      if (entry.contains("args")) {
+        for (const sorel::json::Value& a : entry.at("args").as_array()) {
+          job.args.push_back(a.as_number());
+        }
       }
-    }
-    if (entry.contains("attributes")) {
-      for (const auto& [name, value] : entry.at("attributes").as_object()) {
-        job.attribute_overrides[name] = value.as_number();
+      if (entry.contains("attributes")) {
+        for (const auto& [name, value] : entry.at("attributes").as_object()) {
+          job.attribute_overrides[name] = value.as_number();
+        }
       }
-    }
-    if (entry.contains("pfail_overrides")) {
-      for (const auto& [name, value] : entry.at("pfail_overrides").as_object()) {
-        job.pfail_overrides[name] = value.as_number();
+      if (entry.contains("pfail_overrides")) {
+        for (const auto& [name, value] : entry.at("pfail_overrides").as_object()) {
+          job.pfail_overrides[name] = value.as_number();
+        }
       }
+      parsed[i].job = std::move(job);
+    } catch (const std::exception& e) {
+      parsed[i].error_category = sorel::error_category(e);
+      parsed[i].error_message = e.what();
     }
-    jobs.push_back(std::move(job));
+    if (parsed[i].job) jobs.push_back(*parsed[i].job);
   }
 
   sorel::runtime::BatchEvaluator::Options options;
@@ -310,22 +341,92 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
   sorel::runtime::BatchEvaluator evaluator(assembly, options);
   const auto results = evaluator.evaluate(jobs);
 
-  for (std::size_t i = 0; i < results.size(); ++i) {
+  std::size_t failed = 0;
+  std::size_t next_result = 0;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
     sorel::json::Object line;
     line["job"] = i;
-    line["service"] = jobs[i].service;
-    line["pfail"] = results[i].pfail;
-    line["reliability"] = results[i].reliability;
+    if (parsed[i].job) {
+      line["service"] = parsed[i].job->service;
+      const sorel::runtime::BatchItem& item = results[next_result++];
+      if (item.ok) {
+        line["pfail"] = item.pfail;
+        line["reliability"] = item.reliability;
+      } else {
+        ++failed;
+        line["error"] = item.error_category;
+        line["message"] = item.error_message;
+      }
+    } else {
+      ++failed;
+      line["error"] = parsed[i].error_category;
+      line["message"] = parsed[i].error_message;
+    }
     std::printf("%s\n", sorel::json::Value(std::move(line)).dump().c_str());
   }
   const auto& stats = evaluator.stats();
   std::fprintf(stderr,
-               "batch: %zu jobs on %zu chunks, %zu evaluations, %zu memo hits, "
-               "%zu invalidated, %.3fs\n",
-               stats.jobs, stats.chunks, stats.engine_evaluations,
+               "batch: %zu jobs on %zu chunks, %zu failed, %zu evaluations, "
+               "%zu memo hits, %zu invalidated, %.3fs\n",
+               parsed.size(), stats.chunks, failed, stats.engine_evaluations,
                stats.engine_memo_hits, stats.engine_memo_invalidated,
                stats.wall_seconds);
-  return 0;
+  return failed == 0 ? 0 : 3;
+}
+
+int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
+               std::size_t threads) {
+  const sorel::faults::Campaign campaign =
+      sorel::faults::load_campaign_file(campaign_path);
+
+  sorel::faults::CampaignRunner::Options options;
+  options.threads = threads;
+  sorel::faults::CampaignRunner runner(assembly, options);
+  const sorel::faults::CampaignReport report = runner.run(campaign);
+
+  for (const sorel::faults::ScenarioOutcome& outcome : report.outcomes) {
+    sorel::json::Object line;
+    line["scenario"] = outcome.scenario;
+    line["name"] = outcome.name;
+    if (outcome.ok) {
+      line["pfail"] = outcome.pfail;
+      line["delta_pfail"] = outcome.delta_pfail;
+      line["blast_radius"] = outcome.blast_radius;
+      line["evaluations"] = outcome.evaluations;
+    } else {
+      line["error"] = outcome.error_category;
+      line["message"] = outcome.error_message;
+    }
+    std::printf("%s\n", sorel::json::Value(std::move(line)).dump().c_str());
+  }
+
+  sorel::json::Object summary;
+  summary["baseline_pfail"] = report.baseline_pfail;
+  summary["scenarios"] = report.outcomes.size();
+  summary["failed"] = report.failed_scenarios;
+  sorel::json::Array ranking;
+  for (const sorel::faults::FaultCriticality& row : report.criticality) {
+    sorel::json::Object entry;
+    entry["fault"] = row.fault;
+    entry["label"] = row.label;
+    entry["max_delta_pfail"] = row.max_delta_pfail;
+    entry["mean_delta_pfail"] = row.mean_delta_pfail;
+    entry["scenarios"] = row.scenarios;
+    ranking.emplace_back(std::move(entry));
+  }
+  summary["criticality"] = sorel::json::Value(std::move(ranking));
+  if (report.frontier_computed) {
+    summary["reliability_target"] = campaign.reliability_target;
+    summary["survivable_k"] = report.survivable_k;
+  }
+  std::printf("%s\n", sorel::json::Value(std::move(summary)).dump().c_str());
+
+  std::fprintf(stderr,
+               "inject: %zu scenarios on %zu chunks, %zu failed, "
+               "%zu evaluations, %.3fs\n",
+               report.outcomes.size(), report.chunks, report.failed_scenarios,
+               report.engine_evaluations, report.wall_seconds);
+  return report.failed_scenarios == 0 ? 0 : 3;
 }
 
 int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
@@ -375,6 +476,7 @@ int main(int argc, char** argv) {
     }
     if (argc < 4) return usage();
     if (command == "batch") return cmd_batch(assembly, argv[3], threads);
+    if (command == "inject") return cmd_inject(assembly, argv[3], threads);
     const std::string service = argv[3];
 
     if (command == "simulate") {

@@ -1,0 +1,66 @@
+// Campaign: the enumeration half of fault injection — which combinations
+// of FaultSpecs to try against a target query, in what order.
+//
+// A campaign owns a fault pool and a deterministic, ordered scenario list
+// over it. The stock enumerations are single faults (scenario i = fault i)
+// and all pairs (every single, then every unordered pair in lexicographic
+// index order — the k≤2 slice of the survivability question); explicit
+// scenario lists cover everything else (correlated failures, region
+// outages, hand-written what-ifs). Scenario order is part of the campaign's
+// identity: CampaignRunner reports are ordered by scenario index and
+// bit-identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sorel/faults/fault_spec.hpp"
+
+namespace sorel::faults {
+
+/// One injection experiment: the faults (indices into Campaign::faults)
+/// applied together before the target query is re-evaluated.
+struct Scenario {
+  std::string name;  // optional; reports fall back to the fault labels
+  std::vector<std::size_t> faults;
+};
+
+struct Campaign {
+  /// The target query whose degradation the campaign measures.
+  std::string service;
+  std::vector<double> args;
+
+  /// Reliability floor for the survivability frontier; negative = no
+  /// target declared (the frontier is then not computed).
+  double reliability_target = -1.0;
+
+  std::vector<FaultSpec> faults;
+  std::vector<Scenario> scenarios;
+
+  bool has_reliability_target() const noexcept {
+    return reliability_target >= 0.0;
+  }
+
+  /// Scenario i injects exactly fault i.
+  static Campaign single_faults(std::string service, std::vector<double> args,
+                                std::vector<FaultSpec> faults);
+
+  /// Every single fault, then every unordered pair {i, j} with i < j in
+  /// lexicographic order — so the frontier can distinguish "survives any
+  /// one fault" from "survives any two".
+  static Campaign all_pairs(std::string service, std::vector<double> args,
+                            std::vector<FaultSpec> faults);
+
+  /// Explicit scenario list over the fault pool.
+  static Campaign from_scenarios(std::string service, std::vector<double> args,
+                                 std::vector<FaultSpec> faults,
+                                 std::vector<Scenario> scenarios);
+
+  /// Well-formedness: non-empty target service, every scenario fault index
+  /// in range, every fault spec internally valid, a finite reliability
+  /// target ≤ 1. Throws sorel::InvalidArgument naming the offender.
+  void validate() const;
+};
+
+}  // namespace sorel::faults

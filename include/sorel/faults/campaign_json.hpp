@@ -1,0 +1,47 @@
+// JSON embedding of fault-injection campaigns — the sorel_cli `inject`
+// input format (docs/FORMAT.md, "Fault-injection campaigns"):
+//
+// {
+//   "service": "stream_session",          // target query (required)
+//   "args": [90],                         // query arguments (default [])
+//   "mode": "single",                     // "single" | "pairs" | "scenarios"
+//   "reliability_target": 0.999,          // optional frontier floor
+//   "faults": [
+//     {"name": "store_flaky", "kind": "pfail",
+//      "service": "object_store", "pfail": 0.2},
+//     {"kind": "attribute", "attribute": "farm_cpu.s",
+//      "op": "scale", "value": 0.5},
+//     {"kind": "binding_cut", "service": "transcode", "port": "storage",
+//      "fallback": {"target": "object_store", "connector": "rpc",
+//                   "connector_actuals": ["arg0", "64"]}}
+//   ],
+//   "scenarios": [                        // mode == "scenarios" only
+//     {"name": "slow farm + flaky store", "faults": ["store_flaky", 1]}
+//   ]
+// }
+//
+// Scenario fault references are indices into "faults" or the "name" of a
+// named fault. Numbers must be finite; "pfail" and "reliability_target"
+// must lie in [0, 1] — violations raise sorel::InvalidArgument naming the
+// offending fault/key.
+#pragma once
+
+#include <string>
+
+#include "sorel/faults/campaign.hpp"
+#include "sorel/json/json.hpp"
+
+namespace sorel::faults {
+
+/// Parse one fault spec object. Throws sorel::InvalidArgument /
+/// sorel::LookupError with messages naming the offending field; `context`
+/// prefixes them ("fault #3").
+FaultSpec load_fault(const json::Value& spec, const std::string& context);
+
+/// Parse a whole campaign document (schema above) and validate it.
+Campaign load_campaign(const json::Value& document);
+
+/// Convenience: parse the file at `path` and load it.
+Campaign load_campaign_file(const std::string& path);
+
+}  // namespace sorel::faults

@@ -1,0 +1,99 @@
+// FaultSpec: one injectable degradation of a service assembly.
+//
+// The paper predicts how an assembly's reliability responds to the failure
+// behaviour of its parts; a fault spec is the "what if this part degrades"
+// half of that question, phrased in the model's own vocabulary:
+//
+//  - pfail override — pin a named service to a constant unreliability
+//    (a crashed dependency: pfail 1; a flaky one: pfail 0.2). The
+//    engine-level pin importance analysis already uses, promoted to a
+//    first-class fault.
+//  - attribute degradation — set, scale, or shift one assembly attribute
+//    (halve a CPU's speed: scale cpu.s by 0.5; a lossy link: scale
+//    net.beta by 10).
+//  - binding cut — sever one port wiring, optionally failing over to a
+//    fallback binding (the assembler's contingency plan). Without a
+//    fallback, every request through the port fails.
+//
+// Faults are plain data; faults::CampaignRunner injects them as sparse
+// deltas into warm core::EvalSessions, and apply_to_assembly() materialises
+// the assembly-expressible kinds onto an Assembly copy (the Monte-Carlo
+// cross-check path).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sorel/core/assembly.hpp"
+
+namespace sorel::faults {
+
+enum class FaultKind { kPfailOverride, kAttribute, kBindingCut };
+
+/// How an attribute fault derives the degraded value from the current one.
+enum class AttributeOp { kSet, kScale, kAdd };
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kAttribute;
+  /// Optional label for reports; label() falls back to describe().
+  std::string name;
+
+  /// kPfailOverride: the pinned service. kBindingCut: the composite owning
+  /// the cut port.
+  std::string service;
+  /// kPfailOverride: the pinned unreliability, in [0, 1].
+  double pfail = 1.0;
+
+  /// kAttribute: the degraded assembly attribute and its new value —
+  /// `value` (kSet), `current * value` (kScale), or `current + value`
+  /// (kAdd).
+  std::string attribute;
+  AttributeOp op = AttributeOp::kSet;
+  double value = 0.0;
+
+  /// kBindingCut: the cut port, and the optional rebind that replaces it.
+  std::string port;
+  std::optional<core::PortBinding> fallback;
+
+  static FaultSpec pfail_override(std::string service, double pfail,
+                                  std::string name = "");
+  static FaultSpec attribute_set(std::string attribute, double value,
+                                 std::string name = "");
+  static FaultSpec attribute_scale(std::string attribute, double factor,
+                                   std::string name = "");
+  static FaultSpec attribute_add(std::string attribute, double delta,
+                                 std::string name = "");
+  static FaultSpec binding_cut(std::string service, std::string port,
+                               std::string name = "");
+  static FaultSpec binding_rebind(std::string service, std::string port,
+                                  core::PortBinding fallback,
+                                  std::string name = "");
+
+  /// The attribute value this fault installs given the pre-fault value.
+  /// Meaningful for kAttribute only.
+  double degraded_value(double current) const;
+
+  /// One-line human-readable description ("scale cpu1.s by 0.5").
+  std::string describe() const;
+
+  /// The report label: `name` when given, describe() otherwise.
+  std::string label() const { return name.empty() ? describe() : name; }
+
+  /// Throws sorel::InvalidArgument when the spec is internally inconsistent
+  /// (empty names for the kind, non-finite numbers, pfail outside [0, 1]).
+  void validate() const;
+};
+
+/// Materialise a fault onto `assembly` (in place): attribute faults
+/// set_attribute the degraded value, binding cuts rebind the port — to the
+/// fallback, or to an always-failing stand-in service
+/// ("__fault_sink_<arity>", registered on demand) when no fallback is
+/// given. This is the offline twin of CampaignRunner's session-delta
+/// injection, used to cross-check analytic post-injection predictions
+/// against the Monte-Carlo simulator. Throws sorel::InvalidArgument for
+/// kPfailOverride (an engine-level pin, not assembly state),
+/// sorel::LookupError / sorel::ModelError for unknown attributes or unbound
+/// ports.
+void apply_to_assembly(const FaultSpec& fault, core::Assembly& assembly);
+
+}  // namespace sorel::faults

@@ -1,0 +1,122 @@
+// CampaignRunner: execute a fault-injection campaign on warm EvalSessions.
+//
+// Re-evaluating an assembly from scratch per scenario costs a full engine
+// build and one evaluation per reachable service; a campaign of thousands
+// of faults multiplies that out. The runner instead holds one warm
+// core::EvalSession per worker chunk (runtime::parallel_for) and turns each
+// scenario into a sparse delta round-trip:
+//
+//   inject: attribute deltas via set_attributes, pfail pins via
+//           set_pfail_overrides, binding cuts via Assembly::bind on the
+//           worker's own copy + invalidate_binding;
+//   read:   the dependency-tracked incremental re-evaluation of the target
+//           query (cost ∝ the faults' blast radius, not assembly size);
+//   revert: undo every delta and re-warm the memo, so every scenario starts
+//           from the identical fully-warm state regardless of chunking.
+//
+// That last invariant makes the whole report — pfail, ΔPfail, blast radius,
+// per-scenario evaluation counts — bit-identical for every thread count.
+//
+// Graceful degradation: a scenario that throws (unknown attribute, unbound
+// port, numeric blow-up) yields a structured error outcome; every other
+// scenario still runs. The worker's session is rebuilt after a failure so
+// one poisoned scenario cannot leak state into its neighbours.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/core/engine.hpp"
+#include "sorel/faults/campaign.hpp"
+
+namespace sorel::faults {
+
+/// The per-scenario report row, in campaign order.
+struct ScenarioOutcome {
+  std::size_t scenario = 0;
+  std::string name;  // Scenario::name or the joined fault labels
+  bool ok = false;
+
+  // Valid when ok:
+  double pfail = 1.0;        // post-injection Pfail of the target query
+  double delta_pfail = 0.0;  // pfail − baseline
+  /// Memoised results invalidated by the injection — how much of the warm
+  /// evaluation state the faults actually touched.
+  std::size_t blast_radius = 0;
+  /// Engine evaluations spent on this scenario (inject + query + revert +
+  /// re-warm). Chunking-independent, like every other field.
+  std::size_t evaluations = 0;
+
+  // Valid when !ok:
+  std::string error_category;  // sorel::error_category tag
+  std::string error_message;
+};
+
+/// Per-fault aggregate over the scenarios that contain it (ok ones only).
+struct FaultCriticality {
+  std::size_t fault = 0;  // index into Campaign::faults
+  std::string label;
+  double max_delta_pfail = 0.0;
+  double mean_delta_pfail = 0.0;
+  std::size_t scenarios = 0;  // ok scenarios containing the fault
+};
+
+struct CampaignReport {
+  /// Pfail of the target query with no fault injected.
+  double baseline_pfail = 0.0;
+
+  std::vector<ScenarioOutcome> outcomes;  // ordered by scenario index
+
+  /// Every fault, ranked most critical first (descending max ΔPfail, ties
+  /// by ascending fault index).
+  std::vector<FaultCriticality> criticality;
+
+  /// Survivability frontier: the largest k such that every campaign
+  /// scenario with ≤ k faults evaluated ok and kept reliability ≥ the
+  /// campaign's target. 0 when some single-fault scenario already breaks
+  /// the target; meaningful only when has_reliability_target() (false =
+  /// frontier not computed, survivable_k is 0).
+  bool frontier_computed = false;
+  std::size_t survivable_k = 0;
+
+  std::size_t failed_scenarios = 0;
+
+  // Execution statistics (chunk-count-dependent, unlike the rows above).
+  std::size_t engine_evaluations = 0;  // total, incl. per-worker warm-up
+  std::size_t chunks = 0;
+  double wall_seconds = 0.0;
+};
+
+class CampaignRunner {
+ public:
+  struct Options {
+    /// Worker chunks; 0 = as many as the hardware allows (SOREL_THREADS
+    /// overrides, see sorel::runtime::ThreadPool).
+    std::size_t threads = 0;
+    /// Engine configuration shared by every worker session. Campaigns live
+    /// on dependency tracking; turning it off degrades every injection to
+    /// a full memo clear (the what-it-would-cost baseline).
+    core::ReliabilityEngine::Options engine;
+  };
+
+  /// Keeps a reference to `assembly`; it must outlive the runner. Campaigns
+  /// never mutate the caller's assembly — binding cuts operate on
+  /// worker-local copies.
+  explicit CampaignRunner(const core::Assembly& assembly);
+  CampaignRunner(const core::Assembly& assembly, Options options);
+
+  /// Run every scenario; the report's per-scenario rows are deterministic
+  /// and identical for every thread count. Throws sorel::InvalidArgument
+  /// for an ill-formed campaign (Campaign::validate) and propagates errors
+  /// of the fault-free baseline evaluation — per-scenario errors are
+  /// captured in the outcomes instead.
+  CampaignReport run(const Campaign& campaign);
+
+ private:
+  const core::Assembly& assembly_;
+  Options options_;
+};
+
+}  // namespace sorel::faults

@@ -22,9 +22,10 @@
 
 namespace sorel::runtime {
 
-/// One reliability query. Overridden attributes must exist in the
-/// assembly's attribute environment (checked up front); overrides apply to
-/// this job only — the next job starts from the assembly's own values.
+/// One reliability query. Overrides apply to this job only — the next job
+/// starts from the assembly's own values. A job whose overrides name an
+/// unknown attribute (or whose evaluation fails) degrades to an error item;
+/// it never takes the batch down.
 struct BatchJob {
   std::string service;
   std::vector<double> args;
@@ -35,9 +36,19 @@ struct BatchJob {
 };
 
 struct BatchItem {
+  /// False when this job failed: pfail/reliability are meaningless and the
+  /// error fields say why. Independent of thread count, like every other
+  /// per-job field.
+  bool ok = false;
+
+  // Valid when ok:
   double pfail = 1.0;
   double reliability = 0.0;
   double wall_seconds = 0.0;  // this job's evaluation time on its worker
+
+  // Valid when !ok:
+  std::string error_category;  // sorel::error_category tag
+  std::string error_message;
 };
 
 /// Aggregated over the whole batch (merged in chunk order).
@@ -49,6 +60,7 @@ struct BatchStats {
   /// Memo entries dropped by dependency-tracked invalidation between jobs
   /// (0 when Options::engine.track_dependencies is off).
   std::size_t engine_memo_invalidated = 0;
+  std::size_t failed_jobs = 0;           // items with ok == false
   double wall_seconds = 0.0;             // whole-batch elapsed time
 };
 
@@ -68,8 +80,11 @@ class BatchEvaluator {
   BatchEvaluator(const core::Assembly& assembly, Options options);
 
   /// Evaluate every job; results are parallel to `jobs`. Deterministic for
-  /// any thread count. Throws sorel::LookupError for overrides of unknown
-  /// attributes and propagates the first engine error otherwise.
+  /// any thread count. A job that fails — unknown service or attribute,
+  /// engine error, numeric blow-up — yields an error item (ok == false,
+  /// error_category/error_message filled in) without disturbing the jobs
+  /// around it: per-job deltas are re-based from the assembly state every
+  /// job, so a poisoned job cannot leak into its chunk neighbours.
   std::vector<BatchItem> evaluate(const std::vector<BatchJob>& jobs);
 
   /// Statistics of the most recent evaluate() call.

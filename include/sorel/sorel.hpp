@@ -12,6 +12,8 @@
 //   linalg/    the dense/sparse linear-algebra substrate
 //   json/      dependency-free JSON
 //   dsl/       the machine-processable assembly description format
+//   faults/    fault-injection campaigns over warm sessions — fault specs,
+//              campaign enumeration, graceful-degradation runner
 //   sim/       Monte-Carlo validation of the analytic predictions
 //   runtime/   deterministic parallel execution — thread pool, parallel_for,
 //              batch evaluation of many reliability queries
@@ -38,6 +40,10 @@
 #include "sorel/dsl/dot.hpp"
 #include "sorel/dsl/loader.hpp"
 #include "sorel/expr/compiled.hpp"
+#include "sorel/faults/campaign.hpp"
+#include "sorel/faults/campaign_json.hpp"
+#include "sorel/faults/fault_spec.hpp"
+#include "sorel/faults/runner.hpp"
 #include "sorel/expr/env.hpp"
 #include "sorel/expr/expr.hpp"
 #include "sorel/expr/parser.hpp"

@@ -70,4 +70,20 @@ class RecursionError : public ModelError {
   explicit RecursionError(const std::string& what) : ModelError(what) {}
 };
 
+/// Stable machine-readable tag for an exception's category — the error
+/// vocabulary of structured per-job results (runtime::BatchEvaluator,
+/// faults::CampaignRunner, sorel_cli JSON error lines). Most-derived
+/// categories win; exceptions outside the sorel hierarchy map to
+/// "exception".
+inline const char* error_category(const std::exception& e) noexcept {
+  if (dynamic_cast<const RecursionError*>(&e)) return "recursion_error";
+  if (dynamic_cast<const ParseError*>(&e)) return "parse_error";
+  if (dynamic_cast<const ModelError*>(&e)) return "model_error";
+  if (dynamic_cast<const LookupError*>(&e)) return "lookup_error";
+  if (dynamic_cast<const InvalidArgument*>(&e)) return "invalid_argument";
+  if (dynamic_cast<const NumericError*>(&e)) return "numeric_error";
+  if (dynamic_cast<const Error*>(&e)) return "error";
+  return "exception";
+}
+
 }  // namespace sorel

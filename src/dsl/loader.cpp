@@ -1,5 +1,6 @@
 #include "sorel/dsl/loader.hpp"
 
+#include <cmath>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,11 +36,22 @@ namespace {
 Expr parse_expr_field(const Value& v, const std::string& context) {
   if (v.is_number()) return Expr::constant(v.as_number());
   if (v.is_string()) {
+    Expr parsed;
     try {
-      return expr::parse(v.as_string());
+      parsed = expr::parse(v.as_string());
+      // A constant expression that overflowed ("1e308 * 10") either raises
+      // NumericError when constant_value() re-evaluates it, or yields a
+      // non-finite value — reject both at the boundary, naming the field.
+      if (parsed.is_constant() && !std::isfinite(parsed.constant_value())) {
+        fail(context, std::string("expression '") + v.as_string() +
+                          "' is not a finite number");
+      }
     } catch (const ParseError& e) {
       fail(context, std::string("bad expression '") + v.as_string() + "': " + e.what());
+    } catch (const NumericError& e) {
+      fail(context, std::string("bad expression '") + v.as_string() + "': " + e.what());
     }
+    return parsed;
   }
   fail(context, "expected an expression (string) or number");
 }
@@ -66,6 +78,9 @@ std::map<std::string, double> parse_attributes(const Value& v,
   std::map<std::string, double> out;
   for (const auto& [name, value] : v.as_object()) {
     if (!value.is_number()) fail(context, "attribute '" + name + "' must be a number");
+    if (!std::isfinite(value.as_number())) {
+      fail(context, "attribute '" + name + "' must be finite");
+    }
     out[name] = value.as_number();
   }
   return out;

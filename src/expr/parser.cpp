@@ -111,6 +111,9 @@ class Parser {
     const char* first = src_.data() + pos_;
     const char* last = src_.data() + src_.size();
     const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range) {
+      fail("number literal is outside the range of a finite double");
+    }
     if (ec != std::errc{} || ptr == first) fail("malformed number literal");
     advance_to(begin + static_cast<std::size_t>(ptr - first));
     return Expr::constant(value);

@@ -1,0 +1,93 @@
+#include "sorel/faults/campaign.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::faults {
+
+namespace {
+
+Campaign base_campaign(std::string service, std::vector<double> args,
+                       std::vector<FaultSpec> faults) {
+  Campaign c;
+  c.service = std::move(service);
+  c.args = std::move(args);
+  c.faults = std::move(faults);
+  return c;
+}
+
+}  // namespace
+
+Campaign Campaign::single_faults(std::string service, std::vector<double> args,
+                                 std::vector<FaultSpec> faults) {
+  Campaign c = base_campaign(std::move(service), std::move(args), std::move(faults));
+  c.scenarios.reserve(c.faults.size());
+  for (std::size_t i = 0; i < c.faults.size(); ++i) {
+    c.scenarios.push_back(Scenario{"", {i}});
+  }
+  return c;
+}
+
+Campaign Campaign::all_pairs(std::string service, std::vector<double> args,
+                             std::vector<FaultSpec> faults) {
+  Campaign c = single_faults(std::move(service), std::move(args), std::move(faults));
+  const std::size_t n = c.faults.size();
+  c.scenarios.reserve(n + n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      c.scenarios.push_back(Scenario{"", {i, j}});
+    }
+  }
+  return c;
+}
+
+Campaign Campaign::from_scenarios(std::string service, std::vector<double> args,
+                                  std::vector<FaultSpec> faults,
+                                  std::vector<Scenario> scenarios) {
+  Campaign c = base_campaign(std::move(service), std::move(args), std::move(faults));
+  c.scenarios = std::move(scenarios);
+  return c;
+}
+
+void Campaign::validate() const {
+  if (service.empty()) {
+    throw InvalidArgument("campaign: no target service");
+  }
+  for (const double arg : args) {
+    if (!std::isfinite(arg)) {
+      throw InvalidArgument("campaign: target arguments must be finite");
+    }
+  }
+  if (has_reliability_target() &&
+      (!std::isfinite(reliability_target) || reliability_target > 1.0)) {
+    throw InvalidArgument(
+        "campaign: reliability_target must be a probability in [0, 1]");
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    try {
+      faults[i].validate();
+    } catch (const InvalidArgument& e) {
+      throw InvalidArgument("campaign: fault #" + std::to_string(i) + ": " +
+                            e.what());
+    }
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& scenario = scenarios[i];
+    if (scenario.faults.empty()) {
+      throw InvalidArgument("campaign: scenario #" + std::to_string(i) +
+                            " injects no faults");
+    }
+    for (const std::size_t fault : scenario.faults) {
+      if (fault >= faults.size()) {
+        throw InvalidArgument("campaign: scenario #" + std::to_string(i) +
+                              " references fault #" + std::to_string(fault) +
+                              " but the campaign has " +
+                              std::to_string(faults.size()) + " faults");
+      }
+    }
+  }
+}
+
+}  // namespace sorel::faults

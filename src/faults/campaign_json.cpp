@@ -1,0 +1,215 @@
+#include "sorel/faults/campaign_json.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sorel/expr/parser.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::faults {
+
+namespace {
+
+using json::Value;
+
+[[noreturn]] void fail(const std::string& context, const std::string& message) {
+  throw InvalidArgument("campaign spec: " + context + ": " + message);
+}
+
+double finite_number(const Value& v, const std::string& context) {
+  if (!v.is_number()) fail(context, "expected a number");
+  const double number = v.as_number();
+  if (!std::isfinite(number)) fail(context, "must be finite");
+  return number;
+}
+
+expr::Expr parse_expr_field(const Value& v, const std::string& context) {
+  if (v.is_number()) return expr::Expr::constant(finite_number(v, context));
+  if (v.is_string()) {
+    try {
+      return expr::parse(v.as_string());
+    } catch (const ParseError& e) {
+      fail(context,
+           std::string("bad expression '") + v.as_string() + "': " + e.what());
+    }
+  }
+  fail(context, "expected an expression (string) or number");
+}
+
+core::PortBinding parse_fallback(const Value& b, const std::string& context) {
+  if (!b.is_object()) fail(context, "expected an object");
+  core::PortBinding binding;
+  binding.target = b.at("target").as_string();
+  binding.connector = b.get_or("connector", Value("")).as_string();
+  if (b.contains("connector_actuals")) {
+    const Value& actuals = b.at("connector_actuals");
+    for (std::size_t i = 0; i < actuals.size(); ++i) {
+      binding.connector_actuals.push_back(parse_expr_field(
+          actuals.at(i),
+          context + ".connector_actuals[" + std::to_string(i) + "]"));
+    }
+  }
+  return binding;
+}
+
+AttributeOp parse_op(const Value& v, const std::string& context) {
+  const std::string& op = v.as_string();
+  if (op == "set") return AttributeOp::kSet;
+  if (op == "scale") return AttributeOp::kScale;
+  if (op == "add") return AttributeOp::kAdd;
+  fail(context + ".op", "unknown op '" + op + "' (want set | scale | add)");
+}
+
+}  // namespace
+
+FaultSpec load_fault(const Value& spec, const std::string& context) {
+  if (!spec.is_object()) fail(context, "expected an object");
+  FaultSpec fault;
+  fault.name = spec.get_or("name", Value("")).as_string();
+  const std::string& kind = spec.at("kind").as_string();
+  if (kind == "pfail") {
+    fault.kind = FaultKind::kPfailOverride;
+    fault.service = spec.at("service").as_string();
+    fault.pfail = finite_number(spec.get_or("pfail", Value(1.0)),
+                                context + ".pfail");
+  } else if (kind == "attribute") {
+    fault.kind = FaultKind::kAttribute;
+    fault.attribute = spec.at("attribute").as_string();
+    fault.op = spec.contains("op") ? parse_op(spec.at("op"), context)
+                                   : AttributeOp::kSet;
+    fault.value = finite_number(spec.at("value"), context + ".value");
+  } else if (kind == "binding_cut") {
+    fault.kind = FaultKind::kBindingCut;
+    fault.service = spec.at("service").as_string();
+    fault.port = spec.at("port").as_string();
+    if (spec.contains("fallback")) {
+      fault.fallback = parse_fallback(spec.at("fallback"), context + ".fallback");
+    }
+  } else {
+    fail(context,
+         "unknown fault kind '" + kind +
+             "' (want pfail | attribute | binding_cut)");
+  }
+  try {
+    fault.validate();
+  } catch (const InvalidArgument& e) {
+    fail(context, e.what());
+  }
+  return fault;
+}
+
+Campaign load_campaign(const Value& document) {
+  if (!document.is_object()) fail("document", "expected an object");
+  if (!document.contains("service")) {
+    fail("document", "missing required key 'service'");
+  }
+  if (!document.contains("faults")) {
+    fail("document", "missing required key 'faults'");
+  }
+
+  std::string service = document.at("service").as_string();
+  std::vector<double> args;
+  if (document.contains("args")) {
+    const Value& args_spec = document.at("args");
+    for (std::size_t i = 0; i < args_spec.size(); ++i) {
+      args.push_back(finite_number(args_spec.at(i),
+                                   "args[" + std::to_string(i) + "]"));
+    }
+  }
+
+  std::vector<FaultSpec> faults;
+  std::map<std::string, std::size_t> by_name;
+  const Value& fault_specs = document.at("faults");
+  if (fault_specs.size() == 0) {
+    fail("faults", "at least one fault is required");
+  }
+  for (std::size_t i = 0; i < fault_specs.size(); ++i) {
+    const std::string context = "fault #" + std::to_string(i);
+    FaultSpec fault = load_fault(fault_specs.at(i), context);
+    if (!fault.name.empty()) {
+      const auto [it, inserted] = by_name.emplace(fault.name, i);
+      if (!inserted) {
+        fail(context, "duplicate fault name '" + fault.name + "'");
+      }
+    }
+    faults.push_back(std::move(fault));
+  }
+
+  const std::string mode =
+      document.get_or("mode", Value("single")).as_string();
+  Campaign campaign;
+  if (mode == "single") {
+    campaign = Campaign::single_faults(std::move(service), std::move(args),
+                                       std::move(faults));
+  } else if (mode == "pairs") {
+    campaign = Campaign::all_pairs(std::move(service), std::move(args),
+                                   std::move(faults));
+  } else if (mode == "scenarios") {
+    if (!document.contains("scenarios")) {
+      fail("document", "mode 'scenarios' requires a 'scenarios' array");
+    }
+    std::vector<Scenario> scenarios;
+    const Value& scenario_specs = document.at("scenarios");
+    for (std::size_t i = 0; i < scenario_specs.size(); ++i) {
+      const std::string context = "scenario #" + std::to_string(i);
+      const Value& spec = scenario_specs.at(i);
+      if (!spec.is_object()) fail(context, "expected an object");
+      Scenario scenario;
+      scenario.name = spec.get_or("name", Value("")).as_string();
+      const Value& refs = spec.at("faults");
+      for (std::size_t j = 0; j < refs.size(); ++j) {
+        const Value& ref = refs.at(j);
+        const std::string ref_context =
+            context + ".faults[" + std::to_string(j) + "]";
+        if (ref.is_number()) {
+          const double index = finite_number(ref, ref_context);
+          if (index < 0 || index != std::floor(index)) {
+            fail(ref_context, "fault index must be a non-negative integer");
+          }
+          if (index >= static_cast<double>(faults.size())) {
+            fail(ref_context,
+                 "fault index " +
+                     std::to_string(static_cast<long long>(index)) +
+                     " out of range (campaign has " +
+                     std::to_string(faults.size()) + " faults)");
+          }
+          scenario.faults.push_back(static_cast<std::size_t>(index));
+        } else if (ref.is_string()) {
+          const auto it = by_name.find(ref.as_string());
+          if (it == by_name.end()) {
+            fail(ref_context, "unknown fault name '" + ref.as_string() + "'");
+          }
+          scenario.faults.push_back(it->second);
+        } else {
+          fail(ref_context, "expected a fault index or a fault name");
+        }
+      }
+      scenarios.push_back(std::move(scenario));
+    }
+    campaign = Campaign::from_scenarios(std::move(service), std::move(args),
+                                        std::move(faults), std::move(scenarios));
+  } else {
+    fail("mode",
+         "unknown mode '" + mode + "' (want single | pairs | scenarios)");
+  }
+
+  if (document.contains("reliability_target")) {
+    campaign.reliability_target =
+        finite_number(document.at("reliability_target"), "reliability_target");
+    if (campaign.reliability_target < 0.0 || campaign.reliability_target > 1.0) {
+      fail("reliability_target", "must be a probability in [0, 1]");
+    }
+  }
+
+  campaign.validate();
+  return campaign;
+}
+
+Campaign load_campaign_file(const std::string& path) {
+  return load_campaign(json::parse_file(path));
+}
+
+}  // namespace sorel::faults

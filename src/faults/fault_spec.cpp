@@ -1,0 +1,196 @@
+#include "sorel/faults/fault_spec.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "sorel/core/service.hpp"
+#include "sorel/util/error.hpp"
+#include "sorel/util/strings.hpp"
+
+namespace sorel::faults {
+
+FaultSpec FaultSpec::pfail_override(std::string service, double pfail,
+                                    std::string name) {
+  FaultSpec f;
+  f.kind = FaultKind::kPfailOverride;
+  f.service = std::move(service);
+  f.pfail = pfail;
+  f.name = std::move(name);
+  return f;
+}
+
+namespace {
+
+FaultSpec attribute_fault(std::string attribute, AttributeOp op, double value,
+                          std::string name) {
+  FaultSpec f;
+  f.kind = FaultKind::kAttribute;
+  f.attribute = std::move(attribute);
+  f.op = op;
+  f.value = value;
+  f.name = std::move(name);
+  return f;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::attribute_set(std::string attribute, double value,
+                                   std::string name) {
+  return attribute_fault(std::move(attribute), AttributeOp::kSet, value,
+                         std::move(name));
+}
+
+FaultSpec FaultSpec::attribute_scale(std::string attribute, double factor,
+                                     std::string name) {
+  return attribute_fault(std::move(attribute), AttributeOp::kScale, factor,
+                         std::move(name));
+}
+
+FaultSpec FaultSpec::attribute_add(std::string attribute, double delta,
+                                   std::string name) {
+  return attribute_fault(std::move(attribute), AttributeOp::kAdd, delta,
+                         std::move(name));
+}
+
+FaultSpec FaultSpec::binding_cut(std::string service, std::string port,
+                                 std::string name) {
+  FaultSpec f;
+  f.kind = FaultKind::kBindingCut;
+  f.service = std::move(service);
+  f.port = std::move(port);
+  f.name = std::move(name);
+  return f;
+}
+
+FaultSpec FaultSpec::binding_rebind(std::string service, std::string port,
+                                    core::PortBinding fallback,
+                                    std::string name) {
+  FaultSpec f = binding_cut(std::move(service), std::move(port), std::move(name));
+  f.fallback = std::move(fallback);
+  return f;
+}
+
+double FaultSpec::degraded_value(double current) const {
+  switch (op) {
+    case AttributeOp::kSet:
+      return value;
+    case AttributeOp::kScale:
+      return current * value;
+    case AttributeOp::kAdd:
+      return current + value;
+  }
+  return value;  // unreachable
+}
+
+std::string FaultSpec::describe() const {
+  switch (kind) {
+    case FaultKind::kPfailOverride:
+      return "pin " + service + ".pfail = " + util::format_double(pfail);
+    case FaultKind::kAttribute:
+      switch (op) {
+        case AttributeOp::kSet:
+          return "set " + attribute + " = " + util::format_double(value);
+        case AttributeOp::kScale:
+          return "scale " + attribute + " by " + util::format_double(value);
+        case AttributeOp::kAdd:
+          return "shift " + attribute + " by " + util::format_double(value);
+      }
+      break;
+    case FaultKind::kBindingCut:
+      if (fallback) {
+        return "rebind " + service + "." + port + " -> " + fallback->target +
+               (fallback->connector.empty() ? "" : " via " + fallback->connector);
+      }
+      return "cut " + service + "." + port;
+  }
+  return "?";  // unreachable
+}
+
+void FaultSpec::validate() const {
+  const std::string label_text = label();
+  switch (kind) {
+    case FaultKind::kPfailOverride:
+      if (service.empty()) {
+        throw InvalidArgument("fault '" + label_text +
+                              "': pfail override needs a service name");
+      }
+      if (!std::isfinite(pfail) || pfail < 0.0 || pfail > 1.0) {
+        throw InvalidArgument("fault '" + label_text +
+                              "': pfail must be a probability in [0, 1]");
+      }
+      return;
+    case FaultKind::kAttribute:
+      if (attribute.empty()) {
+        throw InvalidArgument("fault '" + label_text +
+                              "': attribute fault needs an attribute name");
+      }
+      if (!std::isfinite(value)) {
+        throw InvalidArgument("fault '" + label_text +
+                              "': attribute value must be finite");
+      }
+      return;
+    case FaultKind::kBindingCut:
+      if (service.empty() || port.empty()) {
+        throw InvalidArgument("fault '" + label_text +
+                              "': binding cut needs a service and a port");
+      }
+      if (fallback && fallback->target.empty()) {
+        throw InvalidArgument("fault '" + label_text +
+                              "': fallback binding needs a target");
+      }
+      return;
+  }
+  throw InvalidArgument("fault '" + label_text + "': unknown fault kind");
+}
+
+void apply_to_assembly(const FaultSpec& fault, core::Assembly& assembly) {
+  fault.validate();
+  switch (fault.kind) {
+    case FaultKind::kPfailOverride:
+      throw InvalidArgument(
+          "fault '" + fault.label() +
+          "': a pfail override is an engine-level pin, not assembly state — "
+          "inject it through CampaignRunner or "
+          "ReliabilityEngine::set_pfail_overrides");
+    case FaultKind::kAttribute: {
+      const auto current = assembly.attribute_env().lookup(fault.attribute);
+      if (!current) {
+        throw LookupError("fault '" + fault.label() + "': attribute '" +
+                          fault.attribute + "' is not defined in the assembly");
+      }
+      assembly.set_attribute(fault.attribute, fault.degraded_value(*current));
+      return;
+    }
+    case FaultKind::kBindingCut: {
+      // Throws sorel::ModelError when the port was never bound — a cut of a
+      // non-existent dependency is a spec mistake, not a degradation.
+      const core::PortBinding old = assembly.binding(fault.service, fault.port);
+      if (fault.fallback) {
+        assembly.bind(fault.service, fault.port, *fault.fallback);
+        return;
+      }
+      // No fallback: every request through the port must fail. Stand in an
+      // always-failing service of the same arity as the old target so the
+      // assembly keeps validating.
+      const std::size_t arity = assembly.service(old.target)->arity();
+      const std::string sink = "__fault_sink_" + std::to_string(arity);
+      if (!assembly.has_service(sink)) {
+        std::vector<std::string> formals;
+        formals.reserve(arity);
+        for (std::size_t i = 0; i < arity; ++i) {
+          std::string formal = "x";
+          formal += std::to_string(i);
+          formals.push_back(std::move(formal));
+        }
+        assembly.add_service(core::make_simple_service(sink, std::move(formals),
+                                                       expr::Expr::constant(1.0)));
+      }
+      core::PortBinding cut;
+      cut.target = sink;
+      assembly.bind(fault.service, fault.port, std::move(cut));
+      return;
+    }
+  }
+}
+
+}  // namespace sorel::faults

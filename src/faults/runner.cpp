@@ -1,0 +1,327 @@
+#include "sorel/faults/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "sorel/core/service.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::faults {
+
+namespace {
+
+bool campaign_cuts_bindings(const Campaign& campaign) {
+  for (const FaultSpec& fault : campaign.faults) {
+    if (fault.kind == FaultKind::kBindingCut) return true;
+  }
+  return false;
+}
+
+std::string scenario_label(const Campaign& campaign, const Scenario& scenario) {
+  if (!scenario.name.empty()) return scenario.name;
+  std::string out;
+  for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
+    if (i) out += " + ";
+    out += campaign.faults[scenario.faults[i]].label();
+  }
+  return out;
+}
+
+/// One worker chunk's injection state: a warm session over the shared
+/// assembly — or over a private copy when the campaign rewires bindings
+/// (Assembly::bind mutates, and the caller's assembly is never touched).
+class Worker {
+ public:
+  Worker(const core::Assembly& shared, const Campaign& campaign,
+         const CampaignRunner::Options& options)
+      : campaign_(campaign), options_(options) {
+    if (campaign_cuts_bindings(campaign)) {
+      local_.emplace(shared);  // private copy, cheap relative to a campaign
+      active_ = &*local_;
+    } else {
+      active_ = &shared;
+    }
+    rebuild_session();
+  }
+
+  double baseline() const noexcept { return baseline_; }
+  std::size_t total_evaluations() const noexcept { return evals_total_; }
+
+  ScenarioOutcome run_scenario(std::size_t index) {
+    const Scenario& scenario = campaign_.scenarios[index];
+    ScenarioOutcome out;
+    out.scenario = index;
+    out.name = scenario_label(campaign_, scenario);
+
+    struct AttrUndo {
+      std::string attribute;
+      double previous;
+    };
+    struct BindUndo {
+      std::string service;
+      std::string port;
+      core::PortBinding previous;
+    };
+    std::vector<AttrUndo> attr_undos;
+    std::vector<BindUndo> bind_undos;
+    std::optional<std::map<std::string, double>> pfail_backup;
+
+    const std::size_t evals_start = session_->stats().evaluations;
+    std::size_t invalidated = 0;
+    try {
+      for (const std::size_t fault_index : scenario.faults) {
+        const FaultSpec& fault = campaign_.faults[fault_index];
+        switch (fault.kind) {
+          case FaultKind::kAttribute: {
+            const auto current = session_->attribute(fault.attribute);
+            if (!current) {
+              throw LookupError("fault '" + fault.label() + "': attribute '" +
+                                fault.attribute +
+                                "' is not defined in the assembly");
+            }
+            attr_undos.push_back({fault.attribute, *current});
+            invalidated += session_->set_attribute(
+                fault.attribute, fault.degraded_value(*current));
+            break;
+          }
+          case FaultKind::kPfailOverride: {
+            if (!pfail_backup) pfail_backup = session_->pfail_overrides();
+            auto merged = session_->pfail_overrides();
+            merged[fault.service] = fault.pfail;
+            // Engine pins bypass dependency recording: the pin drops the
+            // whole memo, so the blast radius is everything still cached.
+            invalidated += session_->memo_size();
+            session_->set_pfail_overrides(std::move(merged));
+            break;
+          }
+          case FaultKind::kBindingCut: {
+            // Throws sorel::ModelError when the port was never bound.
+            const core::PortBinding previous =
+                active_->binding(fault.service, fault.port);
+            core::PortBinding next =
+                fault.fallback ? *fault.fallback : sink_binding(previous);
+            local_->bind(fault.service, fault.port, std::move(next));
+            bind_undos.push_back({fault.service, fault.port, previous});
+            invalidated += session_->invalidate_binding(fault.service, fault.port);
+            break;
+          }
+        }
+      }
+      out.blast_radius = invalidated;
+      out.pfail = session_->pfail(campaign_.service, campaign_.args);
+      out.delta_pfail = out.pfail - baseline_;
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.ok = false;
+      out.error_category = error_category(e);
+      out.error_message = e.what();
+      out.evaluations = session_->stats().evaluations - evals_start;
+      evals_total_ += out.evaluations;
+      // The session (and any partially applied deltas) is suspect; restore
+      // the assembly copy's wiring and start from a pristine warm session
+      // so the poisoned scenario cannot leak into its neighbours.
+      for (auto it = bind_undos.rbegin(); it != bind_undos.rend(); ++it) {
+        local_->bind(it->service, it->port, std::move(it->previous));
+      }
+      rebuild_session();
+      return out;
+    }
+
+    // Revert in reverse application order, then re-warm the memo: every
+    // scenario — on any chunk — starts from the identical fully-warm state,
+    // which is what makes blast radii and evaluation counts
+    // chunking-independent.
+    for (auto it = bind_undos.rbegin(); it != bind_undos.rend(); ++it) {
+      local_->bind(it->service, it->port, it->previous);
+      session_->invalidate_binding(it->service, it->port);
+    }
+    if (!attr_undos.empty()) {
+      std::map<std::string, double> restore;
+      for (auto it = attr_undos.rbegin(); it != attr_undos.rend(); ++it) {
+        restore[it->attribute] = it->previous;  // first application wins
+      }
+      session_->set_attributes(restore);
+    }
+    if (pfail_backup) session_->set_pfail_overrides(std::move(*pfail_backup));
+    session_->pfail(campaign_.service, campaign_.args);  // re-warm
+
+    // An injection can evaluate (service, args) pairs outside the baseline
+    // closure — a cut port's sink, a fallback target at different actuals.
+    // Those memo entries don't depend on the reverted deltas, so they
+    // survive the revert and would leak into the next scenario's blast
+    // radius. Detect the leak (the re-warmed closure can only grow past the
+    // pristine size) and scrub by clearing the whole memo and re-warming —
+    // re-pinning the identical pfail overrides is the engine's memo-clear.
+    if (session_->memo_size() != pristine_memo_size_) {
+      session_->set_pfail_overrides(session_->pfail_overrides());
+      session_->pfail(campaign_.service, campaign_.args);
+    }
+
+    out.evaluations = session_->stats().evaluations - evals_start;
+    evals_total_ += out.evaluations;
+    return out;
+  }
+
+ private:
+  void rebuild_session() {
+    core::EvalSession::Options session_options;
+    session_options.engine = options_.engine;
+    session_.emplace(*active_, std::move(session_options));
+    baseline_ = session_->pfail(campaign_.service, campaign_.args);
+    pristine_memo_size_ = session_->memo_size();
+    evals_total_ += session_->stats().evaluations;
+  }
+
+  /// Binding to an always-failing stand-in with the old target's arity, so
+  /// the worker copy keeps validating. Registered on demand (once per
+  /// arity) in the worker's private assembly.
+  core::PortBinding sink_binding(const core::PortBinding& previous) {
+    const std::size_t arity = active_->service(previous.target)->arity();
+    const std::string sink = "__fault_sink_" + std::to_string(arity);
+    if (!local_->has_service(sink)) {
+      std::vector<std::string> formals;
+      formals.reserve(arity);
+      for (std::size_t i = 0; i < arity; ++i) {
+        std::string formal = "x";
+        formal += std::to_string(i);
+        formals.push_back(std::move(formal));
+      }
+      local_->add_service(core::make_simple_service(sink, std::move(formals),
+                                                    expr::Expr::constant(1.0)));
+    }
+    core::PortBinding cut;
+    cut.target = sink;
+    return cut;
+  }
+
+  const Campaign& campaign_;
+  const CampaignRunner::Options& options_;
+  std::optional<core::Assembly> local_;  // engaged iff the campaign rewires
+  const core::Assembly* active_ = nullptr;
+  std::optional<core::EvalSession> session_;
+  double baseline_ = 0.0;
+  std::size_t pristine_memo_size_ = 0;  // the warm closure of the target query
+  std::size_t evals_total_ = 0;
+};
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(const core::Assembly& assembly)
+    : CampaignRunner(assembly, Options{}) {}
+
+CampaignRunner::CampaignRunner(const core::Assembly& assembly, Options options)
+    : assembly_(assembly), options_(std::move(options)) {
+  assembly_.validate();
+}
+
+CampaignReport CampaignRunner::run(const Campaign& campaign) {
+  campaign.validate();
+  const auto start = std::chrono::steady_clock::now();
+
+  CampaignReport report;
+  // The chunk-0 worker doubles as the baseline prober (and the whole
+  // empty-campaign path); baseline errors propagate from here, before any
+  // per-scenario capture starts.
+  Worker main_worker(assembly_, campaign, options_);
+  report.baseline_pfail = main_worker.baseline();
+
+  const std::size_t n = campaign.scenarios.size();
+  report.outcomes.resize(n);
+  const std::size_t chunks =
+      n == 0 ? 0 : std::min(n, runtime::resolve_threads(options_.threads));
+  std::vector<std::size_t> chunk_evals(chunks == 0 ? 1 : chunks, 0);
+
+  runtime::parallel_for(
+      n, options_.threads,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        std::optional<Worker> spawned;
+        Worker& worker = chunk == 0
+                             ? main_worker
+                             : spawned.emplace(assembly_, campaign, options_);
+        for (std::size_t i = begin; i < end; ++i) {
+          report.outcomes[i] = worker.run_scenario(i);
+        }
+        chunk_evals[chunk] = worker.total_evaluations();
+      });
+
+  report.chunks = chunks;
+  if (n == 0) {
+    report.engine_evaluations = main_worker.total_evaluations();
+  } else {
+    for (const std::size_t evals : chunk_evals) {
+      report.engine_evaluations += evals;
+    }
+  }
+  for (const ScenarioOutcome& outcome : report.outcomes) {
+    if (!outcome.ok) ++report.failed_scenarios;
+  }
+
+  // Criticality: per fault, max/mean ΔPfail over the ok scenarios that
+  // contain it, ranked most damaging first (ties by fault index).
+  std::vector<FaultCriticality> criticality(campaign.faults.size());
+  std::vector<double> delta_sums(campaign.faults.size(), 0.0);
+  for (std::size_t i = 0; i < campaign.faults.size(); ++i) {
+    criticality[i].fault = i;
+    criticality[i].label = campaign.faults[i].label();
+  }
+  for (const ScenarioOutcome& outcome : report.outcomes) {
+    if (!outcome.ok) continue;
+    for (const std::size_t fault : campaign.scenarios[outcome.scenario].faults) {
+      FaultCriticality& row = criticality[fault];
+      row.max_delta_pfail = row.scenarios == 0
+                                ? outcome.delta_pfail
+                                : std::max(row.max_delta_pfail,
+                                           outcome.delta_pfail);
+      delta_sums[fault] += outcome.delta_pfail;
+      ++row.scenarios;
+    }
+  }
+  for (std::size_t i = 0; i < criticality.size(); ++i) {
+    if (criticality[i].scenarios > 0) {
+      criticality[i].mean_delta_pfail =
+          delta_sums[i] / static_cast<double>(criticality[i].scenarios);
+    }
+  }
+  std::sort(criticality.begin(), criticality.end(),
+            [](const FaultCriticality& a, const FaultCriticality& b) {
+              if (a.max_delta_pfail != b.max_delta_pfail) {
+                return a.max_delta_pfail > b.max_delta_pfail;
+              }
+              return a.fault < b.fault;
+            });
+  report.criticality = std::move(criticality);
+
+  // Survivability frontier: the largest k such that every scenario with
+  // ≤ k faults survived (ok and reliability ≥ target). A scenario that
+  // errored counts against its size — conservative.
+  if (campaign.has_reliability_target()) {
+    report.frontier_computed = true;
+    std::size_t max_size = 0;
+    std::size_t min_violation = std::numeric_limits<std::size_t>::max();
+    for (const ScenarioOutcome& outcome : report.outcomes) {
+      const std::size_t size =
+          campaign.scenarios[outcome.scenario].faults.size();
+      max_size = std::max(max_size, size);
+      const bool survives =
+          outcome.ok && (1.0 - outcome.pfail) >= campaign.reliability_target;
+      if (!survives) min_violation = std::min(min_violation, size);
+    }
+    report.survivable_k =
+        min_violation == std::numeric_limits<std::size_t>::max()
+            ? max_size
+            : min_violation - 1;
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace sorel::faults

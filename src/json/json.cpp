@@ -486,6 +486,9 @@ class Parser {
     const char* first = text_.data() + begin;
     const char* last = text_.data() + pos_;
     const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range) {
+      fail("number is outside the range of a finite double");
+    }
     if (ec != std::errc{} || ptr != last) fail("malformed number");
     return Value(value);
   }

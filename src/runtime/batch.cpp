@@ -28,17 +28,6 @@ BatchEvaluator::BatchEvaluator(const core::Assembly& assembly, Options options)
 
 std::vector<BatchItem> BatchEvaluator::evaluate(
     const std::vector<BatchJob>& jobs) {
-  const expr::Env base_env = assembly_.attribute_env();
-  for (const BatchJob& job : jobs) {
-    for (const auto& [name, value] : job.attribute_overrides) {
-      (void)value;
-      if (!base_env.contains(name)) {
-        throw LookupError("batch job overrides attribute '" + name +
-                          "' which is not defined in the assembly");
-      }
-    }
-  }
-
   const auto batch_start = std::chrono::steady_clock::now();
   const std::size_t chunks =
       jobs.empty() ? 0 : std::min(jobs.size(), resolve_threads(options_.threads));
@@ -56,22 +45,31 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
     bool pfail_dirty = false;
     for (std::size_t i = begin; i < end; ++i) {
       const BatchJob& job = jobs[i];
-      // Sparse re-base: consecutive jobs usually override the same few
-      // attributes, so this invalidates only what actually changed.
-      session.rebase_attributes(job.attribute_overrides);
-      if (!job.pfail_overrides.empty() || pfail_dirty) {
-        auto merged = options_.engine.pfail_overrides;
-        for (const auto& [name, value] : job.pfail_overrides) {
-          merged[name] = value;
-        }
-        session.set_pfail_overrides(std::move(merged));
-        pfail_dirty = !job.pfail_overrides.empty();
-      }
-
       const auto job_start = std::chrono::steady_clock::now();
-      const double pfail = session.pfail(job.service, job.args);
-      results[i].pfail = pfail;
-      results[i].reliability = 1.0 - pfail;
+      try {
+        // Sparse re-base: consecutive jobs usually override the same few
+        // attributes, so this invalidates only what actually changed. It
+        // also makes jobs independent of chunk history — a poisoned job
+        // leaves no residue the next re-base wouldn't clear.
+        session.rebase_attributes(job.attribute_overrides);
+        if (!job.pfail_overrides.empty() || pfail_dirty) {
+          auto merged = options_.engine.pfail_overrides;
+          for (const auto& [name, value] : job.pfail_overrides) {
+            merged[name] = value;
+          }
+          session.set_pfail_overrides(std::move(merged));
+          pfail_dirty = !job.pfail_overrides.empty();
+        }
+
+        const double pfail = session.pfail(job.service, job.args);
+        results[i].ok = true;
+        results[i].pfail = pfail;
+        results[i].reliability = 1.0 - pfail;
+      } catch (const std::exception& e) {
+        results[i].ok = false;
+        results[i].error_category = error_category(e);
+        results[i].error_message = e.what();
+      }
       results[i].wall_seconds = seconds_since(job_start);
     }
     chunk_stats[chunk] = session.stats();
@@ -84,6 +82,9 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
     stats.engine_evaluations += s.evaluations;
     stats.engine_memo_hits += s.memo_hits;
     stats.engine_memo_invalidated += s.memo_invalidated;
+  }
+  for (const BatchItem& item : results) {
+    if (!item.ok) ++stats.failed_jobs;
   }
   stats.wall_seconds = seconds_since(batch_start);
   stats_ = stats;

@@ -1,0 +1,128 @@
+// Loader error paths: malformed and truncated specs must die at the right
+// boundary with the right category — ParseError (with line/column) for
+// broken JSON or expression text, ModelError naming the offending service
+// or field for structurally bad specs, and non-finite numbers rejected
+// before they can enter an assembly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+sorel::core::Assembly load(const std::string& text) {
+  return sorel::dsl::load_assembly(sorel::json::parse(text));
+}
+
+// Expect a ModelError whose message mentions `needle`.
+void expect_model_error(const std::string& text, const std::string& needle) {
+  try {
+    load(text);
+    FAIL() << "expected ModelError mentioning '" << needle << "'";
+  } catch (const sorel::ModelError& e) {
+    EXPECT_STREQ(sorel::error_category(e), "model_error");
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(LoaderErrors, TruncatedDocumentIsAParseErrorWithPosition) {
+  const std::string truncated = "{\n  \"services\": [\n    {\"type\": \"cpu\",";
+  try {
+    load(truncated);
+    FAIL() << "expected ParseError";
+  } catch (const sorel::ParseError& e) {
+    EXPECT_STREQ(sorel::error_category(e), "parse_error");
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_GT(e.column(), 1u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(LoaderErrors, GarbageDocumentReportsFirstBadCharacter) {
+  try {
+    load("{\"services\": [}]}");
+    FAIL() << "expected ParseError";
+  } catch (const sorel::ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.column(), 15u);
+  }
+}
+
+TEST(LoaderErrors, TruncatedFileThroughLoadAssemblyFile) {
+  const std::string path =
+      write_temp("truncated_spec.json", "{\"services\": [{\"type\": ");
+  EXPECT_THROW(sorel::dsl::load_assembly_file(path), sorel::ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderErrors, MissingFileIsAnError) {
+  EXPECT_THROW(sorel::dsl::load_assembly_file("/nonexistent/spec.json"),
+               sorel::Error);
+}
+
+TEST(LoaderErrors, UnknownServiceTypeNamesTheService) {
+  expect_model_error(
+      R"({"services": [{"type": "quantum", "name": "q1"}]})",
+      "unknown service type");
+}
+
+TEST(LoaderErrors, BadExpressionCarriesTheExprParseMessage) {
+  expect_model_error(
+      R"({"services": [
+            {"type": "simple", "name": "s", "formals": ["n"],
+             "pfail": "0.1 + * n"}]})",
+      "bad expression");
+}
+
+TEST(LoaderErrors, UnknownFlowStateNamesTheState) {
+  expect_model_error(
+      R"({"services": [
+            {"type": "composite", "name": "c", "formals": [],
+             "flow": {
+               "states": [{"name": "work", "requests": []}],
+               "transitions": [
+                 {"from": "Start", "to": "nowhere", "p": 1}]}}]})",
+      "unknown state 'nowhere'");
+}
+
+TEST(LoaderErrors, NonFiniteExpressionConstantIsRejected) {
+  // Expression operators fold constants eagerly, so "1e308 * 10" overflows
+  // during parsing; the loader wraps that into a ModelError naming the
+  // offending expression instead of letting the NumericError escape.
+  expect_model_error(
+      R"({"services": [
+            {"type": "simple", "name": "s", "formals": [],
+             "pfail": "1e308 * 10"}]})",
+      "non-finite");
+}
+
+TEST(LoaderErrors, NonFiniteAttributeOverflowDiesInTheJsonParser) {
+  EXPECT_THROW(load(R"({"attributes": {"cpu.s": 1e999}, "services": []})"),
+               sorel::ParseError);
+}
+
+TEST(LoaderErrors, OverflowingNumberLiteralInSpecIsAParseError) {
+  try {
+    load(R"({"services": [
+              {"type": "cpu", "name": "c", "speed": 1e400,
+               "failure_rate": 1e-9}]})");
+    FAIL() << "expected ParseError";
+  } catch (const sorel::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -118,6 +118,21 @@ TEST(Parser, PrinterRoundTrip) {
   }
 }
 
+TEST(Parser, OverflowingNumberLiteralIsAParseError) {
+  for (const char* text : {"1e999", "2 * 1e999", "pow(1e999, 2)"}) {
+    try {
+      (void)parse(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const sorel::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("range of a finite double"),
+                std::string::npos)
+          << "message was: " << e.what();
+    }
+  }
+  // The largest finite literal still parses.
+  EXPECT_DOUBLE_EQ(parse("1e308").eval(Env{}), 1e308);
+}
+
 TEST(Parser, RandomRoundTripProperty) {
   // Generate random expression trees, print, reparse, compare evaluation.
   sorel::util::Rng rng(2024);

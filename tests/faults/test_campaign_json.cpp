@@ -1,0 +1,172 @@
+// Campaign JSON loading: schema round-trips, scenario references by index
+// and by name, and hostile documents rejected with messages that name the
+// offending field.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "sorel/faults/campaign_json.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::faults::AttributeOp;
+using sorel::faults::Campaign;
+using sorel::faults::FaultKind;
+using sorel::faults::FaultSpec;
+
+Campaign load(const std::string& text) {
+  return sorel::faults::load_campaign(sorel::json::parse(text));
+}
+
+// Expect an InvalidArgument whose message mentions `needle`.
+void expect_rejected(const std::string& text, const std::string& needle) {
+  try {
+    load(text);
+    FAIL() << "expected InvalidArgument mentioning '" << needle << "'";
+  } catch (const sorel::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(CampaignJson, LoadsEveryFaultKind) {
+  const Campaign campaign = load(R"({
+    "service": "app", "args": [2, 0.5], "mode": "single",
+    "reliability_target": 0.99,
+    "faults": [
+      {"name": "flaky", "kind": "pfail", "service": "store", "pfail": 0.2},
+      {"kind": "attribute", "attribute": "cpu.s", "op": "scale", "value": 0.5},
+      {"kind": "attribute", "attribute": "net.beta", "value": 0.1},
+      {"kind": "binding_cut", "service": "app", "port": "store"},
+      {"kind": "binding_cut", "service": "app", "port": "cache",
+       "fallback": {"target": "store", "connector": "rpc",
+                    "connector_actuals": ["arg0", "64"]}}
+    ]})");
+
+  EXPECT_EQ(campaign.service, "app");
+  EXPECT_EQ(campaign.args, (std::vector<double>{2.0, 0.5}));
+  EXPECT_EQ(campaign.reliability_target, 0.99);
+  ASSERT_EQ(campaign.faults.size(), 5u);
+  ASSERT_EQ(campaign.scenarios.size(), 5u);  // mode "single"
+
+  EXPECT_EQ(campaign.faults[0].kind, FaultKind::kPfailOverride);
+  EXPECT_EQ(campaign.faults[0].name, "flaky");
+  EXPECT_EQ(campaign.faults[0].service, "store");
+  EXPECT_EQ(campaign.faults[0].pfail, 0.2);
+
+  EXPECT_EQ(campaign.faults[1].kind, FaultKind::kAttribute);
+  EXPECT_EQ(campaign.faults[1].op, AttributeOp::kScale);
+  EXPECT_EQ(campaign.faults[1].value, 0.5);
+  // "op" defaults to set.
+  EXPECT_EQ(campaign.faults[2].op, AttributeOp::kSet);
+
+  EXPECT_EQ(campaign.faults[3].kind, FaultKind::kBindingCut);
+  EXPECT_FALSE(campaign.faults[3].fallback.has_value());
+  ASSERT_TRUE(campaign.faults[4].fallback.has_value());
+  EXPECT_EQ(campaign.faults[4].fallback->target, "store");
+  EXPECT_EQ(campaign.faults[4].fallback->connector, "rpc");
+  ASSERT_EQ(campaign.faults[4].fallback->connector_actuals.size(), 2u);
+}
+
+TEST(CampaignJson, PairsModeEnumeratesAllPairs) {
+  const Campaign campaign = load(R"({
+    "service": "app", "mode": "pairs",
+    "faults": [
+      {"kind": "pfail", "service": "a"},
+      {"kind": "pfail", "service": "b"},
+      {"kind": "pfail", "service": "c"}
+    ]})");
+  EXPECT_EQ(campaign.scenarios.size(), 6u);
+  EXPECT_FALSE(campaign.has_reliability_target());
+}
+
+TEST(CampaignJson, ScenariosReferenceFaultsByIndexAndName) {
+  const Campaign campaign = load(R"({
+    "service": "app", "mode": "scenarios",
+    "faults": [
+      {"name": "flaky", "kind": "pfail", "service": "a"},
+      {"name": "slow", "kind": "attribute", "attribute": "cpu.s",
+       "op": "scale", "value": 0.5}
+    ],
+    "scenarios": [
+      {"name": "both at once", "faults": ["flaky", 1]},
+      {"faults": [0]}
+    ]})");
+  ASSERT_EQ(campaign.scenarios.size(), 2u);
+  EXPECT_EQ(campaign.scenarios[0].name, "both at once");
+  EXPECT_EQ(campaign.scenarios[0].faults, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(campaign.scenarios[1].faults, std::vector<std::size_t>{0});
+}
+
+TEST(CampaignJson, PfailDefaultsToCertainFailure) {
+  const Campaign campaign = load(R"({
+    "service": "app",
+    "faults": [{"kind": "pfail", "service": "a"}]})");
+  EXPECT_EQ(campaign.faults[0].pfail, 1.0);
+}
+
+TEST(CampaignJson, RejectsHostileDocuments) {
+  expect_rejected(R"({"faults": []})", "service");
+  expect_rejected(R"({"service": "app", "faults": []})", "faults");
+  expect_rejected(
+      R"({"service": "app", "mode": "everything",
+          "faults": [{"kind": "pfail", "service": "a"}]})",
+      "mode");
+  expect_rejected(
+      R"({"service": "app",
+          "faults": [{"kind": "meteor", "service": "a"}]})",
+      "kind");
+  expect_rejected(
+      R"({"service": "app",
+          "faults": [{"kind": "attribute", "attribute": "cpu.s",
+                      "op": "divide", "value": 2}]})",
+      "op");
+  expect_rejected(
+      R"({"service": "app",
+          "faults": [{"kind": "pfail", "service": "a", "pfail": 1.5}]})",
+      "pfail");
+  expect_rejected(
+      R"({"service": "app", "reliability_target": 2.0,
+          "faults": [{"kind": "pfail", "service": "a"}]})",
+      "reliability_target");
+}
+
+TEST(CampaignJson, RejectsDuplicateFaultNames) {
+  expect_rejected(
+      R"({"service": "app",
+          "faults": [{"name": "f", "kind": "pfail", "service": "a"},
+                     {"name": "f", "kind": "pfail", "service": "b"}]})",
+      "duplicate");
+}
+
+TEST(CampaignJson, RejectsBadScenarioReferences) {
+  const std::string prefix = R"({"service": "app", "mode": "scenarios",
+      "faults": [{"name": "f", "kind": "pfail", "service": "a"}],)";
+  expect_rejected(prefix + R"("scenarios": [{"faults": [7]}]})", "7");
+  expect_rejected(prefix + R"("scenarios": [{"faults": ["ghost"]}]})",
+                  "ghost");
+  expect_rejected(prefix + R"("scenarios": [{"faults": [0.5]}]})", "integer");
+}
+
+TEST(CampaignJson, NonFiniteNumbersNeverReachTheLoader) {
+  // Overflowing literals die in json::parse; programmatic non-finite values
+  // die in the json::Value constructor. The loader's own finite-number
+  // guard is defense in depth behind these two gates.
+  EXPECT_THROW(
+      load(R"({"service": "app", "args": [1e999],
+               "faults": [{"kind": "pfail", "service": "a"}]})"),
+      sorel::ParseError);
+  EXPECT_THROW(sorel::json::Value(std::numeric_limits<double>::infinity()),
+               sorel::InvalidArgument);
+}
+
+TEST(CampaignJson, LoadCampaignFileReportsMissingFiles) {
+  EXPECT_THROW(
+      sorel::faults::load_campaign_file("/nonexistent/campaign.json"),
+      sorel::Error);
+}
+
+}  // namespace

@@ -1,0 +1,434 @@
+// sorel::faults — fault specs must materialise exactly the degradation
+// they describe, campaigns must enumerate deterministically, and the
+// runner's warm-session injections must agree bit-for-bit with fresh
+// engines over faulted assembly copies at every thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/faults/campaign.hpp"
+#include "sorel/faults/fault_spec.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/sim/simulator.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::PortBinding;
+using sorel::core::ReliabilityEngine;
+using sorel::faults::Campaign;
+using sorel::faults::CampaignReport;
+using sorel::faults::CampaignRunner;
+using sorel::faults::FaultSpec;
+using sorel::faults::Scenario;
+
+Assembly partitioned(std::size_t groups = 4, std::size_t leaves = 4,
+                     double leaf_pfail = 1e-4) {
+  return sorel::scenarios::make_partitioned_assembly(groups, leaves,
+                                                     leaf_pfail);
+}
+
+// -- FaultSpec ----------------------------------------------------------
+
+TEST(FaultSpec, DegradedValueFollowsTheOperation) {
+  EXPECT_EQ(FaultSpec::attribute_set("a.p", 0.25).degraded_value(0.1), 0.25);
+  EXPECT_DOUBLE_EQ(FaultSpec::attribute_scale("a.p", 3.0).degraded_value(0.1),
+                   0.3);
+  EXPECT_DOUBLE_EQ(FaultSpec::attribute_add("a.p", 0.05).degraded_value(0.1),
+                   0.1 + 0.05);
+}
+
+TEST(FaultSpec, ValidateRejectsIllFormedSpecs) {
+  EXPECT_THROW(FaultSpec::pfail_override("", 0.5).validate(),
+               sorel::InvalidArgument);
+  EXPECT_THROW(FaultSpec::pfail_override("svc", 1.5).validate(),
+               sorel::InvalidArgument);
+  EXPECT_THROW(FaultSpec::pfail_override("svc", -0.1).validate(),
+               sorel::InvalidArgument);
+  EXPECT_THROW(FaultSpec::attribute_set("", 0.5).validate(),
+               sorel::InvalidArgument);
+  EXPECT_THROW(
+      FaultSpec::attribute_set("a.p", std::numeric_limits<double>::infinity())
+          .validate(),
+      sorel::InvalidArgument);
+  EXPECT_THROW(FaultSpec::binding_cut("svc", "").validate(),
+               sorel::InvalidArgument);
+  EXPECT_NO_THROW(FaultSpec::pfail_override("svc", 0.5).validate());
+}
+
+TEST(FaultSpec, ApplyAttributeFaultMatchesManualEdit) {
+  Assembly assembly = partitioned();
+  Assembly manual = assembly;
+  manual.set_attribute("g0_s0.p", 0.2);
+
+  sorel::faults::apply_to_assembly(FaultSpec::attribute_set("g0_s0.p", 0.2),
+                                   assembly);
+  ReliabilityEngine faulted(assembly);
+  ReliabilityEngine expected(manual);
+  EXPECT_EQ(faulted.pfail("app", {}), expected.pfail("app", {}));
+}
+
+TEST(FaultSpec, ApplyScaleReadsTheCurrentValue) {
+  Assembly assembly = partitioned();
+  sorel::faults::apply_to_assembly(FaultSpec::attribute_scale("g0_s0.p", 100.0),
+                                   assembly);
+  EXPECT_NEAR(*assembly.attribute_env().lookup("g0_s0.p"), 1e-4 * 100.0,
+              1e-18);
+}
+
+TEST(FaultSpec, ApplyBindingCutInstallsAlwaysFailingSink) {
+  Assembly assembly = partitioned();
+  sorel::faults::apply_to_assembly(FaultSpec::binding_cut("app", "g0"),
+                                   assembly);
+  EXPECT_TRUE(assembly.has_service("__fault_sink_0"));
+  EXPECT_EQ(assembly.binding("app", "g0").target, "__fault_sink_0");
+  ReliabilityEngine engine(assembly);
+  // The root is an AND over every group; a certainly-failing group kills it.
+  EXPECT_EQ(engine.pfail("app", {}), 1.0);
+}
+
+TEST(FaultSpec, ApplyBindingRebindUsesTheFallback) {
+  Assembly assembly = partitioned();
+  PortBinding fallback;
+  fallback.target = "g1";
+  sorel::faults::apply_to_assembly(
+      FaultSpec::binding_rebind("app", "g0", fallback), assembly);
+  EXPECT_EQ(assembly.binding("app", "g0").target, "g1");
+  ReliabilityEngine engine(assembly);
+  EXPECT_LT(engine.pfail("app", {}), 1.0);
+}
+
+TEST(FaultSpec, ApplyRejectsPfailOverridesAndUnknownTargets) {
+  Assembly assembly = partitioned();
+  EXPECT_THROW(sorel::faults::apply_to_assembly(
+                   FaultSpec::pfail_override("g0", 0.5), assembly),
+               sorel::InvalidArgument);
+  EXPECT_THROW(sorel::faults::apply_to_assembly(
+                   FaultSpec::attribute_set("no.such", 0.5), assembly),
+               sorel::LookupError);
+  EXPECT_THROW(sorel::faults::apply_to_assembly(
+                   FaultSpec::binding_cut("app", "unbound_port"), assembly),
+               sorel::ModelError);
+}
+
+// -- Campaign enumeration ----------------------------------------------
+
+TEST(Campaign, SingleFaultsEnumeratesOneScenarioPerFault) {
+  const Campaign campaign = Campaign::single_faults(
+      "app", {},
+      {FaultSpec::attribute_set("g0_s0.p", 0.5),
+       FaultSpec::attribute_set("g1_s1.p", 0.5),
+       FaultSpec::pfail_override("g2", 0.5)});
+  ASSERT_EQ(campaign.scenarios.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(campaign.scenarios[i].faults, std::vector<std::size_t>{i});
+  }
+  EXPECT_FALSE(campaign.has_reliability_target());
+}
+
+TEST(Campaign, AllPairsEnumeratesSinglesThenLexicographicPairs) {
+  const Campaign campaign = Campaign::all_pairs(
+      "app", {},
+      {FaultSpec::attribute_set("g0_s0.p", 0.5),
+       FaultSpec::attribute_set("g1_s1.p", 0.5),
+       FaultSpec::pfail_override("g2", 0.5)});
+  ASSERT_EQ(campaign.scenarios.size(), 3u + 3u);
+  EXPECT_EQ(campaign.scenarios[3].faults, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(campaign.scenarios[4].faults, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(campaign.scenarios[5].faults, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Campaign, ValidateRejectsIllFormedCampaigns) {
+  Campaign campaign = Campaign::single_faults(
+      "app", {}, {FaultSpec::attribute_set("g0_s0.p", 0.5)});
+  campaign.service.clear();
+  EXPECT_THROW(campaign.validate(), sorel::InvalidArgument);
+
+  campaign = Campaign::from_scenarios(
+      "app", {}, {FaultSpec::attribute_set("g0_s0.p", 0.5)},
+      {Scenario{"", {}}});
+  EXPECT_THROW(campaign.validate(), sorel::InvalidArgument);
+
+  campaign = Campaign::from_scenarios(
+      "app", {}, {FaultSpec::attribute_set("g0_s0.p", 0.5)},
+      {Scenario{"", {7}}});
+  EXPECT_THROW(campaign.validate(), sorel::InvalidArgument);
+
+  campaign = Campaign::single_faults("app", {},
+                                     {FaultSpec::pfail_override("g0", 2.0)});
+  EXPECT_THROW(campaign.validate(), sorel::InvalidArgument);
+}
+
+// -- CampaignRunner ------------------------------------------------------
+
+TEST(CampaignRunner, MatchesFreshEnginesOverFaultedCopies) {
+  const Assembly assembly = partitioned();
+  const Campaign campaign = Campaign::all_pairs(
+      "app", {},
+      {FaultSpec::attribute_set("g0_s0.p", 0.3),
+       FaultSpec::attribute_scale("g1_s1.p", 50.0),
+       FaultSpec::attribute_add("g2_s2.p", 0.1),
+       FaultSpec::binding_cut("g3", "g3_s3")});
+
+  CampaignRunner runner(assembly);
+  const CampaignReport report = runner.run(campaign);
+  ASSERT_EQ(report.outcomes.size(), campaign.scenarios.size());
+
+  ReliabilityEngine baseline(assembly);
+  EXPECT_EQ(report.baseline_pfail, baseline.pfail("app", {}));
+
+  for (const auto& outcome : report.outcomes) {
+    ASSERT_TRUE(outcome.ok) << outcome.name << ": " << outcome.error_message;
+    Assembly faulted = assembly;
+    for (const std::size_t f : campaign.scenarios[outcome.scenario].faults) {
+      sorel::faults::apply_to_assembly(campaign.faults[f], faulted);
+    }
+    ReliabilityEngine fresh(faulted);
+    EXPECT_EQ(outcome.pfail, fresh.pfail("app", {})) << outcome.name;
+    EXPECT_EQ(outcome.delta_pfail, outcome.pfail - report.baseline_pfail);
+  }
+}
+
+TEST(CampaignRunner, PfailOverrideFaultMatchesEngineLevelPins) {
+  const Assembly assembly = partitioned();
+  const Campaign campaign = Campaign::single_faults(
+      "app", {},
+      {FaultSpec::pfail_override("g0", 0.25),
+       FaultSpec::pfail_override("g1_s1", 1.0)});
+
+  CampaignRunner runner(assembly);
+  const CampaignReport report = runner.run(campaign);
+
+  for (const auto& outcome : report.outcomes) {
+    ASSERT_TRUE(outcome.ok);
+    const FaultSpec& fault = campaign.faults[outcome.scenario];
+    ReliabilityEngine::Options options;
+    options.pfail_overrides[fault.service] = fault.pfail;
+    ReliabilityEngine pinned(assembly, options);
+    EXPECT_EQ(outcome.pfail, pinned.pfail("app", {})) << outcome.name;
+  }
+}
+
+TEST(CampaignRunner, BindingRebindFaultMatchesManualRewiring) {
+  const Assembly assembly = partitioned();
+  PortBinding fallback;
+  fallback.target = "g1";
+  const Campaign campaign = Campaign::single_faults(
+      "app", {}, {FaultSpec::binding_rebind("app", "g0", fallback)});
+
+  CampaignRunner runner(assembly);
+  const CampaignReport report = runner.run(campaign);
+  ASSERT_TRUE(report.outcomes[0].ok);
+
+  Assembly rewired = assembly;
+  rewired.bind("app", "g0", fallback);
+  ReliabilityEngine fresh(rewired);
+  EXPECT_EQ(report.outcomes[0].pfail, fresh.pfail("app", {}));
+  // The caller's assembly is untouched.
+  EXPECT_EQ(assembly.binding("app", "g0").target, "g0");
+}
+
+TEST(CampaignRunner, LeafDeltaBlastRadiusIsThreeOnPartitionedAssembly) {
+  const Assembly assembly = partitioned(8, 8);
+  const Campaign campaign = Campaign::single_faults(
+      "app", {},
+      {FaultSpec::attribute_set("g0_s0.p", 0.5),
+       FaultSpec::attribute_set("g5_s7.p", 0.5)});
+
+  CampaignRunner runner(assembly);
+  const CampaignReport report = runner.run(campaign);
+  for (const auto& outcome : report.outcomes) {
+    ASSERT_TRUE(outcome.ok);
+    // Leaf, its group, the root — the partitioned assembly's signature.
+    EXPECT_EQ(outcome.blast_radius, 3u) << outcome.name;
+  }
+}
+
+TEST(CampaignRunner, ReportIsBitIdenticalAcrossThreadCountsWithPoison) {
+  const Assembly assembly = partitioned(6, 5);
+  std::vector<FaultSpec> faults;
+  for (std::size_t g = 0; g < 6; ++g) {
+    for (std::size_t s = 0; s < 5; ++s) {
+      const std::string attr =
+          "g" + std::to_string(g) + "_s" + std::to_string(s) + ".p";
+      faults.push_back(
+          FaultSpec::attribute_set(attr, 1e-3 + 1e-5 * (5.0 * g + s)));
+    }
+  }
+  faults.push_back(FaultSpec::attribute_set("no.such.attribute", 0.5));
+  faults.push_back(FaultSpec::pfail_override("g3", 0.7));
+  faults.push_back(FaultSpec::binding_cut("app", "g2"));
+  const Campaign campaign = Campaign::all_pairs("app", {}, std::move(faults));
+
+  std::vector<CampaignReport> reports;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    CampaignRunner::Options options;
+    options.threads = threads;
+    CampaignRunner runner(assembly, options);
+    reports.push_back(runner.run(campaign));
+  }
+
+  EXPECT_GT(reports[0].failed_scenarios, 0u);
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    const CampaignReport& a = reports[0];
+    const CampaignReport& b = reports[r];
+    EXPECT_EQ(a.baseline_pfail, b.baseline_pfail);
+    EXPECT_EQ(a.failed_scenarios, b.failed_scenarios);
+    EXPECT_EQ(a.survivable_k, b.survivable_k);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      EXPECT_EQ(a.outcomes[i].ok, b.outcomes[i].ok) << i;
+      EXPECT_EQ(a.outcomes[i].pfail, b.outcomes[i].pfail) << i;
+      EXPECT_EQ(a.outcomes[i].delta_pfail, b.outcomes[i].delta_pfail) << i;
+      EXPECT_EQ(a.outcomes[i].blast_radius, b.outcomes[i].blast_radius) << i;
+      EXPECT_EQ(a.outcomes[i].evaluations, b.outcomes[i].evaluations) << i;
+      EXPECT_EQ(a.outcomes[i].error_category, b.outcomes[i].error_category);
+      EXPECT_EQ(a.outcomes[i].error_message, b.outcomes[i].error_message);
+    }
+    ASSERT_EQ(a.criticality.size(), b.criticality.size());
+    for (std::size_t i = 0; i < a.criticality.size(); ++i) {
+      EXPECT_EQ(a.criticality[i].fault, b.criticality[i].fault);
+      EXPECT_EQ(a.criticality[i].max_delta_pfail,
+                b.criticality[i].max_delta_pfail);
+      EXPECT_EQ(a.criticality[i].mean_delta_pfail,
+                b.criticality[i].mean_delta_pfail);
+    }
+  }
+}
+
+TEST(CampaignRunner, PoisonedScenarioYieldsStructuredErrorOnly) {
+  const Assembly assembly = partitioned();
+  const Campaign campaign = Campaign::single_faults(
+      "app", {},
+      {FaultSpec::attribute_set("g0_s0.p", 0.3),
+       FaultSpec::attribute_set("no.such.attribute", 0.5),
+       FaultSpec::attribute_set("g1_s1.p", 0.3)});
+
+  CampaignRunner runner(assembly);
+  const CampaignReport report = runner.run(campaign);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_TRUE(report.outcomes[0].ok);
+  EXPECT_FALSE(report.outcomes[1].ok);
+  EXPECT_EQ(report.outcomes[1].error_category, "lookup_error");
+  EXPECT_NE(report.outcomes[1].error_message.find("no.such.attribute"),
+            std::string::npos);
+  EXPECT_TRUE(report.outcomes[2].ok);
+  EXPECT_EQ(report.failed_scenarios, 1u);
+  // The healthy scenarios still match fresh evaluation.
+  Assembly faulted = assembly;
+  faulted.set_attribute("g1_s1.p", 0.3);
+  ReliabilityEngine fresh(faulted);
+  EXPECT_EQ(report.outcomes[2].pfail, fresh.pfail("app", {}));
+}
+
+TEST(CampaignRunner, CriticalityRanksTheMostDamagingFaultFirst) {
+  const Assembly assembly = partitioned();
+  const Campaign campaign = Campaign::single_faults(
+      "app", {},
+      {FaultSpec::attribute_set("g0_s0.p", 2e-4, "mild"),
+       FaultSpec::attribute_set("g1_s1.p", 0.5, "severe"),
+       FaultSpec::attribute_set("g2_s2.p", 1e-2, "medium")});
+
+  CampaignRunner runner(assembly);
+  const CampaignReport report = runner.run(campaign);
+  ASSERT_EQ(report.criticality.size(), 3u);
+  EXPECT_EQ(report.criticality[0].label, "severe");
+  EXPECT_EQ(report.criticality[1].label, "medium");
+  EXPECT_EQ(report.criticality[2].label, "mild");
+  EXPECT_GT(report.criticality[0].max_delta_pfail,
+            report.criticality[1].max_delta_pfail);
+  EXPECT_EQ(report.criticality[0].scenarios, 1u);
+}
+
+TEST(CampaignRunner, SurvivabilityFrontier) {
+  const Assembly assembly = partitioned();
+  ReliabilityEngine baseline(assembly);
+  const double base_reliability = 1.0 - baseline.pfail("app", {});
+
+  Campaign campaign = Campaign::all_pairs(
+      "app", {},
+      {FaultSpec::attribute_add("g0_s0.p", 0.004),
+       FaultSpec::attribute_add("g1_s1.p", 0.004),
+       FaultSpec::attribute_add("g2_s2.p", 0.004)});
+
+  // Each fault alone costs ~0.004 reliability; pairs cost ~0.008. A target
+  // between the two makes every single survive and every pair violate.
+  campaign.reliability_target = base_reliability - 0.006;
+  CampaignRunner runner(assembly);
+  CampaignReport report = runner.run(campaign);
+  EXPECT_TRUE(report.frontier_computed);
+  EXPECT_EQ(report.survivable_k, 1u);
+
+  // A target below every scenario: the whole campaign survives.
+  campaign.reliability_target = base_reliability - 0.1;
+  report = runner.run(campaign);
+  EXPECT_EQ(report.survivable_k, 2u);
+
+  // A target above the singles: even one fault is fatal.
+  campaign.reliability_target = base_reliability - 0.001;
+  report = runner.run(campaign);
+  EXPECT_EQ(report.survivable_k, 0u);
+
+  // No target declared: the frontier is not computed.
+  campaign.reliability_target = -1.0;
+  report = runner.run(campaign);
+  EXPECT_FALSE(report.frontier_computed);
+}
+
+TEST(CampaignRunner, WarmSessionsBeatFreshEnginesOnEvaluations) {
+  const Assembly assembly = partitioned(8, 8);
+  std::vector<FaultSpec> faults;
+  for (std::size_t g = 0; g < 8; ++g) {
+    for (std::size_t s = 0; s < 8; ++s) {
+      faults.push_back(FaultSpec::attribute_set(
+          "g" + std::to_string(g) + "_s" + std::to_string(s) + ".p", 1e-3));
+    }
+  }
+  const std::size_t scenario_count = faults.size();
+  const Campaign campaign = Campaign::single_faults("app", {}, std::move(faults));
+
+  CampaignRunner::Options options;
+  options.threads = 1;
+  CampaignRunner runner(assembly, options);
+  const CampaignReport report = runner.run(campaign);
+
+  // Fresh engines would pay the full closure (1 + 8·(1+8) = 73 services)
+  // per scenario; the warm session pays the blast radius (3) twice per
+  // scenario (inject + revert re-warm) plus one warm-up.
+  ReliabilityEngine fresh(assembly);
+  fresh.pfail("app", {});
+  const std::size_t fresh_per_scenario = fresh.stats().evaluations;
+  EXPECT_GE(fresh_per_scenario * scenario_count,
+            5 * report.engine_evaluations);
+}
+
+TEST(CampaignRunner, AnalyticInjectionMatchesMonteCarloSimulation) {
+  const Assembly assembly = partitioned(3, 3, 0.02);
+  const FaultSpec fault = FaultSpec::attribute_set("g0_s0.p", 0.35);
+  const Campaign campaign = Campaign::single_faults("app", {}, {fault});
+
+  CampaignRunner runner(assembly);
+  const CampaignReport report = runner.run(campaign);
+  ASSERT_TRUE(report.outcomes[0].ok);
+
+  Assembly faulted = assembly;
+  sorel::faults::apply_to_assembly(fault, faulted);
+  sorel::sim::Simulator simulator(faulted);
+  sorel::sim::SimulationOptions options;
+  options.replications = 60'000;
+  const auto estimate = simulator.estimate("app", {}, options);
+  const auto ci = estimate.confidence_interval();
+  const double analytic_reliability = 1.0 - report.outcomes[0].pfail;
+  EXPECT_GE(analytic_reliability, ci.lower);
+  EXPECT_LE(analytic_reliability, ci.upper);
+}
+
+}  // namespace

@@ -122,6 +122,22 @@ TEST(ExprRobustness, MutationFuzzNeverCrashes) {
   }
 }
 
+TEST(JsonRobustness, OverflowingNumberLiteralIsAParseError) {
+  for (const char* text : {"1e999", "-1e999", R"({"x": 1e309})",
+                           "[1, 2, 1e999]"}) {
+    try {
+      (void)sorel::json::parse(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const sorel::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos)
+          << "message was: " << e.what();
+    }
+  }
+  // The largest finite doubles still parse.
+  EXPECT_DOUBLE_EQ(sorel::json::parse("1e308").as_number(), 1e308);
+  EXPECT_DOUBLE_EQ(sorel::json::parse("-1e308").as_number(), -1e308);
+}
+
 TEST(JsonRobustness, LargeDocumentRoundTrip) {
   sorel::json::Array services;
   for (int i = 0; i < 3000; ++i) {

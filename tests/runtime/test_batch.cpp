@@ -128,23 +128,72 @@ TEST(BatchEvaluator, DeterministicAcrossThreadCounts) {
   }
 }
 
-TEST(BatchEvaluator, RejectsUnknownAttributeOverride) {
+TEST(BatchEvaluator, UnknownAttributeOverrideDegradesToErrorItem) {
   const Assembly assembly = chain();
   BatchJob job;
   job.service = "pipeline";
   job.args = {50.0};
   job.attribute_overrides["no.such.attribute"] = 1.0;
   BatchEvaluator evaluator(assembly);
-  EXPECT_THROW(evaluator.evaluate({job}), sorel::LookupError);
+  const auto results = evaluator.evaluate({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error_category, "lookup_error");
+  EXPECT_NE(results[0].error_message.find("no.such.attribute"),
+            std::string::npos);
+  EXPECT_EQ(evaluator.stats().failed_jobs, 1u);
 }
 
-TEST(BatchEvaluator, PropagatesEngineErrors) {
+TEST(BatchEvaluator, EngineErrorsDegradeToErrorItems) {
   const Assembly assembly = chain();
   BatchJob job;
   job.service = "pipeline";
   job.args = {1.0, 2.0};  // wrong arity
   BatchEvaluator evaluator(assembly);
-  EXPECT_THROW(evaluator.evaluate({job}), sorel::InvalidArgument);
+  const auto results = evaluator.evaluate({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error_category, "invalid_argument");
+}
+
+TEST(BatchEvaluator, PoisonedJobsLeaveNeighboursIntactAtAnyThreadCount) {
+  const Assembly assembly = chain();
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 61; ++i) {
+    BatchJob job;
+    job.service = "pipeline";
+    job.args = {static_cast<double>(i + 1)};
+    if (i % 7 == 3) job.attribute_overrides["no.such.attribute"] = 1.0;
+    if (i % 13 == 5) job.service = "no_such_service";
+    jobs.push_back(std::move(job));
+  }
+
+  ReliabilityEngine reference(assembly);
+  std::vector<std::vector<BatchItem>> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    BatchEvaluator::Options options;
+    options.threads = threads;
+    BatchEvaluator evaluator(assembly, options);
+    runs.push_back(evaluator.evaluate(jobs));
+    EXPECT_GT(evaluator.stats().failed_jobs, 0u);
+  }
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const BatchItem& item = runs[run][i];
+      const bool poisoned = (i % 7 == 3) || (i % 13 == 5);
+      EXPECT_EQ(item.ok, !poisoned) << "run " << run << " job " << i;
+      if (poisoned) {
+        // Error identity is part of the deterministic contract.
+        EXPECT_EQ(item.error_category, runs[0][i].error_category);
+        EXPECT_EQ(item.error_message, runs[0][i].error_message);
+        EXPECT_FALSE(item.error_message.empty());
+      } else {
+        EXPECT_EQ(item.pfail, reference.pfail("pipeline", jobs[i].args))
+            << "run " << run << " job " << i;
+      }
+    }
+  }
 }
 
 }  // namespace
