@@ -3,7 +3,8 @@
 // machine-processable service-description language.
 //
 // Usage:
-//   sorel_cli [--threads N] <command> <spec.json> [...]
+//   sorel_cli [--threads N] [--deadline-ms N] [--max-evals N] [--max-states N]
+//             <command> <spec.json> [...]
 //
 //   sorel_cli validate    <spec.json>
 //   sorel_cli list        <spec.json>
@@ -39,9 +40,19 @@
 // every hardware thread; the SOREL_THREADS environment variable overrides
 // that default. Results are bit-identical for every thread count.
 //
+// `--deadline-ms N`, `--max-evals N`, `--max-states N` (also `=` forms) set
+// a global work budget (sorel::guard) for evaluate/modes/batch/inject: each
+// top-level query gets at most N milliseconds of wall clock / N logical
+// engine evaluations / N flow-graph states. A job or scenario that busts the
+// budget yields a `budget_exceeded` JSON error line carrying the partial
+// work counters (evals done, states expanded, elapsed ms); sibling jobs keep
+// running. Jobs files take a per-job `"budget"` object, campaign files a
+// top-level and per-scenario `"budget"` (see docs/FORMAT.md).
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on model/spec errors,
 // 3 when a batch/inject run completed but some jobs or scenarios failed.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +62,8 @@
 
 #include "sorel/core/engine.hpp"
 #include "sorel/faults/campaign_json.hpp"
+#include "sorel/guard/budget.hpp"
+#include "sorel/guard/budget_json.hpp"
 #include "sorel/faults/runner.hpp"
 #include "sorel/core/performance.hpp"
 #include "sorel/core/selection.hpp"
@@ -66,7 +79,9 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sorel_cli [--threads N] <command> <spec.json> [...]\n"
+               "usage: sorel_cli [--threads N] [--deadline-ms N] [--max-evals N]"
+               " [--max-states N]\n"
+               "                 <command> <spec.json> [...]\n"
                "commands:\n"
                "  validate    <spec>                     check the assembly\n"
                "  list        <spec>                     list services\n"
@@ -83,9 +98,14 @@ int usage() {
                "  save        <spec>                     canonicalised document\n"
                "  dot         <spec> [service]           GraphViz output\n"
                "options:\n"
-               "  --threads N   workers for uncertainty/select/sensitivity/\n"
-               "                importance/simulate (0 = hardware concurrency;\n"
-               "                results are identical for every N)\n");
+               "  --threads N      workers for uncertainty/select/sensitivity/\n"
+               "                   importance/simulate (0 = hardware concurrency;\n"
+               "                   results are identical for every N)\n"
+               "  --deadline-ms N  wall-clock budget per top-level query\n"
+               "  --max-evals N    logical engine-evaluation budget per query\n"
+               "  --max-states N   flow-graph state budget per query\n"
+               "                   (evaluate/modes/batch/inject; a busted job\n"
+               "                   yields a budget_exceeded error line)\n");
   return 1;
 }
 
@@ -120,6 +140,84 @@ std::size_t extract_threads_flag(int& argc, char** argv) {
   }
   argc = out;
   return threads;
+}
+
+/// Strip `--deadline-ms N`, `--max-evals N`, `--max-states N` (and the `=`
+/// forms) from argv and return the resulting work budget. Throws
+/// sorel::InvalidArgument on a malformed value.
+sorel::guard::Budget extract_budget_flags(int& argc, char** argv) {
+  struct Flag {
+    const char* name;
+    bool is_count;  // false: positive ms (double); true: non-negative integer
+  };
+  static constexpr Flag kFlags[] = {{"--deadline-ms", false},
+                                    {"--max-evals", true},
+                                    {"--max-states", true}};
+  sorel::guard::Budget budget;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const Flag* flag = nullptr;
+    const char* value = nullptr;
+    for (const Flag& candidate : kFlags) {
+      const std::size_t len = std::strlen(candidate.name);
+      if (std::strcmp(arg, candidate.name) == 0) {
+        if (i + 1 >= argc) {
+          throw sorel::InvalidArgument(std::string(candidate.name) +
+                                       " needs a value");
+        }
+        flag = &candidate;
+        value = argv[++i];
+        break;
+      }
+      if (std::strncmp(arg, candidate.name, len) == 0 && arg[len] == '=') {
+        flag = &candidate;
+        value = arg + len + 1;
+        break;
+      }
+    }
+    if (flag == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    char* parse_end = nullptr;
+    if (flag->is_count) {
+      const long long parsed = std::strtoll(value, &parse_end, 10);
+      if (parse_end == value || *parse_end != '\0' || parsed < 0) {
+        throw sorel::InvalidArgument(std::string(flag->name) +
+                                     ": not a count: '" + value + "'");
+      }
+      const auto count = static_cast<std::uint64_t>(parsed);
+      if (std::strcmp(flag->name, "--max-evals") == 0) {
+        budget.max_evaluations = count;
+      } else {
+        budget.max_states = count;
+      }
+    } else {
+      const double parsed = std::strtod(value, &parse_end);
+      if (parse_end == value || *parse_end != '\0' || !std::isfinite(parsed) ||
+          parsed < 0.0) {
+        throw sorel::InvalidArgument(
+            std::string(flag->name) + ": not a millisecond count: '" + value +
+            "'");
+      }
+      budget.deadline_ms = parsed;
+    }
+  }
+  argc = out;
+  return budget;
+}
+
+/// Attach the partial-work counters of a budget_exceeded / cancelled stop to
+/// a JSON error line (satellite: deadline-expired jobs report how far they
+/// got).
+void append_guard_fields(sorel::json::Object& line, const std::string& limit,
+                         std::uint64_t evaluations_done,
+                         std::uint64_t states_expanded, double elapsed_ms) {
+  if (!limit.empty()) line["limit"] = limit;
+  line["evaluations_done"] = evaluations_done;
+  line["states_expanded"] = states_expanded;
+  line["elapsed_ms"] = elapsed_ms;
 }
 
 std::vector<double> parse_args(char** begin, char** end) {
@@ -164,8 +262,10 @@ int cmd_list(const sorel::core::Assembly& assembly) {
 }
 
 int cmd_evaluate(const sorel::core::Assembly& assembly, const std::string& service,
-                 const std::vector<double>& args) {
+                 const std::vector<double>& args,
+                 const sorel::guard::Budget& budget) {
   sorel::core::ReliabilityEngine engine(assembly);
+  engine.set_budget(budget);
   const double pfail = engine.pfail(service, args);
   std::printf("Pfail       = %.12g\n", pfail);
   std::printf("reliability = %.12g\n", 1.0 - pfail);
@@ -175,8 +275,10 @@ int cmd_evaluate(const sorel::core::Assembly& assembly, const std::string& servi
 }
 
 int cmd_modes(const sorel::core::Assembly& assembly, const std::string& service,
-              const std::vector<double>& args) {
+              const std::vector<double>& args,
+              const sorel::guard::Budget& budget) {
   sorel::core::ReliabilityEngine engine(assembly);
+  engine.set_budget(budget);
   const auto modes = engine.failure_modes(service, args);
   std::printf("success          = %.12g\n", modes.success);
   std::printf("detected failure = %.12g\n", modes.detected_failure);
@@ -288,7 +390,7 @@ int cmd_uncertainty(const sorel::core::Assembly& assembly,
 }
 
 int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
-              std::size_t threads) {
+              std::size_t threads, const sorel::guard::Budget& budget) {
   const sorel::json::Value doc = sorel::json::parse_file(jobs_path);
   const sorel::json::Value& jobs_value = doc.is_object() ? doc.at("jobs") : doc;
   if (!jobs_value.is_array()) {
@@ -328,6 +430,10 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
           job.pfail_overrides[name] = value.as_number();
         }
       }
+      if (entry.contains("budget")) {
+        job.budget = sorel::guard::budget_from_json(
+            entry.at("budget"), "job #" + std::to_string(i) + ": budget");
+      }
       parsed[i].job = std::move(job);
     } catch (const std::exception& e) {
       parsed[i].error_category = sorel::error_category(e);
@@ -338,6 +444,24 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
 
   sorel::runtime::BatchEvaluator::Options options;
   options.threads = threads;
+  options.budget = budget;
+  // A jobs document may carry engine options shared by every job — e.g.
+  // {"options": {"allow_recursion": true}} for specs whose services require
+  // fixed-point evaluation.
+  if (doc.is_object() && doc.contains("options")) {
+    for (const auto& [name, value] : doc.at("options").as_object()) {
+      if (name == "allow_recursion") {
+        options.engine.allow_recursion = value.as_bool();
+      } else if (name == "max_fixpoint_iterations") {
+        options.engine.max_fixpoint_iterations =
+            static_cast<std::size_t>(value.as_number());
+      } else {
+        std::fprintf(stderr, "error: jobs options: unknown key '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+    }
+  }
   sorel::runtime::BatchEvaluator evaluator(assembly, options);
   const auto results = evaluator.evaluate(jobs);
 
@@ -356,6 +480,11 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
         ++failed;
         line["error"] = item.error_category;
         line["message"] = item.error_message;
+        if (item.error_category == "budget_exceeded" ||
+            item.error_category == "cancelled") {
+          append_guard_fields(line, item.budget_limit, item.evaluations_done,
+                              item.states_expanded, item.elapsed_ms);
+        }
       }
     } else {
       ++failed;
@@ -375,12 +504,13 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
 }
 
 int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
-               std::size_t threads) {
+               std::size_t threads, const sorel::guard::Budget& budget) {
   const sorel::faults::Campaign campaign =
       sorel::faults::load_campaign_file(campaign_path);
 
   sorel::faults::CampaignRunner::Options options;
   options.threads = threads;
+  options.budget = budget;
   sorel::faults::CampaignRunner runner(assembly, options);
   const sorel::faults::CampaignReport report = runner.run(campaign);
 
@@ -396,6 +526,12 @@ int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
     } else {
       line["error"] = outcome.error_category;
       line["message"] = outcome.error_message;
+      if (outcome.error_category == "budget_exceeded" ||
+          outcome.error_category == "cancelled") {
+        append_guard_fields(line, outcome.budget_limit,
+                            outcome.evaluations_done, outcome.states_expanded,
+                            outcome.elapsed_ms);
+      }
     }
     std::printf("%s\n", sorel::json::Value(std::move(line)).dump().c_str());
   }
@@ -442,8 +578,10 @@ int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
 
 int main(int argc, char** argv) {
   std::size_t threads = 0;
+  sorel::guard::Budget budget;
   try {
     threads = extract_threads_flag(argc, argv);
+    budget = extract_budget_flags(argc, argv);
   } catch (const sorel::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -475,8 +613,10 @@ int main(int argc, char** argv) {
       return cmd_dot(assembly, argc >= 4 ? argv[3] : nullptr);
     }
     if (argc < 4) return usage();
-    if (command == "batch") return cmd_batch(assembly, argv[3], threads);
-    if (command == "inject") return cmd_inject(assembly, argv[3], threads);
+    if (command == "batch") return cmd_batch(assembly, argv[3], threads, budget);
+    if (command == "inject") {
+      return cmd_inject(assembly, argv[3], threads, budget);
+    }
     const std::string service = argv[3];
 
     if (command == "simulate") {
@@ -492,8 +632,10 @@ int main(int argc, char** argv) {
     if (command == "uncertainty") {
       return cmd_uncertainty(assembly, document, service, args, threads);
     }
-    if (command == "evaluate") return cmd_evaluate(assembly, service, args);
-    if (command == "modes") return cmd_modes(assembly, service, args);
+    if (command == "evaluate") {
+      return cmd_evaluate(assembly, service, args, budget);
+    }
+    if (command == "modes") return cmd_modes(assembly, service, args, budget);
     if (command == "duration") return cmd_duration(assembly, service, args);
     if (command == "sensitivity") {
       return cmd_sensitivity(assembly, service, args, threads);

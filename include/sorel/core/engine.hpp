@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
+#include "sorel/guard/budget.hpp"
+#include "sorel/guard/meter.hpp"
 #include "sorel/markov/absorbing.hpp"
 #include "sorel/markov/dtmc.hpp"
 
@@ -168,6 +170,28 @@ class ReliabilityEngine {
     return base_env_.lookup(name);
   }
 
+  // -- Budgets & cooperative cancellation (sorel::guard) ------------------
+
+  /// Install a work budget (and optional cancel token) enforced by every
+  /// subsequent top-level query. Each pfail / failure_modes / augmented_flow
+  /// call gets a fresh budget window. Does NOT clear the memo: budgets bound
+  /// work, they never change values. Exceeding a limit throws
+  /// sorel::BudgetExceeded; a set token throws sorel::Cancelled at the next
+  /// checkpoint. After either, the engine is left consistent (only fully
+  /// computed memo entries survive; a fixed-point solve in flight is
+  /// scrubbed) and may keep serving queries. Pass a default Budget and null
+  /// token to remove all limits.
+  void set_budget(const guard::Budget& budget,
+                  std::shared_ptr<const guard::CancelToken> cancel = nullptr) {
+    meter_.configure(budget, std::move(cancel));
+  }
+
+  const guard::Budget& budget() const noexcept { return meter_.budget(); }
+
+  /// Progress counters of the current / most recent budget window (the same
+  /// numbers BudgetExceeded/Cancelled carry).
+  const guard::Meter& meter() const noexcept { return meter_; }
+
  private:
   using Key = std::pair<const Service*, std::vector<double>>;
 
@@ -187,9 +211,25 @@ class ReliabilityEngine {
     std::vector<std::uint64_t> words_;  // trailing zero words elided
   };
 
+  // Logical work performed by one evaluation, transitively including its
+  // children. Stored per memo entry so a warm hit charges the guard meter
+  // the same amount as the cold computation it replays — budget exceedance
+  // is then independent of memo warmth, chunk placement, and thread count.
+  struct Cost {
+    std::uint64_t evaluations = 0;
+    std::uint64_t states = 0;
+    std::uint64_t expr_evals = 0;
+    void add(const Cost& other) noexcept {
+      evaluations += other.evaluations;
+      states += other.states;
+      expr_evals += other.expr_evals;
+    }
+  };
+
   struct MemoEntry {
     double value = 0.0;
     DepSet deps;  // transitive closure: own reads plus every child's
+    Cost cost;    // transitive closure of logical work (see Cost)
   };
 
   std::vector<std::vector<std::pair<FlowStateId, double>>> evaluate_rows(
@@ -199,11 +239,14 @@ class ReliabilityEngine {
       const FlowGraph& flow,
       const std::vector<std::vector<std::pair<FlowStateId, double>>>& rows);
 
+  double pfail_guarded(const Service& service, const std::vector<double>& args);
   double pfail_cached(const Service& service, const std::vector<double>& args);
   double evaluate(const Service& service, const std::vector<double>& args);
   double evaluate_composite(const CompositeService& service,
                             const std::vector<double>& args,
                             markov::Dtmc* export_chain);
+  markov::AbsorptionAnalysis solve_absorption(const markov::Dtmc& chain,
+                                              const std::string& service_name);
   double state_pfail(const CompositeService& service, const FlowState& state,
                      const expr::Env& env);
   double request_external_pfail(const CompositeService& service,
@@ -220,6 +263,28 @@ class ReliabilityEngine {
   void rebuild_attribute_ids();
   std::size_t invalidate_intersecting(const DepSet& changed);
 
+  // Guard charge points: forward to the meter (which throws on an exceeded
+  // limit) and accumulate into the open cost frame so the finished memo
+  // entry records its transitive logical cost.
+  void charge_evaluation() {
+    meter_.charge_evaluations(1);
+    if (!cost_stack_.empty()) ++cost_stack_.back().evaluations;
+  }
+  void charge_states(std::uint64_t n) {
+    meter_.charge_states(n);
+    if (!cost_stack_.empty()) cost_stack_.back().states += n;
+  }
+  void charge_expr(std::uint64_t n) {
+    meter_.charge_expr(n);
+    if (!cost_stack_.empty()) cost_stack_.back().expr_evals += n;
+  }
+  // Replay a memoised subtree's cost in one lump (canonical order:
+  // evaluations, states, expressions).
+  void charge_memo_hit(const Cost& cost) {
+    meter_.charge_lump(cost.evaluations, cost.states, cost.expr_evals);
+    if (!cost_stack_.empty()) cost_stack_.back().add(cost);
+  }
+
   expr::Env base_env_;  // assembly attributes, snapshotted at construction
   const Assembly& assembly_;
   Options options_;
@@ -228,6 +293,8 @@ class ReliabilityEngine {
   std::map<Key, MemoEntry> memo_;
   std::vector<Key> stack_;              // in-progress evaluations (cycle check)
   std::vector<DepSet> dep_stack_;       // open dependency frames (parallel)
+  std::vector<Cost> cost_stack_;        // open logical-cost frames (parallel)
+  guard::Meter meter_;                  // budget/cancel enforcement
   std::map<Key, double> assumed_;       // fixed-point estimates for cyclic keys
   std::set<Key> cyclic_keys_;           // keys consulted while on the stack
   bool recursion_hit_ = false;

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -88,6 +89,20 @@ class EvalSession {
   /// assembly: drop exactly the memoised results that consulted that
   /// binding (the selection hot path). Returns entries invalidated.
   std::size_t invalidate_binding(std::string_view service, std::string_view port);
+
+  // -- Budgets & cancellation -------------------------------------------
+
+  /// Install a guard::Budget (and optional CancelToken) enforced by every
+  /// subsequent query through this session; see
+  /// ReliabilityEngine::set_budget. The session survives BudgetExceeded /
+  /// Cancelled: the engine scrubs itself back to a consistent memo and the
+  /// attribute overlay is untouched, so the next query just works.
+  void set_budget(const guard::Budget& budget,
+                  std::shared_ptr<const guard::CancelToken> cancel = nullptr) {
+    engine_.set_budget(budget, std::move(cancel));
+  }
+
+  const guard::Budget& budget() const noexcept { return engine_.budget(); }
 
   // -- Queries ----------------------------------------------------------
 

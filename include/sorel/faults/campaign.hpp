@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sorel/faults/fault_spec.hpp"
+#include "sorel/guard/budget.hpp"
 
 namespace sorel::faults {
 
@@ -24,6 +25,9 @@ namespace sorel::faults {
 struct Scenario {
   std::string name;  // optional; reports fall back to the fault labels
   std::vector<std::size_t> faults;
+  /// Per-scenario budget overlay: nonzero fields override the campaign /
+  /// runner budget for this scenario's injected query only.
+  guard::Budget budget;
 };
 
 struct Campaign {
@@ -37,6 +41,10 @@ struct Campaign {
 
   std::vector<FaultSpec> faults;
   std::vector<Scenario> scenarios;
+
+  /// Campaign-level work budget ("budget" in the campaign file): overlays
+  /// the runner's Options::budget; per-scenario budgets overlay both.
+  guard::Budget budget;
 
   bool has_reliability_target() const noexcept {
     return reliability_target >= 0.0;

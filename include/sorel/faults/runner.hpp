@@ -24,12 +24,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
 #include "sorel/core/engine.hpp"
 #include "sorel/faults/campaign.hpp"
+#include "sorel/guard/budget.hpp"
 
 namespace sorel::faults {
 
@@ -52,6 +55,15 @@ struct ScenarioOutcome {
   // Valid when !ok:
   std::string error_category;  // sorel::error_category tag
   std::string error_message;
+
+  // Valid when error_category is "budget_exceeded" or "cancelled": the
+  // partial-work counters at the stop (see runtime::BatchItem for the
+  // determinism contract of each field). `budget_limit` names the Budget
+  // field that fired; empty for "cancelled".
+  std::string budget_limit;
+  std::uint64_t evaluations_done = 0;
+  std::uint64_t states_expanded = 0;
+  double elapsed_ms = 0.0;
 };
 
 /// Per-fault aggregate over the scenarios that contain it (ok ones only).
@@ -99,6 +111,16 @@ class CampaignRunner {
     /// on dependency tracking; turning it off degrades every injection to
     /// a full memo clear (the what-it-would-cost baseline).
     core::ReliabilityEngine::Options engine;
+    /// Work budget for every query the campaign issues (baseline warm-up
+    /// included — a baseline that busts the budget propagates from run()).
+    /// Campaign::budget overlays this; Scenario::budget overlays both for
+    /// its own scenario.
+    guard::Budget budget;
+    /// Optional cooperative cancellation. Once set, every unfinished
+    /// scenario degrades to a "cancelled" outcome (its worker stops
+    /// rebuilding warm sessions and drains fast); finished outcomes keep
+    /// their results.
+    std::shared_ptr<const guard::CancelToken> cancel;
   };
 
   /// Keeps a reference to `assembly`; it must outlive the runner. Campaigns

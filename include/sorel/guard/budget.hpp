@@ -1,0 +1,81 @@
+// Resource budgets and cooperative cancellation for evaluation paths.
+//
+// A Budget bounds how much work a single top-level engine query (pfail,
+// failure_modes, augmented flow) may perform: a wall-clock deadline plus
+// caps on logical work counters. A CancelToken lets an external thread ask
+// a running evaluation to stop at its next guard checkpoint.
+//
+// Count-based limits are expressed in *logical* work units: a memoised
+// subtree is charged at the cost recorded when it was first computed, so
+// whether a budget fires is independent of memo warmth, chunk placement,
+// and thread count. The wall-clock deadline is inherently timing-dependent
+// and is the one limit whose firing can vary between runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sorel::guard {
+
+/// Work limits for one top-level engine query. A zero field means
+/// "unlimited"; a default-constructed Budget imposes no limits at all.
+struct Budget {
+  /// Wall-clock deadline in milliseconds, measured from the start of each
+  /// top-level query. 0 = no deadline.
+  double deadline_ms = 0.0;
+
+  /// Maximum engine service evaluations (logical: memo hits count at the
+  /// stored cost of the subtree they replay). 0 = unlimited.
+  std::uint64_t max_evaluations = 0;
+
+  /// Maximum flow-graph states expanded across absorption analyses.
+  /// 0 = unlimited.
+  std::uint64_t max_states = 0;
+
+  /// Maximum expression evaluations (one per failure-expression or
+  /// transition-expression evaluation). 0 = unlimited.
+  std::uint64_t max_expr_evaluations = 0;
+
+  /// Cap on fixed-point iterations for recursive assemblies; when nonzero
+  /// and tighter than Options::max_fixpoint_iterations it wins, and hitting
+  /// it raises BudgetExceeded instead of NumericError. 0 = use the engine
+  /// option alone.
+  std::uint64_t max_fixpoint_iterations = 0;
+
+  /// True when every field is zero (no limits to enforce).
+  bool unlimited() const noexcept {
+    return deadline_ms == 0.0 && max_evaluations == 0 && max_states == 0 &&
+           max_expr_evaluations == 0 && max_fixpoint_iterations == 0;
+  }
+
+  /// Merge: nonzero fields of `over` override this budget's fields. Used to
+  /// overlay a per-job budget on a global one.
+  Budget overlaid_with(const Budget& over) const noexcept {
+    Budget out = *this;
+    if (over.deadline_ms != 0.0) out.deadline_ms = over.deadline_ms;
+    if (over.max_evaluations != 0) out.max_evaluations = over.max_evaluations;
+    if (over.max_states != 0) out.max_states = over.max_states;
+    if (over.max_expr_evaluations != 0)
+      out.max_expr_evaluations = over.max_expr_evaluations;
+    if (over.max_fixpoint_iterations != 0)
+      out.max_fixpoint_iterations = over.max_fixpoint_iterations;
+    return out;
+  }
+};
+
+/// Cooperative cancellation flag, safe to share across threads. A running
+/// evaluation polls it at the same strided checkpoints as the deadline and
+/// raises sorel::Cancelled when it is set.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace sorel::guard

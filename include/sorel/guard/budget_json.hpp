@@ -1,0 +1,23 @@
+// JSON (de)serialisation for guard::Budget — the "budget" objects accepted
+// by batch-jobs files, campaign files, and sorel_cli (docs/FORMAT.md
+// "Budgets & cancellation").
+#pragma once
+
+#include <string>
+
+#include "sorel/guard/budget.hpp"
+#include "sorel/json/json.hpp"
+
+namespace sorel::guard {
+
+/// Parse a budget object: {"deadline_ms": 50, "max_evals": 1000,
+/// "max_states": 10000, "max_expr_evals": 100000,
+/// "max_fixpoint_iterations": 200}. Every field is optional; omitted fields
+/// stay unlimited. Throws sorel::InvalidArgument (naming `context`) on
+/// unknown keys, non-numeric values, negative or non-finite numbers.
+Budget budget_from_json(const json::Value& value, const std::string& context);
+
+/// Serialise; only nonzero fields are emitted.
+json::Value budget_to_json(const Budget& budget);
+
+}  // namespace sorel::guard

@@ -1,0 +1,162 @@
+// Meter: the per-engine enforcement point for a guard::Budget.
+//
+// One Meter belongs to one ReliabilityEngine (engines are single-threaded;
+// each worker owns its own). The engine arms the meter with a Window at the
+// entry of every top-level query; while armed, the hot choke points charge
+// logical work units through the inline charge_* methods. Exceeding a count
+// limit throws sorel::BudgetExceeded immediately; the wall-clock deadline
+// and the CancelToken are polled every kStride charges so the steady_clock
+// read and atomic load stay off the per-evaluation fast path.
+//
+// When no budget is configured the meter never arms and every charge is a
+// single predictable branch — this is what keeps guard overhead <2% on the
+// perf benches (asserted by bench/perf_guard).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "sorel/guard/budget.hpp"
+
+namespace sorel::guard {
+
+class Meter {
+ public:
+  Meter() = default;
+
+  /// Install the budget and optional cancel token enforced by subsequent
+  /// windows. Calling with a default Budget and null token disables the
+  /// meter entirely.
+  void configure(const Budget& budget,
+                 std::shared_ptr<const CancelToken> cancel = nullptr) {
+    budget_ = budget;
+    cancel_ = std::move(cancel);
+    enabled_ = !budget_.unlimited() || cancel_ != nullptr;
+  }
+
+  const Budget& budget() const noexcept { return budget_; }
+  bool enabled() const noexcept { return enabled_; }
+  bool armed() const noexcept { return armed_; }
+
+  /// Arms the meter for the duration of one top-level engine query. Nested
+  /// windows are no-ops: only the outermost window resets the counters and
+  /// the deadline clock, so recursive internal queries share one budget.
+  class Window {
+   public:
+    explicit Window(Meter* meter) : meter_(nullptr) {
+      if (meter != nullptr && meter->enabled_ && !meter->armed_) {
+        meter->arm();
+        meter_ = meter;
+      }
+    }
+    ~Window() {
+      if (meter_ != nullptr) meter_->armed_ = false;
+    }
+    Window(const Window&) = delete;
+    Window& operator=(const Window&) = delete;
+
+   private:
+    Meter* meter_;
+  };
+
+  /// Charge `n` logical engine evaluations (memo hits charge the stored
+  /// subtree cost in one lump).
+  void charge_evaluations(std::uint64_t n) {
+    if (!armed_) return;
+    evaluations_ += n;
+    if (budget_.max_evaluations != 0 && evaluations_ > budget_.max_evaluations)
+      throw_count_limit("max_evaluations", budget_.max_evaluations);
+    tick();
+  }
+
+  /// Charge `n` flow-graph states about to be expanded or solved.
+  void charge_states(std::uint64_t n) {
+    if (!armed_) return;
+    states_ += n;
+    if (budget_.max_states != 0 && states_ > budget_.max_states)
+      throw_count_limit("max_states", budget_.max_states);
+    tick();
+  }
+
+  /// Charge `n` expression evaluations.
+  void charge_expr(std::uint64_t n) {
+    if (!armed_) return;
+    expr_evaluations_ += n;
+    if (budget_.max_expr_evaluations != 0 &&
+        expr_evaluations_ > budget_.max_expr_evaluations)
+      throw_count_limit("max_expr_evaluations", budget_.max_expr_evaluations);
+    tick();
+  }
+
+  /// Charge a memoised subtree's whole cost in one call (canonical check
+  /// order: evaluations, states, expressions — identical to charging the
+  /// three counters separately) with a single deadline tick. Memo hits are
+  /// the hottest charge site; one tick instead of three keeps the armed
+  /// meter inside the <2% overhead bound bench/perf_guard asserts.
+  void charge_lump(std::uint64_t evaluations, std::uint64_t states,
+                   std::uint64_t expr_evaluations) {
+    if (!armed_) return;
+    evaluations_ += evaluations;
+    if (budget_.max_evaluations != 0 && evaluations_ > budget_.max_evaluations)
+      throw_count_limit("max_evaluations", budget_.max_evaluations);
+    states_ += states;
+    if (budget_.max_states != 0 && states_ > budget_.max_states)
+      throw_count_limit("max_states", budget_.max_states);
+    expr_evaluations_ += expr_evaluations;
+    if (budget_.max_expr_evaluations != 0 &&
+        expr_evaluations_ > budget_.max_expr_evaluations)
+      throw_count_limit("max_expr_evaluations", budget_.max_expr_evaluations);
+    tick();
+  }
+
+  /// Poll deadline + cancel token without charging work. The fixed-point
+  /// sweep and iterative linalg loops call this once per iteration.
+  void poll() {
+    if (!armed_) return;
+    tick();
+  }
+
+  /// Raise BudgetExceeded for the fixed-point-iteration cap (the engine
+  /// detects the cap itself because it merges the budget with its own
+  /// Options::max_fixpoint_iterations).
+  [[noreturn]] void throw_fixpoint_limit(std::uint64_t limit);
+
+  /// Progress counters for the current (or most recent) window. The counter
+  /// belonging to an exceeded limit is clamped to that limit when thrown, so
+  /// structured error slots stay bit-identical at any thread count.
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
+  std::uint64_t states() const noexcept { return states_; }
+  std::uint64_t expr_evaluations() const noexcept { return expr_evaluations_; }
+  double elapsed_ms() const;
+
+ private:
+  // Deadline/cancel poll period, in charge calls. Large enough that the
+  // steady_clock read disappears from profiles, small enough that a 50 ms
+  // deadline still interrupts tight loops promptly (256 charges is well
+  // under a millisecond of engine work).
+  static constexpr std::uint32_t kStride = 256;
+
+  void arm();
+  void tick() {
+    if (--countdown_ == 0) check_now();
+  }
+  void check_now();
+  [[noreturn]] void throw_count_limit(const char* limit, std::uint64_t cap);
+  [[noreturn]] void throw_deadline();
+  [[noreturn]] void throw_cancelled();
+
+  Budget budget_;
+  std::shared_ptr<const CancelToken> cancel_;
+  bool enabled_ = false;
+  bool armed_ = false;
+  std::uint32_t countdown_ = kStride;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t states_ = 0;
+  std::uint64_t expr_evaluations_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_point_{};
+};
+
+}  // namespace sorel::guard

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "sorel/guard/meter.hpp"
 #include "sorel/linalg/sparse.hpp"
 #include "sorel/linalg/vector.hpp"
 
@@ -15,6 +16,10 @@ struct IterativeOptions {
   std::size_t max_iterations = 10'000;
   /// Convergence: ||x_{k+1} - x_k||_inf < tolerance.
   double tolerance = 1e-12;
+  /// Optional guard checkpoint, polled once per sweep so a long solve stays
+  /// interruptible by deadlines and CancelTokens (may throw BudgetExceeded /
+  /// Cancelled mid-solve). Not owned; may be null.
+  guard::Meter* meter = nullptr;
 };
 
 struct IterativeResult {

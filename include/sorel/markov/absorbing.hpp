@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "sorel/guard/meter.hpp"
 #include "sorel/linalg/matrix.hpp"
 #include "sorel/markov/dtmc.hpp"
 
@@ -31,8 +32,11 @@ class AbsorptionAnalysis {
   /// Analyse the chain. Throws sorel::ModelError if the chain fails
   /// validate() or has no absorbing state, and sorel::NumericError if some
   /// transient state cannot reach any absorbing state (the fundamental
-  /// system is then singular).
-  static AbsorptionAnalysis compute(const Dtmc& chain, Method method = Method::kDense);
+  /// system is then singular) or the sparse solver does not converge.
+  /// `meter` (optional, not owned) is polled once per sparse sweep so long
+  /// solves stay interruptible by guard deadlines / cancellation.
+  static AbsorptionAnalysis compute(const Dtmc& chain, Method method = Method::kDense,
+                                    guard::Meter* meter = nullptr);
 
   /// Probability of eventually being absorbed in `target` starting from
   /// `from`. `target` must be absorbing. If `from` is absorbing the result

@@ -13,12 +13,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
 #include "sorel/core/engine.hpp"
+#include "sorel/guard/budget.hpp"
 
 namespace sorel::runtime {
 
@@ -33,6 +36,9 @@ struct BatchJob {
   /// Pin named services to a constant unreliability for this job (the
   /// engine-level override importance analysis uses).
   std::map<std::string, double> pfail_overrides;
+  /// Per-job budget overlay: nonzero fields override the evaluator-level
+  /// Options::budget for this job only (guard::Budget::overlaid_with).
+  guard::Budget budget;
 };
 
 struct BatchItem {
@@ -49,6 +55,17 @@ struct BatchItem {
   // Valid when !ok:
   std::string error_category;  // sorel::error_category tag
   std::string error_message;
+
+  // Valid when error_category is "budget_exceeded" or "cancelled": the
+  // partial-work counters at the moment the job was stopped, for budget
+  // tuning from logs. `budget_limit` names the Budget field that fired
+  // (empty for "cancelled"). The counter belonging to the exceeded limit is
+  // clamped to the limit and therefore thread-count-independent; the other
+  // counters and elapsed_ms are best-effort observations.
+  std::string budget_limit;
+  std::uint64_t evaluations_done = 0;
+  std::uint64_t states_expanded = 0;
+  double elapsed_ms = 0.0;
 };
 
 /// Aggregated over the whole batch (merged in chunk order).
@@ -73,6 +90,14 @@ class BatchEvaluator {
     /// Engine configuration shared by every worker (per-job
     /// pfail_overrides are layered on top of, and replace, this map).
     core::ReliabilityEngine::Options engine;
+    /// Work budget applied to every job (each top-level engine query gets a
+    /// fresh budget window); per-job BatchJob::budget fields overlay it.
+    /// Default = no limits.
+    guard::Budget budget;
+    /// Optional cooperative cancellation: once set, every unfinished job
+    /// (across all workers) degrades to a "cancelled" error item at its
+    /// next guard checkpoint; already-finished items keep their results.
+    std::shared_ptr<const guard::CancelToken> cancel;
   };
 
   /// Keeps a reference to `assembly`; it must outlive the evaluator.

@@ -6,6 +6,7 @@
 // used for internal invariant violations (those are assert()s).
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -70,12 +71,67 @@ class RecursionError : public ModelError {
   explicit RecursionError(const std::string& what) : ModelError(what) {}
 };
 
+/// An evaluation exceeded a sorel::guard::Budget limit (wall-clock deadline,
+/// engine evaluations, flow states, expression evaluations, or fixed-point
+/// iterations). Carries the partial-work counters at the moment the limit
+/// fired so operators can tune budgets from structured error slots.
+/// Count-based counters are "logical" work units (memoised subtrees count at
+/// their stored cost), so for the exceeded limit the reported counter always
+/// equals the limit itself regardless of memo warmth or chunk placement.
+class BudgetExceeded : public Error {
+ public:
+  BudgetExceeded(const std::string& what, std::string limit,
+                 std::uint64_t evaluations, std::uint64_t states,
+                 double elapsed_ms)
+      : Error(what),
+        limit_(std::move(limit)),
+        evaluations_(evaluations),
+        states_(states),
+        elapsed_ms_(elapsed_ms) {}
+
+  /// Which Budget field fired: "deadline_ms", "max_evaluations",
+  /// "max_states", "max_expr_evaluations", or "max_fixpoint_iterations".
+  const std::string& limit() const noexcept { return limit_; }
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
+  std::uint64_t states() const noexcept { return states_; }
+  double elapsed_ms() const noexcept { return elapsed_ms_; }
+
+ private:
+  std::string limit_;
+  std::uint64_t evaluations_;
+  std::uint64_t states_;
+  double elapsed_ms_;
+};
+
+/// An evaluation observed its sorel::guard::CancelToken and stopped
+/// cooperatively. Carries the same partial-work counters as BudgetExceeded.
+class Cancelled : public Error {
+ public:
+  Cancelled(const std::string& what, std::uint64_t evaluations,
+            std::uint64_t states, double elapsed_ms)
+      : Error(what),
+        evaluations_(evaluations),
+        states_(states),
+        elapsed_ms_(elapsed_ms) {}
+
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
+  std::uint64_t states() const noexcept { return states_; }
+  double elapsed_ms() const noexcept { return elapsed_ms_; }
+
+ private:
+  std::uint64_t evaluations_;
+  std::uint64_t states_;
+  double elapsed_ms_;
+};
+
 /// Stable machine-readable tag for an exception's category — the error
 /// vocabulary of structured per-job results (runtime::BatchEvaluator,
 /// faults::CampaignRunner, sorel_cli JSON error lines). Most-derived
 /// categories win; exceptions outside the sorel hierarchy map to
 /// "exception".
 inline const char* error_category(const std::exception& e) noexcept {
+  if (dynamic_cast<const BudgetExceeded*>(&e)) return "budget_exceeded";
+  if (dynamic_cast<const Cancelled*>(&e)) return "cancelled";
   if (dynamic_cast<const RecursionError*>(&e)) return "recursion_error";
   if (dynamic_cast<const ParseError*>(&e)) return "parse_error";
   if (dynamic_cast<const ModelError*>(&e)) return "model_error";

@@ -169,6 +169,7 @@ ReliabilityEngine::evaluate_rows(const Service& service,
   const auto fill_row = [&](FlowStateId from) {
     double row_sum = 0.0;
     for (const auto& t : flow.transitions_from(from)) {
+      charge_expr(1);
       note_expr_deps(t.probability);
       const double p = clamp_probability(
           t.probability.eval(env), "transition probability out of '" +
@@ -228,10 +229,27 @@ ReliabilityEngine::ReliabilityEngine(const Assembly& assembly, Options options)
 double ReliabilityEngine::pfail(std::string_view service_name,
                                 const std::vector<double>& args) {
   const ServicePtr& svc = assembly_.service(service_name);
+  guard::Meter::Window window(&meter_);
   recursion_hit_ = false;
   cyclic_keys_.clear();
+  try {
+    return pfail_guarded(*svc, args);
+  } catch (...) {
+    // A throw mid-fixed-point leaves memo entries computed against interim
+    // assumed values; scrub them so the engine stays consistent and can keep
+    // serving queries (the graceful-degradation contract of BatchEvaluator /
+    // CampaignRunner).
+    if (recursion_hit_) {
+      memo_.clear();
+      assumed_.clear();
+    }
+    throw;
+  }
+}
 
-  double result = pfail_cached(*svc, args);
+double ReliabilityEngine::pfail_guarded(const Service& svc,
+                                        const std::vector<double>& args) {
+  double result = pfail_cached(svc, args);
   if (!recursion_hit_) return result;
 
   // Fixed-point mode: some evaluation consulted an assumed value. Re-run the
@@ -239,8 +257,19 @@ double ReliabilityEngine::pfail(std::string_view service_name,
   // cyclic keys, until they stabilise. The map F is monotone in each
   // assumed unreliability and bounded in [0,1]^n; starting from the optimistic
   // all-zero vector the damped iteration converges to the least fixed point.
-  for (std::size_t iter = 1; iter <= options_.max_fixpoint_iterations; ++iter) {
+  // The budget may tighten the iteration cap; hitting the budget's cap is a
+  // BudgetExceeded (resource limit), hitting the engine option's own cap
+  // stays a NumericError (non-convergence diagnosis).
+  std::size_t cap = options_.max_fixpoint_iterations;
+  bool budget_capped = false;
+  if (meter_.armed() && meter_.budget().max_fixpoint_iterations != 0 &&
+      meter_.budget().max_fixpoint_iterations < cap) {
+    cap = static_cast<std::size_t>(meter_.budget().max_fixpoint_iterations);
+    budget_capped = true;
+  }
+  for (std::size_t iter = 1; iter <= cap; ++iter) {
     stats_.fixpoint_iterations = iter;
+    meter_.poll();
     double max_delta = 0.0;
     for (const Key& key : cyclic_keys_) {
       const auto it = memo_.find(key);
@@ -253,12 +282,12 @@ double ReliabilityEngine::pfail(std::string_view service_name,
     }
     if (max_delta < options_.fixpoint_tolerance) break;
     memo_.clear();
-    result = pfail_cached(*svc, args);
-    if (iter == options_.max_fixpoint_iterations) {
+    result = pfail_cached(svc, args);
+    if (iter == cap) {
+      if (budget_capped) meter_.throw_fixpoint_limit(cap);
       throw NumericError("fixed-point evaluation of recursive assembly did not "
                          "converge within " +
-                         std::to_string(options_.max_fixpoint_iterations) +
-                         " iterations");
+                         std::to_string(cap) + " iterations");
     }
   }
   // The memo now holds values computed against near-converged assumptions;
@@ -281,9 +310,23 @@ markov::Dtmc ReliabilityEngine::augmented_flow(std::string_view service_name,
     throw InvalidArgument("augmented_flow: service '" + std::string(service_name) +
                           "' is simple (no flow to augment)");
   }
+  guard::Meter::Window window(&meter_);
   markov::Dtmc chain;
   evaluate_composite(*composite, args, &chain);
   return chain;
+}
+
+// Absorption solve with guard checkpoints, re-raising solver NumericErrors
+// with the service they belong to (a bare "Gauss-Seidel failed to converge"
+// is useless in a thousand-job batch log). Guard errors pass through
+// untouched.
+markov::AbsorptionAnalysis ReliabilityEngine::solve_absorption(
+    const markov::Dtmc& chain, const std::string& service_name) {
+  try {
+    return markov::AbsorptionAnalysis::compute(chain, options_.method, &meter_);
+  } catch (const NumericError& e) {
+    throw NumericError("service '" + service_name + "': " + e.what());
+  }
 }
 
 ReliabilityEngine::FailureModes ReliabilityEngine::failure_modes(
@@ -299,6 +342,7 @@ ReliabilityEngine::FailureModes ReliabilityEngine::failure_modes(
                           std::to_string(composite->arity()) + " arguments, got " +
                           std::to_string(args.size()));
   }
+  guard::Meter::Window window(&meter_);
   const FlowGraph& flow = *composite->flow();
   expr::Env env = base_env_;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -320,6 +364,7 @@ ReliabilityEngine::FailureModes ReliabilityEngine::failure_modes(
     to_chain[sid] = {chain.add_state(name), chain.add_state(name + "?")};
   }
   const markov::StateId fail_state = chain.add_state("Fail");
+  charge_states(chain.state_count());
 
   const auto emit = [&](FlowStateId from, int layer, double continue_scale,
                         int continue_layer) {
@@ -360,7 +405,7 @@ ReliabilityEngine::FailureModes ReliabilityEngine::failure_modes(
     emit(sid, 1, 1.0 - f * (1.0 - eps), 1);
   }
 
-  const auto analysis = markov::AbsorptionAnalysis::compute(chain, options_.method);
+  const auto analysis = solve_absorption(chain, composite->name());
   FailureModes modes;
   const markov::StateId start = to_chain[FlowGraph::kStart][0];
   modes.success = analysis.absorption_probability(start, to_chain[FlowGraph::kEnd][0]);
@@ -407,6 +452,9 @@ double ReliabilityEngine::pfail_cached(const Service& service,
   Key key{&service, args};
   if (const auto it = memo_.find(key); it != memo_.end()) {
     ++stats_.memo_hits;
+    // Replay the subtree's logical cost so budgets fire at the same logical
+    // total whether the entry is warm or cold.
+    charge_memo_hit(it->second.cost);
     // The parent's result depends on everything this cached child read.
     if (options_.track_dependencies && !dep_stack_.empty()) {
       dep_stack_.back().merge(it->second.deps);
@@ -434,12 +482,14 @@ double ReliabilityEngine::pfail_cached(const Service& service,
 
   stack_.push_back(key);
   dep_stack_.emplace_back();
+  cost_stack_.emplace_back();
   double result;
   try {
     result = evaluate(service, args);
   } catch (...) {
     stack_.pop_back();
     dep_stack_.pop_back();
+    cost_stack_.pop_back();
     throw;
   }
   stack_.pop_back();
@@ -447,8 +497,13 @@ double ReliabilityEngine::pfail_cached(const Service& service,
   entry.value = result;
   entry.deps = std::move(dep_stack_.back());
   dep_stack_.pop_back();
+  entry.cost = cost_stack_.back();
+  cost_stack_.pop_back();
   if (options_.track_dependencies && !dep_stack_.empty()) {
     dep_stack_.back().merge(entry.deps);  // close the transitive closure
+  }
+  if (!cost_stack_.empty()) {
+    cost_stack_.back().add(entry.cost);  // parent pays for its children
   }
   memo_.emplace(std::move(key), std::move(entry));
   return result;
@@ -457,11 +512,13 @@ double ReliabilityEngine::pfail_cached(const Service& service,
 double ReliabilityEngine::evaluate(const Service& service,
                                    const std::vector<double>& args) {
   ++stats_.evaluations;
+  charge_evaluation();
   if (const auto* simple = dynamic_cast<const SimpleService*>(&service)) {
     expr::Env env = base_env_;
     for (std::size_t i = 0; i < args.size(); ++i) {
       env.set(simple->formals()[i].name, args[i]);
     }
+    charge_expr(1);
     note_expr_deps(simple->pfail_expr());
     return clamp_probability(simple->pfail_expr().eval(env),
                              "Pfail of simple service '" + service.name() + "'");
@@ -507,6 +564,9 @@ double ReliabilityEngine::evaluate_composite(const CompositeService& service,
     to_chain[sid] = chain.add_state(flow.state(sid).name);
   }
   const markov::StateId fail_state = chain.add_state("Fail");
+  // Charge the augmented chain's states before the per-state evaluation and
+  // the absorption solve whose cost they drive.
+  charge_states(chain.state_count());
 
   const auto emit_transitions = [&](FlowStateId from, double scale) {
     for (const auto& [to, p] : rows[from]) {
@@ -533,7 +593,7 @@ double ReliabilityEngine::evaluate_composite(const CompositeService& service,
   }
 
   // Eq. (3): Pfail(S, fp) = 1 − p*(Start, End).
-  const auto analysis = markov::AbsorptionAnalysis::compute(chain, options_.method);
+  const auto analysis = solve_absorption(chain, service.name());
   const double p_end = analysis.absorption_probability(
       to_chain[FlowGraph::kStart], to_chain[FlowGraph::kEnd]);
   return clamp_probability(1.0 - p_end,
@@ -546,6 +606,7 @@ double ReliabilityEngine::state_pfail(const CompositeService& service,
   failures.reserve(state.requests.size());
   for (const ServiceRequest& request : state.requests) {
     RequestFailure rf;
+    charge_expr(1);
     note_internal_failure_deps(request.internal);
     rf.internal = request.internal.pfail(env);
     rf.external = request_external_pfail(service, request, env);
@@ -565,6 +626,7 @@ double ReliabilityEngine::request_external_pfail(const CompositeService& service
   std::vector<double> child_args;
   child_args.reserve(request.actuals.size());
   for (const expr::Expr& actual : request.actuals) {
+    charge_expr(1);
     note_expr_deps(actual);
     child_args.push_back(actual.eval(env));
   }
@@ -585,6 +647,7 @@ double ReliabilityEngine::request_external_pfail(const CompositeService& service
     std::vector<double> conn_args;
     conn_args.reserve(actual_exprs.size());
     for (const expr::Expr& actual : actual_exprs) {
+      charge_expr(1);
       note_expr_deps(actual);
       conn_args.push_back(actual.eval(conn_env));
     }

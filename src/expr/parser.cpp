@@ -26,10 +26,17 @@ class Parser {
   }
 
  private:
-  // Parenthesised sub-expressions and function calls recurse; bound the
-  // depth so pathological input reports an error instead of exhausting the
-  // call stack.
+  // Parenthesised sub-expressions, function calls, and unary/power chains
+  // recurse; bound the depth so pathological input reports an error instead
+  // of exhausting the call stack.
   static constexpr std::size_t kMaxDepth = 400;
+
+  // A flat giant expression (`1+1+1+...`) parses iteratively but builds a
+  // left-deep Expr whose teardown recurses once per node; cap the size so
+  // adversarial input cannot blow the stack on destruction either. Expr
+  // teardown is a tail-light recursion, so the cap can sit well above the
+  // nesting cap without risking the stack.
+  static constexpr std::size_t kMaxNodes = 100000;
 
   struct DepthGuard {
     explicit DepthGuard(Parser& parser) : parser_(parser) {
@@ -73,9 +80,15 @@ class Parser {
   }
 
   // unary := '-' unary | power
+  // Guard only the branch that actually recurses; the pass-through to
+  // parse_power must not charge depth, or every paren level (which routes
+  // expr -> term -> unary -> primary) would count twice against the cap.
   Expr parse_unary() {
     skip_ws();
-    if (consume('-')) return -parse_unary();
+    if (consume('-')) {
+      const DepthGuard guard(*this);
+      return -parse_unary();
+    }
     return parse_power();
   }
 
@@ -83,11 +96,17 @@ class Parser {
   Expr parse_power() {
     Expr base = parse_primary();
     skip_ws();
-    if (consume('^')) return pow(base, parse_unary());
+    if (consume('^')) {
+      const DepthGuard guard(*this);
+      return pow(base, parse_unary());
+    }
     return base;
   }
 
   Expr parse_primary() {
+    if (++nodes_ > kMaxNodes) {
+      fail("expression larger than 100000 terms");
+    }
     skip_ws();
     if (at_end()) fail("unexpected end of expression");
     const char c = peek();
@@ -198,6 +217,7 @@ class Parser {
 
   std::string_view src_;
   std::size_t depth_ = 0;
+  std::size_t nodes_ = 0;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t column_ = 1;

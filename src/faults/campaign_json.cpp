@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "sorel/expr/parser.hpp"
+#include "sorel/guard/budget_json.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::faults {
@@ -159,6 +160,10 @@ Campaign load_campaign(const Value& document) {
       if (!spec.is_object()) fail(context, "expected an object");
       Scenario scenario;
       scenario.name = spec.get_or("name", Value("")).as_string();
+      if (spec.contains("budget")) {
+        scenario.budget = guard::budget_from_json(
+            spec.at("budget"), "campaign spec: " + context + ".budget");
+      }
       const Value& refs = spec.at("faults");
       for (std::size_t j = 0; j < refs.size(); ++j) {
         const Value& ref = refs.at(j);
@@ -194,6 +199,11 @@ Campaign load_campaign(const Value& document) {
   } else {
     fail("mode",
          "unknown mode '" + mode + "' (want single | pairs | scenarios)");
+  }
+
+  if (document.contains("budget")) {
+    campaign.budget =
+        guard::budget_from_json(document.at("budget"), "campaign spec: budget");
   }
 
   if (document.contains("reliability_target")) {

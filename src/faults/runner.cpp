@@ -40,14 +40,20 @@ class Worker {
  public:
   Worker(const core::Assembly& shared, const Campaign& campaign,
          const CampaignRunner::Options& options)
-      : campaign_(campaign), options_(options) {
+      : campaign_(campaign),
+        options_(options),
+        global_budget_(options.budget.overlaid_with(campaign.budget)),
+        guard_enabled_(!global_budget_.unlimited() || options.cancel != nullptr) {
     if (campaign_cuts_bindings(campaign)) {
       local_.emplace(shared);  // private copy, cheap relative to a campaign
       active_ = &*local_;
     } else {
       active_ = &shared;
     }
-    rebuild_session();
+    // Baseline warm-up runs under the campaign-global budget: a fault-free
+    // query that already busts the budget is a campaign-level error and
+    // propagates from the constructor (i.e. from CampaignRunner::run).
+    rebuild_session(/*budgeted=*/true);
   }
 
   double baseline() const noexcept { return baseline_; }
@@ -58,6 +64,23 @@ class Worker {
     ScenarioOutcome out;
     out.scenario = index;
     out.name = scenario_label(campaign_, scenario);
+
+    // A dead worker (cancelled, or its warm session unrecoverable) drains
+    // its remaining scenarios as error outcomes without paying a session
+    // rebuild per scenario.
+    if (dead_) {
+      out.ok = false;
+      out.error_category = dead_category_;
+      out.error_message = dead_message_;
+      return out;
+    }
+    // A scenario can carry its own budget even when the runner and campaign
+    // are unguarded; arm the meter whenever either level asks for it.
+    const bool scenario_guard = guard_enabled_ || !scenario.budget.unlimited();
+    if (scenario_guard) {
+      session_->set_budget(global_budget_.overlaid_with(scenario.budget),
+                           options_.cancel);
+    }
 
     struct AttrUndo {
       std::string attribute;
@@ -121,6 +144,16 @@ class Worker {
       out.ok = false;
       out.error_category = error_category(e);
       out.error_message = e.what();
+      if (const auto* budget = dynamic_cast<const BudgetExceeded*>(&e)) {
+        out.budget_limit = budget->limit();
+        out.evaluations_done = budget->evaluations();
+        out.states_expanded = budget->states();
+        out.elapsed_ms = budget->elapsed_ms();
+      } else if (const auto* cancelled = dynamic_cast<const Cancelled*>(&e)) {
+        out.evaluations_done = cancelled->evaluations();
+        out.states_expanded = cancelled->states();
+        out.elapsed_ms = cancelled->elapsed_ms();
+      }
       out.evaluations = session_->stats().evaluations - evals_start;
       evals_total_ += out.evaluations;
       // The session (and any partially applied deltas) is suspect; restore
@@ -129,38 +162,80 @@ class Worker {
       for (auto it = bind_undos.rbegin(); it != bind_undos.rend(); ++it) {
         local_->bind(it->service, it->port, std::move(it->previous));
       }
-      rebuild_session();
+      if (dynamic_cast<const Cancelled*>(&e) != nullptr) {
+        // Cancelled: skip the (expensive) rebuild — the remaining scenarios
+        // drain as cancelled outcomes anyway.
+        mark_dead("cancelled", e.what());
+        return out;
+      }
+      // The rebuild's own warm-up runs without a budget so a per-scenario
+      // deadline cannot wedge the worker in a rebuild loop; only a
+      // cancellation (or a baseline-breaking model change, which cannot
+      // happen here — injections were reverted) can stop it.
+      try {
+        if (scenario_guard) {
+          session_->set_budget(guard::Budget{}, options_.cancel);
+        }
+        rebuild_session(/*budgeted=*/false);
+      } catch (const std::exception& rebuild_error) {
+        mark_dead(error_category(rebuild_error), rebuild_error.what());
+      }
       return out;
     }
 
     // Revert in reverse application order, then re-warm the memo: every
     // scenario — on any chunk — starts from the identical fully-warm state,
     // which is what makes blast radii and evaluation counts
-    // chunking-independent.
-    for (auto it = bind_undos.rbegin(); it != bind_undos.rend(); ++it) {
-      local_->bind(it->service, it->port, it->previous);
-      session_->invalidate_binding(it->service, it->port);
-    }
-    if (!attr_undos.empty()) {
-      std::map<std::string, double> restore;
-      for (auto it = attr_undos.rbegin(); it != attr_undos.rend(); ++it) {
-        restore[it->attribute] = it->previous;  // first application wins
+    // chunking-independent. The revert runs under the campaign-global
+    // budget, not the scenario overlay: the re-warm repeats the baseline
+    // query, which already passed that budget at construction, so only a
+    // deadline/cancel race can interrupt it — handled below by rebuilding.
+    try {
+      if (scenario_guard) {
+        session_->set_budget(global_budget_, options_.cancel);
       }
-      session_->set_attributes(restore);
-    }
-    if (pfail_backup) session_->set_pfail_overrides(std::move(*pfail_backup));
-    session_->pfail(campaign_.service, campaign_.args);  // re-warm
+      for (auto it = bind_undos.rbegin(); it != bind_undos.rend(); ++it) {
+        local_->bind(it->service, it->port, it->previous);
+        session_->invalidate_binding(it->service, it->port);
+      }
+      if (!attr_undos.empty()) {
+        std::map<std::string, double> restore;
+        for (auto it = attr_undos.rbegin(); it != attr_undos.rend(); ++it) {
+          restore[it->attribute] = it->previous;  // first application wins
+        }
+        session_->set_attributes(restore);
+      }
+      if (pfail_backup) session_->set_pfail_overrides(std::move(*pfail_backup));
+      session_->pfail(campaign_.service, campaign_.args);  // re-warm
 
-    // An injection can evaluate (service, args) pairs outside the baseline
-    // closure — a cut port's sink, a fallback target at different actuals.
-    // Those memo entries don't depend on the reverted deltas, so they
-    // survive the revert and would leak into the next scenario's blast
-    // radius. Detect the leak (the re-warmed closure can only grow past the
-    // pristine size) and scrub by clearing the whole memo and re-warming —
-    // re-pinning the identical pfail overrides is the engine's memo-clear.
-    if (session_->memo_size() != pristine_memo_size_) {
-      session_->set_pfail_overrides(session_->pfail_overrides());
-      session_->pfail(campaign_.service, campaign_.args);
+      // An injection can evaluate (service, args) pairs outside the baseline
+      // closure — a cut port's sink, a fallback target at different actuals.
+      // Those memo entries don't depend on the reverted deltas, so they
+      // survive the revert and would leak into the next scenario's blast
+      // radius. Detect the leak (the re-warmed closure can only grow past the
+      // pristine size) and scrub by clearing the whole memo and re-warming —
+      // re-pinning the identical pfail overrides is the engine's memo-clear.
+      if (session_->memo_size() != pristine_memo_size_) {
+        session_->set_pfail_overrides(session_->pfail_overrides());
+        session_->pfail(campaign_.service, campaign_.args);
+      }
+    } catch (const std::exception& revert_error) {
+      // The scenario's own result is valid — keep it. Deltas were all
+      // reverted before anything here could throw (only the re-warm queries
+      // throw), so a plain rebuild restores the pristine state; a
+      // cancellation kills the worker instead.
+      if (dynamic_cast<const Cancelled*>(&revert_error) != nullptr) {
+        mark_dead("cancelled", revert_error.what());
+      } else {
+        try {
+          if (guard_enabled_) {
+            session_->set_budget(guard::Budget{}, options_.cancel);
+          }
+          rebuild_session(/*budgeted=*/false);
+        } catch (const std::exception& rebuild_error) {
+          mark_dead(error_category(rebuild_error), rebuild_error.what());
+        }
+      }
     }
 
     out.evaluations = session_->stats().evaluations - evals_start;
@@ -169,13 +244,23 @@ class Worker {
   }
 
  private:
-  void rebuild_session() {
+  void rebuild_session(bool budgeted) {
     core::EvalSession::Options session_options;
     session_options.engine = options_.engine;
     session_.emplace(*active_, std::move(session_options));
+    if (guard_enabled_) {
+      session_->set_budget(budgeted ? global_budget_ : guard::Budget{},
+                           options_.cancel);
+    }
     baseline_ = session_->pfail(campaign_.service, campaign_.args);
     pristine_memo_size_ = session_->memo_size();
     evals_total_ += session_->stats().evaluations;
+  }
+
+  void mark_dead(std::string category, std::string message) {
+    dead_ = true;
+    dead_category_ = std::move(category);
+    dead_message_ = std::move(message);
   }
 
   /// Binding to an always-failing stand-in with the old target's arity, so
@@ -202,12 +287,17 @@ class Worker {
 
   const Campaign& campaign_;
   const CampaignRunner::Options& options_;
+  guard::Budget global_budget_;  // options overlaid with the campaign's
+  bool guard_enabled_ = false;
   std::optional<core::Assembly> local_;  // engaged iff the campaign rewires
   const core::Assembly* active_ = nullptr;
   std::optional<core::EvalSession> session_;
   double baseline_ = 0.0;
   std::size_t pristine_memo_size_ = 0;  // the warm closure of the target query
   std::size_t evals_total_ = 0;
+  bool dead_ = false;  // cancelled / session unrecoverable: drain fast
+  std::string dead_category_;
+  std::string dead_message_;
 };
 
 }  // namespace

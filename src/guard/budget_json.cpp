@@ -1,0 +1,73 @@
+#include "sorel/guard/budget_json.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::guard {
+namespace {
+
+double positive_number(const json::Value& v, const std::string& context,
+                       const std::string& key) {
+  if (!v.is_number())
+    throw InvalidArgument(context + ": budget field '" + key +
+                          "' must be a number");
+  const double n = v.as_number();
+  if (!std::isfinite(n) || n < 0.0)
+    throw InvalidArgument(context + ": budget field '" + key +
+                          "' must be a finite non-negative number");
+  return n;
+}
+
+std::uint64_t count_field(const json::Value& v, const std::string& context,
+                          const std::string& key) {
+  const double n = positive_number(v, context, key);
+  if (n != std::floor(n) ||
+      n > static_cast<double>(std::numeric_limits<std::uint64_t>::max()))
+    throw InvalidArgument(context + ": budget field '" + key +
+                          "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+Budget budget_from_json(const json::Value& value, const std::string& context) {
+  if (!value.is_object())
+    throw InvalidArgument(context + ": budget must be a JSON object");
+  Budget budget;
+  for (const auto& [key, v] : value.as_object()) {
+    if (key == "deadline_ms") {
+      budget.deadline_ms = positive_number(v, context, key);
+    } else if (key == "max_evals") {
+      budget.max_evaluations = count_field(v, context, key);
+    } else if (key == "max_states") {
+      budget.max_states = count_field(v, context, key);
+    } else if (key == "max_expr_evals") {
+      budget.max_expr_evaluations = count_field(v, context, key);
+    } else if (key == "max_fixpoint_iterations") {
+      budget.max_fixpoint_iterations = count_field(v, context, key);
+    } else {
+      throw InvalidArgument(context + ": unknown budget field '" + key + "'");
+    }
+  }
+  return budget;
+}
+
+json::Value budget_to_json(const Budget& budget) {
+  json::Object out;
+  if (budget.deadline_ms != 0.0) out["deadline_ms"] = budget.deadline_ms;
+  if (budget.max_evaluations != 0)
+    out["max_evals"] = static_cast<double>(budget.max_evaluations);
+  if (budget.max_states != 0)
+    out["max_states"] = static_cast<double>(budget.max_states);
+  if (budget.max_expr_evaluations != 0)
+    out["max_expr_evals"] = static_cast<double>(budget.max_expr_evaluations);
+  if (budget.max_fixpoint_iterations != 0)
+    out["max_fixpoint_iterations"] =
+        static_cast<double>(budget.max_fixpoint_iterations);
+  return json::Value(std::move(out));
+}
+
+}  // namespace sorel::guard

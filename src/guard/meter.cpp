@@ -1,0 +1,74 @@
+#include "sorel/guard/meter.hpp"
+
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::guard {
+
+void Meter::arm() {
+  armed_ = true;
+  countdown_ = kStride;
+  evaluations_ = 0;
+  states_ = 0;
+  expr_evaluations_ = 0;
+  start_ = std::chrono::steady_clock::now();
+  has_deadline_ = budget_.deadline_ms > 0.0;
+  if (has_deadline_) {
+    deadline_point_ =
+        start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(budget_.deadline_ms));
+  }
+}
+
+double Meter::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void Meter::check_now() {
+  countdown_ = kStride;
+  if (cancel_ != nullptr && cancel_->cancelled()) throw_cancelled();
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_point_)
+    throw_deadline();
+}
+
+void Meter::throw_count_limit(const char* limit, std::uint64_t cap) {
+  // Clamp the exceeded counter to its cap: a warm memo hit charges a whole
+  // subtree in one lump and can jump past the cap, but the clamped value is
+  // identical however the work was chunked across threads.
+  std::uint64_t evals = evaluations_;
+  std::uint64_t states = states_;
+  std::string name(limit);
+  if (name == "max_evaluations") evals = cap;
+  if (name == "max_states") states = cap;
+  armed_ = false;
+  throw BudgetExceeded("budget exceeded: " + name + " limit of " +
+                           std::to_string(cap) + " reached",
+                       name, evals, states, elapsed_ms());
+}
+
+void Meter::throw_fixpoint_limit(std::uint64_t limit) {
+  armed_ = false;
+  throw BudgetExceeded(
+      "budget exceeded: max_fixpoint_iterations limit of " +
+          std::to_string(limit) + " reached without convergence",
+      "max_fixpoint_iterations", evaluations_, states_, elapsed_ms());
+}
+
+void Meter::throw_deadline() {
+  armed_ = false;
+  throw BudgetExceeded("budget exceeded: deadline of " +
+                           std::to_string(budget_.deadline_ms) +
+                           " ms elapsed",
+                       "deadline_ms", evaluations_, states_, elapsed_ms());
+}
+
+void Meter::throw_cancelled() {
+  armed_ = false;
+  throw Cancelled("evaluation cancelled via CancelToken", evaluations_,
+                  states_, elapsed_ms());
+}
+
+}  // namespace sorel::guard

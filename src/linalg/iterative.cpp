@@ -47,6 +47,7 @@ IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
   result.x = Vector(n);
   Vector next(n);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.meter != nullptr) options.meter->poll();
     for (std::size_t i = 0; i < n; ++i) {
       double acc = b[i];
       const auto row = a.row(i);
@@ -79,6 +80,7 @@ IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
   IterativeResult result;
   result.x = Vector(n);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.meter != nullptr) options.meter->poll();
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       double acc = b[i];
@@ -108,6 +110,7 @@ IterativeResult fixed_point_iteration(const SparseMatrix& q, const Vector& b,
   IterativeResult result;
   result.x = Vector(n);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.meter != nullptr) options.meter->poll();
     Vector next = q.multiply(result.x);
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) {

@@ -13,7 +13,8 @@ namespace sorel::markov {
 using linalg::Matrix;
 using linalg::Vector;
 
-AbsorptionAnalysis AbsorptionAnalysis::compute(const Dtmc& chain, Method method) {
+AbsorptionAnalysis AbsorptionAnalysis::compute(const Dtmc& chain, Method method,
+                                               guard::Meter* meter) {
   chain.validate();
 
   AbsorptionAnalysis a;
@@ -91,6 +92,7 @@ AbsorptionAnalysis AbsorptionAnalysis::compute(const Dtmc& chain, Method method)
     linalg::IterativeOptions options;
     options.tolerance = 1e-14;
     options.max_iterations = 100'000;
+    options.meter = meter;
 
     a.absorption_ = Matrix(nt, na);
     for (std::size_t c = 0; c < na; ++c) {

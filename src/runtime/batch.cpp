@@ -42,11 +42,24 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
     core::EvalSession::Options session_options;
     session_options.engine = options_.engine;
     core::EvalSession session(assembly_, std::move(session_options));
+    const bool global_guard =
+        !options_.budget.unlimited() || options_.cancel != nullptr;
+    if (global_guard) session.set_budget(options_.budget, options_.cancel);
     bool pfail_dirty = false;
+    bool budget_dirty = false;
     for (std::size_t i = begin; i < end; ++i) {
       const BatchJob& job = jobs[i];
       const auto job_start = std::chrono::steady_clock::now();
       try {
+        // Per-job budget overlay (and restore after a job that set one).
+        if (!job.budget.unlimited()) {
+          session.set_budget(options_.budget.overlaid_with(job.budget),
+                             options_.cancel);
+          budget_dirty = true;
+        } else if (budget_dirty) {
+          session.set_budget(options_.budget, options_.cancel);
+          budget_dirty = false;
+        }
         // Sparse re-base: consecutive jobs usually override the same few
         // attributes, so this invalidates only what actually changed. It
         // also makes jobs independent of chunk history — a poisoned job
@@ -65,6 +78,21 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
         results[i].ok = true;
         results[i].pfail = pfail;
         results[i].reliability = 1.0 - pfail;
+      } catch (const BudgetExceeded& e) {
+        results[i].ok = false;
+        results[i].error_category = error_category(e);
+        results[i].error_message = e.what();
+        results[i].budget_limit = e.limit();
+        results[i].evaluations_done = e.evaluations();
+        results[i].states_expanded = e.states();
+        results[i].elapsed_ms = e.elapsed_ms();
+      } catch (const Cancelled& e) {
+        results[i].ok = false;
+        results[i].error_category = error_category(e);
+        results[i].error_message = e.what();
+        results[i].evaluations_done = e.evaluations();
+        results[i].states_expanded = e.states();
+        results[i].elapsed_ms = e.elapsed_ms();
       } catch (const std::exception& e) {
         results[i].ok = false;
         results[i].error_category = error_category(e);

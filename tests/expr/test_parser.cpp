@@ -133,6 +133,45 @@ TEST(Parser, OverflowingNumberLiteralIsAParseError) {
   EXPECT_DOUBLE_EQ(parse("1e308").eval(Env{}), 1e308);
 }
 
+TEST(Parser, UnaryAndPowerChainsHitTheDepthCap) {
+  // `----…1` and `1^1^1^…` recurse through parse_unary/parse_power; both
+  // must report the depth cap instead of exhausting the call stack.
+  const std::string unary = std::string(600, '-') + "1";
+  std::string power = "1";
+  for (int i = 0; i < 600; ++i) power += "^1";
+  for (const std::string& text : {unary, power}) {
+    try {
+      (void)parse(text);
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("nesting deeper than 400 levels"),
+                std::string::npos)
+          << "message was: " << e.what();
+    }
+  }
+  // Chains under the cap still parse.
+  EXPECT_DOUBLE_EQ(parse(std::string(300, '-') + "1").eval(Env{}), 1.0);
+}
+
+TEST(Parser, GiantFlatExpressionHitsTheNodeCap) {
+  // A flat `x+x+…` parses iteratively but builds a left-deep tree whose
+  // teardown recurses once per node; the parser caps total size.
+  std::string giant = "x";
+  for (int i = 0; i < 120000; ++i) giant += "+x";
+  try {
+    (void)parse(giant);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("larger than 100000 terms"),
+              std::string::npos)
+        << "message was: " << e.what();
+  }
+  // A large-but-bounded expression still parses and evaluates.
+  std::string bounded = "x";
+  for (int i = 0; i < 1000; ++i) bounded += "+x";
+  EXPECT_DOUBLE_EQ(parse(bounded).eval(Env{}.set("x", 1.0)), 1001.0);
+}
+
 TEST(Parser, RandomRoundTripProperty) {
   // Generate random expression trees, print, reparse, compare evaluation.
   sorel::util::Rng rng(2024);

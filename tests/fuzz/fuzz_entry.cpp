@@ -1,0 +1,68 @@
+#include "fuzz_entry.hpp"
+
+#include <string>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/expr/parser.hpp"
+#include "sorel/faults/campaign_json.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::fuzz {
+
+int one_spec(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  json::Value document;
+  try {
+    document = json::parse(text);
+  } catch (const Error&) {
+    return 0;  // structured rejection is the contract
+  }
+  // Each loader must either accept the parsed document or throw a
+  // sorel::Error; only sorel::Error is caught so that a crash, a foreign
+  // exception, or a sanitizer report surfaces as a finding.
+  try {
+    const core::Assembly assembly = dsl::load_assembly(document);
+    (void)dsl::save_assembly(assembly);
+  } catch (const Error&) {
+  }
+  try {
+    (void)dsl::load_selection_points(document);
+  } catch (const Error&) {
+  }
+  try {
+    (void)dsl::load_uncertainty(document);
+  } catch (const Error&) {
+  }
+  try {
+    (void)faults::load_campaign(document);
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+int one_expr(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  expr::Expr parsed;
+  try {
+    parsed = expr::parse(text);
+  } catch (const Error&) {
+    return 0;
+  }
+  try {
+    // An accepted expression must keep behaving: simplify() yields a
+    // well-formed tree, to_string() re-parses (modulo the parser's own
+    // depth/size caps on the parenthesised rendering), eval() throws
+    // structured errors only.
+    const expr::Expr simplified = parsed.simplify();
+    (void)expr::parse(parsed.to_string());
+    expr::Env env;
+    for (const std::string& name : parsed.variables()) env.set(name, 0.5);
+    (void)parsed.eval(env);
+    (void)simplified.eval(env);
+  } catch (const Error&) {
+  }
+  return 0;
+}
+
+}  // namespace sorel::fuzz

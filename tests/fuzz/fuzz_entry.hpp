@@ -1,0 +1,25 @@
+// Shared fuzz entry points over sorel's parse boundary.
+//
+// Contract under test: every byte string fed to the JSON / DSL / campaign
+// loaders or the expression parser is either accepted or rejected with a
+// structured sorel::Error. Anything else — a crash, a sanitizer report, a
+// foreign exception type, unbounded recursion — is a bug.
+//
+// The same entry points back two harnesses: the deterministic corpus-replay
+// test (tests/fuzz/test_fuzz_replay.cpp, always in ctest and thus under the
+// ASan+UBSan CI job) and the optional libFuzzer targets (-DSOREL_FUZZ=ON).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sorel::fuzz {
+
+/// Drive json::parse -> dsl::load_assembly / save round-trip /
+/// load_selection_points / load_uncertainty / faults::load_campaign.
+int one_spec(const std::uint8_t* data, std::size_t size);
+
+/// Drive expr::parse -> simplify / to_string round-trip / eval.
+int one_expr(const std::uint8_t* data, std::size_t size);
+
+}  // namespace sorel::fuzz

@@ -1,0 +1,64 @@
+// Deterministic corpus replay over the fuzz entry points.
+//
+// Every file under tests/fuzz/corpus/ runs through the parse boundary on
+// every ctest invocation — including the ASan+UBSan CI job, which is where
+// the memory-safety half of the contract is actually enforced. Files are
+// routed by extension: .expr drives the expression parser, .json the
+// JSON/DSL/campaign loaders, anything else drives both.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz_entry.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir() { return fs::path(SOREL_FUZZ_CORPUS_DIR); }
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(corpus_dir())) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());  // directory order is not portable
+  return files;
+}
+
+std::vector<std::uint8_t> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+TEST(FuzzReplay, CorpusIsCheckedIn) {
+  // The adversarial corpus is part of the regression surface; losing it
+  // silently would hollow this test out.
+  EXPECT_GE(corpus_files().size(), 25u) << "corpus dir: " << corpus_dir();
+}
+
+TEST(FuzzReplay, EveryCorpusFileIsHandled) {
+  for (const fs::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const std::vector<std::uint8_t> bytes = slurp(path);
+    const std::uint8_t* data = bytes.empty() ? nullptr : bytes.data();
+    const std::string ext = path.extension().string();
+    if (ext == ".expr") {
+      EXPECT_EQ(0, sorel::fuzz::one_expr(data, bytes.size()));
+    } else if (ext == ".json") {
+      EXPECT_EQ(0, sorel::fuzz::one_spec(data, bytes.size()));
+    } else {
+      EXPECT_EQ(0, sorel::fuzz::one_spec(data, bytes.size()));
+      EXPECT_EQ(0, sorel::fuzz::one_expr(data, bytes.size()));
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,490 @@
+// sorel::guard — budgets and cooperative cancellation must stop runaway
+// evaluations with structured errors, charge logical work independently of
+// memo warmth, leave sessions usable, and keep batch / campaign reports
+// bit-identical at every thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/faults/campaign.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/guard/budget.hpp"
+#include "sorel/runtime/batch.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::BudgetExceeded;
+using sorel::Cancelled;
+using sorel::NumericError;
+using sorel::RecursionError;
+using sorel::core::Assembly;
+using sorel::core::EvalSession;
+using sorel::core::ReliabilityEngine;
+using sorel::faults::Campaign;
+using sorel::faults::CampaignReport;
+using sorel::faults::CampaignRunner;
+using sorel::faults::FaultSpec;
+using sorel::faults::Scenario;
+using sorel::guard::Budget;
+using sorel::guard::CancelToken;
+using sorel::runtime::BatchEvaluator;
+using sorel::runtime::BatchItem;
+using sorel::runtime::BatchJob;
+
+// -- Budget value semantics ---------------------------------------------
+
+TEST(Budget, DefaultIsUnlimited) {
+  EXPECT_TRUE(Budget{}.unlimited());
+  Budget b;
+  b.max_evaluations = 1;
+  EXPECT_FALSE(b.unlimited());
+}
+
+TEST(Budget, OverlayNonzeroFieldsWin) {
+  Budget base;
+  base.deadline_ms = 100.0;
+  base.max_evaluations = 50;
+  Budget over;
+  over.max_evaluations = 5;
+  over.max_states = 7;
+  const Budget merged = base.overlaid_with(over);
+  EXPECT_EQ(merged.deadline_ms, 100.0);   // untouched by zero field
+  EXPECT_EQ(merged.max_evaluations, 5u);  // overridden
+  EXPECT_EQ(merged.max_states, 7u);       // introduced
+}
+
+// -- Engine choke points ------------------------------------------------
+
+TEST(GuardEngine, MaxEvaluationsExceededIsClamped) {
+  Assembly a = sorel::scenarios::make_tree_assembly(6, 3);
+  ReliabilityEngine engine(a);
+  Budget budget;
+  budget.max_evaluations = 5;
+  engine.set_budget(budget);
+  try {
+    engine.pfail("level0", {1.0});
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.limit(), "max_evaluations");
+    EXPECT_EQ(e.evaluations(), 5u);  // clamped to the cap, not "5 + a bit"
+    EXPECT_NE(std::string(e.what()).find(
+                  "max_evaluations limit of 5 reached"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GuardEngine, MaxStatesExceededOnHugeExpansion) {
+  Assembly a = sorel::scenarios::make_chain_assembly(200);
+  ReliabilityEngine engine(a);
+  Budget budget;
+  budget.max_states = 10;
+  engine.set_budget(budget);
+  try {
+    engine.pfail("pipeline", {100.0});
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.limit(), "max_states");
+    EXPECT_EQ(e.states(), 10u);
+  }
+}
+
+TEST(GuardEngine, DeadlineExpires) {
+  Assembly a = sorel::scenarios::make_chain_assembly(200);
+  ReliabilityEngine engine(a);
+  Budget budget;
+  budget.deadline_ms = 1e-6;  // expired by the first strided checkpoint
+  engine.set_budget(budget);
+  try {
+    engine.pfail("pipeline", {100.0});
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.limit(), "deadline_ms");
+    EXPECT_GT(e.elapsed_ms(), 0.0);
+  }
+}
+
+TEST(GuardEngine, CountBudgetIndependentOfMemoWarmth) {
+  // The same query must bust the same count budget whether the memo is cold
+  // or fully warm: memo hits charge the stored subtree cost in one lump.
+  Assembly a = sorel::scenarios::make_tree_assembly(6, 3);
+  ReliabilityEngine engine(a);
+  engine.pfail("level0", {1.0});  // warm the memo, unbudgeted
+  Budget budget;
+  budget.max_evaluations = 5;
+  engine.set_budget(budget);
+  try {
+    engine.pfail("level0", {1.0});  // answered entirely from the memo
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.limit(), "max_evaluations");
+    EXPECT_EQ(e.evaluations(), 5u);
+  }
+}
+
+TEST(GuardEngine, CancelTokenStopsEvaluation) {
+  Assembly a = sorel::scenarios::make_chain_assembly(200);
+  ReliabilityEngine engine(a);
+  auto token = std::make_shared<CancelToken>();
+  token->cancel();
+  engine.set_budget(Budget{}, token);
+  EXPECT_THROW(engine.pfail("pipeline", {100.0}), Cancelled);
+}
+
+TEST(GuardEngine, ErrorCategoryTags) {
+  try {
+    throw BudgetExceeded("x", "max_evaluations", 1, 2, 3.0);
+  } catch (const std::exception& e) {
+    EXPECT_EQ(sorel::error_category(e), "budget_exceeded");
+  }
+  try {
+    throw Cancelled("x", 1, 2, 3.0);
+  } catch (const std::exception& e) {
+    EXPECT_EQ(sorel::error_category(e), "cancelled");
+  }
+}
+
+TEST(GuardEngine, FixpointBudgetCapThrowsBudgetExceeded) {
+  // A near-divergent recursive spec: p_recurse close to 1 converges slowly,
+  // so two iterations cannot reach the 1e-12 tolerance.
+  Assembly a = sorel::scenarios::make_recursive_assembly(0.999, 0.2);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  ReliabilityEngine engine(a, options);
+  Budget budget;
+  budget.max_fixpoint_iterations = 2;
+  engine.set_budget(budget);
+  try {
+    engine.pfail("ping", {});
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.limit(), "max_fixpoint_iterations");
+    EXPECT_NE(std::string(e.what()).find(
+                  "max_fixpoint_iterations limit of 2 reached without "
+                  "convergence"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// -- Satellite: direct coverage of the engine's own limit errors ---------
+
+TEST(EngineLimits, FixpointOptionCapStaysNumericError) {
+  Assembly a = sorel::scenarios::make_recursive_assembly(0.999, 0.2);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  options.max_fixpoint_iterations = 2;
+  ReliabilityEngine engine(a, options);
+  try {
+    engine.pfail("ping", {});
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "fixed-point evaluation of recursive assembly did not converge "
+              "within 2 iterations");
+  }
+}
+
+TEST(EngineLimits, RecursionErrorNamesTheService) {
+  Assembly a = sorel::scenarios::make_recursive_assembly(0.3, 0.01);
+  ReliabilityEngine engine(a);
+  try {
+    engine.pfail("ping", {});
+    FAIL() << "expected RecursionError";
+  } catch (const RecursionError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "service 'ping' recursively requires itself (with identical "
+              "actual parameters); enable Options::allow_recursion for "
+              "fixed-point evaluation");
+  }
+}
+
+// -- Satellite: solver failures name the offending service ---------------
+
+TEST(EngineLimits, AbsorptionFailureNamesTheService) {
+  // A flow state that only loops on itself can never absorb; the engine
+  // must prefix the solver's diagnosis with the composite being evaluated.
+  // (End stays structurally reachable via the other branch so the graph
+  // passes validation and the failure happens inside the solver.)
+  using sorel::core::FlowGraph;
+  using sorel::expr::Expr;
+  FlowGraph flow;
+  sorel::core::FlowState ok_state;
+  ok_state.name = "fine";
+  const auto ok_id = flow.add_state(std::move(ok_state));
+  sorel::core::FlowState spin_a;
+  spin_a.name = "spin_a";
+  const auto spin_a_id = flow.add_state(std::move(spin_a));
+  sorel::core::FlowState spin_b;
+  spin_b.name = "spin_b";
+  const auto spin_b_id = flow.add_state(std::move(spin_b));
+  flow.add_transition(FlowGraph::kStart, ok_id, Expr::constant(0.5));
+  flow.add_transition(FlowGraph::kStart, spin_a_id, Expr::constant(0.5));
+  flow.add_transition(ok_id, FlowGraph::kEnd, Expr::constant(1.0));
+  // A two-state closed cycle: both states are transient (no self-loop with
+  // probability 1) yet can never reach an absorbing state.
+  flow.add_transition(spin_a_id, spin_b_id, Expr::constant(1.0));
+  flow.add_transition(spin_b_id, spin_a_id, Expr::constant(1.0));
+  Assembly a;
+  a.add_service(std::make_shared<sorel::core::CompositeService>(
+      "trap", std::vector<sorel::core::FormalParam>{}, std::move(flow)));
+  ReliabilityEngine engine(a);
+  try {
+    engine.pfail("trap", {});
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("service 'trap': "), 0u) << what;
+    EXPECT_NE(what.find("absorbing"), std::string::npos) << what;
+  }
+}
+
+// -- Sessions survive guard errors ---------------------------------------
+
+TEST(GuardSession, SurvivesBudgetErrorWithConsistentState) {
+  Assembly a = sorel::scenarios::make_partitioned_assembly(4, 4);
+  EvalSession session(a);
+  Budget tight;
+  tight.max_evaluations = 3;
+  session.set_budget(tight);
+  EXPECT_THROW(session.pfail("app", {}), BudgetExceeded);
+
+  session.set_budget(Budget{});  // lift the budget; the session must recover
+  ReliabilityEngine fresh(a);
+  EXPECT_EQ(session.pfail("app", {}), fresh.pfail("app", {}));
+
+  // Deltas still work after the interrupted evaluation.
+  session.set_attribute("g0_s0.p", 0.2);
+  Assembly edited = sorel::scenarios::make_partitioned_assembly(4, 4);
+  edited.set_attribute("g0_s0.p", 0.2);
+  ReliabilityEngine expected(edited);
+  EXPECT_EQ(session.pfail("app", {}), expected.pfail("app", {}));
+}
+
+TEST(GuardSession, SurvivesFixpointBudgetError) {
+  // Fixed-point interruptions are the dangerous case: interim memo entries
+  // were computed against unconverged assumptions and must be scrubbed.
+  Assembly a = sorel::scenarios::make_recursive_assembly(0.999, 0.2);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  ReliabilityEngine engine(a, options);
+  Budget budget;
+  budget.max_fixpoint_iterations = 2;
+  engine.set_budget(budget);
+  EXPECT_THROW(engine.pfail("ping", {}), BudgetExceeded);
+
+  engine.set_budget(Budget{});
+  ReliabilityEngine fresh(a, options);
+  EXPECT_EQ(engine.pfail("ping", {}), fresh.pfail("ping", {}));
+}
+
+// -- Batch: per-job budgets, partial counters, thread determinism --------
+
+std::vector<BatchItem> run_batch(const Assembly& assembly,
+                                 const std::vector<BatchJob>& jobs,
+                                 std::size_t threads, Budget global = {}) {
+  BatchEvaluator::Options options;
+  options.threads = threads;
+  options.budget = global;
+  BatchEvaluator evaluator(assembly, options);
+  return evaluator.evaluate(jobs);
+}
+
+TEST(GuardBatch, BudgetErrorSlotsCarryPartialWork) {
+  Assembly a = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::vector<BatchJob> jobs(3);
+  for (BatchJob& job : jobs) job.service = "app";
+  jobs[1].budget.max_evaluations = 3;
+
+  const auto items = run_batch(a, jobs, 1);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_TRUE(items[0].ok);
+  EXPECT_TRUE(items[2].ok);  // sibling jobs complete
+  ASSERT_FALSE(items[1].ok);
+  EXPECT_EQ(items[1].error_category, "budget_exceeded");
+  EXPECT_EQ(items[1].budget_limit, "max_evaluations");
+  EXPECT_EQ(items[1].evaluations_done, 3u);  // clamped partial-work counter
+  EXPECT_GE(items[1].elapsed_ms, 0.0);
+  EXPECT_EQ(items[0].pfail, items[2].pfail);
+}
+
+TEST(GuardBatch, GlobalBudgetAppliesToEveryJob) {
+  Assembly a = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::vector<BatchJob> jobs(2);
+  for (BatchJob& job : jobs) job.service = "app";
+  Budget global;
+  global.max_states = 5;
+  const auto items = run_batch(a, jobs, 1, global);
+  for (const BatchItem& item : items) {
+    ASSERT_FALSE(item.ok);
+    EXPECT_EQ(item.error_category, "budget_exceeded");
+    EXPECT_EQ(item.budget_limit, "max_states");
+    EXPECT_EQ(item.states_expanded, 5u);
+  }
+}
+
+TEST(GuardBatch, ErrorSlotsBitIdenticalAcrossThreadCounts) {
+  Assembly a = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::vector<BatchJob> jobs(6);
+  for (BatchJob& job : jobs) job.service = "app";
+  jobs[1].budget.max_evaluations = 3;
+  jobs[3].budget.max_states = 5;
+  jobs[4].attribute_overrides["g1_s2.p"] = 0.3;
+
+  const auto reference = run_batch(a, jobs, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto items = run_batch(a, jobs, threads);
+    ASSERT_EQ(items.size(), reference.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " job=" + std::to_string(i));
+      EXPECT_EQ(items[i].ok, reference[i].ok);
+      EXPECT_EQ(items[i].pfail, reference[i].pfail);  // bit-identical
+      EXPECT_EQ(items[i].error_category, reference[i].error_category);
+      EXPECT_EQ(items[i].error_message, reference[i].error_message);
+      EXPECT_EQ(items[i].budget_limit, reference[i].budget_limit);
+      // The exceeded counter is clamped to its limit, so it is exact even
+      // across chunkings; the other counters are best-effort snapshots and
+      // elapsed_ms is timing-dependent — not compared.
+      if (reference[i].budget_limit == "max_evaluations") {
+        EXPECT_EQ(items[i].evaluations_done, reference[i].evaluations_done);
+      }
+      if (reference[i].budget_limit == "max_states") {
+        EXPECT_EQ(items[i].states_expanded, reference[i].states_expanded);
+      }
+    }
+  }
+}
+
+TEST(GuardBatch, PreCancelledTokenDrainsDeterministically) {
+  Assembly a = sorel::scenarios::make_chain_assembly(200);
+  std::vector<BatchJob> jobs(3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].service = "pipeline";
+    jobs[i].args = {100.0 + static_cast<double>(i)};
+  }
+  BatchEvaluator::Options options;
+  options.threads = 2;
+  options.cancel = [] {
+    auto token = std::make_shared<CancelToken>();
+    token->cancel();
+    return token;
+  }();
+  BatchEvaluator evaluator(a, options);
+  const auto items = evaluator.evaluate(jobs);
+  ASSERT_EQ(items.size(), 3u);
+  for (const BatchItem& item : items) {
+    EXPECT_FALSE(item.ok);
+    EXPECT_EQ(item.error_category, "cancelled");
+    EXPECT_TRUE(item.budget_limit.empty());
+  }
+}
+
+// -- Campaigns: scenario budgets, dead-worker drain, determinism ---------
+
+Campaign budgeted_campaign() {
+  std::vector<FaultSpec> faults;
+  faults.push_back(FaultSpec::pfail_override("g0_s0", 0.9));
+  faults.push_back(FaultSpec::attribute_set("g1_s1.p", 0.5));
+  std::vector<Scenario> scenarios(4);
+  scenarios[0].faults = {0};
+  scenarios[1].faults = {0};
+  scenarios[1].budget.max_evaluations = 1;  // busts on the injected query
+  scenarios[2].faults = {1};
+  scenarios[3].faults = {0, 1};
+  return Campaign::from_scenarios("app", {}, std::move(faults),
+                                  std::move(scenarios));
+}
+
+CampaignReport run_campaign(const Assembly& assembly, const Campaign& campaign,
+                            std::size_t threads) {
+  CampaignRunner::Options options;
+  options.threads = threads;
+  CampaignRunner runner(assembly, options);
+  return runner.run(campaign);
+}
+
+TEST(GuardCampaign, ScenarioBudgetBustsOnlyThatScenario) {
+  Assembly a = sorel::scenarios::make_partitioned_assembly(4, 4);
+  const Campaign campaign = budgeted_campaign();
+  const CampaignReport report = run_campaign(a, campaign, 1);
+  ASSERT_EQ(report.outcomes.size(), 4u);
+  EXPECT_TRUE(report.outcomes[0].ok);
+  EXPECT_TRUE(report.outcomes[2].ok);
+  EXPECT_TRUE(report.outcomes[3].ok);
+  ASSERT_FALSE(report.outcomes[1].ok);
+  EXPECT_EQ(report.outcomes[1].error_category, "budget_exceeded");
+  EXPECT_EQ(report.outcomes[1].budget_limit, "max_evaluations");
+  EXPECT_EQ(report.outcomes[1].evaluations_done, 1u);
+  EXPECT_EQ(report.failed_scenarios, 1u);
+  // Scenarios 0 and 1 inject the same fault; the budgeted one failing must
+  // not poison its sibling.
+  EXPECT_EQ(report.outcomes[0].pfail, report.outcomes[0].pfail);
+  EXPECT_GT(report.outcomes[0].delta_pfail, 0.0);
+}
+
+TEST(GuardCampaign, ReportsBitIdenticalAcrossThreadCounts) {
+  Assembly a = sorel::scenarios::make_partitioned_assembly(4, 4);
+  const Campaign campaign = budgeted_campaign();
+  const CampaignReport reference = run_campaign(a, campaign, 1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const CampaignReport report = run_campaign(a, campaign, threads);
+    ASSERT_EQ(report.outcomes.size(), reference.outcomes.size());
+    EXPECT_EQ(report.baseline_pfail, reference.baseline_pfail);
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " scenario=" + std::to_string(i));
+      const auto& got = report.outcomes[i];
+      const auto& want = reference.outcomes[i];
+      EXPECT_EQ(got.ok, want.ok);
+      EXPECT_EQ(got.pfail, want.pfail);
+      EXPECT_EQ(got.delta_pfail, want.delta_pfail);
+      EXPECT_EQ(got.blast_radius, want.blast_radius);
+      EXPECT_EQ(got.evaluations, want.evaluations);
+      EXPECT_EQ(got.error_category, want.error_category);
+      EXPECT_EQ(got.error_message, want.error_message);
+      EXPECT_EQ(got.budget_limit, want.budget_limit);
+      if (want.budget_limit == "max_evaluations") {
+        EXPECT_EQ(got.evaluations_done, want.evaluations_done);
+      }
+    }
+  }
+}
+
+TEST(GuardCampaign, PreCancelledTokenPropagatesFromBaseline) {
+  // The fault-free baseline runs under the campaign-global guard; a token
+  // cancelled before run() stops the whole campaign with a structured error
+  // instead of producing a half-meaningful report.
+  Assembly a = sorel::scenarios::make_chain_assembly(200);
+  std::vector<FaultSpec> faults;
+  faults.push_back(FaultSpec::pfail_override("cpu", 0.9));
+  const Campaign campaign =
+      Campaign::single_faults("pipeline", {100.0}, std::move(faults));
+  CampaignRunner::Options options;
+  options.threads = 1;
+  auto token = std::make_shared<CancelToken>();
+  token->cancel();
+  options.cancel = token;
+  CampaignRunner runner(a, options);
+  EXPECT_THROW(runner.run(campaign), Cancelled);
+}
+
+TEST(GuardCampaign, CampaignLevelBudgetOverlaysRunnerOptions) {
+  Assembly a = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::vector<FaultSpec> faults;
+  faults.push_back(FaultSpec::pfail_override("g0_s0", 0.9));
+  Campaign campaign = Campaign::single_faults("app", {}, std::move(faults));
+  campaign.budget.max_evaluations = 1;  // too tight even for the baseline
+  CampaignRunner runner(a, CampaignRunner::Options{});
+  EXPECT_THROW(runner.run(campaign), BudgetExceeded);
+}
+
+}  // namespace
