@@ -1,0 +1,169 @@
+// Shared cross-worker memoization experiment: one memo::SharedMemo table
+// behind every campaign worker versus per-worker warm sessions, on the 1024
+// single-fault campaign over the 16x16 partitioned assembly (the same
+// workload as perf_faults). With sharing off, each of the k worker chunks
+// pays the full ~273-entry warm-up closure itself; with sharing on the
+// closure is evaluated once and replayed into every other worker's warm-up
+// and every revert re-warm. Output is machine-readable JSON, and the binary
+// self-checks the acceptance criteria: per-scenario rows bit-identical
+// across thread counts {1, 2, 8} x shared {on, off}, the logical-work
+// invariant engine_evaluations + shared_hits == sharing-off
+// engine_evaluations at every thread count, and at least 2x fewer physical
+// engine evaluations at 8 threads with sharing on.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sorel/faults/campaign.hpp"
+#include "sorel/faults/fault_spec.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::faults::Campaign;
+using sorel::faults::CampaignReport;
+using sorel::faults::CampaignRunner;
+using sorel::faults::FaultSpec;
+
+constexpr std::size_t kGroups = 16;
+constexpr std::size_t kLeaves = 16;
+constexpr std::size_t kScenarios = 1024;
+
+// Fault i degrades exactly one leaf attribute; with 1024 faults over 256
+// leaves every leaf is hit four times, each with a distinct value.
+FaultSpec campaign_fault(std::size_t i) {
+  std::string attr = "g";
+  attr += std::to_string(i % kGroups);
+  attr += "_s";
+  attr += std::to_string((i / kGroups) % kLeaves);
+  attr += ".p";
+  return FaultSpec::attribute_set(std::move(attr),
+                                  1e-4 + 1e-6 * static_cast<double>(i + 1));
+}
+
+struct RunResult {
+  std::size_t threads = 0;
+  bool shared = false;
+  CampaignReport report;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const Assembly assembly =
+      sorel::scenarios::make_partitioned_assembly(kGroups, kLeaves);
+
+  std::vector<FaultSpec> faults;
+  faults.reserve(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    faults.push_back(campaign_fault(i));
+  }
+  const Campaign campaign =
+      Campaign::single_faults("app", {}, std::move(faults));
+
+  std::vector<RunResult> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const bool shared : {false, true}) {
+      CampaignRunner::Options options;
+      options.threads = threads;
+      options.shared_memo = shared;
+      CampaignRunner runner(assembly, options);
+      RunResult run;
+      run.threads = threads;
+      run.shared = shared;
+      const auto start = std::chrono::steady_clock::now();
+      run.report = runner.run(campaign);
+      run.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      runs.push_back(std::move(run));
+    }
+  }
+
+  // Bitwise checks: every run agrees with run 0 row by row — including the
+  // per-scenario *logical* evaluation counts, which is the determinism
+  // contract of the shared table (a replayed result counts as the
+  // evaluations it replaced).
+  bool rows_identical = true;
+  const CampaignReport& reference = runs.front().report;
+  for (const RunResult& run : runs) {
+    const CampaignReport& r = run.report;
+    rows_identical = rows_identical &&
+                     r.baseline_pfail == reference.baseline_pfail &&
+                     r.outcomes.size() == reference.outcomes.size();
+    for (std::size_t i = 0; rows_identical && i < r.outcomes.size(); ++i) {
+      const auto& a = reference.outcomes[i];
+      const auto& b = r.outcomes[i];
+      rows_identical = a.ok == b.ok && a.pfail == b.pfail &&
+                       a.delta_pfail == b.delta_pfail &&
+                       a.blast_radius == b.blast_radius &&
+                       a.evaluations == b.evaluations;
+    }
+  }
+
+  // Logical-work invariant: at every thread count, physical evaluations
+  // plus shared replays with sharing on equals physical evaluations with
+  // sharing off (the table only ever changes *who* evaluates, never *what*).
+  bool work_invariant = true;
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const CampaignReport& off = runs[i].report;      // shared == false first
+    const CampaignReport& on = runs[i + 1].report;
+    work_invariant =
+        work_invariant &&
+        on.engine_evaluations + on.shared_hits == off.engine_evaluations;
+  }
+
+  // The headline number: physical engine evaluations at 8 threads, where
+  // per-worker warm-ups dominate the sharing-off total.
+  const CampaignReport& off8 = runs[runs.size() - 2].report;
+  const CampaignReport& on8 = runs.back().report;
+  const double evaluations_ratio =
+      on8.engine_evaluations > 0
+          ? static_cast<double>(off8.engine_evaluations) /
+                static_cast<double>(on8.engine_evaluations)
+          : 0.0;
+
+  std::printf("[\n");
+  for (const RunResult& run : runs) {
+    std::printf("  {\"mode\": \"%s\", \"threads\": %zu, \"chunks\": %zu, "
+                "\"scenarios\": %zu, \"evaluations\": %zu, "
+                "\"shared_hits\": %zu, \"shared_misses\": %zu, "
+                "\"table_entries\": %zu, \"seconds\": %.4f},\n",
+                run.shared ? "shared_memo" : "per_worker", run.threads,
+                run.report.chunks, run.report.outcomes.size(),
+                run.report.engine_evaluations, run.report.shared_hits,
+                run.report.shared_misses, run.report.shared_cache_stats.entries,
+                run.seconds);
+  }
+  std::printf("  {\"groups\": %zu, \"leaves\": %zu, "
+              "\"evaluations_ratio_at_8\": %.2f, \"rows_identical\": %s, "
+              "\"work_invariant\": %s}\n]\n",
+              kGroups, kLeaves, evaluations_ratio,
+              rows_identical ? "true" : "false",
+              work_invariant ? "true" : "false");
+
+  if (!rows_identical) {
+    std::fprintf(stderr,
+                 "FAIL: campaign rows differ across thread counts / sharing\n");
+    return 1;
+  }
+  if (!work_invariant) {
+    std::fprintf(stderr,
+                 "FAIL: evaluations + shared_hits != sharing-off evaluations\n");
+    return 1;
+  }
+  if (evaluations_ratio < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: evaluations ratio %.2f < 2.0 at 8 threads "
+                 "(off %zu, on %zu)\n",
+                 evaluations_ratio, off8.engine_evaluations,
+                 on8.engine_evaluations);
+    return 1;
+  }
+  return 0;
+}

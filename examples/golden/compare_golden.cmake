@@ -1,0 +1,41 @@
+# Golden-stdout comparison for CLI regression tests.
+#
+#   cmake -DCLI=<sorel_cli> "-DARGS=<space-separated args>" \
+#         -DGOLDEN=<expected-stdout file> -P compare_golden.cmake
+#
+# Runs the CLI, normalizes any timing fields on both sides (result lines are
+# timing-free by design, but a future field must not turn every golden test
+# into a flake), and fails with a diff-style message on the first deviation.
+# The same golden file is used with --shared-memo=on and off and with
+# several --threads values: byte-identical output across the whole grid is
+# the CLI-level determinism contract of the shared memo table.
+if(NOT CLI OR NOT GOLDEN OR NOT DEFINED ARGS)
+  message(FATAL_ERROR "compare_golden.cmake needs -DCLI, -DARGS and -DGOLDEN")
+endif()
+
+separate_arguments(cli_args UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${CLI} ${cli_args}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE exit_code
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "${CLI} ${ARGS} exited with ${exit_code}:\n${stderr_text}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+
+# Timing normalization: replace wall-clock-ish JSON fields with a fixed
+# token before comparing.
+foreach(field wall_seconds elapsed_ms seconds wall_ms)
+  string(REGEX REPLACE "\"${field}\":[0-9.eE+-]+" "\"${field}\":<T>"
+         actual "${actual}")
+  string(REGEX REPLACE "\"${field}\":[0-9.eE+-]+" "\"${field}\":<T>"
+         expected "${expected}")
+endforeach()
+
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR "stdout of `${CLI} ${ARGS}` deviates from ${GOLDEN}\n"
+                      "--- expected ---\n${expected}\n"
+                      "--- actual ---\n${actual}")
+endif()

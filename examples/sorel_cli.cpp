@@ -81,6 +81,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: sorel_cli [--threads N] [--deadline-ms N] [--max-evals N]"
                " [--max-states N]\n"
+               "                 [--shared-memo=on|off] [--stats]\n"
                "                 <command> <spec.json> [...]\n"
                "commands:\n"
                "  validate    <spec>                     check the assembly\n"
@@ -105,7 +106,15 @@ int usage() {
                "  --max-evals N    logical engine-evaluation budget per query\n"
                "  --max-states N   flow-graph state budget per query\n"
                "                   (evaluate/modes/batch/inject; a busted job\n"
-               "                   yields a budget_exceeded error line)\n");
+               "                   yields a budget_exceeded error line)\n"
+               "  --shared-memo=on|off\n"
+               "                   share one cross-worker memo table between\n"
+               "                   the worker sessions of batch/inject/select/\n"
+               "                   uncertainty/sensitivity (default on;\n"
+               "                   results are bit-identical either way)\n"
+               "  --stats          batch/inject: append one {\"stats\": ...}\n"
+               "                   JSON line with the run's execution counters\n"
+               "                   (shared-memo hits/misses/evictions included)\n");
   return 1;
 }
 
@@ -208,6 +217,72 @@ sorel::guard::Budget extract_budget_flags(int& argc, char** argv) {
   return budget;
 }
 
+/// Strip `--shared-memo on|off` / `--shared-memo=on|off` from argv and
+/// return whether cross-worker memo sharing is enabled (default: on).
+/// Throws sorel::InvalidArgument on any other value.
+bool extract_shared_memo_flag(int& argc, char** argv) {
+  bool shared = true;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--shared-memo") == 0) {
+      if (i + 1 >= argc) {
+        throw sorel::InvalidArgument("--shared-memo needs on|off");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--shared-memo=", 14) == 0) {
+      value = arg + 14;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (std::strcmp(value, "on") == 0) {
+      shared = true;
+    } else if (std::strcmp(value, "off") == 0) {
+      shared = false;
+    } else {
+      throw sorel::InvalidArgument(
+          std::string("--shared-memo: expected on|off, got '") + value + "'");
+    }
+  }
+  argc = out;
+  return shared;
+}
+
+/// Strip the presence flag `--stats` from argv; when set, batch/inject
+/// append one {"stats": ...} JSON line to stdout after their per-item lines.
+bool extract_stats_flag(int& argc, char** argv) {
+  bool stats = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return stats;
+}
+
+/// The shared-table counter block of a --stats line. The engine-side and
+/// table-side counters differ by design: a table hit that stages a whole
+/// subtree counts once here and once per staged entry on the engine side.
+sorel::json::Object shared_cache_json(const sorel::memo::SharedMemoStats& s) {
+  sorel::json::Object out;
+  out["lookups"] = s.lookups;
+  out["hits"] = s.hits;
+  out["misses"] = s.misses;
+  out["insertions"] = s.insertions;
+  out["rejected"] = s.rejected;
+  out["evictions"] = s.evictions;
+  out["epoch"] = s.epoch;
+  out["entries"] = s.entries;
+  return out;
+}
+
 /// Attach the partial-work counters of a budget_exceeded / cancelled stop to
 /// a JSON error line (satellite: deadline-expired jobs report how far they
 /// got).
@@ -301,9 +376,12 @@ int cmd_duration(const sorel::core::Assembly& assembly, const std::string& servi
 
 int cmd_sensitivity(const sorel::core::Assembly& assembly,
                     const std::string& service, const std::vector<double>& args,
-                    std::size_t threads) {
+                    std::size_t threads, bool shared_memo) {
+  sorel::core::SensitivityOptions options;
+  options.threads = threads;
+  options.shared_memo = shared_memo;
   const auto rows = sorel::core::attribute_sensitivities(assembly, service, args,
-                                                         {}, 1e-2, threads);
+                                                         options, {});
   std::printf("%-24s %-14s %-14s %s\n", "attribute", "value", "dR/da",
               "elasticity");
   for (const auto& row : rows) {
@@ -344,14 +422,19 @@ int cmd_simulate(const sorel::core::Assembly& assembly, const std::string& servi
 
 int cmd_select(const sorel::core::Assembly& assembly,
                const sorel::json::Value& document, const std::string& service,
-               const std::vector<double>& args, std::size_t threads) {
+               const std::vector<double>& args, std::size_t threads,
+               bool shared_memo) {
   const auto points = sorel::dsl::load_selection_points(document);
   if (points.empty()) {
     std::fprintf(stderr, "error: the document declares no \"selection\" points\n");
     return 2;
   }
-  const auto ranking = sorel::core::rank_assemblies(assembly, service, args,
-                                                    points, {}, 4096, threads);
+  sorel::core::SelectionOptions options;
+  options.max_combinations = 4096;
+  options.threads = threads;
+  options.shared_memo = shared_memo;
+  const auto ranking =
+      sorel::core::rank_assemblies(assembly, service, args, points, options);
   std::printf("%-6s %-14s %s\n", "rank", "reliability", "choice");
   for (std::size_t i = 0; i < ranking.size(); ++i) {
     std::string choice;
@@ -368,7 +451,8 @@ int cmd_select(const sorel::core::Assembly& assembly,
 
 int cmd_uncertainty(const sorel::core::Assembly& assembly,
                     const sorel::json::Value& document, const std::string& service,
-                    const std::vector<double>& args, std::size_t threads) {
+                    const std::vector<double>& args, std::size_t threads,
+                    bool shared_memo) {
   const auto distributions = sorel::dsl::load_uncertainty(document);
   if (distributions.empty()) {
     std::fprintf(stderr,
@@ -377,6 +461,7 @@ int cmd_uncertainty(const sorel::core::Assembly& assembly,
   }
   sorel::core::UncertaintyOptions options;
   options.threads = threads;
+  options.shared_memo = shared_memo;
   const auto result = sorel::core::propagate_uncertainty(assembly, service, args,
                                                          distributions, options);
   std::printf("samples     = %zu\n", result.reliability.count());
@@ -390,7 +475,8 @@ int cmd_uncertainty(const sorel::core::Assembly& assembly,
 }
 
 int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
-              std::size_t threads, const sorel::guard::Budget& budget) {
+              std::size_t threads, const sorel::guard::Budget& budget,
+              bool shared_memo, bool emit_stats) {
   const sorel::json::Value doc = sorel::json::parse_file(jobs_path);
   const sorel::json::Value& jobs_value = doc.is_object() ? doc.at("jobs") : doc;
   if (!jobs_value.is_array()) {
@@ -445,6 +531,7 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
   sorel::runtime::BatchEvaluator::Options options;
   options.threads = threads;
   options.budget = budget;
+  options.shared_memo = shared_memo;
   // A jobs document may carry engine options shared by every job — e.g.
   // {"options": {"allow_recursion": true}} for specs whose services require
   // fixed-point evaluation.
@@ -455,6 +542,9 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
       } else if (name == "max_fixpoint_iterations") {
         options.engine.max_fixpoint_iterations =
             static_cast<std::size_t>(value.as_number());
+      } else if (name == "shared_memo") {
+        // Either level (document or --shared-memo flag) can turn sharing off.
+        options.shared_memo = options.shared_memo && value.as_bool();
       } else {
         std::fprintf(stderr, "error: jobs options: unknown key '%s'\n",
                      name.c_str());
@@ -494,23 +584,43 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
     std::printf("%s\n", sorel::json::Value(std::move(line)).dump().c_str());
   }
   const auto& stats = evaluator.stats();
+  if (emit_stats) {
+    // Deliberately no wall-clock field: the line is byte-stable for a given
+    // spec + jobs file + thread count (timing stays on stderr).
+    sorel::json::Object block;
+    block["jobs"] = stats.jobs;
+    block["chunks"] = stats.chunks;
+    block["failed_jobs"] = stats.failed_jobs + (parsed.size() - jobs.size());
+    block["engine_evaluations"] = stats.engine_evaluations;
+    block["engine_memo_hits"] = stats.engine_memo_hits;
+    block["engine_memo_invalidated"] = stats.engine_memo_invalidated;
+    block["shared_memo"] = stats.shared_memo;
+    block["shared_hits"] = stats.shared_hits;
+    block["shared_misses"] = stats.shared_misses;
+    block["shared_cache"] = shared_cache_json(stats.shared_cache_stats);
+    sorel::json::Object line;
+    line["stats"] = sorel::json::Value(std::move(block));
+    std::printf("%s\n", sorel::json::Value(std::move(line)).dump().c_str());
+  }
   std::fprintf(stderr,
                "batch: %zu jobs on %zu chunks, %zu failed, %zu evaluations, "
-               "%zu memo hits, %zu invalidated, %.3fs\n",
+               "%zu memo hits, %zu shared hits, %zu invalidated, %.3fs\n",
                parsed.size(), stats.chunks, failed, stats.engine_evaluations,
-               stats.engine_memo_hits, stats.engine_memo_invalidated,
-               stats.wall_seconds);
+               stats.engine_memo_hits, stats.shared_hits,
+               stats.engine_memo_invalidated, stats.wall_seconds);
   return failed == 0 ? 0 : 3;
 }
 
 int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
-               std::size_t threads, const sorel::guard::Budget& budget) {
+               std::size_t threads, const sorel::guard::Budget& budget,
+               bool shared_memo, bool emit_stats) {
   const sorel::faults::Campaign campaign =
       sorel::faults::load_campaign_file(campaign_path);
 
   sorel::faults::CampaignRunner::Options options;
   options.threads = threads;
   options.budget = budget;
+  options.shared_memo = shared_memo;
   sorel::faults::CampaignRunner runner(assembly, options);
   const sorel::faults::CampaignReport report = runner.run(campaign);
 
@@ -557,11 +667,27 @@ int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
   }
   std::printf("%s\n", sorel::json::Value(std::move(summary)).dump().c_str());
 
+  if (emit_stats) {
+    // No wall-clock field, same as batch: byte-stable per thread count.
+    sorel::json::Object block;
+    block["scenarios"] = report.outcomes.size();
+    block["chunks"] = report.chunks;
+    block["failed"] = report.failed_scenarios;
+    block["engine_evaluations"] = report.engine_evaluations;
+    block["shared_memo"] = report.shared_memo;
+    block["shared_hits"] = report.shared_hits;
+    block["shared_misses"] = report.shared_misses;
+    block["shared_cache"] = shared_cache_json(report.shared_cache_stats);
+    sorel::json::Object line;
+    line["stats"] = sorel::json::Value(std::move(block));
+    std::printf("%s\n", sorel::json::Value(std::move(line)).dump().c_str());
+  }
   std::fprintf(stderr,
                "inject: %zu scenarios on %zu chunks, %zu failed, "
-               "%zu evaluations, %.3fs\n",
+               "%zu evaluations, %zu shared hits, %.3fs\n",
                report.outcomes.size(), report.chunks, report.failed_scenarios,
-               report.engine_evaluations, report.wall_seconds);
+               report.engine_evaluations, report.shared_hits,
+               report.wall_seconds);
   return report.failed_scenarios == 0 ? 0 : 3;
 }
 
@@ -579,9 +705,13 @@ int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
 int main(int argc, char** argv) {
   std::size_t threads = 0;
   sorel::guard::Budget budget;
+  bool shared_memo = true;
+  bool emit_stats = false;
   try {
     threads = extract_threads_flag(argc, argv);
     budget = extract_budget_flags(argc, argv);
+    shared_memo = extract_shared_memo_flag(argc, argv);
+    emit_stats = extract_stats_flag(argc, argv);
   } catch (const sorel::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -613,9 +743,13 @@ int main(int argc, char** argv) {
       return cmd_dot(assembly, argc >= 4 ? argv[3] : nullptr);
     }
     if (argc < 4) return usage();
-    if (command == "batch") return cmd_batch(assembly, argv[3], threads, budget);
+    if (command == "batch") {
+      return cmd_batch(assembly, argv[3], threads, budget, shared_memo,
+                       emit_stats);
+    }
     if (command == "inject") {
-      return cmd_inject(assembly, argv[3], threads, budget);
+      return cmd_inject(assembly, argv[3], threads, budget, shared_memo,
+                        emit_stats);
     }
     const std::string service = argv[3];
 
@@ -627,10 +761,11 @@ int main(int argc, char** argv) {
     }
     const std::vector<double> args = parse_args(argv + 4, argv + argc);
     if (command == "select") {
-      return cmd_select(assembly, document, service, args, threads);
+      return cmd_select(assembly, document, service, args, threads, shared_memo);
     }
     if (command == "uncertainty") {
-      return cmd_uncertainty(assembly, document, service, args, threads);
+      return cmd_uncertainty(assembly, document, service, args, threads,
+                             shared_memo);
     }
     if (command == "evaluate") {
       return cmd_evaluate(assembly, service, args, budget);
@@ -638,7 +773,7 @@ int main(int argc, char** argv) {
     if (command == "modes") return cmd_modes(assembly, service, args, budget);
     if (command == "duration") return cmd_duration(assembly, service, args);
     if (command == "sensitivity") {
-      return cmd_sensitivity(assembly, service, args, threads);
+      return cmd_sensitivity(assembly, service, args, threads, shared_memo);
     }
     if (command == "importance") {
       return cmd_importance(assembly, service, args, threads);

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -38,6 +39,7 @@
 #include "sorel/guard/meter.hpp"
 #include "sorel/markov/absorbing.hpp"
 #include "sorel/markov/dtmc.hpp"
+#include "sorel/memo/shared_memo.hpp"
 
 namespace sorel::core {
 
@@ -118,6 +120,15 @@ class ReliabilityEngine {
     /// (apply_attribute_deltas / invalidate_binding); full clears
     /// (clear_cache, refresh_attributes) are not counted here.
     std::size_t memo_invalidated = 0;
+    /// Entries materialised into the local memo from an attached
+    /// memo::SharedMemo instead of being evaluated here. The invariant
+    /// `evaluations + shared_hits == evaluations without sharing` holds per
+    /// query sequence: a shared hit stands for exactly the evaluations the
+    /// engine would otherwise have performed itself.
+    std::size_t shared_hits = 0;
+    /// Shared-memo consultations that found no usable entry (absent,
+    /// stale epoch, divergence overlap, or an incomplete subtree).
+    std::size_t shared_misses = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -170,6 +181,26 @@ class ReliabilityEngine {
     return base_env_.lookup(name);
   }
 
+  // -- Shared cross-worker memoization (sorel::memo) ----------------------
+
+  /// Attach (or detach, with nullptr) a shared memo table. Every cache miss
+  /// first consults the table; completed results whose dependency closure
+  /// matches the shared base are published back. Sharing silently disables
+  /// itself — per lookup, without detaching — whenever it could change
+  /// results: pfail overrides in effect, dependency tracking off, the
+  /// engine's attribute/binding universe differing from the table's, or a
+  /// binding id outside the portable universe. A shared hit replays the
+  /// entry's DepSet and logical cost into this engine (budgets and later
+  /// invalidation behave exactly as if it had evaluated locally) and
+  /// materialises the entry's whole subtree into the local memo, so memo
+  /// contents — hence blast radii and evaluation+shared_hit counts — are
+  /// bit-identical with sharing on or off.
+  void attach_shared_memo(std::shared_ptr<memo::SharedMemo> shared);
+
+  const std::shared_ptr<memo::SharedMemo>& shared_memo() const noexcept {
+    return shared_;
+  }
+
   // -- Budgets & cooperative cancellation (sorel::guard) ------------------
 
   /// Install a work budget (and optional cancel token) enforced by every
@@ -196,40 +227,29 @@ class ReliabilityEngine {
   using Key = std::pair<const Service*, std::vector<double>>;
 
   // Dependency universe: one bit per assembly attribute (ids assigned from
-  // the environment snapshot) and, above those, one bit per consulted
-  // (service, port) binding (ids assigned lazily at first consultation).
-  using DepId = std::uint32_t;
-  class DepSet {
-   public:
-    void set(DepId id);
-    void merge(const DepSet& other);
-    bool intersects(const DepSet& other) const noexcept;
-    bool any() const noexcept { return !words_.empty(); }
-    void clear() noexcept { words_.clear(); }
-
-   private:
-    std::vector<std::uint64_t> words_;  // trailing zero words elided
-  };
+  // the environment snapshot) and, above those, one bit per (service, port)
+  // binding (ids assigned eagerly from the assembly's sorted binding map so
+  // they are portable across engines over the same universe; bindings that
+  // appear later fall back to lazy ids, which disables sharing). The types
+  // live in sorel::memo so DepSets and costs can be stored in, and replayed
+  // from, a shared cross-worker table.
+  using DepId = memo::DepId;
+  using DepSet = memo::DepSet;
 
   // Logical work performed by one evaluation, transitively including its
   // children. Stored per memo entry so a warm hit charges the guard meter
   // the same amount as the cold computation it replays — budget exceedance
   // is then independent of memo warmth, chunk placement, and thread count.
-  struct Cost {
-    std::uint64_t evaluations = 0;
-    std::uint64_t states = 0;
-    std::uint64_t expr_evals = 0;
-    void add(const Cost& other) noexcept {
-      evaluations += other.evaluations;
-      states += other.states;
-      expr_evals += other.expr_evals;
-    }
-  };
+  using Cost = memo::EvalCost;
 
   struct MemoEntry {
     double value = 0.0;
     DepSet deps;  // transitive closure: own reads plus every child's
     Cost cost;    // transitive closure of logical work (see Cost)
+    /// True when this entry (and, by the publish gate, its whole subtree)
+    /// is present in the attached SharedMemo — the condition under which a
+    /// parent consulting it may itself be published.
+    bool shared_backed = false;
   };
 
   std::vector<std::vector<std::pair<FlowStateId, double>>> evaluate_rows(
@@ -263,6 +283,19 @@ class ReliabilityEngine {
   void rebuild_attribute_ids();
   std::size_t invalidate_intersecting(const DepSet& changed);
 
+  // Shared-memo plumbing (all no-ops when no table is attached).
+  bool shared_usable() const noexcept;
+  void refresh_shared_state();
+  void note_child(const Key& key, bool shared_backed);
+  bool try_shared_hit(const Service& service, const Key& key, double* out);
+  /// Publish a completed entry when every gate passes; returns whether the
+  /// key is now backed by the shared table.
+  bool maybe_publish_shared(const Service& service,
+                            const std::vector<double>& args,
+                            const MemoEntry& entry,
+                            const std::vector<Key>& children,
+                            bool children_shared);
+
   // Guard charge points: forward to the meter (which throws on an exceeded
   // limit) and accumulate into the open cost frame so the finished memo
   // entry records its transitive logical cost.
@@ -294,6 +327,8 @@ class ReliabilityEngine {
   std::vector<Key> stack_;              // in-progress evaluations (cycle check)
   std::vector<DepSet> dep_stack_;       // open dependency frames (parallel)
   std::vector<Cost> cost_stack_;        // open logical-cost frames (parallel)
+  std::vector<std::vector<Key>> child_stack_;  // direct children (parallel)
+  std::vector<char> publishable_stack_;  // all children shared-backed (parallel)
   guard::Meter meter_;                  // budget/cancel enforcement
   std::map<Key, double> assumed_;       // fixed-point estimates for cyclic keys
   std::set<Key> cyclic_keys_;           // keys consulted while on the stack
@@ -302,10 +337,31 @@ class ReliabilityEngine {
   std::map<std::string, DepId, std::less<>> attribute_ids_;
   std::map<std::pair<std::string, std::string>, DepId> binding_ids_;
   DepId next_binding_id_ = 0;  // == attribute_ids_.size() + bindings seen
+  DepId eager_id_count_ = 0;   // ids below this follow the universe order
+
+  // Shared-memo state. `shared_divergence_` marks the ids where this
+  // engine's current state differs from the table's base universe; lookups
+  // and publishes require the entry's closure to be disjoint from it.
+  std::shared_ptr<memo::SharedMemo> shared_;
+  std::uint64_t shared_epoch_ = 0;       // refreshed at every top-level query
+  DepSet shared_divergence_;
+  bool shared_universe_ok_ = false;      // ids line up with the shared base
+  bool shared_ids_portable_ = true;      // no lazily assigned binding id yet
   // Per-expression attribute reads, keyed by the shared immutable AST node;
   // computed once per node per engine (expressions are evaluated millions of
   // times in the sampling hot loops, their variable sets never change).
   std::unordered_map<const void*, DepSet> expr_deps_;
 };
+
+/// Build a memo::SharedMemo whose base universe snapshots `assembly`'s
+/// current attribute environment and port bindings — the bridge between the
+/// model layer and the model-agnostic memo table. Attach the result to the
+/// engines/sessions of one analysis run (BatchEvaluator, CampaignRunner,
+/// rank_assemblies, … do this behind ExecPolicy::shared_memo). If the
+/// assembly is mutated afterwards while the table is being reused across
+/// runs, call memo::SharedMemo::bump_epoch() to retire the old entries.
+std::shared_ptr<memo::SharedMemo> make_shared_memo(
+    const Assembly& assembly,
+    memo::SharedMemo::Options options = memo::SharedMemo::Options{});
 
 }  // namespace sorel::core

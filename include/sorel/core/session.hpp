@@ -90,6 +90,22 @@ class EvalSession {
   /// binding (the selection hot path). Returns entries invalidated.
   std::size_t invalidate_binding(std::string_view service, std::string_view port);
 
+  // -- Shared cross-worker memoization ----------------------------------
+
+  /// Attach (or detach, with nullptr) a memo::SharedMemo built over this
+  /// assembly's base state (core::make_shared_memo). Queries then consult
+  /// the table before evaluating and publish base-state results back;
+  /// session deltas are tracked as divergence from the shared base, so
+  /// sharing survives set_attributes / invalidate_binding round-trips. See
+  /// ReliabilityEngine::attach_shared_memo for the exact contract.
+  void attach_shared_memo(std::shared_ptr<memo::SharedMemo> shared) {
+    engine_.attach_shared_memo(std::move(shared));
+  }
+
+  const std::shared_ptr<memo::SharedMemo>& shared_memo() const noexcept {
+    return engine_.shared_memo();
+  }
+
   // -- Budgets & cancellation -------------------------------------------
 
   /// Install a guard::Budget (and optional CancelToken) enforced by every

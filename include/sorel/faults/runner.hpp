@@ -33,6 +33,7 @@
 #include "sorel/core/engine.hpp"
 #include "sorel/faults/campaign.hpp"
 #include "sorel/guard/budget.hpp"
+#include "sorel/memo/shared_memo.hpp"
 
 namespace sorel::faults {
 
@@ -48,8 +49,12 @@ struct ScenarioOutcome {
   /// Memoised results invalidated by the injection — how much of the warm
   /// evaluation state the faults actually touched.
   std::size_t blast_radius = 0;
-  /// Engine evaluations spent on this scenario (inject + query + revert +
-  /// re-warm). Chunking-independent, like every other field.
+  /// Logical engine evaluations spent on this scenario (inject + query +
+  /// revert + re-warm). A result replayed from the shared cross-worker memo
+  /// counts as the evaluations it replaced, so the field is identical for
+  /// every thread count and for shared memoization on or off — the
+  /// *physical* work saved by sharing shows up in
+  /// CampaignReport::engine_evaluations instead.
   std::size_t evaluations = 0;
 
   // Valid when !ok:
@@ -96,9 +101,21 @@ struct CampaignReport {
   std::size_t failed_scenarios = 0;
 
   // Execution statistics (chunk-count-dependent, unlike the rows above).
-  std::size_t engine_evaluations = 0;  // total, incl. per-worker warm-up
+  std::size_t engine_evaluations = 0;  // physical total, incl. warm-ups
   std::size_t chunks = 0;
   double wall_seconds = 0.0;
+
+  /// Cross-worker memoization (Options::shared_memo). shared_hits /
+  /// shared_misses sum the engine-side counters over every worker;
+  /// engine_evaluations + shared_hits equals the sharing-off
+  /// engine_evaluations for the same campaign at the same chunk count.
+  bool shared_memo = false;
+  std::size_t shared_hits = 0;
+  std::size_t shared_misses = 0;
+  /// Counter snapshot of the shared table after the run (cumulative when
+  /// Options::shared_cache is reused; zero-initialised when shared_memo is
+  /// false).
+  memo::SharedMemoStats shared_cache_stats{};
 };
 
 class CampaignRunner {
@@ -121,6 +138,16 @@ class CampaignRunner {
     /// rebuilding warm sessions and drains fast); finished outcomes keep
     /// their results.
     std::shared_ptr<const guard::CancelToken> cancel;
+    /// Share one memo::SharedMemo across the campaign's worker sessions:
+    /// warm-up and revert re-warm results over unchanged base state are
+    /// evaluated once per campaign instead of once per worker (and once per
+    /// poisoned-scenario rebuild). Per-scenario rows are bit-identical
+    /// either way; only the physical engine_evaluations total drops.
+    bool shared_memo = true;
+    /// Reuse a caller-owned table (core::make_shared_memo over the same
+    /// assembly) instead of building a fresh one per run() — keeps the
+    /// cache warm across campaigns. Ignored when shared_memo is false.
+    std::shared_ptr<memo::SharedMemo> shared_cache;
   };
 
   /// Keeps a reference to `assembly`; it must outlive the runner. Campaigns

@@ -1,0 +1,225 @@
+// sorel::memo — a shared cross-worker memoization table for evaluated
+// (service, actual-arguments) reliabilities.
+//
+// Per-worker EvalSessions rebuild the same warm memo independently: a
+// 1024-scenario fault campaign on 8 workers pays for eight identical
+// warm-ups, and every post-revert re-warm repeats evaluations another worker
+// already performed. The SharedMemo amortises that: one process-wide table,
+// sharded with striped mutexes, that every attached engine consults before
+// evaluating locally and publishes completed results into.
+//
+// Entries are complete: the evaluated Pfail, the transitive logical cost
+// (so guard budgets charge a shared hit exactly what the cold computation
+// would have cost — PR 4's contract extended across workers), the
+// transitive dependency closure (attribute/binding DepSet, so invalidation
+// in the consuming session stays sound after a hit), and the direct
+// children keys (so a hit can materialise the whole subtree into the local
+// memo, keeping blast radii and evaluation counts bit-identical whether a
+// result was computed locally or fetched).
+//
+// Consistency model — base universe + divergence:
+//   * The table is built over a fixed *base universe* snapshot: the
+//     assembly's attribute names/values and port-binding signatures at
+//     construction. Entries are only valid relative to that base.
+//   * Each attached engine tracks a *divergence* DepSet: the ids where its
+//     current state (session deltas, rebound ports) differs from the base.
+//     A lookup hits only when the entry's dependency closure is disjoint
+//     from the consumer's divergence; publishing is gated the same way.
+//     Campaign inject→revert round-trips therefore re-converge onto the
+//     shared entries, while injected (divergent) evaluations stay local.
+//   * The epoch counter is the coarse, global lever: bump_epoch() makes
+//     every existing entry stale (evicted lazily on the next touch) without
+//     a stop-the-world flush — for when the *base* assembly itself is
+//     mutated between runs that reuse one table.
+//
+// Thread safety: all members are safe to call concurrently. The universe is
+// immutable after construction; the table is guarded per shard; counters
+// are atomics. Determinism: the table only ever stores exact, completed
+// values identical to what any engine would compute at the base state, so
+// analyses built on it return bit-identical results for any thread count
+// and with sharing on or off — only *where* a value came from varies.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace sorel::memo {
+
+using DepId = std::uint32_t;
+
+/// Bitset over the dependency universe (attribute ids, then binding ids).
+/// Trailing zero words are elided so tiny closures stay tiny.
+class DepSet {
+ public:
+  void set(DepId id);
+  void unset(DepId id);
+  void merge(const DepSet& other);
+  bool intersects(const DepSet& other) const noexcept;
+  bool any() const noexcept;
+  void clear() noexcept { words_.clear(); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Logical work of one evaluation, transitively including its children —
+/// what the guard meter charges when the entry is replayed as a hit.
+struct EvalCost {
+  std::uint64_t evaluations = 0;
+  std::uint64_t states = 0;
+  std::uint64_t expr_evals = 0;
+  void add(const EvalCost& other) noexcept {
+    evaluations += other.evaluations;
+    states += other.states;
+    expr_evals += other.expr_evals;
+  }
+};
+
+/// Identity of one port binding for divergence checks. Connector-actual
+/// expressions are compared by AST-node address: expression nodes are
+/// immutable and shared across Assembly copies, so equal pointers mean the
+/// identical expression while distinct pointers conservatively count as a
+/// divergence (a false positive only costs sharing, never correctness).
+struct BindingSignature {
+  std::string target;
+  std::string connector;
+  std::vector<const void*> actual_nodes;
+  friend bool operator==(const BindingSignature&,
+                         const BindingSignature&) = default;
+};
+
+/// The base snapshot a SharedMemo is valid against. Attribute and binding
+/// sequences are sorted by name/key — the same deterministic order every
+/// engine assigns its DepSet ids in, which is what makes stored DepSets
+/// portable across engines. Built from an Assembly by
+/// core::make_shared_memo().
+struct Universe {
+  std::vector<std::string> attribute_names;  // sorted ascending
+  std::vector<double> attribute_values;      // parallel to attribute_names
+  std::vector<std::pair<std::string, std::string>> binding_keys;  // sorted
+  std::vector<BindingSignature> binding_signatures;  // parallel to keys
+};
+
+/// Table key: service name plus the exact actual-argument vector. Names
+/// (not Service pointers) so the table is shared across Assembly copies —
+/// selection workers and binding-cutting campaign workers evaluate private
+/// copies of the same model.
+struct MemoKey {
+  std::string service;
+  std::vector<double> args;
+  friend bool operator==(const MemoKey&, const MemoKey&) = default;
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& key) const noexcept;
+};
+
+/// A completed evaluation. `children` lists the direct (service, args)
+/// consultations in first-consultation order, deduplicated — enough to
+/// materialise the whole subtree by walking the table.
+struct SharedEntry {
+  double value = 0.0;
+  EvalCost cost;
+  DepSet deps;  // transitive closure over the base universe
+  std::vector<MemoKey> children;
+};
+
+struct SharedMemoStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;        // lookups == hits + misses, always
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;  // entries actually stored
+  std::uint64_t rejected = 0;    // inserts dropped: duplicate, stale, or full
+  std::uint64_t evictions = 0;   // stale-epoch entries lazily removed
+  std::uint64_t epoch = 0;
+  std::size_t entries = 0;       // current table size
+};
+
+class SharedMemo {
+ public:
+  struct Options {
+    std::size_t shards = 16;           // striped-mutex granularity
+    std::size_t max_entries = 1 << 20; // table-wide cap; inserts reject past it
+  };
+
+  explicit SharedMemo(Universe universe);
+  SharedMemo(Universe universe, Options options);
+
+  SharedMemo(const SharedMemo&) = delete;
+  SharedMemo& operator=(const SharedMemo&) = delete;
+
+  const Universe& universe() const noexcept { return universe_; }
+  std::size_t attribute_count() const noexcept {
+    return universe_.attribute_names.size();
+  }
+
+  /// Current epoch (relaxed read; exact under any external ordering).
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Invalidate every current entry without flushing: entries carry the
+  /// epoch they were published under and die lazily when next touched.
+  /// Returns the new epoch.
+  std::uint64_t bump_epoch() noexcept {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Copy the entry for `key` into `out` and return true iff it exists, was
+  /// published under `epoch` (== the current epoch), and its dependency
+  /// closure is disjoint from `divergence`. Exactly one of hits/misses is
+  /// counted per call; a stale-epoch entry found here is evicted.
+  bool lookup(const MemoKey& key, std::uint64_t epoch, const DepSet& divergence,
+              SharedEntry& out);
+
+  /// First-publisher-wins insert. Returns true when `key` is present in the
+  /// table at `epoch` after the call — freshly inserted or already there
+  /// (the duplicate still counts as `rejected`). False when the epoch is
+  /// stale or the table is full: the caller must then treat its local entry
+  /// as not shared-backed.
+  bool insert(const MemoKey& key, std::uint64_t epoch, SharedEntry entry);
+
+  /// Eagerly drop every stale-epoch entry; returns how many were evicted.
+  /// Purely an optimisation — lookup() evicts lazily anyway.
+  std::size_t purge_stale();
+
+  std::size_t size() const;
+  SharedMemoStats stats() const;
+  void reset_stats() noexcept;
+
+ private:
+  struct Versioned {
+    std::uint64_t epoch = 0;
+    SharedEntry entry;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<MemoKey, Versioned, MemoKeyHash> table;
+  };
+
+  Shard& shard_for(const MemoKey& key) noexcept;
+  const Shard& shard_for(const MemoKey& key) const noexcept;
+
+  Universe universe_;
+  Options options_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> entries_{0};
+
+  // Monotonic counters, relaxed: exact totals are only read quiescently
+  // (end-of-run stats); per-call increments never order anything.
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace sorel::memo

@@ -22,6 +22,7 @@
 #include "sorel/core/assembly.hpp"
 #include "sorel/core/engine.hpp"
 #include "sorel/guard/budget.hpp"
+#include "sorel/memo/shared_memo.hpp"
 
 namespace sorel::runtime {
 
@@ -79,6 +80,18 @@ struct BatchStats {
   std::size_t engine_memo_invalidated = 0;
   std::size_t failed_jobs = 0;           // items with ok == false
   double wall_seconds = 0.0;             // whole-batch elapsed time
+
+  /// Cross-worker memoization (Options::shared_memo). `shared_hits` counts
+  /// engine-side queries answered from the shared table; the determinism
+  /// contract is engine_evaluations + shared_hits == engine_evaluations
+  /// with sharing off, for the same jobs at any thread count.
+  bool shared_memo = false;              // was a shared table in effect?
+  std::size_t shared_hits = 0;
+  std::size_t shared_misses = 0;
+  /// Counter snapshot of the shared table after the batch (hit/miss/evict
+  /// accounting across *all* workers; zero-initialised when shared_memo is
+  /// false). Cumulative when Options::shared_cache is reused across calls.
+  memo::SharedMemoStats shared_cache_stats{};
 };
 
 class BatchEvaluator {
@@ -98,6 +111,18 @@ class BatchEvaluator {
     /// (across all workers) degrades to a "cancelled" error item at its
     /// next guard checkpoint; already-finished items keep their results.
     std::shared_ptr<const guard::CancelToken> cancel;
+    /// Share one memo::SharedMemo across the batch's worker sessions, so a
+    /// (service, args) result over unchanged base state is evaluated once
+    /// per batch instead of once per worker. Bit-identical results either
+    /// way. Ineffective (gated off inside the engine) when
+    /// engine.track_dependencies is false or engine.pfail_overrides pins
+    /// services.
+    bool shared_memo = true;
+    /// Reuse a caller-owned table (core::make_shared_memo over the same
+    /// assembly) instead of building a fresh one per evaluate() call —
+    /// keeps the cache warm across batches. Ignored when shared_memo is
+    /// false.
+    std::shared_ptr<memo::SharedMemo> shared_cache;
   };
 
   /// Keeps a reference to `assembly`; it must outlive the evaluator.

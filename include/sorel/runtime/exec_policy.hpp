@@ -23,6 +23,15 @@ struct ExecPolicy {
   /// from the RNG substream (seed, i) regardless of chunking. Ignored by
   /// deterministic analyses (sensitivity, selection).
   std::uint64_t seed = 0;
+
+  /// Share one cross-worker memo table (memo::SharedMemo) across the
+  /// analysis' per-worker sessions, so warm-up and revert re-warm work is
+  /// paid once per process instead of once per worker. Results are
+  /// bit-identical either way — the table only ever serves exact base-state
+  /// values — so this is purely a work/overhead trade: a win for campaigns,
+  /// selection, and sampling over non-trivial assemblies; overhead for a
+  /// single small job (see docs/TUTORIAL.md §11). CLI: --shared-memo=on|off.
+  bool shared_memo = true;
 };
 
 }  // namespace sorel::runtime

@@ -23,32 +23,26 @@ double clamp_probability(double p, const std::string& context) {
   return std::min(1.0, std::max(0.0, p));
 }
 
+// Binding identity for shared-memo divergence checks. Expression nodes are
+// immutable and shared across Assembly copies, so node addresses identify
+// the connector-actual expressions exactly; a candidate binding built from
+// fresh expressions conservatively reads as divergent.
+memo::BindingSignature signature_of(const PortBinding& binding) {
+  memo::BindingSignature sig;
+  sig.target = binding.target;
+  sig.connector = binding.connector;
+  sig.actual_nodes.reserve(binding.connector_actuals.size());
+  for (const expr::Expr& actual : binding.connector_actuals) {
+    sig.actual_nodes.push_back(&actual.node());
+  }
+  return sig;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Dependency sets
+// Dependency ids
 // ---------------------------------------------------------------------------
-
-void ReliabilityEngine::DepSet::set(DepId id) {
-  const std::size_t word = id / 64;
-  if (word >= words_.size()) words_.resize(word + 1, 0);
-  words_[word] |= std::uint64_t{1} << (id % 64);
-}
-
-void ReliabilityEngine::DepSet::merge(const DepSet& other) {
-  if (other.words_.size() > words_.size()) words_.resize(other.words_.size(), 0);
-  for (std::size_t i = 0; i < other.words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
-}
-
-bool ReliabilityEngine::DepSet::intersects(const DepSet& other) const noexcept {
-  const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if (words_[i] & other.words_[i]) return true;
-  }
-  return false;
-}
 
 void ReliabilityEngine::rebuild_attribute_ids() {
   attribute_ids_.clear();
@@ -59,7 +53,19 @@ void ReliabilityEngine::rebuild_attribute_ids() {
     (void)value;
     attribute_ids_.emplace(name, id++);
   }
+  // Binding ids are assigned eagerly from the assembly's sorted binding map:
+  // every engine over the same universe then agrees on every id, which is
+  // what lets DepSets stored in a SharedMemo be replayed into any consumer.
+  // A binding first seen later (added to the assembly after construction)
+  // still gets a lazy id via note_binding_dep, but marks the id space
+  // non-portable and thereby disables sharing for this engine.
+  for (const auto& [key, binding] : assembly_.bindings()) {
+    (void)binding;
+    binding_ids_.emplace(key, id++);
+  }
   next_binding_id_ = id;
+  eager_id_count_ = id;
+  shared_ids_portable_ = true;
 }
 
 // Union the attribute ids read by `e` into the open dependency frame. A
@@ -99,7 +105,13 @@ void ReliabilityEngine::note_binding_dep(const std::string& service,
   if (!options_.track_dependencies || dep_stack_.empty()) return;
   const auto [it, inserted] =
       binding_ids_.try_emplace({service, port}, next_binding_id_);
-  if (inserted) ++next_binding_id_;
+  if (inserted) {
+    ++next_binding_id_;
+    // An id outside the eager universe is meaningless to other engines;
+    // stop consulting/publishing the shared table rather than risk a DepSet
+    // that lies about what it covers.
+    shared_ids_portable_ = false;
+  }
   dep_stack_.back().set(it->second);
 }
 
@@ -132,6 +144,17 @@ std::size_t ReliabilityEngine::apply_attribute_deltas(
     base_env_.set(name, value);
     changed.set(it->second);
     any_change = true;
+    // Track divergence from the shared base: a delta back to the base value
+    // re-converges (shared entries become consultable again — the campaign
+    // inject→revert round-trip), any other value diverges the attribute.
+    if (shared_ && shared_universe_ok_) {
+      const memo::Universe& u = shared_->universe();
+      if (value == u.attribute_values[it->second]) {
+        shared_divergence_.unset(it->second);
+      } else {
+        shared_divergence_.set(it->second);
+      }
+    }
   }
   if (!any_change) return 0;
   if (!options_.track_dependencies) {
@@ -151,10 +174,202 @@ std::size_t ReliabilityEngine::invalidate_binding(std::string_view service,
   }
   const auto it =
       binding_ids_.find({std::string(service), std::string(port)});
-  if (it == binding_ids_.end()) return 0;  // never consulted by a cached result
+  if (it == binding_ids_.end()) return 0;  // not a binding of this assembly
+  // Divergence from the shared base: compare the assembly's (already
+  // rebound) wiring against the base signature — a rebind back to the
+  // original binding re-converges.
+  if (shared_ && shared_universe_ok_ && it->second >= attribute_ids_.size()) {
+    const memo::Universe& u = shared_->universe();
+    const std::size_t b = it->second - attribute_ids_.size();
+    if (b < u.binding_signatures.size() &&
+        signature_of(assembly_.binding(service, port)) ==
+            u.binding_signatures[b]) {
+      shared_divergence_.unset(it->second);
+    } else {
+      shared_divergence_.set(it->second);
+    }
+  }
   DepSet changed;
   changed.set(it->second);
   return invalidate_intersecting(changed);
+}
+
+// ---------------------------------------------------------------------------
+// Shared cross-worker memoization
+// ---------------------------------------------------------------------------
+
+void ReliabilityEngine::attach_shared_memo(
+    std::shared_ptr<memo::SharedMemo> shared) {
+  shared_ = std::move(shared);
+  shared_epoch_ = shared_ ? shared_->epoch() : 0;
+  refresh_shared_state();
+}
+
+// Verify that this engine's id universe is exactly the table's base
+// universe (same attribute names, same binding keys, same order — both
+// sides enumerate sorted maps, so equality of the sequences is equality of
+// every id), then recompute the divergence set from the engine's current
+// attribute snapshot and the assembly's current wiring. Called at attach
+// and whenever the universe may have changed (refresh_attributes).
+void ReliabilityEngine::refresh_shared_state() {
+  shared_universe_ok_ = false;
+  shared_divergence_.clear();
+  if (!shared_ || !options_.track_dependencies) return;
+  const memo::Universe& u = shared_->universe();
+  if (u.attribute_names.size() != attribute_ids_.size() ||
+      u.binding_keys.size() != binding_ids_.size()) {
+    return;
+  }
+  std::size_t i = 0;
+  for (const auto& [name, id] : attribute_ids_) {
+    (void)id;
+    if (name != u.attribute_names[i++]) return;
+  }
+  i = 0;
+  for (const auto& [key, id] : binding_ids_) {
+    (void)id;
+    if (key != u.binding_keys[i++]) return;
+  }
+  shared_universe_ok_ = true;
+  for (std::size_t a = 0; a < u.attribute_names.size(); ++a) {
+    const auto value = base_env_.lookup(u.attribute_names[a]);
+    if (!value || *value != u.attribute_values[a]) {
+      shared_divergence_.set(static_cast<DepId>(a));
+    }
+  }
+  const std::size_t attr_count = u.attribute_names.size();
+  for (std::size_t b = 0; b < u.binding_keys.size(); ++b) {
+    const auto& [svc, port] = u.binding_keys[b];
+    if (!(signature_of(assembly_.binding(svc, port)) ==
+          u.binding_signatures[b])) {
+      shared_divergence_.set(static_cast<DepId>(attr_count + b));
+    }
+  }
+}
+
+// Sharing is consulted per lookup so it can switch itself off (and back on)
+// with the engine state: pfail overrides make DepSets unsound (an override
+// dependency is never recorded), dependency tracking off leaves no DepSets
+// at all, and a universe/id mismatch makes stored DepSets unreadable.
+bool ReliabilityEngine::shared_usable() const noexcept {
+  return shared_ != nullptr && shared_universe_ok_ && shared_ids_portable_ &&
+         options_.track_dependencies && options_.pfail_overrides.empty();
+}
+
+void ReliabilityEngine::note_child(const Key& key, bool shared_backed) {
+  if (!shared_ || child_stack_.empty()) return;
+  child_stack_.back().push_back(key);
+  if (!shared_backed) publishable_stack_.back() = 0;
+}
+
+// On a shared hit, materialise the entry's *whole* subtree into the local
+// memo (walking the stored children keys, stopping at keys already cached
+// locally). The local memo then holds exactly what a local evaluation would
+// have produced — the closure property "a memoised parent implies memoised
+// children" is preserved, so blast radii, pristine-memo sizes, and
+// evaluations+shared_hits counts are bit-identical with sharing on or off.
+// Any gap in the subtree (raced eviction, capped insert) abandons the hit
+// before anything is charged or committed.
+bool ReliabilityEngine::try_shared_hit(const Service& service, const Key& key,
+                                       double* out) {
+  memo::SharedEntry root;
+  if (!shared_->lookup({service.name(), key.second}, shared_epoch_,
+                       shared_divergence_, root)) {
+    ++stats_.shared_misses;
+    return false;
+  }
+  std::vector<std::pair<Key, memo::SharedEntry>> staged;
+  std::set<Key> visited;
+  std::vector<memo::MemoKey> pending(root.children.begin(),
+                                     root.children.end());
+  visited.insert(key);
+  staged.emplace_back(key, std::move(root));
+  while (!pending.empty()) {
+    const memo::MemoKey child_key = std::move(pending.back());
+    pending.pop_back();
+    if (!assembly_.has_service(child_key.service)) {
+      ++stats_.shared_misses;  // foreign universe leaked in; play it safe
+      return false;
+    }
+    Key local_key{assembly_.service(child_key.service).get(), child_key.args};
+    if (memo_.find(local_key) != memo_.end()) continue;  // already local
+    if (!visited.insert(local_key).second) continue;
+    memo::SharedEntry child;
+    if (!shared_->lookup(child_key, shared_epoch_, shared_divergence_, child)) {
+      ++stats_.shared_misses;  // incomplete subtree: evaluate locally instead
+      return false;
+    }
+    pending.insert(pending.end(), child.children.begin(), child.children.end());
+    staged.emplace_back(std::move(local_key), std::move(child));
+  }
+  // Budget first: a BudgetExceeded here must leave the memo untouched, so
+  // the already-consistent state survives exactly as on a local-hit charge.
+  charge_memo_hit(staged.front().second.cost);
+  if (options_.track_dependencies && !dep_stack_.empty()) {
+    dep_stack_.back().merge(staged.front().second.deps);
+  }
+  note_child(key, /*shared_backed=*/true);
+  *out = staged.front().second.value;
+  stats_.shared_hits += staged.size();
+  for (auto& [local_key, shared_entry] : staged) {
+    MemoEntry entry;
+    entry.value = shared_entry.value;
+    entry.deps = std::move(shared_entry.deps);
+    entry.cost = shared_entry.cost;
+    entry.shared_backed = true;
+    memo_.emplace(std::move(local_key), std::move(entry));
+  }
+  return true;
+}
+
+bool ReliabilityEngine::maybe_publish_shared(
+    const Service& service, const std::vector<double>& args,
+    const MemoEntry& entry, const std::vector<Key>& children,
+    bool children_shared) {
+  // Publish gates, in addition to shared_usable():
+  //  * every consulted child must itself be shared-backed (the subtree walk
+  //    of try_shared_hit relies on children being present in the table);
+  //  * no assumed (fixed-point) value may have been consulted anywhere in
+  //    the current query — entries completed before the first assumed-value
+  //    consult are provably exact, everything after is interim;
+  //  * the closure must be divergence-free: only base-state results belong
+  //    in the base-keyed table.
+  if (!shared_usable() || !children_shared || recursion_hit_ ||
+      entry.deps.intersects(shared_divergence_)) {
+    return false;
+  }
+  memo::SharedEntry shared_entry;
+  shared_entry.value = entry.value;
+  shared_entry.cost = entry.cost;
+  shared_entry.deps = entry.deps;
+  std::set<Key> seen;
+  shared_entry.children.reserve(children.size());
+  for (const Key& child : children) {
+    if (seen.insert(child).second) {
+      shared_entry.children.push_back({child.first->name(), child.second});
+    }
+  }
+  return shared_->insert({service.name(), args}, shared_epoch_,
+                         std::move(shared_entry));
+}
+
+std::shared_ptr<memo::SharedMemo> make_shared_memo(
+    const Assembly& assembly, memo::SharedMemo::Options options) {
+  memo::Universe universe;
+  const expr::Env env = assembly.attribute_env();
+  universe.attribute_names.reserve(env.bindings().size());
+  universe.attribute_values.reserve(env.bindings().size());
+  for (const auto& [name, value] : env.bindings()) {
+    universe.attribute_names.push_back(name);
+    universe.attribute_values.push_back(value);
+  }
+  universe.binding_keys.reserve(assembly.bindings().size());
+  universe.binding_signatures.reserve(assembly.bindings().size());
+  for (const auto& [key, binding] : assembly.bindings()) {
+    universe.binding_keys.push_back(key);
+    universe.binding_signatures.push_back(signature_of(binding));
+  }
+  return std::make_shared<memo::SharedMemo>(std::move(universe), options);
 }
 
 // Rows of the flow's transition matrix evaluated under `env`, indexed by
@@ -232,6 +447,7 @@ double ReliabilityEngine::pfail(std::string_view service_name,
   guard::Meter::Window window(&meter_);
   recursion_hit_ = false;
   cyclic_keys_.clear();
+  if (shared_) shared_epoch_ = shared_->epoch();
   try {
     return pfail_guarded(*svc, args);
   } catch (...) {
@@ -311,6 +527,7 @@ markov::Dtmc ReliabilityEngine::augmented_flow(std::string_view service_name,
                           "' is simple (no flow to augment)");
   }
   guard::Meter::Window window(&meter_);
+  if (shared_) shared_epoch_ = shared_->epoch();
   markov::Dtmc chain;
   evaluate_composite(*composite, args, &chain);
   return chain;
@@ -343,6 +560,7 @@ ReliabilityEngine::FailureModes ReliabilityEngine::failure_modes(
                           std::to_string(args.size()));
   }
   guard::Meter::Window window(&meter_);
+  if (shared_) shared_epoch_ = shared_->epoch();
   const FlowGraph& flow = *composite->flow();
   expr::Env env = base_env_;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -427,6 +645,9 @@ void ReliabilityEngine::refresh_attributes() {
   // keyed against it — must be rebuilt along with the full memo clear.
   rebuild_attribute_ids();
   clear_cache();
+  // Ids may now mean different things; re-verify against the shared base
+  // and recompute divergence from scratch.
+  refresh_shared_state();
 }
 
 void ReliabilityEngine::set_pfail_overrides(
@@ -459,6 +680,7 @@ double ReliabilityEngine::pfail_cached(const Service& service,
     if (options_.track_dependencies && !dep_stack_.empty()) {
       dep_stack_.back().merge(it->second.deps);
     }
+    note_child(key, it->second.shared_backed);
     return it->second.value;
   }
 
@@ -480,9 +702,20 @@ double ReliabilityEngine::pfail_cached(const Service& service,
     }
   }
 
+  // A shared cross-worker entry is as good as a local one: replay its cost
+  // and deps, materialise its subtree locally, and return. Consulted after
+  // the cycle check so a key that is cyclic *here* is handled by the
+  // fixed-point machinery, never short-circuited by the table.
+  if (shared_usable()) {
+    double shared_value;
+    if (try_shared_hit(service, key, &shared_value)) return shared_value;
+  }
+
   stack_.push_back(key);
   dep_stack_.emplace_back();
   cost_stack_.emplace_back();
+  child_stack_.emplace_back();
+  publishable_stack_.push_back(1);
   double result;
   try {
     result = evaluate(service, args);
@@ -490,6 +723,8 @@ double ReliabilityEngine::pfail_cached(const Service& service,
     stack_.pop_back();
     dep_stack_.pop_back();
     cost_stack_.pop_back();
+    child_stack_.pop_back();
+    publishable_stack_.pop_back();
     throw;
   }
   stack_.pop_back();
@@ -499,11 +734,20 @@ double ReliabilityEngine::pfail_cached(const Service& service,
   dep_stack_.pop_back();
   entry.cost = cost_stack_.back();
   cost_stack_.pop_back();
+  const std::vector<Key> children = std::move(child_stack_.back());
+  child_stack_.pop_back();
+  const bool children_shared = publishable_stack_.back() != 0;
+  publishable_stack_.pop_back();
   if (options_.track_dependencies && !dep_stack_.empty()) {
     dep_stack_.back().merge(entry.deps);  // close the transitive closure
   }
   if (!cost_stack_.empty()) {
     cost_stack_.back().add(entry.cost);  // parent pays for its children
+  }
+  if (shared_) {
+    entry.shared_backed =
+        maybe_publish_shared(service, args, entry, children, children_shared);
+    note_child(key, entry.shared_backed);
   }
   memo_.emplace(std::move(key), std::move(entry));
   return result;

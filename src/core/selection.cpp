@@ -54,6 +54,16 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
   // per worker, not per combination. Rebinding a selection point drops only
   // the memoised results that consulted that binding, so results for
   // subtrees unaffected by the choice survive across combinations.
+  //
+  // The shared memo table is built over the *original* assembly: workers
+  // start diverged at the selection points (their copies are re-wired), but
+  // every subtree that never consults a selection point resolves to the
+  // base state and is evaluated once per selection instead of once per
+  // combination per worker. A selection point whose port is unbound in the
+  // original assembly disables sharing on attach (universe mismatch) —
+  // conservative and bit-identical either way.
+  std::shared_ptr<memo::SharedMemo> shared_cache;
+  if (options.shared_memo) shared_cache = make_shared_memo(assembly);
   std::vector<RankedAssembly> entries(combinations);
   std::vector<char> kept(combinations, 0);
   runtime::parallel_for(
@@ -76,6 +86,7 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
         decode(begin, choice);
         for (std::size_t i = 0; i < points.size(); ++i) bind_point(i);
         EvalSession session(wired);
+        if (shared_cache) session.attach_shared_memo(shared_cache);
         std::optional<PerformanceEngine> perf;
         if (objective.time_weight != 0.0) perf.emplace(wired);
 

@@ -152,12 +152,18 @@ std::vector<AttributeSensitivity> attribute_sensitivities(
 
   // Two engine evaluations per attribute, fanned out on the runtime. Each
   // worker holds one session over the shared assembly; perturbed attributes
-  // are restored before moving to the next one.
+  // are restored before moving to the next one. The shared memo table pays
+  // for the base closure once across all workers — each ±h probe diverges
+  // in exactly one attribute, so everything outside that attribute's blast
+  // radius replays from the table.
+  std::shared_ptr<memo::SharedMemo> shared_cache;
+  if (options.shared_memo) shared_cache = make_shared_memo(assembly);
   std::vector<AttributeSensitivity> out(resolved.names.size());
   runtime::parallel_for(
       resolved.names.size(), options.threads,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
         EvalSession session(assembly);
+        if (shared_cache) session.attach_shared_memo(shared_cache);
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = probe_attribute(session, service_name, args, resolved.names[i],
                                    resolved.values[i], options.relative_step,

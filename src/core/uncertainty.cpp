@@ -166,11 +166,18 @@ UncertaintyResult propagate_uncertainty(
   // EvalSession over the *shared* assembly (one validate() per worker, no
   // assembly copy — deltas live in the session); per-sample rebasing
   // invalidates only the uncertain attributes' dependents in the memo.
+  // The shared memo table holds the base-state closure plus whatever
+  // sampled states resolve to base values for part of the tree; drawn
+  // attributes are tracked as divergence, so two workers never trade
+  // results that depend on their own draws.
+  std::shared_ptr<memo::SharedMemo> shared_cache;
+  if (options.shared_memo) shared_cache = make_shared_memo(assembly);
   std::vector<double> samples(options.samples);
   runtime::parallel_for(
       options.samples, options.threads,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
         EvalSession session(assembly);
+        if (shared_cache) session.attach_shared_memo(shared_cache);
         for (std::size_t i = begin; i < end; ++i) {
           samples[i] = evaluate_sample(session, service_name, args,
                                        uncertain_attributes, {}, options.seed, i);

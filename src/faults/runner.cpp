@@ -39,11 +39,13 @@ std::string scenario_label(const Campaign& campaign, const Scenario& scenario) {
 class Worker {
  public:
   Worker(const core::Assembly& shared, const Campaign& campaign,
-         const CampaignRunner::Options& options)
+         const CampaignRunner::Options& options,
+         std::shared_ptr<memo::SharedMemo> memo_table)
       : campaign_(campaign),
         options_(options),
         global_budget_(options.budget.overlaid_with(campaign.budget)),
-        guard_enabled_(!global_budget_.unlimited() || options.cancel != nullptr) {
+        guard_enabled_(!global_budget_.unlimited() || options.cancel != nullptr),
+        shared_memo_(std::move(memo_table)) {
     if (campaign_cuts_bindings(campaign)) {
       local_.emplace(shared);  // private copy, cheap relative to a campaign
       active_ = &*local_;
@@ -58,6 +60,10 @@ class Worker {
 
   double baseline() const noexcept { return baseline_; }
   std::size_t total_evaluations() const noexcept { return evals_total_; }
+  std::size_t total_shared_hits() const noexcept { return shared_hits_total_; }
+  std::size_t total_shared_misses() const noexcept {
+    return shared_misses_total_;
+  }
 
   ScenarioOutcome run_scenario(std::size_t index) {
     const Scenario& scenario = campaign_.scenarios[index];
@@ -95,7 +101,12 @@ class Worker {
     std::vector<BindUndo> bind_undos;
     std::optional<std::map<std::string, double>> pfail_backup;
 
-    const std::size_t evals_start = session_->stats().evaluations;
+    // Per-scenario work is reported in *logical* evaluations: a shared-memo
+    // replay counts as the evaluations it replaced, so the row is identical
+    // with sharing on or off (and for every chunk count). The physical
+    // counters are settled separately (settle_counters) for the report's
+    // execution statistics.
+    const std::size_t logical_start = logical_evaluations();
     std::size_t invalidated = 0;
     try {
       for (const std::size_t fault_index : scenario.faults) {
@@ -154,8 +165,10 @@ class Worker {
         out.states_expanded = cancelled->states();
         out.elapsed_ms = cancelled->elapsed_ms();
       }
-      out.evaluations = session_->stats().evaluations - evals_start;
-      evals_total_ += out.evaluations;
+      // Settle before the rebuild below replaces the session (and with it
+      // the counters the marks refer to).
+      out.evaluations = logical_evaluations() - logical_start;
+      settle_counters();
       // The session (and any partially applied deltas) is suspect; restore
       // the assembly copy's wiring and start from a pristine warm session
       // so the poisoned scenario cannot leak into its neighbours.
@@ -183,6 +196,7 @@ class Worker {
       return out;
     }
 
+    bool settled = false;
     // Revert in reverse application order, then re-warm the memo: every
     // scenario — on any chunk — starts from the identical fully-warm state,
     // which is what makes blast radii and evaluation counts
@@ -223,7 +237,11 @@ class Worker {
       // The scenario's own result is valid — keep it. Deltas were all
       // reverted before anything here could throw (only the re-warm queries
       // throw), so a plain rebuild restores the pristine state; a
-      // cancellation kills the worker instead.
+      // cancellation kills the worker instead. Settle first: the rebuild
+      // replaces the session whose counters the marks refer to.
+      out.evaluations = logical_evaluations() - logical_start;
+      settle_counters();
+      settled = true;
       if (dynamic_cast<const Cancelled*>(&revert_error) != nullptr) {
         mark_dead("cancelled", revert_error.what());
       } else {
@@ -238,8 +256,10 @@ class Worker {
       }
     }
 
-    out.evaluations = session_->stats().evaluations - evals_start;
-    evals_total_ += out.evaluations;
+    if (!settled) {
+      out.evaluations = logical_evaluations() - logical_start;
+      settle_counters();
+    }
     return out;
   }
 
@@ -248,13 +268,39 @@ class Worker {
     core::EvalSession::Options session_options;
     session_options.engine = options_.engine;
     session_.emplace(*active_, std::move(session_options));
+    // Attach before the baseline query: the warm-up itself then replays
+    // whatever another worker (or an earlier rebuild) already published.
+    if (shared_memo_) session_->attach_shared_memo(shared_memo_);
+    evals_mark_ = 0;  // fresh session, fresh counters
+    hits_mark_ = 0;
+    misses_mark_ = 0;
     if (guard_enabled_) {
       session_->set_budget(budgeted ? global_budget_ : guard::Budget{},
                            options_.cancel);
     }
     baseline_ = session_->pfail(campaign_.service, campaign_.args);
     pristine_memo_size_ = session_->memo_size();
-    evals_total_ += session_->stats().evaluations;
+    settle_counters();
+  }
+
+  /// evaluations + shared_hits of the current session: invariant with the
+  /// sharing-off evaluation count for the same query sequence.
+  std::size_t logical_evaluations() const noexcept {
+    const auto& s = session_->stats();
+    return s.evaluations + s.shared_hits;
+  }
+
+  /// Fold the session's physical counters into the worker totals. Must run
+  /// before anything that replaces the session (rebuild_session resets the
+  /// marks itself for the fresh session).
+  void settle_counters() {
+    const auto& s = session_->stats();
+    evals_total_ += s.evaluations - evals_mark_;
+    shared_hits_total_ += s.shared_hits - hits_mark_;
+    shared_misses_total_ += s.shared_misses - misses_mark_;
+    evals_mark_ = s.evaluations;
+    hits_mark_ = s.shared_hits;
+    misses_mark_ = s.shared_misses;
   }
 
   void mark_dead(std::string category, std::string message) {
@@ -292,9 +338,15 @@ class Worker {
   std::optional<core::Assembly> local_;  // engaged iff the campaign rewires
   const core::Assembly* active_ = nullptr;
   std::optional<core::EvalSession> session_;
+  std::shared_ptr<memo::SharedMemo> shared_memo_;
   double baseline_ = 0.0;
   std::size_t pristine_memo_size_ = 0;  // the warm closure of the target query
-  std::size_t evals_total_ = 0;
+  std::size_t evals_total_ = 0;         // physical, across session rebuilds
+  std::size_t shared_hits_total_ = 0;
+  std::size_t shared_misses_total_ = 0;
+  std::size_t evals_mark_ = 0;  // current session's already-settled counters
+  std::size_t hits_mark_ = 0;
+  std::size_t misses_mark_ = 0;
   bool dead_ = false;  // cancelled / session unrecoverable: drain fast
   std::string dead_category_;
   std::string dead_message_;
@@ -315,39 +367,62 @@ CampaignReport CampaignRunner::run(const Campaign& campaign) {
   const auto start = std::chrono::steady_clock::now();
 
   CampaignReport report;
+  // One shared memo table for the whole campaign (unless the caller brought
+  // a warm one): the baseline closure is evaluated once and replayed into
+  // every other worker's warm-up and every revert re-warm. The shared table
+  // is keyed on the *base* assembly state, so the per-scenario deltas the
+  // workers apply never poison it (divergence tracking in the engine).
+  std::shared_ptr<memo::SharedMemo> shared;
+  if (options_.shared_memo) {
+    shared = options_.shared_cache ? options_.shared_cache
+                                   : core::make_shared_memo(assembly_);
+  }
   // The chunk-0 worker doubles as the baseline prober (and the whole
   // empty-campaign path); baseline errors propagate from here, before any
   // per-scenario capture starts.
-  Worker main_worker(assembly_, campaign, options_);
+  Worker main_worker(assembly_, campaign, options_, shared);
   report.baseline_pfail = main_worker.baseline();
 
   const std::size_t n = campaign.scenarios.size();
   report.outcomes.resize(n);
   const std::size_t chunks =
       n == 0 ? 0 : std::min(n, runtime::resolve_threads(options_.threads));
-  std::vector<std::size_t> chunk_evals(chunks == 0 ? 1 : chunks, 0);
+  struct ChunkCounters {
+    std::size_t evaluations = 0;
+    std::size_t shared_hits = 0;
+    std::size_t shared_misses = 0;
+  };
+  std::vector<ChunkCounters> chunk_counters(chunks == 0 ? 1 : chunks);
 
   runtime::parallel_for(
       n, options_.threads,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
         std::optional<Worker> spawned;
-        Worker& worker = chunk == 0
-                             ? main_worker
-                             : spawned.emplace(assembly_, campaign, options_);
+        Worker& worker =
+            chunk == 0 ? main_worker
+                       : spawned.emplace(assembly_, campaign, options_, shared);
         for (std::size_t i = begin; i < end; ++i) {
           report.outcomes[i] = worker.run_scenario(i);
         }
-        chunk_evals[chunk] = worker.total_evaluations();
+        chunk_counters[chunk] = {worker.total_evaluations(),
+                                 worker.total_shared_hits(),
+                                 worker.total_shared_misses()};
       });
 
   report.chunks = chunks;
+  report.shared_memo = shared != nullptr;
   if (n == 0) {
     report.engine_evaluations = main_worker.total_evaluations();
+    report.shared_hits = main_worker.total_shared_hits();
+    report.shared_misses = main_worker.total_shared_misses();
   } else {
-    for (const std::size_t evals : chunk_evals) {
-      report.engine_evaluations += evals;
+    for (const ChunkCounters& counters : chunk_counters) {
+      report.engine_evaluations += counters.evaluations;
+      report.shared_hits += counters.shared_hits;
+      report.shared_misses += counters.shared_misses;
     }
   }
+  if (shared) report.shared_cache_stats = shared->stats();
   for (const ScenarioOutcome& outcome : report.outcomes) {
     if (!outcome.ok) ++report.failed_scenarios;
   }

@@ -1,0 +1,202 @@
+#include "sorel/memo/shared_memo.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sorel::memo {
+
+// ---------------------------------------------------------------------------
+// DepSet
+// ---------------------------------------------------------------------------
+
+void DepSet::set(DepId id) {
+  const std::size_t word = id / 64;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  words_[word] |= std::uint64_t{1} << (id % 64);
+}
+
+void DepSet::unset(DepId id) {
+  const std::size_t word = id / 64;
+  if (word >= words_.size()) return;
+  words_[word] &= ~(std::uint64_t{1} << (id % 64));
+  // Keep the no-trailing-zero-words invariant so any() stays O(1).
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+void DepSet::merge(const DepSet& other) {
+  if (other.words_.size() > words_.size()) words_.resize(other.words_.size(), 0);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+bool DepSet::intersects(const DepSet& other) const noexcept {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+bool DepSet::any() const noexcept {
+  for (const std::uint64_t word : words_) {
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// MemoKeyHash
+// ---------------------------------------------------------------------------
+
+std::size_t MemoKeyHash::operator()(const MemoKey& key) const noexcept {
+  // FNV-1a over the name bytes and the argument bit patterns; exact-double
+  // keying is intentional (the engine memoises per exact actual vector).
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (v >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const char c : key.service) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  for (const double a : key.args) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(a));
+    std::memcpy(&bits, &a, sizeof(bits));
+    mix(bits);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+// ---------------------------------------------------------------------------
+// SharedMemo
+// ---------------------------------------------------------------------------
+
+SharedMemo::SharedMemo(Universe universe)
+    : SharedMemo(std::move(universe), Options{}) {}
+
+SharedMemo::SharedMemo(Universe universe, Options options)
+    : universe_(std::move(universe)),
+      options_(options),
+      shards_(std::max<std::size_t>(1, options.shards)) {}
+
+SharedMemo::Shard& SharedMemo::shard_for(const MemoKey& key) noexcept {
+  return shards_[MemoKeyHash{}(key) % shards_.size()];
+}
+
+const SharedMemo::Shard& SharedMemo::shard_for(const MemoKey& key) const noexcept {
+  return shards_[MemoKeyHash{}(key) % shards_.size()];
+}
+
+bool SharedMemo::lookup(const MemoKey& key, std::uint64_t epoch,
+                        const DepSet& divergence, SharedEntry& out) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t current = epoch_.load(std::memory_order_acquire);
+  if (epoch != current) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      if (it->second.epoch != current) {
+        shard.table.erase(it);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      } else if (!it->second.entry.deps.intersects(divergence)) {
+        out = it->second.entry;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool SharedMemo::insert(const MemoKey& key, std::uint64_t epoch,
+                        SharedEntry entry) {
+  if (epoch != epoch_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.table.find(key);
+  if (it != shard.table.end()) {
+    if (it->second.epoch == epoch) {
+      // Another worker published first — identical value by construction.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Stale tenant: replace in place (an eviction plus an insertion).
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    it->second.epoch = epoch;
+    it->second.entry = std::move(entry);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (entries_.load(std::memory_order_relaxed) >= options_.max_entries) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.table.emplace(key, Versioned{epoch, std::move(entry)});
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t SharedMemo::purge_stale() {
+  const std::uint64_t current = epoch_.load(std::memory_order_acquire);
+  std::size_t purged = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.table.begin(); it != shard.table.end();) {
+      if (it->second.epoch != current) {
+        it = shard.table.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (purged > 0) {
+    entries_.fetch_sub(purged, std::memory_order_relaxed);
+    evictions_.fetch_add(purged, std::memory_order_relaxed);
+  }
+  return purged;
+}
+
+std::size_t SharedMemo::size() const {
+  return entries_.load(std::memory_order_relaxed);
+}
+
+SharedMemoStats SharedMemo::stats() const {
+  SharedMemoStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.epoch = epoch_.load(std::memory_order_acquire);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SharedMemo::reset_stats() noexcept {
+  lookups_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sorel::memo

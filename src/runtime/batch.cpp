@@ -32,6 +32,17 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
   const std::size_t chunks =
       jobs.empty() ? 0 : std::min(jobs.size(), resolve_threads(options_.threads));
 
+  // One shared memo table for the whole batch (unless the caller brought a
+  // warm one): a (service, args) result over unchanged base state is then
+  // evaluated by whichever worker gets there first and replayed everywhere
+  // else. The engine itself gates sharing off when it would be unsound
+  // (pfail overrides, dependency tracking disabled).
+  std::shared_ptr<memo::SharedMemo> shared;
+  if (options_.shared_memo && !jobs.empty()) {
+    shared = options_.shared_cache ? options_.shared_cache
+                                   : core::make_shared_memo(assembly_);
+  }
+
   std::vector<BatchItem> results(jobs.size());
   std::vector<core::ReliabilityEngine::Stats> chunk_stats(
       chunks == 0 ? 1 : chunks);
@@ -42,6 +53,7 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
     core::EvalSession::Options session_options;
     session_options.engine = options_.engine;
     core::EvalSession session(assembly_, std::move(session_options));
+    if (shared) session.attach_shared_memo(shared);
     const bool global_guard =
         !options_.budget.unlimited() || options_.cancel != nullptr;
     if (global_guard) session.set_budget(options_.budget, options_.cancel);
@@ -110,6 +122,12 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
     stats.engine_evaluations += s.evaluations;
     stats.engine_memo_hits += s.memo_hits;
     stats.engine_memo_invalidated += s.memo_invalidated;
+    stats.shared_hits += s.shared_hits;
+    stats.shared_misses += s.shared_misses;
+  }
+  if (shared) {
+    stats.shared_memo = true;
+    stats.shared_cache_stats = shared->stats();
   }
   for (const BatchItem& item : results) {
     if (!item.ok) ++stats.failed_jobs;

@@ -1,0 +1,316 @@
+// Unit tests of sorel::memo (DepSet, MemoKey, SharedMemo) and of the engine
+// bridge (core::make_shared_memo, ReliabilityEngine::attach_shared_memo):
+// counter invariants (hits + misses == lookups, always), epoch-based
+// invalidation, divergence-respecting lookups, universe verification, and
+// the engine-side determinism contract evaluations + shared_hits ==
+// evaluations-without-sharing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/memo/shared_memo.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+
+namespace {
+
+using sorel::core::EvalSession;
+using sorel::core::ReliabilityEngine;
+using sorel::core::make_shared_memo;
+using sorel::memo::DepSet;
+using sorel::memo::EvalCost;
+using sorel::memo::MemoKey;
+using sorel::memo::SharedEntry;
+using sorel::memo::SharedMemo;
+using sorel::memo::SharedMemoStats;
+using sorel::memo::Universe;
+
+SharedEntry entry_with(double value, std::initializer_list<sorel::memo::DepId> deps) {
+  SharedEntry e;
+  e.value = value;
+  e.cost = EvalCost{1, 0, 0};
+  for (const auto id : deps) e.deps.set(id);
+  return e;
+}
+
+TEST(DepSet, SetUnsetAnyIntersects) {
+  DepSet s;
+  EXPECT_FALSE(s.any());
+  s.set(3);
+  s.set(130);  // forces a third word
+  EXPECT_TRUE(s.any());
+
+  DepSet probe;
+  probe.set(130);
+  EXPECT_TRUE(s.intersects(probe));
+  probe.unset(130);
+  probe.set(131);
+  EXPECT_FALSE(s.intersects(probe));
+
+  s.unset(130);  // trailing zero words must be trimmed so any() stays exact
+  s.unset(3);
+  EXPECT_FALSE(s.any());
+}
+
+TEST(DepSet, MergeIsUnion) {
+  DepSet a;
+  a.set(1);
+  DepSet b;
+  b.set(200);
+  a.merge(b);
+  DepSet probe1;
+  probe1.set(1);
+  DepSet probe200;
+  probe200.set(200);
+  EXPECT_TRUE(a.intersects(probe1));
+  EXPECT_TRUE(a.intersects(probe200));
+}
+
+TEST(MemoKey, EqualityIsExact) {
+  const MemoKey a{"svc", {1.0, 2.0}};
+  const MemoKey b{"svc", {1.0, 2.0}};
+  const MemoKey c{"svc", {1.0, 2.5}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(sorel::memo::MemoKeyHash{}(a), sorel::memo::MemoKeyHash{}(b));
+}
+
+TEST(SharedMemoTable, InsertLookupRoundTrip) {
+  SharedMemo table(Universe{});
+  const MemoKey key{"svc", {1.0}};
+  EXPECT_TRUE(table.insert(key, table.epoch(), entry_with(0.25, {3})));
+
+  SharedEntry out;
+  EXPECT_TRUE(table.lookup(key, table.epoch(), DepSet{}, out));
+  EXPECT_EQ(out.value, 0.25);
+  EXPECT_EQ(table.size(), 1u);
+
+  const SharedMemoStats s = table.stats();
+  EXPECT_EQ(s.lookups, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(SharedMemoTable, LookupRespectsDivergence) {
+  SharedMemo table(Universe{});
+  const MemoKey key{"svc", {}};
+  ASSERT_TRUE(table.insert(key, table.epoch(), entry_with(0.5, {3})));
+
+  DepSet diverged;
+  diverged.set(3);
+  SharedEntry out;
+  EXPECT_FALSE(table.lookup(key, table.epoch(), diverged, out));
+
+  DepSet elsewhere;
+  elsewhere.set(2);
+  EXPECT_TRUE(table.lookup(key, table.epoch(), elsewhere, out));
+
+  const SharedMemoStats s = table.stats();
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(SharedMemoTable, DuplicateInsertIsRejectedButReportsPresent) {
+  SharedMemo table(Universe{});
+  const MemoKey key{"svc", {}};
+  EXPECT_TRUE(table.insert(key, table.epoch(), entry_with(0.5, {})));
+  // Another worker racing to publish the same key: by construction both
+  // computed the identical value, so the insert "succeeds" without storing.
+  EXPECT_TRUE(table.insert(key, table.epoch(), entry_with(0.5, {})));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().rejected, 1u);
+  EXPECT_EQ(table.stats().insertions, 1u);
+}
+
+TEST(SharedMemoTable, EpochBumpInvalidatesLazily) {
+  SharedMemo table(Universe{});
+  const MemoKey key{"svc", {}};
+  const std::uint64_t old_epoch = table.epoch();
+  ASSERT_TRUE(table.insert(key, old_epoch, entry_with(0.5, {})));
+
+  EXPECT_EQ(table.bump_epoch(), old_epoch + 1);
+
+  // Insert against the stale epoch: rejected outright.
+  EXPECT_FALSE(table.insert(MemoKey{"other", {}}, old_epoch, entry_with(1.0, {})));
+
+  // Lookup at the current epoch finds the stale tenant and evicts it.
+  SharedEntry out;
+  EXPECT_FALSE(table.lookup(key, table.epoch(), DepSet{}, out));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.stats().evictions, 1u);
+
+  // Lookup passing a stale epoch can never hit.
+  EXPECT_FALSE(table.lookup(key, old_epoch, DepSet{}, out));
+
+  const SharedMemoStats s = table.stats();
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(SharedMemoTable, PurgeStaleDropsOldEpochEntries) {
+  SharedMemo table(Universe{});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(table.insert(MemoKey{"svc", {static_cast<double>(i)}},
+                             table.epoch(), entry_with(0.1, {})));
+  }
+  table.bump_epoch();
+  EXPECT_EQ(table.purge_stale(), 3u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SharedMemoTable, FullTableRejectsNewKeys) {
+  SharedMemo::Options options;
+  options.shards = 1;
+  options.max_entries = 1;
+  SharedMemo table(Universe{}, options);
+  EXPECT_TRUE(table.insert(MemoKey{"a", {}}, table.epoch(), entry_with(0.1, {})));
+  EXPECT_FALSE(table.insert(MemoKey{"b", {}}, table.epoch(), entry_with(0.2, {})));
+  EXPECT_EQ(table.size(), 1u);
+  // A duplicate of the resident key still "succeeds" (present after call).
+  EXPECT_TRUE(table.insert(MemoKey{"a", {}}, table.epoch(), entry_with(0.1, {})));
+}
+
+TEST(SharedMemoTable, StatsInvariantUnderMixedTraffic) {
+  SharedMemo table(Universe{});
+  SharedEntry out;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      const MemoKey key{"svc", {static_cast<double>(i % 7)}};
+      if (!table.lookup(key, table.epoch(), DepSet{}, out)) {
+        table.insert(key, table.epoch(), entry_with(0.5, {}));
+      }
+    }
+    table.bump_epoch();
+  }
+  const SharedMemoStats s = table.stats();
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  EXPECT_EQ(s.epoch, 3u);
+  table.reset_stats();
+  const SharedMemoStats zeroed = table.stats();
+  EXPECT_EQ(zeroed.lookups, 0u);
+  EXPECT_EQ(zeroed.hits + zeroed.misses, zeroed.lookups);
+}
+
+TEST(MakeSharedMemo, UniverseMatchesAssemblySortedState) {
+  const auto assembly = sorel::scenarios::make_partitioned_assembly(2, 2);
+  const auto table = make_shared_memo(assembly);
+  const Universe& u = table->universe();
+
+  const auto env = assembly.attribute_env();
+  ASSERT_EQ(u.attribute_names.size(), env.bindings().size());
+  std::size_t i = 0;
+  for (const auto& [name, value] : env.bindings()) {
+    EXPECT_EQ(u.attribute_names[i], name);
+    EXPECT_EQ(u.attribute_values[i], value);
+    ++i;
+  }
+  ASSERT_EQ(u.binding_keys.size(), assembly.bindings().size());
+  ASSERT_EQ(u.binding_signatures.size(), u.binding_keys.size());
+}
+
+TEST(EngineSharing, SecondEngineReplaysFirstEnginesWork) {
+  const auto assembly = sorel::scenarios::make_partitioned_assembly(2, 2);
+  const auto table = make_shared_memo(assembly);
+
+  ReliabilityEngine first(assembly);
+  first.attach_shared_memo(table);
+  const double p1 = first.pfail("app", {});
+  EXPECT_GT(table->size(), 0u);
+  EXPECT_EQ(first.stats().shared_hits, 0u);
+
+  ReliabilityEngine second(assembly);
+  second.attach_shared_memo(table);
+  const double p2 = second.pfail("app", {});
+
+  ReliabilityEngine fresh(assembly);
+  const double pf = fresh.pfail("app", {});
+
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1, pf);
+  // The whole closure replays: zero physical evaluations, and the logical
+  // invariant holds exactly.
+  EXPECT_EQ(second.stats().evaluations, 0u);
+  EXPECT_EQ(second.stats().evaluations + second.stats().shared_hits,
+            fresh.stats().evaluations);
+}
+
+TEST(EngineSharing, UniverseMismatchDisablesSharingGracefully) {
+  const auto assembly = sorel::scenarios::make_partitioned_assembly(2, 2);
+  const auto foreign =
+      make_shared_memo(sorel::scenarios::make_chain_assembly(4));
+
+  ReliabilityEngine engine(assembly);
+  engine.attach_shared_memo(foreign);
+  const double p = engine.pfail("app", {});
+
+  ReliabilityEngine fresh(assembly);
+  EXPECT_EQ(p, fresh.pfail("app", {}));
+  // Sharing silently off: no table traffic either way.
+  EXPECT_EQ(engine.stats().shared_hits, 0u);
+  EXPECT_EQ(engine.stats().shared_misses, 0u);
+  EXPECT_EQ(foreign->stats().lookups, 0u);
+  EXPECT_EQ(foreign->size(), 0u);
+}
+
+TEST(EngineSharing, PfailOverridesDisableSharing) {
+  const auto assembly = sorel::scenarios::make_partitioned_assembly(2, 2);
+  const auto table = make_shared_memo(assembly);
+
+  ReliabilityEngine pinned(assembly);
+  pinned.attach_shared_memo(table);
+  pinned.set_pfail_overrides({{"g0", 0.5}});
+  const double p = pinned.pfail("app", {});
+  EXPECT_EQ(table->size(), 0u);  // pinned results must never be published
+
+  ReliabilityEngine oracle(assembly);
+  oracle.set_pfail_overrides({{"g0", 0.5}});
+  EXPECT_EQ(p, oracle.pfail("app", {}));
+}
+
+TEST(EngineSharing, SessionDeltasDivergeAndRejoin) {
+  const auto assembly = sorel::scenarios::make_partitioned_assembly(2, 2);
+  const auto table = make_shared_memo(assembly);
+
+  EvalSession warm(assembly);
+  warm.attach_shared_memo(table);
+  const double base = warm.pfail("app", {});
+
+  EvalSession session(assembly);
+  session.attach_shared_memo(table);
+  session.set_attribute("g0_s0.p", 2e-3);
+
+  EvalSession oracle(assembly);
+  oracle.set_attribute("g0_s0.p", 2e-3);
+  EXPECT_EQ(session.pfail("app", {}), oracle.pfail("app", {}));
+
+  // Revert: state rejoins the shared base and the base value replays.
+  session.reset_attributes();
+  EXPECT_EQ(session.pfail("app", {}), base);
+
+  const auto s = table->stats();
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(EngineSharing, TableEpochBumpRepublishes) {
+  const auto assembly = sorel::scenarios::make_partitioned_assembly(2, 2);
+  const auto table = make_shared_memo(assembly);
+
+  EvalSession session(assembly);
+  session.attach_shared_memo(table);
+  const double base = session.pfail("app", {});
+  const std::size_t size_before = table->size();
+  ASSERT_GT(size_before, 0u);
+
+  table->bump_epoch();
+  EXPECT_EQ(table->purge_stale(), size_before);
+
+  // A second session re-publishes the closure under the new epoch.
+  EvalSession fresh(assembly);
+  fresh.attach_shared_memo(table);
+  EXPECT_EQ(fresh.pfail("app", {}), base);
+  EXPECT_EQ(table->size(), size_before);
+  EXPECT_EQ(table->stats().epoch, 1u);
+}
+
+}  // namespace

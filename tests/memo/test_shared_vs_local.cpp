@@ -1,0 +1,339 @@
+// Differential determinism grid for shared cross-worker memoization: every
+// analysis that attaches a memo::SharedMemo (batch evaluation, fault
+// campaigns, selection, uncertainty sampling, sensitivity probes) must
+// produce bit-identical serialized results over the full grid
+//   spec x jobs x threads {1, 2, 8} x shared memo {on, off}
+// and agree with a fresh-engine / per-job-session oracle. Results are
+// compared as %.17g-serialized strings, so "equal" means equal down to the
+// last bit of every double.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sorel/core/selection.hpp"
+#include "sorel/core/sensitivity.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/core/uncertainty.hpp"
+#include "sorel/faults/campaign.hpp"
+#include "sorel/faults/fault_spec.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/runtime/batch.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::EvalSession;
+
+constexpr std::size_t kThreadGrid[] = {1, 2, 8};
+constexpr bool kSharedGrid[] = {false, true};
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct Spec {
+  std::string name;
+  Assembly assembly;
+  std::string service;
+  std::vector<double> args;
+};
+
+std::vector<Spec> make_specs() {
+  std::vector<Spec> specs;
+  specs.push_back({"partitioned_4x4",
+                   sorel::scenarios::make_partitioned_assembly(4, 4), "app", {}});
+  specs.push_back({"tree_3x2", sorel::scenarios::make_tree_assembly(3, 2),
+                   "level0", {1e6}});
+  specs.push_back({"chain_8", sorel::scenarios::make_chain_assembly(8),
+                   "pipeline", {1e6}});
+  return specs;
+}
+
+// -- Batch ------------------------------------------------------------------
+
+std::vector<sorel::runtime::BatchJob> make_jobs(const Spec& spec) {
+  // attribute_env() returns by value; keep the copy alive while iterating.
+  const auto env = spec.assembly.attribute_env();
+  const auto& attrs = env.bindings();
+  std::vector<sorel::runtime::BatchJob> jobs;
+  for (int i = 0; i < 12; ++i) {
+    sorel::runtime::BatchJob job;
+    job.service = spec.service;
+    job.args = spec.args;
+    if (i % 3 == 1 && !attrs.empty()) {
+      // Perturb the first attribute of the assembly — the shared table must
+      // keep diverged jobs separate from base-state jobs.
+      job.attribute_overrides[attrs.begin()->first] =
+          attrs.begin()->second * (1.0 + 0.25 * static_cast<double>(i));
+    }
+    if (i % 4 == 3) {
+      // Pin the target itself — pfail overrides dynamically disable sharing
+      // for these jobs; the grid must stay identical anyway.
+      job.pfail_overrides[spec.service] = 0.125;
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::string serialize_batch(const std::vector<sorel::runtime::BatchItem>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    out += item.ok ? "ok " + fmt(item.pfail) + " " + fmt(item.reliability)
+                   : "err " + item.error_category;
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(SharedVsLocal, BatchGridIsBitIdentical) {
+  for (const Spec& spec : make_specs()) {
+    const auto jobs = make_jobs(spec);
+
+    // Fresh-session oracle: one brand-new session (cold engine, no shared
+    // state of any kind) per job.
+    std::string oracle;
+    for (const auto& job : jobs) {
+      EvalSession session(spec.assembly);
+      session.rebase_attributes(job.attribute_overrides);
+      if (!job.pfail_overrides.empty()) {
+        session.set_pfail_overrides(job.pfail_overrides);
+      }
+      const double pfail = session.pfail(job.service, job.args);
+      oracle += "ok " + fmt(pfail) + " " + fmt(1.0 - pfail) + "\n";
+    }
+
+    for (const std::size_t threads : kThreadGrid) {
+      for (const bool shared : kSharedGrid) {
+        sorel::runtime::BatchEvaluator::Options options;
+        options.threads = threads;
+        options.shared_memo = shared;
+        sorel::runtime::BatchEvaluator evaluator(spec.assembly, options);
+        const auto items = evaluator.evaluate(jobs);
+        EXPECT_EQ(serialize_batch(items), oracle)
+            << spec.name << " threads=" << threads << " shared=" << shared;
+        const auto& stats = evaluator.stats();
+        EXPECT_EQ(stats.shared_memo, shared) << spec.name;
+        if (!shared) {
+          EXPECT_EQ(stats.shared_hits + stats.shared_misses, 0u) << spec.name;
+        }
+      }
+    }
+  }
+}
+
+// -- Fault campaigns --------------------------------------------------------
+
+std::string serialize_report(const sorel::faults::CampaignReport& report) {
+  std::string out = "baseline " + fmt(report.baseline_pfail) + "\n";
+  for (const auto& row : report.outcomes) {
+    if (row.ok) {
+      out += "ok " + fmt(row.pfail) + " " + fmt(row.delta_pfail) + " " +
+             std::to_string(row.blast_radius) + " " +
+             std::to_string(row.evaluations);
+    } else {
+      out += "err " + row.error_category;
+    }
+    out += "\n";
+  }
+  for (const auto& row : report.criticality) {
+    out += "crit " + std::to_string(row.fault) + " " +
+           fmt(row.max_delta_pfail) + " " + fmt(row.mean_delta_pfail) + "\n";
+  }
+  return out;
+}
+
+TEST(SharedVsLocal, CampaignGridIsBitIdentical) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::vector<sorel::faults::FaultSpec> faults;
+  for (std::size_t i = 0; i < 24; ++i) {
+    std::string attr = "g" + std::to_string(i % 4) + "_s" +
+                       std::to_string((i / 4) % 4) + ".p";
+    faults.push_back(sorel::faults::FaultSpec::attribute_set(
+        std::move(attr), 1e-3 + 1e-5 * static_cast<double>(i)));
+  }
+  // Mixed fault kinds: pfail pins disable sharing for their scenario's
+  // query, binding cuts rewire the worker-local assembly — both must land
+  // on identical rows regardless of thread count or sharing.
+  faults.push_back(sorel::faults::FaultSpec::pfail_override("g1", 0.25));
+  faults.push_back(sorel::faults::FaultSpec::binding_cut("g2", "g2_s0"));
+  const auto campaign =
+      sorel::faults::Campaign::single_faults("app", {}, std::move(faults));
+
+  std::string reference;
+  for (const std::size_t threads : kThreadGrid) {
+    for (const bool shared : kSharedGrid) {
+      sorel::faults::CampaignRunner::Options options;
+      options.threads = threads;
+      options.shared_memo = shared;
+      sorel::faults::CampaignRunner runner(assembly, options);
+      const std::string serialized = serialize_report(runner.run(campaign));
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "threads=" << threads << " shared=" << shared;
+      }
+    }
+  }
+}
+
+// -- Selection --------------------------------------------------------------
+
+TEST(SharedVsLocal, SelectionGridIsBitIdentical) {
+  Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 3);
+  // Make the candidates distinguishable: every leaf gets its own failure
+  // probability so rewiring a port changes the predicted reliability.
+  for (std::size_t g = 0; g < 3; ++g) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      assembly.set_attribute(
+          "g" + std::to_string(g) + "_s" + std::to_string(s) + ".p",
+          1e-4 * static_cast<double>(1 + g * 3 + s));
+    }
+  }
+  const auto candidate = [](std::string target) {
+    sorel::core::PortBinding b;
+    b.target = std::move(target);
+    return b;
+  };
+  std::vector<sorel::core::SelectionPoint> points(2);
+  points[0].service = "g0";
+  points[0].port = "g0_s0";
+  points[0].candidates = {candidate("g0_s0"), candidate("g0_s1"),
+                          candidate("g0_s2")};
+  points[1].service = "g1";
+  points[1].port = "g1_s0";
+  points[1].candidates = {candidate("g1_s0"), candidate("g1_s1")};
+
+  std::string reference;
+  for (const std::size_t threads : kThreadGrid) {
+    for (const bool shared : kSharedGrid) {
+      sorel::core::SelectionOptions options;
+      options.threads = threads;
+      options.shared_memo = shared;
+      const auto ranking =
+          sorel::core::rank_assemblies(assembly, "app", {}, points, options);
+      std::string serialized;
+      for (const auto& row : ranking) {
+        for (const std::size_t c : row.choice) serialized += std::to_string(c);
+        serialized += " " + fmt(row.reliability) + " " + fmt(row.score) + "\n";
+      }
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "threads=" << threads << " shared=" << shared;
+      }
+    }
+  }
+}
+
+// -- Uncertainty ------------------------------------------------------------
+
+TEST(SharedVsLocal, UncertaintyGridIsBitIdentical) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 3);
+  std::map<std::string, sorel::core::AttributeDistribution> dists;
+  dists["g0_s0.p"] = sorel::core::AttributeDistribution::uniform(1e-5, 1e-3);
+  dists["g2_s2.p"] =
+      sorel::core::AttributeDistribution::log_uniform(1e-5, 1e-3);
+
+  std::string reference;
+  for (const std::size_t threads : kThreadGrid) {
+    for (const bool shared : kSharedGrid) {
+      sorel::core::UncertaintyOptions options;
+      options.threads = threads;
+      options.shared_memo = shared;
+      options.samples = 96;
+      options.seed = 42;
+      const auto result = sorel::core::propagate_uncertainty(
+          assembly, "app", {}, dists, options);
+      const std::string serialized = fmt(result.reliability.mean()) + " " +
+                                     fmt(result.reliability.stddev()) + " " +
+                                     fmt(result.p05) + " " + fmt(result.p50) +
+                                     " " + fmt(result.p95);
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "threads=" << threads << " shared=" << shared;
+      }
+    }
+  }
+}
+
+// -- Sensitivity ------------------------------------------------------------
+
+TEST(SharedVsLocal, SensitivityGridIsBitIdentical) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+
+  std::string reference;
+  for (const std::size_t threads : kThreadGrid) {
+    for (const bool shared : kSharedGrid) {
+      sorel::core::SensitivityOptions options;
+      options.threads = threads;
+      options.shared_memo = shared;
+      const auto rows = sorel::core::attribute_sensitivities(
+          assembly, "app", {}, options, {});
+      std::string serialized;
+      for (const auto& row : rows) {
+        serialized += row.attribute + " " + fmt(row.derivative) + " " +
+                      fmt(row.elasticity) + "\n";
+      }
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "threads=" << threads << " shared=" << shared;
+      }
+    }
+  }
+}
+
+// -- Logical-work invariant -------------------------------------------------
+
+TEST(SharedVsLocal, CampaignLogicalWorkInvariant) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::vector<sorel::faults::FaultSpec> faults;
+  for (std::size_t i = 0; i < 32; ++i) {
+    std::string attr = "g" + std::to_string(i % 4) + "_s" +
+                       std::to_string((i / 4) % 4) + ".p";
+    faults.push_back(sorel::faults::FaultSpec::attribute_set(
+        std::move(attr), 2e-3 + 1e-5 * static_cast<double>(i)));
+  }
+  const auto campaign =
+      sorel::faults::Campaign::single_faults("app", {}, std::move(faults));
+
+  for (const std::size_t threads : kThreadGrid) {
+    sorel::faults::CampaignRunner::Options off;
+    off.threads = threads;
+    off.shared_memo = false;
+    sorel::faults::CampaignRunner off_runner(assembly, off);
+    const auto off_report = off_runner.run(campaign);
+
+    sorel::faults::CampaignRunner::Options on;
+    on.threads = threads;
+    on.shared_memo = true;
+    sorel::faults::CampaignRunner on_runner(assembly, on);
+    const auto on_report = on_runner.run(campaign);
+
+    // Sharing changes who evaluates, never what is evaluated.
+    EXPECT_EQ(on_report.engine_evaluations + on_report.shared_hits,
+              off_report.engine_evaluations)
+        << "threads=" << threads;
+    if (threads > 1) {
+      EXPECT_LT(on_report.engine_evaluations, off_report.engine_evaluations)
+          << "threads=" << threads;
+    }
+    const auto& cache = on_report.shared_cache_stats;
+    EXPECT_EQ(cache.hits + cache.misses, cache.lookups)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
