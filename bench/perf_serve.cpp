@@ -1,0 +1,139 @@
+// Warm-vs-cold serving experiment: one long-lived serve::Server answering a
+// request stream with its session pool and shared memo hot, versus paying a
+// fresh-process cold start per request (modelled as a fresh Server per
+// request — spec load, session construction, full evaluation closure), on
+// the 16x16 partitioned assembly. The stream cycles through eight request
+// shapes (one plain eval plus seven attribute-delta evals), so the warm
+// server evaluates each unique shape once and replays every repeat, while
+// the cold path re-derives the ~273-service closure every single time.
+//
+// Output is machine-readable JSON (stdout and BENCH_serve.json), and the
+// binary self-checks the acceptance criteria: every warm response is
+// byte-identical to its cold twin (the serve determinism contract), and the
+// warm server performs at least 5x fewer physical engine evaluations than
+// the fresh-per-request baseline.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/serve/server.hpp"
+
+namespace {
+
+using sorel::serve::Server;
+
+constexpr std::size_t kGroups = 16;
+constexpr std::size_t kLeaves = 16;
+constexpr std::size_t kRequests = 96;
+constexpr std::size_t kShapes = 8;
+
+// Shape 0 is the plain baseline eval; shapes 1..7 each degrade one distinct
+// leaf attribute. Repeats of a shape are exact replays for a warm memo.
+std::string make_request(std::size_t index) {
+  const std::size_t shape = index % kShapes;
+  if (shape == 0) {
+    return "{\"op\":\"eval\",\"service\":\"app\"}";
+  }
+  const std::string attr = "g" + std::to_string(shape % kGroups) + "_s" +
+                           std::to_string((shape * 3) % kLeaves) + ".p";
+  return "{\"op\":\"eval\",\"service\":\"app\",\"attributes\":{\"" + attr +
+         "\":0.0" + std::to_string(shape) + "}}";
+}
+
+struct ModeResult {
+  std::uint64_t engine_evaluations = 0;
+  double seconds = 0.0;
+  std::vector<std::string> responses;
+};
+
+}  // namespace
+
+int main() {
+  const sorel::json::Value spec = sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(kGroups, kLeaves));
+
+  // Warm: one daemon, the whole stream.
+  ModeResult warm;
+  {
+    Server server(spec, {});
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      warm.responses.push_back(server.handle_line(make_request(i)));
+    }
+    warm.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    warm.engine_evaluations = server.stats().engine_evaluations;
+  }
+
+  // Cold: a fresh server (spec load + sessions + empty memo) per request,
+  // the in-process stand-in for spawning a fresh CLI process each time.
+  ModeResult cold;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      Server server(spec, {});
+      cold.responses.push_back(server.handle_line(make_request(i)));
+      cold.engine_evaluations += server.stats().engine_evaluations;
+    }
+    cold.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+
+  // Determinism first: warmth must never change a single response byte.
+  bool responses_identical = warm.responses.size() == cold.responses.size();
+  for (std::size_t i = 0; responses_identical && i < kRequests; ++i) {
+    responses_identical = warm.responses[i] == cold.responses[i];
+  }
+
+  const double evaluations_ratio =
+      warm.engine_evaluations > 0
+          ? static_cast<double>(cold.engine_evaluations) /
+                static_cast<double>(warm.engine_evaluations)
+          : 0.0;
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"groups\": %zu, \"leaves\": %zu, \"requests\": %zu,\n"
+      "  \"warm\": {\"evaluations\": %llu, \"seconds\": %.4f, "
+      "\"requests_per_sec\": %.0f, \"mean_latency_ms\": %.4f},\n"
+      "  \"cold\": {\"evaluations\": %llu, \"seconds\": %.4f, "
+      "\"requests_per_sec\": %.0f, \"mean_latency_ms\": %.4f},\n"
+      "  \"evaluations_ratio\": %.2f, \"responses_identical\": %s\n"
+      "}\n",
+      kGroups, kLeaves, kRequests,
+      static_cast<unsigned long long>(warm.engine_evaluations), warm.seconds,
+      warm.seconds > 0 ? static_cast<double>(kRequests) / warm.seconds : 0.0,
+      1e3 * warm.seconds / static_cast<double>(kRequests),
+      static_cast<unsigned long long>(cold.engine_evaluations), cold.seconds,
+      cold.seconds > 0 ? static_cast<double>(kRequests) / cold.seconds : 0.0,
+      1e3 * cold.seconds / static_cast<double>(kRequests), evaluations_ratio,
+      responses_identical ? "true" : "false");
+  std::fputs(json, stdout);
+  if (std::FILE* out = std::fopen("BENCH_serve.json", "w")) {
+    std::fputs(json, out);
+    std::fclose(out);
+  }
+
+  if (!responses_identical) {
+    std::fprintf(stderr, "FAIL: warm responses differ from cold responses\n");
+    return 1;
+  }
+  if (evaluations_ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: evaluations ratio %.2f < 5.0 "
+                 "(cold %llu, warm %llu)\n",
+                 evaluations_ratio,
+                 static_cast<unsigned long long>(cold.engine_evaluations),
+                 static_cast<unsigned long long>(warm.engine_evaluations));
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,9 @@
-# Golden-stdout comparison for CLI regression tests.
+# Golden-output comparison for CLI regression tests.
 #
 #   cmake -DCLI=<sorel_cli> "-DARGS=<space-separated args>" \
-#         -DGOLDEN=<expected-stdout file> -P compare_golden.cmake
+#         -DGOLDEN=<expected-output file> \
+#         [-DINPUT_FILE=<stdin file>] [-DEXPECT_EXIT=<code>] \
+#         [-DSTREAM=stdout|stderr] -P compare_golden.cmake
 #
 # Runs the CLI, normalizes any timing fields on both sides (result lines are
 # timing-free by design, but a future field must not turn every golden test
@@ -9,18 +11,41 @@
 # The same golden file is used with --shared-memo=on and off and with
 # several --threads values: byte-identical output across the whole grid is
 # the CLI-level determinism contract of the shared memo table.
+#
+# INPUT_FILE feeds the process on stdin (the serve front end reads request
+# lines there). EXPECT_EXIT pins the exit status (default 0) — usage-error
+# goldens pin 2. STREAM selects which stream the golden file describes
+# (default stdout; usage errors are a single stderr line).
 if(NOT CLI OR NOT GOLDEN OR NOT DEFINED ARGS)
   message(FATAL_ERROR "compare_golden.cmake needs -DCLI, -DARGS and -DGOLDEN")
 endif()
+if(NOT DEFINED EXPECT_EXIT)
+  set(EXPECT_EXIT 0)
+endif()
+if(NOT DEFINED STREAM)
+  set(STREAM stdout)
+endif()
 
 separate_arguments(cli_args UNIX_COMMAND "${ARGS}")
+set(run_options "")
+if(INPUT_FILE)
+  list(APPEND run_options INPUT_FILE "${INPUT_FILE}")
+endif()
 execute_process(
   COMMAND ${CLI} ${cli_args}
-  OUTPUT_VARIABLE actual
+  ${run_options}
+  OUTPUT_VARIABLE stdout_text
   RESULT_VARIABLE exit_code
   ERROR_VARIABLE stderr_text)
-if(NOT exit_code EQUAL 0)
-  message(FATAL_ERROR "${CLI} ${ARGS} exited with ${exit_code}:\n${stderr_text}")
+if(NOT exit_code EQUAL ${EXPECT_EXIT})
+  message(FATAL_ERROR "${CLI} ${ARGS} exited with ${exit_code} "
+                      "(expected ${EXPECT_EXIT}):\n${stderr_text}")
+endif()
+
+if(STREAM STREQUAL "stderr")
+  set(actual "${stderr_text}")
+else()
+  set(actual "${stdout_text}")
 endif()
 
 file(READ "${GOLDEN}" expected)
@@ -35,7 +60,7 @@ foreach(field wall_seconds elapsed_ms seconds wall_ms)
 endforeach()
 
 if(NOT actual STREQUAL expected)
-  message(FATAL_ERROR "stdout of `${CLI} ${ARGS}` deviates from ${GOLDEN}\n"
+  message(FATAL_ERROR "${STREAM} of `${CLI} ${ARGS}` deviates from ${GOLDEN}\n"
                       "--- expected ---\n${expected}\n"
                       "--- actual ---\n${actual}")
 endif()

@@ -20,6 +20,9 @@
 //   sorel_cli inject      <spec.json> <campaign.json>
 //   sorel_cli save        <spec.json>
 //   sorel_cli dot         <spec.json> [service]
+//   sorel_cli serve       [spec.json] [--listen host:port]
+//   sorel_cli version | --version
+//   sorel_cli help | --help
 //
 // `select` ranks the candidate wirings declared in the document's
 // "selection" array; `uncertainty` propagates the attribute distributions
@@ -49,15 +52,32 @@
 // running. Jobs files take a per-job `"budget"` object, campaign files a
 // top-level and per-scenario `"budget"` (see docs/FORMAT.md).
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on model/spec errors,
-// 3 when a batch/inject run completed but some jobs or scenarios failed.
+// `serve` starts the long-lived evaluation daemon (sorel::serve): the spec
+// is loaded once, sessions and the shared memo table stay warm across
+// requests, and clients speak the line-delimited JSON protocol of
+// docs/FORMAT.md §Serve. Default transport is stdin/stdout; `--listen
+// host:port` serves TCP instead (port 0 picks an ephemeral port, announced
+// on stderr). The spec argument is optional — a specless daemon answers
+// evaluation requests with structured errors until a load_spec request
+// arrives.
+//
+// Exit status (docs/FORMAT.md §Exit status):
+//   0  success
+//   1  model/spec/evaluation errors (bad JSON, validation, engine failures)
+//   2  usage errors — unknown command or option, missing operands; always a
+//      single diagnostic line on stderr
+//   3  batch/inject completed but some jobs or scenarios failed
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "sorel/core/engine.hpp"
@@ -72,13 +92,25 @@
 #include "sorel/dsl/dot.hpp"
 #include "sorel/dsl/loader.hpp"
 #include "sorel/runtime/batch.hpp"
+#include "sorel/serve/protocol.hpp"
+#include "sorel/serve/server.hpp"
+#include "sorel/serve/tcp.hpp"
 #include "sorel/sim/simulator.hpp"
 #include "sorel/util/error.hpp"
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
+/// Usage errors (unknown command/option, missing operand): one diagnostic
+/// line on stderr, exit 2. The full help stays behind `sorel_cli help` so
+/// scripted callers get a parseable single line.
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "sorel_cli: %s (run 'sorel_cli help' for usage)\n",
+               message.c_str());
+  return 2;
+}
+
+void print_help(std::FILE* out) {
+  std::fprintf(out,
                "usage: sorel_cli [--threads N] [--deadline-ms N] [--max-evals N]"
                " [--max-states N]\n"
                "                 [--shared-memo=on|off] [--stats]\n"
@@ -98,6 +130,9 @@ int usage() {
                "  inject      <spec> <campaign.json>     fault-injection report\n"
                "  save        <spec>                     canonicalised document\n"
                "  dot         <spec> [service]           GraphViz output\n"
+               "  serve       [spec] [--listen h:p]      long-lived JSON daemon\n"
+               "  version                                print version and exit\n"
+               "  help                                   print this help\n"
                "options:\n"
                "  --threads N      workers for uncertainty/select/sensitivity/\n"
                "                   importance/simulate (0 = hardware concurrency;\n"
@@ -114,8 +149,15 @@ int usage() {
                "                   results are bit-identical either way)\n"
                "  --stats          batch/inject: append one {\"stats\": ...}\n"
                "                   JSON line with the run's execution counters\n"
-               "                   (shared-memo hits/misses/evictions included)\n");
-  return 1;
+               "                   (shared-memo hits/misses/evictions included)\n"
+               "  --listen h:p     serve: accept TCP clients on host:port\n"
+               "                   instead of stdin/stdout (port 0 = ephemeral,\n"
+               "                   announced on stderr)\n"
+               "  --allow-recursion\n"
+               "                   serve: evaluate recursive specs by fixed\n"
+               "                   point instead of rejecting them\n"
+               "exit status: 0 success, 1 model/spec errors, 2 usage errors,\n"
+               "             3 batch/inject completed with failed entries\n");
 }
 
 /// Strip `--threads N` / `--threads=N` from argv (any position) and return
@@ -265,6 +307,62 @@ bool extract_stats_flag(int& argc, char** argv) {
   }
   argc = out;
   return stats;
+}
+
+/// Strip the presence flag `--allow-recursion` (serve: evaluate recursive
+/// specs by fixed point instead of rejecting them).
+bool extract_allow_recursion_flag(int& argc, char** argv) {
+  bool allow = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--allow-recursion") == 0) {
+      allow = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return allow;
+}
+
+/// Strip `--listen host:port` / `--listen=host:port` (serve's TCP
+/// transport). Accepts a bare port too ("0" = ephemeral on 127.0.0.1).
+/// Throws sorel::InvalidArgument on a malformed port, so the error lands on
+/// the usage-error exit path like every other flag.
+std::optional<std::pair<std::string, std::uint16_t>> extract_listen_flag(
+    int& argc, char** argv) {
+  std::optional<std::pair<std::string, std::uint16_t>> listen;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--listen") == 0) {
+      if (i + 1 >= argc) {
+        throw sorel::InvalidArgument("--listen needs host:port");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--listen=", 9) == 0) {
+      value = arg + 9;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    std::string host = "127.0.0.1";
+    std::string port_text = value;
+    if (const char* colon = std::strrchr(value, ':')) {
+      host.assign(value, static_cast<std::size_t>(colon - value));
+      port_text = colon + 1;
+    }
+    char* parse_end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &parse_end, 10);
+    if (port_text.empty() || *parse_end != '\0' || port < 0 || port > 65535) {
+      throw sorel::InvalidArgument("--listen: not a port: '" + port_text + "'");
+    }
+    listen = {std::move(host), static_cast<std::uint16_t>(port)};
+  }
+  argc = out;
+  return listen;
 }
 
 /// The shared-table counter block of a --stats line. The engine-side and
@@ -427,7 +525,7 @@ int cmd_select(const sorel::core::Assembly& assembly,
   const auto points = sorel::dsl::load_selection_points(document);
   if (points.empty()) {
     std::fprintf(stderr, "error: the document declares no \"selection\" points\n");
-    return 2;
+    return 1;
   }
   sorel::core::SelectionOptions options;
   options.max_combinations = 4096;
@@ -457,7 +555,7 @@ int cmd_uncertainty(const sorel::core::Assembly& assembly,
   if (distributions.empty()) {
     std::fprintf(stderr,
                  "error: the document declares no \"uncertainty\" object\n");
-    return 2;
+    return 1;
   }
   sorel::core::UncertaintyOptions options;
   options.threads = threads;
@@ -483,7 +581,7 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
     std::fprintf(stderr,
                  "error: jobs file must be a JSON array of jobs or an object "
                  "with a \"jobs\" array\n");
-    return 2;
+    return 1;
   }
 
   // Keep-going parse: a malformed entry degrades to an error line for that
@@ -548,7 +646,7 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
       } else {
         std::fprintf(stderr, "error: jobs options: unknown key '%s'\n",
                      name.c_str());
-        return 2;
+        return 1;
       }
     }
   }
@@ -691,6 +789,44 @@ int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
   return report.failed_scenarios == 0 ? 0 : 3;
 }
 
+int cmd_serve(const char* spec_path, std::size_t threads,
+              const sorel::guard::Budget& budget, bool shared_memo,
+              bool allow_recursion,
+              const std::optional<std::pair<std::string, std::uint16_t>>& listen) {
+  sorel::serve::Server::Options options;
+  options.threads = threads;
+  options.budget = budget;
+  options.shared_memo = shared_memo;
+  options.engine.allow_recursion = allow_recursion;
+
+  std::optional<sorel::serve::Server> server;
+  if (spec_path != nullptr) {
+    server.emplace(sorel::json::parse_file(spec_path), options);
+  } else {
+    server.emplace(options);  // specless: serves errors until load_spec
+  }
+
+  if (listen) {
+    sorel::serve::TcpListener listener(*server, listen->first, listen->second);
+    listener.start();
+    // The announcement is how callers learn an ephemeral (port 0) choice.
+    std::fprintf(stderr, "serve: listening on %s:%u\n", listen->first.c_str(),
+                 listener.port());
+    std::fflush(stderr);
+    while (!server->shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    listener.stop();  // drains in-flight requests: zero dropped
+    std::fprintf(stderr, "serve: shutdown, %llu requests\n",
+                 static_cast<unsigned long long>(server->stats().requests));
+  } else {
+    const std::size_t requests =
+        sorel::serve::run_stdio(*server, std::cin, std::cout);
+    std::fprintf(stderr, "serve: %zu requests\n", requests);
+  }
+  return 0;
+}
+
 int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
   if (service == nullptr) {
     std::printf("%s", sorel::dsl::assembly_to_dot(assembly).c_str());
@@ -700,24 +836,80 @@ int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
   return 0;
 }
 
+bool known_command(const std::string& command) {
+  static constexpr const char* kCommands[] = {
+      "validate", "list",        "evaluate", "modes",  "duration",
+      "sensitivity", "importance", "simulate", "select", "uncertainty",
+      "batch",    "inject",      "save",     "dot",    "serve",
+      "version",  "help"};
+  for (const char* candidate : kCommands) {
+    if (command == candidate) return true;
+  }
+  return false;
+}
+
+int print_version() {
+  std::printf("sorel_cli %s (protocol %d)\n", sorel::serve::version_string(),
+              sorel::serve::kProtocolVersion);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // GNU-style early outs, valid anywhere on the line.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) return print_version();
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_help(stdout);
+      return 0;
+    }
+  }
+
   std::size_t threads = 0;
   sorel::guard::Budget budget;
   bool shared_memo = true;
   bool emit_stats = false;
+  bool allow_recursion = false;
+  std::optional<std::pair<std::string, std::uint16_t>> listen;
   try {
     threads = extract_threads_flag(argc, argv);
     budget = extract_budget_flags(argc, argv);
     shared_memo = extract_shared_memo_flag(argc, argv);
     emit_stats = extract_stats_flag(argc, argv);
+    allow_recursion = extract_allow_recursion_flag(argc, argv);
+    listen = extract_listen_flag(argc, argv);
   } catch (const sorel::Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return usage_error(e.what());
   }
-  if (argc < 3) return usage();
+  // Everything dash-dash the extractors left behind is an option we do not
+  // have — a single-line diagnostic, never a silent positional.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      return usage_error(std::string("unknown option '") + argv[i] + "'");
+    }
+  }
+
+  if (argc < 2) return usage_error("missing command");
   const std::string command = argv[1];
+  if (command == "help") {
+    print_help(stdout);
+    return 0;
+  }
+  if (command == "version") return print_version();
+  if (!known_command(command)) {
+    return usage_error("unknown command '" + command + "'");
+  }
+  if (command == "serve") {
+    try {
+      return cmd_serve(argc >= 3 ? argv[2] : nullptr, threads, budget,
+                       shared_memo, allow_recursion, listen);
+    } catch (const sorel::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc < 3) return usage_error(command + ": missing <spec.json> operand");
 
   try {
     const sorel::json::Value document = sorel::json::parse_file(argv[2]);
@@ -742,7 +934,15 @@ int main(int argc, char** argv) {
     if (command == "dot") {
       return cmd_dot(assembly, argc >= 4 ? argv[3] : nullptr);
     }
-    if (argc < 4) return usage();
+    if (argc < 4) {
+      if (command == "batch") {
+        return usage_error("batch: missing <jobs.json> operand");
+      }
+      if (command == "inject") {
+        return usage_error("inject: missing <campaign.json> operand");
+      }
+      return usage_error(command + ": missing <service> operand");
+    }
     if (command == "batch") {
       return cmd_batch(assembly, argv[3], threads, budget, shared_memo,
                        emit_stats);
@@ -754,7 +954,7 @@ int main(int argc, char** argv) {
     const std::string service = argv[3];
 
     if (command == "simulate") {
-      if (argc < 5) return usage();
+      if (argc < 5) return usage_error("simulate: missing <reps> operand");
       const auto reps = static_cast<std::size_t>(std::atoll(argv[4]));
       return cmd_simulate(assembly, service, reps,
                           parse_args(argv + 5, argv + argc), threads);
@@ -778,9 +978,10 @@ int main(int argc, char** argv) {
     if (command == "importance") {
       return cmd_importance(assembly, service, args, threads);
     }
-    return usage();
+    // Unreachable: known_command() vetted argv[1] before dispatch.
+    return usage_error("unknown command '" + command + "'");
   } catch (const sorel::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    return 1;
   }
 }

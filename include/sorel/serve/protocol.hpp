@@ -1,0 +1,66 @@
+// The sorel::serve wire protocol — line-delimited JSON requests and
+// responses for the long-lived evaluation server (docs/FORMAT.md, "Serve
+// protocol").
+//
+// One request per input line, one response line per request, emitted in
+// request order per client. Every request is a JSON object with an "op"
+// string; an optional "id" value is echoed verbatim into the response so
+// pipelining clients can correlate. Responses carry "ok": true plus
+// op-specific payload fields, or "ok": false plus the structured error
+// vocabulary of sorel::error_category ("parse_error", "lookup_error",
+// "budget_exceeded", "cancelled", ...) — the same taxonomy the batch /
+// inject CLI error lines use. Responses are timing-free by design (no
+// wall-clock fields), which is what lets the concurrency stress tests
+// demand byte-identical responses under any interleaving.
+//
+// Ops: eval, batch, inject, load_spec, set_attributes, stats, version,
+// shutdown. See docs/FORMAT.md for the full request/response schemas.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sorel/json/json.hpp"
+
+namespace sorel::serve {
+
+/// Protocol revision, bumped on incompatible wire changes. Clients read it
+/// from the "version" response (and `sorel_cli --version`) to negotiate.
+inline constexpr int kProtocolVersion = 1;
+
+/// Compile-time library version string ("1.0.0"-style; the CMake project
+/// version when built through the shipped build, a fallback otherwise).
+const char* version_string() noexcept;
+
+/// One parsed request envelope: the op, the echoed id (absent when the
+/// request carried none), and the raw document the op handlers read their
+/// payload fields from.
+struct Request {
+  std::string op;
+  std::optional<json::Value> id;
+  json::Value document;
+};
+
+/// Parse one request line. Throws sorel::ParseError on malformed JSON or a
+/// non-object document, sorel::InvalidArgument when "op" is missing or not
+/// a string. Does not validate the op name — unknown ops become structured
+/// error responses at dispatch, not parse failures.
+Request parse_request(const std::string& line);
+
+/// Start a response envelope: {"id": <id>, "ok": ok} (id omitted when the
+/// request carried none). Op handlers add their payload fields on top.
+json::Object make_response(const std::optional<json::Value>& id, bool ok);
+
+/// The error-response envelope for `e`: ok=false, "error" set to
+/// sorel::error_category(e), "message" to e.what(). BudgetExceeded /
+/// Cancelled additionally carry "limit" (budget only) and the logical
+/// partial-work counters "evaluations_done" / "states_expanded" — but not
+/// elapsed_ms: responses stay wall-clock-free.
+json::Object make_error_response(const std::optional<json::Value>& id,
+                                 const std::exception& e);
+
+/// Serialise a response object to its single wire line (compact dump, no
+/// trailing newline).
+std::string dump_response(json::Object response);
+
+}  // namespace sorel::serve

@@ -1,0 +1,221 @@
+// sorel::serve — a long-lived concurrent evaluation server over the whole
+// engine stack.
+//
+// The paper's predictions are meant to drive *runtime* service selection:
+// a deployed assembly is re-evaluated as bindings and attributes change
+// live, not re-loaded from disk per question. The Server is that daemon
+// core. It loads a spec once, then answers eval / batch / inject /
+// load_spec / set_attributes / stats / version / shutdown requests (the
+// line protocol of serve/protocol.hpp) from many concurrent clients while
+// keeping everything warm between requests:
+//
+//  - one memo::SharedMemo per loaded spec, hot across requests — repeated
+//    queries replay instead of re-evaluating (bench/perf_serve measures the
+//    warm-vs-cold gap);
+//  - a pool of warm core::EvalSessions checked out per request — a request
+//    is a delta round-trip (rebase attributes -> evaluate -> implicit
+//    revert at the next checkout), exactly the per-request isolation
+//    faults::CampaignRunner uses per scenario;
+//  - batch and inject requests run on the existing runtime machinery
+//    (BatchEvaluator / CampaignRunner) with the server's shared table as
+//    their warm cache.
+//
+// Determinism contract: a request's response is byte-identical to the same
+// request answered by a fresh single-client server, regardless of
+// concurrent load, session reuse, or memo warmth. The ingredients: session
+// state is fully re-based per request (no residue), shared-memo entries are
+// exact (values never depend on who computed them), per-request logical
+// budgets fire at warmth-independent points (sorel::guard), and responses
+// carry no wall-clock fields. tests/serve/test_serve_stress.cpp enforces
+// this by replaying interleaved client streams against fresh servers.
+//
+// Live updates: load_spec / set_attributes build a new immutable SpecState
+// (assembly + shared memo + session pool) and swap it in atomically;
+// in-flight requests finish against the snapshot they started with (their
+// shared_ptr keeps it alive) while new requests see the new spec. The old
+// table's epoch is bumped so stragglers stop publishing into it. Zero
+// requests are dropped across a swap.
+//
+// Failure containment: every per-request failure — malformed JSON, unknown
+// op or service, budget exhaustion, cancellation on client disconnect —
+// becomes a structured JSON error response (sorel::error_category
+// vocabulary) and the daemon keeps serving. handle_line never throws.
+//
+// Threading: handle_line is safe to call from any number of threads. The
+// front ends (run_stdio, tcp.hpp) multiplex client lines onto
+// runtime::ThreadPool::global() and emit responses in per-client request
+// order via ResponseSequencer.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/core/engine.hpp"
+#include "sorel/core/session.hpp"
+#include "sorel/guard/budget.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/memo/shared_memo.hpp"
+#include "sorel/serve/protocol.hpp"
+
+namespace sorel::serve {
+
+/// Monotonic request counters, readable while the server runs (relaxed
+/// atomics; totals are exact once the producers are quiescent).
+struct ServerStats {
+  std::uint64_t requests = 0;        // lines handled, including malformed
+  std::uint64_t errors = 0;          // ok=false responses
+  std::uint64_t evals = 0;           // eval requests served ok
+  std::uint64_t batch_jobs = 0;      // jobs across all batch requests
+  std::uint64_t inject_scenarios = 0;  // scenarios across all inject requests
+  std::uint64_t spec_loads = 0;      // load_spec + set_attributes swaps
+  /// Physical engine evaluations performed by pooled eval sessions (batch /
+  /// inject internals report through their own stats).
+  std::uint64_t engine_evaluations = 0;
+  std::uint64_t engine_memo_hits = 0;
+  std::uint64_t shared_hits = 0;
+};
+
+class Server {
+ public:
+  struct Options {
+    /// Worker chunks for batch / inject requests (0 = hardware concurrency;
+    /// results are bit-identical for every value).
+    std::size_t threads = 0;
+    /// Admission control: the default guard::Budget every request runs
+    /// under. A request-level "budget" object overlays it
+    /// (guard::Budget::overlaid_with), so one pathological query terminates
+    /// with a budget_exceeded response instead of starving the pool.
+    guard::Budget budget;
+    /// Engine configuration for every session the server creates
+    /// (allow_recursion, fixed-point caps, ...).
+    core::ReliabilityEngine::Options engine;
+    /// Keep one cross-worker memo table hot across requests (default on).
+    /// Off: every request pays its own warm-up. Results identical either way.
+    bool shared_memo = true;
+  };
+
+  /// A server with no spec loaded: every evaluation request answers with a
+  /// structured "model_error" response until a load_spec request arrives.
+  Server();
+  explicit Server(Options options);
+
+  /// Convenience: construct and load an initial spec document (the parsed
+  /// JSON assembly format). Throws what load_assembly throws.
+  Server(const json::Value& spec_document, Options options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handle one request line and return the single response line (no
+  /// trailing newline). Never throws: every failure is a structured error
+  /// response. `cancel` (optional) is polled at guard checkpoints — front
+  /// ends cancel it when the originating client disconnects, turning the
+  /// in-flight request into a "cancelled" response. Thread-safe.
+  std::string handle_line(
+      const std::string& line,
+      std::shared_ptr<const guard::CancelToken> cancel = nullptr);
+
+  /// True once a shutdown request has been accepted; front ends stop
+  /// reading new input (already-read requests still get responses).
+  bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Swap in a new spec programmatically (the load_spec op in API form).
+  /// Returns the new spec's service count. Throws what dsl::load_assembly /
+  /// Assembly::validate throw.
+  std::size_t load_spec(const json::Value& spec_document);
+
+  bool has_spec() const;
+  ServerStats stats() const;
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  struct SpecState;
+  class SessionLease;
+
+  std::shared_ptr<SpecState> current_state() const;
+  std::shared_ptr<SpecState> require_spec() const;
+  void swap_state(std::shared_ptr<SpecState> next);
+
+  json::Object dispatch(const Request& request,
+                        const std::shared_ptr<const guard::CancelToken>& cancel);
+  json::Object op_eval(const Request& request,
+                       const std::shared_ptr<const guard::CancelToken>& cancel);
+  json::Object op_batch(const Request& request,
+                        const std::shared_ptr<const guard::CancelToken>& cancel);
+  json::Object op_inject(const Request& request,
+                         const std::shared_ptr<const guard::CancelToken>& cancel);
+  json::Object op_load_spec(const Request& request);
+  json::Object op_set_attributes(const Request& request);
+  json::Object op_stats(const Request& request);
+
+  Options options_;
+
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<SpecState> state_;  // null until a spec is loaded
+
+  std::atomic<bool> shutdown_{false};
+
+  // ServerStats, field by field (atomics so stats() can race handle_line).
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> evals_{0};
+  std::atomic<std::uint64_t> batch_jobs_{0};
+  std::atomic<std::uint64_t> inject_scenarios_{0};
+  std::atomic<std::uint64_t> spec_loads_{0};
+  std::atomic<std::uint64_t> engine_evaluations_{0};
+  std::atomic<std::uint64_t> engine_memo_hits_{0};
+  std::atomic<std::uint64_t> shared_hits_{0};
+};
+
+/// Reorder buffer for one client's responses: workers complete requests in
+/// any order, the client reads them in request order. emit() may be called
+/// from any thread; the sink (write + flush to the client) runs under the
+/// sequencer's lock, in sequence order, on whichever thread completed the
+/// next-in-line response.
+class ResponseSequencer {
+ public:
+  /// `sink` receives each response line exactly once, in sequence order.
+  explicit ResponseSequencer(std::function<void(const std::string&)> sink);
+
+  /// Reserve the next sequence slot (call in request-arrival order).
+  std::uint64_t next_ticket();
+
+  /// Deliver the response for `ticket`; flushes every consecutive ready
+  /// response through the sink.
+  void emit(std::uint64_t ticket, std::string response);
+
+  /// Block until every reserved ticket has been emitted and flushed.
+  void drain();
+
+ private:
+  std::function<void(const std::string&)> sink_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t next_flush_ = 0;
+  std::map<std::uint64_t, std::string> pending_;
+};
+
+/// The stdin/stdout front end: read request lines from `in` until EOF or an
+/// accepted shutdown request, dispatch each onto runtime::ThreadPool::
+/// global(), and write one response line per request to `out` in request
+/// order. Returns the number of requests served. `cancel`, when non-null,
+/// is handed to every request (the CLI cancels it on SIGTERM-style exits).
+std::size_t run_stdio(Server& server, std::istream& in, std::ostream& out,
+                      std::shared_ptr<const guard::CancelToken> cancel = nullptr);
+
+}  // namespace sorel::serve

@@ -1,0 +1,70 @@
+// TCP front end for the serve protocol: a loopback-friendly line server.
+//
+// Each accepted connection is one client: a reader thread splits the byte
+// stream into request lines, dispatches them onto
+// runtime::ThreadPool::global() through the shared Server, and a
+// ResponseSequencer writes the responses back in that connection's request
+// order. A client that disconnects mid-flight trips its connection's
+// CancelToken: in-flight requests stop at their next guard checkpoint and
+// their (now unsendable) responses are discarded — the daemon keeps
+// serving every other client.
+//
+// Shutdown: an accepted shutdown request (from any client or stdin) stops
+// the accept loop; stop() then waits for every connection to drain its
+// in-flight requests before returning — zero requests are dropped.
+//
+// POSIX sockets only (the project targets Linux); writes use MSG_NOSIGNAL
+// so a vanished client yields an error instead of SIGPIPE.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sorel/serve/server.hpp"
+
+namespace sorel::serve {
+
+class TcpListener {
+ public:
+  /// Bind and listen on `host:port` (port 0 = ephemeral; read the chosen
+  /// port back via port()). Throws sorel::Error on any socket failure.
+  TcpListener(Server& server, const std::string& host, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (resolved when the constructor asked for port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Start the accept loop in a background thread. The loop exits when
+  /// stop() is called or the server accepts a shutdown request.
+  void start();
+
+  /// Close the listening socket, wake the accept loop, and join every
+  /// connection after its in-flight requests drained. Idempotent.
+  void stop();
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> connection);
+  void reap_finished();
+
+  Server& server_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace sorel::serve

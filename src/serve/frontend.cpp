@@ -1,0 +1,60 @@
+#include <utility>
+
+#include "sorel/runtime/thread_pool.hpp"
+#include "sorel/serve/server.hpp"
+
+namespace sorel::serve {
+
+ResponseSequencer::ResponseSequencer(
+    std::function<void(const std::string&)> sink)
+    : sink_(std::move(sink)) {}
+
+std::uint64_t ResponseSequencer::next_ticket() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_ticket_++;
+}
+
+void ResponseSequencer::emit(std::uint64_t ticket, std::string response) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.emplace(ticket, std::move(response));
+  // Flush every consecutive ready response. The sink runs under the lock:
+  // responses of one client never interleave and always leave in request
+  // order, whatever order the workers finished in.
+  while (!pending_.empty() && pending_.begin()->first == next_flush_) {
+    sink_(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    ++next_flush_;
+  }
+  ready_.notify_all();
+}
+
+void ResponseSequencer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return next_flush_ == next_ticket_; });
+}
+
+std::size_t run_stdio(Server& server, std::istream& in, std::ostream& out,
+                      std::shared_ptr<const guard::CancelToken> cancel) {
+  ResponseSequencer sequencer([&out](const std::string& line) {
+    out << line << '\n';
+    out.flush();  // clients pipeline against a live daemon; never buffer
+  });
+
+  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  std::string line;
+  std::size_t requests = 0;
+  while (!server.shutdown_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;  // blank lines are keep-alive no-ops
+    const std::uint64_t ticket = sequencer.next_ticket();
+    ++requests;
+    pool.submit([&server, &sequencer, ticket, line, cancel] {
+      sequencer.emit(ticket, server.handle_line(line, cancel));
+    });
+  }
+  // Everything read before EOF / shutdown still gets its response — the
+  // zero-dropped-requests half of the shutdown contract.
+  sequencer.drain();
+  return requests;
+}
+
+}  // namespace sorel::serve

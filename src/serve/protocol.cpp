@@ -1,0 +1,78 @@
+#include "sorel/serve/protocol.hpp"
+
+#include "sorel/util/error.hpp"
+
+// The CMake build injects the project version; the fallback keeps the
+// header usable from ad-hoc builds.
+#ifndef SOREL_VERSION_STRING
+#define SOREL_VERSION_STRING "0.0.0-unversioned"
+#endif
+
+namespace sorel::serve {
+
+const char* version_string() noexcept { return SOREL_VERSION_STRING; }
+
+Request parse_request(const std::string& line) {
+  json::Value document = json::parse(line);
+  if (!document.is_object()) {
+    throw ParseError("request must be a JSON object");
+  }
+  Request request;
+  if (document.contains("id")) {
+    request.id = document.at("id");
+  }
+  if (!document.contains("op")) {
+    throw InvalidArgument("request is missing the \"op\" field");
+  }
+  const json::Value& op = document.at("op");
+  if (!op.is_string()) {
+    throw InvalidArgument("request \"op\" must be a string");
+  }
+  request.op = op.as_string();
+  request.document = std::move(document);
+  return request;
+}
+
+json::Object make_response(const std::optional<json::Value>& id, bool ok) {
+  json::Object response;
+  if (id) response["id"] = *id;
+  response["ok"] = ok;
+  return response;
+}
+
+json::Object make_error_response(const std::optional<json::Value>& id,
+                                 const std::exception& e) {
+  json::Object response = make_response(id, false);
+  response["error"] = error_category(e);
+  response["message"] = std::string(e.what());
+  // Structured partial-work counters — but only the ones that are
+  // byte-stable under the determinism contract. No elapsed_ms (responses
+  // are wall-clock-free), and for count budgets only the counter of the
+  // limit that fired: that one is clamped to its cap and identical at any
+  // memo warmth, while the sibling counter depends on how much of the work
+  // replayed from warm state. Deadline stops are inherently wall-clock
+  // (excluded from the contract), so they keep both counters as
+  // diagnostics; so do cancellations, whose responses are never delivered
+  // to anyone who could compare them.
+  if (const auto* budget = dynamic_cast<const BudgetExceeded*>(&e)) {
+    response["limit"] = budget->limit();
+    if (budget->limit() == "max_evaluations") {
+      response["evaluations_done"] = budget->evaluations();
+    } else if (budget->limit() == "max_states") {
+      response["states_expanded"] = budget->states();
+    } else {
+      response["evaluations_done"] = budget->evaluations();
+      response["states_expanded"] = budget->states();
+    }
+  } else if (const auto* cancelled = dynamic_cast<const Cancelled*>(&e)) {
+    response["evaluations_done"] = cancelled->evaluations();
+    response["states_expanded"] = cancelled->states();
+  }
+  return response;
+}
+
+std::string dump_response(json::Object response) {
+  return json::Value(std::move(response)).dump();
+}
+
+}  // namespace sorel::serve

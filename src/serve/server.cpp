@@ -1,0 +1,564 @@
+#include "sorel/serve/server.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/faults/campaign_json.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/guard/budget_json.hpp"
+#include "sorel/runtime/batch.hpp"
+#include "sorel/runtime/thread_pool.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::serve {
+
+namespace {
+
+/// Parse the optional request-level "budget" object overlaid on the server
+/// default for this request only.
+guard::Budget effective_budget(const guard::Budget& base,
+                               const json::Value& document) {
+  if (!document.contains("budget")) return base;
+  return base.overlaid_with(
+      guard::budget_from_json(document.at("budget"), "request budget"));
+}
+
+std::vector<double> parse_args_field(const json::Value& document) {
+  std::vector<double> args;
+  if (!document.contains("args")) return args;
+  for (const json::Value& value : document.at("args").as_array()) {
+    args.push_back(value.as_number());
+  }
+  return args;
+}
+
+std::map<std::string, double> parse_number_map(const json::Value& value) {
+  std::map<std::string, double> out;
+  for (const auto& [name, entry] : value.as_object()) {
+    out[name] = entry.as_number();
+  }
+  return out;
+}
+
+/// The per-job / per-scenario guard fields of a structured error slot —
+/// deliberately without elapsed_ms (responses are wall-clock-free).
+void append_guard_fields(json::Object& line, const std::string& limit,
+                         std::uint64_t evaluations_done,
+                         std::uint64_t states_expanded) {
+  if (!limit.empty()) line["limit"] = limit;
+  line["evaluations_done"] = evaluations_done;
+  line["states_expanded"] = states_expanded;
+}
+
+}  // namespace
+
+/// One warm evaluation session plus the bookkeeping that keeps pooled reuse
+/// indistinguishable from a fresh session: a pfail-override that survived a
+/// failed request is scrubbed before the session goes back to the pool.
+struct PooledSession {
+  core::EvalSession session;
+  bool pfail_dirty = false;
+
+  PooledSession(const core::Assembly& assembly,
+                core::EvalSession::Options options)
+      : session(assembly, std::move(options)) {}
+};
+
+/// Everything derived from one loaded spec, swapped atomically as a unit by
+/// load_spec / set_attributes. In-flight requests pin their state via
+/// shared_ptr; the idle-session pool belongs to the state so sessions never
+/// outlive the assembly they reference.
+struct Server::SpecState {
+  core::Assembly assembly;
+  std::shared_ptr<memo::SharedMemo> memo;  // null when sharing is off
+  std::size_t services = 0;
+
+  std::mutex pool_mutex;
+  std::vector<std::unique_ptr<PooledSession>> idle;
+
+  explicit SpecState(core::Assembly loaded) : assembly(std::move(loaded)) {
+    services = assembly.service_names().size();
+  }
+};
+
+/// RAII checkout of a warm session from the state's pool (creating one when
+/// the pool is empty — concurrency is bounded by the front ends' worker
+/// count, so the pool converges on one session per worker). The destructor
+/// scrubs request residue, folds the session's engine-counter deltas into
+/// the server totals, and returns the session to the pool.
+class Server::SessionLease {
+ public:
+  SessionLease(Server& server, std::shared_ptr<SpecState> state)
+      : server_(server), state_(std::move(state)) {
+    {
+      std::lock_guard<std::mutex> lock(state_->pool_mutex);
+      if (!state_->idle.empty()) {
+        pooled_ = std::move(state_->idle.back());
+        state_->idle.pop_back();
+      }
+    }
+    if (pooled_ == nullptr) {
+      core::EvalSession::Options session_options;
+      session_options.engine = server_.options_.engine;
+      pooled_ = std::make_unique<PooledSession>(state_->assembly,
+                                                std::move(session_options));
+      if (state_->memo) pooled_->session.attach_shared_memo(state_->memo);
+    }
+    before_ = pooled_->session.stats();
+  }
+
+  ~SessionLease() {
+    if (pooled_->pfail_dirty) {
+      pooled_->session.set_pfail_overrides({});
+      pooled_->pfail_dirty = false;
+    }
+    // Detach the request's budget and cancel token — a pooled session must
+    // never observe a dead client's token.
+    pooled_->session.set_budget(guard::Budget{}, nullptr);
+    const core::ReliabilityEngine::Stats& after = pooled_->session.stats();
+    server_.engine_evaluations_.fetch_add(
+        after.evaluations - before_.evaluations, std::memory_order_relaxed);
+    server_.engine_memo_hits_.fetch_add(after.memo_hits - before_.memo_hits,
+                                        std::memory_order_relaxed);
+    server_.shared_hits_.fetch_add(after.shared_hits - before_.shared_hits,
+                                   std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state_->pool_mutex);
+    state_->idle.push_back(std::move(pooled_));
+  }
+
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+
+  core::EvalSession& session() noexcept { return pooled_->session; }
+  void mark_pfail_dirty() noexcept { pooled_->pfail_dirty = true; }
+
+ private:
+  Server& server_;
+  std::shared_ptr<SpecState> state_;
+  std::unique_ptr<PooledSession> pooled_;
+  core::ReliabilityEngine::Stats before_;
+};
+
+Server::Server() : Server(Options{}) {}
+
+Server::Server(Options options) : options_(std::move(options)) {}
+
+Server::Server(const json::Value& spec_document, Options options)
+    : options_(std::move(options)) {
+  load_spec(spec_document);
+}
+
+Server::~Server() = default;
+
+std::shared_ptr<Server::SpecState> Server::current_state() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return state_;
+}
+
+std::shared_ptr<Server::SpecState> Server::require_spec() const {
+  std::shared_ptr<SpecState> state = current_state();
+  if (state == nullptr) {
+    throw ModelError("no spec loaded (send a load_spec request first)");
+  }
+  return state;
+}
+
+void Server::swap_state(std::shared_ptr<SpecState> next) {
+  std::shared_ptr<SpecState> old;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    old = std::move(state_);
+    state_ = std::move(next);
+  }
+  // In-flight requests keep evaluating against their pinned snapshot; the
+  // epoch bump just stops stragglers publishing into a table no future
+  // request will read.
+  if (old != nullptr && old->memo != nullptr) old->memo->bump_epoch();
+  spec_loads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Server::load_spec(const json::Value& spec_document) {
+  auto state = std::make_shared<SpecState>(dsl::load_assembly(spec_document));
+  if (options_.shared_memo) {
+    state->memo = core::make_shared_memo(state->assembly);
+  }
+  const std::size_t services = state->services;
+  swap_state(std::move(state));
+  return services;
+}
+
+bool Server::has_spec() const { return current_state() != nullptr; }
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.evals = evals_.load(std::memory_order_relaxed);
+  out.batch_jobs = batch_jobs_.load(std::memory_order_relaxed);
+  out.inject_scenarios = inject_scenarios_.load(std::memory_order_relaxed);
+  out.spec_loads = spec_loads_.load(std::memory_order_relaxed);
+  out.engine_evaluations = engine_evaluations_.load(std::memory_order_relaxed);
+  out.engine_memo_hits = engine_memo_hits_.load(std::memory_order_relaxed);
+  out.shared_hits = shared_hits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::string Server::handle_line(
+    const std::string& line,
+    std::shared_ptr<const guard::CancelToken> cancel) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::optional<json::Value> id;
+  try {
+    Request request = parse_request(line);
+    id = request.id;
+    // Admission control: a client that already vanished gets a structured
+    // "cancelled" response without any evaluation work. (Mid-flight cancels
+    // are caught at the guard checkpoints inside the engine.)
+    if (cancel != nullptr && cancel->cancelled()) {
+      throw Cancelled("request cancelled: client disconnected", 0, 0, 0.0);
+    }
+    json::Object response = dispatch(request, cancel);
+    if (!response.at("ok").as_bool()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return dump_response(std::move(response));
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return dump_response(make_error_response(id, e));
+  }
+}
+
+json::Object Server::dispatch(
+    const Request& request,
+    const std::shared_ptr<const guard::CancelToken>& cancel) {
+  if (request.op == "eval") return op_eval(request, cancel);
+  if (request.op == "batch") return op_batch(request, cancel);
+  if (request.op == "inject") return op_inject(request, cancel);
+  if (request.op == "load_spec") return op_load_spec(request);
+  if (request.op == "set_attributes") return op_set_attributes(request);
+  if (request.op == "stats") return op_stats(request);
+  if (request.op == "version") {
+    json::Object response = make_response(request.id, true);
+    response["version"] = version_string();
+    response["protocol"] = kProtocolVersion;
+    return response;
+  }
+  if (request.op == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    json::Object response = make_response(request.id, true);
+    response["shutting_down"] = true;
+    return response;
+  }
+  throw InvalidArgument("unknown op '" + request.op + "'");
+}
+
+json::Object Server::op_eval(
+    const Request& request,
+    const std::shared_ptr<const guard::CancelToken>& cancel) {
+  std::shared_ptr<SpecState> state = require_spec();
+  const json::Value& document = request.document;
+  const std::string& service = document.at("service").as_string();
+  const std::vector<double> args = parse_args_field(document);
+
+  SessionLease lease(*this, state);
+  core::EvalSession& session = lease.session();
+  session.set_budget(effective_budget(options_.budget, document), cancel);
+  // Per-request isolation: re-base to exactly (assembly defaults + this
+  // request's overrides) — whatever the previous tenant of the session did
+  // is reverted here, which is what makes pooled reuse bit-identical to a
+  // fresh single-client server.
+  session.rebase_attributes(
+      document.contains("attributes")
+          ? parse_number_map(document.at("attributes"))
+          : std::map<std::string, double>{});
+  if (document.contains("pfail_overrides")) {
+    auto overrides = parse_number_map(document.at("pfail_overrides"));
+    if (!overrides.empty()) {
+      session.set_pfail_overrides(std::move(overrides));
+      lease.mark_pfail_dirty();
+    }
+  }
+
+  const double pfail = session.pfail(service, args);
+  json::Object response = make_response(request.id, true);
+  response["service"] = service;
+  response["pfail"] = pfail;
+  response["reliability"] = 1.0 - pfail;
+  if (document.contains("modes") && document.at("modes").as_bool()) {
+    const auto modes = session.failure_modes(service, args);
+    json::Object block;
+    block["success"] = modes.success;
+    block["detected_failure"] = modes.detected_failure;
+    block["silent_failure"] = modes.silent_failure;
+    response["modes"] = json::Value(std::move(block));
+  }
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+json::Object Server::op_batch(
+    const Request& request,
+    const std::shared_ptr<const guard::CancelToken>& cancel) {
+  std::shared_ptr<SpecState> state = require_spec();
+  const json::Value& document = request.document;
+  const json::Value& jobs_value = document.at("jobs");
+  if (!jobs_value.is_array()) {
+    throw InvalidArgument("\"jobs\" must be an array of job objects");
+  }
+
+  // Keep-going parse, exactly like the batch CLI: a malformed entry
+  // degrades to an error slot for that job only.
+  struct ParsedJob {
+    std::optional<runtime::BatchJob> job;
+    std::string error_category;
+    std::string error_message;
+  };
+  std::vector<ParsedJob> parsed(jobs_value.size());
+  std::vector<runtime::BatchJob> jobs;
+  jobs.reserve(jobs_value.size());
+  for (std::size_t i = 0; i < jobs_value.size(); ++i) {
+    const json::Value& entry = jobs_value.at(i);
+    try {
+      runtime::BatchJob job;
+      job.service = entry.at("service").as_string();
+      job.args = parse_args_field(entry);
+      if (entry.contains("attributes")) {
+        job.attribute_overrides = parse_number_map(entry.at("attributes"));
+      }
+      if (entry.contains("pfail_overrides")) {
+        job.pfail_overrides = parse_number_map(entry.at("pfail_overrides"));
+      }
+      if (entry.contains("budget")) {
+        job.budget = guard::budget_from_json(
+            entry.at("budget"), "job #" + std::to_string(i) + ": budget");
+      }
+      parsed[i].job = std::move(job);
+    } catch (const std::exception& e) {
+      parsed[i].error_category = error_category(e);
+      parsed[i].error_message = e.what();
+    }
+    if (parsed[i].job) jobs.push_back(*parsed[i].job);
+  }
+
+  runtime::BatchEvaluator::Options options;
+  options.threads = options_.threads;
+  options.engine = options_.engine;
+  options.budget = effective_budget(options_.budget, document);
+  options.cancel = cancel;
+  options.shared_memo = options_.shared_memo;
+  if (document.contains("options")) {
+    for (const auto& [name, value] : document.at("options").as_object()) {
+      if (name == "allow_recursion") {
+        options.engine.allow_recursion = value.as_bool();
+      } else if (name == "max_fixpoint_iterations") {
+        options.engine.max_fixpoint_iterations =
+            static_cast<std::size_t>(value.as_number());
+      } else if (name == "shared_memo") {
+        options.shared_memo = options.shared_memo && value.as_bool();
+      } else {
+        throw InvalidArgument("batch options: unknown key '" + name + "'");
+      }
+    }
+  }
+  // The server's hot table doubles as the batch's cross-worker cache; a
+  // request that overrides engine options gets a private table instead
+  // (entries must stay comparable to the base configuration).
+  const bool base_engine_config =
+      options.engine.allow_recursion == options_.engine.allow_recursion &&
+      options.engine.max_fixpoint_iterations ==
+          options_.engine.max_fixpoint_iterations;
+  if (options.shared_memo && base_engine_config) {
+    options.shared_cache = state->memo;
+  }
+  runtime::BatchEvaluator evaluator(state->assembly, options);
+  const std::vector<runtime::BatchItem> items = evaluator.evaluate(jobs);
+
+  json::Array results;
+  std::size_t failed = 0;
+  std::size_t next_item = 0;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    json::Object line;
+    line["job"] = i;
+    if (parsed[i].job) {
+      line["service"] = parsed[i].job->service;
+      const runtime::BatchItem& item = items[next_item++];
+      if (item.ok) {
+        line["pfail"] = item.pfail;
+        line["reliability"] = item.reliability;
+      } else {
+        ++failed;
+        line["error"] = item.error_category;
+        line["message"] = item.error_message;
+        if (item.error_category == "budget_exceeded" ||
+            item.error_category == "cancelled") {
+          append_guard_fields(line, item.budget_limit, item.evaluations_done,
+                              item.states_expanded);
+        }
+      }
+    } else {
+      ++failed;
+      line["error"] = parsed[i].error_category;
+      line["message"] = parsed[i].error_message;
+    }
+    results.emplace_back(std::move(line));
+  }
+
+  batch_jobs_.fetch_add(parsed.size(), std::memory_order_relaxed);
+  json::Object response = make_response(request.id, true);
+  response["jobs"] = parsed.size();
+  response["failed"] = failed;
+  response["results"] = json::Value(std::move(results));
+  return response;
+}
+
+json::Object Server::op_inject(
+    const Request& request,
+    const std::shared_ptr<const guard::CancelToken>& cancel) {
+  std::shared_ptr<SpecState> state = require_spec();
+  const json::Value& document = request.document;
+  const faults::Campaign campaign =
+      faults::load_campaign(document.at("campaign"));
+
+  faults::CampaignRunner::Options options;
+  options.threads = options_.threads;
+  options.engine = options_.engine;
+  options.budget = effective_budget(options_.budget, document);
+  options.cancel = cancel;
+  options.shared_memo = options_.shared_memo;
+  if (options.shared_memo) options.shared_cache = state->memo;
+  faults::CampaignRunner runner(state->assembly, options);
+  const faults::CampaignReport report = runner.run(campaign);
+
+  json::Array outcomes;
+  for (const faults::ScenarioOutcome& outcome : report.outcomes) {
+    json::Object line;
+    line["scenario"] = outcome.scenario;
+    line["name"] = outcome.name;
+    if (outcome.ok) {
+      line["pfail"] = outcome.pfail;
+      line["delta_pfail"] = outcome.delta_pfail;
+      line["blast_radius"] = outcome.blast_radius;
+      line["evaluations"] = outcome.evaluations;
+    } else {
+      line["error"] = outcome.error_category;
+      line["message"] = outcome.error_message;
+      if (outcome.error_category == "budget_exceeded" ||
+          outcome.error_category == "cancelled") {
+        append_guard_fields(line, outcome.budget_limit,
+                            outcome.evaluations_done, outcome.states_expanded);
+      }
+    }
+    outcomes.emplace_back(std::move(line));
+  }
+
+  json::Array ranking;
+  for (const faults::FaultCriticality& row : report.criticality) {
+    json::Object entry;
+    entry["fault"] = row.fault;
+    entry["label"] = row.label;
+    entry["max_delta_pfail"] = row.max_delta_pfail;
+    entry["mean_delta_pfail"] = row.mean_delta_pfail;
+    entry["scenarios"] = row.scenarios;
+    ranking.emplace_back(std::move(entry));
+  }
+
+  inject_scenarios_.fetch_add(report.outcomes.size(),
+                              std::memory_order_relaxed);
+  json::Object response = make_response(request.id, true);
+  response["baseline_pfail"] = report.baseline_pfail;
+  response["scenarios"] = report.outcomes.size();
+  response["failed"] = report.failed_scenarios;
+  response["outcomes"] = json::Value(std::move(outcomes));
+  response["criticality"] = json::Value(std::move(ranking));
+  if (report.frontier_computed) {
+    response["reliability_target"] = campaign.reliability_target;
+    response["survivable_k"] = report.survivable_k;
+  }
+  return response;
+}
+
+json::Object Server::op_load_spec(const Request& request) {
+  const json::Value& document = request.document;
+  json::Value parsed_file;
+  const json::Value* spec = nullptr;
+  if (document.contains("spec")) {
+    spec = &document.at("spec");
+  } else if (document.contains("path")) {
+    parsed_file = json::parse_file(document.at("path").as_string());
+    spec = &parsed_file;
+  } else {
+    throw InvalidArgument(
+        "load_spec needs a \"spec\" object or a \"path\" string");
+  }
+  const std::size_t services = load_spec(*spec);
+  json::Object response = make_response(request.id, true);
+  response["services"] = services;
+  return response;
+}
+
+json::Object Server::op_set_attributes(const Request& request) {
+  std::shared_ptr<SpecState> state = require_spec();
+  const json::Value& document = request.document;
+  const auto deltas = parse_number_map(document.at("attributes"));
+
+  // Copy-on-write spec update: the new assembly replaces the old one the
+  // same way load_spec does, so every future request (eval, batch, inject)
+  // sees the updated base state and the fresh shared table built over it.
+  // Updates are cumulative; re-send load_spec to revert to the spec's own
+  // values.
+  core::Assembly updated = state->assembly;
+  const expr::Env env = updated.attribute_env();
+  for (const auto& [name, value] : deltas) {
+    if (!env.contains(name)) {
+      throw LookupError("attribute '" + name +
+                        "' is not defined in the assembly");
+    }
+    updated.set_attribute(name, value);
+  }
+  auto next = std::make_shared<SpecState>(std::move(updated));
+  if (options_.shared_memo) {
+    next->memo = core::make_shared_memo(next->assembly);
+  }
+  swap_state(std::move(next));
+
+  json::Object response = make_response(request.id, true);
+  response["attributes"] = deltas.size();
+  return response;
+}
+
+json::Object Server::op_stats(const Request& request) {
+  const ServerStats totals = stats();
+  json::Object response = make_response(request.id, true);
+  response["requests"] = totals.requests;
+  response["errors"] = totals.errors;
+  response["evals"] = totals.evals;
+  response["batch_jobs"] = totals.batch_jobs;
+  response["inject_scenarios"] = totals.inject_scenarios;
+  response["spec_loads"] = totals.spec_loads;
+  response["engine_evaluations"] = totals.engine_evaluations;
+  response["engine_memo_hits"] = totals.engine_memo_hits;
+  response["shared_hits"] = totals.shared_hits;
+  std::shared_ptr<SpecState> state = current_state();
+  response["spec_loaded"] = state != nullptr;
+  if (state != nullptr) {
+    response["services"] = state->services;
+    if (state->memo != nullptr) {
+      const memo::SharedMemoStats cache = state->memo->stats();
+      json::Object block;
+      block["lookups"] = cache.lookups;
+      block["hits"] = cache.hits;
+      block["misses"] = cache.misses;
+      block["insertions"] = cache.insertions;
+      block["evictions"] = cache.evictions;
+      block["epoch"] = cache.epoch;
+      block["entries"] = cache.entries;
+      response["shared_cache"] = json::Value(std::move(block));
+    }
+  }
+  response["version"] = version_string();
+  response["protocol"] = kProtocolVersion;
+  return response;
+}
+
+}  // namespace sorel::serve

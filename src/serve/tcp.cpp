@@ -1,0 +1,220 @@
+#include "sorel/serve/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "sorel/runtime/thread_pool.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Blocking full write with MSG_NOSIGNAL (a vanished client must yield an
+/// error return, not SIGPIPE). Returns false on any failure.
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(sent);
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One client connection: its socket, its reader thread, its response
+/// sequencer, and the cancel token tripped when the client disconnects.
+struct TcpListener::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::shared_ptr<guard::CancelToken> cancel =
+      std::make_shared<guard::CancelToken>();
+  std::unique_ptr<ResponseSequencer> sequencer;
+  std::atomic<bool> writable{true};
+  std::atomic<bool> done{false};
+};
+
+TcpListener::TcpListener(Server& server, const std::string& host,
+                         std::uint16_t port)
+    : server_(server) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("serve: socket");
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvalidArgument("serve: not an IPv4 address: '" + host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("serve: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("serve: listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_size) != 0) {
+    throw_errno("serve: getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() { stop(); }
+
+void TcpListener::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpListener::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !server_.shutdown_requested()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop(), or a fatal accept error
+    }
+    if (stopping_.load(std::memory_order_acquire) ||
+        server_.shutdown_requested()) {
+      ::close(fd);
+      break;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    // Raw pointer on purpose: the sequencer is owned by the connection, so
+    // a shared_ptr here would be a reference cycle that leaks both.
+    Connection* raw = connection.get();
+    connection->sequencer = std::make_unique<ResponseSequencer>(
+        [raw](const std::string& line) {
+          if (!raw->writable.load(std::memory_order_relaxed)) return;
+          std::string wire = line;
+          wire += '\n';
+          if (!send_all(raw->fd, wire.data(), wire.size())) {
+            // Client gone: discard this and every later response, and stop
+            // the in-flight requests at their next guard checkpoint.
+            raw->writable.store(false, std::memory_order_relaxed);
+            raw->cancel->cancel();
+          }
+        });
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(connection);
+    }
+    connection->reader =
+        std::thread([this, connection] { serve_connection(connection); });
+    reap_finished();
+  }
+}
+
+void TcpListener::serve_connection(std::shared_ptr<Connection> connection) {
+  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !server_.shutdown_requested()) {
+    const ssize_t received = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received <= 0) {
+      open = false;  // disconnect (or stop() shut the socket down)
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(received));
+    std::size_t start = 0;
+    for (std::size_t newline = buffer.find('\n', start);
+         newline != std::string::npos; newline = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::uint64_t ticket = connection->sequencer->next_ticket();
+      Server* server = &server_;
+      pool.submit([server, connection, ticket, line] {
+        connection->sequencer->emit(
+            ticket, server->handle_line(line, connection->cancel));
+      });
+    }
+    buffer.erase(0, start);
+  }
+  // Disconnect: cancel whatever is still in flight for this client, then
+  // wait for those requests to finish (their responses are discarded by the
+  // unwritable sink) so the connection can be reaped safely. The fd is only
+  // shut down here, never closed — close() happens after join (reap/stop),
+  // so stop() can never race a reader on a recycled descriptor.
+  connection->cancel->cancel();
+  connection->sequencer->drain();
+  ::shutdown(connection->fd, SHUT_RDWR);
+  connection->done.store(true, std::memory_order_release);
+}
+
+void TcpListener::reap_finished() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TcpListener::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // Second stop(): the first one already tore everything down, but the
+    // accept thread may still need joining (e.g. destructor after stop()).
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (const std::shared_ptr<Connection>& connection : connections) {
+    // Unblock the reader's recv; it drains its in-flight requests (zero
+    // dropped) and marks itself done.
+    ::shutdown(connection->fd, SHUT_RD);
+    if (connection->reader.joinable()) connection->reader.join();
+    ::close(connection->fd);
+  }
+}
+
+}  // namespace sorel::serve

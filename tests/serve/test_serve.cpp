@@ -1,0 +1,385 @@
+// Unit tests for sorel::serve — the request protocol, every op, the
+// structured-error paths, and the live spec-swap semantics. The concurrency
+// half of the contract (byte-identical responses under load) lives in
+// test_serve_stress.cpp; here each request runs on the calling thread.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/guard/budget.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/serve/protocol.hpp"
+#include "sorel/serve/server.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+using sorel::serve::Server;
+
+sorel::json::Value partitioned_spec() {
+  return sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(4, 4));
+}
+
+sorel::json::Value chain_spec() {
+  return sorel::dsl::save_assembly(sorel::scenarios::make_chain_assembly(6));
+}
+
+/// handle_line + parse back, asserting it is a JSON object.
+sorel::json::Value respond(Server& server, const std::string& line) {
+  const std::string response = server.handle_line(line);
+  sorel::json::Value parsed = sorel::json::parse(response);
+  EXPECT_TRUE(parsed.is_object()) << response;
+  return parsed;
+}
+
+TEST(ServeProtocol, ParsesOpAndEchoesId) {
+  const auto request =
+      sorel::serve::parse_request("{\"id\":7,\"op\":\"version\"}");
+  EXPECT_EQ(request.op, "version");
+  ASSERT_TRUE(request.id.has_value());
+  EXPECT_EQ(request.id->as_number(), 7.0);
+}
+
+TEST(ServeProtocol, RejectsNonObjectAndMissingOp) {
+  EXPECT_THROW(sorel::serve::parse_request("[1,2]"), sorel::ParseError);
+  EXPECT_THROW(sorel::serve::parse_request("not json"), sorel::ParseError);
+  EXPECT_THROW(sorel::serve::parse_request("{\"id\":1}"),
+               sorel::InvalidArgument);
+  EXPECT_THROW(sorel::serve::parse_request("{\"op\":7}"),
+               sorel::InvalidArgument);
+}
+
+TEST(ServeServer, MalformedLineYieldsStructuredErrorNotThrow) {
+  Server server(partitioned_spec(), {});
+  const auto response = respond(server, "this is not json");
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("error").as_string(), "parse_error");
+
+  const auto unknown = respond(server, "{\"id\":\"x\",\"op\":\"frobnicate\"}");
+  EXPECT_FALSE(unknown.at("ok").as_bool());
+  EXPECT_EQ(unknown.at("error").as_string(), "invalid_argument");
+  EXPECT_EQ(unknown.at("id").as_string(), "x");  // id echoes even on errors
+
+  // The daemon keeps serving after both.
+  EXPECT_TRUE(respond(server, "{\"op\":\"version\"}").at("ok").as_bool());
+}
+
+TEST(ServeServer, VersionReportsCompileTimeVersionAndProtocol) {
+  Server server;
+  const auto response = respond(server, "{\"op\":\"version\"}");
+  EXPECT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("version").as_string(),
+            sorel::serve::version_string());
+  EXPECT_EQ(response.at("protocol").as_number(),
+            sorel::serve::kProtocolVersion);
+}
+
+TEST(ServeServer, EvalMatchesDirectEngine) {
+  const auto spec = partitioned_spec();
+  Server server(spec, {});
+  const auto response =
+      respond(server, "{\"op\":\"eval\",\"service\":\"app\"}");
+  ASSERT_TRUE(response.at("ok").as_bool());
+
+  const auto assembly = sorel::dsl::load_assembly(spec);
+  sorel::core::ReliabilityEngine engine(assembly);
+  EXPECT_EQ(response.at("pfail").as_number(), engine.pfail("app", {}));
+  EXPECT_EQ(response.at("reliability").as_number(),
+            1.0 - engine.pfail("app", {}));
+}
+
+TEST(ServeServer, SessionReuseLeavesNoResidue) {
+  Server server(partitioned_spec(), {});
+  const std::string plain = "{\"op\":\"eval\",\"service\":\"app\"}";
+  const std::string baseline = server.handle_line(plain);
+
+  // A request with attribute and pfail overrides, then the plain request
+  // again on the same (pooled, reused) session: byte-identical to before.
+  server.handle_line(
+      "{\"op\":\"eval\",\"service\":\"app\","
+      "\"attributes\":{\"g0_s0.p\":0.25},"
+      "\"pfail_overrides\":{\"g0\":0.5}}");
+  EXPECT_EQ(server.handle_line(plain), baseline);
+}
+
+TEST(ServeServer, AttributeDeltaChangesResultAndUnknownNameFails) {
+  Server server(partitioned_spec(), {});
+  const auto base = respond(server, "{\"op\":\"eval\",\"service\":\"app\"}");
+  const auto delta = respond(
+      server,
+      "{\"op\":\"eval\",\"service\":\"app\",\"attributes\":{\"g0_s0.p\":0.25}}");
+  ASSERT_TRUE(delta.at("ok").as_bool());
+  EXPECT_GT(delta.at("pfail").as_number(), base.at("pfail").as_number());
+
+  const auto bad = respond(
+      server,
+      "{\"op\":\"eval\",\"service\":\"app\",\"attributes\":{\"nope\":1.0}}");
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").as_string(), "lookup_error");
+}
+
+TEST(ServeServer, UnknownServiceIsLookupErrorAndServerSurvives) {
+  Server server(partitioned_spec(), {});
+  const auto response =
+      respond(server, "{\"op\":\"eval\",\"service\":\"ghost\"}");
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("error").as_string(), "lookup_error");
+  EXPECT_TRUE(respond(server, "{\"op\":\"eval\",\"service\":\"app\"}")
+                  .at("ok")
+                  .as_bool());
+}
+
+TEST(ServeServer, SpeclessServerErrorsUntilLoadSpec) {
+  Server server;
+  EXPECT_FALSE(server.has_spec());
+  const auto before = respond(server, "{\"op\":\"eval\",\"service\":\"app\"}");
+  EXPECT_FALSE(before.at("ok").as_bool());
+  EXPECT_EQ(before.at("error").as_string(), "model_error");
+
+  sorel::json::Object load;
+  load["op"] = std::string("load_spec");
+  load["spec"] = partitioned_spec();
+  const auto loaded =
+      respond(server, sorel::json::Value(std::move(load)).dump());
+  ASSERT_TRUE(loaded.at("ok").as_bool());
+  EXPECT_EQ(loaded.at("services").as_number(), 21.0);  // 1 + 4*(1+4)
+  EXPECT_TRUE(server.has_spec());
+  EXPECT_TRUE(respond(server, "{\"op\":\"eval\",\"service\":\"app\"}")
+                  .at("ok")
+                  .as_bool());
+}
+
+TEST(ServeServer, LoadSpecSwapsTheWholeSpec) {
+  Server server(partitioned_spec(), {});
+  sorel::json::Object load;
+  load["op"] = std::string("load_spec");
+  load["spec"] = chain_spec();
+  ASSERT_TRUE(respond(server, sorel::json::Value(std::move(load)).dump())
+                  .at("ok")
+                  .as_bool());
+
+  // New root evaluates; the old spec's root is gone.
+  EXPECT_TRUE(
+      respond(server,
+              "{\"op\":\"eval\",\"service\":\"pipeline\",\"args\":[100]}")
+          .at("ok")
+          .as_bool());
+  const auto old_root = respond(server, "{\"op\":\"eval\",\"service\":\"app\"}");
+  EXPECT_FALSE(old_root.at("ok").as_bool());
+  EXPECT_EQ(old_root.at("error").as_string(), "lookup_error");
+}
+
+TEST(ServeServer, SetAttributesMatchesPerRequestOverride) {
+  Server server(partitioned_spec(), {});
+  const auto overridden = respond(
+      server,
+      "{\"op\":\"eval\",\"service\":\"app\",\"attributes\":{\"g0_s0.p\":0.25}}");
+  ASSERT_TRUE(overridden.at("ok").as_bool());
+
+  ASSERT_TRUE(
+      respond(server,
+              "{\"op\":\"set_attributes\",\"attributes\":{\"g0_s0.p\":0.25}}")
+          .at("ok")
+          .as_bool());
+  const auto after = respond(server, "{\"op\":\"eval\",\"service\":\"app\"}");
+  ASSERT_TRUE(after.at("ok").as_bool());
+  // The base-state mutation and the per-request delta are the same model.
+  EXPECT_EQ(after.at("pfail").as_number(), overridden.at("pfail").as_number());
+
+  // Unknown attribute: structured error, state unchanged.
+  const auto bad = respond(
+      server, "{\"op\":\"set_attributes\",\"attributes\":{\"ghost.p\":0.5}}");
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").as_string(), "lookup_error");
+  EXPECT_EQ(respond(server, "{\"op\":\"eval\",\"service\":\"app\"}")
+                .at("pfail")
+                .as_number(),
+            after.at("pfail").as_number());
+}
+
+TEST(ServeServer, RequestBudgetOverlaysServerDefault) {
+  Server::Options options;
+  options.budget.max_evaluations = 1000;  // generous server-wide default
+  Server server(partitioned_spec(), options);
+  ASSERT_TRUE(respond(server, "{\"op\":\"eval\",\"service\":\"app\"}")
+                  .at("ok")
+                  .as_bool());
+
+  const auto exhausted = respond(
+      server,
+      "{\"op\":\"eval\",\"service\":\"app\",\"budget\":{\"max_evals\":2}}");
+  EXPECT_FALSE(exhausted.at("ok").as_bool());
+  EXPECT_EQ(exhausted.at("error").as_string(), "budget_exceeded");
+  EXPECT_EQ(exhausted.at("limit").as_string(), "max_evaluations");
+  EXPECT_EQ(exhausted.at("evaluations_done").as_number(), 2.0);
+  // Wall-clock-free and warmth-free: no timing, and no sibling counter
+  // (states expanded before an evaluation limit trips depend on memo
+  // warmth; only the clamped limit counter is byte-stable).
+  EXPECT_FALSE(exhausted.contains("elapsed_ms"));
+  EXPECT_FALSE(exhausted.contains("states_expanded"));
+
+  // The exhausted request leaves the pool healthy.
+  EXPECT_TRUE(respond(server, "{\"op\":\"eval\",\"service\":\"app\"}")
+                  .at("ok")
+                  .as_bool());
+}
+
+TEST(ServeServer, CancelledRequestYieldsStructuredError) {
+  Server server(partitioned_spec(), {});
+  auto cancel = std::make_shared<sorel::guard::CancelToken>();
+  cancel->cancel();  // client vanished before the request ran
+  const auto response = sorel::json::parse(
+      server.handle_line("{\"op\":\"eval\",\"service\":\"app\"}", cancel));
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("error").as_string(), "cancelled");
+  EXPECT_TRUE(respond(server, "{\"op\":\"eval\",\"service\":\"app\"}")
+                  .at("ok")
+                  .as_bool());
+}
+
+TEST(ServeServer, BatchKeepsGoingPastPoisonedJobs) {
+  Server server(partitioned_spec(), {});
+  const auto response = respond(
+      server,
+      "{\"op\":\"batch\",\"jobs\":["
+      "{\"service\":\"app\"},"
+      "{\"service\":\"app\",\"pfail_overrides\":{\"g0\":0.5}},"
+      "{\"bogus\":true},"
+      "{\"service\":\"ghost\"}]}");
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("jobs").as_number(), 4.0);
+  EXPECT_EQ(response.at("failed").as_number(), 2.0);
+  const auto& results = response.at("results").as_array();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].contains("pfail"));
+  EXPECT_GT(results[1].at("pfail").as_number(),
+            results[0].at("pfail").as_number());
+  EXPECT_EQ(results[2].at("error").as_string(), "lookup_error");
+  EXPECT_EQ(results[3].at("error").as_string(), "lookup_error");
+}
+
+TEST(ServeServer, InjectRunsInlineCampaign) {
+  const auto spec = partitioned_spec();
+  Server server(spec, {});
+  const auto response = respond(
+      server,
+      "{\"op\":\"inject\",\"campaign\":{\"service\":\"app\","
+      "\"mode\":\"single\",\"faults\":["
+      "{\"name\":\"leaf_degraded\",\"kind\":\"attribute\","
+      "\"attribute\":\"g0_s0.p\",\"op\":\"set\",\"value\":0.25}]}}");
+  ASSERT_TRUE(response.at("ok").as_bool());
+
+  const auto assembly = sorel::dsl::load_assembly(spec);
+  sorel::core::ReliabilityEngine engine(assembly);
+  EXPECT_EQ(response.at("baseline_pfail").as_number(), engine.pfail("app", {}));
+  EXPECT_EQ(response.at("scenarios").as_number(), 1.0);
+  EXPECT_EQ(response.at("failed").as_number(), 0.0);
+  const auto& outcomes = response.at("outcomes").as_array();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_GT(outcomes[0].at("delta_pfail").as_number(), 0.0);
+}
+
+TEST(ServeServer, StatsCountsRequestsAndErrors) {
+  Server server(partitioned_spec(), {});
+  respond(server, "{\"op\":\"eval\",\"service\":\"app\"}");
+  respond(server, "{\"op\":\"eval\",\"service\":\"ghost\"}");
+  const auto response = respond(server, "{\"op\":\"stats\"}");
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("requests").as_number(), 3.0);
+  EXPECT_EQ(response.at("errors").as_number(), 1.0);
+  EXPECT_EQ(response.at("evals").as_number(), 1.0);
+  EXPECT_TRUE(response.at("spec_loaded").as_bool());
+  EXPECT_EQ(response.at("version").as_string(),
+            sorel::serve::version_string());
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 3u);  // the stats request itself counted
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_GT(stats.engine_evaluations, 0u);
+}
+
+TEST(ServeServer, WarmSecondRequestHitsSharedMemo) {
+  Server server(partitioned_spec(), {});
+  const std::string line = "{\"op\":\"eval\",\"service\":\"app\"}";
+  const std::string first = server.handle_line(line);
+  const auto after_first = server.stats();
+  const std::string second = server.handle_line(line);
+  EXPECT_EQ(second, first);  // warm replay, identical bytes
+  // The repeat answers from warm state — the pooled session's own memo (or
+  // the shared table on a different session) — with zero new physical
+  // evaluations.
+  const auto after_second = server.stats();
+  EXPECT_EQ(after_second.engine_evaluations, after_first.engine_evaluations);
+  EXPECT_GT(after_second.engine_memo_hits, after_first.engine_memo_hits);
+}
+
+TEST(ServeServer, SharedMemoOffIsByteIdentical) {
+  Server::Options cold;
+  cold.shared_memo = false;
+  Server warm_server(partitioned_spec(), {});
+  Server cold_server(partitioned_spec(), cold);
+  const std::string line =
+      "{\"op\":\"eval\",\"service\":\"app\",\"attributes\":{\"g1_s2.p\":0.01}}";
+  EXPECT_EQ(warm_server.handle_line(line), cold_server.handle_line(line));
+}
+
+TEST(ServeServer, ShutdownFlagsAndStillAnswers) {
+  Server server(partitioned_spec(), {});
+  EXPECT_FALSE(server.shutdown_requested());
+  const auto response = respond(server, "{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(response.at("ok").as_bool());
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(ServeStdio, RespondsInRequestOrderAndFlagsShutdown) {
+  Server server(partitioned_spec(), {});
+  // Requests are handled asynchronously, so the reader may legitimately
+  // read a line or two past a shutdown request before the worker flips the
+  // flag; every line read still gets its response (zero dropped). With
+  // nothing after the shutdown request the count is exact.
+  std::istringstream in(
+      "{\"id\":0,\"op\":\"eval\",\"service\":\"app\"}\n"
+      "\n"  // blank keep-alive line, ignored
+      "{\"id\":1,\"op\":\"version\"}\n"
+      "{\"id\":2,\"op\":\"shutdown\"}\n");
+  std::ostringstream out;
+  const std::size_t served = sorel::serve::run_stdio(server, in, out);
+  EXPECT_EQ(served, 3u);
+  EXPECT_TRUE(server.shutdown_requested());
+
+  std::vector<std::string> lines;
+  std::istringstream reread(out.str());
+  for (std::string line; std::getline(reread, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(sorel::json::parse(lines[i]).at("id").as_number(),
+              static_cast<double>(i));
+  }
+}
+
+TEST(ServeSequencer, FlushesOutOfOrderEmitsInTicketOrder) {
+  std::vector<std::string> delivered;
+  sorel::serve::ResponseSequencer sequencer(
+      [&delivered](const std::string& line) { delivered.push_back(line); });
+  const auto t0 = sequencer.next_ticket();
+  const auto t1 = sequencer.next_ticket();
+  const auto t2 = sequencer.next_ticket();
+  sequencer.emit(t2, "two");
+  EXPECT_TRUE(delivered.empty());  // gap at t0 holds everything back
+  sequencer.emit(t0, "zero");
+  sequencer.emit(t1, "one");
+  sequencer.drain();
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], "zero");
+  EXPECT_EQ(delivered[1], "one");
+  EXPECT_EQ(delivered[2], "two");
+}
+
+}  // namespace

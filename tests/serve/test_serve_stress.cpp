@@ -1,0 +1,223 @@
+// The serve determinism contract under concurrency: every response a loaded
+// server produces while juggling N interleaved clients must be byte-identical
+// to the same request replayed alone against a fresh server. Client threads
+// call Server::handle_line directly (no sockets), which is also what makes
+// the suite meaningful under TSan — the CI tsan job runs `ctest -L serve`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/serve/server.hpp"
+
+namespace {
+
+using sorel::serve::Server;
+
+sorel::json::Value spec_a() {
+  return sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(4, 4));
+}
+
+sorel::json::Value spec_b() {
+  // Same topology, different leaf unreliability: swap-compatible requests,
+  // distinguishable responses.
+  return sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(4, 4, 5e-4));
+}
+
+/// The mixed read-only request mix: eval (plain / attribute delta / pfail
+/// override / budget-exhausted), batch with deltas, and an inject campaign.
+/// Deterministic per index, cycling through attribute names and values so
+/// concurrent clients collide on some cache keys and not others.
+std::string make_request(std::size_t index) {
+  const std::size_t group = index % 4;
+  const std::size_t leaf = (index / 4) % 4;
+  const std::string attr = "g" + std::to_string(group) + "_s" +
+                           std::to_string(leaf) + ".p";
+  const std::string value = "0.0" + std::to_string(1 + index % 9);
+  switch (index % 6) {
+    case 0:
+      return "{\"op\":\"eval\",\"service\":\"app\"}";
+    case 1:
+      return "{\"op\":\"eval\",\"service\":\"app\",\"attributes\":{\"" + attr +
+             "\":" + value + "}}";
+    case 2:
+      return "{\"op\":\"eval\",\"service\":\"app\",\"pfail_overrides\":{"
+             "\"g" +
+             std::to_string(group) + "\":" + value + "}}";
+    case 3:
+      // Deliberately starved: the budget_exceeded response must be
+      // byte-stable too (logical budgets fire at warmth-independent points).
+      return "{\"op\":\"eval\",\"service\":\"app\",\"budget\":{\"max_evals\":"
+             "2}}";
+    case 4:
+      return "{\"op\":\"batch\",\"jobs\":["
+             "{\"service\":\"app\"},"
+             "{\"service\":\"app\",\"attributes\":{\"" +
+             attr + "\":" + value +
+             "}},"
+             "{\"service\":\"g" +
+             std::to_string(group) + "\"}]}";
+    default:
+      return "{\"op\":\"inject\",\"campaign\":{\"service\":\"app\","
+             "\"mode\":\"single\",\"faults\":["
+             "{\"name\":\"f\",\"kind\":\"attribute\",\"attribute\":\"" +
+             attr +
+             "\",\"op\":\"set\",\"value\":0.2},"
+             "{\"name\":\"g\",\"kind\":\"pfail\",\"service\":\"g" +
+             std::to_string(group) + "\",\"pfail\":0.5}]}}";
+  }
+}
+
+/// N client threads × kRequestsPerClient requests against one server, each
+/// client offset into the request space so the interleavings mix ops.
+std::vector<std::vector<std::string>> hammer(Server& server,
+                                             std::size_t clients,
+                                             std::size_t requests_per_client) {
+  std::vector<std::vector<std::string>> responses(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&server, &responses, c, requests_per_client] {
+      responses[c].reserve(requests_per_client);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        responses[c].push_back(
+            server.handle_line(make_request(c * 7 + i)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return responses;
+}
+
+class ServeStress : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ServeStress, ConcurrentResponsesAreByteIdenticalToFreshServerReplay) {
+  const std::size_t clients = GetParam();
+  constexpr std::size_t kRequestsPerClient = 18;
+
+  Server::Options options;
+  options.threads = clients;  // batch/inject chunking under the same load
+  Server loaded(spec_a(), options);
+  const auto responses = hammer(loaded, clients, kRequestsPerClient);
+
+  // Replay every (request, response) pair alone on a fresh single-client
+  // server: same bytes, no matter what the loaded server had in flight or
+  // how warm its memo table was when it answered.
+  Server::Options solo_options;
+  solo_options.threads = 1;
+  for (std::size_t c = 0; c < clients; ++c) {
+    ASSERT_EQ(responses[c].size(), kRequestsPerClient);
+    for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+      Server fresh(spec_a(), solo_options);
+      EXPECT_EQ(fresh.handle_line(make_request(c * 7 + i)), responses[c][i])
+          << "client " << c << " request " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clients, ServeStress,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{8}));
+
+TEST(ServeStressSwap, EpochBumpSwapsSpecsWithZeroDroppedRequests) {
+  // Two baselines, one per spec, computed on fresh servers.
+  const std::string request = "{\"op\":\"eval\",\"service\":\"app\"}";
+  Server baseline_a(spec_a(), {});
+  Server baseline_b(spec_b(), {});
+  const std::string expect_a = baseline_a.handle_line(request);
+  const std::string expect_b = baseline_b.handle_line(request);
+  ASSERT_NE(expect_a, expect_b);
+
+  Server server(spec_a(), {});
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kRequestsPerClient = 40;
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &responses, &go, c] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        responses[c].push_back(server.handle_line(
+            "{\"op\":\"eval\",\"service\":\"app\"}"));
+      }
+    });
+  }
+  // The swapper: flip between the two specs while the clients hammer away.
+  std::thread swapper([&server, &go] {
+    const auto a = spec_a();
+    const auto b = spec_b();
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int flip = 0; flip < 12; ++flip) {
+      server.load_spec(flip % 2 == 0 ? b : a);
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+  swapper.join();
+
+  // Zero dropped: every request answered, and every answer is exactly the
+  // fresh-server response for whichever spec the request landed on.
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[c].size(), kRequestsPerClient);
+    for (const std::string& response : responses[c]) {
+      EXPECT_TRUE(response == expect_a || response == expect_b) << response;
+    }
+  }
+  EXPECT_EQ(server.stats().requests, kClients * kRequestsPerClient);
+  EXPECT_EQ(server.stats().errors, 0u);
+}
+
+TEST(ServeStressSwap, SetAttributesUnderLoadYieldsOnlyTheTwoBaselines) {
+  const std::string request = "{\"op\":\"eval\",\"service\":\"app\"}";
+  Server baseline(spec_a(), {});
+  const std::string expect_base = baseline.handle_line(request);
+  ASSERT_TRUE(
+      sorel::json::parse(baseline.handle_line(
+                             "{\"op\":\"set_attributes\",\"attributes\":{"
+                             "\"g0_s0.p\":0.125}}"))
+          .at("ok")
+          .as_bool());
+  const std::string expect_mutated = baseline.handle_line(request);
+  ASSERT_NE(expect_base, expect_mutated);
+
+  Server server(spec_a(), {});
+  constexpr std::size_t kClients = 4;
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &responses, c] {
+      for (std::size_t i = 0; i < 30; ++i) {
+        responses[c].push_back(server.handle_line(
+            "{\"op\":\"eval\",\"service\":\"app\"}"));
+      }
+    });
+  }
+  std::thread mutator([&server] {
+    server.handle_line(
+        "{\"op\":\"set_attributes\",\"attributes\":{\"g0_s0.p\":0.125}}");
+  });
+  for (std::thread& thread : threads) thread.join();
+  mutator.join();
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (const std::string& response : responses[c]) {
+      EXPECT_TRUE(response == expect_base || response == expect_mutated)
+          << response;
+    }
+  }
+  // After the mutation settles, everyone sees the new base state.
+  EXPECT_EQ(server.handle_line(request), expect_mutated);
+}
+
+}  // namespace
