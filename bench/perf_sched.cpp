@@ -1,0 +1,157 @@
+// Work-stealing scheduler experiment: the skewed 16x16 selection-style
+// workload — 256 candidate evaluations whose cost grows quadratically with
+// the candidate index, exactly the shape that starves static chunking (the
+// last chunk owns the expensive tail while the other workers idle).
+//
+// Both modes run through runtime::for_each, the production fork/join entry
+// point of every analysis: work_stealing off takes the static parallel_for
+// path, on takes sched::Scheduler::for_each_dynamic. Per-slot busy time is
+// CLOCK_THREAD_CPUTIME_ID accumulated around each block; the load-balance
+// metric is max/mean busy time over the slots that did work.
+//
+// Output is machine-readable JSON (stdout and BENCH_sched.json), and the
+// binary self-checks the acceptance criteria: per-candidate results
+// bit-identical across threads {1, 2, 8} x stealing {on, off}, and at
+// 8 threads the static imbalance at least 1.5x the stealing imbalance.
+#include <ctime>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/runtime/exec_policy.hpp"
+#include "sorel/runtime/for_each.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+
+namespace {
+
+constexpr std::size_t kGroups = 16;
+constexpr std::size_t kVariants = 16;
+constexpr std::size_t kCandidates = kGroups * kVariants;
+
+/// Candidate i is a chain assembly whose depth — and therefore evaluation
+/// cost — grows with i: the contiguous expensive tail is the worst case for
+/// contiguous static chunks.
+std::size_t candidate_depth(std::size_t i) {
+  return 2 + (i * i) / (kCandidates * 4);  // 2 .. ~18 stages
+}
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct RunResult {
+  std::size_t threads = 0;
+  bool stealing = false;
+  std::vector<double> pfail;   // per candidate, the ordered reduction
+  std::vector<double> busy;    // per slot, CPU seconds
+  double imbalance = 0.0;      // max/mean busy over participating slots
+};
+
+RunResult run_grid(std::size_t threads, bool stealing) {
+  sorel::runtime::ExecPolicy policy;
+  policy.with_threads(threads).with_work_stealing(stealing);
+
+  RunResult run;
+  run.threads = threads;
+  run.stealing = stealing;
+  run.pfail.assign(kCandidates, 0.0);
+  run.busy.assign(sorel::runtime::for_each_slots(kCandidates, policy), 0.0);
+
+  sorel::runtime::for_each(
+      kCandidates, policy, /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        const double start = thread_cpu_seconds();
+        for (std::size_t i = begin; i < end; ++i) {
+          // All per-candidate state derives from the global index i — the
+          // repo-wide determinism contract.
+          const sorel::core::Assembly assembly =
+              sorel::scenarios::make_chain_assembly(candidate_depth(i), 1e-6);
+          sorel::core::ReliabilityEngine engine(assembly);
+          run.pfail[i] =
+              engine.pfail("pipeline", {static_cast<double>(i % 7 + 1)});
+        }
+        run.busy[slot] += thread_cpu_seconds() - start;
+      });
+
+  double max_busy = 0.0;
+  double total_busy = 0.0;
+  std::size_t active = 0;
+  for (const double busy : run.busy) {
+    if (busy <= 0.0) continue;
+    ++active;
+    total_busy += busy;
+    if (busy > max_busy) max_busy = busy;
+  }
+  run.imbalance = active > 0 ? max_busy / (total_busy / active) : 0.0;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  // Pin the worker count before the process-global scheduler spins up, so
+  // the 8-thread rows mean eight workers on any machine.
+  setenv("SOREL_THREADS", "8", /*overwrite=*/0);
+
+  std::vector<RunResult> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const bool stealing : {false, true}) {
+      runs.push_back(run_grid(threads, stealing));
+    }
+  }
+
+  // Bit-identical candidate results across the whole grid.
+  bool rows_identical = true;
+  for (const RunResult& run : runs) {
+    for (std::size_t i = 0; i < kCandidates; ++i) {
+      rows_identical = rows_identical && run.pfail[i] == runs[0].pfail[i];
+    }
+  }
+
+  // Load balance at 8 threads: static (second to last) vs stealing (last).
+  const RunResult& static8 = runs[runs.size() - 2];
+  const RunResult& stealing8 = runs.back();
+  const double balance_ratio =
+      stealing8.imbalance > 0.0 ? static8.imbalance / stealing8.imbalance : 0.0;
+
+  std::string json = "[\n";
+  char line[256];
+  for (const RunResult& run : runs) {
+    std::snprintf(line, sizeof(line),
+                  "  {\"mode\": \"%s\", \"threads\": %zu, \"slots\": %zu, "
+                  "\"imbalance\": %.3f},\n",
+                  run.stealing ? "work_stealing" : "static_chunks", run.threads,
+                  run.busy.size(), run.imbalance);
+    json += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  {\"candidates\": %zu, \"balance_ratio_at_8\": %.2f, "
+                "\"rows_identical\": %s}\n]\n",
+                kCandidates, balance_ratio, rows_identical ? "true" : "false");
+  json += line;
+
+  std::printf("%s", json.c_str());
+  if (std::FILE* out = std::fopen("BENCH_sched.json", "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+  }
+
+  if (!rows_identical) {
+    std::fprintf(stderr,
+                 "FAIL: candidate results differ across threads/stealing\n");
+    return 1;
+  }
+  if (balance_ratio < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: balance ratio %.2f < 1.5 at 8 threads "
+                 "(static imbalance %.3f, stealing %.3f)\n",
+                 balance_ratio, static8.imbalance, stealing8.imbalance);
+    return 1;
+  }
+  return 0;
+}

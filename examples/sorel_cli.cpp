@@ -43,6 +43,19 @@
 // every hardware thread; the SOREL_THREADS environment variable overrides
 // that default. Results are bit-identical for every thread count.
 //
+// `--threads`, `--shared-memo=on|off`, and `--work-stealing=on|off`
+// together form one runtime::ExecPolicy, applied uniformly to every
+// analysis through its options.exec() accessor. `--work-stealing=off`
+// falls back to static chunking on the legacy thread pool; results are
+// bit-identical either way (the scheduler only changes which worker runs
+// an item, never the item's global index).
+//
+// `--parallel-fixpoint` makes recursive specs converge by SCC-condensed
+// fixed point on the sorel::sched task graph — independent strongly
+// connected components solve in parallel, dependent ones in callee-first
+// order — instead of one global damped sweep. Implies --allow-recursion.
+// Values match the global solver within the fixed-point tolerance.
+//
 // `--deadline-ms N`, `--max-evals N`, `--max-states N` (also `=` forms) set
 // a global work budget (sorel::guard) for evaluate/modes/batch/inject: each
 // top-level query gets at most N milliseconds of wall clock / N logical
@@ -92,6 +105,7 @@
 #include "sorel/dsl/dot.hpp"
 #include "sorel/dsl/loader.hpp"
 #include "sorel/runtime/batch.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 #include "sorel/serve/protocol.hpp"
 #include "sorel/serve/server.hpp"
 #include "sorel/serve/tcp.hpp"
@@ -113,7 +127,8 @@ void print_help(std::FILE* out) {
   std::fprintf(out,
                "usage: sorel_cli [--threads N] [--deadline-ms N] [--max-evals N]"
                " [--max-states N]\n"
-               "                 [--shared-memo=on|off] [--stats]\n"
+               "                 [--shared-memo=on|off] [--work-stealing=on|off]"
+               " [--stats]\n"
                "                 <command> <spec.json> [...]\n"
                "commands:\n"
                "  validate    <spec>                     check the assembly\n"
@@ -147,6 +162,11 @@ void print_help(std::FILE* out) {
                "                   the worker sessions of batch/inject/select/\n"
                "                   uncertainty/sensitivity (default on;\n"
                "                   results are bit-identical either way)\n"
+               "  --work-stealing=on|off\n"
+               "                   run parallel loops on the work-stealing\n"
+               "                   scheduler (default on) or fall back to\n"
+               "                   static chunking; results are bit-identical\n"
+               "                   either way\n"
                "  --stats          batch/inject: append one {\"stats\": ...}\n"
                "                   JSON line with the run's execution counters\n"
                "                   (shared-memo hits/misses/evictions included)\n"
@@ -154,8 +174,14 @@ void print_help(std::FILE* out) {
                "                   instead of stdin/stdout (port 0 = ephemeral,\n"
                "                   announced on stderr)\n"
                "  --allow-recursion\n"
-               "                   serve: evaluate recursive specs by fixed\n"
-               "                   point instead of rejecting them\n"
+               "                   evaluate recursive specs by fixed point\n"
+               "                   instead of rejecting them (evaluate/modes/\n"
+               "                   batch/inject/serve)\n"
+               "  --parallel-fixpoint\n"
+               "                   solve recursive specs by SCC-condensed\n"
+               "                   fixed point on the task scheduler — \n"
+               "                   independent cycles in parallel (implies\n"
+               "                   --allow-recursion)\n"
                "exit status: 0 success, 1 model/spec errors, 2 usage errors,\n"
                "             3 batch/inject completed with failed entries\n");
 }
@@ -293,6 +319,42 @@ bool extract_shared_memo_flag(int& argc, char** argv) {
   return shared;
 }
 
+/// Strip `--work-stealing on|off` / `--work-stealing=on|off` from argv and
+/// return whether parallel loops run on the work-stealing scheduler
+/// (default: on; off falls back to static chunking — results are
+/// bit-identical either way). Throws sorel::InvalidArgument on any other
+/// value.
+bool extract_work_stealing_flag(int& argc, char** argv) {
+  bool stealing = true;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--work-stealing") == 0) {
+      if (i + 1 >= argc) {
+        throw sorel::InvalidArgument("--work-stealing needs on|off");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--work-stealing=", 16) == 0) {
+      value = arg + 16;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (std::strcmp(value, "on") == 0) {
+      stealing = true;
+    } else if (std::strcmp(value, "off") == 0) {
+      stealing = false;
+    } else {
+      throw sorel::InvalidArgument(
+          std::string("--work-stealing: expected on|off, got '") + value + "'");
+    }
+  }
+  argc = out;
+  return stealing;
+}
+
 /// Strip the presence flag `--stats` from argv; when set, batch/inject
 /// append one {"stats": ...} JSON line to stdout after their per-item lines.
 bool extract_stats_flag(int& argc, char** argv) {
@@ -323,6 +385,23 @@ bool extract_allow_recursion_flag(int& argc, char** argv) {
   }
   argc = out;
   return allow;
+}
+
+/// Strip the presence flag `--parallel-fixpoint` (solve recursive specs by
+/// SCC-condensed fixed point on the task scheduler; implies
+/// --allow-recursion).
+bool extract_parallel_fixpoint_flag(int& argc, char** argv) {
+  bool parallel = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--parallel-fixpoint") == 0) {
+      parallel = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return parallel;
 }
 
 /// Strip `--listen host:port` / `--listen=host:port` (serve's TCP
@@ -393,6 +472,17 @@ void append_guard_fields(sorel::json::Object& line, const std::string& limit,
   line["elapsed_ms"] = elapsed_ms;
 }
 
+/// Apply the command-line execution flags onto an analysis options struct
+/// through its exec() accessor, without disturbing the struct's own
+/// defaults (each stochastic analysis keeps its documented seed).
+template <typename Options>
+void apply_exec_flags(Options& options, const sorel::runtime::ExecPolicy& exec) {
+  options.exec()
+      .with_threads(exec.threads)
+      .with_shared_memo(exec.shared_memo)
+      .with_work_stealing(exec.work_stealing);
+}
+
 std::vector<double> parse_args(char** begin, char** end) {
   std::vector<double> out;
   for (char** it = begin; it != end; ++it) {
@@ -434,23 +524,46 @@ int cmd_list(const sorel::core::Assembly& assembly) {
   return 0;
 }
 
+/// Engine configuration shared by evaluate/modes: --allow-recursion turns
+/// rejection of recursive specs into fixed-point convergence, and
+/// --parallel-fixpoint (which implies it) solves the condensation's SCCs as
+/// scheduler tasks.
+sorel::core::ReliabilityEngine::Options engine_options(bool allow_recursion,
+                                                       bool parallel_fixpoint) {
+  sorel::core::ReliabilityEngine::Options options;
+  options.allow_recursion = allow_recursion || parallel_fixpoint;
+  options.parallel_fixpoint = parallel_fixpoint;
+  return options;
+}
+
 int cmd_evaluate(const sorel::core::Assembly& assembly, const std::string& service,
                  const std::vector<double>& args,
-                 const sorel::guard::Budget& budget) {
-  sorel::core::ReliabilityEngine engine(assembly);
+                 const sorel::guard::Budget& budget, bool allow_recursion,
+                 bool parallel_fixpoint) {
+  sorel::core::ReliabilityEngine engine(
+      assembly, engine_options(allow_recursion, parallel_fixpoint));
   engine.set_budget(budget);
   const double pfail = engine.pfail(service, args);
   std::printf("Pfail       = %.12g\n", pfail);
   std::printf("reliability = %.12g\n", 1.0 - pfail);
   std::printf("evaluations = %zu (memo hits %zu)\n", engine.stats().evaluations,
               engine.stats().memo_hits);
+  // Only recursive specs print a fixed-point line, so acyclic output stays
+  // byte-stable.
+  if (engine.stats().fixpoint_iterations > 0) {
+    std::printf("fixed point = %zu iterations over %zu sccs\n",
+                engine.stats().fixpoint_iterations,
+                engine.stats().fixpoint_sccs);
+  }
   return 0;
 }
 
 int cmd_modes(const sorel::core::Assembly& assembly, const std::string& service,
               const std::vector<double>& args,
-              const sorel::guard::Budget& budget) {
-  sorel::core::ReliabilityEngine engine(assembly);
+              const sorel::guard::Budget& budget, bool allow_recursion,
+              bool parallel_fixpoint) {
+  sorel::core::ReliabilityEngine engine(
+      assembly, engine_options(allow_recursion, parallel_fixpoint));
   engine.set_budget(budget);
   const auto modes = engine.failure_modes(service, args);
   std::printf("success          = %.12g\n", modes.success);
@@ -474,10 +587,9 @@ int cmd_duration(const sorel::core::Assembly& assembly, const std::string& servi
 
 int cmd_sensitivity(const sorel::core::Assembly& assembly,
                     const std::string& service, const std::vector<double>& args,
-                    std::size_t threads, bool shared_memo) {
+                    const sorel::runtime::ExecPolicy& exec) {
   sorel::core::SensitivityOptions options;
-  options.threads = threads;
-  options.shared_memo = shared_memo;
+  apply_exec_flags(options, exec);
   const auto rows = sorel::core::attribute_sensitivities(assembly, service, args,
                                                          options, {});
   std::printf("%-24s %-14s %-14s %s\n", "attribute", "value", "dR/da",
@@ -491,9 +603,9 @@ int cmd_sensitivity(const sorel::core::Assembly& assembly,
 
 int cmd_importance(const sorel::core::Assembly& assembly,
                    const std::string& service, const std::vector<double>& args,
-                   std::size_t threads) {
+                   const sorel::runtime::ExecPolicy& exec) {
   const auto rows =
-      sorel::core::component_importances(assembly, service, args, {}, threads);
+      sorel::core::component_importances(assembly, service, args, exec, {});
   std::printf("%-24s %-14s %s\n", "component", "Birnbaum", "risk-achievement");
   for (const auto& row : rows) {
     std::printf("%-24s %-14.6g %.6g\n", row.component.c_str(), row.birnbaum,
@@ -504,11 +616,11 @@ int cmd_importance(const sorel::core::Assembly& assembly,
 
 int cmd_simulate(const sorel::core::Assembly& assembly, const std::string& service,
                  std::size_t replications, const std::vector<double>& args,
-                 std::size_t threads) {
+                 const sorel::runtime::ExecPolicy& exec) {
   sorel::sim::Simulator simulator(assembly);
   sorel::sim::SimulationOptions options;
   options.replications = replications;
-  options.threads = threads;
+  apply_exec_flags(options, exec);
   const auto result = simulator.estimate(service, args, options);
   const auto ci = result.confidence_interval();
   std::printf("reliability = %.8f  (95%% CI [%.8f, %.8f], %zu replications)\n",
@@ -520,8 +632,8 @@ int cmd_simulate(const sorel::core::Assembly& assembly, const std::string& servi
 
 int cmd_select(const sorel::core::Assembly& assembly,
                const sorel::json::Value& document, const std::string& service,
-               const std::vector<double>& args, std::size_t threads,
-               bool shared_memo) {
+               const std::vector<double>& args,
+               const sorel::runtime::ExecPolicy& exec) {
   const auto points = sorel::dsl::load_selection_points(document);
   if (points.empty()) {
     std::fprintf(stderr, "error: the document declares no \"selection\" points\n");
@@ -529,8 +641,7 @@ int cmd_select(const sorel::core::Assembly& assembly,
   }
   sorel::core::SelectionOptions options;
   options.max_combinations = 4096;
-  options.threads = threads;
-  options.shared_memo = shared_memo;
+  apply_exec_flags(options, exec);
   const auto ranking =
       sorel::core::rank_assemblies(assembly, service, args, points, options);
   std::printf("%-6s %-14s %s\n", "rank", "reliability", "choice");
@@ -549,8 +660,8 @@ int cmd_select(const sorel::core::Assembly& assembly,
 
 int cmd_uncertainty(const sorel::core::Assembly& assembly,
                     const sorel::json::Value& document, const std::string& service,
-                    const std::vector<double>& args, std::size_t threads,
-                    bool shared_memo) {
+                    const std::vector<double>& args,
+                    const sorel::runtime::ExecPolicy& exec) {
   const auto distributions = sorel::dsl::load_uncertainty(document);
   if (distributions.empty()) {
     std::fprintf(stderr,
@@ -558,8 +669,7 @@ int cmd_uncertainty(const sorel::core::Assembly& assembly,
     return 1;
   }
   sorel::core::UncertaintyOptions options;
-  options.threads = threads;
-  options.shared_memo = shared_memo;
+  apply_exec_flags(options, exec);
   const auto result = sorel::core::propagate_uncertainty(assembly, service, args,
                                                          distributions, options);
   std::printf("samples     = %zu\n", result.reliability.count());
@@ -573,8 +683,9 @@ int cmd_uncertainty(const sorel::core::Assembly& assembly,
 }
 
 int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
-              std::size_t threads, const sorel::guard::Budget& budget,
-              bool shared_memo, bool emit_stats) {
+              const sorel::runtime::ExecPolicy& exec,
+              const sorel::guard::Budget& budget, bool allow_recursion,
+              bool parallel_fixpoint, bool emit_stats) {
   const sorel::json::Value doc = sorel::json::parse_file(jobs_path);
   const sorel::json::Value& jobs_value = doc.is_object() ? doc.at("jobs") : doc;
   if (!jobs_value.is_array()) {
@@ -627,16 +738,18 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
   }
 
   sorel::runtime::BatchEvaluator::Options options;
-  options.threads = threads;
+  apply_exec_flags(options, exec);
   options.budget = budget;
-  options.shared_memo = shared_memo;
+  options.engine = engine_options(allow_recursion, parallel_fixpoint);
   // A jobs document may carry engine options shared by every job — e.g.
   // {"options": {"allow_recursion": true}} for specs whose services require
   // fixed-point evaluation.
   if (doc.is_object() && doc.contains("options")) {
     for (const auto& [name, value] : doc.at("options").as_object()) {
       if (name == "allow_recursion") {
-        options.engine.allow_recursion = value.as_bool();
+        // Either level (document or --allow-recursion flag) can turn it on.
+        options.engine.allow_recursion =
+            options.engine.allow_recursion || value.as_bool();
       } else if (name == "max_fixpoint_iterations") {
         options.engine.max_fixpoint_iterations =
             static_cast<std::size_t>(value.as_number());
@@ -710,15 +823,16 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
 }
 
 int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
-               std::size_t threads, const sorel::guard::Budget& budget,
-               bool shared_memo, bool emit_stats) {
+               const sorel::runtime::ExecPolicy& exec,
+               const sorel::guard::Budget& budget, bool allow_recursion,
+               bool parallel_fixpoint, bool emit_stats) {
   const sorel::faults::Campaign campaign =
       sorel::faults::load_campaign_file(campaign_path);
 
   sorel::faults::CampaignRunner::Options options;
-  options.threads = threads;
+  apply_exec_flags(options, exec);
   options.budget = budget;
-  options.shared_memo = shared_memo;
+  options.engine = engine_options(allow_recursion, parallel_fixpoint);
   sorel::faults::CampaignRunner runner(assembly, options);
   const sorel::faults::CampaignReport report = runner.run(campaign);
 
@@ -789,15 +903,14 @@ int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
   return report.failed_scenarios == 0 ? 0 : 3;
 }
 
-int cmd_serve(const char* spec_path, std::size_t threads,
-              const sorel::guard::Budget& budget, bool shared_memo,
-              bool allow_recursion,
+int cmd_serve(const char* spec_path, const sorel::runtime::ExecPolicy& exec,
+              const sorel::guard::Budget& budget, bool allow_recursion,
+              bool parallel_fixpoint,
               const std::optional<std::pair<std::string, std::uint16_t>>& listen) {
   sorel::serve::Server::Options options;
-  options.threads = threads;
+  apply_exec_flags(options, exec);
   options.budget = budget;
-  options.shared_memo = shared_memo;
-  options.engine.allow_recursion = allow_recursion;
+  options.engine = engine_options(allow_recursion, parallel_fixpoint);
 
   std::optional<sorel::serve::Server> server;
   if (spec_path != nullptr) {
@@ -866,18 +979,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::size_t threads = 0;
+  // --threads / --shared-memo / --work-stealing form one execution policy
+  // applied uniformly to every analysis through its exec() accessor.
+  sorel::runtime::ExecPolicy exec;
   sorel::guard::Budget budget;
-  bool shared_memo = true;
   bool emit_stats = false;
   bool allow_recursion = false;
+  bool parallel_fixpoint = false;
   std::optional<std::pair<std::string, std::uint16_t>> listen;
   try {
-    threads = extract_threads_flag(argc, argv);
+    exec.with_threads(extract_threads_flag(argc, argv))
+        .with_shared_memo(extract_shared_memo_flag(argc, argv))
+        .with_work_stealing(extract_work_stealing_flag(argc, argv));
     budget = extract_budget_flags(argc, argv);
-    shared_memo = extract_shared_memo_flag(argc, argv);
     emit_stats = extract_stats_flag(argc, argv);
     allow_recursion = extract_allow_recursion_flag(argc, argv);
+    parallel_fixpoint = extract_parallel_fixpoint_flag(argc, argv);
     listen = extract_listen_flag(argc, argv);
   } catch (const sorel::Error& e) {
     return usage_error(e.what());
@@ -902,8 +1019,8 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     try {
-      return cmd_serve(argc >= 3 ? argv[2] : nullptr, threads, budget,
-                       shared_memo, allow_recursion, listen);
+      return cmd_serve(argc >= 3 ? argv[2] : nullptr, exec, budget,
+                       allow_recursion, parallel_fixpoint, listen);
     } catch (const sorel::Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -944,12 +1061,12 @@ int main(int argc, char** argv) {
       return usage_error(command + ": missing <service> operand");
     }
     if (command == "batch") {
-      return cmd_batch(assembly, argv[3], threads, budget, shared_memo,
-                       emit_stats);
+      return cmd_batch(assembly, argv[3], exec, budget, allow_recursion,
+                       parallel_fixpoint, emit_stats);
     }
     if (command == "inject") {
-      return cmd_inject(assembly, argv[3], threads, budget, shared_memo,
-                        emit_stats);
+      return cmd_inject(assembly, argv[3], exec, budget, allow_recursion,
+                        parallel_fixpoint, emit_stats);
     }
     const std::string service = argv[3];
 
@@ -957,26 +1074,29 @@ int main(int argc, char** argv) {
       if (argc < 5) return usage_error("simulate: missing <reps> operand");
       const auto reps = static_cast<std::size_t>(std::atoll(argv[4]));
       return cmd_simulate(assembly, service, reps,
-                          parse_args(argv + 5, argv + argc), threads);
+                          parse_args(argv + 5, argv + argc), exec);
     }
     const std::vector<double> args = parse_args(argv + 4, argv + argc);
     if (command == "select") {
-      return cmd_select(assembly, document, service, args, threads, shared_memo);
+      return cmd_select(assembly, document, service, args, exec);
     }
     if (command == "uncertainty") {
-      return cmd_uncertainty(assembly, document, service, args, threads,
-                             shared_memo);
+      return cmd_uncertainty(assembly, document, service, args, exec);
     }
     if (command == "evaluate") {
-      return cmd_evaluate(assembly, service, args, budget);
+      return cmd_evaluate(assembly, service, args, budget, allow_recursion,
+                          parallel_fixpoint);
     }
-    if (command == "modes") return cmd_modes(assembly, service, args, budget);
+    if (command == "modes") {
+      return cmd_modes(assembly, service, args, budget, allow_recursion,
+                       parallel_fixpoint);
+    }
     if (command == "duration") return cmd_duration(assembly, service, args);
     if (command == "sensitivity") {
-      return cmd_sensitivity(assembly, service, args, threads, shared_memo);
+      return cmd_sensitivity(assembly, service, args, exec);
     }
     if (command == "importance") {
-      return cmd_importance(assembly, service, args, threads);
+      return cmd_importance(assembly, service, args, exec);
     }
     // Unreachable: known_command() vetted argv[1] before dispatch.
     return usage_error("unknown command '" + command + "'");

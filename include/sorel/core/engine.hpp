@@ -50,6 +50,19 @@ class ReliabilityEngine {
     bool allow_recursion = false;
     std::size_t max_fixpoint_iterations = 1'000;
     double fixpoint_tolerance = 1e-12;
+    /// Solve the fixed point SCC by SCC instead of as one global iteration:
+    /// the service dependency graph (binding targets and connectors) is
+    /// condensed into strongly connected components, each component's cyclic
+    /// keys converge as their own block with every callee component already
+    /// converged, and components that cannot reach one another run as
+    /// independent tasks on the sorel::sched scheduler. Values match the
+    /// global solver to within the fixpoint tolerance; Stats counters
+    /// reflect the per-component solves (accumulated in a fixed
+    /// callee-first order, so they are deterministic too). Falls back to
+    /// the global solver whenever a budget or cancel guard is armed — the
+    /// budget's max_fixpoint_iterations cap is defined against the global
+    /// iteration count.
+    bool parallel_fixpoint = false;
     /// Damping factor in (0, 1]: assumed <- assumed + damping*(new - assumed).
     double damping = 1.0;
     /// Linear-algebra backend for the absorption solve.
@@ -116,6 +129,12 @@ class ReliabilityEngine {
     std::size_t evaluations = 0;       // non-memoised service evaluations
     std::size_t memo_hits = 0;
     std::size_t fixpoint_iterations = 0;  // outer iterations (0 = acyclic)
+    /// Strongly connected components of the service dependency graph that
+    /// owned at least one cyclic key in the most recent query (0 = acyclic).
+    /// Set by both the global solver and the parallel SCC solver; under
+    /// Options::parallel_fixpoint it is also the number of independent
+    /// fixed-point tasks the query produced.
+    std::size_t fixpoint_sccs = 0;
     /// Memo entries dropped by dependency-tracked invalidation
     /// (apply_attribute_deltas / invalidate_binding); full clears
     /// (clear_cache, refresh_attributes) are not counted here.
@@ -261,6 +280,22 @@ class ReliabilityEngine {
 
   double pfail_guarded(const Service& service, const std::vector<double>& args);
   double pfail_cached(const Service& service, const std::vector<double>& args);
+
+  // SCC-based fixed point (Options::parallel_fixpoint). The plan condenses
+  // the *static* service graph (binding targets and connectors) with Tarjan
+  // and buckets the dynamically discovered cyclic keys by component;
+  // groups are ordered callees-first, so `deps` always point at earlier
+  // groups.
+  struct FixpointPlan {
+    struct Group {
+      std::vector<Key> keys;          // sorted by (service name, args)
+      std::vector<std::size_t> deps;  // earlier groups this one reads
+    };
+    std::vector<Group> groups;
+  };
+  FixpointPlan build_fixpoint_plan() const;
+  double solve_fixpoint_sccs(const Service& service,
+                             const std::vector<double>& args);
   double evaluate(const Service& service, const std::vector<double>& args);
   double evaluate_composite(const CompositeService& service,
                             const std::vector<double>& args,

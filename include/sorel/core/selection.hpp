@@ -54,6 +54,11 @@ struct SelectionOptions : runtime::ExecPolicy {
   /// Hard cap on the cartesian product — selection is exhaustive by design;
   /// prune the candidate lists instead of raising this blindly.
   std::size_t max_combinations = 4096;
+
+  /// The execution-policy slice (unified accessor across every analysis
+  /// options struct): options.exec().with_threads(8).with_seed(7)...
+  runtime::ExecPolicy& exec() noexcept { return *this; }
+  const runtime::ExecPolicy& exec() const noexcept { return *this; }
 };
 
 /// Enumerate every combination of candidates (cartesian product, bounded by

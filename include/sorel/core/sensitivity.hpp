@@ -31,6 +31,11 @@ struct AttributeSensitivity {
 /// unused (the analysis is deterministic).
 struct SensitivityOptions : runtime::ExecPolicy {
   double relative_step = 1e-2;
+
+  /// The execution-policy slice (unified accessor across every analysis
+  /// options struct): options.exec().with_threads(8)...
+  runtime::ExecPolicy& exec() noexcept { return *this; }
+  const runtime::ExecPolicy& exec() const noexcept { return *this; }
 };
 
 /// Central-difference sensitivity of system reliability to every assembly

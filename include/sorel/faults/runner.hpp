@@ -34,6 +34,7 @@
 #include "sorel/faults/campaign.hpp"
 #include "sorel/guard/budget.hpp"
 #include "sorel/memo/shared_memo.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 
 namespace sorel::faults {
 
@@ -120,10 +121,15 @@ struct CampaignReport {
 
 class CampaignRunner {
  public:
-  struct Options {
-    /// Worker chunks; 0 = as many as the hardware allows (SOREL_THREADS
-    /// overrides, see sorel::runtime::ThreadPool).
-    std::size_t threads = 0;
+  /// Derives runtime::ExecPolicy: `threads`, `shared_memo`, `seed`, and
+  /// `work_stealing` are the shared execution knobs (old loose spellings
+  /// like `options.threads` keep compiling). `shared_memo` shares one
+  /// memo::SharedMemo across the campaign's worker sessions: warm-up and
+  /// revert re-warm results over unchanged base state are evaluated once
+  /// per campaign instead of once per worker (and once per poisoned-
+  /// scenario rebuild). Per-scenario rows are bit-identical either way;
+  /// only the physical engine_evaluations total drops.
+  struct Options : runtime::ExecPolicy {
     /// Engine configuration shared by every worker session. Campaigns live
     /// on dependency tracking; turning it off degrades every injection to
     /// a full memo clear (the what-it-would-cost baseline).
@@ -138,16 +144,15 @@ class CampaignRunner {
     /// rebuilding warm sessions and drains fast); finished outcomes keep
     /// their results.
     std::shared_ptr<const guard::CancelToken> cancel;
-    /// Share one memo::SharedMemo across the campaign's worker sessions:
-    /// warm-up and revert re-warm results over unchanged base state are
-    /// evaluated once per campaign instead of once per worker (and once per
-    /// poisoned-scenario rebuild). Per-scenario rows are bit-identical
-    /// either way; only the physical engine_evaluations total drops.
-    bool shared_memo = true;
     /// Reuse a caller-owned table (core::make_shared_memo over the same
     /// assembly) instead of building a fresh one per run() — keeps the
     /// cache warm across campaigns. Ignored when shared_memo is false.
     std::shared_ptr<memo::SharedMemo> shared_cache;
+
+    /// The execution-policy slice (unified accessor across every analysis
+    /// options struct): options.exec().with_threads(8)...
+    runtime::ExecPolicy& exec() noexcept { return *this; }
+    const runtime::ExecPolicy& exec() const noexcept { return *this; }
   };
 
   /// Keeps a reference to `assembly`; it must outlive the runner. Campaigns

@@ -23,6 +23,7 @@
 #include "sorel/core/engine.hpp"
 #include "sorel/guard/budget.hpp"
 #include "sorel/memo/shared_memo.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 
 namespace sorel::runtime {
 
@@ -69,10 +70,14 @@ struct BatchItem {
   double elapsed_ms = 0.0;
 };
 
-/// Aggregated over the whole batch (merged in chunk order).
+/// Aggregated over the whole batch (merged in slot order).
 struct BatchStats {
   std::size_t jobs = 0;
-  std::size_t chunks = 0;                // worker chunks the batch ran on
+  /// Worker slots the batch actually ran on (static chunking: the chunk
+  /// count; work stealing: how many scheduler slots touched at least one
+  /// job — timing-dependent, like every "who did the work" observation;
+  /// per-job *results* stay deterministic either way).
+  std::size_t chunks = 0;
   std::size_t engine_evaluations = 0;    // non-memoised service evaluations
   std::size_t engine_memo_hits = 0;
   /// Memo entries dropped by dependency-tracked invalidation between jobs
@@ -96,10 +101,14 @@ struct BatchStats {
 
 class BatchEvaluator {
  public:
-  struct Options {
-    /// Worker chunks to split a batch into; 0 = as many as the hardware
-    /// allows (SOREL_THREADS overrides, see sorel::runtime::ThreadPool).
-    std::size_t threads = 0;
+  /// Derives runtime::ExecPolicy, so `threads`, `shared_memo`, `seed`, and
+  /// `work_stealing` are the shared execution knobs (old loose spellings
+  /// like `options.threads` keep compiling). `shared_memo` shares one
+  /// memo::SharedMemo across the batch's worker sessions — bit-identical
+  /// results either way; ineffective (gated off inside the engine) when
+  /// engine.track_dependencies is false or engine.pfail_overrides pins
+  /// services.
+  struct Options : runtime::ExecPolicy {
     /// Engine configuration shared by every worker (per-job
     /// pfail_overrides are layered on top of, and replace, this map).
     core::ReliabilityEngine::Options engine;
@@ -111,18 +120,16 @@ class BatchEvaluator {
     /// (across all workers) degrades to a "cancelled" error item at its
     /// next guard checkpoint; already-finished items keep their results.
     std::shared_ptr<const guard::CancelToken> cancel;
-    /// Share one memo::SharedMemo across the batch's worker sessions, so a
-    /// (service, args) result over unchanged base state is evaluated once
-    /// per batch instead of once per worker. Bit-identical results either
-    /// way. Ineffective (gated off inside the engine) when
-    /// engine.track_dependencies is false or engine.pfail_overrides pins
-    /// services.
-    bool shared_memo = true;
     /// Reuse a caller-owned table (core::make_shared_memo over the same
     /// assembly) instead of building a fresh one per evaluate() call —
     /// keeps the cache warm across batches. Ignored when shared_memo is
     /// false.
     std::shared_ptr<memo::SharedMemo> shared_cache;
+
+    /// The execution-policy slice (unified accessor across every analysis
+    /// options struct): options.exec().with_threads(8).with_seed(7)...
+    runtime::ExecPolicy& exec() noexcept { return *this; }
+    const runtime::ExecPolicy& exec() const noexcept { return *this; }
   };
 
   /// Keeps a reference to `assembly`; it must outlive the evaluator.

@@ -1,10 +1,15 @@
 // ExecPolicy: the shared execution knobs of every parallel analysis.
 //
-// UncertaintyOptions, SensitivityOptions, SelectionOptions, and
-// SimulationOptions used to duplicate `threads`/`seed` fields; they now all
-// derive from this one struct, so the old spellings (`options.threads`,
-// `options.seed`) keep compiling while the policy can be passed around as a
-// unit (e.g. from a CLI flag into every analysis call).
+// UncertaintyOptions, SensitivityOptions, SelectionOptions,
+// SimulationOptions, BatchEvaluator::Options, CampaignRunner::Options, and
+// serve::Server::Options all derive from this one struct, so the old loose
+// spellings (`options.threads`, `options.seed`) keep compiling while the
+// policy can be passed around as a unit (e.g. from a CLI flag into every
+// analysis call). Every options struct also exposes `exec()` accessors
+// returning the policy slice, and the with_* builders chain:
+//
+//   SelectionOptions options;
+//   options.exec().with_threads(8).with_seed(7).with_work_stealing(false);
 #pragma once
 
 #include <cstddef>
@@ -16,7 +21,11 @@ struct ExecPolicy {
   /// Worker chunks for the analysis' parallel loop; 0 = as many as the
   /// hardware allows (the SOREL_THREADS environment variable overrides the
   /// 0 default, see sorel::runtime::ThreadPool). Deterministic analyses
-  /// produce bit-identical results for every value.
+  /// produce bit-identical results for every value. With work stealing on,
+  /// 1 still means strictly serial inline execution, but any other value
+  /// is a parallelism *hint*: idle scheduler workers may assist a loop
+  /// beyond the requested width (results are unaffected — they never
+  /// depend on which worker ran an item).
   std::size_t threads = 0;
 
   /// Base seed for analyses that draw random numbers; item i always draws
@@ -32,6 +41,35 @@ struct ExecPolicy {
   /// selection, and sampling over non-trivial assemblies; overhead for a
   /// single small job (see docs/TUTORIAL.md §11). CLI: --shared-memo=on|off.
   bool shared_memo = true;
+
+  /// Run the analysis' parallel loop on the work-stealing scheduler
+  /// (sorel::sched) instead of static parallel_for chunking. Results are
+  /// bit-identical either way — stealing only changes *which worker* runs
+  /// an item, never the item's global index — so this is purely a load-
+  /// balance/overhead trade: a win whenever items are skewed (selection
+  /// over assemblies of very different depth, campaigns with a few
+  /// catastrophic scenarios). CLI: --work-stealing=on|off.
+  bool work_stealing = true;
+
+  /// Builder-style setters (each returns *this for chaining). Derived
+  /// options structs reach them through exec():
+  ///   options.exec().with_threads(2).with_shared_memo(false);
+  ExecPolicy& with_threads(std::size_t value) noexcept {
+    threads = value;
+    return *this;
+  }
+  ExecPolicy& with_seed(std::uint64_t value) noexcept {
+    seed = value;
+    return *this;
+  }
+  ExecPolicy& with_shared_memo(bool value) noexcept {
+    shared_memo = value;
+    return *this;
+  }
+  ExecPolicy& with_work_stealing(bool value) noexcept {
+    work_stealing = value;
+    return *this;
+  }
 };
 
 }  // namespace sorel::runtime

@@ -1,0 +1,69 @@
+// runtime::for_each — the one fork/join entry point for every analysis.
+//
+// Bridges an ExecPolicy to the right primitive:
+//
+//  - work_stealing on (default): sched::Scheduler::for_each_dynamic on the
+//    process-global scheduler — blocks of `grain` consecutive global
+//    indices, dynamically balanced by stealing;
+//  - work_stealing off, threads == 1, single-item ranges, or nested calls
+//    from any task-executing worker: the static parallel_for shim.
+//
+// Both paths call fn(begin, end, slot) with *global* index ranges; `slot`
+// identifies worker-local scratch (0 = caller/inline, w+1 = scheduler
+// worker w; static chunks use slot == chunk id). Size scratch with
+// for_each_slots(n, policy) — it returns the exact slot-id bound for the
+// path for_each(n, policy, ...) will take on this thread.
+//
+// Determinism: under the repo-wide contract (all per-item state derived
+// from global indices, ordered reductions), every combination of threads,
+// grain, and work_stealing produces bit-identical results; on error, both
+// paths rethrow the failure with the lowest global begin index.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "sorel/runtime/exec_policy.hpp"
+#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/sched/scheduler.hpp"
+
+namespace sorel::runtime {
+
+namespace detail {
+inline bool use_work_stealing(std::size_t n, const ExecPolicy& policy) {
+  return policy.work_stealing && n > 1 && resolve_threads(policy.threads) > 1 &&
+         !ThreadPool::on_worker_thread() && !sched::Scheduler::on_task_worker();
+}
+}  // namespace detail
+
+/// Upper bound (exclusive) on the slot ids fn can be called with when
+/// for_each(n, policy, grain, fn) runs on this thread; callers allocate
+/// per-slot scratch vectors of this size. Returns 0 when n == 0 (fn is
+/// never called).
+inline std::size_t for_each_slots(std::size_t n, const ExecPolicy& policy) {
+  if (n == 0) return 0;
+  if (detail::use_work_stealing(n, policy)) {
+    return sched::Scheduler::global().slots();
+  }
+  return std::min(n, resolve_threads(policy.threads));
+}
+
+/// Run fn(begin, end, slot) over [0, n) in blocks, balanced per the policy.
+/// `grain` is the dynamic block size (items per steal unit): 1 for coarse
+/// items (whole-model evaluations), larger for cheap items (simulation
+/// replications) to amortize per-block overhead. Ignored on the static
+/// path, which always uses n/chunks-sized chunks.
+template <typename Fn>
+void for_each(std::size_t n, const ExecPolicy& policy, std::size_t grain,
+              Fn&& fn) {
+  if (n == 0) return;
+  if (detail::use_work_stealing(n, policy)) {
+    sched::Scheduler::global().for_each_dynamic(n, grain,
+                                                std::forward<Fn>(fn));
+    return;
+  }
+  parallel_for(n, policy.threads, std::forward<Fn>(fn));
+}
+
+}  // namespace sorel::runtime

@@ -1,9 +1,17 @@
-// Deterministic fork/join over an index range.
+// Deterministic fork/join over an index range — now a static-chunking shim.
 //
 // parallel_for(n, threads, fn) splits [0, n) into `min(threads, n)`
 // contiguous chunks (static chunking — chunk c covers
 // [c*n/chunks, (c+1)*n/chunks)) and runs fn(begin, end, chunk) for each,
 // chunk 0 on the calling thread and the rest on the global ThreadPool.
+//
+// SHIM NOTICE: sorel::sched::Scheduler::for_each_dynamic (via
+// runtime::for_each) is the preferred fork/join primitive — it load-
+// balances skewed items by work stealing while keeping the same
+// determinism contract. parallel_for remains for one release as the
+// static-chunking fallback (ExecPolicy::work_stealing == false) and for
+// callers that depend on exactly-`chunks` fn invocations; new code should
+// call runtime::for_each.
 //
 // Contract for deterministic callers: derive all per-item state (RNG
 // streams, outputs) from the *global* index, never from the chunk index —
@@ -13,20 +21,28 @@
 //
 // Degradation rules:
 //  - n == 0: no call at all;
-//  - n == 1, threads == 1, or a nested call from inside a pool worker:
-//    fn(0, n, 0) runs inline on the calling thread (no queueing, no
-//    deadlock when the pool is saturated);
-//  - exceptions: every chunk's exception is captured; after all chunks
-//    finish, the first one (lowest chunk index) is rethrown.
+//  - n == 1, threads == 1, or a nested call from inside any task-executing
+//    worker (ThreadPool or sched::Scheduler): fn(0, n, 0) runs inline on
+//    the calling thread (no queueing, no deadlock when the pool is
+//    saturated);
+//  - exceptions: every chunk runs to completion and its exception is
+//    captured; afterwards the failure covering the lowest *global* index
+//    (the smallest failing chunk begin) is rethrown. This is the same rule
+//    sched::Scheduler::for_each_dynamic applies to its blocks, so the
+//    error a caller observes is identical whichever primitive ran the
+//    loop — chunk numbering is an implementation detail, global indices
+//    are the contract.
 #pragma once
 
 #include <cstddef>
 #include <exception>
 #include <latch>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "sorel/runtime/thread_pool.hpp"
+#include "sorel/sched/scheduler.hpp"
 
 namespace sorel::runtime {
 
@@ -34,12 +50,17 @@ template <typename Fn>
 void parallel_for(std::size_t n, std::size_t threads, Fn&& fn) {
   if (n == 0) return;
   const std::size_t chunks = std::min(n, resolve_threads(threads));
-  if (chunks <= 1 || ThreadPool::on_worker_thread()) {
+  if (chunks <= 1 || ThreadPool::on_worker_thread() ||
+      sched::Scheduler::on_task_worker()) {
     std::forward<Fn>(fn)(std::size_t{0}, n, std::size_t{0});
     return;
   }
 
-  std::vector<std::exception_ptr> errors(chunks);
+  struct ChunkError {
+    std::size_t begin = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+  std::vector<ChunkError> errors(chunks);
   std::latch pending(static_cast<std::ptrdiff_t>(chunks - 1));
   ThreadPool& pool = ThreadPool::global();
   for (std::size_t c = 1; c < chunks; ++c) {
@@ -47,7 +68,7 @@ void parallel_for(std::size_t n, std::size_t threads, Fn&& fn) {
       try {
         fn(c * n / chunks, (c + 1) * n / chunks, c);
       } catch (...) {
-        errors[c] = std::current_exception();
+        errors[c] = ChunkError{c * n / chunks, std::current_exception()};
       }
       pending.count_down();
     });
@@ -55,12 +76,19 @@ void parallel_for(std::size_t n, std::size_t threads, Fn&& fn) {
   try {
     fn(std::size_t{0}, n / chunks, std::size_t{0});
   } catch (...) {
-    errors[0] = std::current_exception();
+    errors[0] = ChunkError{0, std::current_exception()};
   }
   pending.wait();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
+  // Rethrow the failure with the lowest global begin index (not the lowest
+  // chunk id — for static contiguous chunks the two coincide, but the
+  // *rule* is stated on global indices so it survives any chunking).
+  const ChunkError* first = nullptr;
+  for (const ChunkError& error : errors) {
+    if (error.error && (first == nullptr || error.begin < first->begin)) {
+      first = &error;
+    }
   }
+  if (first != nullptr) std::rethrow_exception(first->error);
 }
 
 }  // namespace sorel::runtime

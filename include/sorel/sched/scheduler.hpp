@@ -1,0 +1,275 @@
+// sorel::sched — deterministic work-stealing scheduler.
+//
+// The static-chunk parallel_for (sorel::runtime) pins work skew to whichever
+// chunk drew the expensive items: ranking assemblies whose call trees differ
+// by orders of magnitude leaves most workers idle while one grinds. This
+// scheduler replaces static chunking with dynamic load balancing while
+// keeping the repo-wide determinism contract intact:
+//
+//  - every worker owns a Chase–Lev deque (task_deque.hpp) plus a small
+//    mutex-guarded mailbox for external submissions; idle workers steal
+//    from the top of busy workers' deques (and poach their mailboxes);
+//  - `for_each_dynamic(n, grain, fn)` carves [0, n) into fixed blocks of
+//    `grain` consecutive indices, scatters them round-robin across worker
+//    mailboxes, and lets stealing even out the skew. fn(begin, end, slot)
+//    receives *global* index ranges — which worker runs a block never
+//    changes begin/end — and `slot` identifies the executing worker's
+//    scratch (0 = inline/serial path, w+1 = worker w; size scratch with
+//    slots());
+//  - `TaskGraph` + `run()` expose task handles with dependencies: completed
+//    tasks push newly-ready successors onto the executing worker's own
+//    deque, so independent subgraphs (e.g. independent SCCs of a cyclic
+//    assembly's fixed point) run concurrently while every chain stays
+//    ordered.
+//
+// Determinism contract (same as runtime::parallel_for, restated): derive
+// all per-item state — RNG streams, outputs, reduction slots — from the
+// global item index, never from `slot` or from execution order. `slot` only
+// names worker-local scratch (a warm EvalSession, an Assembly copy). Under
+// that contract, any worker count, any grain, and stealing on or off all
+// produce bit-identical results. Logical-cost budgets (sorel::guard) are
+// charged per item along the item's own evaluation, so budget verdicts are
+// scheduling-independent too.
+//
+// Nesting: calls from inside a scheduler worker (or a runtime::ThreadPool
+// worker) degrade to inline serial execution, exactly like parallel_for —
+// a serve request that fans out a batch on a worker thread cannot deadlock
+// the pool.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sorel/sched/task_deque.hpp"
+
+namespace sorel::sched {
+
+/// Additive, process-lifetime counters for one Scheduler instance.
+/// Monitoring only: `steals` and `max_queue_depth` depend on thread timing
+/// and are *not* deterministic (results of scheduled work are).
+struct SchedStats {
+  std::uint64_t tasks_run = 0;        ///< tasks executed (blocks, graph
+                                      ///< nodes, and submitted closures)
+  std::uint64_t steals = 0;           ///< tasks taken from another worker's
+                                      ///< deque or mailbox
+  std::uint64_t max_queue_depth = 0;  ///< high-water mark of any single
+                                      ///< worker queue
+};
+
+/// One schedulable unit. Intrusive so for_each_dynamic can keep its block
+/// tasks in one contiguous allocation; `invoke` is a plain function pointer
+/// and `context` points at the owning call's shared state.
+struct Task {
+  void (*invoke)(Task*, std::size_t slot) = nullptr;
+  void* context = nullptr;
+  std::size_t begin = 0;  ///< first global index (blocks) / node id (graphs)
+  std::size_t end = 0;    ///< one past the last global index (blocks)
+};
+
+/// A directed acyclic graph of tasks. Build with add()/depend(), execute
+/// with Scheduler::run(). The graph is a reusable *description*: run()
+/// keeps all execution state (pending counts, errors) outside of it, so
+/// the same graph may be run again.
+class TaskGraph {
+ public:
+  using TaskId = std::size_t;
+
+  /// Append a task; returns its id. Ids are dense and start at 0; on
+  /// error, run() rethrows the failure of the *lowest* task id, so add
+  /// tasks in the order that should win ties (e.g. topological order).
+  TaskId add(std::function<void()> fn) {
+    nodes_.push_back(Node{std::move(fn), {}, 0});
+    return nodes_.size() - 1;
+  }
+
+  /// Declare that `task` must not start before `prerequisite` finished.
+  /// Throws sorel::InvalidArgument (via run()) if the edges form a cycle.
+  void depend(TaskId task, TaskId prerequisite) {
+    nodes_[prerequisite].successors.push_back(task);
+    ++nodes_[task].predecessors;
+  }
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  friend class Scheduler;
+  struct Node {
+    std::function<void()> fn;
+    std::vector<TaskId> successors;
+    std::size_t predecessors = 0;
+  };
+  std::vector<Node> nodes_;
+};
+
+class Scheduler {
+ public:
+  /// Spawns exactly `workers` worker threads (at least one).
+  explicit Scheduler(std::size_t workers);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  std::size_t workers() const noexcept { return threads_.size(); }
+
+  /// Number of distinct scratch slots fn may be called with: slot 0 is the
+  /// inline/serial path, slots 1..workers() are worker threads. Size
+  /// per-slot scratch (sessions, assembly copies) with this.
+  std::size_t slots() const noexcept { return threads_.size() + 1; }
+
+  /// Fire-and-forget external task (the serve request pool). The closure
+  /// owns its error handling: escaped exceptions are swallowed, matching
+  /// runtime::ThreadPool::submit semantics where tasks capture their own.
+  void submit(std::function<void()> fn);
+
+  /// Dynamic replacement for runtime::parallel_for. Splits [0, n) into
+  /// ceil(n / grain) blocks of `grain` consecutive global indices, runs
+  /// fn(begin, end, slot) once per block on whichever worker gets there
+  /// first, and returns when all blocks finished. The calling thread
+  /// blocks (it does not execute blocks — slot 0 is reserved for the
+  /// inline path, so two concurrent calls can never collide on a slot).
+  ///
+  /// Degradation: n == 0 → no call; a single block, or a call from inside
+  /// any scheduler/pool worker → fn(0, n, 0) inline.
+  ///
+  /// Errors: every block runs to completion; afterwards the failure with
+  /// the lowest global begin index is rethrown (same rule as the
+  /// parallel_for shim, so error identity is chunking-independent).
+  template <typename Fn>
+  void for_each_dynamic(std::size_t n, std::size_t grain, Fn&& fn);
+
+  /// Execute a TaskGraph: roots first, successors as their dependencies
+  /// complete, independent tasks in parallel. Failed tasks poison their
+  /// transitive successors (those are skipped, not run); once the graph
+  /// drains, the failure with the lowest task id is rethrown.
+  ///
+  /// Called from inside a scheduler/pool worker, the graph runs inline in
+  /// deterministic order (ready set processed lowest-id-first) — results
+  /// are identical because independent tasks must not communicate.
+  /// Throws sorel::InvalidArgument if the dependency edges form a cycle.
+  void run(TaskGraph& graph);
+
+  /// Snapshot of the additive counters (relaxed reads; monitoring only).
+  SchedStats stats() const noexcept;
+
+  /// True when the calling thread is a worker of *any* Scheduler — the
+  /// signal for_each_dynamic/run use to degrade nested calls to inline.
+  static bool on_scheduler_thread() noexcept;
+
+  /// Mark the calling thread as a task-executing worker of some *other*
+  /// executor (runtime::ThreadPool calls this from its worker loop) so
+  /// nested scheduler calls from that thread also degrade to inline.
+  static void mark_task_worker() noexcept;
+
+  /// True on any task-executing worker thread: a Scheduler worker or a
+  /// thread registered via mark_task_worker().
+  static bool on_task_worker() noexcept;
+
+  /// The process-wide shared scheduler, created on first use with
+  /// default_workers() workers (SOREL_THREADS, else hardware concurrency —
+  /// the same sizing rule as runtime::ThreadPool::global()).
+  static Scheduler& global();
+  static std::size_t default_workers();
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::vector<Task*> tasks;
+  };
+  struct WorkerState {
+    TaskDeque deque;
+    Mailbox mailbox;
+  };
+
+  // Shared state of one for_each_dynamic call, type-erased so the template
+  // stays thin. Lives on the caller's stack for the duration of the call.
+  struct LoopState {
+    void* fn = nullptr;
+    void (*call)(void*, std::size_t, std::size_t, std::size_t) = nullptr;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex error_mutex;
+    std::size_t error_begin = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+  static void invoke_block(Task* task, std::size_t slot);
+
+  // Execution state of one run(TaskGraph&) call (defined in scheduler.cpp;
+  // lives on the calling thread's stack for the duration of the run).
+  struct GraphRun;
+  static void invoke_graph_node(Task* task, std::size_t slot);
+  static void validate_acyclic(const TaskGraph& graph);
+  void run_graph_inline(TaskGraph& graph);
+
+  void worker_loop(std::size_t w);
+  void execute(Task* task, std::size_t slot);
+  // Round-robin a batch of external tasks across worker mailboxes and wake
+  // sleepers. Tasks must stay alive until their invoke() runs.
+  void enqueue_external(Task* const* tasks, std::size_t count);
+  // Schedule a task from a completion context: onto the executing worker's
+  // own deque when the caller is one of our workers, else via mailbox.
+  void schedule_ready(Task* task);
+  // One attempt to take a task as worker `self`: own deque, own mailbox,
+  // then steal sweep over the other workers. Returns nullptr when dry.
+  Task* take_work(std::size_t self);
+  void note_depth(std::size_t depth) noexcept;
+  bool nested_inline() const noexcept;
+  void wait_remaining(std::atomic<std::size_t>& remaining);
+
+  std::vector<std::unique_ptr<WorkerState>> state_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> round_robin_{0};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  std::uint64_t generation_ = 0;  // guarded by sleep_mutex_
+  bool stop_ = false;             // guarded by sleep_mutex_
+
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> max_depth_{0};
+};
+
+template <typename Fn>
+void Scheduler::for_each_dynamic(std::size_t n, std::size_t grain, Fn&& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t blocks = (n + grain - 1) / grain;
+  if (blocks <= 1 || nested_inline()) {
+    std::forward<Fn>(fn)(std::size_t{0}, n, std::size_t{0});
+    return;
+  }
+
+  LoopState state;
+  state.fn = &fn;
+  state.call = [](void* f, std::size_t b, std::size_t e, std::size_t slot) {
+    (*static_cast<std::remove_reference_t<Fn>*>(f))(b, e, slot);
+  };
+  state.remaining.store(blocks, std::memory_order_relaxed);
+
+  std::vector<Task> tasks(blocks);
+  std::vector<Task*> pointers(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    tasks[i].invoke = &Scheduler::invoke_block;
+    tasks[i].context = &state;
+    tasks[i].begin = i * grain;
+    tasks[i].end = std::min(n, (i + 1) * grain);
+    pointers[i] = &tasks[i];
+  }
+  enqueue_external(pointers.data(), pointers.size());
+  wait_remaining(state.remaining);
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace sorel::sched

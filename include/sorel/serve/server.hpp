@@ -42,8 +42,8 @@
 // vocabulary) and the daemon keeps serving. handle_line never throws.
 //
 // Threading: handle_line is safe to call from any number of threads. The
-// front ends (run_stdio, tcp.hpp) multiplex client lines onto
-// runtime::ThreadPool::global() and emit responses in per-client request
+// front ends (run_stdio, tcp.hpp) multiplex client lines onto the
+// process-wide sched::Scheduler and emit responses in per-client request
 // order via ResponseSequencer.
 #pragma once
 
@@ -66,6 +66,7 @@
 #include "sorel/guard/budget.hpp"
 #include "sorel/json/json.hpp"
 #include "sorel/memo/shared_memo.hpp"
+#include "sorel/runtime/exec_policy.hpp"
 #include "sorel/serve/protocol.hpp"
 
 namespace sorel::serve {
@@ -84,25 +85,45 @@ struct ServerStats {
   std::uint64_t engine_evaluations = 0;
   std::uint64_t engine_memo_hits = 0;
   std::uint64_t shared_hits = 0;
+
+  // Additive fields (still protocol version 1 — consumers of the fields
+  // above are unaffected). The first three snapshot the process-wide
+  // sorel::sched scheduler, which front ends dispatch requests onto and
+  // every for_each-based analysis runs its blocks on.
+  std::uint64_t tasks_run = 0;       // scheduler tasks executed
+  std::uint64_t steals = 0;          // tasks taken from another worker
+  std::uint64_t max_queue_depth = 0;  // high-water worker queue depth
+  /// Fixed-point SCC blocks of eval requests, summed over requests (each
+  /// request contributes its last query's ReliabilityEngine::Stats::
+  /// fixpoint_sccs; 0 for acyclic specs).
+  std::uint64_t fixpoint_sccs = 0;
 };
 
 class Server {
  public:
-  struct Options {
-    /// Worker chunks for batch / inject requests (0 = hardware concurrency;
-    /// results are bit-identical for every value).
-    std::size_t threads = 0;
+  /// Derives runtime::ExecPolicy: `threads`, `work_stealing`, `seed`, and
+  /// `shared_memo` are the shared execution knobs (old loose spellings like
+  /// `options.threads` keep compiling), forwarded to every batch / inject
+  /// request. Results are bit-identical for every thread count and
+  /// stealing on or off.
+  struct Options : runtime::ExecPolicy {
+    Options() { shared_memo = true; }  // keep the hot table on by default
     /// Admission control: the default guard::Budget every request runs
     /// under. A request-level "budget" object overlays it
     /// (guard::Budget::overlaid_with), so one pathological query terminates
     /// with a budget_exceeded response instead of starving the pool.
     guard::Budget budget;
     /// Engine configuration for every session the server creates
-    /// (allow_recursion, fixed-point caps, ...).
+    /// (allow_recursion, fixed-point caps, ...). `shared_memo` (from the
+    /// policy base; default on here) keeps one cross-worker memo table hot
+    /// across requests — off, every request pays its own warm-up. Results
+    /// identical either way.
     core::ReliabilityEngine::Options engine;
-    /// Keep one cross-worker memo table hot across requests (default on).
-    /// Off: every request pays its own warm-up. Results identical either way.
-    bool shared_memo = true;
+
+    /// The execution-policy slice (unified accessor across every analysis
+    /// options struct): options.exec().with_threads(8)...
+    runtime::ExecPolicy& exec() noexcept { return *this; }
+    const runtime::ExecPolicy& exec() const noexcept { return *this; }
   };
 
   /// A server with no spec loaded: every evaluation request answers with a
@@ -179,6 +200,7 @@ class Server {
   std::atomic<std::uint64_t> engine_evaluations_{0};
   std::atomic<std::uint64_t> engine_memo_hits_{0};
   std::atomic<std::uint64_t> shared_hits_{0};
+  std::atomic<std::uint64_t> fixpoint_sccs_{0};
 };
 
 /// Reorder buffer for one client's responses: workers complete requests in
@@ -211,9 +233,9 @@ class ResponseSequencer {
 };
 
 /// The stdin/stdout front end: read request lines from `in` until EOF or an
-/// accepted shutdown request, dispatch each onto runtime::ThreadPool::
-/// global(), and write one response line per request to `out` in request
-/// order. Returns the number of requests served. `cancel`, when non-null,
+/// accepted shutdown request, dispatch each onto the process-wide
+/// sched::Scheduler, and write one response line per request to `out` in
+/// request order. Returns the number of requests served. `cancel`, when non-null,
 /// is handed to every request (the CLI cancels it on SIGTERM-style exits).
 std::size_t run_stdio(Server& server, std::istream& in, std::ostream& out,
                       std::shared_ptr<const guard::CancelToken> cancel = nullptr);

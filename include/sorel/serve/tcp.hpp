@@ -1,10 +1,9 @@
 // TCP front end for the serve protocol: a loopback-friendly line server.
 //
 // Each accepted connection is one client: a reader thread splits the byte
-// stream into request lines, dispatches them onto
-// runtime::ThreadPool::global() through the shared Server, and a
-// ResponseSequencer writes the responses back in that connection's request
-// order. A client that disconnects mid-flight trips its connection's
+// stream into request lines, dispatches them onto the process-wide
+// sched::Scheduler through the shared Server, and a ResponseSequencer
+// writes the responses back in that connection's request order. A client that disconnects mid-flight trips its connection's
 // CancelToken: in-flight requests stop at their next guard checkpoint and
 // their (now unsendable) responses are discarded — the daemon keeps
 // serving every other client.

@@ -41,6 +41,11 @@ struct SimulationOptions : runtime::ExecPolicy {
   /// (defensive bound for recursive assemblies); the replication counts as a
   /// failure, which is conservative.
   std::size_t max_depth = 10'000;
+
+  /// The execution-policy slice (unified accessor across every analysis
+  /// options struct): options.exec().with_threads(8).with_seed(7)...
+  runtime::ExecPolicy& exec() noexcept { return *this; }
+  const runtime::ExecPolicy& exec() const noexcept { return *this; }
 };
 
 struct SimulationResult {

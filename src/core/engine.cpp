@@ -1,11 +1,13 @@
 #include "sorel/core/engine.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <string>
 #include <utility>
 
 #include "sorel/core/state_failure.hpp"
+#include "sorel/sched/scheduler.hpp"
 #include "sorel/util/error.hpp"
 #include "sorel/util/strings.hpp"
 
@@ -466,7 +468,17 @@ double ReliabilityEngine::pfail(std::string_view service_name,
 double ReliabilityEngine::pfail_guarded(const Service& svc,
                                         const std::vector<double>& args) {
   double result = pfail_cached(svc, args);
-  if (!recursion_hit_) return result;
+  if (!recursion_hit_) {
+    stats_.fixpoint_sccs = 0;
+    return result;
+  }
+
+  // SCC-ordered solve, opt-in. An armed guard keeps the global solver: the
+  // budget's max_fixpoint_iterations cap is defined against the global
+  // iteration count, not per-component counts.
+  if (options_.parallel_fixpoint && !meter_.armed()) {
+    return solve_fixpoint_sccs(svc, args);
+  }
 
   // Fixed-point mode: some evaluation consulted an assumed value. Re-run the
   // whole evaluation, feeding back the computed unreliabilities of the
@@ -508,6 +520,215 @@ double ReliabilityEngine::pfail_guarded(const Service& svc,
   }
   // The memo now holds values computed against near-converged assumptions;
   // drop it so later queries with fresh roots re-derive from scratch.
+  stats_.fixpoint_sccs = build_fixpoint_plan().groups.size();
+  memo_.clear();
+  assumed_.clear();
+  return result;
+}
+
+ReliabilityEngine::FixpointPlan ReliabilityEngine::build_fixpoint_plan() const {
+  // Static service graph: one node per service, an edge to every binding
+  // target and connector. Cycles of (service, args) keys can only run along
+  // these edges, so the condensation's partial order is a sound dependency
+  // order for the dynamic key groups.
+  const std::vector<std::string> names = assembly_.service_names();
+  std::map<std::string_view, std::size_t> index;
+  for (std::size_t i = 0; i < names.size(); ++i) index[names[i]] = i;
+  std::vector<std::vector<std::size_t>> adj(names.size());
+  for (const auto& [key, binding] : assembly_.bindings()) {
+    const std::size_t from = index.at(key.first);
+    adj[from].push_back(index.at(binding.target));
+    if (!binding.connector.empty()) {
+      adj[from].push_back(index.at(binding.connector));
+    }
+  }
+
+  // Iterative Tarjan. Components pop in callee-first order: every component
+  // reachable from component c is assigned a smaller id than c.
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> comp(names.size(), kUnvisited);
+  std::vector<std::size_t> low(names.size(), 0), disc(names.size(), kUnvisited);
+  std::vector<char> on_stack(names.size(), 0);
+  std::vector<std::size_t> scc_stack;
+  std::size_t next_disc = 0, comp_count = 0;
+  struct Frame {
+    std::size_t node;
+    std::size_t edge = 0;
+  };
+  std::vector<Frame> dfs;
+  for (std::size_t root = 0; root < names.size(); ++root) {
+    if (disc[root] != kUnvisited) continue;
+    dfs.push_back({root});
+    disc[root] = low[root] = next_disc++;
+    scc_stack.push_back(root);
+    on_stack[root] = 1;
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const std::size_t u = frame.node;
+      if (frame.edge < adj[u].size()) {
+        const std::size_t v = adj[u][frame.edge++];
+        if (disc[v] == kUnvisited) {
+          disc[v] = low[v] = next_disc++;
+          scc_stack.push_back(v);
+          on_stack[v] = 1;
+          dfs.push_back({v});
+        } else if (on_stack[v]) {
+          low[u] = std::min(low[u], disc[v]);
+        }
+      } else {
+        if (low[u] == disc[u]) {
+          std::size_t v;
+          do {
+            v = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[v] = 0;
+            comp[v] = comp_count;
+          } while (v != u);
+          ++comp_count;
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          low[dfs.back().node] = std::min(low[dfs.back().node], low[u]);
+        }
+      }
+    }
+  }
+
+  // Bucket the dynamically discovered cyclic keys by component, ascending
+  // component id == callees first.
+  std::map<std::size_t, std::vector<Key>> buckets;
+  for (const Key& key : cyclic_keys_) {
+    buckets[comp.at(index.at(key.first->name()))].push_back(key);
+  }
+  FixpointPlan plan;
+  std::map<std::size_t, std::size_t> group_of_comp;
+  for (auto& [c, keys] : buckets) {
+    group_of_comp[c] = plan.groups.size();
+    std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+      const std::string_view an = a.first->name(), bn = b.first->name();
+      return an != bn ? an < bn : a.second < b.second;
+    });
+    plan.groups.push_back({std::move(keys), {}});
+  }
+  if (plan.groups.size() <= 1) return plan;
+
+  // Group dependencies: g depends on every cyclic component its own
+  // component can reach in the condensation (direct or transitive — the
+  // TaskGraph tolerates redundant edges).
+  std::vector<std::vector<std::size_t>> comp_adj(comp_count);
+  for (std::size_t u = 0; u < names.size(); ++u) {
+    for (const std::size_t v : adj[u]) {
+      if (comp[u] != comp[v]) comp_adj[comp[u]].push_back(comp[v]);
+    }
+  }
+  for (auto& [c, group_id] : group_of_comp) {
+    std::vector<char> seen(comp_count, 0);
+    std::vector<std::size_t> frontier{c};
+    seen[c] = 1;
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.back();
+      frontier.pop_back();
+      for (const std::size_t v : comp_adj[u]) {
+        if (seen[v]) continue;
+        seen[v] = 1;
+        frontier.push_back(v);
+        const auto it = group_of_comp.find(v);
+        if (it != group_of_comp.end()) {
+          plan.groups[group_id].deps.push_back(it->second);
+        }
+      }
+    }
+    std::sort(plan.groups[group_id].deps.begin(),
+              plan.groups[group_id].deps.end());
+  }
+  return plan;
+}
+
+double ReliabilityEngine::solve_fixpoint_sccs(const Service& svc,
+                                              const std::vector<double>& args) {
+  // The discovery pass (pfail_cached above) populated cyclic_keys_. Each
+  // component's keys converge as their own block against already-converged
+  // callee components; components that cannot reach one another run as
+  // independent scheduler tasks. Every task evaluates from the *root* query
+  // — reachability (hence the cycle-hit key set) is structural, so a task
+  // can only ever consult assumed values that some group owns, and the
+  // dependency edges guarantee those are converged before it starts.
+  const FixpointPlan plan = build_fixpoint_plan();
+  const std::size_t cap = options_.max_fixpoint_iterations;
+
+  std::vector<std::map<Key, double>> converged(plan.groups.size());
+  std::vector<Stats> group_stats(plan.groups.size());
+
+  sched::TaskGraph graph;
+  std::vector<sched::TaskGraph::TaskId> ids(plan.groups.size());
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    ids[g] = graph.add([this, &plan, &converged, &group_stats, &svc, &args, cap,
+                        g] {
+      const FixpointPlan::Group& group = plan.groups[g];
+      Options scratch_options = options_;
+      scratch_options.parallel_fixpoint = false;
+      ReliabilityEngine scratch(assembly_, scratch_options);
+      for (const std::size_t dep : group.deps) {
+        for (const auto& [key, value] : converged[dep]) {
+          scratch.assumed_[key] = value;
+        }
+      }
+      for (std::size_t iter = 1; iter <= cap; ++iter) {
+        group_stats[g].fixpoint_iterations = iter;
+        scratch.memo_.clear();
+        scratch.pfail_cached(svc, args);
+        double max_delta = 0.0;
+        for (const Key& key : group.keys) {
+          const auto it = scratch.memo_.find(key);
+          if (it == scratch.memo_.end()) continue;  // not reached this round
+          const auto assumed_it = scratch.assumed_.find(key);
+          const double previous =
+              assumed_it == scratch.assumed_.end() ? 0.0 : assumed_it->second;
+          const double updated =
+              previous + options_.damping * (it->second.value - previous);
+          max_delta = std::max(max_delta, std::fabs(updated - previous));
+          scratch.assumed_[key] = updated;
+        }
+        if (max_delta < options_.fixpoint_tolerance) break;
+        if (iter == cap) {
+          throw NumericError(
+              "fixed-point evaluation of recursive assembly did not "
+              "converge within " +
+              std::to_string(cap) + " iterations");
+        }
+      }
+      for (const Key& key : group.keys) {
+        const auto it = scratch.assumed_.find(key);
+        if (it != scratch.assumed_.end()) converged[g][key] = it->second;
+      }
+      group_stats[g].evaluations = scratch.stats_.evaluations;
+      group_stats[g].memo_hits = scratch.stats_.memo_hits;
+    });
+    for (const std::size_t dep : plan.groups[g].deps) {
+      graph.depend(ids[g], ids[dep]);
+    }
+  }
+  sched::Scheduler::global().run(graph);
+
+  // Accumulate in the fixed callee-first group order, so the counters are
+  // identical whether the tasks ran inline, serial, or stolen across
+  // workers.
+  std::size_t total_iterations = 0;
+  assumed_.clear();
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    stats_.evaluations += group_stats[g].evaluations;
+    stats_.memo_hits += group_stats[g].memo_hits;
+    total_iterations += group_stats[g].fixpoint_iterations;
+    for (const auto& [key, value] : converged[g]) assumed_[key] = value;
+  }
+  stats_.fixpoint_iterations = total_iterations;
+  stats_.fixpoint_sccs = plan.groups.size();
+
+  // One evaluation against the converged assumptions yields the root value
+  // (and consistent memo entries for the duration of the call); then drop
+  // the fixed-point state, exactly like the global solver.
+  memo_.clear();
+  const double result = pfail_cached(svc, args);
   memo_.clear();
   assumed_.clear();
   return result;

@@ -4,9 +4,11 @@
 #include <optional>
 #include <string>
 
+#include <memory>
+
 #include "sorel/core/performance.hpp"
 #include "sorel/core/session.hpp"
-#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/runtime/for_each.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::core {
@@ -48,12 +50,18 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
     combinations *= point.candidates.size();
   }
 
-  // Evaluate combinations on the runtime. Each worker hoists one mutable
-  // Assembly copy (bind() mutates, so the shared assembly cannot back the
-  // sessions here) and one EvalSession for its whole chunk — one validate()
-  // per worker, not per combination. Rebinding a selection point drops only
+  // Evaluate combinations on the runtime. Each worker slot lazily hoists
+  // one mutable Assembly copy (bind() mutates, so the shared assembly
+  // cannot back the sessions here) and one EvalSession — one validate()
+  // per slot, not per combination. Rebinding a selection point drops only
   // the memoised results that consulted that binding, so results for
   // subtrees unaffected by the choice survive across combinations.
+  //
+  // Under work stealing a slot may receive non-contiguous blocks of
+  // combinations; the mixed-radix diff below rewires from *whatever the
+  // slot's assembly is currently bound to* straight to the block's first
+  // combination, so results never depend on which blocks a slot saw (the
+  // determinism grid in tests/sched pins this).
   //
   // The shared memo table is built over the *original* assembly: workers
   // start diverged at the selection points (their copies are re-wired), but
@@ -66,57 +74,82 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
   if (options.shared_memo) shared_cache = make_shared_memo(assembly);
   std::vector<RankedAssembly> entries(combinations);
   std::vector<char> kept(combinations, 0);
-  runtime::parallel_for(
-      combinations, options.threads,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        Assembly wired = assembly;
-        std::vector<std::size_t> choice(points.size(), 0);
-        const auto decode = [&](std::size_t combo, std::vector<std::size_t>& out) {
-          std::size_t rest = combo;  // mixed radix, least significant first
+
+  struct Slot {
+    explicit Slot(const Assembly& base) : wired(base) {}
+    Assembly wired;
+    std::optional<EvalSession> session;
+    std::optional<PerformanceEngine> perf;
+    std::vector<std::size_t> choice;
+    std::vector<std::size_t> next;
+  };
+  const std::size_t slot_count = runtime::for_each_slots(combinations, options);
+  std::vector<std::unique_ptr<Slot>> slots(slot_count);
+
+  const auto decode = [&](std::size_t combo, std::vector<std::size_t>& out) {
+    std::size_t rest = combo;  // mixed radix, least significant first
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      out[i] = rest % points[i].candidates.size();
+      rest /= points[i].candidates.size();
+    }
+  };
+  const auto bind_point = [&](Slot& slot, std::size_t i) {
+    slot.wired.bind(points[i].service, points[i].port,
+                    points[i].candidates[slot.choice[i]]);
+  };
+  // Rewire an initialized slot from its current combination to `combo`:
+  // rebind exactly the selection points whose digit changed.
+  const auto rewire = [&](Slot& slot, std::size_t combo) {
+    decode(combo, slot.next);
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (slot.next[i] != slot.choice[i]) {
+        slot.choice[i] = slot.next[i];
+        bind_point(slot, i);
+        slot.session->invalidate_binding(points[i].service, points[i].port);
+        changed = true;
+      }
+    }
+    if (changed && slot.perf) slot.perf->clear_cache();
+  };
+
+  runtime::for_each(
+      combinations, options, /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t slot_id) {
+        if (!slots[slot_id]) {
+          auto fresh = std::make_unique<Slot>(assembly);
+          fresh->choice.resize(points.size());
+          fresh->next.resize(points.size());
+          decode(begin, fresh->choice);
           for (std::size_t i = 0; i < points.size(); ++i) {
-            out[i] = rest % points[i].candidates.size();
-            rest /= points[i].candidates.size();
+            bind_point(*fresh, i);
           }
-        };
-        const auto bind_point = [&](std::size_t i) {
-          wired.bind(points[i].service, points[i].port,
-                     points[i].candidates[choice[i]]);
-        };
+          fresh->session.emplace(fresh->wired);
+          if (shared_cache) fresh->session->attach_shared_memo(shared_cache);
+          if (objective.time_weight != 0.0) fresh->perf.emplace(fresh->wired);
+          slots[slot_id] = std::move(fresh);
+        } else {
+          rewire(*slots[slot_id], begin);
+        }
+        Slot& slot = *slots[slot_id];
 
-        decode(begin, choice);
-        for (std::size_t i = 0; i < points.size(); ++i) bind_point(i);
-        EvalSession session(wired);
-        if (shared_cache) session.attach_shared_memo(shared_cache);
-        std::optional<PerformanceEngine> perf;
-        if (objective.time_weight != 0.0) perf.emplace(wired);
-
-        std::vector<std::size_t> next(points.size(), 0);
         for (std::size_t combo = begin; combo < end; ++combo) {
-          if (combo != begin) {
-            decode(combo, next);
-            for (std::size_t i = 0; i < points.size(); ++i) {
-              if (next[i] != choice[i]) {
-                choice[i] = next[i];
-                bind_point(i);
-                session.invalidate_binding(points[i].service, points[i].port);
-              }
-            }
-            if (perf) perf->clear_cache();
-          }
+          if (combo != begin) rewire(slot, combo);
 
           RankedAssembly entry;
-          entry.choice = choice;
+          entry.choice = slot.choice;
           entry.labels.reserve(points.size());
           for (std::size_t i = 0; i < points.size(); ++i) {
             entry.labels.push_back(
                 points[i].labels.empty()
-                    ? default_label(points[i].candidates[choice[i]])
-                    : points[i].labels[choice[i]]);
+                    ? default_label(points[i].candidates[slot.choice[i]])
+                    : points[i].labels[slot.choice[i]]);
           }
-          entry.reliability = session.reliability(service_name, args);
+          entry.reliability = slot.session->reliability(service_name, args);
           if (entry.reliability < objective.min_reliability) continue;
-          if (perf) {
-            entry.expected_duration = perf->expected_duration(service_name, args);
+          if (slot.perf) {
+            entry.expected_duration =
+                slot.perf->expected_duration(service_name, args);
           }
           entry.score =
               entry.reliability - objective.time_weight * entry.expected_duration;

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "sorel/core/engine.hpp"
-#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/runtime/for_each.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::core {
@@ -159,11 +160,16 @@ std::vector<AttributeSensitivity> attribute_sensitivities(
   std::shared_ptr<memo::SharedMemo> shared_cache;
   if (options.shared_memo) shared_cache = make_shared_memo(assembly);
   std::vector<AttributeSensitivity> out(resolved.names.size());
-  runtime::parallel_for(
-      resolved.names.size(), options.threads,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        EvalSession session(assembly);
-        if (shared_cache) session.attach_shared_memo(shared_cache);
+  std::vector<std::optional<EvalSession>> sessions(
+      runtime::for_each_slots(resolved.names.size(), options));
+  runtime::for_each(
+      resolved.names.size(), options, /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        if (!sessions[slot]) {
+          sessions[slot].emplace(assembly);
+          if (shared_cache) sessions[slot]->attach_shared_memo(shared_cache);
+        }
+        EvalSession& session = *sessions[slot];
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = probe_attribute(session, service_name, args, resolved.names[i],
                                    resolved.values[i], options.relative_step,
@@ -220,13 +226,18 @@ std::vector<ComponentImportance> component_importances(
   ReliabilityEngine base_engine(assembly);
   const double base_reliability = base_engine.reliability(service_name, args);
 
-  // The perfect/failed probes only change engine-level pfail overrides, so
-  // workers share the (read-only) assembly and reuse one session per chunk.
+  // The perfect/failed probes only change engine-level pfail overrides
+  // (each probe installs its full override map, so slot state never leaks
+  // between items), so workers share the (read-only) assembly and reuse
+  // one session per slot.
   std::vector<ComponentImportance> out(names.size());
-  runtime::parallel_for(
-      names.size(), exec.threads,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        EvalSession session(assembly);
+  std::vector<std::optional<EvalSession>> sessions(
+      runtime::for_each_slots(names.size(), exec));
+  runtime::for_each(
+      names.size(), exec, /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        if (!sessions[slot]) sessions[slot].emplace(assembly);
+        EvalSession& session = *sessions[slot];
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = probe_component(session, service_name, args, names[i],
                                    base_reliability);

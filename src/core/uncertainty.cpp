@@ -4,8 +4,11 @@
 #include <cmath>
 #include <string>
 
+#include <memory>
+#include <optional>
+
 #include "sorel/core/engine.hpp"
-#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/runtime/for_each.hpp"
 #include "sorel/util/error.hpp"
 #include "sorel/util/rng.hpp"
 
@@ -173,11 +176,16 @@ UncertaintyResult propagate_uncertainty(
   std::shared_ptr<memo::SharedMemo> shared_cache;
   if (options.shared_memo) shared_cache = make_shared_memo(assembly);
   std::vector<double> samples(options.samples);
-  runtime::parallel_for(
-      options.samples, options.threads,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        EvalSession session(assembly);
-        if (shared_cache) session.attach_shared_memo(shared_cache);
+  std::vector<std::optional<EvalSession>> sessions(
+      runtime::for_each_slots(options.samples, options));
+  runtime::for_each(
+      options.samples, options, /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        if (!sessions[slot]) {
+          sessions[slot].emplace(assembly);
+          if (shared_cache) sessions[slot]->attach_shared_memo(shared_cache);
+        }
+        EvalSession& session = *sessions[slot];
         for (std::size_t i = begin; i < end; ++i) {
           samples[i] = evaluate_sample(session, service_name, args,
                                        uncertain_attributes, {}, options.seed, i);

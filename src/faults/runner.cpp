@@ -4,12 +4,13 @@
 #include <chrono>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "sorel/core/service.hpp"
 #include "sorel/core/session.hpp"
-#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/runtime/for_each.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::faults {
@@ -385,42 +386,46 @@ CampaignReport CampaignRunner::run(const Campaign& campaign) {
 
   const std::size_t n = campaign.scenarios.size();
   report.outcomes.resize(n);
-  const std::size_t chunks =
-      n == 0 ? 0 : std::min(n, runtime::resolve_threads(options_.threads));
-  struct ChunkCounters {
-    std::size_t evaluations = 0;
-    std::size_t shared_hits = 0;
-    std::size_t shared_misses = 0;
-  };
-  std::vector<ChunkCounters> chunk_counters(chunks == 0 ? 1 : chunks);
 
-  runtime::parallel_for(
-      n, options_.threads,
-      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
-        std::optional<Worker> spawned;
-        Worker& worker =
-            chunk == 0 ? main_worker
-                       : spawned.emplace(assembly_, campaign, options_, shared);
-        for (std::size_t i = begin; i < end; ++i) {
-          report.outcomes[i] = worker.run_scenario(i);
+  // Slot 0 reuses the baseline prober's warm session (the static-chunk and
+  // inline paths run scenarios there); other slots lazily spawn their own
+  // warm worker the first time a block lands on them. Every scenario is an
+  // inject→query→revert round-trip back to the identical fully-warm state,
+  // so outcome rows never depend on which (possibly non-contiguous) blocks
+  // a slot received under work stealing.
+  std::vector<std::unique_ptr<Worker>> spawned(
+      runtime::for_each_slots(n, options_));
+  runtime::for_each(
+      n, options_, /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t slot) {
+        Worker* worker = &main_worker;
+        if (slot != 0) {
+          if (!spawned[slot]) {
+            spawned[slot] =
+                std::make_unique<Worker>(assembly_, campaign, options_, shared);
+          }
+          worker = spawned[slot].get();
         }
-        chunk_counters[chunk] = {worker.total_evaluations(),
-                                 worker.total_shared_hits(),
-                                 worker.total_shared_misses()};
+        for (std::size_t i = begin; i < end; ++i) {
+          report.outcomes[i] = worker->run_scenario(i);
+        }
       });
 
-  report.chunks = chunks;
   report.shared_memo = shared != nullptr;
-  if (n == 0) {
-    report.engine_evaluations = main_worker.total_evaluations();
-    report.shared_hits = main_worker.total_shared_hits();
-    report.shared_misses = main_worker.total_shared_misses();
-  } else {
-    for (const ChunkCounters& counters : chunk_counters) {
-      report.engine_evaluations += counters.evaluations;
-      report.shared_hits += counters.shared_hits;
-      report.shared_misses += counters.shared_misses;
-    }
+  // Deterministic merge order: the baseline worker first, then spawned
+  // slots ascending. (Which slots spawned — and therefore the physical
+  // counter totals — is timing-dependent under work stealing; per-scenario
+  // rows are not.)
+  report.chunks = n == 0 ? 0 : 1;
+  report.engine_evaluations = main_worker.total_evaluations();
+  report.shared_hits = main_worker.total_shared_hits();
+  report.shared_misses = main_worker.total_shared_misses();
+  for (const std::unique_ptr<Worker>& worker : spawned) {
+    if (!worker) continue;
+    ++report.chunks;
+    report.engine_evaluations += worker->total_evaluations();
+    report.shared_hits += worker->total_shared_hits();
+    report.shared_misses += worker->total_shared_misses();
   }
   if (shared) report.shared_cache_stats = shared->stats();
   for (const ScenarioOutcome& outcome : report.outcomes) {

@@ -1,10 +1,11 @@
 #include "sorel/runtime/batch.hpp"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "sorel/core/session.hpp"
-#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/runtime/for_each.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::runtime {
@@ -29,8 +30,6 @@ BatchEvaluator::BatchEvaluator(const core::Assembly& assembly, Options options)
 std::vector<BatchItem> BatchEvaluator::evaluate(
     const std::vector<BatchJob>& jobs) {
   const auto batch_start = std::chrono::steady_clock::now();
-  const std::size_t chunks =
-      jobs.empty() ? 0 : std::min(jobs.size(), resolve_threads(options_.threads));
 
   // One shared memo table for the whole batch (unless the caller brought a
   // warm one): a (service, args) result over unchanged base state is then
@@ -44,21 +43,32 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
   }
 
   std::vector<BatchItem> results(jobs.size());
-  std::vector<core::ReliabilityEngine::Stats> chunk_stats(
-      chunks == 0 ? 1 : chunks);
-  parallel_for(jobs.size(), options_.threads,
-               [&](std::size_t begin, std::size_t end, std::size_t chunk) {
-    // One session per worker over the *shared* assembly — one validate()
-    // per chunk, no Assembly copy (job overrides live in the session).
-    core::EvalSession::Options session_options;
-    session_options.engine = options_.engine;
-    core::EvalSession session(assembly_, std::move(session_options));
-    if (shared) session.attach_shared_memo(shared);
-    const bool global_guard =
-        !options_.budget.unlimited() || options_.cancel != nullptr;
-    if (global_guard) session.set_budget(options_.budget, options_.cancel);
+  // One lazily-created session per worker slot over the *shared* assembly —
+  // one validate() per slot, no Assembly copy (job overrides live in the
+  // session). Per-job re-basing below makes every job independent of the
+  // slot's history, so it does not matter which (possibly non-contiguous)
+  // blocks of jobs a slot receives under work stealing.
+  struct Slot {
+    std::optional<core::EvalSession> session;
     bool pfail_dirty = false;
     bool budget_dirty = false;
+  };
+  std::vector<Slot> slots(runtime::for_each_slots(jobs.size(), options_));
+  for_each(jobs.size(), options_, /*grain=*/1,
+           [&](std::size_t begin, std::size_t end, std::size_t slot_id) {
+    Slot& slot = slots[slot_id];
+    if (!slot.session) {
+      core::EvalSession::Options session_options;
+      session_options.engine = options_.engine;
+      slot.session.emplace(assembly_, std::move(session_options));
+      if (shared) slot.session->attach_shared_memo(shared);
+      const bool global_guard =
+          !options_.budget.unlimited() || options_.cancel != nullptr;
+      if (global_guard) slot.session->set_budget(options_.budget, options_.cancel);
+    }
+    core::EvalSession& session = *slot.session;
+    bool& pfail_dirty = slot.pfail_dirty;
+    bool& budget_dirty = slot.budget_dirty;
     for (std::size_t i = begin; i < end; ++i) {
       const BatchJob& job = jobs[i];
       const auto job_start = std::chrono::steady_clock::now();
@@ -112,13 +122,14 @@ std::vector<BatchItem> BatchEvaluator::evaluate(
       }
       results[i].wall_seconds = seconds_since(job_start);
     }
-    chunk_stats[chunk] = session.stats();
   });
 
   BatchStats stats;
   stats.jobs = jobs.size();
-  stats.chunks = chunks;
-  for (const core::ReliabilityEngine::Stats& s : chunk_stats) {
+  for (const Slot& slot : slots) {  // slot order: deterministic merge
+    if (!slot.session) continue;
+    ++stats.chunks;
+    const core::ReliabilityEngine::Stats s = slot.session->stats();
     stats.engine_evaluations += s.evaluations;
     stats.engine_memo_hits += s.memo_hits;
     stats.engine_memo_invalidated += s.memo_invalidated;

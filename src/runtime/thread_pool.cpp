@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "sorel/sched/scheduler.hpp"
+
 namespace sorel::runtime {
 
 namespace {
@@ -42,6 +44,10 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::worker_loop() {
   t_on_worker = true;
+  // Also register with sorel::sched so nested scheduler constructs
+  // (for_each_dynamic, TaskGraph runs) degrade to inline on pool workers,
+  // symmetric with parallel_for inlining on scheduler workers.
+  sched::Scheduler::mark_task_worker();
   for (;;) {
     std::function<void()> task;
     {

@@ -1,0 +1,411 @@
+#include "sorel/sched/scheduler.hpp"
+
+#include <cstdlib>
+#include <queue>
+#include <string>
+
+#include "sorel/util/error.hpp"
+
+namespace sorel::sched {
+
+namespace {
+
+// Worker identity of the calling thread. t_task_worker is also set (without
+// the scheduler pointer) by runtime::ThreadPool workers via
+// mark_task_worker(), so every nested parallel construct — scheduler or
+// static pool — degrades to inline regardless of which executor owns the
+// thread.
+thread_local Scheduler* t_scheduler = nullptr;
+thread_local std::size_t t_worker = 0;
+thread_local bool t_task_worker = false;
+
+}  // namespace
+
+// Kahn's algorithm over the declared edges; throws before any task runs so
+// a cyclic graph can never deadlock the parallel path.
+void Scheduler::validate_acyclic(const TaskGraph& graph) {
+  const std::vector<TaskGraph::Node>& nodes = graph.nodes_;
+  std::vector<std::size_t> pending(nodes.size());
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    pending[i] = nodes[i].predecessors;
+    if (pending[i] == 0) ready.push_back(i);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::size_t id = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const std::size_t succ : nodes[id].successors) {
+      if (--pending[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (processed != nodes.size()) {
+    throw InvalidArgument("TaskGraph: dependency edges form a cycle (" +
+                          std::to_string(nodes.size() - processed) +
+                          " task(s) can never become ready)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+
+Scheduler::Scheduler(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  state_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    state_.push_back(std::make_unique<WorkerState>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+    ++generation_;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop and work acquisition
+
+void Scheduler::worker_loop(std::size_t w) {
+  t_scheduler = this;
+  t_worker = w;
+  t_task_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    if (Task* task = take_work(w)) {
+      execute(task, w + 1);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (!stop_ && generation_ == seen) {
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    }
+    seen = generation_;
+    if (stop_) {
+      lock.unlock();
+      // Drain like ThreadPool: finish every queued task before exiting (a
+      // completing task may push successors onto this worker's own deque —
+      // they are picked up here before the thread goes away).
+      while (Task* task = take_work(w)) execute(task, w + 1);
+      return;
+    }
+  }
+}
+
+Task* Scheduler::take_work(std::size_t self) {
+  WorkerState& me = *state_[self];
+  if (Task* task = me.deque.pop_bottom()) return task;
+
+  // Drain the mailbox into the deque (so the bulk becomes stealable) and
+  // take the bottom.
+  std::vector<Task*> drained;
+  {
+    std::lock_guard<std::mutex> lock(me.mailbox.mutex);
+    drained.swap(me.mailbox.tasks);
+  }
+  if (!drained.empty()) {
+    for (Task* task : drained) me.deque.push_bottom(task);
+    note_depth(me.deque.size_hint());
+    if (Task* task = me.deque.pop_bottom()) return task;
+  }
+
+  // Steal sweep: victims' deques first (oldest work), then their mailboxes
+  // (work they have not even looked at yet).
+  const std::size_t n = state_.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    WorkerState& victim = *state_[(self + off) % n];
+    if (Task* task = victim.deque.steal_top()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  for (std::size_t off = 1; off < n; ++off) {
+    Mailbox& box = state_[(self + off) % n]->mailbox;
+    std::lock_guard<std::mutex> lock(box.mutex);
+    if (!box.tasks.empty()) {
+      Task* task = box.tasks.back();
+      box.tasks.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::execute(Task* task, std::size_t slot) {
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  task->invoke(task, slot);
+}
+
+// ---------------------------------------------------------------------------
+// Enqueueing
+
+void Scheduler::enqueue_external(Task* const* tasks, std::size_t count) {
+  if (count == 0) return;
+  const std::size_t workers = state_.size();
+  const std::size_t base =
+      round_robin_.fetch_add(count, std::memory_order_relaxed);
+  // Bucket by target worker so each mailbox is locked once per batch.
+  for (std::size_t w = 0; w < workers; ++w) {
+    Mailbox& box = state_[w]->mailbox;
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      for (std::size_t i = (w + workers - base % workers) % workers; i < count;
+           i += workers) {
+        box.tasks.push_back(tasks[i]);
+      }
+      depth = box.tasks.size();
+    }
+    note_depth(depth);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++generation_;
+  }
+  wake_.notify_all();
+}
+
+void Scheduler::schedule_ready(Task* task) {
+  if (t_scheduler == this) {
+    WorkerState& me = *state_[t_worker];
+    me.deque.push_bottom(task);
+    note_depth(me.deque.size_hint());
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      ++generation_;
+    }
+    wake_.notify_one();  // a sleeper may steal it
+    return;
+  }
+  enqueue_external(&task, 1);
+}
+
+void Scheduler::note_depth(std::size_t depth) noexcept {
+  std::uint64_t current = max_depth_.load(std::memory_order_relaxed);
+  while (depth > current &&
+         !max_depth_.compare_exchange_weak(current, depth,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+bool Scheduler::nested_inline() const noexcept { return on_task_worker(); }
+
+void Scheduler::wait_remaining(std::atomic<std::size_t>& remaining) {
+  for (;;) {
+    const std::size_t left = remaining.load(std::memory_order_acquire);
+    if (left == 0) return;
+    remaining.wait(left, std::memory_order_acquire);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// for_each_dynamic blocks
+
+void Scheduler::invoke_block(Task* task, std::size_t slot) {
+  auto* state = static_cast<LoopState*>(task->context);
+  try {
+    state->call(state->fn, task->begin, task->end, slot);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state->error_mutex);
+    if (task->begin < state->error_begin) {
+      state->error_begin = task->begin;
+      state->error = std::current_exception();
+    }
+  }
+  if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    state->remaining.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fire-and-forget submission
+
+namespace {
+struct SubmitState {
+  std::function<void()> fn;
+  Task task;
+};
+
+void invoke_submitted(Task* task, std::size_t /*slot*/) {
+  std::unique_ptr<SubmitState> owner(static_cast<SubmitState*>(task->context));
+  try {
+    owner->fn();
+  } catch (...) {
+    // Submitted closures own their error handling (documented contract,
+    // matching runtime::ThreadPool where an escaped exception would
+    // terminate). Swallowing beats killing a shared worker.
+  }
+}
+}  // namespace
+
+void Scheduler::submit(std::function<void()> fn) {
+  auto state = std::make_unique<SubmitState>();
+  state->fn = std::move(fn);
+  state->task.invoke = &invoke_submitted;
+  state->task.context = state.get();
+  Task* task = &state->task;
+  state.release();  // invoke_submitted reclaims ownership
+  enqueue_external(&task, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Task graphs
+
+struct Scheduler::GraphRun {
+  struct Node {
+    Task task;
+    std::atomic<std::size_t> pending{0};
+    std::atomic<bool> poisoned{false};
+    std::exception_ptr error;
+  };
+
+  Scheduler* self = nullptr;
+  TaskGraph* graph = nullptr;
+  std::unique_ptr<Node[]> nodes;
+  std::atomic<std::size_t> remaining{0};
+};
+
+void Scheduler::invoke_graph_node(Task* task, std::size_t /*slot*/) {
+  auto* run = static_cast<GraphRun*>(task->context);
+  const std::size_t id = task->begin;
+  GraphRun::Node& node = run->nodes[id];
+  bool failed = node.poisoned.load(std::memory_order_relaxed);
+  if (!failed) {
+    try {
+      run->graph->nodes_[id].fn();
+    } catch (...) {
+      node.error = std::current_exception();
+      failed = true;
+    }
+  }
+  for (const TaskGraph::TaskId succ_id : run->graph->nodes_[id].successors) {
+    GraphRun::Node& succ = run->nodes[succ_id];
+    if (failed) succ.poisoned.store(true, std::memory_order_relaxed);
+    // acq_rel: the final decrement observes every predecessor's poison
+    // marks and errors before the successor is scheduled.
+    if (succ.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      run->self->schedule_ready(&succ.task);
+    }
+  }
+  if (run->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    run->remaining.notify_all();
+  }
+}
+
+void Scheduler::run(TaskGraph& graph) {
+  const std::size_t count = graph.nodes_.size();
+  if (count == 0) return;
+  validate_acyclic(graph);
+  if (count == 1 || nested_inline()) {
+    run_graph_inline(graph);
+    return;
+  }
+
+  GraphRun run;
+  run.self = this;
+  run.graph = &graph;
+  run.nodes = std::make_unique<GraphRun::Node[]>(count);
+  run.remaining.store(count, std::memory_order_relaxed);
+  std::vector<Task*> roots;
+  for (std::size_t id = 0; id < count; ++id) {
+    GraphRun::Node& node = run.nodes[id];
+    node.task.invoke = &Scheduler::invoke_graph_node;
+    node.task.context = &run;
+    node.task.begin = id;
+    node.pending.store(graph.nodes_[id].predecessors,
+                       std::memory_order_relaxed);
+    if (graph.nodes_[id].predecessors == 0) roots.push_back(&node.task);
+  }
+  enqueue_external(roots.data(), roots.size());
+  wait_remaining(run.remaining);
+  for (std::size_t id = 0; id < count; ++id) {
+    if (run.nodes[id].error) std::rethrow_exception(run.nodes[id].error);
+  }
+}
+
+void Scheduler::run_graph_inline(TaskGraph& graph) {
+  const std::size_t count = graph.nodes_.size();
+  // Deterministic serial order: among ready tasks, lowest id first. Results
+  // cannot depend on this (independent tasks must not communicate), but a
+  // fixed order keeps inline replays byte-for-byte reproducible.
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<std::size_t>>
+      ready;
+  std::vector<std::size_t> pending(count);
+  std::vector<char> poisoned(count, 0);
+  std::size_t error_id = count;
+  std::exception_ptr error;
+  for (std::size_t id = 0; id < count; ++id) {
+    pending[id] = graph.nodes_[id].predecessors;
+    if (pending[id] == 0) ready.push(id);
+  }
+  while (!ready.empty()) {
+    const std::size_t id = ready.top();
+    ready.pop();
+    bool failed = poisoned[id] != 0;
+    if (!failed) {
+      try {
+        graph.nodes_[id].fn();
+      } catch (...) {
+        if (id < error_id) {
+          error_id = id;
+          error = std::current_exception();
+        }
+        failed = true;
+      }
+    }
+    for (const TaskGraph::TaskId succ : graph.nodes_[id].successors) {
+      if (failed) poisoned[succ] = 1;
+      if (--pending[succ] == 0) ready.push(succ);
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection and globals
+
+SchedStats Scheduler::stats() const noexcept {
+  SchedStats out;
+  out.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  out.steals = steals_.load(std::memory_order_relaxed);
+  out.max_queue_depth = max_depth_.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool Scheduler::on_scheduler_thread() noexcept { return t_scheduler != nullptr; }
+
+void Scheduler::mark_task_worker() noexcept { t_task_worker = true; }
+
+bool Scheduler::on_task_worker() noexcept { return t_task_worker; }
+
+Scheduler& Scheduler::global() {
+  static Scheduler scheduler(default_workers());
+  return scheduler;
+}
+
+std::size_t Scheduler::default_workers() {
+  if (const char* env = std::getenv("SOREL_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+}  // namespace sorel::sched

@@ -1,6 +1,6 @@
 #include <utility>
 
-#include "sorel/runtime/thread_pool.hpp"
+#include "sorel/sched/scheduler.hpp"
 #include "sorel/serve/server.hpp"
 
 namespace sorel::serve {
@@ -40,14 +40,14 @@ std::size_t run_stdio(Server& server, std::istream& in, std::ostream& out,
     out.flush();  // clients pipeline against a live daemon; never buffer
   });
 
-  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  sched::Scheduler& scheduler = sched::Scheduler::global();
   std::string line;
   std::size_t requests = 0;
   while (!server.shutdown_requested() && std::getline(in, line)) {
     if (line.empty()) continue;  // blank lines are keep-alive no-ops
     const std::uint64_t ticket = sequencer.next_ticket();
     ++requests;
-    pool.submit([&server, &sequencer, ticket, line, cancel] {
+    scheduler.submit([&server, &sequencer, ticket, line, cancel] {
       sequencer.emit(ticket, server.handle_line(line, cancel));
     });
   }

@@ -9,6 +9,7 @@
 #include "sorel/guard/budget_json.hpp"
 #include "sorel/runtime/batch.hpp"
 #include "sorel/runtime/thread_pool.hpp"
+#include "sorel/sched/scheduler.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::serve {
@@ -123,6 +124,10 @@ class Server::SessionLease {
                                         std::memory_order_relaxed);
     server_.shared_hits_.fetch_add(after.shared_hits - before_.shared_hits,
                                    std::memory_order_relaxed);
+    // fixpoint_sccs is a per-query observation, not a cumulative counter:
+    // charge the request's last query as-is (0 for acyclic specs).
+    server_.fixpoint_sccs_.fetch_add(after.fixpoint_sccs,
+                                     std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(state_->pool_mutex);
     state_->idle.push_back(std::move(pooled_));
   }
@@ -201,6 +206,11 @@ ServerStats Server::stats() const {
   out.engine_evaluations = engine_evaluations_.load(std::memory_order_relaxed);
   out.engine_memo_hits = engine_memo_hits_.load(std::memory_order_relaxed);
   out.shared_hits = shared_hits_.load(std::memory_order_relaxed);
+  out.fixpoint_sccs = fixpoint_sccs_.load(std::memory_order_relaxed);
+  const sched::SchedStats sched_stats = sched::Scheduler::global().stats();
+  out.tasks_run = sched_stats.tasks_run;
+  out.steals = sched_stats.steals;
+  out.max_queue_depth = sched_stats.max_queue_depth;
   return out;
 }
 
@@ -342,11 +352,10 @@ json::Object Server::op_batch(
   }
 
   runtime::BatchEvaluator::Options options;
-  options.threads = options_.threads;
+  options.exec() = options_.exec();  // threads / seed / stealing / sharing
   options.engine = options_.engine;
   options.budget = effective_budget(options_.budget, document);
   options.cancel = cancel;
-  options.shared_memo = options_.shared_memo;
   if (document.contains("options")) {
     for (const auto& [name, value] : document.at("options").as_object()) {
       if (name == "allow_recursion") {
@@ -421,11 +430,10 @@ json::Object Server::op_inject(
       faults::load_campaign(document.at("campaign"));
 
   faults::CampaignRunner::Options options;
-  options.threads = options_.threads;
+  options.exec() = options_.exec();  // threads / seed / stealing / sharing
   options.engine = options_.engine;
   options.budget = effective_budget(options_.budget, document);
   options.cancel = cancel;
-  options.shared_memo = options_.shared_memo;
   if (options.shared_memo) options.shared_cache = state->memo;
   faults::CampaignRunner runner(state->assembly, options);
   const faults::CampaignReport report = runner.run(campaign);
@@ -539,6 +547,12 @@ json::Object Server::op_stats(const Request& request) {
   response["engine_evaluations"] = totals.engine_evaluations;
   response["engine_memo_hits"] = totals.engine_memo_hits;
   response["shared_hits"] = totals.shared_hits;
+  // Additive fields (protocol stays at version 1; everything above is
+  // byte-stable — tests/serve pins that).
+  response["tasks_run"] = totals.tasks_run;
+  response["steals"] = totals.steals;
+  response["max_queue_depth"] = totals.max_queue_depth;
+  response["fixpoint_sccs"] = totals.fixpoint_sccs;
   std::shared_ptr<SpecState> state = current_state();
   response["spec_loaded"] = state != nullptr;
   if (state != nullptr) {

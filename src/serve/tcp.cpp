@@ -9,7 +9,7 @@
 #include <cstring>
 #include <utility>
 
-#include "sorel/runtime/thread_pool.hpp"
+#include "sorel/sched/scheduler.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::serve {
@@ -137,7 +137,7 @@ void TcpListener::accept_loop() {
 }
 
 void TcpListener::serve_connection(std::shared_ptr<Connection> connection) {
-  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  sched::Scheduler& scheduler = sched::Scheduler::global();
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -158,7 +158,7 @@ void TcpListener::serve_connection(std::shared_ptr<Connection> connection) {
       if (line.empty()) continue;
       const std::uint64_t ticket = connection->sequencer->next_ticket();
       Server* server = &server_;
-      pool.submit([server, connection, ticket, line] {
+      scheduler.submit([server, connection, ticket, line] {
         connection->sequencer->emit(
             ticket, server->handle_line(line, connection->cancel));
       });

@@ -3,7 +3,7 @@
 #include <atomic>
 #include <string>
 
-#include "sorel/runtime/parallel_for.hpp"
+#include "sorel/runtime/for_each.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::sim {
@@ -27,13 +27,15 @@ SimulationResult Simulator::estimate(std::string_view service_name,
                                      const SimulationOptions& options) const {
   const core::ServicePtr& svc = assembly_.service(service_name);
   // Replication i draws from the substream (seed, i): counts are identical
-  // for every thread count because each replication's draws are independent
-  // of how the index range is chunked. The reduction is a plain sum of
-  // per-chunk counters, which is order-insensitive for integers.
+  // for every thread count — and for any work-stealing block layout —
+  // because each replication's draws are independent of how the index range
+  // is chunked. The reduction is a plain sum of per-block counters, which
+  // is order-insensitive for integers. Replications are cheap, so the
+  // dynamic grain is coarse: fine blocks would be all scheduling overhead.
   std::atomic<std::size_t> successes{0};
-  runtime::parallel_for(
-      options.replications, options.threads,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+  runtime::for_each(
+      options.replications, options, /*grain=*/1024,
+      [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
         std::size_t local = 0;
         for (std::size_t i = begin; i < end; ++i) {
           util::Rng rng(util::substream_seed(options.seed, i));
@@ -72,9 +74,9 @@ Simulator::ModeCounts Simulator::estimate_failure_modes(
   std::atomic<std::size_t> successes{0};
   std::atomic<std::size_t> detected_total{0};
   std::atomic<std::size_t> silent{0};
-  runtime::parallel_for(
-      options.replications, options.threads,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+  runtime::for_each(
+      options.replications, options, /*grain=*/1024,
+      [&](std::size_t begin, std::size_t end, std::size_t /*slot*/) {
         std::size_t local_success = 0;
         std::size_t local_detected = 0;
         std::size_t local_silent = 0;

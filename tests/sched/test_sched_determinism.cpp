@@ -1,0 +1,389 @@
+// The scheduler determinism grid (ISSUE 7 satellite): every analysis must
+// produce bit-identical results at threads {1, 2, 8} with work stealing on
+// or off, budget verdicts must be scheduling-independent, and the
+// SCC-condensed parallel fixed point must match the serial global solver.
+// Runs under TSan in CI (`ctest -L sched`).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sorel/core/assembly.hpp"
+#include "sorel/core/engine.hpp"
+#include "sorel/core/sensitivity.hpp"
+#include "sorel/core/service.hpp"
+#include "sorel/expr/expr.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/guard/budget.hpp"
+#include "sorel/runtime/batch.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/sim/simulator.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::ReliabilityEngine;
+using sorel::expr::Expr;
+
+constexpr std::size_t kThreadGrid[] = {1, 2, 8};
+constexpr bool kStealingGrid[] = {false, true};
+
+std::string fmt(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+// -- Analyses: bit-exact across the whole grid -------------------------------
+
+TEST(SchedDeterminism, SensitivityBitExactAcrossGrid) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::string reference;
+  for (const std::size_t threads : kThreadGrid) {
+    for (const bool stealing : kStealingGrid) {
+      sorel::core::SensitivityOptions options;
+      options.exec().with_threads(threads).with_work_stealing(stealing);
+      const auto rows = sorel::core::attribute_sensitivities(assembly, "app",
+                                                             {}, options, {});
+      std::string serialized;
+      for (const auto& row : rows) {
+        serialized +=
+            row.attribute + " " + fmt(row.derivative) + " " +
+            fmt(row.elasticity) + "\n";
+      }
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "threads=" << threads << " stealing=" << stealing;
+      }
+    }
+  }
+}
+
+TEST(SchedDeterminism, SimulationStormBitExactAcrossGrid) {
+  // A replication storm: every replication draws from the RNG substream of
+  // its global index, so chunking / stealing must never show in the result.
+  const Assembly assembly = sorel::scenarios::make_chain_assembly(4, 1e-3);
+  std::string reference;
+  for (const std::size_t threads : kThreadGrid) {
+    for (const bool stealing : kStealingGrid) {
+      sorel::sim::Simulator simulator(assembly);
+      sorel::sim::SimulationOptions options;
+      options.replications = 20'000;
+      options.exec().with_threads(threads).with_work_stealing(stealing);
+      const auto result = simulator.estimate("pipeline", {50.0}, options);
+      const auto ci = result.confidence_interval();
+      const std::string serialized = fmt(result.reliability()) + " " +
+                                     fmt(ci.lower) + " " + fmt(ci.upper) + " " +
+                                     std::to_string(result.replications);
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "threads=" << threads << " stealing=" << stealing;
+      }
+    }
+  }
+}
+
+TEST(SchedDeterminism, CampaignOutcomesBitExactAcrossGrid) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::vector<sorel::faults::FaultSpec> faults;
+  for (std::size_t i = 0; i < 24; ++i) {
+    std::string attr = "g" + std::to_string(i % 4) + "_s" +
+                       std::to_string((i / 4) % 4) + ".p";
+    faults.push_back(sorel::faults::FaultSpec::attribute_set(
+        std::move(attr), 3e-3 + 1e-5 * static_cast<double>(i)));
+  }
+  const auto campaign =
+      sorel::faults::Campaign::single_faults("app", {}, std::move(faults));
+
+  std::string reference;
+  for (const std::size_t threads : kThreadGrid) {
+    for (const bool stealing : kStealingGrid) {
+      sorel::faults::CampaignRunner::Options options;
+      options.exec().with_threads(threads).with_work_stealing(stealing);
+      sorel::faults::CampaignRunner runner(assembly, options);
+      const auto report = runner.run(campaign);
+      std::string serialized = fmt(report.baseline_pfail) + "\n";
+      for (const auto& outcome : report.outcomes) {
+        serialized += std::to_string(outcome.scenario) + " " +
+                      fmt(outcome.pfail) + " " + fmt(outcome.delta_pfail) +
+                      " " + std::to_string(outcome.blast_radius) + " " +
+                      std::to_string(outcome.evaluations) + "\n";
+      }
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "threads=" << threads << " stealing=" << stealing;
+      }
+    }
+  }
+}
+
+TEST(SchedDeterminism, BatchResultsBitExactAcrossGrid) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 3);
+  std::vector<sorel::runtime::BatchJob> jobs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    sorel::runtime::BatchJob job;
+    job.service = "app";
+    job.attribute_overrides["g" + std::to_string(i % 3) + "_s" +
+                            std::to_string((i / 3) % 3) + ".p"] =
+        1e-4 + 1e-6 * static_cast<double>(i);
+    jobs.push_back(std::move(job));
+  }
+  std::string reference;
+  for (const std::size_t threads : kThreadGrid) {
+    for (const bool stealing : kStealingGrid) {
+      sorel::runtime::BatchEvaluator::Options options;
+      options.exec().with_threads(threads).with_work_stealing(stealing);
+      sorel::runtime::BatchEvaluator evaluator(assembly, options);
+      const auto results = evaluator.evaluate(jobs);
+      std::string serialized;
+      for (const auto& item : results) {
+        serialized += std::string(item.ok ? "ok " : "err ") + fmt(item.pfail) +
+                      " " + fmt(item.reliability) + "\n";
+      }
+      if (reference.empty()) {
+        reference = serialized;
+      } else {
+        EXPECT_EQ(serialized, reference)
+            << "threads=" << threads << " stealing=" << stealing;
+      }
+    }
+  }
+}
+
+// -- Budget verdict parity ---------------------------------------------------
+
+TEST(SchedDeterminism, BudgetVerdictsIndependentOfStealing) {
+  // Logical budgets are charged along each scenario's own evaluation, so
+  // which worker ran a scenario — and whether it was stolen — must never
+  // change a verdict or its partial-work counters.
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  std::vector<sorel::faults::FaultSpec> faults;
+  for (std::size_t i = 0; i < 16; ++i) {
+    faults.push_back(sorel::faults::FaultSpec::attribute_set(
+        "g" + std::to_string(i % 4) + "_s" + std::to_string((i / 4) % 4) +
+            ".p",
+        5e-3));
+  }
+  // Per-scenario budgets (the baseline stays unbudgeted): every third
+  // scenario gets a budget too tight for the injected query.
+  std::vector<sorel::faults::Scenario> scenarios(faults.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    scenarios[i].faults = {i};
+    if (i % 3 == 0) scenarios[i].budget.max_evaluations = 2;
+  }
+  const auto campaign = sorel::faults::Campaign::from_scenarios(
+      "app", {}, std::move(faults), std::move(scenarios));
+
+  std::string reference;
+  for (const bool stealing : kStealingGrid) {
+    sorel::faults::CampaignRunner::Options options;
+    options.exec().with_threads(8).with_work_stealing(stealing);
+    sorel::faults::CampaignRunner runner(assembly, options);
+    const auto report = runner.run(campaign);
+    std::string serialized;
+    bool any_busted = false;
+    for (const auto& outcome : report.outcomes) {
+      serialized += std::to_string(outcome.scenario) + " " +
+                    (outcome.ok ? "ok " + fmt(outcome.pfail)
+                                : outcome.error_category + " limit=" +
+                                      outcome.budget_limit + " evals=" +
+                                      std::to_string(outcome.evaluations_done) +
+                                      " states=" +
+                                      std::to_string(outcome.states_expanded)) +
+                    "\n";
+      any_busted = any_busted || outcome.error_category == "budget_exceeded";
+    }
+    EXPECT_TRUE(any_busted) << "budget too loose to exercise the verdict";
+    if (reference.empty()) {
+      reference = serialized;
+    } else {
+      EXPECT_EQ(serialized, reference) << "stealing=" << stealing;
+    }
+  }
+}
+
+// -- SCC-condensed parallel fixed point --------------------------------------
+
+TEST(SchedFixpoint, SingleSccMatchesSerialSolver) {
+  for (const double p : {0.1, 0.3, 0.6, 0.9}) {
+    for (const double step : {0.0, 0.01, 0.2}) {
+      const Assembly assembly =
+          sorel::scenarios::make_recursive_assembly(p, step);
+
+      ReliabilityEngine::Options serial_options;
+      serial_options.allow_recursion = true;
+      ReliabilityEngine serial(assembly, serial_options);
+      const double serial_pfail = serial.pfail("ping", {});
+      EXPECT_EQ(serial.stats().fixpoint_sccs, 1u);
+
+      ReliabilityEngine::Options parallel_options;
+      parallel_options.allow_recursion = true;
+      parallel_options.parallel_fixpoint = true;
+      ReliabilityEngine parallel(assembly, parallel_options);
+      const double parallel_pfail = parallel.pfail("ping", {});
+
+      EXPECT_NEAR(parallel_pfail, serial_pfail, 1e-12)
+          << "p=" << p << " step=" << step;
+      EXPECT_NEAR(parallel_pfail,
+                  sorel::scenarios::recursive_assembly_pfail(p, step), 1e-9)
+          << "p=" << p << " step=" << step;
+      EXPECT_EQ(parallel.stats().fixpoint_sccs, 1u);
+      EXPECT_GT(parallel.stats().fixpoint_iterations, 0u);
+    }
+  }
+}
+
+TEST(SchedFixpoint, AcyclicQueryReportsZeroSccs) {
+  const Assembly assembly = sorel::scenarios::make_chain_assembly(3);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  options.parallel_fixpoint = true;
+  ReliabilityEngine engine(assembly, options);
+  ReliabilityEngine plain(assembly);
+  EXPECT_EQ(engine.pfail("pipeline", {100.0}), plain.pfail("pipeline", {100.0}));
+  EXPECT_EQ(engine.stats().fixpoint_sccs, 0u);
+  EXPECT_EQ(engine.stats().fixpoint_iterations, 0u);
+}
+
+/// Two independent mutually-recursive pairs under one acyclic root — the
+/// service dependency graph condenses to two cyclic SCCs (independent, so
+/// the task graph may solve them in parallel) feeding one acyclic node.
+Assembly make_two_cycle_assembly(double p_a, double p_b, double step_pfail) {
+  const auto make_half = [&](const std::string& name, double p_recurse,
+                             bool conditional) {
+    sorel::core::FlowGraph flow;
+    sorel::core::FlowState work;
+    work.name = "work";
+    sorel::core::ServiceRequest step;
+    step.port = "step";
+    work.requests.push_back(std::move(step));
+    const auto work_id = flow.add_state(std::move(work));
+
+    sorel::core::FlowState call_peer;
+    call_peer.name = "call_peer";
+    sorel::core::ServiceRequest peer;
+    peer.port = "peer";
+    call_peer.requests.push_back(std::move(peer));
+    const auto peer_id = flow.add_state(std::move(call_peer));
+
+    flow.add_transition(sorel::core::FlowGraph::kStart, work_id,
+                        Expr::constant(1.0));
+    if (conditional) {
+      flow.add_transition(work_id, peer_id, Expr::constant(p_recurse));
+      flow.add_transition(work_id, sorel::core::FlowGraph::kEnd,
+                          Expr::constant(1.0 - p_recurse));
+    } else {
+      flow.add_transition(work_id, peer_id, Expr::constant(1.0));
+    }
+    flow.add_transition(peer_id, sorel::core::FlowGraph::kEnd,
+                        Expr::constant(1.0));
+    return std::make_shared<sorel::core::CompositeService>(
+        name, std::vector<sorel::core::FormalParam>{}, std::move(flow));
+  };
+
+  Assembly assembly;
+  assembly.add_service(make_half("a_ping", p_a, true));
+  assembly.add_service(make_half("a_pong", p_a, false));
+  assembly.add_service(make_half("b_ping", p_b, true));
+  assembly.add_service(make_half("b_pong", p_b, false));
+  assembly.add_service(sorel::core::make_simple_service(
+      "step_svc", {}, Expr::constant(step_pfail)));
+
+  // Root: call cycle A, then cycle B.
+  sorel::core::FlowGraph root_flow;
+  sorel::core::FlowState first;
+  first.name = "first";
+  sorel::core::ServiceRequest call_a;
+  call_a.port = "cycle_a";
+  first.requests.push_back(std::move(call_a));
+  const auto first_id = root_flow.add_state(std::move(first));
+  sorel::core::FlowState second;
+  second.name = "second";
+  sorel::core::ServiceRequest call_b;
+  call_b.port = "cycle_b";
+  second.requests.push_back(std::move(call_b));
+  const auto second_id = root_flow.add_state(std::move(second));
+  root_flow.add_transition(sorel::core::FlowGraph::kStart, first_id,
+                           Expr::constant(1.0));
+  root_flow.add_transition(first_id, second_id, Expr::constant(1.0));
+  root_flow.add_transition(second_id, sorel::core::FlowGraph::kEnd,
+                           Expr::constant(1.0));
+  assembly.add_service(std::make_shared<sorel::core::CompositeService>(
+      "root", std::vector<sorel::core::FormalParam>{}, std::move(root_flow)));
+
+  const auto bind = [&](const std::string& service, const std::string& port,
+                        const std::string& target) {
+    sorel::core::PortBinding binding;
+    binding.target = target;
+    assembly.bind(service, port, binding);
+  };
+  for (const std::string prefix : {"a", "b"}) {
+    bind(prefix + "_ping", "step", "step_svc");
+    bind(prefix + "_ping", "peer", prefix + "_pong");
+    bind(prefix + "_pong", "step", "step_svc");
+    bind(prefix + "_pong", "peer", prefix + "_ping");
+  }
+  bind("root", "cycle_a", "a_ping");
+  bind("root", "cycle_b", "b_ping");
+  return assembly;
+}
+
+TEST(SchedFixpoint, IndependentSccsSolveInParallelAndMatchSerial) {
+  const double step = 0.01;
+  for (const double p_a : {0.2, 0.7}) {
+    for (const double p_b : {0.1, 0.5}) {
+      const Assembly assembly = make_two_cycle_assembly(p_a, p_b, step);
+
+      ReliabilityEngine::Options serial_options;
+      serial_options.allow_recursion = true;
+      ReliabilityEngine serial(assembly, serial_options);
+      const double serial_pfail = serial.pfail("root", {});
+      EXPECT_EQ(serial.stats().fixpoint_sccs, 2u)
+          << "p_a=" << p_a << " p_b=" << p_b;
+
+      ReliabilityEngine::Options parallel_options;
+      parallel_options.allow_recursion = true;
+      parallel_options.parallel_fixpoint = true;
+      ReliabilityEngine parallel(assembly, parallel_options);
+      const double parallel_pfail = parallel.pfail("root", {});
+      EXPECT_EQ(parallel.stats().fixpoint_sccs, 2u)
+          << "p_a=" << p_a << " p_b=" << p_b;
+
+      EXPECT_NEAR(parallel_pfail, serial_pfail, 1e-12)
+          << "p_a=" << p_a << " p_b=" << p_b;
+      // The root composes the two cycles in series: R = R_a · R_b, each
+      // with the ping/pong closed form.
+      const double expected_reliability =
+          (1.0 - sorel::scenarios::recursive_assembly_pfail(p_a, step)) *
+          (1.0 - sorel::scenarios::recursive_assembly_pfail(p_b, step));
+      EXPECT_NEAR(1.0 - parallel_pfail, expected_reliability, 1e-9)
+          << "p_a=" << p_a << " p_b=" << p_b;
+    }
+  }
+}
+
+TEST(SchedFixpoint, ArmedBudgetFallsBackToSerialSolver) {
+  // The global iteration cap of guard budgets is defined against the serial
+  // sweep, so an armed meter must route through it — and still converge.
+  const Assembly assembly = sorel::scenarios::make_recursive_assembly(0.4, 0.05);
+  ReliabilityEngine::Options options;
+  options.allow_recursion = true;
+  options.parallel_fixpoint = true;
+  ReliabilityEngine engine(assembly, options);
+  sorel::guard::Budget budget;
+  budget.max_evaluations = 1'000'000;  // generous: arms the meter, never fires
+  engine.set_budget(budget);
+  EXPECT_NEAR(engine.pfail("ping", {}),
+              sorel::scenarios::recursive_assembly_pfail(0.4, 0.05), 1e-9);
+  EXPECT_EQ(engine.stats().fixpoint_sccs, 1u);
+}
+
+}  // namespace

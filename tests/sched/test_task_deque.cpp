@@ -1,0 +1,117 @@
+// TaskDeque unit tests: owner LIFO / thief FIFO ordering, ring growth, and
+// the exactly-once contract under an owner/thief race. The memory-ordering
+// half of the contract is enforced by the TSan CI job running `-L sched`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "sorel/sched/scheduler.hpp"
+#include "sorel/sched/task_deque.hpp"
+
+namespace {
+
+using sorel::sched::Task;
+using sorel::sched::TaskDeque;
+
+std::vector<Task> make_tasks(std::size_t n) {
+  std::vector<Task> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) tasks[i].begin = i;
+  return tasks;
+}
+
+TEST(TaskDeque, OwnerPopsLifo) {
+  auto tasks = make_tasks(3);
+  TaskDeque deque;
+  for (Task& task : tasks) deque.push_bottom(&task);
+  EXPECT_EQ(deque.pop_bottom(), &tasks[2]);
+  EXPECT_EQ(deque.pop_bottom(), &tasks[1]);
+  EXPECT_EQ(deque.pop_bottom(), &tasks[0]);
+  EXPECT_EQ(deque.pop_bottom(), nullptr);
+}
+
+TEST(TaskDeque, ThievesStealFifo) {
+  auto tasks = make_tasks(3);
+  TaskDeque deque;
+  for (Task& task : tasks) deque.push_bottom(&task);
+  EXPECT_EQ(deque.steal_top(), &tasks[0]);
+  EXPECT_EQ(deque.steal_top(), &tasks[1]);
+  EXPECT_EQ(deque.steal_top(), &tasks[2]);
+  EXPECT_EQ(deque.steal_top(), nullptr);
+}
+
+TEST(TaskDeque, SizeHintTracksContents) {
+  auto tasks = make_tasks(5);
+  TaskDeque deque;
+  EXPECT_EQ(deque.size_hint(), 0u);
+  for (Task& task : tasks) deque.push_bottom(&task);
+  EXPECT_EQ(deque.size_hint(), 5u);
+  deque.pop_bottom();
+  deque.steal_top();
+  EXPECT_EQ(deque.size_hint(), 3u);
+}
+
+TEST(TaskDeque, GrowthPreservesEveryTask) {
+  // Start tiny so push_bottom grows the ring several times.
+  constexpr std::size_t kTasks = 1000;
+  auto tasks = make_tasks(kTasks);
+  TaskDeque deque(1);
+  for (Task& task : tasks) deque.push_bottom(&task);
+  std::vector<bool> seen(kTasks, false);
+  while (Task* task = deque.pop_bottom()) {
+    ASSERT_LT(task->begin, kTasks);
+    EXPECT_FALSE(seen[task->begin]);
+    seen[task->begin] = true;
+  }
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+TEST(TaskDeque, OwnerThiefRaceExecutesEachTaskOnce) {
+  constexpr std::size_t kTasks = 20000;
+  constexpr std::size_t kThieves = 4;
+  auto tasks = make_tasks(kTasks);
+  TaskDeque deque(8);  // small start: growth races thieves too
+
+  std::vector<std::atomic<int>> taken(kTasks);
+  for (auto& flag : taken) flag.store(0, std::memory_order_relaxed);
+  std::atomic<std::size_t> total{0};
+  std::atomic<bool> done{false};
+
+  auto claim = [&](Task* task) {
+    ASSERT_NE(task, nullptr);
+    EXPECT_EQ(taken[task->begin].fetch_add(1, std::memory_order_relaxed), 0)
+        << "task " << task->begin << " taken twice";
+    total.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  for (std::size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (Task* task = deque.steal_top()) claim(task);
+      }
+    });
+  }
+
+  // Owner: interleave pushes with pops so the bottom end stays contended.
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    deque.push_bottom(&tasks[i]);
+    if (i % 3 == 0) {
+      if (Task* task = deque.pop_bottom()) claim(task);
+    }
+  }
+  while (total.load(std::memory_order_relaxed) < kTasks) {
+    if (Task* task = deque.pop_bottom()) claim(task);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& thief : thieves) thief.join();
+
+  EXPECT_EQ(total.load(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(taken[i].load(), 1) << "task " << i;
+  }
+}
+
+}  // namespace

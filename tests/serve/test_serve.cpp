@@ -305,6 +305,45 @@ TEST(ServeServer, StatsCountsRequestsAndErrors) {
   EXPECT_GT(stats.engine_evaluations, 0u);
 }
 
+TEST(ServeServer, StatsNewFieldsAreAdditiveUnderProtocolOne) {
+  // The scheduler fields (tasks_run / steals / max_queue_depth) and
+  // fixpoint_sccs are additive: the protocol stays at version 1 and every
+  // pre-existing field keeps its value byte-for-byte. Two fresh servers
+  // answering the same deterministic request stream must agree on all old
+  // fields; the new ones may differ (they snapshot process-global,
+  // timing-dependent scheduler counters) but must parse as numbers.
+  EXPECT_EQ(sorel::serve::kProtocolVersion, 1);
+  const char* kNewFields[] = {"tasks_run", "steals", "max_queue_depth",
+                              "fixpoint_sccs"};
+  std::vector<std::string> old_views;
+  for (int i = 0; i < 2; ++i) {
+    Server server(partitioned_spec(), {});
+    respond(server, "{\"op\":\"eval\",\"service\":\"app\"}");
+    auto response = respond(server, "{\"op\":\"stats\"}");
+    auto& object = response.as_object();
+    for (const char* field : kNewFields) {
+      ASSERT_TRUE(response.contains(field)) << field;
+      EXPECT_GE(response.at(field).as_number(), 0.0) << field;
+      object.erase(field);
+    }
+    old_views.push_back(sorel::json::Value(object).dump());
+  }
+  EXPECT_EQ(old_views[0], old_views[1]);
+}
+
+TEST(ServeServer, RecursiveEvalReportsFixpointSccs) {
+  Server::Options options;
+  options.engine.allow_recursion = true;
+  Server server(sorel::dsl::save_assembly(
+                    sorel::scenarios::make_recursive_assembly(0.3, 0.01)),
+                options);
+  const auto response =
+      respond(server, "{\"op\":\"eval\",\"service\":\"ping\"}");
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.fixpoint_sccs, 1u);  // ping<->pong is one cyclic SCC
+}
+
 TEST(ServeServer, WarmSecondRequestHitsSharedMemo) {
   Server server(partitioned_spec(), {});
   const std::string line = "{\"op\":\"eval\",\"service\":\"app\"}";
