@@ -1,0 +1,267 @@
+// Resilience experiment: a resil::Client talking to a live TCP server whose
+// response writes are sabotaged by a deterministic chaos plan (10% of sends
+// dropped, connection torn down), on the 8x8 partitioned assembly. The
+// client's retry loop must convert a 10% transport fault rate into 100%
+// eventual success, and every eventually-delivered response must be
+// byte-identical to a chaos-free fresh-server answer — the determinism
+// contract extended through faults, reconnects, and retries. A final
+// chaos-free drain phase pipelines K requests plus a shutdown and requires
+// all K+1 responses (the zero-dropped-requests half of the shutdown
+// contract).
+//
+// Output is machine-readable JSON (stdout and BENCH_resil.json), and the
+// binary self-checks the acceptance criteria: success rate 1.0 at every
+// server thread count, at least one retry observed (the plan actually
+// fired), byte-identical responses, and a lossless drain.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/resil/chaos.hpp"
+#include "sorel/resil/client.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/serve/server.hpp"
+#include "sorel/serve/tcp.hpp"
+
+namespace {
+
+using sorel::resil::FaultPlan;
+using sorel::resil::Site;
+using sorel::serve::Server;
+using sorel::serve::TcpListener;
+
+constexpr std::size_t kGroups = 8;
+constexpr std::size_t kLeaves = 8;
+constexpr std::size_t kRequests = 48;
+constexpr std::size_t kDrainPipelined = 8;
+constexpr double kSendFaultRate = 0.1;
+
+std::string make_request(std::size_t index) {
+  const std::size_t shape = index % 6;
+  if (shape == 0) return "{\"op\":\"eval\",\"service\":\"app\"}";
+  std::string request = "{\"op\":\"eval\",\"service\":\"app\",\"attributes\":{\"g";
+  request += std::to_string(shape % kGroups);
+  request += "_s";
+  request += std::to_string((shape * 3) % kLeaves);
+  request += ".p\":0.0";
+  request += std::to_string(shape);
+  request += "}}";
+  return request;
+}
+
+struct RunResult {
+  std::size_t threads = 0;
+  std::size_t succeeded = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t chaos_injected = 0;
+  double seconds = 0.0;
+  bool responses_identical = true;
+};
+
+/// One threads configuration: chaos on, hammer, compare to the chaos-free
+/// baselines.
+RunResult run_under_chaos(const sorel::json::Value& spec, std::size_t threads,
+                          const std::vector<std::string>& baselines) {
+  RunResult result;
+  result.threads = threads;
+
+  Server::Options options;
+  options.threads = threads;
+  Server server(spec, options);
+  TcpListener listener(server, "127.0.0.1", 0);
+  listener.start();
+
+  FaultPlan plan;
+  plan.seed = 0xC4A05;
+  plan.rate(Site::TcpSend) = kSendFaultRate;
+  sorel::resil::install_chaos(plan);
+
+  sorel::resil::ClientOptions client_options;
+  client_options.timeout_ms = 5000;
+  client_options.max_retries = 10;
+  client_options.backoff_base_ms = 1;
+  client_options.backoff_max_ms = 20;
+  sorel::resil::Client client("127.0.0.1", listener.port(), client_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const sorel::resil::RequestOutcome outcome = client.call(make_request(i));
+    if (outcome.transport_ok && outcome.ok) {
+      ++result.succeeded;
+      if (outcome.response != baselines[i]) result.responses_identical = false;
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.retries = client.stats().retries;
+  result.reconnects = client.stats().reconnects;
+  result.chaos_injected = sorel::resil::chaos_stats().total_injected();
+  sorel::resil::uninstall_chaos();
+  listener.stop();
+  return result;
+}
+
+/// The drain phase, chaos-free: K pipelined requests plus a shutdown in one
+/// burst must yield K+1 responses before EOF.
+std::size_t run_drain(const sorel::json::Value& spec) {
+  Server server(spec, {});
+  TcpListener listener(server, "127.0.0.1", 0);
+  listener.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(listener.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    listener.stop();
+    return 0;
+  }
+
+  std::string burst;
+  for (std::size_t i = 0; i < kDrainPipelined; ++i) {
+    burst += make_request(i) + "\n";
+  }
+  burst += "{\"op\":\"shutdown\"}\n";
+  const char* data = burst.data();
+  std::size_t size = burst.size();
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      break;
+    }
+    data += static_cast<std::size_t>(sent);
+    size -= static_cast<std::size_t>(sent);
+  }
+
+  // Count response lines until EOF (the server closes after the drain).
+  std::size_t answered = 0;
+  std::string rx;
+  for (;;) {
+    pollfd waiter{};
+    waiter.fd = fd;
+    waiter.events = POLLIN;
+    const int ready = ::poll(&waiter, 1, 10000);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
+    char chunk[4096];
+    const ssize_t received = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received <= 0) break;
+    rx.append(chunk, static_cast<std::size_t>(received));
+  }
+  for (const char byte : rx) {
+    if (byte == '\n') ++answered;
+  }
+  ::close(fd);
+  listener.stop();
+  return answered;
+}
+
+}  // namespace
+
+int main() {
+  const sorel::json::Value spec = sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(kGroups, kLeaves));
+
+  // Chaos-free ground truth, one fresh server per request shape.
+  std::vector<std::string> baselines;
+  baselines.reserve(kRequests);
+  {
+    Server fresh(spec, {});
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      baselines.push_back(fresh.handle_line(make_request(i)));
+    }
+  }
+
+  std::vector<RunResult> runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    runs.push_back(run_under_chaos(spec, threads, baselines));
+  }
+  const std::size_t drained = run_drain(spec);
+
+  std::string rows;
+  bool all_succeeded = true;
+  bool all_identical = true;
+  std::uint64_t total_retries = 0;
+  for (const RunResult& run : runs) {
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"threads\": %zu, \"requests\": %zu, \"succeeded\": %zu, "
+        "\"retries\": %llu, \"reconnects\": %llu, \"faults_injected\": %llu, "
+        "\"seconds\": %.4f, \"responses_identical\": %s}%s\n",
+        run.threads, kRequests, run.succeeded,
+        static_cast<unsigned long long>(run.retries),
+        static_cast<unsigned long long>(run.reconnects),
+        static_cast<unsigned long long>(run.chaos_injected), run.seconds,
+        run.responses_identical ? "true" : "false",
+        &run == &runs.back() ? "" : ",");
+    rows += row;
+    all_succeeded = all_succeeded && run.succeeded == kRequests;
+    all_identical = all_identical && run.responses_identical;
+    total_retries += run.retries;
+  }
+
+  char json[2048];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"send_fault_rate\": %.2f,\n"
+      "  \"runs\": [\n%s  ],\n"
+      "  \"drain\": {\"pipelined\": %zu, \"answered\": %zu},\n"
+      "  \"eventual_success\": %s, \"responses_identical\": %s,\n"
+      "  \"total_retries\": %llu\n"
+      "}\n",
+      kSendFaultRate, rows.c_str(), kDrainPipelined, drained,
+      all_succeeded ? "true" : "false", all_identical ? "true" : "false",
+      static_cast<unsigned long long>(total_retries));
+  std::fputs(json, stdout);
+  if (std::FILE* out = std::fopen("BENCH_resil.json", "w")) {
+    std::fputs(json, out);
+    std::fclose(out);
+  }
+
+  if (!all_succeeded) {
+    std::fprintf(stderr,
+                 "FAIL: not every request eventually succeeded under %.0f%% "
+                 "injected send faults\n",
+                 100.0 * kSendFaultRate);
+    return 1;
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a retried response differed from its chaos-free "
+                 "baseline\n");
+    return 1;
+  }
+  if (total_retries == 0) {
+    std::fprintf(stderr, "FAIL: the fault plan never fired (hooks unwired?)\n");
+    return 1;
+  }
+  if (drained != kDrainPipelined + 1) {
+    std::fprintf(stderr,
+                 "FAIL: graceful drain answered %zu of %zu pipelined "
+                 "requests\n",
+                 drained, kDrainPipelined + 1);
+    return 1;
+  }
+  return 0;
+}

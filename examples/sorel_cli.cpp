@@ -86,6 +86,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -104,6 +105,8 @@
 #include "sorel/core/uncertainty.hpp"
 #include "sorel/dsl/dot.hpp"
 #include "sorel/dsl/loader.hpp"
+#include "sorel/resil/chaos.hpp"
+#include "sorel/resil/client.hpp"
 #include "sorel/runtime/batch.hpp"
 #include "sorel/runtime/exec_policy.hpp"
 #include "sorel/serve/protocol.hpp"
@@ -146,6 +149,8 @@ void print_help(std::FILE* out) {
                "  save        <spec>                     canonicalised document\n"
                "  dot         <spec> [service]           GraphViz output\n"
                "  serve       [spec] [--listen h:p]      long-lived JSON daemon\n"
+               "  connect     <host:port> [reqs.jsonl]   drive a serve daemon with\n"
+               "                                         timeouts/retries/backoff\n"
                "  version                                print version and exit\n"
                "  help                                   print this help\n"
                "options:\n"
@@ -182,8 +187,27 @@ void print_help(std::FILE* out) {
                "                   fixed point on the task scheduler — \n"
                "                   independent cycles in parallel (implies\n"
                "                   --allow-recursion)\n"
-               "exit status: 0 success, 1 model/spec errors, 2 usage errors,\n"
-               "             3 batch/inject completed with failed entries\n");
+               "  --max-pending N  serve: bound the admission queue; excess\n"
+               "                   requests get a structured \"overloaded\"\n"
+               "                   response with retry_after_ms (0 = unbounded)\n"
+               "  --rate-limit C[:R]\n"
+               "                   serve: per-client token bucket of C logical\n"
+               "                   cost units, refilled at R units/s (R omitted\n"
+               "                   or 0 = never; 0 capacity = off)\n"
+               "  --timeout-ms N   connect: per-attempt response timeout\n"
+               "  --retries N      connect: retries per request beyond the\n"
+               "                   first attempt (transport + overloaded only)\n"
+               "  --backoff-ms N   connect: base retry delay (exponential with\n"
+               "                   seeded jitter, honours retry_after_ms)\n"
+               "  --seed N         connect: jitter seed (same seed replays the\n"
+               "                   same delay sequence)\n"
+               "  --chaos SPEC     install a deterministic fault plan in this\n"
+               "                   process, e.g. seed=7,rate=0.1,\n"
+               "                   sites=sched.task_start|memo.insert\n"
+               "                   (equivalent to the SOREL_CHAOS env var)\n"
+               "exit status: 0 success, 1 model/spec errors (connect: transport\n"
+               "             gave up), 2 usage errors,\n"
+               "             3 batch/inject/connect completed with failed entries\n");
 }
 
 /// Strip `--threads N` / `--threads=N` from argv (any position) and return
@@ -442,6 +466,113 @@ std::optional<std::pair<std::string, std::uint16_t>> extract_listen_flag(
   }
   argc = out;
   return listen;
+}
+
+/// Strip one `--name value` / `--name=value` flag whose value is a
+/// non-negative number. Returns the parsed value, or `fallback` when the
+/// flag is absent. Throws sorel::InvalidArgument on a malformed value.
+double extract_number_flag(int& argc, char** argv, const char* name,
+                           double fallback) {
+  double result = fallback;
+  const std::size_t len = std::strlen(name);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, name) == 0) {
+      if (i + 1 >= argc) {
+        throw sorel::InvalidArgument(std::string(name) + " needs a value");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      value = arg + len + 1;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    char* parse_end = nullptr;
+    const double parsed = std::strtod(value, &parse_end);
+    if (parse_end == value || *parse_end != '\0' || !std::isfinite(parsed) ||
+        parsed < 0.0) {
+      throw sorel::InvalidArgument(std::string(name) +
+                                   ": not a non-negative number: '" + value +
+                                   "'");
+    }
+    result = parsed;
+  }
+  argc = out;
+  return result;
+}
+
+/// Strip `--rate-limit C[:R]` / `--rate-limit=C[:R]` (serve's per-client
+/// token bucket: C logical cost units, refilled at R units per second).
+std::pair<double, double> extract_rate_limit_flag(int& argc, char** argv) {
+  std::pair<double, double> limit{0.0, 0.0};
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--rate-limit") == 0) {
+      if (i + 1 >= argc) {
+        throw sorel::InvalidArgument("--rate-limit needs capacity[:refill]");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--rate-limit=", 13) == 0) {
+      value = arg + 13;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    std::string capacity_text = value;
+    std::string refill_text = "0";
+    if (const char* colon = std::strchr(value, ':')) {
+      capacity_text.assign(value, static_cast<std::size_t>(colon - value));
+      refill_text = colon + 1;
+    }
+    char* parse_end = nullptr;
+    const double capacity = std::strtod(capacity_text.c_str(), &parse_end);
+    const bool capacity_ok = !capacity_text.empty() && *parse_end == '\0' &&
+                             std::isfinite(capacity) && capacity >= 0.0;
+    parse_end = nullptr;
+    const double refill = std::strtod(refill_text.c_str(), &parse_end);
+    const bool refill_ok = !refill_text.empty() && *parse_end == '\0' &&
+                           std::isfinite(refill) && refill >= 0.0;
+    if (!capacity_ok || !refill_ok) {
+      throw sorel::InvalidArgument(
+          std::string("--rate-limit: expected capacity[:refill], got '") +
+          value + "'");
+    }
+    limit = {capacity, refill};
+  }
+  argc = out;
+  return limit;
+}
+
+/// Strip `--chaos SPEC` / `--chaos=SPEC` and install the parsed fault plan
+/// process-wide (the flag twin of the SOREL_CHAOS env var). Throws
+/// sorel::InvalidArgument on a malformed spec.
+void extract_chaos_flag(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--chaos") == 0) {
+      if (i + 1 >= argc) {
+        throw sorel::InvalidArgument("--chaos needs a fault-plan spec");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--chaos=", 8) == 0) {
+      value = arg + 8;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    sorel::resil::install_chaos(sorel::resil::FaultPlan::parse(value));
+  }
+  argc = out;
 }
 
 /// The shared-table counter block of a --stats line. The engine-side and
@@ -906,11 +1037,15 @@ int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
 int cmd_serve(const char* spec_path, const sorel::runtime::ExecPolicy& exec,
               const sorel::guard::Budget& budget, bool allow_recursion,
               bool parallel_fixpoint,
-              const std::optional<std::pair<std::string, std::uint16_t>>& listen) {
+              const std::optional<std::pair<std::string, std::uint16_t>>& listen,
+              std::size_t max_pending, std::pair<double, double> rate_limit) {
   sorel::serve::Server::Options options;
   apply_exec_flags(options, exec);
   options.budget = budget;
   options.engine = engine_options(allow_recursion, parallel_fixpoint);
+  options.max_pending = max_pending;
+  options.rate_limit_capacity = rate_limit.first;
+  options.rate_limit_refill_per_sec = rate_limit.second;
 
   std::optional<sorel::serve::Server> server;
   if (spec_path != nullptr) {
@@ -940,6 +1075,76 @@ int cmd_serve(const char* spec_path, const sorel::runtime::ExecPolicy& exec,
   return 0;
 }
 
+/// The resilient client: drive a serve daemon from a request file (or
+/// stdin), one response line per request on stdout. Transport failures and
+/// "overloaded" sheds are retried with exponential backoff + seeded jitter;
+/// model errors come back as-is. Exit codes keep the CLI contract: 1 when
+/// the transport gave up on any request, 3 when every response arrived but
+/// some carried ok=false, 0 when all succeeded.
+int cmd_connect(const std::string& target, const char* requests_path,
+                const sorel::resil::ClientOptions& client_options) {
+  std::string host = "127.0.0.1";
+  std::string port_text = target;
+  if (const std::size_t colon = target.rfind(':'); colon != std::string::npos) {
+    host = target.substr(0, colon);
+    port_text = target.substr(colon + 1);
+  }
+  char* parse_end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &parse_end, 10);
+  if (port_text.empty() || *parse_end != '\0' || port <= 0 || port > 65535) {
+    return usage_error("connect: not a host:port: '" + target + "'");
+  }
+
+  std::ifstream file;
+  if (requests_path != nullptr) {
+    file.open(requests_path);
+    if (!file) {
+      std::fprintf(stderr, "error: connect: cannot open '%s'\n", requests_path);
+      return 1;
+    }
+  }
+  std::istream& in = requests_path != nullptr ? file : std::cin;
+
+  sorel::resil::Client client(host, static_cast<std::uint16_t>(port),
+                              client_options);
+  std::size_t gave_up = 0;
+  std::size_t failed = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const sorel::resil::RequestOutcome outcome = client.call(line);
+    if (!outcome.transport_ok) {
+      // The server never answered within the retry budget; report a
+      // structured line in the same shape as a response so pipelines keep
+      // one output line per request.
+      ++gave_up;
+      sorel::json::Object error;
+      error["ok"] = false;
+      error["error"] = "transport_error";
+      error["message"] = "connect: no response from " + target + " after " +
+                         std::to_string(outcome.attempts) + " attempts";
+      std::printf("%s\n",
+                  sorel::json::Value(std::move(error)).dump().c_str());
+    } else {
+      if (!outcome.ok) ++failed;
+      std::printf("%s\n", outcome.response.c_str());
+    }
+    std::fflush(stdout);
+  }
+  const sorel::resil::Client::Stats& stats = client.stats();
+  std::fprintf(stderr,
+               "connect: %llu requests, %llu retries, %llu reconnects, "
+               "%llu overloaded, %llu transport errors, %zu gave up\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.retries),
+               static_cast<unsigned long long>(stats.reconnects),
+               static_cast<unsigned long long>(stats.overloaded),
+               static_cast<unsigned long long>(stats.transport_errors),
+               gave_up);
+  if (gave_up > 0) return 1;
+  return failed == 0 ? 0 : 3;
+}
+
 int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
   if (service == nullptr) {
     std::printf("%s", sorel::dsl::assembly_to_dot(assembly).c_str());
@@ -954,7 +1159,7 @@ bool known_command(const std::string& command) {
       "validate", "list",        "evaluate", "modes",  "duration",
       "sensitivity", "importance", "simulate", "select", "uncertainty",
       "batch",    "inject",      "save",     "dot",    "serve",
-      "version",  "help"};
+      "connect",  "version",     "help"};
   for (const char* candidate : kCommands) {
     if (command == candidate) return true;
   }
@@ -987,6 +1192,9 @@ int main(int argc, char** argv) {
   bool allow_recursion = false;
   bool parallel_fixpoint = false;
   std::optional<std::pair<std::string, std::uint16_t>> listen;
+  std::size_t max_pending = 0;
+  std::pair<double, double> rate_limit{0.0, 0.0};
+  sorel::resil::ClientOptions client_options;
   try {
     exec.with_threads(extract_threads_flag(argc, argv))
         .with_shared_memo(extract_shared_memo_flag(argc, argv))
@@ -996,6 +1204,19 @@ int main(int argc, char** argv) {
     allow_recursion = extract_allow_recursion_flag(argc, argv);
     parallel_fixpoint = extract_parallel_fixpoint_flag(argc, argv);
     listen = extract_listen_flag(argc, argv);
+    max_pending = static_cast<std::size_t>(
+        extract_number_flag(argc, argv, "--max-pending", 0.0));
+    rate_limit = extract_rate_limit_flag(argc, argv);
+    client_options.timeout_ms = extract_number_flag(
+        argc, argv, "--timeout-ms", client_options.timeout_ms);
+    client_options.max_retries = static_cast<std::size_t>(extract_number_flag(
+        argc, argv, "--retries",
+        static_cast<double>(client_options.max_retries)));
+    client_options.backoff_base_ms = extract_number_flag(
+        argc, argv, "--backoff-ms", client_options.backoff_base_ms);
+    client_options.seed = static_cast<std::uint64_t>(extract_number_flag(
+        argc, argv, "--seed", static_cast<double>(client_options.seed)));
+    extract_chaos_flag(argc, argv);
   } catch (const sorel::Error& e) {
     return usage_error(e.what());
   }
@@ -1020,7 +1241,20 @@ int main(int argc, char** argv) {
   if (command == "serve") {
     try {
       return cmd_serve(argc >= 3 ? argv[2] : nullptr, exec, budget,
-                       allow_recursion, parallel_fixpoint, listen);
+                       allow_recursion, parallel_fixpoint, listen, max_pending,
+                       rate_limit);
+    } catch (const sorel::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (command == "connect") {
+    if (argc < 3) return usage_error("connect: missing <host:port> operand");
+    try {
+      return cmd_connect(argv[2], argc >= 4 ? argv[3] : nullptr,
+                         client_options);
+    } catch (const sorel::InvalidArgument& e) {
+      return usage_error(e.what());
     } catch (const sorel::Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;

@@ -1,0 +1,121 @@
+// sorel::resil — deterministic chaos injection for the runtime itself.
+//
+// The paper's engine predicts the reliability of *modelled* assemblies;
+// sorel::faults (PR 3) injects faults into those models. This layer turns
+// the same idea on the infrastructure that serves the predictions: seeded,
+// replayable fault injection at the runtime's own choke points (socket
+// accept/recv/send, scheduler task start, memo insert, allocation at spec
+// load), so the serve/sched/memo stack can be exercised against transient
+// failures the way the model is exercised against component failures.
+//
+// Determinism contract: a FaultPlan is a pure function from
+// (seed, site, visit-index) to a fire/no-fire verdict. Each site keeps one
+// atomic visit counter; the k-th visit of a site gets the same verdict no
+// matter which thread makes it or how visits interleave with other sites.
+// Replaying a run with the same plan and the same per-site visit sequence
+// replays the identical fault sequence — which is what lets the resil tests
+// demand byte-identical client-visible results under chaos.
+//
+// Hook cost: `chaos_fire(site)` is a single relaxed atomic load when no
+// plan is installed — cheap enough to compile into the production hot
+// paths unconditionally (no build flag, no macro soup).
+//
+// Activation: programmatic (install_chaos / uninstall_chaos, used by the
+// resil tests and bench/perf_resil) or ambient via the SOREL_CHAOS
+// environment variable (used by CI to rerun existing test binaries with a
+// nonzero fault plan: `SOREL_CHAOS="seed=7,rate=0.15,sites=sched.task_start|memo.insert" ctest -L serve`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sorel::resil {
+
+/// The named runtime choke points with a compiled-in chaos hook.
+enum class Site : std::size_t {
+  TcpAccept = 0,      // "tcp.accept": synthesize a transient accept failure
+  TcpRecv = 1,        // "tcp.recv": simulate a connection reset mid-stream
+  TcpSend = 2,        // "tcp.send": drop a response write (client sees EOF)
+  SchedTaskStart = 3, // "sched.task_start": perturb scheduling (yield)
+  MemoInsert = 4,     // "memo.insert": drop a shared-memo publication
+  SpecLoad = 5,       // "spec.load": allocation failure while loading a spec
+};
+
+inline constexpr std::size_t kSiteCount = 6;
+
+/// The canonical site name ("tcp.accept", "sched.task_start", ...).
+const char* site_name(Site site) noexcept;
+
+/// Parse a site name; throws sorel::InvalidArgument on an unknown name.
+Site site_from_name(const std::string& name);
+
+/// A seeded fault plan: one injection probability per site (0 = never,
+/// 1 = always). The verdict for the k-th visit of a site is
+/// hash(seed, site, k) < rate — reproducible, thread-independent.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::array<double, kSiteCount> rates{};  // all zero: no faults
+
+  double& rate(Site site) noexcept {
+    return rates[static_cast<std::size_t>(site)];
+  }
+  double rate(Site site) const noexcept {
+    return rates[static_cast<std::size_t>(site)];
+  }
+  bool any() const noexcept;
+
+  /// The pure verdict function: does the `visit`-th visit (0-based) of
+  /// `site` inject a fault under this plan?
+  bool fires(Site site, std::uint64_t visit) const noexcept;
+
+  /// Parse the SOREL_CHAOS spec string, a comma-separated key=value list:
+  ///   seed=N                     — the plan seed (default 0)
+  ///   rate=R                     — default probability for listed sites
+  ///   sites=a|b|c                — sites receiving the default rate
+  ///   <site.name>=R              — per-site probability override
+  /// Example: "seed=7,rate=0.15,sites=sched.task_start|memo.insert".
+  /// Throws sorel::InvalidArgument on malformed input.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Render back to the parse() format (seed plus the nonzero sites).
+  std::string to_string() const;
+};
+
+/// Per-site counters observed since the plan was installed.
+struct ChaosStats {
+  std::array<std::uint64_t, kSiteCount> visits{};
+  std::array<std::uint64_t, kSiteCount> injected{};
+
+  std::uint64_t total_visits() const noexcept;
+  std::uint64_t total_injected() const noexcept;
+};
+
+/// Install `plan` as the process-wide chaos plan (resets the per-site visit
+/// counters). Installing a plan with no nonzero rate still counts visits —
+/// handy for asserting hooks are wired. Not safe to call concurrently with
+/// in-flight chaos_fire calls; install/uninstall from a quiescent point
+/// (tests and bench do; the env path installs before the first fire).
+void install_chaos(const FaultPlan& plan);
+
+/// Remove the active plan: chaos_fire returns false everywhere again.
+void uninstall_chaos() noexcept;
+
+/// True when a plan is active (installed programmatically or via env).
+bool chaos_active() noexcept;
+
+/// The active plan (a default-constructed plan when inactive).
+FaultPlan chaos_plan();
+
+/// Snapshot of the per-site counters since the last install.
+ChaosStats chaos_stats();
+
+/// The hook: true iff the active plan injects a fault at this visit of
+/// `site`. The first call process-wide consults SOREL_CHAOS once; a
+/// malformed value is reported to stderr and ignored. When no plan is
+/// active this is a single relaxed atomic load.
+bool chaos_fire(Site site) noexcept;
+
+}  // namespace sorel::resil

@@ -1,0 +1,92 @@
+// The resilient serve-protocol client: one request line in, one response
+// line out, with the retry discipline a production caller needs — per-
+// attempt timeouts, bounded retries with exponential backoff and seeded
+// jitter, and automatic reconnection.
+//
+// The client distinguishes three outcome classes:
+//  - transport failures (connect refused, send/recv error, EOF mid-
+//    response, per-attempt timeout) — retryable: reconnect, back off, and
+//    resend (serve requests are idempotent queries, so resending is safe);
+//  - structured "overloaded" responses (admission-queue shedding or rate
+//    limiting, docs/FORMAT.md) — retryable: back off by at least the
+//    server's retry_after_ms hint;
+//  - every other response, including model errors ("ok": false with any
+//    other category) — final: delivered to the caller unretried.
+//
+// Backoff is deterministic: delay k is min(max, base * factor^k) scaled by
+// a jitter in [0.5, 1) drawn from a util::Rng seeded at construction —
+// the same seed replays the same delay sequence (bench/perf_resil leans on
+// this for replayable chaos runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sorel/util/rng.hpp"
+
+namespace sorel::resil {
+
+struct ClientOptions {
+  double timeout_ms = 5000.0;     // per-attempt wait for the response line
+  std::size_t max_retries = 5;    // retries per request beyond the first try
+  double backoff_base_ms = 10.0;  // delay before the first retry
+  double backoff_factor = 2.0;    // growth per retry
+  double backoff_max_ms = 2000.0; // delay ceiling
+  std::uint64_t seed = 0x5EED;    // jitter stream
+};
+
+/// The final word on one call(): the response line (empty when the
+/// transport gave up), how many attempts it took, and the two verdict bits
+/// callers branch on.
+struct RequestOutcome {
+  std::string response;
+  std::size_t attempts = 0;
+  bool transport_ok = false;  // a response line was delivered
+  bool ok = false;            // ... and it carried "ok": true
+};
+
+class Client {
+ public:
+  /// Remembers the endpoint; the first call() connects. Throws
+  /// sorel::InvalidArgument on a malformed host.
+  Client(std::string host, std::uint16_t port, ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line (no trailing newline) and await its response,
+  /// retrying transport failures and overloaded responses per the options.
+  /// Never throws on transport trouble — a final give-up comes back as
+  /// transport_ok = false.
+  RequestOutcome call(const std::string& line);
+
+  /// True while the last call() left a usable connection behind.
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  struct Stats {
+    std::uint64_t requests = 0;        // call() invocations
+    std::uint64_t retries = 0;         // extra attempts beyond the first
+    std::uint64_t reconnects = 0;      // sockets re-established
+    std::uint64_t overloaded = 0;      // overloaded responses retried
+    std::uint64_t transport_errors = 0;  // send/recv/timeout failures
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  bool ensure_connected();
+  void disconnect() noexcept;
+  bool send_line(const std::string& line);
+  bool read_line(std::string* out, double timeout_ms);
+  void backoff(std::size_t retry_index, double floor_ms);
+
+  std::string host_;
+  std::uint16_t port_;
+  ClientOptions options_;
+  util::Rng rng_;
+  int fd_ = -1;
+  std::string rx_;  // bytes received past the last returned line
+  Stats stats_;
+};
+
+}  // namespace sorel::resil

@@ -1,0 +1,60 @@
+// A token bucket over *logical cost* — the warmth-independent work units
+// sorel::guard meters (engine evaluations, with memo hits replaying their
+// stored subtree cost). The serve front ends keep one bucket per client and
+// charge each request its metered cost, so a client hammering expensive
+// queries is shed with a structured "overloaded" response while cheap
+// clients sail through.
+//
+// Admission is post-paid: a request is admitted while the balance is
+// positive and charged its actual cost afterwards (the cost is only known
+// once the engine ran). The balance may go negative — one oversized request
+// overdraws the bucket and the client waits out the debt — but the debt is
+// clamped to -capacity so recovery time stays bounded. With refill_per_sec
+// = 0 the bucket never refills, which is what makes the rate-limit tests
+// fully deterministic (no wall clock in any verdict).
+#pragma once
+
+#include <chrono>
+#include <mutex>
+
+namespace sorel::resil {
+
+class TokenBucket {
+ public:
+  /// An unlimited bucket: limited() is false, try_acquire always succeeds,
+  /// charge is a no-op. The front ends construct this when rate limiting is
+  /// off so the hot path stays branch-cheap.
+  TokenBucket() = default;
+
+  /// A bucket holding `capacity` cost units, refilled continuously at
+  /// `refill_per_sec` units per second (0 = never refill). Starts full.
+  /// capacity <= 0 means unlimited.
+  TokenBucket(double capacity, double refill_per_sec);
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  bool limited() const noexcept { return capacity_ > 0.0; }
+
+  /// Admit one request: true while the balance is positive (post-paid —
+  /// the admitted request may overdraw when charged).
+  bool try_acquire();
+
+  /// Charge an admitted request's actual cost. The balance is clamped to
+  /// [-capacity, capacity].
+  void charge(double cost);
+
+  /// Current balance (after applying any pending refill).
+  double tokens() const;
+
+ private:
+  void refill_locked(std::chrono::steady_clock::time_point now) const;
+
+  double capacity_ = 0.0;
+  double refill_per_sec_ = 0.0;
+  mutable double tokens_ = 0.0;
+  mutable std::chrono::steady_clock::time_point last_refill_{};
+  mutable std::mutex mutex_;
+};
+
+}  // namespace sorel::resil

@@ -14,9 +14,17 @@
 // demand byte-identical responses under any interleaving.
 //
 // Ops: eval, batch, inject, load_spec, set_attributes, stats, version,
-// shutdown. See docs/FORMAT.md for the full request/response schemas.
+// health, shutdown. See docs/FORMAT.md for the full request/response
+// schemas.
+//
+// One wire-level error category lives outside the exception taxonomy:
+// "overloaded", emitted when admission control sheds a request (bounded
+// queue full or per-client rate limit exhausted). It carries a
+// "retry_after_ms" hint; the resil::Client treats it as retryable where
+// every other error is final.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -58,6 +66,15 @@ json::Object make_response(const std::optional<json::Value>& id, bool ok);
 /// elapsed_ms: responses stay wall-clock-free.
 json::Object make_error_response(const std::optional<json::Value>& id,
                                  const std::exception& e);
+
+/// The load-shedding envelope: ok=false, "error": "overloaded", the given
+/// message, and a "retry_after_ms" backoff hint for well-behaved clients.
+/// Deterministic by construction — the bytes depend only on the request id,
+/// the message, and the configured hint, never on wall clock or load
+/// history.
+json::Object make_overload_response(const std::optional<json::Value>& id,
+                                    const std::string& message,
+                                    std::uint64_t retry_after_ms);
 
 /// Serialise a response object to its single wire line (compact dump, no
 /// trailing newline).

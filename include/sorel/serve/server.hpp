@@ -5,9 +5,9 @@
 // a deployed assembly is re-evaluated as bindings and attributes change
 // live, not re-loaded from disk per question. The Server is that daemon
 // core. It loads a spec once, then answers eval / batch / inject /
-// load_spec / set_attributes / stats / version / shutdown requests (the
-// line protocol of serve/protocol.hpp) from many concurrent clients while
-// keeping everything warm between requests:
+// load_spec / set_attributes / stats / version / health / shutdown requests
+// (the line protocol of serve/protocol.hpp) from many concurrent clients
+// while keeping everything warm between requests:
 //
 //  - one memo::SharedMemo per loaded spec, hot across requests — repeated
 //    queries replay instead of re-evaluating (bench/perf_serve measures the
@@ -41,6 +41,13 @@
 // becomes a structured JSON error response (sorel::error_category
 // vocabulary) and the daemon keeps serving. handle_line never throws.
 //
+// Overload protection (sorel::resil): a bounded admission queue
+// (Options::max_pending) sheds excess arrivals with a structured
+// "overloaded" response carrying a retry_after_ms hint, and per-client
+// token buckets (Options::rate_limit_capacity) meter logical cost so one
+// greedy client cannot starve the rest. The resil::Client treats both as
+// retryable; every other error is final.
+//
 // Threading: handle_line is safe to call from any number of threads. The
 // front ends (run_stdio, tcp.hpp) multiplex client lines onto the
 // process-wide sched::Scheduler and emit responses in per-client request
@@ -66,6 +73,7 @@
 #include "sorel/guard/budget.hpp"
 #include "sorel/json/json.hpp"
 #include "sorel/memo/shared_memo.hpp"
+#include "sorel/resil/token_bucket.hpp"
 #include "sorel/runtime/exec_policy.hpp"
 #include "sorel/serve/protocol.hpp"
 
@@ -97,6 +105,9 @@ struct ServerStats {
   /// request contributes its last query's ReliabilityEngine::Stats::
   /// fixpoint_sccs; 0 for acyclic specs).
   std::uint64_t fixpoint_sccs = 0;
+  // Overload protection (sorel::resil, still protocol 1 / additive):
+  std::uint64_t shed = 0;          // requests refused by the admission bound
+  std::uint64_t rate_limited = 0;  // requests refused by a client's bucket
 };
 
 class Server {
@@ -119,6 +130,30 @@ class Server {
     /// across requests — off, every request pays its own warm-up. Results
     /// identical either way.
     core::ReliabilityEngine::Options engine;
+
+    /// Overload protection (sorel::resil). max_pending bounds the admission
+    /// queue across all clients: while that many requests are admitted and
+    /// unfinished, further arrivals are shed with a structured "overloaded"
+    /// response carrying `retry_after_ms` (0 = unbounded, the default).
+    /// Shedding is deterministic in the sense that the shed response's
+    /// bytes are a pure function of the request and this config.
+    std::size_t max_pending = 0;
+    std::uint64_t retry_after_ms = 50;
+
+    /// Per-client token-bucket rate limiting on *logical cost* — the
+    /// warmth-independent work units guard::Meter charges (eval requests
+    /// charge their metered evaluations; batch/inject charge one unit per
+    /// job/scenario; everything else charges 1). Each front-end client gets
+    /// its own bucket of `rate_limit_capacity` units refilled at
+    /// `rate_limit_refill_per_sec`; admission is post-paid (admitted while
+    /// the balance is positive, charged after). 0 capacity = off.
+    double rate_limit_capacity = 0.0;
+    double rate_limit_refill_per_sec = 0.0;
+
+    /// Per-connection input-buffer cap: a client streaming bytes without a
+    /// newline gets one structured parse_error response and a disconnect
+    /// once the unterminated line exceeds this many bytes.
+    std::size_t max_line_bytes = std::size_t{1} << 20;
 
     /// The execution-policy slice (unified accessor across every analysis
     /// options struct): options.exec().with_threads(8)...
@@ -143,10 +178,33 @@ class Server {
   /// trailing newline). Never throws: every failure is a structured error
   /// response. `cancel` (optional) is polled at guard checkpoints — front
   /// ends cancel it when the originating client disconnects, turning the
-  /// in-flight request into a "cancelled" response. Thread-safe.
+  /// in-flight request into a "cancelled" response. `rate_bucket`
+  /// (optional) is the calling client's token bucket: when limited and
+  /// exhausted, the request is refused with a structured "overloaded"
+  /// response before any evaluation work; otherwise it is charged the
+  /// request's logical cost afterwards. Thread-safe.
   std::string handle_line(
       const std::string& line,
-      std::shared_ptr<const guard::CancelToken> cancel = nullptr);
+      std::shared_ptr<const guard::CancelToken> cancel = nullptr,
+      resil::TokenBucket* rate_bucket = nullptr);
+
+  /// Bounded admission for the front ends: claim one in-flight slot before
+  /// dispatching a request to the scheduler. Refuses (returns false, counts
+  /// the shed) when Options::max_pending slots are taken; the refusing
+  /// front end answers with overloaded_response(line) instead of
+  /// dispatching. Pair every true with one release_admission().
+  bool try_admit();
+  void release_admission() noexcept;
+
+  /// The structured shed response for a refused request line (the id is
+  /// extracted best-effort so the client can correlate). Counts the request
+  /// and the error like handle_line would.
+  std::string overloaded_response(const std::string& line);
+
+  /// In-flight admitted requests right now (diagnostic; racy by nature).
+  std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
   /// True once a shutdown request has been accepted; front ends stop
   /// reading new input (already-read requests still get responses).
@@ -172,9 +230,11 @@ class Server {
   void swap_state(std::shared_ptr<SpecState> next);
 
   json::Object dispatch(const Request& request,
-                        const std::shared_ptr<const guard::CancelToken>& cancel);
+                        const std::shared_ptr<const guard::CancelToken>& cancel,
+                        bool metered, std::uint64_t* cost);
   json::Object op_eval(const Request& request,
-                       const std::shared_ptr<const guard::CancelToken>& cancel);
+                       const std::shared_ptr<const guard::CancelToken>& cancel,
+                       bool metered, std::uint64_t* cost);
   json::Object op_batch(const Request& request,
                         const std::shared_ptr<const guard::CancelToken>& cancel);
   json::Object op_inject(const Request& request,
@@ -182,6 +242,7 @@ class Server {
   json::Object op_load_spec(const Request& request);
   json::Object op_set_attributes(const Request& request);
   json::Object op_stats(const Request& request);
+  json::Object op_health(const Request& request);
 
   Options options_;
 
@@ -201,6 +262,9 @@ class Server {
   std::atomic<std::uint64_t> engine_memo_hits_{0};
   std::atomic<std::uint64_t> shared_hits_{0};
   std::atomic<std::uint64_t> fixpoint_sccs_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::size_t> pending_{0};
 };
 
 /// Reorder buffer for one client's responses: workers complete requests in

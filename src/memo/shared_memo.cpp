@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sorel/resil/chaos.hpp"
+
 namespace sorel::memo {
 
 // ---------------------------------------------------------------------------
@@ -123,6 +125,13 @@ bool SharedMemo::lookup(const MemoKey& key, std::uint64_t epoch,
 bool SharedMemo::insert(const MemoKey& key, std::uint64_t epoch,
                         SharedEntry entry) {
   if (epoch != epoch_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Chaos hook: a dropped publication. Safe by the same argument as the
+  // table-full path — the cache is exact, so a missing entry only costs a
+  // future re-evaluation, never a different value.
+  if (resil::chaos_fire(resil::Site::MemoInsert)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }

@@ -1,0 +1,222 @@
+#include "sorel/resil/chaos.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "sorel/util/error.hpp"
+#include "sorel/util/rng.hpp"
+
+namespace sorel::resil {
+
+namespace {
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "tcp.accept",      "tcp.recv",    "tcp.send",
+    "sched.task_start", "memo.insert", "spec.load",
+};
+
+/// The process-wide chaos state: the immutable-while-active plan plus the
+/// per-site visit counters. One static instance; `active` gates reads so
+/// the disabled fast path is a single relaxed load.
+struct ChaosState {
+  std::atomic<bool> active{false};
+  std::mutex install_mutex;
+  FaultPlan plan;
+  std::array<std::atomic<std::uint64_t>, kSiteCount> visits{};
+  std::array<std::atomic<std::uint64_t>, kSiteCount> injected{};
+};
+
+ChaosState& state() {
+  static ChaosState instance;
+  return instance;
+}
+
+/// Consult SOREL_CHAOS exactly once per process, before the first verdict.
+/// A malformed value is reported and ignored (the process runs chaos-free)
+/// rather than aborting a library client.
+void ensure_env_consulted() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("SOREL_CHAOS");
+    if (spec == nullptr || *spec == '\0') return;
+    try {
+      install_chaos(FaultPlan::parse(spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sorel: ignoring malformed SOREL_CHAOS: %s\n",
+                   e.what());
+    }
+  });
+}
+
+}  // namespace
+
+const char* site_name(Site site) noexcept {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+Site site_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) return static_cast<Site>(i);
+  }
+  throw InvalidArgument("chaos: unknown site '" + name + "'");
+}
+
+bool FaultPlan::any() const noexcept {
+  for (const double rate : rates) {
+    if (rate > 0.0) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::fires(Site site, std::uint64_t visit) const noexcept {
+  const double rate = this->rate(site);
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // The verdict is a pure hash of (seed, site, visit): substream_seed
+  // decorrelates the sites, one more SplitMix64 step decorrelates the
+  // visits, and the top 53 bits become a uniform double in [0, 1).
+  const std::uint64_t stream =
+      util::substream_seed(seed, static_cast<std::uint64_t>(site) + 1);
+  util::SplitMix64 mix(stream ^
+                       (visit * 0xD2B74407B1CE6E93ULL + 0x9E3779B97F4A7C15ULL));
+  const double draw = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  return draw < rate;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  double default_rate = 0.0;
+  std::vector<Site> default_sites;
+  std::istringstream stream(spec);
+  std::string field;
+  const auto parse_rate = [](const std::string& key, const std::string& text) {
+    std::size_t used = 0;
+    double rate = 0.0;
+    try {
+      rate = std::stod(text, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != text.size() || !(rate >= 0.0) || !(rate <= 1.0)) {
+      throw InvalidArgument("chaos: " + key + " needs a probability in [0,1], got '" +
+                            text + "'");
+    }
+    return rate;
+  };
+  while (std::getline(stream, field, ',')) {
+    if (field.empty()) continue;
+    const std::size_t equals = field.find('=');
+    if (equals == std::string::npos) {
+      throw InvalidArgument("chaos: expected key=value, got '" + field + "'");
+    }
+    const std::string key = field.substr(0, equals);
+    const std::string value = field.substr(equals + 1);
+    if (key == "seed") {
+      try {
+        std::size_t used = 0;
+        plan.seed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw InvalidArgument("chaos: seed needs an unsigned integer, got '" +
+                              value + "'");
+      }
+    } else if (key == "rate") {
+      default_rate = parse_rate(key, value);
+    } else if (key == "sites") {
+      std::istringstream names(value);
+      std::string name;
+      while (std::getline(names, name, '|')) {
+        if (!name.empty()) default_sites.push_back(site_from_name(name));
+      }
+      if (default_sites.empty()) {
+        throw InvalidArgument("chaos: sites needs a |-separated site list");
+      }
+    } else {
+      plan.rate(site_from_name(key)) = parse_rate(key, value);
+    }
+  }
+  for (const Site site : default_sites) plan.rate(site) = default_rate;
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (rates[i] > 0.0) {
+      out << ',' << kSiteNames[i] << '=' << rates[i];
+    }
+  }
+  return out.str();
+}
+
+std::uint64_t ChaosStats::total_visits() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : visits) total += count;
+  return total;
+}
+
+std::uint64_t ChaosStats::total_injected() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : injected) total += count;
+  return total;
+}
+
+void install_chaos(const FaultPlan& plan) {
+  ChaosState& chaos = state();
+  std::lock_guard<std::mutex> lock(chaos.install_mutex);
+  chaos.active.store(false, std::memory_order_release);
+  chaos.plan = plan;
+  for (auto& counter : chaos.visits) counter.store(0, std::memory_order_relaxed);
+  for (auto& counter : chaos.injected) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  chaos.active.store(true, std::memory_order_release);
+}
+
+void uninstall_chaos() noexcept {
+  state().active.store(false, std::memory_order_release);
+}
+
+bool chaos_active() noexcept {
+  ensure_env_consulted();
+  return state().active.load(std::memory_order_acquire);
+}
+
+FaultPlan chaos_plan() {
+  ChaosState& chaos = state();
+  std::lock_guard<std::mutex> lock(chaos.install_mutex);
+  return chaos.active.load(std::memory_order_acquire) ? chaos.plan
+                                                      : FaultPlan{};
+}
+
+ChaosStats chaos_stats() {
+  ChaosState& chaos = state();
+  ChaosStats out;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    out.visits[i] = chaos.visits[i].load(std::memory_order_relaxed);
+    out.injected[i] = chaos.injected[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+bool chaos_fire(Site site) noexcept {
+  ensure_env_consulted();
+  ChaosState& chaos = state();
+  if (!chaos.active.load(std::memory_order_relaxed)) return false;
+  const std::size_t index = static_cast<std::size_t>(site);
+  // fetch_add hands every visit a unique, gap-free index; the verdict is a
+  // pure function of that index, so concurrent visitors can race for the
+  // counter and still reproduce the exact injection sequence of any other
+  // interleaving.
+  const std::uint64_t visit =
+      chaos.visits[index].fetch_add(1, std::memory_order_relaxed);
+  if (!chaos.plan.fires(site, visit)) return false;
+  chaos.injected[index].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace sorel::resil

@@ -1,0 +1,205 @@
+#include "sorel/resil/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "sorel/json/json.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::resil {
+
+namespace {
+
+/// Is this response line a structured overload shed (retryable)? Returns
+/// the server's retry_after_ms hint (0 when absent). A response that does
+/// not parse as JSON is treated as final — the server never emits garbage,
+/// so garbage means the caller should see it.
+bool is_overloaded(const std::string& line, double* retry_after_ms) {
+  *retry_after_ms = 0.0;
+  try {
+    const json::Value response = json::parse(line);
+    if (!response.is_object()) return false;
+    if (!response.contains("ok") || response.at("ok").as_bool()) return false;
+    if (!response.contains("error") ||
+        response.at("error").as_string() != "overloaded") {
+      return false;
+    }
+    if (response.contains("retry_after_ms")) {
+      *retry_after_ms = response.at("retry_after_ms").as_number();
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool response_ok(const std::string& line) {
+  try {
+    const json::Value response = json::parse(line);
+    return response.is_object() && response.contains("ok") &&
+           response.at("ok").as_bool();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Client::Client(std::string host, std::uint16_t port, ClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      rng_(options.seed) {
+  sockaddr_in probe{};
+  if (::inet_pton(AF_INET, host_.c_str(), &probe.sin_addr) != 1) {
+    throw InvalidArgument("connect: not an IPv4 address: '" + host_ + "'");
+  }
+}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool Client::ensure_connected() {
+  if (fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port_);
+  ::inet_pton(AF_INET, host_.c_str(), &address.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  stats_.reconnects += 1;
+  return true;
+}
+
+bool Client::send_line(const std::string& line) {
+  std::string wire = line;
+  wire += '\n';
+  const char* data = wire.data();
+  std::size_t size = wire.size();
+  while (size > 0) {
+    const ssize_t sent = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(sent);
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool Client::read_line(std::string* out, double timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  for (;;) {
+    const std::size_t newline = rx_.find('\n');
+    if (newline != std::string::npos) {
+      *out = rx_.substr(0, newline);
+      rx_.erase(0, newline + 1);
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      return true;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd waiter{};
+    waiter.fd = fd_;
+    waiter.events = POLLIN;
+    const int ready =
+        ::poll(&waiter, 1, static_cast<int>(std::max<long long>(
+                               1, remaining.count())));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;  // timed out
+    char chunk[4096];
+    const ssize_t received = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (received < 0 && errno == EINTR) continue;
+    if (received <= 0) return false;  // server closed the connection
+    rx_.append(chunk, static_cast<std::size_t>(received));
+  }
+}
+
+void Client::backoff(std::size_t retry_index, double floor_ms) {
+  double delay = options_.backoff_base_ms *
+                 std::pow(options_.backoff_factor,
+                          static_cast<double>(retry_index));
+  delay = std::min(delay, options_.backoff_max_ms);
+  // Seeded jitter in [0.5, 1): spreads retry storms without losing
+  // replayability (the rng advances once per backoff, same seed ⇒ same
+  // delay sequence).
+  delay *= 0.5 + 0.5 * rng_.uniform();
+  delay = std::max(delay, floor_ms);
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay));
+  }
+}
+
+RequestOutcome Client::call(const std::string& line) {
+  stats_.requests += 1;
+  RequestOutcome outcome;
+  for (std::size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    outcome.attempts = attempt + 1;
+    if (attempt > 0) stats_.retries += 1;
+    double retry_floor_ms = 0.0;
+    if (!ensure_connected()) {
+      stats_.transport_errors += 1;
+    } else if (!send_line(line)) {
+      stats_.transport_errors += 1;
+      disconnect();
+    } else {
+      std::string response;
+      if (!read_line(&response, options_.timeout_ms)) {
+        // Timeout or mid-response disconnect: the connection's pipeline
+        // position is unknowable, so start clean.
+        stats_.transport_errors += 1;
+        disconnect();
+      } else if (is_overloaded(response, &retry_floor_ms)) {
+        stats_.overloaded += 1;
+        if (attempt == options_.max_retries) {
+          // Out of retries: the shed response itself is the final word.
+          outcome.response = std::move(response);
+          outcome.transport_ok = true;
+          outcome.ok = false;
+          return outcome;
+        }
+      } else {
+        outcome.response = std::move(response);
+        outcome.transport_ok = true;
+        outcome.ok = response_ok(outcome.response);
+        return outcome;
+      }
+    }
+    if (attempt < options_.max_retries) backoff(attempt, retry_floor_ms);
+  }
+  outcome.transport_ok = false;
+  outcome.ok = false;
+  return outcome;
+}
+
+}  // namespace sorel::resil

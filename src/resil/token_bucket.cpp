@@ -1,0 +1,42 @@
+#include "sorel/resil/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace sorel::resil {
+
+TokenBucket::TokenBucket(double capacity, double refill_per_sec)
+    : capacity_(capacity > 0.0 ? capacity : 0.0),
+      refill_per_sec_(refill_per_sec > 0.0 ? refill_per_sec : 0.0),
+      tokens_(capacity_),
+      last_refill_(std::chrono::steady_clock::now()) {}
+
+void TokenBucket::refill_locked(
+    std::chrono::steady_clock::time_point now) const {
+  if (refill_per_sec_ <= 0.0) return;
+  const std::chrono::duration<double> elapsed = now - last_refill_;
+  last_refill_ = now;
+  tokens_ = std::min(capacity_, tokens_ + elapsed.count() * refill_per_sec_);
+}
+
+bool TokenBucket::try_acquire() {
+  if (!limited()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(std::chrono::steady_clock::now());
+  return tokens_ > 0.0;
+}
+
+void TokenBucket::charge(double cost) {
+  if (!limited() || cost <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(std::chrono::steady_clock::now());
+  tokens_ = std::clamp(tokens_ - cost, -capacity_, capacity_);
+}
+
+double TokenBucket::tokens() const {
+  if (!limited()) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill_locked(std::chrono::steady_clock::now());
+  return tokens_;
+}
+
+}  // namespace sorel::resil

@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <queue>
 #include <string>
+#include <thread>
 
+#include "sorel/resil/chaos.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::sched {
@@ -145,6 +147,13 @@ Task* Scheduler::take_work(std::size_t self) {
 
 void Scheduler::execute(Task* task, std::size_t slot) {
   tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  // Chaos hook: a "fault" at task start is a scheduling perturbation (yield
+  // the slice), not a dropped task — it shakes up interleavings and steal
+  // patterns without breaking the run-exactly-once contract, which is the
+  // point: results must stay byte-identical under any interleaving.
+  if (resil::chaos_fire(resil::Site::SchedTaskStart)) {
+    std::this_thread::yield();
+  }
   task->invoke(task, slot);
 }
 

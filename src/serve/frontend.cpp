@@ -41,14 +41,25 @@ std::size_t run_stdio(Server& server, std::istream& in, std::ostream& out,
   });
 
   sched::Scheduler& scheduler = sched::Scheduler::global();
+  // One stdio run is one client: it gets one rate-limit bucket (unlimited
+  // when rate limiting is off) and competes for admission slots like any
+  // TCP connection would.
+  resil::TokenBucket bucket(server.options().rate_limit_capacity,
+                            server.options().rate_limit_refill_per_sec);
   std::string line;
   std::size_t requests = 0;
   while (!server.shutdown_requested() && std::getline(in, line)) {
     if (line.empty()) continue;  // blank lines are keep-alive no-ops
     const std::uint64_t ticket = sequencer.next_ticket();
     ++requests;
-    scheduler.submit([&server, &sequencer, ticket, line, cancel] {
-      sequencer.emit(ticket, server.handle_line(line, cancel));
+    if (!server.try_admit()) {
+      sequencer.emit(ticket, server.overloaded_response(line));
+      continue;
+    }
+    scheduler.submit([&server, &sequencer, &bucket, ticket, line, cancel] {
+      std::string response = server.handle_line(line, cancel, &bucket);
+      server.release_admission();
+      sequencer.emit(ticket, std::move(response));
     });
   }
   // Everything read before EOF / shutdown still gets its response — the

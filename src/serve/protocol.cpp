@@ -71,6 +71,16 @@ json::Object make_error_response(const std::optional<json::Value>& id,
   return response;
 }
 
+json::Object make_overload_response(const std::optional<json::Value>& id,
+                                    const std::string& message,
+                                    std::uint64_t retry_after_ms) {
+  json::Object response = make_response(id, false);
+  response["error"] = "overloaded";
+  response["message"] = message;
+  response["retry_after_ms"] = retry_after_ms;
+  return response;
+}
+
 std::string dump_response(json::Object response) {
   return json::Value(std::move(response)).dump();
 }

@@ -1,5 +1,7 @@
 #include "sorel/serve/server.hpp"
 
+#include <algorithm>
+#include <new>
 #include <optional>
 #include <utility>
 
@@ -7,6 +9,7 @@
 #include "sorel/faults/campaign_json.hpp"
 #include "sorel/faults/runner.hpp"
 #include "sorel/guard/budget_json.hpp"
+#include "sorel/resil/chaos.hpp"
 #include "sorel/runtime/batch.hpp"
 #include "sorel/runtime/thread_pool.hpp"
 #include "sorel/sched/scheduler.hpp"
@@ -184,6 +187,11 @@ void Server::swap_state(std::shared_ptr<SpecState> next) {
 }
 
 std::size_t Server::load_spec(const json::Value& spec_document) {
+  // Chaos hook: an allocation failure while building the new SpecState.
+  // Thrown before any mutation, so the old spec stays live and the client
+  // gets a structured "exception" response — load_spec failures must never
+  // take the daemon down.
+  if (resil::chaos_fire(resil::Site::SpecLoad)) throw std::bad_alloc();
   auto state = std::make_shared<SpecState>(dsl::load_assembly(spec_document));
   if (options_.shared_memo) {
     state->memo = core::make_shared_memo(state->assembly);
@@ -207,6 +215,8 @@ ServerStats Server::stats() const {
   out.engine_memo_hits = engine_memo_hits_.load(std::memory_order_relaxed);
   out.shared_hits = shared_hits_.load(std::memory_order_relaxed);
   out.fixpoint_sccs = fixpoint_sccs_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.rate_limited = rate_limited_.load(std::memory_order_relaxed);
   const sched::SchedStats sched_stats = sched::Scheduler::global().stats();
   out.tasks_run = sched_stats.tasks_run;
   out.steals = sched_stats.steals;
@@ -214,9 +224,44 @@ ServerStats Server::stats() const {
   return out;
 }
 
-std::string Server::handle_line(
-    const std::string& line,
-    std::shared_ptr<const guard::CancelToken> cancel) {
+bool Server::try_admit() {
+  std::size_t expected = pending_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (options_.max_pending != 0 && expected >= options_.max_pending) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (pending_.compare_exchange_weak(expected, expected + 1,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void Server::release_admission() noexcept {
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::string Server::overloaded_response(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  std::optional<json::Value> id;
+  try {
+    id = parse_request(line).id;
+  } catch (const std::exception&) {
+    // Even an unparseable request gets a shed response — it occupied an
+    // arrival slot like any other; it just cannot be correlated by id.
+  }
+  return dump_response(make_overload_response(
+      id,
+      "server overloaded: admission queue full (max_pending " +
+          std::to_string(options_.max_pending) + ")",
+      options_.retry_after_ms));
+}
+
+std::string Server::handle_line(const std::string& line,
+                                std::shared_ptr<const guard::CancelToken> cancel,
+                                resil::TokenBucket* rate_bucket) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   std::optional<json::Value> id;
   try {
@@ -228,7 +273,21 @@ std::string Server::handle_line(
     if (cancel != nullptr && cancel->cancelled()) {
       throw Cancelled("request cancelled: client disconnected", 0, 0, 0.0);
     }
-    json::Object response = dispatch(request, cancel);
+    const bool metered = rate_bucket != nullptr && rate_bucket->limited();
+    if (metered && !rate_bucket->try_acquire()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      return dump_response(make_overload_response(
+          id, "client rate limit exceeded", options_.retry_after_ms));
+    }
+    std::uint64_t cost = 1;
+    json::Object response = dispatch(request, cancel, metered, &cost);
+    // Post-paid: charge the request's actual logical cost (failed requests
+    // paid through their budget instead and charge nothing extra).
+    if (metered) {
+      rate_bucket->charge(
+          static_cast<double>(std::max<std::uint64_t>(cost, 1)));
+    }
     if (!response.at("ok").as_bool()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -241,13 +300,23 @@ std::string Server::handle_line(
 
 json::Object Server::dispatch(
     const Request& request,
-    const std::shared_ptr<const guard::CancelToken>& cancel) {
-  if (request.op == "eval") return op_eval(request, cancel);
-  if (request.op == "batch") return op_batch(request, cancel);
-  if (request.op == "inject") return op_inject(request, cancel);
+    const std::shared_ptr<const guard::CancelToken>& cancel, bool metered,
+    std::uint64_t* cost) {
+  if (request.op == "eval") return op_eval(request, cancel, metered, cost);
+  if (request.op == "batch") {
+    json::Object response = op_batch(request, cancel);
+    *cost = static_cast<std::uint64_t>(response.at("jobs").as_number());
+    return response;
+  }
+  if (request.op == "inject") {
+    json::Object response = op_inject(request, cancel);
+    *cost = static_cast<std::uint64_t>(response.at("scenarios").as_number());
+    return response;
+  }
   if (request.op == "load_spec") return op_load_spec(request);
   if (request.op == "set_attributes") return op_set_attributes(request);
   if (request.op == "stats") return op_stats(request);
+  if (request.op == "health") return op_health(request);
   if (request.op == "version") {
     json::Object response = make_response(request.id, true);
     response["version"] = version_string();
@@ -265,7 +334,8 @@ json::Object Server::dispatch(
 
 json::Object Server::op_eval(
     const Request& request,
-    const std::shared_ptr<const guard::CancelToken>& cancel) {
+    const std::shared_ptr<const guard::CancelToken>& cancel, bool metered,
+    std::uint64_t* cost) {
   std::shared_ptr<SpecState> state = require_spec();
   const json::Value& document = request.document;
   const std::string& service = document.at("service").as_string();
@@ -273,7 +343,18 @@ json::Object Server::op_eval(
 
   SessionLease lease(*this, state);
   core::EvalSession& session = lease.session();
-  session.set_budget(effective_budget(options_.budget, document), cancel);
+  std::shared_ptr<const guard::CancelToken> budget_token = cancel;
+  if (metered && budget_token == nullptr) {
+    // Rate limiting charges the request's *logical* cost, which only the
+    // guard meter observes. An unlimited budget with no cancel token leaves
+    // the meter disabled, so arm it with a never-cancelled token — the
+    // metering is free by the perf_guard bound and changes no result bytes.
+    static const std::shared_ptr<const guard::CancelToken> kMeterOnly =
+        std::make_shared<const guard::CancelToken>();
+    budget_token = kMeterOnly;
+  }
+  session.set_budget(effective_budget(options_.budget, document),
+                     std::move(budget_token));
   // Per-request isolation: re-base to exactly (assembly defaults + this
   // request's overrides) — whatever the previous tenant of the session did
   // is reverted here, which is what makes pooled reuse bit-identical to a
@@ -291,18 +372,25 @@ json::Object Server::op_eval(
   }
 
   const double pfail = session.pfail(service, args);
+  // Each top-level query meters its own window; the request's logical cost
+  // is the sum over its queries. Warmth-independent by the guard contract
+  // (memo hits replay their stored subtree cost), so the same request
+  // always costs the same — the property per-client rate limiting needs.
+  std::uint64_t logical = session.engine().meter().evaluations();
   json::Object response = make_response(request.id, true);
   response["service"] = service;
   response["pfail"] = pfail;
   response["reliability"] = 1.0 - pfail;
   if (document.contains("modes") && document.at("modes").as_bool()) {
     const auto modes = session.failure_modes(service, args);
+    logical += session.engine().meter().evaluations();
     json::Object block;
     block["success"] = modes.success;
     block["detected_failure"] = modes.detected_failure;
     block["silent_failure"] = modes.silent_failure;
     response["modes"] = json::Value(std::move(block));
   }
+  if (cost != nullptr) *cost = std::max<std::uint64_t>(logical, 1);
   evals_.fetch_add(1, std::memory_order_relaxed);
   return response;
 }
@@ -553,6 +641,8 @@ json::Object Server::op_stats(const Request& request) {
   response["steals"] = totals.steals;
   response["max_queue_depth"] = totals.max_queue_depth;
   response["fixpoint_sccs"] = totals.fixpoint_sccs;
+  response["shed"] = totals.shed;
+  response["rate_limited"] = totals.rate_limited;
   std::shared_ptr<SpecState> state = current_state();
   response["spec_loaded"] = state != nullptr;
   if (state != nullptr) {
@@ -570,6 +660,21 @@ json::Object Server::op_stats(const Request& request) {
       response["shared_cache"] = json::Value(std::move(block));
     }
   }
+  response["version"] = version_string();
+  response["protocol"] = kProtocolVersion;
+  return response;
+}
+
+json::Object Server::op_health(const Request& request) {
+  // Liveness probe for load balancers and the resil::Client: cheap (no
+  // session checkout, no spec requirement) and deterministic — every field
+  // is a pure function of server configuration and lifecycle state, never
+  // of load, so health responses are safe in the golden streams.
+  json::Object response = make_response(request.id, true);
+  response["status"] = shutdown_requested() ? "draining" : "ok";
+  std::shared_ptr<SpecState> state = current_state();
+  response["spec_loaded"] = state != nullptr;
+  if (state != nullptr) response["services"] = state->services;
   response["version"] = version_string();
   response["protocol"] = kProtocolVersion;
   return response;

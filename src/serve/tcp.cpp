@@ -5,10 +5,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "sorel/resil/chaos.hpp"
+#include "sorel/resil/token_bucket.hpp"
 #include "sorel/sched/scheduler.hpp"
 #include "sorel/util/error.hpp"
 
@@ -35,16 +39,31 @@ bool send_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+/// Transient accept failures: resource exhaustion (fd limits, kernel
+/// buffers) and connections that died in the backlog. All of them clear on
+/// their own; none justify killing the listener.
+bool transient_accept_error(int error) noexcept {
+  return error == EMFILE || error == ENFILE || error == ECONNABORTED ||
+         error == EAGAIN || error == EWOULDBLOCK || error == ENOBUFS ||
+         error == ENOMEM || error == EPROTO;
+}
+
 }  // namespace
 
 /// One client connection: its socket, its reader thread, its response
-/// sequencer, and the cancel token tripped when the client disconnects.
+/// sequencer, its rate-limit bucket, and the cancel token tripped when the
+/// client disconnects.
 struct TcpListener::Connection {
+  explicit Connection(const Server::Options& options)
+      : bucket(options.rate_limit_capacity,
+               options.rate_limit_refill_per_sec) {}
+
   int fd = -1;
   std::thread reader;
   std::shared_ptr<guard::CancelToken> cancel =
       std::make_shared<guard::CancelToken>();
   std::unique_ptr<ResponseSequencer> sequencer;
+  resil::TokenBucket bucket;
   std::atomic<bool> writable{true};
   std::atomic<bool> done{false};
 };
@@ -97,19 +116,40 @@ void TcpListener::start() {
 }
 
 void TcpListener::accept_loop() {
+  // Exponential backoff for transient accept failures: an fd-exhaustion
+  // storm must not spin the loop, and EMFILE typically clears as soon as a
+  // connection is reaped. Reset on every successful accept.
+  int backoff_ms = 1;
+  constexpr int kMaxBackoffMs = 100;
   while (!stopping_.load(std::memory_order_acquire) &&
          !server_.shutdown_requested()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = -1;
+    if (resil::chaos_fire(resil::Site::TcpAccept)) {
+      errno = ECONNABORTED;  // synthesized transient accept failure
+    } else {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    }
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener closed by stop(), or a fatal accept error
+      if (stopping_.load(std::memory_order_acquire) ||
+          server_.shutdown_requested()) {
+        break;  // stop() closed the listening socket under us
+      }
+      if (transient_accept_error(errno)) {
+        reap_finished();  // an EMFILE storm clears fastest by freeing fds
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, kMaxBackoffMs);
+        continue;
+      }
+      break;  // fatal accept error (EBADF, EINVAL, ...): listener is gone
     }
+    backoff_ms = 1;
     if (stopping_.load(std::memory_order_acquire) ||
         server_.shutdown_requested()) {
       ::close(fd);
       break;
     }
-    auto connection = std::make_shared<Connection>();
+    auto connection = std::make_shared<Connection>(server_.options());
     connection->fd = fd;
     // Raw pointer on purpose: the sequencer is owned by the connection, so
     // a shared_ptr here would be a reference cycle that leaks both.
@@ -119,11 +159,19 @@ void TcpListener::accept_loop() {
           if (!raw->writable.load(std::memory_order_relaxed)) return;
           std::string wire = line;
           wire += '\n';
-          if (!send_all(raw->fd, wire.data(), wire.size())) {
-            // Client gone: discard this and every later response, and stop
-            // the in-flight requests at their next guard checkpoint.
+          // Chaos hook: a dropped response write — the client observes a
+          // half-dead connection (request sent, response never arrives),
+          // the exact failure the resil::Client's timeout+reconnect+retry
+          // path exists for.
+          const bool dropped = resil::chaos_fire(resil::Site::TcpSend);
+          if (dropped || !send_all(raw->fd, wire.data(), wire.size())) {
+            // Client gone (or chaos says so): discard this and every later
+            // response, stop the in-flight requests at their next guard
+            // checkpoint, and shut the socket both ways so the client and
+            // the reader notice promptly instead of waiting on a timeout.
             raw->writable.store(false, std::memory_order_relaxed);
             raw->cancel->cancel();
+            ::shutdown(raw->fd, SHUT_RDWR);
           }
         });
     {
@@ -138,6 +186,7 @@ void TcpListener::accept_loop() {
 
 void TcpListener::serve_connection(std::shared_ptr<Connection> connection) {
   sched::Scheduler& scheduler = sched::Scheduler::global();
+  const std::size_t max_line_bytes = server_.options().max_line_bytes;
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -146,6 +195,12 @@ void TcpListener::serve_connection(std::shared_ptr<Connection> connection) {
     if (received < 0 && errno == EINTR) continue;
     if (received <= 0) {
       open = false;  // disconnect (or stop() shut the socket down)
+      break;
+    }
+    // Chaos hook: a simulated connection reset mid-stream — exercises the
+    // same path as a real client vanishing with requests in flight.
+    if (resil::chaos_fire(resil::Site::TcpRecv)) {
+      open = false;
       break;
     }
     buffer.append(chunk, static_cast<std::size_t>(received));
@@ -158,12 +213,38 @@ void TcpListener::serve_connection(std::shared_ptr<Connection> connection) {
       if (line.empty()) continue;
       const std::uint64_t ticket = connection->sequencer->next_ticket();
       Server* server = &server_;
+      if (!server->try_admit()) {
+        // Bounded admission: shed deterministically instead of queueing
+        // without limit. The shed response takes the request's sequencer
+        // slot so pipelined responses stay in request order.
+        connection->sequencer->emit(ticket, server->overloaded_response(line));
+        continue;
+      }
       scheduler.submit([server, connection, ticket, line] {
-        connection->sequencer->emit(
-            ticket, server->handle_line(line, connection->cancel));
+        std::string response =
+            server->handle_line(line, connection->cancel, &connection->bucket);
+        server->release_admission();
+        connection->sequencer->emit(ticket, std::move(response));
       });
     }
     buffer.erase(0, start);
+    if (buffer.size() > max_line_bytes) {
+      // A client streaming bytes with no newline would otherwise grow this
+      // buffer without bound. One structured parse_error response, then
+      // disconnect — the partial line can never become a valid request.
+      const std::uint64_t ticket = connection->sequencer->next_ticket();
+      json::Object refusal = make_response(std::nullopt, false);
+      refusal["error"] = "parse_error";
+      refusal["message"] =
+          "request line exceeds " + std::to_string(max_line_bytes) +
+          " bytes without a newline";
+      connection->sequencer->emit(ticket, dump_response(std::move(refusal)));
+      // Let earlier pipelined requests finish and flush normally — only
+      // the unterminated line is refused — then fall into teardown.
+      connection->sequencer->drain();
+      open = false;
+      break;
+    }
   }
   // Disconnect: cancel whatever is still in flight for this client, then
   // wait for those requests to finish (their responses are discarded by the

@@ -1,0 +1,330 @@
+// Server-side overload protection and chaos behaviour at the handle_line
+// level (no sockets): bounded admission sheds deterministically, per-client
+// token buckets refuse with a structured overloaded response, the health op
+// is byte-stable, spec.load chaos fails structurally without corrupting the
+// live spec, and the transparent chaos sites (sched.task_start, memo.insert)
+// leave every response byte-identical to a chaos-free fresh-server replay.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/resil/chaos.hpp"
+#include "sorel/resil/token_bucket.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/serve/server.hpp"
+
+namespace {
+
+using sorel::resil::FaultPlan;
+using sorel::resil::Site;
+using sorel::resil::TokenBucket;
+using sorel::serve::Server;
+
+struct ChaosGuard {
+  explicit ChaosGuard(const FaultPlan& plan) { sorel::resil::install_chaos(plan); }
+  ~ChaosGuard() { sorel::resil::uninstall_chaos(); }
+  ChaosGuard(const ChaosGuard&) = delete;
+  ChaosGuard& operator=(const ChaosGuard&) = delete;
+};
+
+sorel::json::Value spec_a() {
+  return sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(4, 4));
+}
+
+sorel::json::Value spec_b() {
+  return sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(4, 4, 5e-4));
+}
+
+sorel::json::Value parse(const std::string& line) {
+  return sorel::json::parse(line);
+}
+
+TEST(Admission, BoundedQueueShedsAndReleases) {
+  Server::Options options;
+  options.max_pending = 2;
+  Server server(options);
+
+  EXPECT_TRUE(server.try_admit());
+  EXPECT_TRUE(server.try_admit());
+  EXPECT_EQ(server.pending(), 2u);
+  EXPECT_FALSE(server.try_admit());  // full: shed
+  EXPECT_FALSE(server.try_admit());
+  EXPECT_EQ(server.stats().shed, 2u);
+
+  server.release_admission();
+  EXPECT_TRUE(server.try_admit());  // a freed slot readmits
+  server.release_admission();
+  server.release_admission();
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(Admission, UnboundedByDefault) {
+  Server server{Server::Options{}};
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(server.try_admit());
+  for (int i = 0; i < 1000; ++i) server.release_admission();
+  EXPECT_EQ(server.stats().shed, 0u);
+}
+
+TEST(Admission, ShedResponseIsStructuredAndDeterministic) {
+  Server::Options options;
+  options.max_pending = 1;
+  options.retry_after_ms = 75;
+  Server server(options);
+  ASSERT_TRUE(server.try_admit());
+
+  const std::string line = "{\"id\":7,\"op\":\"eval\",\"service\":\"app\"}";
+  const std::string shed = server.overloaded_response(line);
+  const sorel::json::Value response = parse(shed);
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("error").as_string(), "overloaded");
+  EXPECT_DOUBLE_EQ(response.at("retry_after_ms").as_number(), 75.0);
+  EXPECT_DOUBLE_EQ(response.at("id").as_number(), 7.0);  // correlated back
+
+  // Pure function of (request, config): a second server configured the same
+  // way sheds with the identical bytes.
+  Server::Options options2;
+  options2.max_pending = 1;
+  options2.retry_after_ms = 75;
+  Server twin(options2);
+  ASSERT_TRUE(twin.try_admit());
+  EXPECT_EQ(twin.overloaded_response(line), shed);
+
+  // A request whose id cannot be extracted still sheds, without an id.
+  const std::string anonymous = server.overloaded_response("not json at all");
+  EXPECT_FALSE(parse(anonymous).contains("id"));
+  EXPECT_EQ(parse(anonymous).at("error").as_string(), "overloaded");
+}
+
+TEST(RateLimit, ExhaustedBucketRefusesBeforeEvaluating) {
+  Server::Options options;
+  options.rate_limit_capacity = 1.0;  // one logical unit: second eval refused
+  options.retry_after_ms = 33;
+  Server server(spec_a(), options);
+  TokenBucket bucket(options.rate_limit_capacity,
+                     options.rate_limit_refill_per_sec);
+
+  const std::string request = "{\"op\":\"eval\",\"service\":\"app\"}";
+  const std::string first = server.handle_line(request, nullptr, &bucket);
+  EXPECT_TRUE(parse(first).at("ok").as_bool());
+
+  const std::string refused = server.handle_line(request, nullptr, &bucket);
+  const sorel::json::Value response = parse(refused);
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("error").as_string(), "overloaded");
+  EXPECT_DOUBLE_EQ(response.at("retry_after_ms").as_number(), 33.0);
+  EXPECT_GE(server.stats().rate_limited, 1u);
+
+  // The refusal happened before any work: a fresh bucket admits again and
+  // the response is byte-identical to the first (determinism under memo
+  // warmth — the engine contract extended through the rate limiter).
+  TokenBucket fresh(options.rate_limit_capacity, 0.0);
+  EXPECT_EQ(server.handle_line(request, nullptr, &fresh), first);
+}
+
+TEST(RateLimit, LogicalCostIsWarmthIndependent) {
+  // The same request costs the same logical units on a cold and a warm
+  // server — metering charges guard::Meter evaluations, not physical work.
+  Server::Options options;
+  options.rate_limit_capacity = 1e6;  // limited, never refusing
+  const std::string request = "{\"op\":\"eval\",\"service\":\"app\"}";
+
+  Server cold(spec_a(), options);
+  TokenBucket cold_bucket(options.rate_limit_capacity, 0.0);
+  cold.handle_line(request, nullptr, &cold_bucket);
+  const double cold_cost = 1e6 - cold_bucket.tokens();
+
+  Server warm(spec_a(), options);
+  TokenBucket warmup(options.rate_limit_capacity, 0.0);
+  warm.handle_line(request, nullptr, &warmup);  // warm the memo table
+  TokenBucket warm_bucket(options.rate_limit_capacity, 0.0);
+  warm.handle_line(request, nullptr, &warm_bucket);
+  const double warm_cost = 1e6 - warm_bucket.tokens();
+
+  EXPECT_GT(cold_cost, 0.0);
+  EXPECT_DOUBLE_EQ(warm_cost, cold_cost);
+}
+
+TEST(RateLimit, BatchChargesPerJob) {
+  Server::Options options;
+  options.rate_limit_capacity = 100.0;
+  Server server(spec_a(), options);
+  TokenBucket bucket(options.rate_limit_capacity, 0.0);
+  const std::string batch =
+      "{\"op\":\"batch\",\"jobs\":[{\"service\":\"app\"},"
+      "{\"service\":\"g0\"},{\"service\":\"g1\"}]}";
+  ASSERT_TRUE(parse(server.handle_line(batch, nullptr, &bucket))
+                  .at("ok")
+                  .as_bool());
+  EXPECT_DOUBLE_EQ(bucket.tokens(), 97.0);  // 3 jobs = 3 units
+}
+
+TEST(Health, ReportsSpecAndDeterministicFieldsOnly) {
+  Server empty{Server::Options{}};
+  const sorel::json::Value no_spec =
+      parse(empty.handle_line("{\"id\":1,\"op\":\"health\"}"));
+  EXPECT_TRUE(no_spec.at("ok").as_bool());
+  EXPECT_EQ(no_spec.at("status").as_string(), "ok");
+  EXPECT_FALSE(no_spec.at("spec_loaded").as_bool());
+  EXPECT_FALSE(no_spec.contains("services"));
+  EXPECT_DOUBLE_EQ(no_spec.at("protocol").as_number(),
+                   double{sorel::serve::kProtocolVersion});
+
+  Server loaded(spec_a(), {});
+  const std::string health_line = "{\"op\":\"health\"}";
+  const std::string first = loaded.handle_line(health_line);
+  const sorel::json::Value health = parse(first);
+  EXPECT_TRUE(health.at("spec_loaded").as_bool());
+  EXPECT_GT(health.at("services").as_number(), 0.0);
+
+  // Byte-stable: same spec on a fresh server answers identically (no
+  // wall-clock, no load-dependent fields).
+  Server twin(spec_a(), {});
+  EXPECT_EQ(twin.handle_line(health_line), first);
+}
+
+TEST(Health, ReportsDrainingAfterShutdownAccepted) {
+  Server server(spec_a(), {});
+  ASSERT_TRUE(parse(server.handle_line("{\"op\":\"shutdown\"}"))
+                  .at("ok")
+                  .as_bool());
+  ASSERT_TRUE(server.shutdown_requested());
+  const sorel::json::Value health =
+      parse(server.handle_line("{\"op\":\"health\"}"));
+  EXPECT_EQ(health.at("status").as_string(), "draining");
+  EXPECT_TRUE(health.at("ok").as_bool());
+}
+
+TEST(Stats, OverloadCountersAreAdditive) {
+  Server::Options options;
+  options.max_pending = 1;
+  Server server(spec_a(), options);
+  ASSERT_TRUE(server.try_admit());
+  ASSERT_FALSE(server.try_admit());  // the refusal is what counts the shed
+  server.overloaded_response("{\"op\":\"eval\",\"service\":\"app\"}");
+  server.release_admission();
+  const sorel::json::Value stats = parse(server.handle_line("{\"op\":\"stats\"}"));
+  EXPECT_DOUBLE_EQ(stats.at("shed").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.at("rate_limited").as_number(), 0.0);
+}
+
+TEST(SpecLoadChaos, FailedSwapIsStructuredAndLeavesOldSpecServing) {
+  Server server(spec_a(), {});
+  const std::string request = "{\"op\":\"eval\",\"service\":\"app\"}";
+  const std::string baseline = server.handle_line(request);
+  ASSERT_TRUE(parse(baseline).at("ok").as_bool());
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.rate(Site::SpecLoad) = 1.0;  // every load attempt fails to allocate
+  {
+    ChaosGuard guard(plan);
+    sorel::json::Object load;
+    load["op"] = std::string("load_spec");
+    load["spec"] = spec_b();
+    const std::string refused =
+        server.handle_line(sorel::json::Value(std::move(load)).dump());
+    const sorel::json::Value response = parse(refused);
+    EXPECT_FALSE(response.at("ok").as_bool());
+    EXPECT_EQ(response.at("error").as_string(), "exception");
+    // The failed swap mutated nothing: the old spec still answers with the
+    // exact baseline bytes.
+    EXPECT_EQ(server.handle_line(request), baseline);
+  }
+  // Chaos lifted: the same swap now succeeds and changes the answer.
+  sorel::json::Object load;
+  load["op"] = std::string("load_spec");
+  load["spec"] = spec_b();
+  EXPECT_TRUE(
+      parse(server.handle_line(sorel::json::Value(std::move(load)).dump()))
+          .at("ok")
+          .as_bool());
+  EXPECT_NE(server.handle_line(request), baseline);
+}
+
+/// The mixed request stream reused from the stress suite, trimmed: eval
+/// plain / delta / override, a starved budget, and a batch.
+std::string make_request(std::size_t index) {
+  const std::size_t group = index % 4;
+  const std::size_t leaf = (index / 4) % 4;
+  const std::string attr = "g" + std::to_string(group) + "_s" +
+                           std::to_string(leaf) + ".p";
+  const std::string value = "0.0" + std::to_string(1 + index % 9);
+  switch (index % 5) {
+    case 0:
+      return "{\"op\":\"eval\",\"service\":\"app\"}";
+    case 1:
+      return "{\"op\":\"eval\",\"service\":\"app\",\"attributes\":{\"" + attr +
+             "\":" + value + "}}";
+    case 2:
+      return "{\"op\":\"eval\",\"service\":\"app\",\"pfail_overrides\":{"
+             "\"g" +
+             std::to_string(group) + "\":" + value + "}}";
+    case 3:
+      return "{\"op\":\"eval\",\"service\":\"app\",\"budget\":{\"max_evals\":"
+             "2}}";
+    default:
+      return "{\"op\":\"batch\",\"jobs\":[{\"service\":\"app\"},"
+             "{\"service\":\"app\",\"attributes\":{\"" +
+             attr + "\":" + value + "}},{\"service\":\"g" +
+             std::to_string(group) + "\"}]}";
+  }
+}
+
+class TransparentChaos : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransparentChaos, ResponsesAreByteIdenticalToChaosFreeReplay) {
+  // The CI chaos rerun contract: with faults injected only at the
+  // transparent sites (scheduler perturbation, shared-memo drop — the memo
+  // is an exact cache, so a dropped publication costs work, never bytes),
+  // every response a hammered server produces equals the chaos-free
+  // fresh-server replay.
+  const std::size_t clients = GetParam();
+  constexpr std::size_t kRequestsPerClient = 15;
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rate(Site::SchedTaskStart) = 0.25;
+  plan.rate(Site::MemoInsert) = 0.25;
+  ChaosGuard guard(plan);
+
+  Server::Options options;
+  options.threads = clients;
+  Server server(spec_a(), options);
+  std::vector<std::vector<std::string>> responses(clients);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&server, &responses, c] {
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        responses[c].push_back(server.handle_line(make_request(c * 7 + i)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_GT(sorel::resil::chaos_stats().total_injected(), 0u)
+      << "the plan never fired — the hooks are not wired";
+  sorel::resil::uninstall_chaos();  // replay is chaos-free
+
+  Server::Options solo;
+  solo.threads = 1;
+  for (std::size_t c = 0; c < clients; ++c) {
+    ASSERT_EQ(responses[c].size(), kRequestsPerClient);
+    for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+      Server fresh(spec_a(), solo);
+      EXPECT_EQ(fresh.handle_line(make_request(c * 7 + i)), responses[c][i])
+          << "client " << c << " request " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clients, TransparentChaos,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{8}));
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include "sorel/dsl/loader.hpp"
 #include "sorel/guard/budget.hpp"
 #include "sorel/json/json.hpp"
+#include "sorel/resil/chaos.hpp"
 #include "sorel/scenarios/synthetic.hpp"
 #include "sorel/serve/protocol.hpp"
 #include "sorel/serve/server.hpp"
@@ -325,6 +326,13 @@ TEST(ServeServer, StatsNewFieldsAreAdditiveUnderProtocolOne) {
       ASSERT_TRUE(response.contains(field)) << field;
       EXPECT_GE(response.at(field).as_number(), 0.0) << field;
       object.erase(field);
+    }
+    if (sorel::resil::chaos_active()) {
+      // The CI chaos rerun (SOREL_CHAOS) may drop shared-memo publications:
+      // responses stay byte-identical, but the cache's physical-work
+      // diagnostics (insertions/entries) legitimately depend on which visit
+      // indices fired — exclude the block only when a plan is ambient.
+      object.erase("shared_cache");
     }
     old_views.push_back(sorel::json::Value(object).dump());
   }
