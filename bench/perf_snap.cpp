@@ -1,0 +1,188 @@
+// Snapshot warm-start experiment on the 16x16 partitioned assembly: a
+// short single-fault campaign run cold — fresh shared table, snapshot
+// saved at the end — and then warm, with a fresh process-equivalent table
+// reloaded from that snapshot. The warm run must produce bit-identical
+// per-scenario rows (pfail, ΔPfail, blast radius, logical evaluation
+// counts) while doing at least 5x fewer *physical* engine evaluations.
+//
+// Why a short campaign: a snapshot persists *base-state* results only, so
+// the ~273-entry warm-up closure replays from disk while each scenario's
+// divergent (injected) evaluations — 3 per single-leaf fault — are
+// irreducible physical work in both runs. The restart-amortisation shape is
+// therefore warm-up-dominated: 16 scenarios ⇒ cold ≈ 273 + 48, warm ≈ 48,
+// a ~6.7x ratio (the 1024-scenario perf_shared_memo workload would be
+// divergence-dominated and cap near 1.1x no matter how good the snapshot
+// is). Output is machine-readable JSON and the binary self-checks both
+// acceptance criteria (non-zero exit on failure), so CI runs it as a smoke
+// test.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/faults/campaign.hpp"
+#include "sorel/faults/fault_spec.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/snap/snapshot.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::faults::Campaign;
+using sorel::faults::CampaignReport;
+using sorel::faults::CampaignRunner;
+using sorel::faults::FaultSpec;
+
+constexpr std::size_t kGroups = 16;
+constexpr std::size_t kLeaves = 16;
+constexpr std::size_t kScenarios = 16;  // one fault per group: g<i>_s0.p
+constexpr std::size_t kThreads = 8;
+constexpr double kMinEvaluationsRatio = 5.0;
+
+FaultSpec campaign_fault(std::size_t i) {
+  std::string attr = "g";
+  attr += std::to_string(i % kGroups);
+  attr += "_s";
+  attr += std::to_string((i / kGroups) % kLeaves);
+  attr += ".p";
+  return FaultSpec::attribute_set(std::move(attr),
+                                  1e-4 + 1e-6 * static_cast<double>(i + 1));
+}
+
+struct RunResult {
+  CampaignReport report;
+  double seconds = 0.0;
+};
+
+RunResult run_campaign(const Assembly& assembly, const Campaign& campaign,
+                       std::shared_ptr<sorel::memo::SharedMemo> table) {
+  CampaignRunner::Options options;
+  options.threads = kThreads;
+  options.shared_cache = std::move(table);
+  CampaignRunner runner(assembly, options);
+  RunResult run;
+  const auto start = std::chrono::steady_clock::now();
+  run.report = runner.run(campaign);
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const Assembly assembly =
+      sorel::scenarios::make_partitioned_assembly(kGroups, kLeaves);
+  const std::uint64_t key = sorel::snap::spec_key(assembly);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sorel_perf_snap.snap")
+          .string();
+  std::filesystem::remove(path);
+
+  std::vector<FaultSpec> faults;
+  faults.reserve(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    faults.push_back(campaign_fault(i));
+  }
+  const Campaign campaign =
+      Campaign::single_faults("app", {}, std::move(faults));
+
+  // Cold: fresh table, campaign, snapshot to disk.
+  auto cold_table = sorel::core::make_shared_memo(assembly);
+  const RunResult cold = run_campaign(assembly, campaign, cold_table);
+  const auto saved = sorel::snap::save_snapshot(path, *cold_table, key);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "FAIL: snapshot save failed (%s: %s)\n",
+                 sorel::snap::snap_status_name(saved.error.status),
+                 saved.error.detail.c_str());
+    return 1;
+  }
+
+  // Warm: a fresh table — what a new process would build — reloaded from
+  // the snapshot, then the identical campaign.
+  auto warm_table = sorel::core::make_shared_memo(assembly);
+  const auto loaded = sorel::snap::load_snapshot(path, *warm_table, key);
+  if (!loaded.ok() || loaded.entries == 0) {
+    std::fprintf(stderr, "FAIL: snapshot load failed (%s: %s)\n",
+                 sorel::snap::snap_status_name(loaded.error.status),
+                 loaded.error.detail.c_str());
+    return 1;
+  }
+  const RunResult warm = run_campaign(assembly, campaign, warm_table);
+  std::filesystem::remove(path);
+
+  // Bit-identity: every row of the warm report equals the cold report —
+  // including the per-scenario logical evaluation counts (a replayed result
+  // counts as the evaluations it replaced).
+  bool rows_identical =
+      warm.report.baseline_pfail == cold.report.baseline_pfail &&
+      warm.report.outcomes.size() == cold.report.outcomes.size();
+  for (std::size_t i = 0; rows_identical && i < cold.report.outcomes.size();
+       ++i) {
+    const auto& a = cold.report.outcomes[i];
+    const auto& b = warm.report.outcomes[i];
+    rows_identical = a.ok == b.ok && a.pfail == b.pfail &&
+                     a.delta_pfail == b.delta_pfail &&
+                     a.blast_radius == b.blast_radius &&
+                     a.evaluations == b.evaluations;
+  }
+
+  // Logical-work invariant across the disk round trip: physical + replayed
+  // is conserved (the snapshot only changes *where* a value comes from).
+  const bool work_invariant =
+      warm.report.engine_evaluations + warm.report.shared_hits ==
+      cold.report.engine_evaluations + cold.report.shared_hits;
+
+  const double evaluations_ratio =
+      warm.report.engine_evaluations > 0
+          ? static_cast<double>(cold.report.engine_evaluations) /
+                static_cast<double>(warm.report.engine_evaluations)
+          : static_cast<double>(cold.report.engine_evaluations);
+
+  std::printf("[\n");
+  const struct {
+    const char* mode;
+    const RunResult* run;
+  } rows[] = {{"cold", &cold}, {"warm", &warm}};
+  for (const auto& row : rows) {
+    std::printf("  {\"mode\": \"%s\", \"threads\": %zu, \"chunks\": %zu, "
+                "\"scenarios\": %zu, \"evaluations\": %zu, "
+                "\"shared_hits\": %zu, \"table_entries\": %zu, "
+                "\"seconds\": %.4f},\n",
+                row.mode, kThreads, row.run->report.chunks,
+                row.run->report.outcomes.size(),
+                row.run->report.engine_evaluations,
+                row.run->report.shared_hits,
+                row.run->report.shared_cache_stats.entries, row.run->seconds);
+  }
+  std::printf("  {\"groups\": %zu, \"leaves\": %zu, "
+              "\"snapshot_entries\": %zu, \"snapshot_bytes\": %zu, "
+              "\"evaluations_ratio\": %.2f, \"rows_identical\": %s, "
+              "\"work_invariant\": %s}\n]\n",
+              kGroups, kLeaves, saved.entries, saved.bytes, evaluations_ratio,
+              rows_identical ? "true" : "false",
+              work_invariant ? "true" : "false");
+
+  if (!rows_identical) {
+    std::fprintf(stderr, "FAIL: warm rows differ from cold rows\n");
+    return 1;
+  }
+  if (!work_invariant) {
+    std::fprintf(stderr,
+                 "FAIL: warm evaluations + shared_hits != cold total\n");
+    return 1;
+  }
+  if (evaluations_ratio < kMinEvaluationsRatio) {
+    std::fprintf(stderr,
+                 "FAIL: evaluations ratio %.2f < %.1f (cold %zu, warm %zu)\n",
+                 evaluations_ratio, kMinEvaluationsRatio,
+                 cold.report.engine_evaluations,
+                 warm.report.engine_evaluations);
+    return 1;
+  }
+  return 0;
+}

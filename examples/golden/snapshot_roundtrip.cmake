@@ -1,0 +1,112 @@
+# CLI-level snapshot round trip:
+#
+#   cmake -DCLI=<sorel_cli> -DSPEC=<spec.json> -P snapshot_roundtrip.cmake
+#
+# Runs `evaluate --snapshot` twice against a fresh temp file. The cold run
+# populates the snapshot; the warm run must (a) report the byte-identical
+# Pfail/reliability lines, (b) do zero physical evaluations (everything
+# replays from the table), and (c) a corrupted snapshot must degrade to a
+# cold start whose result lines still match — never a wrong answer.
+if(NOT CLI OR NOT SPEC)
+  message(FATAL_ERROR "snapshot_roundtrip.cmake needs -DCLI and -DSPEC")
+endif()
+
+# Under an ambient SOREL_CHAOS plan (the CI chaos rerun of the snap label)
+# injected fs.* faults legitimately suppress saves and warm starts, so the
+# strict warm-path assertions are skipped; the result-identity assertions —
+# a snapshot can make a run cheaper, never different — stay unconditional.
+if(DEFINED ENV{SOREL_CHAOS})
+  set(strict FALSE)
+else()
+  set(strict TRUE)
+endif()
+
+set(snap "${CMAKE_CURRENT_BINARY_DIR}/cli_roundtrip.snap")
+file(REMOVE "${snap}")
+
+execute_process(
+  COMMAND ${CLI} --snapshot ${snap} evaluate ${SPEC} stream_session 90
+  OUTPUT_VARIABLE cold_out RESULT_VARIABLE cold_code ERROR_VARIABLE cold_err)
+if(NOT cold_code EQUAL 0)
+  message(FATAL_ERROR "cold run failed (${cold_code}):\n${cold_err}")
+endif()
+if(strict AND NOT EXISTS "${snap}")
+  message(FATAL_ERROR "cold run did not write ${snap}:\n${cold_err}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} --snapshot ${snap} evaluate ${SPEC} stream_session 90
+  OUTPUT_VARIABLE warm_out RESULT_VARIABLE warm_code ERROR_VARIABLE warm_err)
+if(NOT warm_code EQUAL 0)
+  message(FATAL_ERROR "warm run failed (${warm_code}):\n${warm_err}")
+endif()
+if(strict AND NOT warm_err MATCHES "snapshot: warm start")
+  message(FATAL_ERROR "warm run did not load the snapshot:\n${warm_err}")
+endif()
+if(strict AND NOT warm_out MATCHES "evaluations = 0 ")
+  message(FATAL_ERROR "warm run still evaluated physically:\n${warm_out}")
+endif()
+
+# The result lines (everything except the evaluations counter, which is the
+# point of the warm start) must be byte-identical cold vs warm.
+string(REGEX REPLACE "evaluations = [^\n]*" "evaluations = <N>"
+       cold_norm "${cold_out}")
+string(REGEX REPLACE "evaluations = [^\n]*" "evaluations = <N>"
+       warm_norm "${warm_out}")
+if(NOT cold_norm STREQUAL warm_norm)
+  message(FATAL_ERROR "warm result deviates from cold:\n"
+                      "--- cold ---\n${cold_out}\n--- warm ---\n${warm_out}")
+endif()
+
+# Corrupt the snapshot (flip one payload byte): the next run must reject it
+# with a structured reason, fall back to a cold start, and still produce the
+# identical result lines. (If chaos suppressed every save there is no file
+# to corrupt — the differential above already covered the chaos path.)
+if(NOT EXISTS "${snap}")
+  return()
+endif()
+file(READ "${snap}" image HEX)
+string(LENGTH "${image}" hexlen)
+math(EXPR flip_at "200")
+string(SUBSTRING "${image}" 0 ${flip_at} prefix)
+math(EXPR rest_at "${flip_at} + 2")
+math(EXPR rest_len "${hexlen} - ${rest_at}")
+string(SUBSTRING "${image}" ${rest_at} ${rest_len} suffix)
+set(corrupt_hex "${prefix}fe${suffix}")
+string(SUBSTRING "${image}" ${flip_at} 2 original_byte)
+if(original_byte STREQUAL "fe")
+  set(corrupt_hex "${prefix}01${suffix}")
+endif()
+# Write the corrupted image back via a generated-file round trip.
+set(corrupt_file "${snap}")
+file(REMOVE "${corrupt_file}")
+# CMake cannot write raw bytes directly; decode the hex string.
+string(REGEX MATCHALL ".." pairs "${corrupt_hex}")
+set(bytes "")
+foreach(pair ${pairs})
+  string(APPEND bytes "\\x${pair}")
+endforeach()
+execute_process(COMMAND printf "${bytes}" OUTPUT_FILE "${corrupt_file}"
+                RESULT_VARIABLE printf_code)
+if(NOT printf_code EQUAL 0)
+  message(FATAL_ERROR "could not write corrupted snapshot")
+endif()
+
+execute_process(
+  COMMAND ${CLI} --snapshot ${snap} evaluate ${SPEC} stream_session 90
+  OUTPUT_VARIABLE corrupt_out RESULT_VARIABLE corrupt_code
+  ERROR_VARIABLE corrupt_err)
+if(NOT corrupt_code EQUAL 0)
+  message(FATAL_ERROR "corrupted-snapshot run failed (${corrupt_code}):\n"
+                      "${corrupt_err}")
+endif()
+if(NOT corrupt_err MATCHES "snapshot: cold start")
+  message(FATAL_ERROR "corrupted snapshot was not rejected:\n${corrupt_err}")
+endif()
+string(REGEX REPLACE "evaluations = [^\n]*" "evaluations = <N>"
+       corrupt_norm "${corrupt_out}")
+if(NOT corrupt_norm STREQUAL cold_norm)
+  message(FATAL_ERROR "corrupted-snapshot cold start deviates:\n"
+                      "--- expected ---\n${cold_out}\n"
+                      "--- actual ---\n${corrupt_out}")
+endif()

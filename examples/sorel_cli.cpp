@@ -20,7 +20,8 @@
 //   sorel_cli inject      <spec.json> <campaign.json>
 //   sorel_cli save        <spec.json>
 //   sorel_cli dot         <spec.json> [service]
-//   sorel_cli serve       [spec.json] [--listen host:port]
+//   sorel_cli serve       [spec.json] [--listen host:port | unix:/path]
+//   sorel_cli chaos-sites
 //   sorel_cli version | --version
 //   sorel_cli help | --help
 //
@@ -70,9 +71,18 @@
 // requests, and clients speak the line-delimited JSON protocol of
 // docs/FORMAT.md §Serve. Default transport is stdin/stdout; `--listen
 // host:port` serves TCP instead (port 0 picks an ephemeral port, announced
-// on stderr). The spec argument is optional — a specless daemon answers
-// evaluation requests with structured errors until a load_spec request
-// arrives.
+// on stderr) and `--listen unix:/path` serves a unix-domain stream socket.
+// The spec argument is optional — a specless daemon answers evaluation
+// requests with structured errors until a load_spec request arrives.
+//
+// `--snapshot PATH` (sorel::snap) persists the shared memo across process
+// lifetimes: evaluate/modes/batch/inject/select warm-start from PATH when
+// it holds a valid snapshot of the same spec and save their table back on
+// exit; serve additionally answers `snapshot` requests and, with
+// `--snapshot-interval MS`, autosaves in the background. Snapshots are
+// written atomically and fully checksummed — a truncated, corrupted, or
+// stale file degrades to a cold start (a note on stderr), never to a wrong
+// answer, and results are bit-identical warm or cold.
 //
 // Exit status (docs/FORMAT.md §Exit status):
 //   0  success
@@ -88,6 +98,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -112,6 +123,7 @@
 #include "sorel/serve/protocol.hpp"
 #include "sorel/serve/server.hpp"
 #include "sorel/serve/tcp.hpp"
+#include "sorel/snap/snapshot.hpp"
 #include "sorel/sim/simulator.hpp"
 #include "sorel/util/error.hpp"
 
@@ -149,8 +161,11 @@ void print_help(std::FILE* out) {
                "  save        <spec>                     canonicalised document\n"
                "  dot         <spec> [service]           GraphViz output\n"
                "  serve       [spec] [--listen h:p]      long-lived JSON daemon\n"
-               "  connect     <host:port> [reqs.jsonl]   drive a serve daemon with\n"
+               "  connect     <host:port|unix:/path> [reqs.jsonl]\n"
+               "                                         drive a serve daemon with\n"
                "                                         timeouts/retries/backoff\n"
+               "  chaos-sites                            list the compiled-in\n"
+               "                                         chaos injection sites\n"
                "  version                                print version and exit\n"
                "  help                                   print this help\n"
                "options:\n"
@@ -177,7 +192,18 @@ void print_help(std::FILE* out) {
                "                   (shared-memo hits/misses/evictions included)\n"
                "  --listen h:p     serve: accept TCP clients on host:port\n"
                "                   instead of stdin/stdout (port 0 = ephemeral,\n"
-               "                   announced on stderr)\n"
+               "                   announced on stderr); unix:/path serves a\n"
+               "                   unix-domain stream socket instead\n"
+               "  --snapshot PATH  persist the shared memo table across runs:\n"
+               "                   evaluate/modes/batch/inject/select/serve\n"
+               "                   warm-start from PATH when it holds a valid\n"
+               "                   snapshot of the same spec and save on exit;\n"
+               "                   a corrupt or stale file degrades to a cold\n"
+               "                   start, never to a wrong answer\n"
+               "  --snapshot-interval MS\n"
+               "                   serve: autosave the snapshot every MS\n"
+               "                   milliseconds in the background (0 = only on\n"
+               "                   shutdown and explicit snapshot requests)\n"
                "  --allow-recursion\n"
                "                   evaluate recursive specs by fixed point\n"
                "                   instead of rejecting them (evaluate/modes/\n"
@@ -428,20 +454,28 @@ bool extract_parallel_fixpoint_flag(int& argc, char** argv) {
   return parallel;
 }
 
+/// Where serve should accept clients: TCP host:port, or (when `unix_path`
+/// is non-empty) a unix-domain stream socket.
+struct ListenTarget {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string unix_path;
+};
+
 /// Strip `--listen host:port` / `--listen=host:port` (serve's TCP
-/// transport). Accepts a bare port too ("0" = ephemeral on 127.0.0.1).
-/// Throws sorel::InvalidArgument on a malformed port, so the error lands on
-/// the usage-error exit path like every other flag.
-std::optional<std::pair<std::string, std::uint16_t>> extract_listen_flag(
-    int& argc, char** argv) {
-  std::optional<std::pair<std::string, std::uint16_t>> listen;
+/// transport). Accepts a bare port too ("0" = ephemeral on 127.0.0.1) and
+/// `unix:/path` for a unix-domain socket. Throws sorel::InvalidArgument on
+/// a malformed port, so the error lands on the usage-error exit path like
+/// every other flag.
+std::optional<ListenTarget> extract_listen_flag(int& argc, char** argv) {
+  std::optional<ListenTarget> listen;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* value = nullptr;
     if (std::strcmp(arg, "--listen") == 0) {
       if (i + 1 >= argc) {
-        throw sorel::InvalidArgument("--listen needs host:port");
+        throw sorel::InvalidArgument("--listen needs host:port or unix:/path");
       }
       value = argv[++i];
     } else if (std::strncmp(arg, "--listen=", 9) == 0) {
@@ -451,10 +485,18 @@ std::optional<std::pair<std::string, std::uint16_t>> extract_listen_flag(
       argv[out++] = argv[i];
       continue;
     }
-    std::string host = "127.0.0.1";
+    ListenTarget target;
+    if (std::strncmp(value, "unix:", 5) == 0) {
+      target.unix_path = value + 5;
+      if (target.unix_path.empty()) {
+        throw sorel::InvalidArgument("--listen: unix: needs a socket path");
+      }
+      listen = std::move(target);
+      continue;
+    }
     std::string port_text = value;
     if (const char* colon = std::strrchr(value, ':')) {
-      host.assign(value, static_cast<std::size_t>(colon - value));
+      target.host.assign(value, static_cast<std::size_t>(colon - value));
       port_text = colon + 1;
     }
     char* parse_end = nullptr;
@@ -462,10 +504,42 @@ std::optional<std::pair<std::string, std::uint16_t>> extract_listen_flag(
     if (port_text.empty() || *parse_end != '\0' || port < 0 || port > 65535) {
       throw sorel::InvalidArgument("--listen: not a port: '" + port_text + "'");
     }
-    listen = {std::move(host), static_cast<std::uint16_t>(port)};
+    target.port = static_cast<std::uint16_t>(port);
+    listen = std::move(target);
   }
   argc = out;
   return listen;
+}
+
+/// Strip one `--name value` / `--name=value` flag whose value is a free-form
+/// string (e.g. `--snapshot PATH`). Returns the value, or "" when absent.
+std::string extract_string_flag(int& argc, char** argv, const char* name) {
+  std::string result;
+  const std::size_t len = std::strlen(name);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, name) == 0) {
+      if (i + 1 >= argc) {
+        throw sorel::InvalidArgument(std::string(name) + " needs a value");
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      value = arg + len + 1;
+    }
+    if (value == nullptr) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (*value == '\0') {
+      throw sorel::InvalidArgument(std::string(name) +
+                                   " needs a non-empty value");
+    }
+    result = value;
+  }
+  argc = out;
+  return result;
 }
 
 /// Strip one `--name value` / `--name=value` flag whose value is a
@@ -614,6 +688,50 @@ void apply_exec_flags(Options& options, const sorel::runtime::ExecPolicy& exec) 
       .with_work_stealing(exec.work_stealing);
 }
 
+/// Warm-start bracket shared by every snapshot-aware command: build the
+/// cross-worker table over the base assembly, try to load `path` into it,
+/// and report the outcome on stderr. Any rejection — missing file,
+/// truncation, bit flip, stale spec, foreign build — degrades to the exact
+/// cold start the command would have had without a snapshot; results are
+/// bit-identical either way. Returns nullptr when no path was requested.
+std::shared_ptr<sorel::memo::SharedMemo> snapshot_open(
+    const std::string& path, const sorel::core::Assembly& assembly,
+    std::uint64_t& key) {
+  if (path.empty()) return nullptr;
+  auto table = sorel::core::make_shared_memo(assembly);
+  key = sorel::snap::spec_key(assembly);
+  const auto warm = sorel::snap::load_snapshot(path, *table, key);
+  if (warm.ok()) {
+    std::fprintf(stderr, "snapshot: warm start from %s (%zu entries)\n",
+                 path.c_str(), warm.entries);
+  } else if (warm.error.status != sorel::snap::SnapStatus::NotFound) {
+    std::fprintf(stderr, "snapshot: cold start, %s rejected (%s: %s)\n",
+                 path.c_str(),
+                 sorel::snap::snap_status_name(warm.error.status),
+                 warm.error.detail.c_str());
+  }
+  return table;
+}
+
+/// Save the table back on command exit. A save failure is a stderr note
+/// only: the exit code reports the analysis, not the cache, and the
+/// previous snapshot (if any) is still intact on disk.
+void snapshot_close(const std::string& path,
+                    const std::shared_ptr<sorel::memo::SharedMemo>& table,
+                    std::uint64_t key) {
+  if (!table) return;
+  const auto saved = sorel::snap::save_snapshot(path, *table, key);
+  if (saved.ok()) {
+    std::fprintf(stderr, "snapshot: saved %zu entries (%zu bytes) to %s\n",
+                 saved.entries, saved.bytes, path.c_str());
+  } else {
+    std::fprintf(stderr, "snapshot: save to %s failed (%s: %s)\n",
+                 path.c_str(),
+                 sorel::snap::snap_status_name(saved.error.status),
+                 saved.error.detail.c_str());
+  }
+}
+
 std::vector<double> parse_args(char** begin, char** end) {
   std::vector<double> out;
   for (char** it = begin; it != end; ++it) {
@@ -670,11 +788,15 @@ sorel::core::ReliabilityEngine::Options engine_options(bool allow_recursion,
 int cmd_evaluate(const sorel::core::Assembly& assembly, const std::string& service,
                  const std::vector<double>& args,
                  const sorel::guard::Budget& budget, bool allow_recursion,
-                 bool parallel_fixpoint) {
+                 bool parallel_fixpoint, const std::string& snapshot_path) {
   sorel::core::ReliabilityEngine engine(
       assembly, engine_options(allow_recursion, parallel_fixpoint));
   engine.set_budget(budget);
+  std::uint64_t snap_key = 0;
+  const auto table = snapshot_open(snapshot_path, assembly, snap_key);
+  if (table) engine.attach_shared_memo(table);
   const double pfail = engine.pfail(service, args);
+  snapshot_close(snapshot_path, table, snap_key);
   std::printf("Pfail       = %.12g\n", pfail);
   std::printf("reliability = %.12g\n", 1.0 - pfail);
   std::printf("evaluations = %zu (memo hits %zu)\n", engine.stats().evaluations,
@@ -692,11 +814,15 @@ int cmd_evaluate(const sorel::core::Assembly& assembly, const std::string& servi
 int cmd_modes(const sorel::core::Assembly& assembly, const std::string& service,
               const std::vector<double>& args,
               const sorel::guard::Budget& budget, bool allow_recursion,
-              bool parallel_fixpoint) {
+              bool parallel_fixpoint, const std::string& snapshot_path) {
   sorel::core::ReliabilityEngine engine(
       assembly, engine_options(allow_recursion, parallel_fixpoint));
   engine.set_budget(budget);
+  std::uint64_t snap_key = 0;
+  const auto table = snapshot_open(snapshot_path, assembly, snap_key);
+  if (table) engine.attach_shared_memo(table);
   const auto modes = engine.failure_modes(service, args);
+  snapshot_close(snapshot_path, table, snap_key);
   std::printf("success          = %.12g\n", modes.success);
   std::printf("detected failure = %.12g\n", modes.detected_failure);
   std::printf("silent failure   = %.12g\n", modes.silent_failure);
@@ -764,7 +890,8 @@ int cmd_simulate(const sorel::core::Assembly& assembly, const std::string& servi
 int cmd_select(const sorel::core::Assembly& assembly,
                const sorel::json::Value& document, const std::string& service,
                const std::vector<double>& args,
-               const sorel::runtime::ExecPolicy& exec) {
+               const sorel::runtime::ExecPolicy& exec,
+               const std::string& snapshot_path) {
   const auto points = sorel::dsl::load_selection_points(document);
   if (points.empty()) {
     std::fprintf(stderr, "error: the document declares no \"selection\" points\n");
@@ -773,8 +900,13 @@ int cmd_select(const sorel::core::Assembly& assembly,
   sorel::core::SelectionOptions options;
   options.max_combinations = 4096;
   apply_exec_flags(options, exec);
+  std::uint64_t snap_key = 0;
+  if (options.shared_memo) {
+    options.shared_cache = snapshot_open(snapshot_path, assembly, snap_key);
+  }
   const auto ranking =
       sorel::core::rank_assemblies(assembly, service, args, points, options);
+  snapshot_close(snapshot_path, options.shared_cache, snap_key);
   std::printf("%-6s %-14s %s\n", "rank", "reliability", "choice");
   for (std::size_t i = 0; i < ranking.size(); ++i) {
     std::string choice;
@@ -816,7 +948,8 @@ int cmd_uncertainty(const sorel::core::Assembly& assembly,
 int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
               const sorel::runtime::ExecPolicy& exec,
               const sorel::guard::Budget& budget, bool allow_recursion,
-              bool parallel_fixpoint, bool emit_stats) {
+              bool parallel_fixpoint, bool emit_stats,
+              const std::string& snapshot_path) {
   const sorel::json::Value doc = sorel::json::parse_file(jobs_path);
   const sorel::json::Value& jobs_value = doc.is_object() ? doc.at("jobs") : doc;
   if (!jobs_value.is_array()) {
@@ -894,8 +1027,13 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
       }
     }
   }
+  std::uint64_t snap_key = 0;
+  if (options.shared_memo) {
+    options.shared_cache = snapshot_open(snapshot_path, assembly, snap_key);
+  }
   sorel::runtime::BatchEvaluator evaluator(assembly, options);
   const auto results = evaluator.evaluate(jobs);
+  snapshot_close(snapshot_path, options.shared_cache, snap_key);
 
   std::size_t failed = 0;
   std::size_t next_result = 0;
@@ -956,7 +1094,8 @@ int cmd_batch(const sorel::core::Assembly& assembly, const char* jobs_path,
 int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
                const sorel::runtime::ExecPolicy& exec,
                const sorel::guard::Budget& budget, bool allow_recursion,
-               bool parallel_fixpoint, bool emit_stats) {
+               bool parallel_fixpoint, bool emit_stats,
+               const std::string& snapshot_path) {
   const sorel::faults::Campaign campaign =
       sorel::faults::load_campaign_file(campaign_path);
 
@@ -964,8 +1103,13 @@ int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
   apply_exec_flags(options, exec);
   options.budget = budget;
   options.engine = engine_options(allow_recursion, parallel_fixpoint);
+  std::uint64_t snap_key = 0;
+  if (options.shared_memo) {
+    options.shared_cache = snapshot_open(snapshot_path, assembly, snap_key);
+  }
   sorel::faults::CampaignRunner runner(assembly, options);
   const sorel::faults::CampaignReport report = runner.run(campaign);
+  snapshot_close(snapshot_path, options.shared_cache, snap_key);
 
   for (const sorel::faults::ScenarioOutcome& outcome : report.outcomes) {
     sorel::json::Object line;
@@ -1036,9 +1180,9 @@ int cmd_inject(const sorel::core::Assembly& assembly, const char* campaign_path,
 
 int cmd_serve(const char* spec_path, const sorel::runtime::ExecPolicy& exec,
               const sorel::guard::Budget& budget, bool allow_recursion,
-              bool parallel_fixpoint,
-              const std::optional<std::pair<std::string, std::uint16_t>>& listen,
-              std::size_t max_pending, std::pair<double, double> rate_limit) {
+              bool parallel_fixpoint, const std::optional<ListenTarget>& listen,
+              std::size_t max_pending, std::pair<double, double> rate_limit,
+              const std::string& snapshot_path, double snapshot_interval_ms) {
   sorel::serve::Server::Options options;
   apply_exec_flags(options, exec);
   options.budget = budget;
@@ -1046,6 +1190,9 @@ int cmd_serve(const char* spec_path, const sorel::runtime::ExecPolicy& exec,
   options.max_pending = max_pending;
   options.rate_limit_capacity = rate_limit.first;
   options.rate_limit_refill_per_sec = rate_limit.second;
+  options.snapshot_path = snapshot_path;
+  options.snapshot_interval_ms =
+      static_cast<std::uint64_t>(snapshot_interval_ms);
 
   std::optional<sorel::serve::Server> server;
   if (spec_path != nullptr) {
@@ -1055,16 +1202,24 @@ int cmd_serve(const char* spec_path, const sorel::runtime::ExecPolicy& exec,
   }
 
   if (listen) {
-    sorel::serve::TcpListener listener(*server, listen->first, listen->second);
-    listener.start();
-    // The announcement is how callers learn an ephemeral (port 0) choice.
-    std::fprintf(stderr, "serve: listening on %s:%u\n", listen->first.c_str(),
-                 listener.port());
+    std::optional<sorel::serve::TcpListener> listener;
+    if (!listen->unix_path.empty()) {
+      listener.emplace(*server, listen->unix_path);
+      listener->start();
+      std::fprintf(stderr, "serve: listening on unix:%s\n",
+                   listen->unix_path.c_str());
+    } else {
+      listener.emplace(*server, listen->host, listen->port);
+      listener->start();
+      // The announcement is how callers learn an ephemeral (port 0) choice.
+      std::fprintf(stderr, "serve: listening on %s:%u\n", listen->host.c_str(),
+                   listener->port());
+    }
     std::fflush(stderr);
     while (!server->shutdown_requested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
-    listener.stop();  // drains in-flight requests: zero dropped
+    listener->stop();  // drains in-flight requests: zero dropped
     std::fprintf(stderr, "serve: shutdown, %llu requests\n",
                  static_cast<unsigned long long>(server->stats().requests));
   } else {
@@ -1083,16 +1238,26 @@ int cmd_serve(const char* spec_path, const sorel::runtime::ExecPolicy& exec,
 /// some carried ok=false, 0 when all succeeded.
 int cmd_connect(const std::string& target, const char* requests_path,
                 const sorel::resil::ClientOptions& client_options) {
-  std::string host = "127.0.0.1";
-  std::string port_text = target;
-  if (const std::size_t colon = target.rfind(':'); colon != std::string::npos) {
-    host = target.substr(0, colon);
-    port_text = target.substr(colon + 1);
-  }
-  char* parse_end = nullptr;
-  const long port = std::strtol(port_text.c_str(), &parse_end, 10);
-  if (port_text.empty() || *parse_end != '\0' || port <= 0 || port > 65535) {
-    return usage_error("connect: not a host:port: '" + target + "'");
+  // `unix:/path` targets the daemon's unix-domain socket; anything else is
+  // parsed as host:port.
+  std::optional<sorel::resil::Client> maybe_client;
+  if (target.rfind("unix:", 0) == 0) {
+    maybe_client.emplace(target, client_options);
+  } else {
+    std::string host = "127.0.0.1";
+    std::string port_text = target;
+    if (const std::size_t colon = target.rfind(':');
+        colon != std::string::npos) {
+      host = target.substr(0, colon);
+      port_text = target.substr(colon + 1);
+    }
+    char* parse_end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &parse_end, 10);
+    if (port_text.empty() || *parse_end != '\0' || port <= 0 || port > 65535) {
+      return usage_error("connect: not a host:port: '" + target + "'");
+    }
+    maybe_client.emplace(host, static_cast<std::uint16_t>(port),
+                         client_options);
   }
 
   std::ifstream file;
@@ -1105,8 +1270,7 @@ int cmd_connect(const std::string& target, const char* requests_path,
   }
   std::istream& in = requests_path != nullptr ? file : std::cin;
 
-  sorel::resil::Client client(host, static_cast<std::uint16_t>(port),
-                              client_options);
+  sorel::resil::Client& client = *maybe_client;
   std::size_t gave_up = 0;
   std::size_t failed = 0;
   std::string line;
@@ -1145,6 +1309,18 @@ int cmd_connect(const std::string& target, const char* requests_path,
   return failed == 0 ? 0 : 3;
 }
 
+/// List every compiled-in chaos injection site (one `name  description`
+/// line). The output is the authoritative inventory: a golden test pins it,
+/// so a new Site value that is not documented here fails CI.
+int cmd_chaos_sites() {
+  for (std::size_t i = 0; i < sorel::resil::kSiteCount; ++i) {
+    const auto site = static_cast<sorel::resil::Site>(i);
+    std::printf("%-18s %s\n", sorel::resil::site_name(site),
+                sorel::resil::site_description(site));
+  }
+  return 0;
+}
+
 int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
   if (service == nullptr) {
     std::printf("%s", sorel::dsl::assembly_to_dot(assembly).c_str());
@@ -1159,7 +1335,7 @@ bool known_command(const std::string& command) {
       "validate", "list",        "evaluate", "modes",  "duration",
       "sensitivity", "importance", "simulate", "select", "uncertainty",
       "batch",    "inject",      "save",     "dot",    "serve",
-      "connect",  "version",     "help"};
+      "connect",  "chaos-sites", "version",  "help"};
   for (const char* candidate : kCommands) {
     if (command == candidate) return true;
   }
@@ -1191,9 +1367,11 @@ int main(int argc, char** argv) {
   bool emit_stats = false;
   bool allow_recursion = false;
   bool parallel_fixpoint = false;
-  std::optional<std::pair<std::string, std::uint16_t>> listen;
+  std::optional<ListenTarget> listen;
   std::size_t max_pending = 0;
   std::pair<double, double> rate_limit{0.0, 0.0};
+  std::string snapshot_path;
+  double snapshot_interval_ms = 0.0;
   sorel::resil::ClientOptions client_options;
   try {
     exec.with_threads(extract_threads_flag(argc, argv))
@@ -1207,6 +1385,9 @@ int main(int argc, char** argv) {
     max_pending = static_cast<std::size_t>(
         extract_number_flag(argc, argv, "--max-pending", 0.0));
     rate_limit = extract_rate_limit_flag(argc, argv);
+    snapshot_path = extract_string_flag(argc, argv, "--snapshot");
+    snapshot_interval_ms =
+        extract_number_flag(argc, argv, "--snapshot-interval", 0.0);
     client_options.timeout_ms = extract_number_flag(
         argc, argv, "--timeout-ms", client_options.timeout_ms);
     client_options.max_retries = static_cast<std::size_t>(extract_number_flag(
@@ -1238,11 +1419,12 @@ int main(int argc, char** argv) {
   if (!known_command(command)) {
     return usage_error("unknown command '" + command + "'");
   }
+  if (command == "chaos-sites") return cmd_chaos_sites();
   if (command == "serve") {
     try {
       return cmd_serve(argc >= 3 ? argv[2] : nullptr, exec, budget,
                        allow_recursion, parallel_fixpoint, listen, max_pending,
-                       rate_limit);
+                       rate_limit, snapshot_path, snapshot_interval_ms);
     } catch (const sorel::Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -1296,11 +1478,11 @@ int main(int argc, char** argv) {
     }
     if (command == "batch") {
       return cmd_batch(assembly, argv[3], exec, budget, allow_recursion,
-                       parallel_fixpoint, emit_stats);
+                       parallel_fixpoint, emit_stats, snapshot_path);
     }
     if (command == "inject") {
       return cmd_inject(assembly, argv[3], exec, budget, allow_recursion,
-                        parallel_fixpoint, emit_stats);
+                        parallel_fixpoint, emit_stats, snapshot_path);
     }
     const std::string service = argv[3];
 
@@ -1312,18 +1494,19 @@ int main(int argc, char** argv) {
     }
     const std::vector<double> args = parse_args(argv + 4, argv + argc);
     if (command == "select") {
-      return cmd_select(assembly, document, service, args, exec);
+      return cmd_select(assembly, document, service, args, exec,
+                        snapshot_path);
     }
     if (command == "uncertainty") {
       return cmd_uncertainty(assembly, document, service, args, exec);
     }
     if (command == "evaluate") {
       return cmd_evaluate(assembly, service, args, budget, allow_recursion,
-                          parallel_fixpoint);
+                          parallel_fixpoint, snapshot_path);
     }
     if (command == "modes") {
       return cmd_modes(assembly, service, args, budget, allow_recursion,
-                       parallel_fixpoint);
+                       parallel_fixpoint, snapshot_path);
     }
     if (command == "duration") return cmd_duration(assembly, service, args);
     if (command == "sensitivity") {

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
+#include "sorel/memo/shared_memo.hpp"
 #include "sorel/runtime/exec_policy.hpp"
 
 namespace sorel::core {
@@ -54,6 +56,11 @@ struct SelectionOptions : runtime::ExecPolicy {
   /// Hard cap on the cartesian product — selection is exhaustive by design;
   /// prune the candidate lists instead of raising this blindly.
   std::size_t max_combinations = 4096;
+  /// Reuse a caller-owned shared table (core::make_shared_memo over the
+  /// same base assembly — e.g. one warmed from a sorel::snap snapshot)
+  /// instead of building a fresh one per call. Ignored when shared_memo is
+  /// false. Same contract as BatchEvaluator / CampaignRunner.
+  std::shared_ptr<memo::SharedMemo> shared_cache;
 
   /// The execution-policy slice (unified accessor across every analysis
   /// options struct): options.exec().with_threads(8).with_seed(7)...

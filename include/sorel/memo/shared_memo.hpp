@@ -64,6 +64,14 @@ class DepSet {
   bool any() const noexcept;
   void clear() noexcept { words_.clear(); }
 
+  /// The packed representation (no trailing zero words) — the snapshot
+  /// serializer's view of the set. Paired with from_words() on load.
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  /// Rebuild a set from its packed words (trailing zero words are trimmed,
+  /// so any byte stream round-trips into a canonical set).
+  static DepSet from_words(std::vector<std::uint64_t> words);
+
  private:
   std::vector<std::uint64_t> words_;
 };
@@ -188,6 +196,15 @@ class SharedMemo {
   /// Eagerly drop every stale-epoch entry; returns how many were evicted.
   /// Purely an optimisation — lookup() evicts lazily anyway.
   std::size_t purge_stale();
+
+  /// Copy out every entry published under the *current* epoch, sorted by
+  /// key (service name, then argument count, then argument bit patterns) —
+  /// the deterministic, epoch-pinned view the snapshot writer serializes.
+  /// Shards are locked one at a time, so each entry is observed atomically;
+  /// entries inserted while the walk is in flight may or may not appear
+  /// (every one of them is individually exact, so any subset is a valid
+  /// snapshot).
+  std::vector<std::pair<MemoKey, SharedEntry>> export_entries() const;
 
   std::size_t size() const;
   SharedMemoStats stats() const;

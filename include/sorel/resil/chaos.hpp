@@ -42,12 +42,25 @@ enum class Site : std::size_t {
   SchedTaskStart = 3, // "sched.task_start": perturb scheduling (yield)
   MemoInsert = 4,     // "memo.insert": drop a shared-memo publication
   SpecLoad = 5,       // "spec.load": allocation failure while loading a spec
+  // Filesystem choke points of the snapshot layer (sorel::snap). Injected
+  // failures simulate a crash at that instant: the writer leaves whatever
+  // bytes it got out (a torn temp file, never the live snapshot) and the
+  // loader must reject the partial image and fall back to a cold start.
+  FsWrite = 6,        // "fs.write": torn write — half the bytes, then fail
+  FsFsync = 7,        // "fs.fsync": fsync failure before the atomic rename
+  FsRename = 8,       // "fs.rename": crash between temp write and rename
+  FsRead = 9,         // "fs.read": short read while loading a snapshot
 };
 
-inline constexpr std::size_t kSiteCount = 6;
+inline constexpr std::size_t kSiteCount = 10;
 
 /// The canonical site name ("tcp.accept", "sched.task_start", ...).
 const char* site_name(Site site) noexcept;
+
+/// One-line human description of what an injected fault at `site` does —
+/// the `sorel_cli chaos-sites` listing (a golden test pins the full list,
+/// so adding a site without documenting it fails CI).
+const char* site_description(Site site) noexcept;
 
 /// Parse a site name; throws sorel::InvalidArgument on an unknown name.
 Site site_from_name(const std::string& name);

@@ -50,6 +50,13 @@ class Client {
   /// Remembers the endpoint; the first call() connects. Throws
   /// sorel::InvalidArgument on a malformed host.
   Client(std::string host, std::uint16_t port, ClientOptions options = {});
+
+  /// Unix-domain-socket endpoint (`--listen unix:/path` on the server
+  /// side). Accepts the path with or without the `unix:` scheme prefix.
+  /// The retry/backoff/reconnect discipline is identical to TCP — only the
+  /// address family differs. Throws sorel::InvalidArgument on an empty or
+  /// over-long path.
+  explicit Client(std::string unix_path, ClientOptions options = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -81,7 +88,8 @@ class Client {
   void backoff(std::size_t retry_index, double floor_ms);
 
   std::string host_;
-  std::uint16_t port_;
+  std::uint16_t port_ = 0;
+  std::string unix_path_;  // non-empty selects AF_UNIX over host_:port_
   ClientOptions options_;
   util::Rng rng_;
   int fd_ = -1;

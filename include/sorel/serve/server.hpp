@@ -65,6 +65,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sorel/core/assembly.hpp"
@@ -108,6 +109,12 @@ struct ServerStats {
   // Overload protection (sorel::resil, still protocol 1 / additive):
   std::uint64_t shed = 0;          // requests refused by the admission bound
   std::uint64_t rate_limited = 0;  // requests refused by a client's bucket
+  // Saturation high-waters (still protocol 1 / additive): how close the
+  // admission bound and the worker pool came to their limits since start.
+  std::uint64_t queue_depth_max = 0;         // admitted-and-unfinished peak
+  std::uint64_t requests_in_flight_max = 0;  // concurrent handle_line peak
+  /// Requests per op, in op-name order (additive "ops" object in stats).
+  std::map<std::string, std::uint64_t> op_counts;
 };
 
 class Server {
@@ -154,6 +161,19 @@ class Server {
     /// newline gets one structured parse_error response and a disconnect
     /// once the unterminated line exceeds this many bytes.
     std::size_t max_line_bytes = std::size_t{1} << 20;
+
+    /// Warm-state persistence (sorel::snap). When non-empty and the shared
+    /// memo is on, every spec load tries to warm the new table from this
+    /// snapshot (any invalid/stale file degrades silently to a cold start),
+    /// the `snapshot` op saves here by default, the autosave loop (below)
+    /// targets it, and the destructor writes one final snapshot — so a
+    /// clean restart resumes warm.
+    std::string snapshot_path;
+    /// Autosave period in milliseconds (0 = off). The background saver
+    /// serializes an epoch-pinned consistent view while requests are in
+    /// flight; saves are atomic (temp + fsync + rename), so readers and a
+    /// crashed save can never observe a half-written snapshot.
+    std::uint64_t snapshot_interval_ms = 0;
 
     /// The execution-policy slice (unified accessor across every analysis
     /// options struct): options.exec().with_threads(8)...
@@ -243,6 +263,14 @@ class Server {
   json::Object op_set_attributes(const Request& request);
   json::Object op_stats(const Request& request);
   json::Object op_health(const Request& request);
+  json::Object op_snapshot(const Request& request);
+
+  void count_op(const std::string& op) noexcept;
+  void maybe_start_autosave();
+  void autosave_loop();
+  /// One snapshot of the current spec's table to Options::snapshot_path
+  /// (no-op without a spec/table/path). Returns true on a successful save.
+  bool save_snapshot_now();
 
   Options options_;
 
@@ -265,6 +293,23 @@ class Server {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> rate_limited_{0};
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> queue_depth_max_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> in_flight_max_{0};
+  /// Per-op request counters, parallel to the internal op-name table.
+  std::vector<std::atomic<std::uint64_t>> op_counts_;
+
+  // Snapshot bookkeeping (surfaced as the additive "snapshot" stats block).
+  std::atomic<std::uint64_t> snapshot_entries_loaded_{0};
+  std::atomic<std::uint64_t> snapshot_saves_{0};
+  std::atomic<std::uint64_t> snapshot_save_errors_{0};
+  std::atomic<int> snapshot_last_load_status_{-1};  // snap::SnapStatus, -1 none
+
+  // The autosave loop: one background thread, woken early for teardown.
+  std::thread autosave_thread_;
+  std::mutex autosave_mutex_;
+  std::condition_variable autosave_cv_;
+  bool autosave_stop_ = false;
 };
 
 /// Reorder buffer for one client's responses: workers complete requests in

@@ -33,6 +33,14 @@ class TcpListener {
   /// Bind and listen on `host:port` (port 0 = ephemeral; read the chosen
   /// port back via port()). Throws sorel::Error on any socket failure.
   TcpListener(Server& server, const std::string& host, std::uint16_t port);
+
+  /// Bind and listen on a unix-domain stream socket at `unix_path`
+  /// (`--listen unix:/path`). A stale socket file left by a crashed daemon
+  /// is unlinked before bind; stop() unlinks the path on the way out.
+  /// Everything above the transport — line splitting, admission,
+  /// sequencing, chaos hooks, drain-on-stop — is byte-identical to TCP.
+  /// Throws sorel::Error on any socket failure.
+  TcpListener(Server& server, const std::string& unix_path);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
@@ -59,6 +67,7 @@ class TcpListener {
   Server& server_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  std::string unix_path_;  // non-empty iff listening on AF_UNIX
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
 

@@ -1,0 +1,141 @@
+// sorel::snap — crash-safe persistent warm state for the shared memo.
+//
+// ROADMAP item 3's persistence half: a repeated CLI invocation or a freshly
+// restarted daemon should skip the cold full evaluation by reloading the
+// memo::SharedMemo (values, logical costs, dependency closures, children)
+// it built last time. Persistence is only a win if a crash, torn write, or
+// stale file can never poison a prediction, so the layer is built around
+// one invariant: **every recovery path degrades to a provably-equivalent
+// cold start, never to a wrong answer.**
+//
+// On-disk format (little-endian, length-prefixed, docs/FORMAT.md §Snapshot
+// files):
+//
+//   magic "SORELSNP" | u32 format | u32 version_len | u64 spec_key
+//   | u64 entry_count | u64 payload_bytes | version string | u64 header_crc
+//   | payload (entry_count serialized entries) | u64 payload_crc
+//   | u64 file_crc
+//
+// All three CRCs are CRC-64 (ECMA-182, reflected). The spec key is a
+// content hash of the canonical saved assembly document — services, flows,
+// bindings, and attribute overrides — so identical keys imply identical
+// sorted dependency universes, which is what makes stored DepSets portable
+// across processes. Entries are written in the deterministic order of
+// SharedMemo::export_entries(): the same table serializes to the same
+// bytes.
+//
+// Writer: serialize fully in memory, write `<path>.tmp`, fsync, rename
+// into place. A crash (or an injected resil fs.* fault) at any instant
+// leaves either the old snapshot or none — never a half-written live file.
+// Loader: validate magic, format version, library version, spec key,
+// declared lengths, and all three checksums; on *any* mismatch return a
+// structured SnapError and load nothing. Loaded entries carry their stored
+// logical cost, so guard budgets and --stats replay bit-identically
+// warm-from-disk vs freshly computed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sorel/memo/shared_memo.hpp"
+
+namespace sorel::core {
+class Assembly;
+}
+
+namespace sorel::snap {
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected), table-driven. `seed` chains
+/// incremental computations: crc64(b, nb, crc64(a, na)) == crc64(a+b).
+std::uint64_t crc64(const void* data, std::size_t size,
+                    std::uint64_t seed = 0) noexcept;
+
+/// The writer's format version; the loader rejects anything else (a future
+/// format must be refused, never guessed at).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Why a snapshot was rejected (or Ok). Every reason falls back to a cold
+/// start in the callers; the enum exists so tests, logs, and the serve
+/// `snapshot` op can tell the classes apart.
+enum class SnapStatus : int {
+  Ok = 0,
+  NotFound,          // no file at the path — the ordinary cold start
+  IoError,           // open/read/write/fsync/rename failed
+  Truncated,         // file shorter than its own declared lengths
+  BadMagic,          // not a snapshot file
+  BadFormatVersion,  // unknown (future) format version
+  BadLibraryVersion, // written by a different sorel build
+  StaleSpec,         // spec key mismatch: another model or base state
+  BadChecksum,       // CRC64 mismatch: bit flip or torn write
+  Malformed,         // internally inconsistent counts/lengths/values
+};
+
+/// The canonical status name ("ok", "stale_spec", "bad_checksum", ...).
+const char* snap_status_name(SnapStatus status) noexcept;
+
+/// Structured load/save failure: the reason class plus a human detail.
+struct SnapError {
+  SnapStatus status = SnapStatus::Ok;
+  std::string detail;
+  bool ok() const noexcept { return status == SnapStatus::Ok; }
+};
+
+struct LoadResult {
+  SnapError error;
+  std::size_t entries = 0;  // entries inserted into the table
+  bool ok() const noexcept { return error.ok(); }
+};
+
+struct SaveResult {
+  SnapError error;
+  std::size_t entries = 0;  // entries serialized
+  std::size_t bytes = 0;    // file size written
+  bool ok() const noexcept { return error.ok(); }
+};
+
+/// The 64-bit content key a snapshot is valid against: a CRC-64 of the
+/// canonical dsl::save_assembly document (services, flows, bindings,
+/// attribute overrides). Identical keys mean identical sorted dependency
+/// universes, so stored DepSets and entry values replay exactly; any edit
+/// to the model — including a set_attributes delta — changes the key and
+/// self-invalidates old snapshots.
+std::uint64_t spec_key(const core::Assembly& assembly);
+
+/// Serialize `entries` (a SharedMemo::export_entries() dump) into the
+/// on-disk image. Pure and deterministic: same entries + key ⇒ same bytes.
+std::vector<std::uint8_t> encode_snapshot(
+    const std::vector<std::pair<memo::MemoKey, memo::SharedEntry>>& entries,
+    std::uint64_t key);
+
+/// Validate and parse an in-memory snapshot image into `out`. Returns a
+/// structured error — and leaves `out` empty — on any mismatch; never
+/// throws, never crashes on arbitrary bytes (the fuzz target drives this).
+/// `max_dep_words` bounds every entry's dependency-set width (the
+/// consumer's universe word count); wider sets are Malformed.
+SnapError decode_snapshot(
+    const std::uint8_t* data, std::size_t size, std::uint64_t expected_key,
+    std::size_t max_dep_words,
+    std::vector<std::pair<memo::MemoKey, memo::SharedEntry>>& out);
+
+/// Write an epoch-pinned dump of `memo` to `path` atomically: serialize in
+/// memory, write `path + ".tmp"`, fsync, rename. On failure (including
+/// injected resil fs.write / fs.fsync / fs.rename faults, which simulate a
+/// crash at that instant) the previous snapshot at `path` is untouched and
+/// at most a torn temp file is left behind — the loader never reads it.
+SaveResult save_snapshot(const std::string& path, const memo::SharedMemo& memo,
+                         std::uint64_t key);
+
+/// Load `path` into `memo` (inserting at the table's current epoch) after
+/// full validation against `key` and the table's universe width. Any
+/// rejection — missing file, truncation, bit flip, torn write, stale spec,
+/// future format — returns the structured reason with nothing inserted:
+/// the caller proceeds with the exact cold start it would have had without
+/// a snapshot. An injected resil fs.read fault arrives as a short read and
+/// is rejected like any other truncation.
+LoadResult load_snapshot(const std::string& path, memo::SharedMemo& memo,
+                         std::uint64_t key);
+
+}  // namespace sorel::snap

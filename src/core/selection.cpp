@@ -71,7 +71,10 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
   // original assembly disables sharing on attach (universe mismatch) —
   // conservative and bit-identical either way.
   std::shared_ptr<memo::SharedMemo> shared_cache;
-  if (options.shared_memo) shared_cache = make_shared_memo(assembly);
+  if (options.shared_memo) {
+    shared_cache = options.shared_cache ? options.shared_cache
+                                        : make_shared_memo(assembly);
+  }
   std::vector<RankedAssembly> entries(combinations);
   std::vector<char> kept(combinations, 0);
 

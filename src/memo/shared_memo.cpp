@@ -47,6 +47,13 @@ bool DepSet::any() const noexcept {
   return false;
 }
 
+DepSet DepSet::from_words(std::vector<std::uint64_t> words) {
+  while (!words.empty() && words.back() == 0) words.pop_back();
+  DepSet out;
+  out.words_ = std::move(words);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // MemoKeyHash
 // ---------------------------------------------------------------------------
@@ -180,6 +187,39 @@ std::size_t SharedMemo::purge_stale() {
     evictions_.fetch_add(purged, std::memory_order_relaxed);
   }
   return purged;
+}
+
+std::vector<std::pair<MemoKey, SharedEntry>> SharedMemo::export_entries()
+    const {
+  const std::uint64_t current = epoch_.load(std::memory_order_acquire);
+  std::vector<std::pair<MemoKey, SharedEntry>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, versioned] : shard.table) {
+      if (versioned.epoch == current) out.emplace_back(key, versioned.entry);
+    }
+  }
+  // Total order over exact-double keys: compare argument *bit patterns*
+  // (operator< on doubles is not total under NaN and -0.0 aliases 0.0), so
+  // two exports of the same table are byte-identical on disk.
+  const auto bits = [](double value) {
+    std::uint64_t pattern;
+    std::memcpy(&pattern, &value, sizeof(pattern));
+    return pattern;
+  };
+  std::sort(out.begin(), out.end(), [&bits](const auto& a, const auto& b) {
+    if (a.first.service != b.first.service) {
+      return a.first.service < b.first.service;
+    }
+    const auto& lhs = a.first.args;
+    const auto& rhs = b.first.args;
+    if (lhs.size() != rhs.size()) return lhs.size() < rhs.size();
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      if (bits(lhs[i]) != bits(rhs[i])) return bits(lhs[i]) < bits(rhs[i]);
+    }
+    return false;
+  });
+  return out;
 }
 
 std::size_t SharedMemo::size() const {

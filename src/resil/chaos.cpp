@@ -16,6 +16,21 @@ namespace {
 constexpr const char* kSiteNames[kSiteCount] = {
     "tcp.accept",      "tcp.recv",    "tcp.send",
     "sched.task_start", "memo.insert", "spec.load",
+    "fs.write",        "fs.fsync",    "fs.rename",
+    "fs.read",
+};
+
+constexpr const char* kSiteDescriptions[kSiteCount] = {
+    "synthesize a transient accept() failure in the TCP front end",
+    "simulate a connection reset while reading a client's request stream",
+    "drop a response write (the client observes a half-dead connection)",
+    "perturb scheduling by yielding before a task body runs",
+    "drop a shared-memo publication (the entry is re-evaluated later)",
+    "fail spec loading with an allocation failure before any mutation",
+    "tear a snapshot write: half the bytes reach the temp file, then fail",
+    "fail the fsync before a snapshot's atomic rename (temp file left)",
+    "crash between a snapshot's temp write and its rename into place",
+    "short-read a snapshot while loading (the image arrives truncated)",
 };
 
 /// The process-wide chaos state: the immutable-while-active plan plus the
@@ -55,6 +70,10 @@ void ensure_env_consulted() {
 
 const char* site_name(Site site) noexcept {
   return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+const char* site_description(Site site) noexcept {
+  return kSiteDescriptions[static_cast<std::size_t>(site)];
 }
 
 Site site_from_name(const std::string& name) {

@@ -4,12 +4,14 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <thread>
 
 #include "sorel/json/json.hpp"
@@ -65,6 +67,18 @@ Client::Client(std::string host, std::uint16_t port, ClientOptions options)
   }
 }
 
+Client::Client(std::string unix_path, ClientOptions options)
+    : options_(options), rng_(options.seed) {
+  if (unix_path.rfind("unix:", 0) == 0) unix_path.erase(0, 5);
+  sockaddr_un probe{};
+  if (unix_path.empty() || unix_path.size() >= sizeof(probe.sun_path)) {
+    throw InvalidArgument("connect: unix socket path must be 1.." +
+                          std::to_string(sizeof(probe.sun_path) - 1) +
+                          " bytes: '" + unix_path + "'");
+  }
+  unix_path_ = std::move(unix_path);
+}
+
 Client::~Client() { disconnect(); }
 
 void Client::disconnect() noexcept {
@@ -77,16 +91,30 @@ void Client::disconnect() noexcept {
 
 bool Client::ensure_connected() {
   if (fd_ >= 0) return true;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(port_);
-  ::inet_pton(AF_INET, host_.c_str(), &address.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
-      0) {
-    ::close(fd);
-    return false;
+  int fd = -1;
+  if (!unix_path_.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, unix_path_.c_str(), unix_path_.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd);
+      return false;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port_);
+    ::inet_pton(AF_INET, host_.c_str(), &address.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      ::close(fd);
+      return false;
+    }
   }
   fd_ = fd;
   stats_.reconnects += 1;

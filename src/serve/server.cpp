@@ -1,6 +1,8 @@
 #include "sorel/serve/server.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <new>
 #include <optional>
 #include <utility>
@@ -13,11 +15,29 @@
 #include "sorel/runtime/batch.hpp"
 #include "sorel/runtime/thread_pool.hpp"
 #include "sorel/sched/scheduler.hpp"
+#include "sorel/snap/snapshot.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::serve {
 
 namespace {
+
+/// The protocol's op vocabulary, in the order the "ops" stats object lists
+/// it (every op always present, so the key set is deterministic).
+constexpr std::array<const char*, 10> kOpNames = {
+    "batch",    "eval",     "health", "inject", "load_spec",
+    "set_attributes", "shutdown", "snapshot", "stats",  "version",
+};
+
+/// Bump `maximum` to at least `value` (relaxed CAS loop; high-water marks
+/// only ever grow).
+void raise_max(std::atomic<std::uint64_t>& maximum, std::uint64_t value) {
+  std::uint64_t seen = maximum.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !maximum.compare_exchange_weak(seen, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
 
 /// Parse the optional request-level "budget" object overlaid on the server
 /// default for this request only.
@@ -77,6 +97,7 @@ struct Server::SpecState {
   core::Assembly assembly;
   std::shared_ptr<memo::SharedMemo> memo;  // null when sharing is off
   std::size_t services = 0;
+  std::uint64_t snap_key = 0;  // snap::spec_key(assembly); 0 when memo off
 
   std::mutex pool_mutex;
   std::vector<std::unique_ptr<PooledSession>> idle;
@@ -150,14 +171,77 @@ class Server::SessionLease {
 
 Server::Server() : Server(Options{}) {}
 
-Server::Server(Options options) : options_(std::move(options)) {}
-
-Server::Server(const json::Value& spec_document, Options options)
-    : options_(std::move(options)) {
-  load_spec(spec_document);
+Server::Server(Options options)
+    : options_(std::move(options)), op_counts_(kOpNames.size()) {
+  maybe_start_autosave();
 }
 
-Server::~Server() = default;
+Server::Server(const json::Value& spec_document, Options options)
+    : options_(std::move(options)), op_counts_(kOpNames.size()) {
+  load_spec(spec_document);
+  maybe_start_autosave();
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(autosave_mutex_);
+    autosave_stop_ = true;
+  }
+  autosave_cv_.notify_all();
+  if (autosave_thread_.joinable()) autosave_thread_.join();
+  // One final snapshot so a clean shutdown + restart resumes warm (a failed
+  // save degrades to whatever the last good snapshot was).
+  if (!options_.snapshot_path.empty()) save_snapshot_now();
+}
+
+void Server::count_op(const std::string& op) noexcept {
+  for (std::size_t i = 0; i < kOpNames.size(); ++i) {
+    if (op == kOpNames[i]) {
+      op_counts_[i].fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void Server::maybe_start_autosave() {
+  if (options_.snapshot_path.empty() || options_.snapshot_interval_ms == 0) {
+    return;
+  }
+  autosave_thread_ = std::thread([this] { autosave_loop(); });
+}
+
+void Server::autosave_loop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.snapshot_interval_ms);
+  std::unique_lock<std::mutex> lock(autosave_mutex_);
+  while (!autosave_stop_) {
+    autosave_cv_.wait_for(lock, interval);
+    if (autosave_stop_) break;
+    lock.unlock();
+    save_snapshot_now();
+    lock.lock();
+  }
+}
+
+bool Server::save_snapshot_now() {
+  std::shared_ptr<SpecState> state = current_state();
+  if (state == nullptr || state->memo == nullptr ||
+      options_.snapshot_path.empty()) {
+    return false;
+  }
+  // export_entries() pins the table's current epoch, so the image is a
+  // consistent view even while requests keep publishing and even if a
+  // load_spec swap lands mid-save (the swap bumps the *old* table's epoch;
+  // this save still writes the coherent pre-swap view it pinned).
+  const snap::SaveResult result = snap::save_snapshot(
+      options_.snapshot_path, *state->memo, state->snap_key);
+  if (result.ok()) {
+    snapshot_saves_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    snapshot_save_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result.ok();
+}
 
 std::shared_ptr<Server::SpecState> Server::current_state() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
@@ -195,6 +279,21 @@ std::size_t Server::load_spec(const json::Value& spec_document) {
   auto state = std::make_shared<SpecState>(dsl::load_assembly(spec_document));
   if (options_.shared_memo) {
     state->memo = core::make_shared_memo(state->assembly);
+    state->snap_key = snap::spec_key(state->assembly);
+    if (!options_.snapshot_path.empty()) {
+      // Warm the fresh table from disk before the swap makes it visible.
+      // Any rejection — missing, truncated, corrupt, stale, other build —
+      // leaves the table empty: exactly the cold start a snapshot-less
+      // server would make, so correctness never depends on the file.
+      const snap::LoadResult warm = snap::load_snapshot(
+          options_.snapshot_path, *state->memo, state->snap_key);
+      snapshot_last_load_status_.store(static_cast<int>(warm.error.status),
+                                       std::memory_order_relaxed);
+      if (warm.ok()) {
+        snapshot_entries_loaded_.fetch_add(warm.entries,
+                                           std::memory_order_relaxed);
+      }
+    }
   }
   const std::size_t services = state->services;
   swap_state(std::move(state));
@@ -217,6 +316,11 @@ ServerStats Server::stats() const {
   out.fixpoint_sccs = fixpoint_sccs_.load(std::memory_order_relaxed);
   out.shed = shed_.load(std::memory_order_relaxed);
   out.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  out.queue_depth_max = queue_depth_max_.load(std::memory_order_relaxed);
+  out.requests_in_flight_max = in_flight_max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kOpNames.size(); ++i) {
+    out.op_counts[kOpNames[i]] = op_counts_[i].load(std::memory_order_relaxed);
+  }
   const sched::SchedStats sched_stats = sched::Scheduler::global().stats();
   out.tasks_run = sched_stats.tasks_run;
   out.steals = sched_stats.steals;
@@ -233,6 +337,7 @@ bool Server::try_admit() {
     }
     if (pending_.compare_exchange_weak(expected, expected + 1,
                                        std::memory_order_relaxed)) {
+      raise_max(queue_depth_max_, expected + 1);
       return true;
     }
   }
@@ -262,6 +367,13 @@ std::string Server::overloaded_response(const std::string& line) {
 std::string Server::handle_line(const std::string& line,
                                 std::shared_ptr<const guard::CancelToken> cancel,
                                 resil::TokenBucket* rate_bucket) {
+  const std::uint64_t concurrent =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  raise_max(in_flight_max_, concurrent);
+  struct Release {
+    std::atomic<std::uint64_t>& counter;
+    ~Release() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  } release{in_flight_};
   requests_.fetch_add(1, std::memory_order_relaxed);
   std::optional<json::Value> id;
   try {
@@ -302,6 +414,7 @@ json::Object Server::dispatch(
     const Request& request,
     const std::shared_ptr<const guard::CancelToken>& cancel, bool metered,
     std::uint64_t* cost) {
+  count_op(request.op);
   if (request.op == "eval") return op_eval(request, cancel, metered, cost);
   if (request.op == "batch") {
     json::Object response = op_batch(request, cancel);
@@ -317,6 +430,7 @@ json::Object Server::dispatch(
   if (request.op == "set_attributes") return op_set_attributes(request);
   if (request.op == "stats") return op_stats(request);
   if (request.op == "health") return op_health(request);
+  if (request.op == "snapshot") return op_snapshot(request);
   if (request.op == "version") {
     json::Object response = make_response(request.id, true);
     response["version"] = version_string();
@@ -615,6 +729,10 @@ json::Object Server::op_set_attributes(const Request& request) {
   auto next = std::make_shared<SpecState>(std::move(updated));
   if (options_.shared_memo) {
     next->memo = core::make_shared_memo(next->assembly);
+    // The key hashes the overridden content, so snapshots taken before this
+    // delta self-invalidate (StaleSpec) against the updated spec — no load
+    // attempt is worth making here.
+    next->snap_key = snap::spec_key(next->assembly);
   }
   swap_state(std::move(next));
 
@@ -643,6 +761,26 @@ json::Object Server::op_stats(const Request& request) {
   response["fixpoint_sccs"] = totals.fixpoint_sccs;
   response["shed"] = totals.shed;
   response["rate_limited"] = totals.rate_limited;
+  // Saturation high-waters + per-op counters (additive, still protocol 1).
+  response["queue_depth_max"] = totals.queue_depth_max;
+  response["requests_in_flight_max"] = totals.requests_in_flight_max;
+  json::Object ops;
+  for (const auto& [op, count] : totals.op_counts) ops[op] = count;
+  response["ops"] = json::Value(std::move(ops));
+  if (!options_.snapshot_path.empty()) {
+    json::Object block;
+    block["path"] = options_.snapshot_path;
+    block["entries_loaded"] =
+        snapshot_entries_loaded_.load(std::memory_order_relaxed);
+    block["saves"] = snapshot_saves_.load(std::memory_order_relaxed);
+    block["save_errors"] =
+        snapshot_save_errors_.load(std::memory_order_relaxed);
+    const int status = snapshot_last_load_status_.load(std::memory_order_relaxed);
+    block["last_load_status"] =
+        status < 0 ? "none"
+                   : snap::snap_status_name(static_cast<snap::SnapStatus>(status));
+    response["snapshot"] = json::Value(std::move(block));
+  }
   std::shared_ptr<SpecState> state = current_state();
   response["spec_loaded"] = state != nullptr;
   if (state != nullptr) {
@@ -662,6 +800,39 @@ json::Object Server::op_stats(const Request& request) {
   }
   response["version"] = version_string();
   response["protocol"] = kProtocolVersion;
+  return response;
+}
+
+json::Object Server::op_snapshot(const Request& request) {
+  std::shared_ptr<SpecState> state = require_spec();
+  if (state->memo == nullptr) {
+    throw ModelError("snapshot requires the shared memo (shared_memo on)");
+  }
+  std::string path = options_.snapshot_path;
+  if (request.document.contains("path")) {
+    path = request.document.at("path").as_string();
+  }
+  if (path.empty()) {
+    throw InvalidArgument(
+        "snapshot needs a \"path\" (none configured via --snapshot)");
+  }
+  const snap::SaveResult result =
+      snap::save_snapshot(path, *state->memo, state->snap_key);
+  if (result.ok()) {
+    snapshot_saves_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    snapshot_save_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  json::Object response = make_response(request.id, result.ok());
+  response["path"] = path;
+  response["status"] = snap::snap_status_name(result.error.status);
+  if (result.ok()) {
+    response["entries"] = result.entries;
+    response["bytes"] = result.bytes;
+  } else {
+    response["error"] = "io_error";
+    response["message"] = result.error.detail;
+  }
   return response;
 }
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -107,6 +108,39 @@ TcpListener::TcpListener(Server& server, const std::string& host,
     throw_errno("serve: getsockname");
   }
   port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::TcpListener(Server& server, const std::string& unix_path)
+    : server_(server), unix_path_(unix_path) {
+  sockaddr_un address{};
+  if (unix_path.empty() || unix_path.size() >= sizeof(address.sun_path)) {
+    throw InvalidArgument("serve: unix socket path must be 1.." +
+                          std::to_string(sizeof(address.sun_path) - 1) +
+                          " bytes: '" + unix_path + "'");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("serve: socket");
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, unix_path.c_str(), unix_path.size() + 1);
+  // A socket file left by a crashed daemon would make bind fail forever;
+  // a *live* daemon still holds the listening socket, so its clients are
+  // unaffected by the unlink — it is strictly the crash-recovery path.
+  ::unlink(unix_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("serve: bind " + unix_path);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("serve: listen");
+  }
 }
 
 TcpListener::~TcpListener() { stop(); }
@@ -282,6 +316,7 @@ void TcpListener::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
   if (accept_thread_.joinable()) accept_thread_.join();
 
   std::vector<std::shared_ptr<Connection>> connections;

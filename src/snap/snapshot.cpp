@@ -1,0 +1,509 @@
+#include "sorel/snap/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/resil/chaos.hpp"
+
+#ifndef SOREL_VERSION_STRING
+#define SOREL_VERSION_STRING "0.0.0-unversioned"
+#endif
+
+namespace sorel::snap {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'O', 'R', 'E', 'L', 'S', 'N', 'P'};
+
+// Header layout (fixed part, before the version string):
+//   [0,8)   magic
+//   [8,12)  u32 format version
+//   [12,16) u32 version string length
+//   [16,24) u64 spec key
+//   [24,32) u64 entry count
+//   [32,40) u64 payload bytes
+constexpr std::size_t kFixedHeaderBytes = 40;
+// Hard cap on the version string so a corrupted length field can't drive
+// allocation; real versions are a dozen bytes.
+constexpr std::size_t kMaxVersionLen = 255;
+// Per-entry sanity bounds: arguments and children are direct service
+// consultations, so anything past these is corruption, not a real model.
+constexpr std::size_t kMaxArgs = 4096;
+constexpr std::size_t kMaxChildren = 1 << 20;
+constexpr std::size_t kMaxNameLen = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// CRC-64/XZ (ECMA-182 polynomial 0x42F0E1EBA9EA3693, reflected), the
+// widely-deployed variant used by xz-utils. Table generated once.
+// ---------------------------------------------------------------------------
+
+struct Crc64Table {
+  std::uint64_t entries[256];
+  Crc64Table() noexcept {
+    constexpr std::uint64_t poly = 0xC96C5795D7870F42ull;  // reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Little-endian writer / bounds-checked reader
+// ---------------------------------------------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void patch_u64(std::vector<std::uint8_t>& out, std::size_t at,
+               std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out[at + static_cast<std::size_t>(shift / 8)] =
+        static_cast<std::uint8_t>((v >> shift) & 0xffu);
+  }
+}
+
+/// Strict forward cursor over untrusted bytes: every read checks remaining
+/// length first, so the decoder can never run off the buffer no matter what
+/// the declared counts say.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const noexcept { return size - pos; }
+
+  bool u32(std::uint32_t& out) noexcept {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      out |= static_cast<std::uint32_t>(data[pos++]) << shift;
+    }
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) noexcept {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      out |= static_cast<std::uint64_t>(data[pos++]) << shift;
+    }
+    return true;
+  }
+
+  bool f64(double& out) noexcept {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+  }
+
+  bool str(std::string& out, std::size_t max_len) noexcept {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (len > max_len || remaining() < len) return false;
+    out.assign(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return true;
+  }
+};
+
+SnapError fail(SnapStatus status, std::string detail) {
+  return SnapError{status, std::move(detail)};
+}
+
+void encode_key(std::vector<std::uint8_t>& out, const memo::MemoKey& key) {
+  put_str(out, key.service);
+  put_u32(out, static_cast<std::uint32_t>(key.args.size()));
+  for (const double arg : key.args) put_f64(out, arg);
+}
+
+/// Parse one MemoKey; returns false on any bounds or sanity violation.
+bool decode_key(Reader& in, memo::MemoKey& key) {
+  if (!in.str(key.service, kMaxNameLen)) return false;
+  if (key.service.empty()) return false;
+  std::uint32_t argc = 0;
+  if (!in.u32(argc)) return false;
+  if (argc > kMaxArgs || in.remaining() < std::size_t{argc} * 8) return false;
+  key.args.resize(argc);
+  for (std::uint32_t i = 0; i < argc; ++i) {
+    if (!in.f64(key.args[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t crc64(const void* data, std::size_t size,
+                    std::uint64_t seed) noexcept {
+  static const Crc64Table table;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+const char* snap_status_name(SnapStatus status) noexcept {
+  switch (status) {
+    case SnapStatus::Ok: return "ok";
+    case SnapStatus::NotFound: return "not_found";
+    case SnapStatus::IoError: return "io_error";
+    case SnapStatus::Truncated: return "truncated";
+    case SnapStatus::BadMagic: return "bad_magic";
+    case SnapStatus::BadFormatVersion: return "bad_format_version";
+    case SnapStatus::BadLibraryVersion: return "bad_library_version";
+    case SnapStatus::StaleSpec: return "stale_spec";
+    case SnapStatus::BadChecksum: return "bad_checksum";
+    case SnapStatus::Malformed: return "malformed";
+  }
+  return "unknown";
+}
+
+std::uint64_t spec_key(const core::Assembly& assembly) {
+  // save_assembly emits json::Object (std::map) documents, so dump() is a
+  // canonical rendering: equal content ⇒ equal bytes ⇒ equal key.
+  const std::string doc = dsl::save_assembly(assembly).dump();
+  return crc64(doc.data(), doc.size());
+}
+
+std::vector<std::uint8_t> encode_snapshot(
+    const std::vector<std::pair<memo::MemoKey, memo::SharedEntry>>& entries,
+    std::uint64_t key) {
+  const std::string version = SOREL_VERSION_STRING;
+  std::vector<std::uint8_t> out;
+  out.reserve(kFixedHeaderBytes + version.size() + 16 + 64 * entries.size());
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(out, kFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(version.size()));
+  put_u64(out, key);
+  put_u64(out, entries.size());
+  const std::size_t payload_bytes_at = out.size();
+  put_u64(out, 0);  // payload byte count, patched below
+  out.insert(out.end(), version.begin(), version.end());
+  const std::size_t header_end = out.size();
+  put_u64(out, 0);  // header CRC, patched below
+
+  const std::size_t payload_begin = out.size();
+  for (const auto& [memo_key, entry] : entries) {
+    encode_key(out, memo_key);
+    put_f64(out, entry.value);
+    put_u64(out, entry.cost.evaluations);
+    put_u64(out, entry.cost.states);
+    put_u64(out, entry.cost.expr_evals);
+    const auto& words = entry.deps.words();
+    put_u32(out, static_cast<std::uint32_t>(words.size()));
+    for (const std::uint64_t word : words) put_u64(out, word);
+    put_u32(out, static_cast<std::uint32_t>(entry.children.size()));
+    for (const memo::MemoKey& child : entry.children) encode_key(out, child);
+  }
+  const std::size_t payload_end = out.size();
+  patch_u64(out, payload_bytes_at,
+            static_cast<std::uint64_t>(payload_end - payload_begin));
+  patch_u64(out, header_end, crc64(out.data(), header_end));
+  put_u64(out, crc64(out.data() + payload_begin, payload_end - payload_begin));
+  put_u64(out, crc64(out.data(), out.size()));
+  return out;
+}
+
+SnapError decode_snapshot(
+    const std::uint8_t* data, std::size_t size, std::uint64_t expected_key,
+    std::size_t max_dep_words,
+    std::vector<std::pair<memo::MemoKey, memo::SharedEntry>>& out) {
+  out.clear();
+  // Header fields are validated in a fixed order, cheapest checks first,
+  // and each failure class maps to its own status so the corruption tests
+  // (and the serve `snapshot` op) can tell truncation from staleness from
+  // bit rot.
+  if (size < kFixedHeaderBytes) {
+    return fail(SnapStatus::Truncated, "file shorter than the fixed header");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return fail(SnapStatus::BadMagic, "magic bytes are not SORELSNP");
+  }
+  Reader in{data, size, sizeof(kMagic)};
+  std::uint32_t format = 0, version_len = 0;
+  std::uint64_t stored_key = 0, entry_count = 0, payload_bytes = 0;
+  in.u32(format);
+  in.u32(version_len);
+  in.u64(stored_key);
+  in.u64(entry_count);
+  in.u64(payload_bytes);
+  if (format != kFormatVersion) {
+    return fail(SnapStatus::BadFormatVersion,
+                "format version " + std::to_string(format) + " (expected " +
+                    std::to_string(kFormatVersion) + ")");
+  }
+  if (version_len > kMaxVersionLen) {
+    return fail(SnapStatus::Malformed, "version string length out of range");
+  }
+  // header_end = fixed header + version string; the header CRC covers
+  // exactly those bytes and sits immediately after them.
+  const std::size_t header_end = kFixedHeaderBytes + version_len;
+  if (size < header_end + 8) {
+    return fail(SnapStatus::Truncated, "file ends inside the header");
+  }
+  const std::string stored_version(
+      reinterpret_cast<const char*>(data + kFixedHeaderBytes), version_len);
+  Reader crc_reader{data, size, header_end};
+  std::uint64_t stored_header_crc = 0;
+  crc_reader.u64(stored_header_crc);
+  if (stored_header_crc != crc64(data, header_end)) {
+    return fail(SnapStatus::BadChecksum, "header checksum mismatch");
+  }
+  // Version and spec-key checks run only after the checksum: a rejected
+  // version/key on a checksummed header is genuinely stale, not corrupt.
+  if (stored_version != SOREL_VERSION_STRING) {
+    return fail(SnapStatus::BadLibraryVersion,
+                "written by sorel " + stored_version + ", this is " +
+                    SOREL_VERSION_STRING);
+  }
+  if (stored_key != expected_key) {
+    return fail(SnapStatus::StaleSpec, "snapshot is for a different spec");
+  }
+  const std::size_t payload_begin = header_end + 8;
+  if (payload_bytes > size - payload_begin) {
+    return fail(SnapStatus::Truncated, "file ends inside the payload");
+  }
+  const std::size_t payload_end = payload_begin + payload_bytes;
+  // Exactly two trailing u64s (payload CRC, file CRC) — nothing more.
+  if (size - payload_end < 16) {
+    return fail(SnapStatus::Truncated, "file ends inside the trailer");
+  }
+  if (size - payload_end > 16) {
+    return fail(SnapStatus::Malformed, "trailing bytes after the file CRC");
+  }
+  Reader trailer{data, size, payload_end};
+  std::uint64_t stored_payload_crc = 0, stored_file_crc = 0;
+  trailer.u64(stored_payload_crc);
+  trailer.u64(stored_file_crc);
+  if (stored_payload_crc != crc64(data + payload_begin, payload_bytes)) {
+    return fail(SnapStatus::BadChecksum, "payload checksum mismatch");
+  }
+  if (stored_file_crc != crc64(data, size - 8)) {
+    return fail(SnapStatus::BadChecksum, "file checksum mismatch");
+  }
+
+  Reader payload{data, payload_end, payload_begin};
+  out.reserve(entry_count < kMaxChildren ? static_cast<std::size_t>(entry_count)
+                                         : 0);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    std::pair<memo::MemoKey, memo::SharedEntry> item;
+    auto& [memo_key, entry] = item;
+    if (!decode_key(payload, memo_key)) {
+      out.clear();
+      return fail(SnapStatus::Malformed,
+                  "entry " + std::to_string(i) + ": bad key");
+    }
+    std::uint64_t evals = 0, states = 0, expr_evals = 0;
+    std::uint32_t dep_words = 0, child_count = 0;
+    if (!payload.f64(entry.value) || !payload.u64(evals) ||
+        !payload.u64(states) || !payload.u64(expr_evals) ||
+        !payload.u32(dep_words)) {
+      out.clear();
+      return fail(SnapStatus::Malformed,
+                  "entry " + std::to_string(i) + ": short body");
+    }
+    // Values outside [0,1] (or non-finite) can't have come from the engine;
+    // refuse them even though the checksum passed — defence in depth against
+    // a snapshot written by a buggy or hostile producer.
+    if (!(entry.value >= 0.0 && entry.value <= 1.0)) {
+      out.clear();
+      return fail(SnapStatus::Malformed,
+                  "entry " + std::to_string(i) + ": value outside [0,1]");
+    }
+    entry.cost.evaluations = evals;
+    entry.cost.states = states;
+    entry.cost.expr_evals = expr_evals;
+    if (dep_words > max_dep_words ||
+        payload.remaining() < std::size_t{dep_words} * 8) {
+      out.clear();
+      return fail(SnapStatus::Malformed,
+                  "entry " + std::to_string(i) + ": dependency set wider "
+                  "than the spec's universe");
+    }
+    std::vector<std::uint64_t> words(dep_words);
+    for (std::uint32_t w = 0; w < dep_words; ++w) payload.u64(words[w]);
+    entry.deps = memo::DepSet::from_words(std::move(words));
+    if (!payload.u32(child_count) || child_count > kMaxChildren) {
+      out.clear();
+      return fail(SnapStatus::Malformed,
+                  "entry " + std::to_string(i) + ": bad child count");
+    }
+    entry.children.resize(child_count);
+    for (std::uint32_t c = 0; c < child_count; ++c) {
+      if (!decode_key(payload, entry.children[c])) {
+        out.clear();
+        return fail(SnapStatus::Malformed,
+                    "entry " + std::to_string(i) + ": bad child key");
+      }
+    }
+    out.push_back(std::move(item));
+  }
+  // The declared entry count must consume the payload exactly — leftover
+  // bytes mean count and content disagree.
+  if (payload.remaining() != 0) {
+    out.clear();
+    return fail(SnapStatus::Malformed, "payload longer than its entries");
+  }
+  return {};
+}
+
+namespace {
+
+/// RAII fd so every early return in save/load closes cleanly.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() noexcept {
+    const int out = fd;
+    fd = -1;
+    return out;
+  }
+};
+
+/// Write all of `data`, honouring the fs.write chaos hook: an injected
+/// fault writes only the first half (a torn write) and then fails, exactly
+/// what a crash mid-write leaves behind.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t goal = size;
+  if (resil::chaos_fire(resil::Site::FsWrite)) goal = size / 2;
+  std::size_t written = 0;
+  while (written < goal) {
+    const ::ssize_t n = ::write(fd, data + written, goal - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return goal == size;
+}
+
+}  // namespace
+
+SaveResult save_snapshot(const std::string& path, const memo::SharedMemo& memo,
+                         std::uint64_t key) {
+  SaveResult result;
+  const auto entries = memo.export_entries();
+  const auto image = encode_snapshot(entries, key);
+  result.entries = entries.size();
+
+  const std::string tmp = path + ".tmp";
+  Fd fd;
+  fd.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd.fd < 0) {
+    result.error = fail(SnapStatus::IoError,
+                        "open " + tmp + ": " + std::strerror(errno));
+    return result;
+  }
+  if (!write_all(fd.fd, image.data(), image.size())) {
+    // Crash semantics: leave the torn temp file exactly as written — the
+    // live snapshot at `path` was never touched and the loader never reads
+    // the temp name.
+    result.error = fail(SnapStatus::IoError, "short write to " + tmp);
+    return result;
+  }
+  if (resil::chaos_fire(resil::Site::FsFsync) || ::fsync(fd.fd) != 0) {
+    result.error = fail(SnapStatus::IoError, "fsync " + tmp + " failed");
+    return result;
+  }
+  ::close(fd.release());
+  if (resil::chaos_fire(resil::Site::FsRename) ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    result.error = fail(SnapStatus::IoError,
+                        "rename " + tmp + " -> " + path + " failed");
+    return result;
+  }
+  // Durability of the rename itself: fsync the containing directory,
+  // best-effort (some filesystems refuse directory fds).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  Fd dir_fd;
+  dir_fd.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd.fd >= 0) ::fsync(dir_fd.fd);
+  result.bytes = image.size();
+  return result;
+}
+
+LoadResult load_snapshot(const std::string& path, memo::SharedMemo& memo,
+                         std::uint64_t key) {
+  LoadResult result;
+  Fd fd;
+  fd.fd = ::open(path.c_str(), O_RDONLY);
+  if (fd.fd < 0) {
+    result.error = errno == ENOENT
+                       ? fail(SnapStatus::NotFound, "no snapshot at " + path)
+                       : fail(SnapStatus::IoError,
+                              "open " + path + ": " + std::strerror(errno));
+    return result;
+  }
+  std::vector<std::uint8_t> image;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const ::ssize_t n = ::read(fd.fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      result.error =
+          fail(SnapStatus::IoError, "read " + path + ": " + std::strerror(errno));
+      return result;
+    }
+    if (n == 0) break;
+    image.insert(image.end(), chunk, chunk + n);
+  }
+  // Chaos: a short read hands the validator a truncated image; it must be
+  // rejected downstream exactly like an on-disk torn write.
+  if (resil::chaos_fire(resil::Site::FsRead)) {
+    image.resize(image.size() / 2);
+  }
+
+  const std::size_t universe_words =
+      (memo.universe().attribute_names.size() +
+       memo.universe().binding_keys.size() + 63) /
+      64;
+  std::vector<std::pair<memo::MemoKey, memo::SharedEntry>> entries;
+  result.error = decode_snapshot(image.data(), image.size(), key,
+                                 universe_words, entries);
+  if (!result.ok()) return result;
+  const std::uint64_t epoch = memo.epoch();
+  for (auto& [memo_key, entry] : entries) {
+    if (memo.insert(memo_key, epoch, std::move(entry))) ++result.entries;
+  }
+  return result;
+}
+
+}  // namespace sorel::snap

@@ -1,11 +1,15 @@
 #include "fuzz_entry.hpp"
 
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sorel/dsl/loader.hpp"
 #include "sorel/expr/parser.hpp"
 #include "sorel/faults/campaign_json.hpp"
 #include "sorel/json/json.hpp"
+#include "sorel/snap/snapshot.hpp"
 #include "sorel/util/error.hpp"
 
 namespace sorel::fuzz {
@@ -62,6 +66,24 @@ int one_expr(const std::uint8_t* data, std::size_t size) {
     (void)simplified.eval(env);
   } catch (const Error&) {
   }
+  return 0;
+}
+
+int one_snap(const std::uint8_t* data, std::size_t size) {
+  // The spec key the image claims lives at bytes [16,24); replaying it as
+  // the expected key routes well-formed headers past the StaleSpec check
+  // into the checksum and entry-parse stages, which is where the
+  // interesting bugs would hide. decode_snapshot never throws — it returns
+  // a structured SnapError — so any crash or sanitizer report here is a
+  // finding in the loader itself.
+  std::uint64_t claimed = 0;
+  if (size >= 24) std::memcpy(&claimed, data + 16, 8);
+  std::vector<std::pair<memo::MemoKey, memo::SharedEntry>> entries;
+  (void)snap::decode_snapshot(data, size, claimed, /*max_dep_words=*/4,
+                              entries);
+  entries.clear();
+  (void)snap::decode_snapshot(data, size, claimed + 1, /*max_dep_words=*/4,
+                              entries);
   return 0;
 }
 

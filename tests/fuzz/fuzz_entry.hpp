@@ -22,4 +22,11 @@ int one_spec(const std::uint8_t* data, std::size_t size);
 /// Drive expr::parse -> simplify / to_string round-trip / eval.
 int one_expr(const std::uint8_t* data, std::size_t size);
 
+/// Drive snap::decode_snapshot on arbitrary bytes. The loader promises a
+/// structured SnapError (never a throw, never a crash) for every input;
+/// it runs once with the spec key the image itself claims — so a mostly
+/// well-formed image gets past the key check into entry parsing — and once
+/// with a mismatching key.
+int one_snap(const std::uint8_t* data, std::size_t size);
+
 }  // namespace sorel::fuzz

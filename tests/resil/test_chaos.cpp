@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -173,6 +175,27 @@ TEST(ChaosInstall, UninstallDisarmsAndInstallResetsCounters) {
   {
     ChaosGuard guard(plan);  // counters start fresh per install
     EXPECT_EQ(sorel::resil::chaos_stats().total_visits(), 0u);
+  }
+}
+
+TEST(ChaosSite, InventoryIsPinned) {
+  // The compiled-in site list is a public contract (`sorel_cli chaos-sites`
+  // prints it, docs/FORMAT.md documents it, CI drives SOREL_CHAOS specs by
+  // these names). A new Site value must be added here — and to the CLI
+  // golden and the docs — or this test fails.
+  static constexpr const char* kExpected[] = {
+      "tcp.accept",       "tcp.recv",  "tcp.send", "sched.task_start",
+      "memo.insert",      "spec.load", "fs.write", "fs.fsync",
+      "fs.rename",        "fs.read"};
+  ASSERT_EQ(kSiteCount, std::size(kExpected));
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const Site site = static_cast<Site>(i);
+    EXPECT_STREQ(sorel::resil::site_name(site), kExpected[i]);
+    // Every site ships a human description for the chaos-sites listing.
+    const char* description = sorel::resil::site_description(site);
+    ASSERT_NE(description, nullptr);
+    EXPECT_GT(std::string(description).size(), 10u)
+        << "site " << kExpected[i] << " has no useful description";
   }
 }
 

@@ -1,0 +1,98 @@
+// The AF_UNIX transport: `--listen unix:/path` on the server side and the
+// `unix:` scheme on the resil::Client side speak the exact line protocol of
+// the TCP front end — same bytes, same retry discipline, only the address
+// family differs. Plus the socket-file lifecycle: a stale file from a
+// crashed predecessor is reclaimed on bind, and stop() removes the file.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/resil/client.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/serve/server.hpp"
+#include "sorel/serve/tcp.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using sorel::resil::Client;
+using sorel::serve::Server;
+using sorel::serve::TcpListener;
+
+sorel::json::Value partitioned_spec() {
+  return sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(4, 4));
+}
+
+std::string socket_path(const std::string& name) {
+  return (fs::temp_directory_path() / ("sorel_unix_" + name + ".sock"))
+      .string();
+}
+
+constexpr const char* kEval = "{\"op\":\"eval\",\"service\":\"app\"}";
+
+TEST(ResilUnix, ServesTheSameBytesAsADirectHandleLine) {
+  const std::string path = socket_path("roundtrip");
+  Server server(partitioned_spec(), {});
+  const std::string expected = server.handle_line(kEval);
+
+  TcpListener listener(server, path);
+  listener.start();
+
+  // Both spellings of the endpoint — with and without the scheme prefix.
+  for (const std::string& endpoint : {"unix:" + path, path}) {
+    Client client(endpoint);
+    const auto outcome = client.call(kEval);
+    ASSERT_TRUE(outcome.transport_ok) << "endpoint " << endpoint;
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.response, expected);
+  }
+  listener.stop();
+}
+
+TEST(ResilUnix, ReclaimsAStaleSocketFileAndRemovesItOnStop) {
+  const std::string path = socket_path("lifecycle");
+  {
+    // A dead predecessor's socket file.
+    Server first(partitioned_spec(), {});
+    TcpListener listener(first, path);
+    listener.start();
+    EXPECT_TRUE(fs::exists(path));
+    listener.stop();
+  }
+  // stop() removed the file; even if it had leaked, a successor must be
+  // able to bind over it.
+  Server second(partitioned_spec(), {});
+  TcpListener listener(second, path);
+  listener.start();
+  Client client("unix:" + path);
+  EXPECT_TRUE(client.call(kEval).ok);
+  listener.stop();
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(ResilUnix, OneListenerServesManySequentialConnections) {
+  const std::string path = socket_path("sequential");
+  Server server(partitioned_spec(), {});
+  const std::string expected = server.handle_line(kEval);
+  TcpListener listener(server, path);
+  listener.start();
+  for (int i = 0; i < 3; ++i) {
+    Client client("unix:" + path);  // fresh connection per client
+    const auto outcome = client.call(kEval);
+    ASSERT_TRUE(outcome.ok) << "connection " << i;
+    EXPECT_EQ(outcome.response, expected);
+  }
+  listener.stop();
+}
+
+TEST(ResilUnix, EmptyUnixEndpointIsRefusedUpFront) {
+  EXPECT_THROW(Client("unix:"), sorel::InvalidArgument);
+  EXPECT_THROW(Client(""), sorel::InvalidArgument);
+}
+
+}  // namespace

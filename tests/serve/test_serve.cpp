@@ -339,6 +339,35 @@ TEST(ServeServer, StatsNewFieldsAreAdditiveUnderProtocolOne) {
   EXPECT_EQ(old_views[0], old_views[1]);
 }
 
+TEST(ServeServer, StatsSaturationHighWatersAndPerOpCounters) {
+  // The additive saturation fields: requests_in_flight_max is the peak
+  // concurrent handle_line count (≥ 1 once anything ran), queue_depth_max
+  // the admitted-and-unfinished peak of the TCP admission queue (0 here —
+  // no listener), and "ops" breaks the request mix down per op with a key
+  // for every protocol op, including the ones never called.
+  Server server(partitioned_spec(), {});
+  respond(server, "{\"op\":\"version\"}");
+  respond(server, "{\"op\":\"version\"}");
+  respond(server, "{\"op\":\"eval\",\"service\":\"app\"}");
+  respond(server, "{\"op\":\"frobnicate\"}");  // unknown: an error, not an op
+  const auto stats = respond(server, "{\"op\":\"stats\"}");
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("requests_in_flight_max").as_number(), 1.0);
+  EXPECT_EQ(stats.at("queue_depth_max").as_number(), 0.0);
+  ASSERT_TRUE(stats.at("ops").is_object());
+  const auto& ops = stats.at("ops");
+  EXPECT_EQ(ops.at("version").as_number(), 2.0);
+  EXPECT_EQ(ops.at("eval").as_number(), 1.0);
+  EXPECT_EQ(ops.at("stats").as_number(), 1.0);
+  for (const char* op :
+       {"batch", "eval", "health", "inject", "load_spec", "set_attributes",
+        "shutdown", "snapshot", "stats", "version"}) {
+    ASSERT_TRUE(ops.contains(op)) << op;
+    EXPECT_GE(ops.at(op).as_number(), 0.0);
+  }
+  EXPECT_EQ(ops.as_object().size(), 10u);  // unknown ops never mint keys
+}
+
 TEST(ServeServer, RecursiveEvalReportsFixpointSccs) {
   Server::Options options;
   options.engine.allow_recursion = true;

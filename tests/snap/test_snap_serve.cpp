@@ -1,0 +1,224 @@
+// sorel::serve × sorel::snap: the `snapshot` op, warm restarts across
+// server lifetimes, the autosave loop, and the additive `snapshot` stats
+// block. Strict counter assertions are gated on `!resil::chaos_active()` so
+// the CI rerun of this suite under SOREL_CHAOS fs.* faults still passes —
+// the unconditional assertions are exactly the never-a-wrong-answer half.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "sorel/dsl/loader.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/resil/chaos.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/serve/server.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using sorel::serve::Server;
+
+sorel::json::Value partitioned_spec() {
+  return sorel::dsl::save_assembly(
+      sorel::scenarios::make_partitioned_assembly(4, 4));
+}
+
+sorel::json::Value respond(Server& server, const std::string& line) {
+  const std::string response = server.handle_line(line);
+  sorel::json::Value parsed = sorel::json::parse(response);
+  EXPECT_TRUE(parsed.is_object()) << response;
+  return parsed;
+}
+
+fs::path temp_path(const std::string& name) {
+  return fs::temp_directory_path() / ("sorel_snap_serve_" + name);
+}
+
+Server::Options with_snapshot(const fs::path& path,
+                              std::uint64_t interval_ms = 0) {
+  Server::Options options;
+  options.snapshot_path = path.string();
+  options.snapshot_interval_ms = interval_ms;
+  return options;
+}
+
+constexpr const char* kEval =
+    "{\"op\":\"eval\",\"service\":\"app\",\"args\":[]}";
+
+TEST(SnapServe, SnapshotOpSavesToTheConfiguredPath) {
+  const fs::path path = temp_path("op_default.snap");
+  fs::remove(path);
+  Server server(partitioned_spec(), with_snapshot(path));
+  ASSERT_TRUE(respond(server, kEval).at("ok").as_bool());
+
+  const auto saved = respond(server, "{\"op\":\"snapshot\"}");
+  EXPECT_EQ(saved.at("path").as_string(), path.string());
+  if (!sorel::resil::chaos_active()) {
+    ASSERT_TRUE(saved.at("ok").as_bool()) << saved.dump();
+    EXPECT_EQ(saved.at("status").as_string(), "ok");
+    EXPECT_GT(saved.at("entries").as_number(), 0.0);
+    EXPECT_GT(saved.at("bytes").as_number(), 0.0);
+    EXPECT_TRUE(fs::exists(path));
+  }
+  fs::remove(path);
+}
+
+TEST(SnapServe, SnapshotOpHonoursAPerRequestPathOverride) {
+  const fs::path configured = temp_path("op_configured.snap");
+  const fs::path override_path = temp_path("op_override.snap");
+  fs::remove(configured);
+  fs::remove(override_path);
+  Server server(partitioned_spec(), with_snapshot(configured));
+  ASSERT_TRUE(respond(server, kEval).at("ok").as_bool());
+
+  const auto saved = respond(
+      server, "{\"op\":\"snapshot\",\"path\":\"" + override_path.string() +
+                  "\"}");
+  EXPECT_EQ(saved.at("path").as_string(), override_path.string());
+  if (!sorel::resil::chaos_active()) {
+    EXPECT_TRUE(saved.at("ok").as_bool());
+    EXPECT_TRUE(fs::exists(override_path));
+    EXPECT_FALSE(fs::exists(configured));  // override does not touch it
+  }
+  fs::remove(configured);
+  fs::remove(override_path);
+  // The server still saves its configured path on clean shutdown.
+}
+
+TEST(SnapServe, SnapshotOpWithoutAnyPathIsAStructuredError) {
+  Server server(partitioned_spec(), {});
+  const auto response = respond(server, "{\"op\":\"snapshot\"}");
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("error").as_string(), "invalid_argument");
+  // The daemon keeps serving after the refusal.
+  EXPECT_TRUE(respond(server, kEval).at("ok").as_bool());
+}
+
+TEST(SnapServe, WarmRestartReplaysTheFirstLifetimesWork) {
+  const fs::path path = temp_path("restart.snap");
+  fs::remove(path);
+
+  double cold_pfail = 0.0;
+  double cold_engine_evals = 0.0;
+  {
+    Server first(partitioned_spec(), with_snapshot(path));
+    const auto eval = respond(first, kEval);
+    ASSERT_TRUE(eval.at("ok").as_bool());
+    cold_pfail = eval.at("pfail").as_number();
+    cold_engine_evals =
+        respond(first, "{\"op\":\"stats\"}").at("engine_evaluations")
+            .as_number();
+    ASSERT_GT(cold_engine_evals, 0.0);
+    // Destructor writes the final snapshot.
+  }
+
+  Server second(partitioned_spec(), with_snapshot(path));
+  const auto eval = respond(second, kEval);
+  ASSERT_TRUE(eval.at("ok").as_bool());
+  // Warm or cold, the answer is bit-identical — the snapshot can only make
+  // the restart cheaper, never different.
+  EXPECT_EQ(eval.at("pfail").as_number(), cold_pfail);
+
+  const auto stats = respond(second, "{\"op\":\"stats\"}");
+  ASSERT_TRUE(stats.contains("snapshot")) << stats.dump();
+  const auto& block = stats.at("snapshot");
+  EXPECT_EQ(block.at("path").as_string(), path.string());
+  if (!sorel::resil::chaos_active()) {
+    EXPECT_EQ(block.at("last_load_status").as_string(), "ok");
+    EXPECT_GT(block.at("entries_loaded").as_number(), 0.0);
+    // The whole first-lifetime warm-up replays from disk: zero physical
+    // engine work in the second lifetime.
+    EXPECT_EQ(stats.at("engine_evaluations").as_number(), 0.0);
+  }
+  fs::remove(path);
+}
+
+TEST(SnapServe, RejectedSnapshotDegradesToAColdStartWithTheSameAnswer) {
+  const fs::path path = temp_path("reject.snap");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "definitely not a snapshot";
+  }
+  Server server(partitioned_spec(), with_snapshot(path));
+  const auto eval = respond(server, kEval);
+  ASSERT_TRUE(eval.at("ok").as_bool());
+
+  Server baseline(partitioned_spec(), {});
+  const auto expected = respond(baseline, kEval);
+  EXPECT_EQ(eval.at("pfail").as_number(), expected.at("pfail").as_number());
+
+  const auto stats = respond(server, "{\"op\":\"stats\"}");
+  const auto& block = stats.at("snapshot");
+  EXPECT_NE(block.at("last_load_status").as_string(), "ok");
+  EXPECT_EQ(block.at("entries_loaded").as_number(), 0.0);
+  fs::remove(path);
+}
+
+TEST(SnapServe, LoadSpecSelfInvalidatesAcrossSpecs) {
+  const fs::path path = temp_path("cross_spec.snap");
+  fs::remove(path);
+  {
+    Server first(partitioned_spec(), with_snapshot(path));
+    ASSERT_TRUE(respond(first, kEval).at("ok").as_bool());
+  }
+  if (sorel::resil::chaos_active() || !fs::exists(path)) {
+    fs::remove(path);
+    GTEST_SKIP() << "snapshot save suppressed by ambient chaos";
+  }
+
+  // A different spec against the same snapshot path: the stale file is
+  // refused (StaleSpec), nothing loads, and the evaluation is correct.
+  Server second(
+      sorel::dsl::save_assembly(sorel::scenarios::make_chain_assembly(6)),
+      with_snapshot(path));
+  ASSERT_TRUE(
+      respond(second,
+              "{\"op\":\"eval\",\"service\":\"pipeline\",\"args\":[90]}")
+          .at("ok")
+          .as_bool());
+  const auto stats = respond(second, "{\"op\":\"stats\"}");
+  const auto& block = stats.at("snapshot");
+  EXPECT_EQ(block.at("last_load_status").as_string(), "stale_spec");
+  EXPECT_EQ(block.at("entries_loaded").as_number(), 0.0);
+  fs::remove(path);
+}
+
+TEST(SnapServe, AutosaveWritesWithoutAnyRequestTraffic) {
+  const fs::path path = temp_path("autosave.snap");
+  fs::remove(path);
+  {
+    Server server(partitioned_spec(), with_snapshot(path, 10));
+    ASSERT_TRUE(respond(server, kEval).at("ok").as_bool());
+    bool appeared = false;
+    for (int i = 0; i < 400 && !appeared; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      appeared = fs::exists(path);
+    }
+    if (!sorel::resil::chaos_active()) {
+      EXPECT_TRUE(appeared) << "autosave never wrote " << path;
+    }
+    const auto stats = respond(server, "{\"op\":\"stats\"}");
+    const auto& block = stats.at("snapshot");
+    // saves + save_errors together prove the loop is alive even when chaos
+    // fails individual attempts.
+    EXPECT_GT(block.at("saves").as_number() +
+                  block.at("save_errors").as_number(),
+              0.0);
+  }
+  fs::remove(path);
+}
+
+TEST(SnapServe, StatsOmitsTheSnapshotBlockWhenUnconfigured) {
+  Server server(partitioned_spec(), {});
+  ASSERT_TRUE(respond(server, kEval).at("ok").as_bool());
+  const auto stats = respond(server, "{\"op\":\"stats\"}");
+  EXPECT_FALSE(stats.contains("snapshot"));
+}
+
+}  // namespace

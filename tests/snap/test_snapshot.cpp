@@ -1,0 +1,667 @@
+// sorel::snap contracts.
+//
+// The invariant every test here leans on: a snapshot can make a run
+// *cheaper*, never *different*. A valid snapshot replays stored values and
+// logical costs bit-exactly; any invalid snapshot — truncated at every
+// byte-range class, bit-flipped in every header field, written by another
+// build, keyed to another spec — is rejected with a structured SnapError
+// and the subsequent cold run is byte-identical to a never-snapshotted run.
+//
+// Status-exactness is asserted through decode_snapshot (pure, in-memory, no
+// chaos hooks), so the corruption differential stays exact even when the CI
+// chaos job reruns this suite with nonzero fs.* fault rates; file-level
+// tests assert the never-a-wrong-answer half unconditionally and gate the
+// strict counters on `!chaos_active()`.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/faults/campaign.hpp"
+#include "sorel/faults/fault_spec.hpp"
+#include "sorel/faults/runner.hpp"
+#include "sorel/memo/shared_memo.hpp"
+#include "sorel/resil/chaos.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/snap/snapshot.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using sorel::core::Assembly;
+using sorel::core::ReliabilityEngine;
+using sorel::core::make_shared_memo;
+using sorel::memo::EvalCost;
+using sorel::memo::MemoKey;
+using sorel::memo::SharedEntry;
+using sorel::memo::SharedMemo;
+using sorel::snap::SnapError;
+using sorel::snap::SnapStatus;
+using sorel::snap::crc64;
+using sorel::snap::decode_snapshot;
+using sorel::snap::encode_snapshot;
+using sorel::snap::load_snapshot;
+using sorel::snap::save_snapshot;
+using sorel::snap::spec_key;
+
+using Entries = std::vector<std::pair<MemoKey, SharedEntry>>;
+
+/// Install on entry, uninstall on exit — chaos is process-global.
+struct ChaosGuard {
+  explicit ChaosGuard(const sorel::resil::FaultPlan& plan) {
+    sorel::resil::install_chaos(plan);
+  }
+  ~ChaosGuard() { sorel::resil::uninstall_chaos(); }
+  ChaosGuard(const ChaosGuard&) = delete;
+  ChaosGuard& operator=(const ChaosGuard&) = delete;
+};
+
+sorel::resil::FaultPlan plan_with(sorel::resil::Site site, double rate) {
+  sorel::resil::FaultPlan plan;
+  plan.seed = 7;
+  plan.rate(site) = rate;
+  return plan;
+}
+
+fs::path temp_path(const std::string& name) {
+  return fs::temp_directory_path() / ("sorel_snap_test_" + name);
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const fs::path& path, const std::vector<std::uint8_t>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+void store_u32(std::vector<std::uint8_t>& image, std::size_t at,
+               std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    image[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void store_u64(std::vector<std::uint8_t>& image, std::size_t at,
+               std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    image[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint32_t load_u32(const std::vector<std::uint8_t>& image,
+                       std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | image[at + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+/// Recompute the header CRC and the whole-file CRC after a deliberate
+/// header edit, so the corruption under test is the *field*, not a
+/// checksum mismatch masking it.
+std::vector<std::uint8_t> refix_crcs(std::vector<std::uint8_t> image) {
+  const std::size_t version_len = load_u32(image, 12);
+  const std::size_t header_end = 40 + version_len;
+  store_u64(image, header_end, crc64(image.data(), header_end));
+  store_u64(image, image.size() - 8,
+            crc64(image.data(), image.size() - 8));
+  return image;
+}
+
+SharedEntry entry_of(double value, std::uint64_t evals,
+                     std::vector<std::uint64_t> dep_words,
+                     std::vector<MemoKey> children = {}) {
+  SharedEntry e;
+  e.value = value;
+  e.cost = EvalCost{evals, 2 * evals, 3 * evals};
+  e.deps = sorel::memo::DepSet::from_words(std::move(dep_words));
+  e.children = std::move(children);
+  return e;
+}
+
+Entries sample_entries() {
+  Entries entries;
+  entries.emplace_back(MemoKey{"leaf", {}}, entry_of(0.25, 1, {0x5}));
+  entries.emplace_back(MemoKey{"mid", {2.0, -0.0}},
+                       entry_of(0.5, 3, {0xff, 0x1},
+                                {MemoKey{"leaf", {}}}));
+  entries.emplace_back(
+      MemoKey{"root", {90.0}},
+      entry_of(1.0, 7, {},
+               {MemoKey{"mid", {2.0, -0.0}}, MemoKey{"leaf", {}}}));
+  return entries;
+}
+
+SnapError decode_into(const std::vector<std::uint8_t>& image,
+                      std::uint64_t key, Entries& out,
+                      std::size_t max_dep_words = 8) {
+  return decode_snapshot(image.data(), image.size(), key, max_dep_words, out);
+}
+
+// ---------------------------------------------------------------------------
+// CRC and encode/decode round trips.
+
+TEST(SnapCrc64, MatchesTheXzReferenceVector) {
+  const char* check = "123456789";
+  EXPECT_EQ(crc64(check, 9), 0x995DC9BBDF1939FAull);
+  EXPECT_EQ(crc64(nullptr, 0), 0ull);
+}
+
+TEST(SnapCrc64, SeedChainsAcrossSplits) {
+  const std::string text = "architecture-based reliability prediction";
+  const std::uint64_t whole = crc64(text.data(), text.size());
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  text.size() / 2, text.size()}) {
+    const std::uint64_t first = crc64(text.data(), split);
+    EXPECT_EQ(crc64(text.data() + split, text.size() - split, first), whole);
+  }
+}
+
+TEST(SnapEncode, RoundTripsEntriesExactly) {
+  const Entries entries = sample_entries();
+  const auto image = encode_snapshot(entries, 0xABCDEF01ull);
+  Entries decoded;
+  const SnapError error = decode_into(image, 0xABCDEF01ull, decoded);
+  ASSERT_TRUE(error.ok()) << error.detail;
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_TRUE(decoded[i].first == entries[i].first);
+    EXPECT_EQ(decoded[i].second.value, entries[i].second.value);
+    EXPECT_EQ(decoded[i].second.cost.evaluations,
+              entries[i].second.cost.evaluations);
+    EXPECT_EQ(decoded[i].second.cost.states, entries[i].second.cost.states);
+    EXPECT_EQ(decoded[i].second.cost.expr_evals,
+              entries[i].second.cost.expr_evals);
+    EXPECT_EQ(decoded[i].second.deps.words(), entries[i].second.deps.words());
+    ASSERT_EQ(decoded[i].second.children.size(),
+              entries[i].second.children.size());
+    for (std::size_t c = 0; c < entries[i].second.children.size(); ++c) {
+      EXPECT_TRUE(decoded[i].second.children[c] ==
+                  entries[i].second.children[c]);
+    }
+  }
+}
+
+TEST(SnapEncode, NegativeZeroArgsKeepTheirBitPattern) {
+  const Entries entries = sample_entries();
+  const auto image = encode_snapshot(entries, 1);
+  Entries decoded;
+  ASSERT_TRUE(decode_into(image, 1, decoded).ok());
+  // entries[1] carries a -0.0 argument; == compares 0.0 == -0.0 true, so
+  // check the stored bit pattern explicitly.
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &decoded[1].first.args[1], 8);
+  EXPECT_EQ(bits, 0x8000000000000000ull);
+}
+
+TEST(SnapEncode, EmptyTableRoundTrips) {
+  const auto image = encode_snapshot({}, 42);
+  Entries decoded;
+  EXPECT_TRUE(decode_into(image, 42, decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(SnapEncode, IsDeterministic) {
+  const Entries entries = sample_entries();
+  EXPECT_EQ(encode_snapshot(entries, 9), encode_snapshot(entries, 9));
+}
+
+// ---------------------------------------------------------------------------
+// Spec keys.
+
+TEST(SnapSpecKey, StableForEqualContentDistinctForDifferent) {
+  const Assembly a = sorel::scenarios::make_partitioned_assembly(4, 4);
+  const Assembly b = sorel::scenarios::make_partitioned_assembly(4, 4);
+  const Assembly c = sorel::scenarios::make_partitioned_assembly(4, 5);
+  EXPECT_EQ(spec_key(a), spec_key(b));
+  EXPECT_NE(spec_key(a), spec_key(c));
+}
+
+TEST(SnapSpecKey, AttributeDeltaChangesTheKey) {
+  const Assembly base = sorel::scenarios::make_partitioned_assembly(2, 2);
+  Assembly delta = sorel::scenarios::make_partitioned_assembly(2, 2);
+  delta.set_attribute("g0_s0.p", 0.25);
+  EXPECT_NE(spec_key(base), spec_key(delta));
+}
+
+// ---------------------------------------------------------------------------
+// The corruption differential: every rejection class maps to its exact
+// structured status, with nothing parsed into the output.
+
+class SnapCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    image_ = encode_snapshot(sample_entries(), kKey);
+    version_len_ = load_u32(image_, 12);
+  }
+
+  void expect_status(const std::vector<std::uint8_t>& image,
+                     SnapStatus status, std::uint64_t key = kKey) {
+    Entries out;
+    out.emplace_back();  // must be cleared on every failure
+    const SnapError error = decode_into(image, key, out);
+    EXPECT_EQ(error.status, status) << error.detail;
+    EXPECT_FALSE(error.detail.empty());
+    EXPECT_TRUE(out.empty());
+  }
+
+  static constexpr std::uint64_t kKey = 0x1122334455667788ull;
+  std::vector<std::uint8_t> image_;
+  std::size_t version_len_ = 0;
+};
+
+TEST_F(SnapCorruption, EveryTruncationClassIsRejected) {
+  // One representative length per byte-range class of the format, plus the
+  // exhaustive sweep below: nothing shorter than the full file may load.
+  expect_status({}, SnapStatus::Truncated);                       // empty
+  expect_status({image_.begin(), image_.begin() + 7},
+                SnapStatus::Truncated);                           // mid-magic
+  expect_status({image_.begin(), image_.begin() + 39},
+                SnapStatus::Truncated);                           // mid-header
+  expect_status({image_.begin(),
+                 image_.begin() + 40 + static_cast<long>(version_len_) / 2},
+                SnapStatus::Truncated);                           // mid-version
+  expect_status({image_.begin(),
+                 image_.begin() + static_cast<long>(image_.size() / 2)},
+                SnapStatus::Truncated);                           // mid-payload
+  expect_status({image_.begin(), image_.end() - 9},
+                SnapStatus::Truncated);                           // mid-trailer
+  expect_status({image_.begin(), image_.end() - 1},
+                SnapStatus::Truncated);                           // last byte
+}
+
+TEST_F(SnapCorruption, ExhaustiveTruncationSweepNeverLoads) {
+  // Every proper prefix of a valid snapshot must be rejected (Truncated for
+  // almost all lengths; never Ok, never a crash, never partial entries).
+  for (std::size_t len = 0; len < image_.size(); ++len) {
+    Entries out;
+    const SnapError error =
+        decode_snapshot(image_.data(), len, kKey, 8, out);
+    ASSERT_NE(error.status, SnapStatus::Ok) << "prefix length " << len;
+    ASSERT_TRUE(out.empty()) << "prefix length " << len;
+  }
+}
+
+TEST_F(SnapCorruption, FlippedMagicIsBadMagic) {
+  auto image = image_;
+  image[0] ^= 0x01;
+  expect_status(image, SnapStatus::BadMagic);
+}
+
+TEST_F(SnapCorruption, FutureFormatVersionIsRefused) {
+  auto image = image_;
+  store_u32(image, 8, sorel::snap::kFormatVersion + 1);
+  expect_status(refix_crcs(std::move(image)), SnapStatus::BadFormatVersion);
+}
+
+TEST_F(SnapCorruption, ForeignBuildVersionStringIsRefused) {
+  auto image = image_;
+  ASSERT_GT(version_len_, 0u);
+  image[40] ^= 0x01;  // first byte of the version string
+  expect_status(refix_crcs(std::move(image)), SnapStatus::BadLibraryVersion);
+}
+
+TEST_F(SnapCorruption, OversizedVersionLengthIsMalformed) {
+  auto image = image_;
+  store_u32(image, 12, 0xFFFFFFFFu);
+  expect_status(image, SnapStatus::Malformed);
+}
+
+TEST_F(SnapCorruption, StaleSpecKeyIsStaleSpec) {
+  auto image = image_;
+  image[16] ^= 0xFF;  // stored key no longer matches the expected key
+  expect_status(refix_crcs(std::move(image)), SnapStatus::StaleSpec);
+  // Equivalently: a pristine image checked against another spec's key.
+  expect_status(image_, SnapStatus::StaleSpec, kKey + 1);
+}
+
+TEST_F(SnapCorruption, LiedAboutEntryCountIsMalformed) {
+  auto image = image_;
+  store_u64(image, 24, 99);  // payload holds 3 entries, header claims 99
+  // The payload CRC still matches (payload bytes untouched), so the lie is
+  // caught by the strict entry parser, not the checksum.
+  const std::size_t header_end = 40 + version_len_;
+  store_u64(image, header_end, crc64(image.data(), header_end));
+  store_u64(image, image.size() - 8, crc64(image.data(), image.size() - 8));
+  expect_status(image, SnapStatus::Malformed);
+}
+
+TEST_F(SnapCorruption, FlippedHeaderByteWithoutRefixIsBadChecksum) {
+  auto image = image_;
+  image[24] ^= 0x01;  // entry count, checksum left stale
+  expect_status(image, SnapStatus::BadChecksum);
+}
+
+TEST_F(SnapCorruption, FlippedPayloadByteIsBadChecksum) {
+  auto image = image_;
+  const std::size_t payload_at = 48 + version_len_;  // after header crc
+  ASSERT_LT(payload_at, image.size() - 16);
+  image[payload_at + 3] ^= 0x10;
+  expect_status(image, SnapStatus::BadChecksum);
+}
+
+TEST_F(SnapCorruption, FlippedFileCrcIsBadChecksum) {
+  auto image = image_;
+  image[image.size() - 1] ^= 0xFF;
+  expect_status(image, SnapStatus::BadChecksum);
+}
+
+TEST_F(SnapCorruption, TrailingGarbageIsRejected) {
+  auto image = image_;
+  image.push_back(0xDE);
+  image.push_back(0xAD);
+  expect_status(image, SnapStatus::Malformed);
+}
+
+TEST_F(SnapCorruption, OverwideDependencySetIsMalformed) {
+  // A syntactically valid image whose entries are wider than the consumer's
+  // dependency universe must be refused — entry[0] carries one dep word, so
+  // a zero-word bound rejects it.
+  Entries out;
+  const SnapError error =
+      decode_snapshot(image_.data(), image_.size(), kKey, 0, out);
+  EXPECT_EQ(error.status, SnapStatus::Malformed) << error.detail;
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// File-level load/save behaviour.
+
+TEST(SnapFile, MissingFileIsNotFoundAndInsertsNothing) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(2, 2);
+  auto memo = make_shared_memo(assembly);
+  const auto result =
+      load_snapshot(temp_path("definitely_missing.snap").string(), *memo,
+                    spec_key(assembly));
+  EXPECT_EQ(result.error.status, SnapStatus::NotFound);
+  EXPECT_EQ(result.entries, 0u);
+  EXPECT_EQ(memo->stats().entries, 0u);
+}
+
+TEST(SnapFile, SaveLoadRoundTripsAWarmEngineTable) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  const std::uint64_t key = spec_key(assembly);
+  const fs::path path = temp_path("roundtrip.snap");
+  fs::remove(path);
+
+  // Cold run: populate a shared table through the engine.
+  ReliabilityEngine cold(assembly);
+  auto warm_table = make_shared_memo(assembly);
+  cold.attach_shared_memo(warm_table);
+  const double cold_pfail = cold.pfail("app", {});
+  const std::size_t cold_evals = cold.stats().evaluations;
+  ASSERT_GT(cold_evals, 0u);
+
+  const auto saved = save_snapshot(path.string(), *warm_table, key);
+  if (!sorel::resil::chaos_active()) {
+    ASSERT_TRUE(saved.ok()) << saved.error.detail;
+    EXPECT_EQ(saved.entries, warm_table->export_entries().size());
+    EXPECT_GT(saved.bytes, 0u);
+  }
+
+  // Warm run: a fresh table loaded from disk replays values AND logical
+  // costs, so the engine answers bit-identically with zero physical work.
+  auto loaded_table = make_shared_memo(assembly);
+  const auto loaded = load_snapshot(path.string(), *loaded_table, key);
+  ReliabilityEngine warm(assembly);
+  warm.attach_shared_memo(loaded_table);
+  EXPECT_EQ(warm.pfail("app", {}), cold_pfail);
+  if (saved.ok() && loaded.ok()) {
+    EXPECT_GT(loaded.entries, 0u);
+    EXPECT_EQ(warm.stats().evaluations, 0u);
+    // Logical-work invariant: replayed hits stand for exactly the
+    // evaluations they displaced.
+    EXPECT_EQ(warm.stats().evaluations + warm.stats().shared_hits,
+              cold_evals);
+  }
+  fs::remove(path);
+}
+
+TEST(SnapFile, SavedBytesAreDeterministic) {
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(3, 3);
+  const std::uint64_t key = spec_key(assembly);
+  ReliabilityEngine engine(assembly);
+  auto table = make_shared_memo(assembly);
+  engine.attach_shared_memo(table);
+  (void)engine.pfail("app", {});
+
+  const fs::path a = temp_path("det_a.snap");
+  const fs::path b = temp_path("det_b.snap");
+  const auto save_a = save_snapshot(a.string(), *table, key);
+  const auto save_b = save_snapshot(b.string(), *table, key);
+  if (save_a.ok() && save_b.ok()) {
+    EXPECT_EQ(read_file(a), read_file(b));
+  }
+  fs::remove(a);
+  fs::remove(b);
+}
+
+TEST(SnapFile, RejectedSnapshotFallsBackToIdenticalColdStart) {
+  // The differential at the heart of the tentpole: for every corruption
+  // class, load-reject must leave the table empty and the subsequent run
+  // must be byte-identical to a never-snapshotted run.
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  const std::uint64_t key = spec_key(assembly);
+
+  // The never-snapshotted baseline.
+  ReliabilityEngine baseline(assembly);
+  auto baseline_table = make_shared_memo(assembly);
+  baseline.attach_shared_memo(baseline_table);
+  const double baseline_pfail = baseline.pfail("app", {});
+  const std::size_t baseline_evals = baseline.stats().evaluations;
+
+  const auto valid = encode_snapshot(baseline_table->export_entries(), key);
+  struct Corruption {
+    const char* name;
+    std::vector<std::uint8_t> image;
+  };
+  std::vector<Corruption> corruptions;
+  corruptions.push_back({"empty", {}});
+  corruptions.push_back(
+      {"mid_header", {valid.begin(), valid.begin() + 20}});
+  corruptions.push_back(
+      {"mid_payload",
+       {valid.begin(), valid.begin() + static_cast<long>(valid.size() / 2)}});
+  corruptions.push_back({"mid_trailer", {valid.begin(), valid.end() - 4}});
+  auto flipped = valid;
+  flipped[60] ^= 0xFF;
+  corruptions.push_back({"payload_flip", std::move(flipped)});
+  auto bad_magic = valid;
+  bad_magic[2] ^= 0xFF;
+  corruptions.push_back({"bad_magic", std::move(bad_magic)});
+
+  for (const Corruption& corruption : corruptions) {
+    SCOPED_TRACE(corruption.name);
+    const fs::path path = temp_path(std::string("reject_") + corruption.name +
+                                    ".snap");
+    write_file(path, corruption.image);
+
+    auto memo = make_shared_memo(assembly);
+    const auto result = load_snapshot(path.string(), *memo, key);
+    EXPECT_NE(result.error.status, SnapStatus::Ok);
+    EXPECT_EQ(result.entries, 0u);
+    EXPECT_EQ(memo->stats().entries, 0u);
+
+    // Cold start on the rejected table: bit-identical to the baseline.
+    ReliabilityEngine engine(assembly);
+    engine.attach_shared_memo(memo);
+    EXPECT_EQ(engine.pfail("app", {}), baseline_pfail);
+    EXPECT_EQ(engine.stats().evaluations + engine.stats().shared_hits,
+              baseline_evals);
+    fs::remove(path);
+  }
+}
+
+TEST(SnapFile, WarmAndColdCampaignsAreBitIdentical) {
+  // End-to-end differential on the fault-injection runner: a campaign fed
+  // from a warm-loaded table must produce byte-identical rows to the cold
+  // campaign, with the logical-work invariant intact.
+  const Assembly assembly = sorel::scenarios::make_partitioned_assembly(4, 4);
+  const std::uint64_t key = spec_key(assembly);
+  const fs::path path = temp_path("campaign.snap");
+  fs::remove(path);
+
+  std::vector<sorel::faults::FaultSpec> faults;
+  for (std::size_t i = 0; i < 32; ++i) {
+    faults.push_back(sorel::faults::FaultSpec::attribute_set(
+        "g" + std::to_string(i % 4) + "_s" + std::to_string((i / 4) % 4) +
+            ".p",
+        1e-4 + 1e-6 * static_cast<double>(i + 1)));
+  }
+  const auto campaign =
+      sorel::faults::Campaign::single_faults("app", {}, std::move(faults));
+
+  sorel::faults::CampaignRunner::Options options;
+  options.threads = 2;
+  options.shared_cache = make_shared_memo(assembly);
+  sorel::faults::CampaignRunner cold_runner(assembly, options);
+  const auto cold = cold_runner.run(campaign);
+  const auto saved = save_snapshot(path.string(), *options.shared_cache, key);
+
+  auto warm_table = make_shared_memo(assembly);
+  const auto loaded = load_snapshot(path.string(), *warm_table, key);
+  sorel::faults::CampaignRunner::Options warm_options;
+  warm_options.threads = 2;
+  warm_options.shared_cache = warm_table;
+  sorel::faults::CampaignRunner warm_runner(assembly, warm_options);
+  const auto warm = warm_runner.run(campaign);
+
+  ASSERT_EQ(warm.outcomes.size(), cold.outcomes.size());
+  EXPECT_EQ(warm.baseline_pfail, cold.baseline_pfail);
+  for (std::size_t i = 0; i < cold.outcomes.size(); ++i) {
+    EXPECT_EQ(warm.outcomes[i].pfail, cold.outcomes[i].pfail) << i;
+    EXPECT_EQ(warm.outcomes[i].delta_pfail, cold.outcomes[i].delta_pfail)
+        << i;
+    EXPECT_EQ(warm.outcomes[i].blast_radius, cold.outcomes[i].blast_radius)
+        << i;
+    // Logical per-row evaluation counts replay exactly (stored EvalCost).
+    EXPECT_EQ(warm.outcomes[i].evaluations, cold.outcomes[i].evaluations)
+        << i;
+  }
+  if (saved.ok() && loaded.ok() && !sorel::resil::chaos_active()) {
+    // The point of warm start: strictly less physical work.
+    EXPECT_LT(warm.engine_evaluations, cold.engine_evaluations);
+    EXPECT_EQ(warm.engine_evaluations + warm.shared_hits,
+              cold.engine_evaluations + cold.shared_hits);
+  }
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safety under injected fs.* faults: a failed save never disturbs the
+// previous snapshot; a failed read never warms the table.
+
+class SnapChaos : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    assembly_ = std::make_unique<Assembly>(
+        sorel::scenarios::make_partitioned_assembly(3, 3));
+    key_ = spec_key(*assembly_);
+    path_ = temp_path("chaos.snap");
+    fs::remove(path_);
+    ReliabilityEngine engine(*assembly_);
+    table_ = make_shared_memo(*assembly_);
+    engine.attach_shared_memo(table_);
+    (void)engine.pfail("app", {});
+    // A zero-rate plan pins io deterministic while the golden snapshot is
+    // written, even when CI reruns this suite under ambient SOREL_CHAOS.
+    ChaosGuard quiet{sorel::resil::FaultPlan{}};
+    const auto saved = save_snapshot(path_.string(), *table_, key_);
+    ASSERT_TRUE(saved.ok()) << saved.error.detail;
+    golden_ = read_file(path_);
+    ASSERT_FALSE(golden_.empty());
+  }
+  void TearDown() override {
+    fs::remove(path_);
+    fs::remove(path_.string() + ".tmp");
+  }
+
+  void expect_save_fails_and_old_snapshot_survives(sorel::resil::Site site) {
+    {
+      ChaosGuard guard(plan_with(site, 1.0));
+      const auto saved = save_snapshot(path_.string(), *table_, key_);
+      EXPECT_EQ(saved.error.status, SnapStatus::IoError) << saved.error.detail;
+    }
+    // The simulated crash left the live snapshot byte-for-byte intact...
+    EXPECT_EQ(read_file(path_), golden_);
+    // ...and it still loads clean.
+    auto memo = make_shared_memo(*assembly_);
+    const auto loaded = load_snapshot(path_.string(), *memo, key_);
+    EXPECT_TRUE(loaded.ok()) << loaded.error.detail;
+    EXPECT_GT(loaded.entries, 0u);
+  }
+
+  std::unique_ptr<Assembly> assembly_;
+  std::shared_ptr<SharedMemo> table_;
+  std::uint64_t key_ = 0;
+  fs::path path_;
+  std::vector<std::uint8_t> golden_;
+};
+
+TEST_F(SnapChaos, TornWriteLeavesOldSnapshotIntact) {
+  expect_save_fails_and_old_snapshot_survives(sorel::resil::Site::FsWrite);
+}
+
+TEST_F(SnapChaos, FsyncFailureLeavesOldSnapshotIntact) {
+  expect_save_fails_and_old_snapshot_survives(sorel::resil::Site::FsFsync);
+}
+
+TEST_F(SnapChaos, RenameCrashLeavesOldSnapshotIntact) {
+  expect_save_fails_and_old_snapshot_survives(sorel::resil::Site::FsRename);
+}
+
+TEST_F(SnapChaos, ShortReadRejectsCleanlyThenRecovers) {
+  auto memo = make_shared_memo(*assembly_);
+  {
+    ChaosGuard guard(plan_with(sorel::resil::Site::FsRead, 1.0));
+    const auto loaded = load_snapshot(path_.string(), *memo, key_);
+    EXPECT_NE(loaded.error.status, SnapStatus::Ok);
+    EXPECT_EQ(loaded.entries, 0u);
+    EXPECT_EQ(memo->stats().entries, 0u);
+  }
+  // Chaos lifted: the very same file loads clean into the very same table.
+  const auto loaded = load_snapshot(path_.string(), *memo, key_);
+  EXPECT_TRUE(loaded.ok()) << loaded.error.detail;
+  EXPECT_GT(loaded.entries, 0u);
+}
+
+TEST_F(SnapChaos, TornTempFileIsNeverLoadedAsASnapshot) {
+  // Force a torn write, then check the temp file the "crash" left behind is
+  // itself rejected by the loader (it is a half image with a stale or
+  // missing trailer).
+  {
+    ChaosGuard guard(plan_with(sorel::resil::Site::FsRename, 1.0));
+    (void)save_snapshot(path_.string(), *table_, key_);
+  }
+  const fs::path temp = path_.string() + ".tmp";
+  if (fs::exists(temp)) {
+    auto memo = make_shared_memo(*assembly_);
+    // A fully-written-but-unrenamed temp file IS a valid image (the crash
+    // happened after fsync); the atomicity contract only promises the
+    // *live* path is never torn. Loading the temp must therefore either
+    // succeed completely or reject completely.
+    const auto loaded = load_snapshot(temp.string(), *memo, key_);
+    if (!loaded.ok()) {
+      EXPECT_EQ(memo->stats().entries, 0u);
+    }
+  }
+}
+
+}  // namespace
