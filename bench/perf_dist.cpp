@@ -1,0 +1,220 @@
+// Sharded-selection experiment on the 16x16 partitioned assembly: a
+// 64-combination selection (six of app's group ports, two candidate
+// wirings each) run un-sharded as the reference, then split 4 ways —
+// once with a cold shared table per shard, once with each shard
+// warm-started from a common sorel::snap snapshot, exactly what
+// `sorel_cli rank --shard k/4 --snapshot` does per worker.
+//
+// Two acceptance criteria, both self-checked (non-zero exit on failure, so
+// CI runs this as a smoke test):
+//   1. Bit-identity: the merged 4-way report's logical dump equals the
+//      un-sharded run's for both warmths — sharding and snapshot warmth
+//      change *where* results come from, never what they are.
+//   2. Warm-start leverage: every warm shard performs at least 2x fewer
+//      physical engine evaluations than its cold counterpart. The shape is
+//      warm-up-dominated — a cold shard must first evaluate the ~272
+//      leaf/group subtrees the combinations share, while a warm shard
+//      replays them from the snapshot and pays only the per-combination
+//      app-level work.
+//
+// Output is machine-readable JSON on stdout and mirrored to
+// ./BENCH_dist.json for artifact collection.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sorel/core/engine.hpp"
+#include "sorel/core/selection.hpp"
+#include "sorel/dist/dist.hpp"
+#include "sorel/resil/chaos.hpp"
+#include "sorel/scenarios/synthetic.hpp"
+#include "sorel/snap/snapshot.hpp"
+
+namespace {
+
+using sorel::core::Assembly;
+using sorel::core::PortBinding;
+using sorel::core::SelectionOptions;
+using sorel::core::SelectionPoint;
+using sorel::dist::ShardReport;
+using sorel::dist::ShardSpec;
+
+constexpr std::size_t kGroups = 16;
+constexpr std::size_t kLeaves = 16;
+constexpr std::size_t kPoints = 6;   // 2^6 = 64 combinations
+constexpr std::size_t kShards = 4;   // 16 combinations per shard
+constexpr std::size_t kThreads = 8;
+constexpr double kMinEvaluationsRatio = 2.0;
+
+// Six selection points on the root composite: port g<i> can stay wired to
+// its own group or be rewired to group g<i+8>. Every candidate subtree is
+// shared across combinations, so the snapshot (base-state results only)
+// covers all of them.
+std::vector<SelectionPoint> make_points() {
+  std::vector<SelectionPoint> points;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    SelectionPoint point;
+    point.service = "app";
+    point.port = "g" + std::to_string(i);
+    point.candidates.push_back(PortBinding{"g" + std::to_string(i), "", {}});
+    point.candidates.push_back(
+        PortBinding{"g" + std::to_string(i + kGroups / 2), "", {}});
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+struct ShardRun {
+  ShardReport report;
+  double seconds = 0.0;
+};
+
+ShardRun run_one(const Assembly& assembly,
+                 const std::vector<SelectionPoint>& points,
+                 const ShardSpec& spec,
+                 std::shared_ptr<sorel::memo::SharedMemo> table) {
+  SelectionOptions options;
+  options.threads = kThreads;
+  options.shared_cache = std::move(table);
+  ShardRun run;
+  const auto start = std::chrono::steady_clock::now();
+  run.report = sorel::dist::run_shard(assembly, "app", {}, points, spec,
+                                      options);
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+std::string merged_logical(const std::vector<ShardReport>& shards) {
+  const auto merged = sorel::dist::merge(shards);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "FAIL: merge refused (%s: %s)\n",
+                 sorel::dist::dist_status_name(merged.error.status),
+                 merged.error.detail.c_str());
+    return {};
+  }
+  return sorel::dist::logical_dump(sorel::dist::merged_to_json(*merged.report));
+}
+
+}  // namespace
+
+int main() {
+  // This binary measures warm-start leverage over deterministic snapshot
+  // I/O; fault coverage for the dist/fs sites lives in tests/dist. An empty
+  // plan masks any ambient SOREL_CHAOS when CI reruns the `dist` ctest
+  // label with fault injection on.
+  sorel::resil::install_chaos(sorel::resil::FaultPlan{});
+  const Assembly assembly =
+      sorel::scenarios::make_partitioned_assembly(kGroups, kLeaves);
+  const std::vector<SelectionPoint> points = make_points();
+  const std::uint64_t key = sorel::snap::spec_key(assembly);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sorel_perf_dist.snap")
+          .string();
+  std::filesystem::remove(path);
+
+  // Un-sharded reference: the whole space as one shard, plus the warm
+  // snapshot every 4-way warm worker below starts from.
+  auto reference_table = sorel::core::make_shared_memo(assembly);
+  const ShardRun reference =
+      run_one(assembly, points, ShardSpec{1, 1}, reference_table);
+  const std::string reference_logical = merged_logical({reference.report});
+  if (reference_logical.empty()) return 1;
+  const auto saved = sorel::snap::save_snapshot(path, *reference_table, key);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "FAIL: snapshot save failed (%s: %s)\n",
+                 sorel::snap::snap_status_name(saved.error.status),
+                 saved.error.detail.c_str());
+    return 1;
+  }
+
+  // 4-way split, cold then warm — each shard gets the fresh table a new
+  // worker process would build; warm shards reload the common snapshot.
+  std::vector<ShardRun> cold, warm;
+  for (std::size_t k = 1; k <= kShards; ++k) {
+    cold.push_back(run_one(assembly, points, ShardSpec{k, kShards},
+                           sorel::core::make_shared_memo(assembly)));
+  }
+  for (std::size_t k = 1; k <= kShards; ++k) {
+    auto table = sorel::core::make_shared_memo(assembly);
+    const auto loaded = sorel::snap::load_snapshot(path, *table, key);
+    if (!loaded.ok() || loaded.entries == 0) {
+      std::fprintf(stderr, "FAIL: snapshot load failed (%s: %s)\n",
+                   sorel::snap::snap_status_name(loaded.error.status),
+                   loaded.error.detail.c_str());
+      return 1;
+    }
+    warm.push_back(run_one(assembly, points, ShardSpec{k, kShards},
+                           std::move(table)));
+  }
+  std::filesystem::remove(path);
+
+  const auto reports = [](const std::vector<ShardRun>& runs) {
+    std::vector<ShardReport> out;
+    for (const ShardRun& run : runs) out.push_back(run.report);
+    return out;
+  };
+  const std::string cold_logical = merged_logical(reports(cold));
+  const std::string warm_logical = merged_logical(reports(warm));
+  const bool cold_identical = cold_logical == reference_logical;
+  const bool warm_identical = warm_logical == reference_logical;
+
+  double worst_ratio = 1e300;
+  std::string json = "[\n";
+  char line[512];
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const auto& c = cold[i].report.stats;
+    const auto& w = warm[i].report.stats;
+    const double ratio =
+        w.physical_evaluations > 0
+            ? static_cast<double>(c.physical_evaluations) /
+                  static_cast<double>(w.physical_evaluations)
+            : static_cast<double>(c.physical_evaluations);
+    if (ratio < worst_ratio) worst_ratio = ratio;
+    std::snprintf(line, sizeof line,
+                  "  {\"shard\": \"%zu/%zu\", \"combinations\": %zu, "
+                  "\"cold_evaluations\": %llu, \"warm_evaluations\": %llu, "
+                  "\"warm_hits\": %llu, \"ratio\": %.2f, "
+                  "\"cold_seconds\": %.4f, \"warm_seconds\": %.4f},\n",
+                  i + 1, kShards, cold[i].report.rows.size(),
+                  static_cast<unsigned long long>(c.physical_evaluations),
+                  static_cast<unsigned long long>(w.physical_evaluations),
+                  static_cast<unsigned long long>(w.shared_hits), ratio,
+                  cold[i].seconds, warm[i].seconds);
+    json += line;
+  }
+  std::snprintf(line, sizeof line,
+                "  {\"groups\": %zu, \"leaves\": %zu, \"points\": %zu, "
+                "\"combinations\": %zu, \"threads\": %zu, "
+                "\"snapshot_entries\": %zu, \"snapshot_bytes\": %zu, "
+                "\"worst_ratio\": %.2f, \"cold_identical\": %s, "
+                "\"warm_identical\": %s}\n]\n",
+                kGroups, kLeaves, kPoints, reference.report.rows.size(),
+                kThreads, saved.entries, saved.bytes, worst_ratio,
+                cold_identical ? "true" : "false",
+                warm_identical ? "true" : "false");
+  json += line;
+  std::fputs(json.c_str(), stdout);
+  std::ofstream("BENCH_dist.json", std::ios::binary) << json;
+
+  if (!cold_identical || !warm_identical) {
+    std::fprintf(stderr,
+                 "FAIL: merged 4-way logical dump differs from the "
+                 "un-sharded reference (cold %s, warm %s)\n",
+                 cold_identical ? "ok" : "DIFFERS",
+                 warm_identical ? "ok" : "DIFFERS");
+    return 1;
+  }
+  if (worst_ratio < kMinEvaluationsRatio) {
+    std::fprintf(stderr,
+                 "FAIL: worst warm-vs-cold evaluations ratio %.2f < %.1f\n",
+                 worst_ratio, kMinEvaluationsRatio);
+    return 1;
+  }
+  return 0;
+}

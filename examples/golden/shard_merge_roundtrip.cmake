@@ -1,0 +1,84 @@
+# CLI-level shard/merge round trip:
+#
+#   cmake -DCLI=<sorel_cli> -DSPEC=<spec.json> -P shard_merge_roundtrip.cmake
+#
+# Runs the selection space of SPEC's `selection` array twice through the
+# worker/coordinator pipeline — once as two `rank --shard k/2` workers,
+# once as a single `--shard 1/1` worker — merges each set, and requires the
+# two merged reports to agree on everything logical (the documents minus
+# the `stats` section, the `shards` worker count, and the `crc64` seal —
+# the same projection dist::logical_dump makes). The library-level grid in
+# tests/dist proves the full (shards x threads x memo x warmth) matrix;
+# this pins the CLI plumbing end to end.
+if(NOT CLI OR NOT SPEC)
+  message(FATAL_ERROR "shard_merge_roundtrip.cmake needs -DCLI and -DSPEC")
+endif()
+
+# Under an ambient SOREL_CHAOS plan (the CI chaos rerun of the dist label)
+# injected dist.report_write / dist.report_read faults legitimately abort a
+# worker or a merge with a structured refusal; that is the contract — a
+# fault may cost the run, never change the ranking. Accept those refusals,
+# require identity whenever both pipelines complete.
+set(structured "error: (shard report|merged report|merge refused)")
+
+function(run_step out_var)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  OUTPUT_VARIABLE out RESULT_VARIABLE code
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    if(DEFINED ENV{SOREL_CHAOS} AND err MATCHES "${structured}")
+      message(STATUS "chaos refusal accepted: ${err}")
+      set(${out_var} ABORTED PARENT_SCOPE)
+      return()
+    endif()
+    message(FATAL_ERROR "${CLI} ${ARGN} failed (${code}):\n${err}")
+  endif()
+  set(${out_var} OK PARENT_SCOPE)
+endfunction()
+
+set(dir "${CMAKE_CURRENT_BINARY_DIR}")
+foreach(name shard_1 shard_2 shard_ref merged merged_ref)
+  file(REMOVE "${dir}/cli_${name}.json")
+endforeach()
+
+run_step(s1 rank ${SPEC} checkout 5 --shard 1/2 --out ${dir}/cli_shard_1.json)
+run_step(s2 rank ${SPEC} checkout 5 --shard 2/2 --out ${dir}/cli_shard_2.json)
+run_step(sr rank ${SPEC} checkout 5 --shard 1/1 --out ${dir}/cli_shard_ref.json)
+if(s1 STREQUAL "ABORTED" OR s2 STREQUAL "ABORTED" OR sr STREQUAL "ABORTED")
+  return()
+endif()
+
+run_step(m merge-shards ${dir}/cli_merged.json
+         ${dir}/cli_shard_1.json ${dir}/cli_shard_2.json)
+run_step(mr merge-shards ${dir}/cli_merged_ref.json ${dir}/cli_shard_ref.json)
+if(m STREQUAL "ABORTED" OR mr STREQUAL "ABORTED")
+  return()
+endif()
+
+# A stale pre-existing merged file surviving a chaos-torn write would be
+# indistinguishable from a fresh one here, hence the file(REMOVE) above.
+file(READ "${dir}/cli_merged.json" two_way)
+file(READ "${dir}/cli_merged_ref.json" one_way)
+foreach(text two_way one_way)
+  string(REGEX REPLACE "\"crc64\":\"[0-9a-f]+\"" "\"crc64\":<X>"
+         ${text} "${${text}}")
+  string(REGEX REPLACE "\"shards\":[0-9]+" "\"shards\":<X>"
+         ${text} "${${text}}")
+  string(REGEX REPLACE "\"stats\":\\{[^}]*\\}" "\"stats\":<X>"
+         ${text} "${${text}}")
+endforeach()
+if(NOT two_way STREQUAL one_way)
+  message(FATAL_ERROR "2-way merge deviates logically from the 1-way merge\n"
+                      "--- 1-way ---\n${one_way}\n--- 2-way ---\n${two_way}")
+endif()
+
+# Coverage refusal sanity: merging only half the space must be a structured
+# CoverageGap error, never a partial ranking.
+execute_process(COMMAND ${CLI} merge-shards ${dir}/cli_merged_gap.json
+                        ${dir}/cli_shard_1.json
+                OUTPUT_VARIABLE gap_out RESULT_VARIABLE gap_code
+                ERROR_VARIABLE gap_err)
+if(gap_code EQUAL 0 OR NOT gap_err MATCHES "coverage_gap")
+  message(FATAL_ERROR "half-coverage merge was not refused (${gap_code}):\n"
+                      "${gap_err}")
+endif()

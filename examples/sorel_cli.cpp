@@ -114,6 +114,7 @@
 #include "sorel/core/selection.hpp"
 #include "sorel/core/sensitivity.hpp"
 #include "sorel/core/uncertainty.hpp"
+#include "sorel/dist/dist.hpp"
 #include "sorel/dsl/dot.hpp"
 #include "sorel/dsl/loader.hpp"
 #include "sorel/resil/chaos.hpp"
@@ -155,6 +156,10 @@ void print_help(std::FILE* out) {
                "  importance  <spec> <service> [arg...]  Birnbaum measures\n"
                "  simulate    <spec> <service> <reps> [arg...]\n"
                "  select      <spec> <service> [arg...]  rank declared candidates\n"
+               "  rank        <spec> <service> [arg...]  alias for select\n"
+               "  merge-shards <out.json> <shard.json...>\n"
+               "                                         merge --shard reports into\n"
+               "                                         one deterministic ranking\n"
                "  uncertainty <spec> <service> [arg...]  propagate declared bands\n"
                "  batch       <spec> <jobs.json>         one JSON line per job\n"
                "  inject      <spec> <campaign.json>     fault-injection report\n"
@@ -227,6 +232,16 @@ void print_help(std::FILE* out) {
                "                   seeded jitter, honours retry_after_ms)\n"
                "  --seed N         connect: jitter seed (same seed replays the\n"
                "                   same delay sequence)\n"
+               "  --shard K/N      select/rank: evaluate only the K-th of N\n"
+               "                   mixed-radix sub-ranges of the combination\n"
+               "                   space and emit a checksummed shard report\n"
+               "                   (JSON) instead of the ranking table; the\n"
+               "                   per-shard range is bounded by\n"
+               "                   max_combinations, so N shards lift the\n"
+               "                   single-process cap N-fold\n"
+               "  --out PATH       select/rank --shard: write the shard report\n"
+               "                   to PATH (atomic temp+rename) instead of\n"
+               "                   stdout\n"
                "  --chaos SPEC     install a deterministic fault plan in this\n"
                "                   process, e.g. seed=7,rate=0.1,\n"
                "                   sites=sched.task_start|memo.insert\n"
@@ -887,11 +902,49 @@ int cmd_simulate(const sorel::core::Assembly& assembly, const std::string& servi
   return 0;
 }
 
+/// Worker mode (`select --shard k/n`): evaluate only the shard's sub-range
+/// and emit the checksummed report — to stdout, or atomically to `--out`.
+/// Per-combination evaluation errors are structured rows, not aborts, and
+/// surface as exit 3 (the batch/inject "completed with failed entries"
+/// convention); the report itself still merges.
+int cmd_select_shard(const sorel::core::Assembly& assembly,
+                     const std::string& service,
+                     const std::vector<double>& args,
+                     const std::vector<sorel::core::SelectionPoint>& points,
+                     const sorel::core::SelectionOptions& options,
+                     const sorel::dist::ShardSpec& shard,
+                     const std::string& out_path) {
+  const auto report =
+      sorel::dist::run_shard(assembly, service, args, points, shard, options);
+  int exit_code = 0;
+  for (const auto& row : report.rows) {
+    if (!row.ok) exit_code = 3;
+  }
+  if (out_path.empty()) {
+    std::printf("%s\n", sorel::dist::report_to_json(report).dump().c_str());
+    return exit_code;
+  }
+  const auto saved = sorel::dist::write_report_file(report, out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: shard report write failed (%s: %s)\n",
+                 sorel::dist::dist_status_name(saved.error.status),
+                 saved.error.detail.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "shard %zu/%zu: combinations [%zu, %zu) of %zu, %zu rows -> %s\n",
+               report.shard.index, report.shard.count, report.begin, report.end,
+               report.total_combinations, report.rows.size(), out_path.c_str());
+  return exit_code;
+}
+
 int cmd_select(const sorel::core::Assembly& assembly,
                const sorel::json::Value& document, const std::string& service,
                const std::vector<double>& args,
                const sorel::runtime::ExecPolicy& exec,
-               const std::string& snapshot_path) {
+               const std::string& snapshot_path,
+               const std::optional<sorel::dist::ShardSpec>& shard,
+               const std::string& out_path) {
   const auto points = sorel::dsl::load_selection_points(document);
   if (points.empty()) {
     std::fprintf(stderr, "error: the document declares no \"selection\" points\n");
@@ -903,6 +956,12 @@ int cmd_select(const sorel::core::Assembly& assembly,
   std::uint64_t snap_key = 0;
   if (options.shared_memo) {
     options.shared_cache = snapshot_open(snapshot_path, assembly, snap_key);
+  }
+  if (shard) {
+    const int exit_code = cmd_select_shard(assembly, service, args, points,
+                                           options, *shard, out_path);
+    snapshot_close(snapshot_path, options.shared_cache, snap_key);
+    return exit_code;
   }
   const auto ranking =
       sorel::core::rank_assemblies(assembly, service, args, points, options);
@@ -919,6 +978,47 @@ int cmd_select(const sorel::core::Assembly& assembly,
                 choice.c_str());
   }
   return 0;
+}
+
+/// Coordinator mode: validate + merge shard reports into one deterministic
+/// ranking, written atomically to <out.json>. Any rejected report or
+/// coverage hole (gap, overlap, foreign spec, version skew, bit flip) is a
+/// structured refusal with exit 1 — never a silently partial ranking. Error
+/// rows inside an otherwise valid merge exit 3, like batch/inject.
+int cmd_merge_shards(const std::string& out_path, char** begin, char** end) {
+  std::vector<sorel::dist::ShardReport> shards;
+  for (char** it = begin; it != end; ++it) {
+    auto loaded = sorel::dist::read_report_file(*it);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: shard report rejected (%s: %s)\n",
+                   sorel::dist::dist_status_name(loaded.error.status),
+                   loaded.error.detail.c_str());
+      return 1;
+    }
+    shards.push_back(std::move(*loaded.report));
+  }
+  auto merged = sorel::dist::merge(shards);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "error: merge refused (%s: %s)\n",
+                 sorel::dist::dist_status_name(merged.error.status),
+                 merged.error.detail.c_str());
+    return 1;
+  }
+  const auto document = sorel::dist::merged_to_json(*merged.report);
+  const auto saved = sorel::dist::write_document_file(document, out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: merged report write failed (%s: %s)\n",
+                 sorel::dist::dist_status_name(saved.error.status),
+                 saved.error.detail.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "merge-shards: %zu shards, %zu combinations, %zu ranked, "
+               "%zu errors -> %s\n",
+               merged.report->shard_count, merged.report->rows.size(),
+               merged.report->ranking.size(), merged.report->errors.size(),
+               out_path.c_str());
+  return merged.report->errors.empty() ? 0 : 3;
 }
 
 int cmd_uncertainty(const sorel::core::Assembly& assembly,
@@ -1333,7 +1433,8 @@ int cmd_dot(const sorel::core::Assembly& assembly, const char* service) {
 bool known_command(const std::string& command) {
   static constexpr const char* kCommands[] = {
       "validate", "list",        "evaluate", "modes",  "duration",
-      "sensitivity", "importance", "simulate", "select", "uncertainty",
+      "sensitivity", "importance", "simulate", "select", "rank",
+      "merge-shards", "uncertainty",
       "batch",    "inject",      "save",     "dot",    "serve",
       "connect",  "chaos-sites", "version",  "help"};
   for (const char* candidate : kCommands) {
@@ -1372,6 +1473,8 @@ int main(int argc, char** argv) {
   std::pair<double, double> rate_limit{0.0, 0.0};
   std::string snapshot_path;
   double snapshot_interval_ms = 0.0;
+  std::optional<sorel::dist::ShardSpec> shard;
+  std::string out_path;
   sorel::resil::ClientOptions client_options;
   try {
     exec.with_threads(extract_threads_flag(argc, argv))
@@ -1388,6 +1491,9 @@ int main(int argc, char** argv) {
     snapshot_path = extract_string_flag(argc, argv, "--snapshot");
     snapshot_interval_ms =
         extract_number_flag(argc, argv, "--snapshot-interval", 0.0);
+    const std::string shard_text = extract_string_flag(argc, argv, "--shard");
+    if (!shard_text.empty()) shard = sorel::dist::parse_shard_spec(shard_text);
+    out_path = extract_string_flag(argc, argv, "--out");
     client_options.timeout_ms = extract_number_flag(
         argc, argv, "--timeout-ms", client_options.timeout_ms);
     client_options.max_retries = static_cast<std::size_t>(extract_number_flag(
@@ -1437,6 +1543,18 @@ int main(int argc, char** argv) {
                          client_options);
     } catch (const sorel::InvalidArgument& e) {
       return usage_error(e.what());
+    } catch (const sorel::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (command == "merge-shards") {
+    if (argc < 3) return usage_error("merge-shards: missing <out.json> operand");
+    if (argc < 4) {
+      return usage_error("merge-shards: missing <shard report> operand");
+    }
+    try {
+      return cmd_merge_shards(argv[2], argv + 3, argv + argc);
     } catch (const sorel::Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -1493,9 +1611,9 @@ int main(int argc, char** argv) {
                           parse_args(argv + 5, argv + argc), exec);
     }
     const std::vector<double> args = parse_args(argv + 4, argv + argc);
-    if (command == "select") {
+    if (command == "select" || command == "rank") {
       return cmd_select(assembly, document, service, args, exec,
-                        snapshot_path);
+                        snapshot_path, shard, out_path);
     }
     if (command == "uncertainty") {
       return cmd_uncertainty(assembly, document, service, args, exec);

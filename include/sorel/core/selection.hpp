@@ -6,6 +6,7 @@
 // by an objective over reliability and (optionally) expected execution time.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,15 +69,75 @@ struct SelectionOptions : runtime::ExecPolicy {
   const runtime::ExecPolicy& exec() const noexcept { return *this; }
 };
 
+/// One combination's result from evaluate_combination_range — the unit of
+/// sharded selection (sorel::dist). The fields up to `expr_evaluations` are
+/// *logical*: bit-identical across thread counts, work stealing, shared-memo
+/// on/off, and snapshot warmth (memo hits charge the stored subtree cost, so
+/// the counters are warmth-independent — the PR-4/5 contract). Evaluation
+/// failures are recorded per combination instead of aborting the range; an
+/// error slot carries the stable category tag (sorel::error_category) and
+/// message, with the logical counters zeroed.
+struct CombinationOutcome {
+  std::size_t combination = 0;  // global mixed-radix index
+  std::vector<std::size_t> choice;
+  std::vector<std::string> labels;
+  bool ok = false;    // evaluation completed without throwing
+  bool kept = false;  // ok && reliability >= objective.min_reliability
+  double reliability = 0.0;
+  double expected_duration = 0.0;
+  double score = 0.0;
+  // Logical cost of the reliability query (guard::Meter counters).
+  std::uint64_t evaluations = 0;
+  std::uint64_t states = 0;
+  std::uint64_t expr_evaluations = 0;
+  std::string error;    // error_category tag when !ok, else empty
+  std::string message;  // exception text when !ok, else empty
+};
+
+/// evaluate_combination_range's result: the per-combination outcomes plus
+/// *physical* execution counters (engine evaluations actually performed and
+/// shared-memo traffic, summed over worker slots). The physical section is
+/// execution-dependent by design — warmth and thread count change it — and
+/// must never be folded into bit-identical comparisons.
+struct RangeEvaluation {
+  std::vector<CombinationOutcome> outcomes;  // size end - begin
+  std::uint64_t physical_evaluations = 0;
+  std::uint64_t shared_hits = 0;
+  std::uint64_t shared_misses = 0;
+};
+
+/// Validate `points` (non-empty, every candidate list non-empty, labels
+/// parallel when given) and return the cartesian-product size. Throws
+/// sorel::InvalidArgument on invalid points or when the product exceeds
+/// 2^53 (the largest combination index exact in a JSON double, which is how
+/// shard reports carry indices).
+std::size_t selection_space_size(const std::vector<SelectionPoint>& points);
+
+/// Evaluate the half-open global combination range [begin, end) of the
+/// mixed-radix selection space — the worker half of sharded selection. The
+/// `max_combinations` guard applies to the *range length*, not the whole
+/// space, which is how sharding lifts the single-process bound. Unlike
+/// rank_assemblies this keeps going on per-combination evaluation errors
+/// (the failing slot is rebuilt fresh so later combinations never see its
+/// state). Outcomes are bit-identical for every thread count, stealing
+/// mode, shared-memo setting, and snapshot warmth. Throws
+/// sorel::InvalidArgument on invalid points or a range outside the space.
+RangeEvaluation evaluate_combination_range(
+    const Assembly& assembly, std::string_view service_name,
+    const std::vector<double>& args, const std::vector<SelectionPoint>& points,
+    const SelectionOptions& options, std::size_t begin, std::size_t end);
+
 /// Enumerate every combination of candidates (cartesian product, bounded by
 /// `options.max_combinations`), evaluate each wiring, and return the ranking
-/// (best score first). Throws sorel::InvalidArgument when there are no
-/// selection points, a candidate list is empty, or the product exceeds the
-/// bound. Each worker keeps one mutable Assembly copy and one EvalSession,
-/// rebinding only the selection-point ports whose choice changed between
-/// consecutive combinations — a rebind drops just the memoised results that
-/// consulted that binding, so shared substructure stays warm across the
-/// whole chunk. Results are identical for every thread count.
+/// (best score first; ties broken by combination index — the same total
+/// order the sorel::dist merger uses). Throws sorel::InvalidArgument when
+/// there are no selection points, a candidate list is empty, or the product
+/// exceeds the bound. Each worker keeps one mutable Assembly copy and one
+/// EvalSession, rebinding only the selection-point ports whose choice
+/// changed between consecutive combinations — a rebind drops just the
+/// memoised results that consulted that binding, so shared substructure
+/// stays warm across the whole chunk. Results are identical for every
+/// thread count.
 std::vector<RankedAssembly> rank_assemblies(
     const Assembly& assembly, std::string_view service_name,
     const std::vector<double>& args, const std::vector<SelectionPoint>& points,

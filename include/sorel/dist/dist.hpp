@@ -1,0 +1,225 @@
+// sorel::dist — sharded selection: split the mixed-radix combination space
+// of rank_assemblies across processes/machines and merge the partial
+// rankings back deterministically.
+//
+// The mixed-radix decode in core::selection makes any combination sub-range
+// independently evaluable, so a selection too large for one process's
+// `max_combinations` bound can run as n shard workers (each bounded
+// per-shard, each optionally warm-starting its shared memo from a common
+// sorel::snap snapshot). A worker emits a *shard report*: a versioned,
+// CRC-64-checksummed JSON document with one row per combination —
+// reliability, score, logical-cost counters, or a structured error. The
+// merger validates the reports the way sorel::snap validates snapshots
+// (exact format version, exact library build, content-keyed spec hash),
+// proves exact coverage of the space (no gap, no overlap), and produces a
+// merged ranking with a total-order tie-break on combination index.
+//
+// Determinism contract: everything in a report except its `stats` object
+// (and the checksum that seals the file) is *logical* — byte-identical
+// across shard counts, thread counts, work stealing, shared-memo on/off,
+// and snapshot warmth. `logical_dump()` strips the execution-dependent
+// fields; the differential grid in tests/dist compares those bytes across
+// the whole (shards × threads × memo × warmth) grid. Merging is
+// order-invariant over input file order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sorel/core/selection.hpp"
+#include "sorel/json/json.hpp"
+
+namespace sorel::dist {
+
+/// The report writer's format version; the loader rejects anything else (a
+/// future format must be refused, never guessed at — same rule as
+/// snap::kFormatVersion).
+inline constexpr std::uint32_t kReportFormatVersion = 1;
+
+/// The `format` marker of a shard report / merged report document.
+inline constexpr const char* kShardFormatName = "sorel-shard-report";
+inline constexpr const char* kMergedFormatName = "sorel-merged-report";
+
+/// Why a shard report was rejected, or why a merge refused to proceed (or
+/// Ok). Mirrors snap::SnapStatus for the file-trust classes and adds the
+/// merge-coverage classes.
+enum class DistStatus : int {
+  Ok = 0,
+  NotFound,           // no file at the path
+  IoError,            // open/read/write/rename failed (or injected chaos)
+  Malformed,          // not parseable / internally inconsistent rows
+  BadFormat,          // parseable JSON but not a shard report
+  BadFormatVersion,   // unknown (future) report format
+  BadLibraryVersion,  // written by a different sorel build
+  BadChecksum,        // CRC64 mismatch: bit flip or torn write
+  ForeignSpec,        // shards disagree on the spec content key
+  Mismatch,           // shards disagree on service/args/objective/points
+  CoverageGap,        // a shard index of the declared count is missing
+  CoverageOverlap,    // a shard index appears more than once
+};
+
+/// The canonical status name ("ok", "coverage_gap", "bad_checksum", ...).
+const char* dist_status_name(DistStatus status) noexcept;
+
+/// Structured load/merge/save failure: the reason class plus human detail.
+struct DistError {
+  DistStatus status = DistStatus::Ok;
+  std::string detail;
+  bool ok() const noexcept { return status == DistStatus::Ok; }
+};
+
+/// Which shard of how many: 1-based `index` of `count` ("k/n" on the CLI).
+struct ShardSpec {
+  std::size_t index = 1;
+  std::size_t count = 1;
+};
+
+/// Parse "k/n" (1 <= k <= n, n >= 1); throws sorel::InvalidArgument on
+/// anything else.
+ShardSpec parse_shard_spec(std::string_view text);
+
+/// The half-open global combination range of shard `spec` over a space of
+/// `total` combinations: [(k-1)·total/n, k·total/n) in integer arithmetic,
+/// so the n ranges partition [0, total) exactly — gap- and overlap-free by
+/// construction. Ranges may be empty when total < n.
+std::pair<std::size_t, std::size_t> shard_range(const ShardSpec& spec,
+                                                std::size_t total);
+
+/// Execution-dependent counters of one shard run (or the sum over merged
+/// shards). Physical work changes with warmth and thread count by design —
+/// this section is excluded from logical_dump() and from the bit-identity
+/// contract.
+struct ShardStats {
+  std::uint64_t physical_evaluations = 0;  // engine evaluations performed
+  std::uint64_t shared_hits = 0;           // subtrees replayed from the memo
+  std::uint64_t shared_misses = 0;
+};
+
+/// One worker's output: the report header (identity + coverage claim), the
+/// per-combination rows, and the execution stats.
+struct ShardReport {
+  std::uint32_t format_version = kReportFormatVersion;
+  std::string library_version;       // SOREL_VERSION_STRING of the writer
+  std::uint64_t spec_key = 0;        // snap::spec_key of the base assembly
+  std::string service;
+  std::vector<double> args;
+  core::SelectionObjective objective;
+  std::vector<std::string> point_names;  // "service.port" per point
+  std::vector<std::size_t> radices;      // candidates per point
+  std::size_t total_combinations = 0;
+  ShardSpec shard;
+  std::size_t begin = 0;  // == shard_range(shard, total_combinations)
+  std::size_t end = 0;
+  std::vector<core::CombinationOutcome> rows;  // combination ascending
+  ShardStats stats;
+};
+
+/// The merger's output: the common header plus the full row set, the
+/// ranking (kept rows, score descending, ties by combination index), and
+/// the error rows, with stats summed over shards.
+struct MergedReport {
+  std::string library_version;
+  std::uint64_t spec_key = 0;
+  std::string service;
+  std::vector<double> args;
+  core::SelectionObjective objective;
+  std::vector<std::string> point_names;
+  std::vector<std::size_t> radices;
+  std::size_t total_combinations = 0;
+  std::size_t shard_count = 0;
+  std::vector<core::CombinationOutcome> rows;     // all combinations, ascending
+  std::vector<std::size_t> ranking;               // indices into rows
+  std::vector<std::size_t> errors;                // indices into rows, ascending
+  ShardStats stats;
+};
+
+struct ReadResult {
+  std::optional<ShardReport> report;
+  DistError error;
+  bool ok() const noexcept { return error.ok(); }
+};
+
+struct MergeResult {
+  std::optional<MergedReport> report;
+  DistError error;
+  bool ok() const noexcept { return error.ok(); }
+};
+
+struct SaveResult {
+  DistError error;
+  std::size_t bytes = 0;
+  bool ok() const noexcept { return error.ok(); }
+};
+
+/// Evaluate shard `spec` of the selection space on `assembly` — the worker
+/// half. Computes the space size, derives the shard's range, evaluates it
+/// with core::evaluate_combination_range (per-combination keep-going, the
+/// `max_combinations` guard lifted to the shard's range length), and stamps
+/// the report header (this build's version string, snap::spec_key of the
+/// assembly). A warm start is just `options.shared_cache` preloaded from a
+/// snapshot. Throws sorel::InvalidArgument on invalid points/spec.
+ShardReport run_shard(const core::Assembly& assembly,
+                      std::string_view service_name,
+                      const std::vector<double>& args,
+                      const std::vector<core::SelectionPoint>& points,
+                      const ShardSpec& spec,
+                      const core::SelectionOptions& options);
+
+/// Serialize a report to its canonical JSON document. The `crc64` member is
+/// a CRC-64/XZ over the canonical dump of the document *without* that
+/// member; json::Object iteration is sorted and numbers round-trip exactly,
+/// so the seal is reproducible from the parsed document.
+json::Value report_to_json(const ShardReport& report);
+
+/// Validate and parse one shard report from text. Distrustful in the
+/// snapshot-loader mold: returns a structured DistError — never throws,
+/// never crashes on arbitrary bytes (the fuzz_shard target drives this) —
+/// on malformed JSON, a foreign format marker, a future format version, a
+/// different library build, a checksum mismatch, or internally inconsistent
+/// rows/ranges.
+ReadResult report_from_string(std::string_view text);
+
+/// Atomically write `report` to `path` (serialize, write `path + ".tmp"`,
+/// rename). An injected resil dist.report_write fault tears the temp write
+/// — half the bytes, then failure — leaving any previous report at `path`
+/// untouched; the merger never reads the torn temp file.
+SaveResult write_report_file(const ShardReport& report, const std::string& path);
+
+/// Read and validate a shard report from `path`. An injected resil
+/// dist.report_read fault arrives as a short read and is rejected by the
+/// normal validation path like any other truncation.
+ReadResult read_report_file(const std::string& path);
+
+/// Atomically write any report document (shard or merged) to `path` —
+/// `write_report_file` is this over `report_to_json`. Subject to the same
+/// dist.report_write chaos site.
+SaveResult write_document_file(const json::Value& document,
+                               const std::string& path);
+
+/// Merge shard reports into one ranking — the coordinator half. Validates
+/// that every report describes the same job (library build, spec key,
+/// service, args, objective, points, radices, total, shard count) and that
+/// the shard indices cover 1..count exactly once each, then concatenates
+/// the rows (coverage of [0, total) follows from the per-report range
+/// checks), builds the ranking (kept rows by score descending, ties broken
+/// by ascending combination index) and the error list, and sums the stats.
+/// Order-invariant: any permutation of `shards` produces an identical
+/// MergedReport. Refuses — with a structured error, never a silently
+/// partial ranking — on any inconsistency.
+MergeResult merge(const std::vector<ShardReport>& shards);
+
+/// Serialize a merged report (format kMergedFormatName, same sealing rule
+/// as report_to_json).
+json::Value merged_to_json(const MergedReport& report);
+
+/// The bit-identity projection: the canonical dump of a report document
+/// with its execution-dependent members removed — `stats`, `crc64`, and
+/// (on merged reports) the `shards` worker count, which is topology, not
+/// content. Identical logical dumps ⇔ identical rankings, rows, errors,
+/// and header.
+std::string logical_dump(const json::Value& document);
+
+}  // namespace sorel::dist

@@ -50,9 +50,14 @@ enum class Site : std::size_t {
   FsFsync = 7,        // "fs.fsync": fsync failure before the atomic rename
   FsRename = 8,       // "fs.rename": crash between temp write and rename
   FsRead = 9,         // "fs.read": short read while loading a snapshot
+  // Shard-report choke points of the distributed selection layer
+  // (sorel::dist). Same crash model as the fs sites: a torn report must be
+  // rejected by the merger with a structured error, never silently merged.
+  DistReportWrite = 10,  // "dist.report_write": torn shard-report write
+  DistReportRead = 11,   // "dist.report_read": short shard-report read
 };
 
-inline constexpr std::size_t kSiteCount = 10;
+inline constexpr std::size_t kSiteCount = 12;
 
 /// The canonical site name ("tcp.accept", "sched.task_start", ...).
 const char* site_name(Site site) noexcept;
@@ -108,12 +113,17 @@ struct ChaosStats {
 
 /// Install `plan` as the process-wide chaos plan (resets the per-site visit
 /// counters). Installing a plan with no nonzero rate still counts visits —
-/// handy for asserting hooks are wired. Not safe to call concurrently with
-/// in-flight chaos_fire calls; install/uninstall from a quiescent point
-/// (tests and bench do; the env path installs before the first fire).
+/// handy for asserting hooks are wired. An explicit install always beats
+/// the ambient SOREL_CHAOS plan, even when it happens before the first
+/// chaos_fire consults the environment (the install consumes the one-shot
+/// env consult first). Not safe to call concurrently with in-flight
+/// chaos_fire calls; install/uninstall from a quiescent point (tests and
+/// bench do; the env path installs before the first fire).
 void install_chaos(const FaultPlan& plan);
 
-/// Remove the active plan: chaos_fire returns false everywhere again.
+/// Remove the active plan: chaos_fire returns false everywhere again —
+/// including the ambient SOREL_CHAOS plan, which an explicit uninstall
+/// retires for the rest of the process.
 void uninstall_chaos() noexcept;
 
 /// True when a plan is active (installed programmatically or via env).

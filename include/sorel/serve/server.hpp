@@ -4,7 +4,7 @@
 // The paper's predictions are meant to drive *runtime* service selection:
 // a deployed assembly is re-evaluated as bindings and attributes change
 // live, not re-loaded from disk per question. The Server is that daemon
-// core. It loads a spec once, then answers eval / batch / inject /
+// core. It loads a spec once, then answers eval / batch / inject / shard /
 // load_spec / set_attributes / stats / version / health / shutdown requests
 // (the line protocol of serve/protocol.hpp) from many concurrent clients
 // while keeping everything warm between requests:
@@ -113,6 +113,10 @@ struct ServerStats {
   // admission bound and the worker pool came to their limits since start.
   std::uint64_t queue_depth_max = 0;         // admitted-and-unfinished peak
   std::uint64_t requests_in_flight_max = 0;  // concurrent handle_line peak
+  // Sharded selection (sorel::dist, additive / still protocol 1): shard
+  // requests served ok and the combination rows they evaluated.
+  std::uint64_t shard_requests = 0;
+  std::uint64_t shard_combinations = 0;
   /// Requests per op, in op-name order (additive "ops" object in stats).
   std::map<std::string, std::uint64_t> op_counts;
 };
@@ -261,6 +265,7 @@ class Server {
                          const std::shared_ptr<const guard::CancelToken>& cancel);
   json::Object op_load_spec(const Request& request);
   json::Object op_set_attributes(const Request& request);
+  json::Object op_shard(const Request& request, std::uint64_t* cost);
   json::Object op_stats(const Request& request);
   json::Object op_health(const Request& request);
   json::Object op_snapshot(const Request& request);
@@ -296,6 +301,8 @@ class Server {
   std::atomic<std::uint64_t> queue_depth_max_{0};
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> in_flight_max_{0};
+  std::atomic<std::uint64_t> shard_requests_{0};
+  std::atomic<std::uint64_t> shard_combinations_{0};
   /// Per-op request counters, parallel to the internal op-name table.
   std::vector<std::atomic<std::uint64_t>> op_counts_;
 

@@ -1,13 +1,14 @@
 #include "sorel/core/selection.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <string>
 
-#include <memory>
-
 #include "sorel/core/performance.hpp"
 #include "sorel/core/session.hpp"
+#include "sorel/guard/budget.hpp"
+#include "sorel/guard/meter.hpp"
 #include "sorel/runtime/for_each.hpp"
 #include "sorel/util/error.hpp"
 
@@ -15,20 +16,21 @@ namespace sorel::core {
 
 namespace {
 
+// Largest combination index exact in an IEEE double — shard reports carry
+// indices as JSON numbers, so the whole space must stay below this.
+constexpr std::size_t kMaxSelectionSpace = std::size_t{1} << 53;
+
 std::string default_label(const PortBinding& binding) {
   std::string label = binding.target;
   if (!binding.connector.empty()) label += " via " + binding.connector;
   return label;
 }
 
-}  // namespace
-
-std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
-                                            std::string_view service_name,
-                                            const std::vector<double>& args,
-                                            const std::vector<SelectionPoint>& points,
-                                            const SelectionOptions& options) {
-  const SelectionObjective& objective = options.objective;
+// Validate the points and return the cartesian-product size, throwing the
+// shared "selection space exceeds ..." diagnostic when the running product
+// crosses `cap` (which also makes the computation overflow-safe).
+std::size_t checked_space_size(const std::vector<SelectionPoint>& points,
+                               std::size_t cap) {
   if (points.empty()) {
     throw InvalidArgument("rank_assemblies: no selection points given");
   }
@@ -42,52 +44,90 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
       throw InvalidArgument("selection point " + point.service + "." + point.port +
                             ": labels must parallel candidates");
     }
-    if (combinations > options.max_combinations / point.candidates.size()) {
+    if (combinations > cap / point.candidates.size()) {
       throw InvalidArgument(
-          "selection space exceeds " + std::to_string(options.max_combinations) +
+          "selection space exceeds " + std::to_string(cap) +
           " combinations; prune candidate lists or raise the bound");
     }
     combinations *= point.candidates.size();
   }
+  return combinations;
+}
 
-  // Evaluate combinations on the runtime. Each worker slot lazily hoists
-  // one mutable Assembly copy (bind() mutates, so the shared assembly
-  // cannot back the sessions here) and one EvalSession — one validate()
-  // per slot, not per combination. Rebinding a selection point drops only
-  // the memoised results that consulted that binding, so results for
-  // subtrees unaffected by the choice survive across combinations.
-  //
-  // Under work stealing a slot may receive non-contiguous blocks of
-  // combinations; the mixed-radix diff below rewires from *whatever the
-  // slot's assembly is currently bound to* straight to the block's first
-  // combination, so results never depend on which blocks a slot saw (the
-  // determinism grid in tests/sched pins this).
-  //
-  // The shared memo table is built over the *original* assembly: workers
-  // start diverged at the selection points (their copies are re-wired), but
-  // every subtree that never consults a selection point resolves to the
-  // base state and is evaluated once per selection instead of once per
-  // combination per worker. A selection point whose port is unbound in the
-  // original assembly disables sharing on attach (universe mismatch) —
-  // conservative and bit-identical either way.
+// One worker slot: a mutable Assembly copy (bind() mutates, so the shared
+// assembly cannot back the sessions here) and one EvalSession — one
+// validate() per slot, not per combination. Rebinding a selection point
+// drops only the memoised results that consulted that binding, so results
+// for subtrees unaffected by the choice survive across combinations.
+struct Slot {
+  explicit Slot(const Assembly& base) : wired(base) {}
+  Assembly wired;
+  std::optional<EvalSession> session;
+  std::optional<PerformanceEngine> perf;
+  std::vector<std::size_t> choice;
+  std::vector<std::size_t> next;
+};
+
+// Physical work a slot performed before being destroyed (on a keep-going
+// error the slot is rebuilt fresh, so its engine counters must be banked
+// first). One accumulator per slot id — no cross-thread sharing.
+struct SlotPhysical {
+  std::uint64_t evaluations = 0;
+  std::uint64_t shared_hits = 0;
+  std::uint64_t shared_misses = 0;
+
+  void bank(const Slot& slot) {
+    if (!slot.session) return;
+    const auto& stats = slot.session->stats();
+    evaluations += stats.evaluations;
+    shared_hits += stats.shared_hits;
+    shared_misses += stats.shared_misses;
+  }
+};
+
+// The shared worker over the global combination range [begin, end).
+//
+// Under work stealing a slot may receive non-contiguous blocks of
+// combinations; the mixed-radix diff rewires from *whatever the slot's
+// assembly is currently bound to* straight to the block's first
+// combination, so results never depend on which blocks a slot saw (the
+// determinism grid in tests/sched pins this).
+//
+// The shared memo table is built over the *original* assembly: workers
+// start diverged at the selection points (their copies are re-wired), but
+// every subtree that never consults a selection point resolves to the base
+// state and is evaluated once per selection instead of once per combination
+// per worker. A selection point whose port is unbound in the original
+// assembly disables sharing on attach (universe mismatch) — conservative
+// and bit-identical either way.
+//
+// keep_going: record per-combination errors as structured outcomes (the
+// failing slot is torn down and rebuilt so later combinations never observe
+// its state) and arm the guard meter so outcomes carry logical-cost
+// counters. With keep_going false the first error propagates out of
+// runtime::for_each (which rethrows the lowest-global-index one) and the
+// meter stays unarmed — the historical rank_assemblies behaviour, byte for
+// byte.
+RangeEvaluation run_range(const Assembly& assembly, std::string_view service_name,
+                          const std::vector<double>& args,
+                          const std::vector<SelectionPoint>& points,
+                          const SelectionOptions& options, std::size_t begin,
+                          std::size_t end, bool keep_going) {
+  const SelectionObjective& objective = options.objective;
+  const std::size_t count = end - begin;
+
   std::shared_ptr<memo::SharedMemo> shared_cache;
   if (options.shared_memo) {
     shared_cache = options.shared_cache ? options.shared_cache
                                         : make_shared_memo(assembly);
   }
-  std::vector<RankedAssembly> entries(combinations);
-  std::vector<char> kept(combinations, 0);
 
-  struct Slot {
-    explicit Slot(const Assembly& base) : wired(base) {}
-    Assembly wired;
-    std::optional<EvalSession> session;
-    std::optional<PerformanceEngine> perf;
-    std::vector<std::size_t> choice;
-    std::vector<std::size_t> next;
-  };
-  const std::size_t slot_count = runtime::for_each_slots(combinations, options);
+  RangeEvaluation result;
+  result.outcomes.resize(count);
+
+  const std::size_t slot_count = runtime::for_each_slots(count, options);
   std::vector<std::unique_ptr<Slot>> slots(slot_count);
+  std::vector<SlotPhysical> physical(slot_count);
 
   const auto decode = [&](std::size_t combo, std::vector<std::size_t>& out) {
     std::size_t rest = combo;  // mixed radix, least significant first
@@ -115,63 +155,161 @@ std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
     }
     if (changed && slot.perf) slot.perf->clear_cache();
   };
+  const auto make_slot = [&](std::size_t combo) {
+    auto fresh = std::make_unique<Slot>(assembly);
+    fresh->choice.resize(points.size());
+    fresh->next.resize(points.size());
+    decode(combo, fresh->choice);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      bind_point(*fresh, i);
+    }
+    fresh->session.emplace(fresh->wired);
+    if (shared_cache) fresh->session->attach_shared_memo(shared_cache);
+    if (keep_going) {
+      // Arm the guard meter without imposing limits (unlimited budget, a
+      // never-cancelled token) so every outcome carries logical counters.
+      static const auto kMeterOnly = std::make_shared<const guard::CancelToken>();
+      fresh->session->set_budget(guard::Budget{}, kMeterOnly);
+    }
+    if (objective.time_weight != 0.0) fresh->perf.emplace(fresh->wired);
+    return fresh;
+  };
 
   runtime::for_each(
-      combinations, options, /*grain=*/1,
-      [&](std::size_t begin, std::size_t end, std::size_t slot_id) {
-        if (!slots[slot_id]) {
-          auto fresh = std::make_unique<Slot>(assembly);
-          fresh->choice.resize(points.size());
-          fresh->next.resize(points.size());
-          decode(begin, fresh->choice);
+      count, options, /*grain=*/1,
+      [&](std::size_t local_begin, std::size_t local_end, std::size_t slot_id) {
+        for (std::size_t local = local_begin; local < local_end; ++local) {
+          const std::size_t combo = begin + local;
+          CombinationOutcome& outcome = result.outcomes[local];
+          outcome.combination = combo;
+          // Choice and labels are pure mixed-radix facts — fill them before
+          // touching the slot so even an error outcome identifies its
+          // wiring.
+          outcome.choice.resize(points.size());
+          decode(combo, outcome.choice);
+          outcome.labels.reserve(points.size());
           for (std::size_t i = 0; i < points.size(); ++i) {
-            bind_point(*fresh, i);
-          }
-          fresh->session.emplace(fresh->wired);
-          if (shared_cache) fresh->session->attach_shared_memo(shared_cache);
-          if (objective.time_weight != 0.0) fresh->perf.emplace(fresh->wired);
-          slots[slot_id] = std::move(fresh);
-        } else {
-          rewire(*slots[slot_id], begin);
-        }
-        Slot& slot = *slots[slot_id];
-
-        for (std::size_t combo = begin; combo < end; ++combo) {
-          if (combo != begin) rewire(slot, combo);
-
-          RankedAssembly entry;
-          entry.choice = slot.choice;
-          entry.labels.reserve(points.size());
-          for (std::size_t i = 0; i < points.size(); ++i) {
-            entry.labels.push_back(
+            outcome.labels.push_back(
                 points[i].labels.empty()
-                    ? default_label(points[i].candidates[slot.choice[i]])
-                    : points[i].labels[slot.choice[i]]);
+                    ? default_label(points[i].candidates[outcome.choice[i]])
+                    : points[i].labels[outcome.choice[i]]);
           }
-          entry.reliability = slot.session->reliability(service_name, args);
-          if (entry.reliability < objective.min_reliability) continue;
-          if (slot.perf) {
-            entry.expected_duration =
-                slot.perf->expected_duration(service_name, args);
+          try {
+            if (!slots[slot_id]) {
+              slots[slot_id] = make_slot(combo);
+            } else {
+              rewire(*slots[slot_id], combo);
+            }
+            Slot& slot = *slots[slot_id];
+            outcome.reliability = slot.session->reliability(service_name, args);
+            if (keep_going) {
+              const guard::Meter& meter = slot.session->engine().meter();
+              outcome.evaluations = meter.evaluations();
+              outcome.states = meter.states();
+              outcome.expr_evaluations = meter.expr_evaluations();
+            }
+            outcome.ok = true;
+            if (outcome.reliability >= objective.min_reliability) {
+              outcome.kept = true;
+              if (slot.perf) {
+                outcome.expected_duration =
+                    slot.perf->expected_duration(service_name, args);
+              }
+              outcome.score = outcome.reliability -
+                              objective.time_weight * outcome.expected_duration;
+            }
+          } catch (const std::exception& e) {
+            if (!keep_going) throw;
+            outcome.ok = false;
+            outcome.kept = false;
+            outcome.reliability = 0.0;
+            outcome.expected_duration = 0.0;
+            outcome.score = 0.0;
+            outcome.evaluations = 0;
+            outcome.states = 0;
+            outcome.expr_evaluations = 0;
+            outcome.error = sorel::error_category(e);
+            outcome.message = e.what();
+            // The slot may be mid-query or half-rewired: bank its physical
+            // counters and rebuild fresh for the next combination so
+            // results never depend on the poisoned state.
+            if (slots[slot_id]) {
+              physical[slot_id].bank(*slots[slot_id]);
+              slots[slot_id].reset();
+            }
           }
-          entry.score =
-              entry.reliability - objective.time_weight * entry.expected_duration;
-          entries[combo] = std::move(entry);
-          kept[combo] = 1;
         }
       });
 
-  // Ordered reduction: collect in combination order so the (unstable) sort
-  // below sees the same input sequence for every thread count.
+  for (std::size_t slot_id = 0; slot_id < slot_count; ++slot_id) {
+    if (slots[slot_id]) physical[slot_id].bank(*slots[slot_id]);
+    result.physical_evaluations += physical[slot_id].evaluations;
+    result.shared_hits += physical[slot_id].shared_hits;
+    result.shared_misses += physical[slot_id].shared_misses;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::size_t selection_space_size(const std::vector<SelectionPoint>& points) {
+  return checked_space_size(points, kMaxSelectionSpace);
+}
+
+RangeEvaluation evaluate_combination_range(const Assembly& assembly,
+                                           std::string_view service_name,
+                                           const std::vector<double>& args,
+                                           const std::vector<SelectionPoint>& points,
+                                           const SelectionOptions& options,
+                                           std::size_t begin, std::size_t end) {
+  const std::size_t total = selection_space_size(points);
+  if (begin > end || end > total) {
+    throw InvalidArgument("evaluate_combination_range: range [" +
+                          std::to_string(begin) + ", " + std::to_string(end) +
+                          ") outside the selection space of " +
+                          std::to_string(total) + " combinations");
+  }
+  if (end - begin > options.max_combinations) {
+    throw InvalidArgument(
+        "combination range holds " + std::to_string(end - begin) +
+        " combinations, exceeding the per-shard bound of " +
+        std::to_string(options.max_combinations) +
+        "; split across more shards or raise the bound");
+  }
+  return run_range(assembly, service_name, args, points, options, begin, end,
+                   /*keep_going=*/true);
+}
+
+std::vector<RankedAssembly> rank_assemblies(const Assembly& assembly,
+                                            std::string_view service_name,
+                                            const std::vector<double>& args,
+                                            const std::vector<SelectionPoint>& points,
+                                            const SelectionOptions& options) {
+  const std::size_t combinations =
+      checked_space_size(points, options.max_combinations);
+  RangeEvaluation range = run_range(assembly, service_name, args, points,
+                                    options, 0, combinations,
+                                    /*keep_going=*/false);
+
+  // Ordered reduction: outcomes arrive in combination order, so the stable
+  // sort below breaks score ties by combination index — the same total
+  // order the sorel::dist shard merger produces — at every thread count.
   std::vector<RankedAssembly> ranking;
   ranking.reserve(combinations);
-  for (std::size_t combo = 0; combo < combinations; ++combo) {
-    if (kept[combo]) ranking.push_back(std::move(entries[combo]));
+  for (CombinationOutcome& outcome : range.outcomes) {
+    if (!outcome.kept) continue;
+    RankedAssembly entry;
+    entry.choice = std::move(outcome.choice);
+    entry.labels = std::move(outcome.labels);
+    entry.reliability = outcome.reliability;
+    entry.expected_duration = outcome.expected_duration;
+    entry.score = outcome.score;
+    ranking.push_back(std::move(entry));
   }
-  std::sort(ranking.begin(), ranking.end(),
-            [](const RankedAssembly& a, const RankedAssembly& b) {
-              return a.score > b.score;
-            });
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const RankedAssembly& a, const RankedAssembly& b) {
+                     return a.score > b.score;
+                   });
   return ranking;
 }
 

@@ -1,0 +1,306 @@
+// The coordinator half: validate that a set of shard reports is one
+// complete, mutually consistent cover of a single selection job, then fold
+// it into the merged ranking. Order-invariant over input order — the
+// reports are re-sorted by shard index before any order-sensitive step, and
+// every aggregate is either position-independent or computed in index
+// order.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sorel/dist/dist.hpp"
+#include "sorel/snap/snapshot.hpp"
+#include "sorel/util/error.hpp"
+
+namespace sorel::dist {
+
+namespace {
+
+DistError fail(DistStatus status, std::string detail) {
+  return DistError{status, std::move(detail)};
+}
+
+// Per-report internal consistency: merge() accepts hand-built reports, not
+// just loader output, so the coverage argument must not assume the loader
+// already ran. Returns a Malformed/Ok error.
+DistError validate_report(const ShardReport& report) {
+  if (report.shard.count == 0 || report.shard.index == 0 ||
+      report.shard.index > report.shard.count) {
+    return fail(DistStatus::Malformed,
+                "shard " + std::to_string(report.shard.index) + "/" +
+                    std::to_string(report.shard.count) + " is invalid");
+  }
+  std::size_t product = 1;
+  for (std::size_t radix : report.radices) {
+    if (radix == 0) return fail(DistStatus::Malformed, "zero radix");
+    product *= radix;
+  }
+  if (report.radices.empty() ||
+      report.radices.size() != report.point_names.size() ||
+      product != report.total_combinations) {
+    return fail(DistStatus::Malformed,
+                "radices/points disagree with total_combinations");
+  }
+  const auto range = shard_range(report.shard, report.total_combinations);
+  if (report.begin != range.first || report.end != range.second) {
+    return fail(DistStatus::Malformed,
+                "shard " + std::to_string(report.shard.index) + "/" +
+                    std::to_string(report.shard.count) +
+                    " carries a non-canonical range");
+  }
+  if (report.rows.size() != report.end - report.begin) {
+    return fail(DistStatus::Malformed,
+                "shard " + std::to_string(report.shard.index) +
+                    " row count disagrees with its range");
+  }
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    if (report.rows[i].combination != report.begin + i) {
+      return fail(DistStatus::Malformed,
+                  "shard " + std::to_string(report.shard.index) +
+                      " rows are not the ascending range");
+    }
+  }
+  return {};
+}
+
+// Cross-shard header agreement against the reference report. Spec-key
+// disagreement gets its own class (ForeignSpec — a report from a different
+// model); everything else is Mismatch.
+DistError check_same_job(const ShardReport& reference,
+                         const ShardReport& report) {
+  const std::string who = "shard " + std::to_string(report.shard.index);
+  if (report.library_version != reference.library_version) {
+    return fail(DistStatus::BadLibraryVersion,
+                who + " was written by sorel " + report.library_version);
+  }
+  if (report.spec_key != reference.spec_key) {
+    return fail(DistStatus::ForeignSpec,
+                who + " describes a different spec (content key mismatch)");
+  }
+  if (report.service != reference.service || report.args != reference.args) {
+    return fail(DistStatus::Mismatch,
+                who + " evaluated a different service/arguments");
+  }
+  if (report.objective.time_weight != reference.objective.time_weight ||
+      report.objective.min_reliability !=
+          reference.objective.min_reliability) {
+    return fail(DistStatus::Mismatch, who + " used a different objective");
+  }
+  if (report.point_names != reference.point_names ||
+      report.radices != reference.radices ||
+      report.total_combinations != reference.total_combinations) {
+    return fail(DistStatus::Mismatch,
+                who + " describes a different selection space");
+  }
+  if (report.shard.count != reference.shard.count) {
+    return fail(DistStatus::Mismatch,
+                who + " was cut as 1 of " + std::to_string(report.shard.count) +
+                    ", not " + std::to_string(reference.shard.count));
+  }
+  return {};
+}
+
+}  // namespace
+
+MergeResult merge(const std::vector<ShardReport>& shards) {
+  MergeResult result;
+  if (shards.empty()) {
+    result.error = fail(DistStatus::Malformed, "no shard reports to merge");
+    return result;
+  }
+
+  for (const ShardReport& report : shards) {
+    DistError error = validate_report(report);
+    if (!error.ok()) {
+      result.error = std::move(error);
+      return result;
+    }
+  }
+
+  // Order-invariance: view the input through an index-sorted permutation.
+  std::vector<const ShardReport*> ordered;
+  ordered.reserve(shards.size());
+  for (const ShardReport& report : shards) ordered.push_back(&report);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ShardReport* a, const ShardReport* b) {
+              return a->shard.index < b->shard.index;
+            });
+  const ShardReport& reference = *ordered.front();
+
+  for (const ShardReport* report : ordered) {
+    DistError error = check_same_job(reference, *report);
+    if (!error.ok()) {
+      result.error = std::move(error);
+      return result;
+    }
+  }
+
+  // Exact coverage: the indices must be 1..count, each exactly once. With
+  // every per-report range pinned to the canonical split above, index
+  // coverage is range coverage.
+  const std::size_t count = reference.shard.count;
+  if (shards.size() > count) {
+    result.error = fail(DistStatus::CoverageOverlap,
+                        std::to_string(shards.size()) + " reports for " +
+                            std::to_string(count) + " shards");
+    return result;
+  }
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const std::size_t expected = i + 1;
+    const std::size_t got = ordered[i]->shard.index;
+    if (got == expected) continue;
+    if (i > 0 && got == ordered[i - 1]->shard.index) {
+      result.error = fail(DistStatus::CoverageOverlap,
+                          "shard " + std::to_string(got) +
+                              " appears more than once");
+    } else {
+      result.error = fail(DistStatus::CoverageGap,
+                          "shard " + std::to_string(expected) + " of " +
+                              std::to_string(count) + " is missing");
+    }
+    return result;
+  }
+  if (ordered.size() < count) {
+    result.error = fail(DistStatus::CoverageGap,
+                        "shard " + std::to_string(ordered.size() + 1) + " of " +
+                            std::to_string(count) + " is missing");
+    return result;
+  }
+
+  MergedReport merged;
+  merged.library_version = reference.library_version;
+  merged.spec_key = reference.spec_key;
+  merged.service = reference.service;
+  merged.args = reference.args;
+  merged.objective = reference.objective;
+  merged.point_names = reference.point_names;
+  merged.radices = reference.radices;
+  merged.total_combinations = reference.total_combinations;
+  merged.shard_count = count;
+  merged.rows.reserve(reference.total_combinations);
+  for (const ShardReport* report : ordered) {
+    merged.rows.insert(merged.rows.end(), report->rows.begin(),
+                       report->rows.end());
+    merged.stats.physical_evaluations += report->stats.physical_evaluations;
+    merged.stats.shared_hits += report->stats.shared_hits;
+    merged.stats.shared_misses += report->stats.shared_misses;
+  }
+
+  // The ranking: kept rows by score descending; stable sort over the
+  // ascending-combination row order makes the tie-break "lowest combination
+  // index first" — a total order, so the ranking is unique.
+  for (std::size_t i = 0; i < merged.rows.size(); ++i) {
+    const core::CombinationOutcome& row = merged.rows[i];
+    if (row.ok && row.kept) merged.ranking.push_back(i);
+    if (!row.ok) merged.errors.push_back(i);
+  }
+  std::stable_sort(merged.ranking.begin(), merged.ranking.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return merged.rows[a].score > merged.rows[b].score;
+                   });
+
+  result.report = std::move(merged);
+  return result;
+}
+
+json::Value merged_to_json(const MergedReport& report) {
+  json::Object object;
+  object["format"] = kMergedFormatName;
+  object["format_version"] = static_cast<double>(kReportFormatVersion);
+  object["library_version"] = report.library_version;
+  {
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(report.spec_key));
+    object["spec_key"] = std::string(buffer);
+  }
+  object["service"] = report.service;
+  json::Array args;
+  for (double arg : report.args) args.emplace_back(arg);
+  object["args"] = std::move(args);
+  json::Object objective;
+  objective["time_weight"] = report.objective.time_weight;
+  objective["min_reliability"] = report.objective.min_reliability;
+  object["objective"] = std::move(objective);
+  json::Array points;
+  for (const std::string& name : report.point_names) points.emplace_back(name);
+  object["points"] = std::move(points);
+  json::Array radices;
+  for (std::size_t radix : report.radices) radices.emplace_back(radix);
+  object["radices"] = std::move(radices);
+  object["total_combinations"] = report.total_combinations;
+  object["shards"] = report.shard_count;
+
+  json::Array rows;
+  rows.reserve(report.rows.size());
+  for (const core::CombinationOutcome& row : report.rows) {
+    json::Object row_object;
+    row_object["combination"] = row.combination;
+    json::Array choice;
+    for (std::size_t digit : row.choice) choice.emplace_back(digit);
+    row_object["choice"] = std::move(choice);
+    json::Array labels;
+    for (const std::string& label : row.labels) labels.emplace_back(label);
+    row_object["labels"] = std::move(labels);
+    row_object["ok"] = row.ok;
+    if (row.ok) {
+      row_object["kept"] = row.kept;
+      row_object["reliability"] = row.reliability;
+      row_object["expected_duration"] = row.expected_duration;
+      row_object["score"] = row.score;
+      row_object["evaluations"] = static_cast<double>(row.evaluations);
+      row_object["states"] = static_cast<double>(row.states);
+      row_object["expr_evaluations"] = static_cast<double>(row.expr_evaluations);
+    } else {
+      row_object["error"] = row.error;
+      row_object["message"] = row.message;
+    }
+    rows.push_back(json::Value(std::move(row_object)));
+  }
+  object["rows"] = std::move(rows);
+
+  json::Array ranking;
+  for (std::size_t index : report.ranking) {
+    ranking.emplace_back(report.rows[index].combination);
+  }
+  object["ranking"] = std::move(ranking);
+  json::Array errors;
+  for (std::size_t index : report.errors) {
+    errors.emplace_back(report.rows[index].combination);
+  }
+  object["errors"] = std::move(errors);
+
+  json::Object stats;
+  stats["physical_evaluations"] =
+      static_cast<double>(report.stats.physical_evaluations);
+  stats["shared_hits"] = static_cast<double>(report.stats.shared_hits);
+  stats["shared_misses"] = static_cast<double>(report.stats.shared_misses);
+  object["stats"] = std::move(stats);
+
+  json::Value document(std::move(object));
+  {
+    json::Object body = document.as_object();
+    body.erase("crc64");
+    const std::string bytes = json::Value(std::move(body)).dump();
+    const std::uint64_t crc = snap::crc64(bytes.data(), bytes.size());
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(crc));
+    document.as_object()["crc64"] = std::string(buffer);
+  }
+  return document;
+}
+
+std::string logical_dump(const json::Value& document) {
+  json::Object body = document.as_object();
+  body.erase("stats");
+  body.erase("crc64");
+  // How many workers computed a merged report is execution topology, not
+  // content: 1-shard and 8-shard runs must project to the same bytes.
+  body.erase("shards");
+  return json::Value(std::move(body)).dump();
+}
+
+}  // namespace sorel::dist

@@ -1,0 +1,496 @@
+// Shard-report serialization and the distrustful loader/file layer. The
+// document format is JSON on purpose: json::Object iteration is sorted and
+// numbers print via %.17g (exact double round trip), so `dump()` is a
+// canonical form — which is what lets a CRC-64 seal survive a parse/re-dump
+// cycle and lets the differential tests compare reports byte for byte.
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sorel/dist/dist.hpp"
+#include "sorel/resil/chaos.hpp"
+#include "sorel/snap/snapshot.hpp"
+#include "sorel/util/error.hpp"
+
+#ifndef SOREL_VERSION_STRING
+#define SOREL_VERSION_STRING "0.0.0-unversioned"
+#endif
+
+namespace sorel::dist {
+
+namespace {
+
+// Largest integer exact in a double — combination indices and counters are
+// carried as JSON numbers, so anything past this is corruption.
+constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+
+constexpr const char* kStatusNames[] = {
+    "ok",
+    "not_found",
+    "io_error",
+    "malformed",
+    "bad_format",
+    "bad_format_version",
+    "bad_library_version",
+    "bad_checksum",
+    "foreign_spec",
+    "mismatch",
+    "coverage_gap",
+    "coverage_overlap",
+};
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+bool parse_hex64(const std::string& text, std::uint64_t& out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  out = value;
+  return true;
+}
+
+// A nonnegative integer exact in a double, or failure.
+bool to_count(const json::Value& value, std::uint64_t& out) {
+  if (!value.is_number()) return false;
+  const double d = value.as_number();
+  if (!(d >= 0.0) || d > kMaxExact || d != std::floor(d)) return false;
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+bool to_index(const json::Value& value, std::size_t& out) {
+  std::uint64_t wide = 0;
+  if (!to_count(value, wide)) return false;
+  out = static_cast<std::size_t>(wide);
+  return true;
+}
+
+DistError fail(DistStatus status, std::string detail) {
+  return DistError{status, std::move(detail)};
+}
+
+// The seal: CRC-64/XZ over the canonical dump of the document without its
+// `crc64` member.
+std::uint64_t seal_checksum(const json::Value& document) {
+  json::Object body = document.as_object();
+  body.erase("crc64");
+  const std::string bytes = json::Value(std::move(body)).dump();
+  return snap::crc64(bytes.data(), bytes.size());
+}
+
+json::Value row_to_json(const core::CombinationOutcome& row) {
+  json::Object object;
+  object["combination"] = row.combination;
+  json::Array choice;
+  for (std::size_t digit : row.choice) choice.emplace_back(digit);
+  object["choice"] = std::move(choice);
+  json::Array labels;
+  for (const std::string& label : row.labels) labels.emplace_back(label);
+  object["labels"] = std::move(labels);
+  object["ok"] = row.ok;
+  if (row.ok) {
+    object["kept"] = row.kept;
+    object["reliability"] = row.reliability;
+    object["expected_duration"] = row.expected_duration;
+    object["score"] = row.score;
+    object["evaluations"] = static_cast<double>(row.evaluations);
+    object["states"] = static_cast<double>(row.states);
+    object["expr_evaluations"] = static_cast<double>(row.expr_evaluations);
+  } else {
+    object["error"] = row.error;
+    object["message"] = row.message;
+  }
+  return json::Value(std::move(object));
+}
+
+// Decode and validate one row against its expected combination index and
+// the point radices. Throws sorel::InvalidArgument (mapped to Malformed by
+// the caller) with a row-pinpointing detail.
+core::CombinationOutcome row_from_json(const json::Value& value,
+                                       std::size_t expected_combination,
+                                       const std::vector<std::size_t>& radices) {
+  core::CombinationOutcome row;
+  const json::Object& object = value.as_object();
+  (void)object;  // type check above; fields accessed via at()
+  if (!to_index(value.at("combination"), row.combination) ||
+      row.combination != expected_combination) {
+    throw InvalidArgument("row combination out of order (expected " +
+                          std::to_string(expected_combination) + ")");
+  }
+  const json::Array& choice = value.at("choice").as_array();
+  if (choice.size() != radices.size()) {
+    throw InvalidArgument("row choice width disagrees with the points");
+  }
+  std::size_t rest = row.combination;  // mixed radix, least significant first
+  row.choice.reserve(radices.size());
+  for (std::size_t i = 0; i < radices.size(); ++i) {
+    std::size_t digit = 0;
+    if (!to_index(choice[i], digit) || digit >= radices[i]) {
+      throw InvalidArgument("row choice digit out of range");
+    }
+    if (digit != rest % radices[i]) {
+      throw InvalidArgument("row choice disagrees with its combination index");
+    }
+    rest /= radices[i];
+    row.choice.push_back(digit);
+  }
+  const json::Array& labels = value.at("labels").as_array();
+  if (labels.size() != radices.size()) {
+    throw InvalidArgument("row labels width disagrees with the points");
+  }
+  row.labels.reserve(labels.size());
+  for (const json::Value& label : labels) row.labels.push_back(label.as_string());
+  row.ok = value.at("ok").as_bool();
+  if (row.ok) {
+    row.kept = value.at("kept").as_bool();
+    row.reliability = value.at("reliability").as_number();
+    row.expected_duration = value.at("expected_duration").as_number();
+    row.score = value.at("score").as_number();
+    if (!to_count(value.at("evaluations"), row.evaluations) ||
+        !to_count(value.at("states"), row.states) ||
+        !to_count(value.at("expr_evaluations"), row.expr_evaluations)) {
+      throw InvalidArgument("row logical counters must be exact nonnegative integers");
+    }
+  } else {
+    row.error = value.at("error").as_string();
+    row.message = value.at("message").as_string();
+    if (row.error.empty()) {
+      throw InvalidArgument("error row carries an empty error category");
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+const char* dist_status_name(DistStatus status) noexcept {
+  const auto index = static_cast<std::size_t>(status);
+  if (index >= std::size(kStatusNames)) return "unknown";
+  return kStatusNames[index];
+}
+
+ShardSpec parse_shard_spec(std::string_view text) {
+  const auto fail_parse = [&] {
+    throw InvalidArgument("--shard expects k/n with 1 <= k <= n (got \"" +
+                          std::string(text) + "\")");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos || slash == 0 ||
+      slash + 1 >= text.size()) {
+    fail_parse();
+  }
+  const auto parse_part = [&](std::string_view part) -> std::size_t {
+    if (part.empty() || part.size() > 9) fail_parse();
+    std::size_t value = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') fail_parse();
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return value;
+  };
+  ShardSpec spec;
+  spec.index = parse_part(text.substr(0, slash));
+  spec.count = parse_part(text.substr(slash + 1));
+  if (spec.count == 0 || spec.index == 0 || spec.index > spec.count) {
+    fail_parse();
+  }
+  return spec;
+}
+
+std::pair<std::size_t, std::size_t> shard_range(const ShardSpec& spec,
+                                                std::size_t total) {
+  if (spec.count == 0 || spec.index == 0 || spec.index > spec.count) {
+    throw InvalidArgument("shard_range: invalid shard " +
+                          std::to_string(spec.index) + "/" +
+                          std::to_string(spec.count));
+  }
+  // Balanced split: the first total%count shards get one extra combination,
+  // so the count ranges partition [0, total) exactly.
+  const std::size_t base = total / spec.count;
+  const std::size_t extra = total % spec.count;
+  const std::size_t k = spec.index - 1;
+  const std::size_t begin = k * base + std::min(k, extra);
+  const std::size_t end = begin + base + (k < extra ? 1 : 0);
+  return {begin, end};
+}
+
+json::Value report_to_json(const ShardReport& report) {
+  json::Object object;
+  object["format"] = kShardFormatName;
+  object["format_version"] = static_cast<double>(report.format_version);
+  object["library_version"] = report.library_version;
+  object["spec_key"] = hex64(report.spec_key);
+  object["service"] = report.service;
+  json::Array args;
+  for (double arg : report.args) args.emplace_back(arg);
+  object["args"] = std::move(args);
+  json::Object objective;
+  objective["time_weight"] = report.objective.time_weight;
+  objective["min_reliability"] = report.objective.min_reliability;
+  object["objective"] = std::move(objective);
+  json::Array points;
+  for (const std::string& name : report.point_names) points.emplace_back(name);
+  object["points"] = std::move(points);
+  json::Array radices;
+  for (std::size_t radix : report.radices) radices.emplace_back(radix);
+  object["radices"] = std::move(radices);
+  object["total_combinations"] = report.total_combinations;
+  json::Object shard;
+  shard["index"] = report.shard.index;
+  shard["count"] = report.shard.count;
+  shard["begin"] = report.begin;
+  shard["end"] = report.end;
+  object["shard"] = std::move(shard);
+  json::Array rows;
+  rows.reserve(report.rows.size());
+  for (const core::CombinationOutcome& row : report.rows) {
+    rows.push_back(row_to_json(row));
+  }
+  object["rows"] = std::move(rows);
+  json::Object stats;
+  stats["physical_evaluations"] = static_cast<double>(report.stats.physical_evaluations);
+  stats["shared_hits"] = static_cast<double>(report.stats.shared_hits);
+  stats["shared_misses"] = static_cast<double>(report.stats.shared_misses);
+  object["stats"] = std::move(stats);
+  json::Value document(std::move(object));
+  document.as_object()["crc64"] = hex64(seal_checksum(document));
+  return document;
+}
+
+ReadResult report_from_string(std::string_view text) {
+  ReadResult result;
+  json::Value document;
+  try {
+    document = json::parse(text);
+  } catch (const Error& e) {
+    result.error = fail(DistStatus::Malformed,
+                        std::string("not valid JSON: ") + e.what());
+    return result;
+  }
+  if (!document.is_object() || !document.contains("format") ||
+      !document.at("format").is_string()) {
+    result.error = fail(DistStatus::BadFormat, "not a shard report document");
+    return result;
+  }
+  if (document.at("format").as_string() != kShardFormatName) {
+    result.error = fail(DistStatus::BadFormat,
+                        "format \"" + document.at("format").as_string() +
+                            "\" is not \"" + kShardFormatName + "\"");
+    return result;
+  }
+  std::uint64_t format_version = 0;
+  if (!document.contains("format_version") ||
+      !to_count(document.at("format_version"), format_version)) {
+    result.error = fail(DistStatus::Malformed, "missing format_version");
+    return result;
+  }
+  if (format_version != kReportFormatVersion) {
+    result.error = fail(DistStatus::BadFormatVersion,
+                        "format version " + std::to_string(format_version) +
+                            " (this build reads " +
+                            std::to_string(kReportFormatVersion) + ")");
+    return result;
+  }
+  if (!document.contains("library_version") ||
+      !document.at("library_version").is_string()) {
+    result.error = fail(DistStatus::Malformed, "missing library_version");
+    return result;
+  }
+  if (document.at("library_version").as_string() != SOREL_VERSION_STRING) {
+    result.error = fail(DistStatus::BadLibraryVersion,
+                        "written by sorel " +
+                            document.at("library_version").as_string() +
+                            ", this build is " SOREL_VERSION_STRING);
+    return result;
+  }
+  std::uint64_t claimed_crc = 0;
+  if (!document.contains("crc64") || !document.at("crc64").is_string() ||
+      !parse_hex64(document.at("crc64").as_string(), claimed_crc)) {
+    result.error = fail(DistStatus::Malformed, "missing crc64 seal");
+    return result;
+  }
+  if (seal_checksum(document) != claimed_crc) {
+    result.error = fail(DistStatus::BadChecksum,
+                        "crc64 mismatch: bit flip or torn write");
+    return result;
+  }
+
+  // The document is sealed and ours; everything below is shape validation.
+  // The json accessors throw on type mismatches — map any of that (plus the
+  // explicit range checks) to one Malformed class.
+  try {
+    ShardReport report;
+    report.format_version = static_cast<std::uint32_t>(format_version);
+    report.library_version = document.at("library_version").as_string();
+    if (!parse_hex64(document.at("spec_key").as_string(), report.spec_key)) {
+      throw InvalidArgument("spec_key is not a 64-bit hex string");
+    }
+    report.service = document.at("service").as_string();
+    if (report.service.empty()) throw InvalidArgument("empty service name");
+    for (const json::Value& arg : document.at("args").as_array()) {
+      report.args.push_back(arg.as_number());
+    }
+    const json::Value& objective = document.at("objective");
+    report.objective.time_weight = objective.at("time_weight").as_number();
+    report.objective.min_reliability =
+        objective.at("min_reliability").as_number();
+    for (const json::Value& name : document.at("points").as_array()) {
+      report.point_names.push_back(name.as_string());
+    }
+    if (report.point_names.empty()) {
+      throw InvalidArgument("a shard report needs at least one point");
+    }
+    std::size_t product = 1;
+    for (const json::Value& radix : document.at("radices").as_array()) {
+      std::size_t value = 0;
+      if (!to_index(radix, value) || value == 0) {
+        throw InvalidArgument("radices must be positive integers");
+      }
+      if (product > static_cast<std::size_t>(kMaxExact) / value) {
+        throw InvalidArgument("radices product exceeds 2^53");
+      }
+      product *= value;
+      report.radices.push_back(value);
+    }
+    if (report.radices.size() != report.point_names.size()) {
+      throw InvalidArgument("radices must parallel points");
+    }
+    if (!to_index(document.at("total_combinations"),
+                  report.total_combinations) ||
+        report.total_combinations != product) {
+      throw InvalidArgument(
+          "total_combinations disagrees with the radices product");
+    }
+    const json::Value& shard = document.at("shard");
+    if (!to_index(shard.at("index"), report.shard.index) ||
+        !to_index(shard.at("count"), report.shard.count) ||
+        report.shard.index == 0 || report.shard.count == 0 ||
+        report.shard.index > report.shard.count) {
+      throw InvalidArgument("invalid shard index/count");
+    }
+    if (!to_index(shard.at("begin"), report.begin) ||
+        !to_index(shard.at("end"), report.end)) {
+      throw InvalidArgument("invalid shard range");
+    }
+    const auto range = shard_range(report.shard, report.total_combinations);
+    if (report.begin != range.first || report.end != range.second) {
+      throw InvalidArgument(
+          "shard range disagrees with the canonical split of the space");
+    }
+    const json::Array& rows = document.at("rows").as_array();
+    if (rows.size() != report.end - report.begin) {
+      throw InvalidArgument("row count disagrees with the shard range");
+    }
+    report.rows.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      report.rows.push_back(
+          row_from_json(rows[i], report.begin + i, report.radices));
+    }
+    const json::Value& stats = document.at("stats");
+    if (!to_count(stats.at("physical_evaluations"),
+                  report.stats.physical_evaluations) ||
+        !to_count(stats.at("shared_hits"), report.stats.shared_hits) ||
+        !to_count(stats.at("shared_misses"), report.stats.shared_misses)) {
+      throw InvalidArgument("stats counters must be exact nonnegative integers");
+    }
+    result.report = std::move(report);
+  } catch (const Error& e) {
+    result.report.reset();
+    result.error = fail(DistStatus::Malformed, e.what());
+  }
+  return result;
+}
+
+SaveResult write_document_file(const json::Value& document,
+                               const std::string& path) {
+  SaveResult result;
+  const std::string text = document.dump() + "\n";
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    result.error = fail(DistStatus::IoError,
+                        "open " + temp + ": " + std::strerror(errno));
+    return result;
+  }
+  // An injected fault tears the write: half the bytes reach the temp file,
+  // then the writer fails as if the process died. The previous report at
+  // `path` (if any) is untouched, and the torn temp file is never read.
+  std::size_t goal = text.size();
+  const bool torn = resil::chaos_fire(resil::Site::DistReportWrite);
+  if (torn) goal = text.size() / 2;
+  const std::size_t written = std::fwrite(text.data(), 1, goal, file);
+  const bool flushed = std::fflush(file) == 0;
+  std::fclose(file);
+  if (torn) {
+    result.error = fail(DistStatus::IoError,
+                        "chaos: torn report write to " + temp);
+    return result;
+  }
+  if (written != goal || !flushed) {
+    std::remove(temp.c_str());
+    result.error = fail(DistStatus::IoError,
+                        "write " + temp + ": " + std::strerror(errno));
+    return result;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    result.error = fail(DistStatus::IoError,
+                        "rename " + temp + ": " + std::strerror(errno));
+    std::remove(temp.c_str());
+    return result;
+  }
+  result.bytes = text.size();
+  return result;
+}
+
+SaveResult write_report_file(const ShardReport& report,
+                             const std::string& path) {
+  return write_document_file(report_to_json(report), path);
+}
+
+ReadResult read_report_file(const std::string& path) {
+  ReadResult result;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    const DistStatus status =
+        errno == ENOENT ? DistStatus::NotFound : DistStatus::IoError;
+    result.error = fail(status, "open " + path + ": " + std::strerror(errno));
+    return result;
+  }
+  std::string text;
+  char buffer[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    text.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    result.error = fail(DistStatus::IoError,
+                        "read " + path + ": " + std::strerror(errno));
+    return result;
+  }
+  // An injected fault arrives as a short read; the truncated text flows
+  // through the same validation as any real torn file and is rejected with
+  // a structured error, never merged.
+  if (resil::chaos_fire(resil::Site::DistReportRead)) {
+    text.resize(text.size() / 2);
+  }
+  result = report_from_string(text);
+  if (!result.ok()) result.error.detail += " (" + path + ")";
+  return result;
+}
+
+}  // namespace sorel::dist

@@ -1,0 +1,48 @@
+// The worker half of sharded selection: evaluate one mixed-radix sub-range
+// and stamp the report header that lets the merger trust it.
+
+#include "sorel/dist/dist.hpp"
+#include "sorel/snap/snapshot.hpp"
+
+#ifndef SOREL_VERSION_STRING
+#define SOREL_VERSION_STRING "0.0.0-unversioned"
+#endif
+
+namespace sorel::dist {
+
+ShardReport run_shard(const core::Assembly& assembly,
+                      std::string_view service_name,
+                      const std::vector<double>& args,
+                      const std::vector<core::SelectionPoint>& points,
+                      const ShardSpec& spec,
+                      const core::SelectionOptions& options) {
+  const std::size_t total = core::selection_space_size(points);
+  const auto range = shard_range(spec, total);
+
+  ShardReport report;
+  report.library_version = SOREL_VERSION_STRING;
+  report.spec_key = snap::spec_key(assembly);
+  report.service = std::string(service_name);
+  report.args = args;
+  report.objective = options.objective;
+  report.point_names.reserve(points.size());
+  report.radices.reserve(points.size());
+  for (const core::SelectionPoint& point : points) {
+    report.point_names.push_back(point.service + "." + point.port);
+    report.radices.push_back(point.candidates.size());
+  }
+  report.total_combinations = total;
+  report.shard = spec;
+  report.begin = range.first;
+  report.end = range.second;
+
+  core::RangeEvaluation evaluation = core::evaluate_combination_range(
+      assembly, service_name, args, points, options, range.first, range.second);
+  report.rows = std::move(evaluation.outcomes);
+  report.stats.physical_evaluations = evaluation.physical_evaluations;
+  report.stats.shared_hits = evaluation.shared_hits;
+  report.stats.shared_misses = evaluation.shared_misses;
+  return report;
+}
+
+}  // namespace sorel::dist

@@ -17,7 +17,7 @@ constexpr const char* kSiteNames[kSiteCount] = {
     "tcp.accept",      "tcp.recv",    "tcp.send",
     "sched.task_start", "memo.insert", "spec.load",
     "fs.write",        "fs.fsync",    "fs.rename",
-    "fs.read",
+    "fs.read",         "dist.report_write", "dist.report_read",
 };
 
 constexpr const char* kSiteDescriptions[kSiteCount] = {
@@ -31,6 +31,8 @@ constexpr const char* kSiteDescriptions[kSiteCount] = {
     "fail the fsync before a snapshot's atomic rename (temp file left)",
     "crash between a snapshot's temp write and its rename into place",
     "short-read a snapshot while loading (the image arrives truncated)",
+    "tear a shard-report write: half the bytes reach the temp file, then fail",
+    "short-read a shard report (the merger must reject the truncation)",
 };
 
 /// The process-wide chaos state: the immutable-while-active plan plus the
@@ -49,16 +51,35 @@ ChaosState& state() {
   return instance;
 }
 
+/// The install body shared by programmatic installs and the one-shot
+/// ambient consult below (which must not re-enter the public install_chaos
+/// — that would deadlock on the once_flag).
+void install_plan(const FaultPlan& plan) {
+  ChaosState& chaos = state();
+  std::lock_guard<std::mutex> lock(chaos.install_mutex);
+  chaos.active.store(false, std::memory_order_release);
+  chaos.plan = plan;
+  for (auto& counter : chaos.visits) counter.store(0, std::memory_order_relaxed);
+  for (auto& counter : chaos.injected) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  chaos.active.store(true, std::memory_order_release);
+}
+
 /// Consult SOREL_CHAOS exactly once per process, before the first verdict.
 /// A malformed value is reported and ignored (the process runs chaos-free)
-/// rather than aborting a library client.
+/// rather than aborting a library client. install_chaos and
+/// uninstall_chaos burn the flag too: an explicit plan (or an explicit
+/// "no chaos") must win over the ambient one no matter whether any verdict
+/// was asked for before it — otherwise the first chaos_fire after an early
+/// install would silently replace the installed plan with the env's.
 void ensure_env_consulted() {
   static std::once_flag once;
   std::call_once(once, [] {
     const char* spec = std::getenv("SOREL_CHAOS");
     if (spec == nullptr || *spec == '\0') return;
     try {
-      install_chaos(FaultPlan::parse(spec));
+      install_plan(FaultPlan::parse(spec));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "sorel: ignoring malformed SOREL_CHAOS: %s\n",
                    e.what());
@@ -185,18 +206,12 @@ std::uint64_t ChaosStats::total_injected() const noexcept {
 }
 
 void install_chaos(const FaultPlan& plan) {
-  ChaosState& chaos = state();
-  std::lock_guard<std::mutex> lock(chaos.install_mutex);
-  chaos.active.store(false, std::memory_order_release);
-  chaos.plan = plan;
-  for (auto& counter : chaos.visits) counter.store(0, std::memory_order_relaxed);
-  for (auto& counter : chaos.injected) {
-    counter.store(0, std::memory_order_relaxed);
-  }
-  chaos.active.store(true, std::memory_order_release);
+  ensure_env_consulted();
+  install_plan(plan);
 }
 
 void uninstall_chaos() noexcept {
+  ensure_env_consulted();
   state().active.store(false, std::memory_order_release);
 }
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "sorel/dist/dist.hpp"
 #include "sorel/dsl/loader.hpp"
 #include "sorel/faults/campaign_json.hpp"
 #include "sorel/faults/runner.hpp"
@@ -24,9 +25,9 @@ namespace {
 
 /// The protocol's op vocabulary, in the order the "ops" stats object lists
 /// it (every op always present, so the key set is deterministic).
-constexpr std::array<const char*, 10> kOpNames = {
-    "batch",    "eval",     "health", "inject", "load_spec",
-    "set_attributes", "shutdown", "snapshot", "stats",  "version",
+constexpr std::array<const char*, 11> kOpNames = {
+    "batch",    "eval",     "health",   "inject", "load_spec",
+    "set_attributes", "shard", "shutdown", "snapshot", "stats",  "version",
 };
 
 /// Bump `maximum` to at least `value` (relaxed CAS loop; high-water marks
@@ -98,6 +99,9 @@ struct Server::SpecState {
   std::shared_ptr<memo::SharedMemo> memo;  // null when sharing is off
   std::size_t services = 0;
   std::uint64_t snap_key = 0;  // snap::spec_key(assembly); 0 when memo off
+  /// The spec's optional "selection" array (empty when none): shard requests
+  /// evaluate sub-ranges of this space. Carried across set_attributes swaps.
+  std::vector<core::SelectionPoint> selection;
 
   std::mutex pool_mutex;
   std::vector<std::unique_ptr<PooledSession>> idle;
@@ -277,6 +281,7 @@ std::size_t Server::load_spec(const json::Value& spec_document) {
   // take the daemon down.
   if (resil::chaos_fire(resil::Site::SpecLoad)) throw std::bad_alloc();
   auto state = std::make_shared<SpecState>(dsl::load_assembly(spec_document));
+  state->selection = dsl::load_selection_points(spec_document);
   if (options_.shared_memo) {
     state->memo = core::make_shared_memo(state->assembly);
     state->snap_key = snap::spec_key(state->assembly);
@@ -318,6 +323,8 @@ ServerStats Server::stats() const {
   out.rate_limited = rate_limited_.load(std::memory_order_relaxed);
   out.queue_depth_max = queue_depth_max_.load(std::memory_order_relaxed);
   out.requests_in_flight_max = in_flight_max_.load(std::memory_order_relaxed);
+  out.shard_requests = shard_requests_.load(std::memory_order_relaxed);
+  out.shard_combinations = shard_combinations_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kOpNames.size(); ++i) {
     out.op_counts[kOpNames[i]] = op_counts_[i].load(std::memory_order_relaxed);
   }
@@ -428,6 +435,7 @@ json::Object Server::dispatch(
   }
   if (request.op == "load_spec") return op_load_spec(request);
   if (request.op == "set_attributes") return op_set_attributes(request);
+  if (request.op == "shard") return op_shard(request, cost);
   if (request.op == "stats") return op_stats(request);
   if (request.op == "health") return op_health(request);
   if (request.op == "snapshot") return op_snapshot(request);
@@ -727,6 +735,7 @@ json::Object Server::op_set_attributes(const Request& request) {
     updated.set_attribute(name, value);
   }
   auto next = std::make_shared<SpecState>(std::move(updated));
+  next->selection = state->selection;  // attribute deltas leave the space intact
   if (options_.shared_memo) {
     next->memo = core::make_shared_memo(next->assembly);
     // The key hashes the overridden content, so snapshots taken before this
@@ -738,6 +747,64 @@ json::Object Server::op_set_attributes(const Request& request) {
 
   json::Object response = make_response(request.id, true);
   response["attributes"] = deltas.size();
+  return response;
+}
+
+json::Object Server::op_shard(const Request& request, std::uint64_t* cost) {
+  std::shared_ptr<SpecState> state = require_spec();
+  const json::Value& document = request.document;
+  if (state->selection.empty()) {
+    throw ModelError(
+        "shard requires a spec with a \"selection\" array (none declared)");
+  }
+  const std::string& service = document.at("service").as_string();
+  const std::vector<double> args = parse_args_field(document);
+  dist::ShardSpec shard;  // default 1/1: the whole space
+  if (document.contains("shard")) {
+    shard = dist::parse_shard_spec(document.at("shard").as_string());
+  }
+
+  core::SelectionOptions options;
+  options.exec() = options_.exec();  // threads / seed / stealing / sharing
+  if (document.contains("objective")) {
+    for (const auto& [name, value] : document.at("objective").as_object()) {
+      if (name == "time_weight") {
+        options.objective.time_weight = value.as_number();
+      } else if (name == "min_reliability") {
+        options.objective.min_reliability = value.as_number();
+      } else {
+        throw InvalidArgument("shard objective: unknown key '" + name + "'");
+      }
+    }
+  }
+  if (document.contains("max_combinations")) {
+    options.max_combinations =
+        static_cast<std::size_t>(document.at("max_combinations").as_number());
+  }
+  // The server's hot table is the shard's warm start — the serve-side
+  // equivalent of a worker process warming from a --snapshot file. Rows are
+  // logical, so warmth changes only the report's stats section.
+  if (options.shared_memo) options.shared_cache = state->memo;
+
+  const dist::ShardReport report = dist::run_shard(
+      state->assembly, service, args, state->selection, shard, options);
+
+  std::uint64_t logical = 0;
+  std::size_t failed = 0;
+  for (const core::CombinationOutcome& row : report.rows) {
+    logical += row.evaluations;
+    if (!row.ok) ++failed;
+  }
+  shard_requests_.fetch_add(1, std::memory_order_relaxed);
+  shard_combinations_.fetch_add(report.rows.size(), std::memory_order_relaxed);
+  if (cost != nullptr) *cost = std::max<std::uint64_t>(logical, 1);
+
+  json::Object response = make_response(request.id, true);
+  response["combinations"] = report.rows.size();
+  response["failed"] = failed;
+  // The full sealed document, exactly as --shard --out would write it: a
+  // client can dump the field to a file and feed it to merge-shards.
+  response["report"] = dist::report_to_json(report);
   return response;
 }
 
@@ -764,6 +831,8 @@ json::Object Server::op_stats(const Request& request) {
   // Saturation high-waters + per-op counters (additive, still protocol 1).
   response["queue_depth_max"] = totals.queue_depth_max;
   response["requests_in_flight_max"] = totals.requests_in_flight_max;
+  response["shard_requests"] = totals.shard_requests;
+  response["shard_combinations"] = totals.shard_combinations;
   json::Object ops;
   for (const auto& [op, count] : totals.op_counts) ops[op] = count;
   response["ops"] = json::Value(std::move(ops));

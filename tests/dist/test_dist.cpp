@@ -1,0 +1,648 @@
+// sorel::dist contracts — sharded selection and the deterministic merger.
+//
+// The load-bearing invariant: everything in a shard/merged report except its
+// `stats` object and `crc64` seal is *logical* — byte-identical across shard
+// counts, thread counts, shared-memo on/off, and snapshot warmth, including
+// the structured error rows a poisoned candidate produces. The differential
+// grid here compares logical_dump() bytes across the whole
+// (shards x threads x memo x warmth) grid against the single-process
+// reference. Merging is order-invariant; any coverage gap, overlap, foreign
+// spec, or file corruption is refused with a structured DistError, never a
+// silently partial ranking.
+//
+// Chaos: the deterministic tests install a quiet plan (the CI chaos rerun
+// sets ambient SOREL_CHAOS fault rates; byte-identity claims must not race
+// injected fs faults), while the chaos tests install dist.report_write /
+// dist.report_read plans at rates 0.2 and 1.0 and assert every failure is
+// structured and every success byte-identical.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sorel/core/selection.hpp"
+#include "sorel/dist/dist.hpp"
+#include "sorel/dsl/loader.hpp"
+#include "sorel/json/json.hpp"
+#include "sorel/memo/shared_memo.hpp"
+#include "sorel/resil/chaos.hpp"
+#include "sorel/serve/server.hpp"
+#include "sorel/snap/snapshot.hpp"
+#include "sorel/util/error.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using sorel::core::SelectionOptions;
+using sorel::dist::DistStatus;
+using sorel::dist::MergeResult;
+using sorel::dist::ReadResult;
+using sorel::dist::ShardReport;
+using sorel::dist::ShardSpec;
+using sorel::dist::logical_dump;
+using sorel::dist::merge;
+using sorel::dist::merged_to_json;
+using sorel::dist::parse_shard_spec;
+using sorel::dist::read_report_file;
+using sorel::dist::report_from_string;
+using sorel::dist::report_to_json;
+using sorel::dist::run_shard;
+using sorel::dist::shard_range;
+using sorel::dist::write_report_file;
+
+/// Install on entry, uninstall on exit — chaos is process-global. A
+/// default-constructed plan silences any ambient SOREL_CHAOS plan for the
+/// scope, which is how the byte-identity tests stay exact under the CI
+/// chaos rerun.
+struct ChaosGuard {
+  explicit ChaosGuard(const sorel::resil::FaultPlan& plan) {
+    sorel::resil::install_chaos(plan);
+  }
+  ~ChaosGuard() { sorel::resil::uninstall_chaos(); }
+  ChaosGuard(const ChaosGuard&) = delete;
+  ChaosGuard& operator=(const ChaosGuard&) = delete;
+};
+
+/// Three selection points (3 x 2 x 2 = 12 combinations) over a sequential
+/// composite. The "poison" candidate's pfail divides by zero at evaluation
+/// time, so every combination choosing it yields a structured numeric_error
+/// row — the error half of the bit-identity contract.
+constexpr const char* kSpec = R"json({
+  "services": [
+    {"type": "simple", "name": "good", "formals": ["x"], "pfail": 0.01},
+    {"type": "simple", "name": "fair", "formals": ["x"], "pfail": 0.05},
+    {"type": "simple", "name": "weak", "formals": ["x"],
+     "pfail": "0.1 + 0.001 * x"},
+    {"type": "simple", "name": "poison", "formals": ["x"],
+     "pfail": "1 / (x - x)"},
+    {"type": "composite", "name": "app", "formals": ["x"],
+     "flow": {
+       "states": [
+         {"name": "s1", "requests": [{"port": "d1", "actuals": ["x"]}]},
+         {"name": "s2", "requests": [{"port": "d2", "actuals": ["x"]}]},
+         {"name": "s3", "requests": [{"port": "d3", "actuals": ["x"]}]}],
+       "transitions": [
+         {"from": "Start", "to": "s1", "p": 1},
+         {"from": "s1", "to": "s2", "p": 1},
+         {"from": "s2", "to": "s3", "p": 1},
+         {"from": "s3", "to": "End", "p": 1}]}}
+  ],
+  "selection": [
+    {"service": "app", "port": "d1",
+     "candidates": [{"label": "g1", "target": "good"},
+                    {"label": "f1", "target": "fair"},
+                    {"label": "w1", "target": "weak"}]},
+    {"service": "app", "port": "d2",
+     "candidates": [{"label": "g2", "target": "good"},
+                    {"label": "w2", "target": "weak"}]},
+    {"service": "app", "port": "d3",
+     "candidates": [{"label": "f3", "target": "fair"},
+                    {"label": "poison", "target": "poison"}]}
+  ]
+})json";
+
+struct SelectionFixture {
+  sorel::json::Value document;
+  sorel::core::Assembly assembly;
+  std::vector<sorel::core::SelectionPoint> points;
+
+  SelectionFixture()
+      : document(sorel::json::parse(kSpec)),
+        assembly(sorel::dsl::load_assembly(document)),
+        points(sorel::dsl::load_selection_points(document)) {}
+};
+
+const std::vector<double> kArgs{4.0};
+
+fs::path temp_path(const std::string& name) {
+  // Pid-qualified so concurrent `ctest -j` test processes can never tread
+  // on each other's report files.
+  return fs::temp_directory_path() /
+         ("sorel_dist_test_" + std::to_string(::getpid()) + "_" + name);
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Run all `n` shards of the setup's selection with per-shard options.
+std::vector<ShardReport> run_all_shards(const SelectionFixture& setup, std::size_t n,
+                                        const SelectionOptions& options) {
+  std::vector<ShardReport> shards;
+  for (std::size_t k = 1; k <= n; ++k) {
+    shards.push_back(run_shard(setup.assembly, "app", kArgs, setup.points,
+                               ShardSpec{k, n}, options));
+  }
+  return shards;
+}
+
+std::string merged_logical(const std::vector<ShardReport>& shards) {
+  const MergeResult result = merge(shards);
+  EXPECT_TRUE(result.ok()) << result.error.detail;
+  if (!result.ok()) return {};
+  return logical_dump(merged_to_json(*result.report));
+}
+
+/// Recompute the crc64 seal after a deliberate field edit, so the loader
+/// rejection under test is the *field*, not a checksum mismatch masking it.
+sorel::json::Value reseal(sorel::json::Value document) {
+  sorel::json::Object body = document.as_object();
+  body.erase("crc64");
+  const std::string bytes = sorel::json::Value(std::move(body)).dump();
+  const std::uint64_t crc = sorel::snap::crc64(bytes.data(), bytes.size());
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(crc));
+  document.as_object()["crc64"] = std::string(buffer);
+  return document;
+}
+
+// ---------------------------------------------------------------------------
+// Shard arithmetic.
+
+TEST(DistShard, ParseShardSpec) {
+  EXPECT_EQ(parse_shard_spec("1/1").index, 1u);
+  EXPECT_EQ(parse_shard_spec("1/1").count, 1u);
+  EXPECT_EQ(parse_shard_spec("3/8").index, 3u);
+  EXPECT_EQ(parse_shard_spec("3/8").count, 8u);
+  for (const char* bad : {"", "/", "1/", "/2", "0/3", "4/3", "1/0", "a/b",
+                          "1/2/3", "-1/2", "1.5/2", " 1/2", "1/2 "}) {
+    EXPECT_THROW(parse_shard_spec(bad), sorel::InvalidArgument) << bad;
+  }
+}
+
+TEST(DistShard, ShardRangePartitionsExactly) {
+  // For every (total, count) the n ranges must tile [0, total): contiguous,
+  // in order, no gap, no overlap — the merger's coverage proof rests on it.
+  for (const std::size_t total : {0u, 1u, 5u, 7u, 12u, 16u, 53u, 4096u}) {
+    for (const std::size_t count : {1u, 2u, 3u, 8u, 60u}) {
+      std::size_t expected_begin = 0;
+      for (std::size_t k = 1; k <= count; ++k) {
+        const auto range = shard_range(ShardSpec{k, count}, total);
+        EXPECT_EQ(range.first, expected_begin) << total << " " << count;
+        EXPECT_GE(range.second, range.first);
+        expected_begin = range.second;
+      }
+      EXPECT_EQ(expected_begin, total) << total << " " << count;
+    }
+  }
+}
+
+TEST(DistShard, PerShardBoundLiftsTheGlobalCap) {
+  // The whole space (12) exceeds a max_combinations of 4; single-process
+  // ranking refuses, but each of 3 shards holds exactly 4 combinations and
+  // runs — sharding is how the bound is lifted without abandoning it.
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+  SelectionOptions options;
+  options.max_combinations = 4;
+  EXPECT_THROW(sorel::core::rank_assemblies(setup.assembly, "app", kArgs,
+                                            setup.points, options),
+               sorel::InvalidArgument);
+  EXPECT_THROW(sorel::core::evaluate_combination_range(
+                   setup.assembly, "app", kArgs, setup.points, options, 0, 12),
+               sorel::InvalidArgument);
+  const auto shards = run_all_shards(setup, 3, options);
+  for (const ShardReport& shard : shards) {
+    EXPECT_EQ(shard.rows.size(), 4u);
+  }
+  EXPECT_TRUE(merge(shards).ok());
+}
+
+TEST(DistShard, RangeAgreesWithRankAssemblies) {
+  // The keep-going range evaluator and the historical ranking must tell the
+  // same story: same kept set, same scores, same total order.
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+  SelectionOptions options;
+  const auto evaluation = sorel::core::evaluate_combination_range(
+      setup.assembly, "app", kArgs, setup.points, options, 0, 12);
+  ASSERT_EQ(evaluation.outcomes.size(), 12u);
+
+  // rank_assemblies throws on the poisoned candidate, so compare against a
+  // poison-free sub-space: pin d3 to its first candidate.
+  auto safe_points = setup.points;
+  safe_points[2].candidates.resize(1);
+  safe_points[2].labels.resize(1);
+  const auto ranking = sorel::core::rank_assemblies(setup.assembly, "app",
+                                                    kArgs, safe_points, options);
+  ASSERT_EQ(ranking.size(), 6u);
+
+  // d3 = candidate 0 combinations are the global indices 0..5.
+  std::vector<const sorel::core::CombinationOutcome*> kept;
+  for (const auto& outcome : evaluation.outcomes) {
+    if (outcome.combination < 6) {
+      EXPECT_TRUE(outcome.ok) << outcome.combination;
+      kept.push_back(&outcome);
+    } else {
+      EXPECT_FALSE(outcome.ok) << outcome.combination;
+      EXPECT_EQ(outcome.error, "numeric_error");
+      EXPECT_EQ(outcome.evaluations, 0u);
+    }
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const auto* a, const auto* b) { return a->score > b->score; });
+  ASSERT_EQ(kept.size(), ranking.size());
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    EXPECT_EQ(kept[i]->labels, ranking[i].labels) << i;
+    EXPECT_DOUBLE_EQ(kept[i]->score, ranking[i].score) << i;
+    EXPECT_DOUBLE_EQ(kept[i]->reliability, ranking[i].reliability) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report files.
+
+TEST(DistReport, FileRoundTripIsExact) {
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+  const ShardReport report = run_shard(setup.assembly, "app", kArgs,
+                                       setup.points, ShardSpec{1, 2}, {});
+  const fs::path path = temp_path("roundtrip.json");
+  const auto saved = write_report_file(report, path.string());
+  ASSERT_TRUE(saved.ok()) << saved.error.detail;
+  EXPECT_GT(saved.bytes, 0u);
+
+  const ReadResult loaded = read_report_file(path.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.error.detail;
+  // Re-serialization reproduces the file byte for byte: the canonical dump
+  // (sorted keys, %.17g numbers) plus the deterministic seal and the
+  // writer's trailing newline.
+  EXPECT_EQ(report_to_json(*loaded.report).dump() + "\n", slurp(path));
+  EXPECT_EQ(report_to_json(*loaded.report).dump(), report_to_json(report).dump());
+  fs::remove(path);
+}
+
+TEST(DistReport, CorruptionDifferential) {
+  // Every corruption class maps to its exact DistStatus — corrupted files
+  // must be refused for the right reason, never half-trusted.
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+  const ShardReport report = run_shard(setup.assembly, "app", kArgs,
+                                       setup.points, ShardSpec{1, 2}, {});
+  const sorel::json::Value document = report_to_json(report);
+  const std::string text = document.dump();
+
+  EXPECT_EQ(report_from_string(text).error.status, DistStatus::Ok);
+  EXPECT_EQ(report_from_string("").error.status, DistStatus::Malformed);
+  EXPECT_EQ(report_from_string("[1, 2]").error.status, DistStatus::BadFormat);
+  EXPECT_EQ(report_from_string(text.substr(0, text.size() / 2)).error.status,
+            DistStatus::Malformed);
+
+  const auto with = [&](const char* field, sorel::json::Value value,
+                        bool fix_seal) {
+    sorel::json::Value edited = document;
+    edited.as_object()[field] = std::move(value);
+    if (fix_seal) edited = reseal(edited);
+    return report_from_string(edited.dump()).error.status;
+  };
+  // A flipped field without a matching seal is a checksum failure; with the
+  // seal recomputed the specific validation fires instead.
+  EXPECT_EQ(with("service", sorel::json::Value(std::string("other")), false),
+            DistStatus::BadChecksum);
+  EXPECT_EQ(with("format", sorel::json::Value(std::string("not-a-report")), true),
+            DistStatus::BadFormat);
+  EXPECT_EQ(with("format_version", sorel::json::Value(2.0), true),
+            DistStatus::BadFormatVersion);
+  EXPECT_EQ(with("library_version",
+                 sorel::json::Value(std::string("9.9.9-foreign")), true),
+            DistStatus::BadLibraryVersion);
+  EXPECT_EQ(with("total_combinations", sorel::json::Value(13.0), true),
+            DistStatus::Malformed);
+  EXPECT_EQ(with("spec_key", sorel::json::Value(std::string("zz")), true),
+            DistStatus::Malformed);
+
+  const ReadResult missing = read_report_file(temp_path("nope.json").string());
+  EXPECT_EQ(missing.error.status, DistStatus::NotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Merging.
+
+TEST(DistMerge, OrderInvariant) {
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+  std::vector<ShardReport> shards = run_all_shards(setup, 3, {});
+  const MergeResult reference = merge(shards);
+  ASSERT_TRUE(reference.ok());
+  const std::string reference_dump = merged_to_json(*reference.report).dump();
+
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardReport& a, const ShardReport& b) {
+              return a.shard.index < b.shard.index;
+            });
+  do {
+    const MergeResult permuted = merge(shards);
+    ASSERT_TRUE(permuted.ok());
+    EXPECT_EQ(merged_to_json(*permuted.report).dump(), reference_dump);
+  } while (std::next_permutation(
+      shards.begin(), shards.end(),
+      [](const ShardReport& a, const ShardReport& b) {
+        return a.shard.index < b.shard.index;
+      }));
+}
+
+TEST(DistMerge, RefusesGapsOverlapsAndForeignReports) {
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+  const std::vector<ShardReport> shards = run_all_shards(setup, 3, {});
+
+  EXPECT_EQ(merge({}).error.status, DistStatus::Malformed);
+  EXPECT_EQ(merge({shards[0], shards[1]}).error.status, DistStatus::CoverageGap);
+  EXPECT_EQ(merge({shards[0], shards[2]}).error.status, DistStatus::CoverageGap);
+  EXPECT_EQ(merge({shards[0], shards[0], shards[2]}).error.status,
+            DistStatus::CoverageOverlap);
+  EXPECT_EQ(merge({shards[0], shards[1], shards[2], shards[2]}).error.status,
+            DistStatus::CoverageOverlap);
+
+  {
+    auto foreign = shards;
+    foreign[1].spec_key ^= 1;  // same shape, different model content
+    EXPECT_EQ(merge(foreign).error.status, DistStatus::ForeignSpec);
+  }
+  {
+    auto skewed = shards;
+    skewed[2].library_version = "9.9.9-foreign";
+    EXPECT_EQ(merge(skewed).error.status, DistStatus::BadLibraryVersion);
+  }
+  {
+    auto disagreeing = shards;
+    disagreeing[0].args.push_back(1.0);
+    EXPECT_EQ(merge(disagreeing).error.status, DistStatus::Mismatch);
+  }
+  {
+    auto disagreeing = shards;
+    disagreeing[1].objective.time_weight = 0.5;
+    EXPECT_EQ(merge(disagreeing).error.status, DistStatus::Mismatch);
+  }
+  {
+    auto tampered = shards;
+    tampered[0].begin += 1;  // non-canonical range
+    EXPECT_EQ(merge(tampered).error.status, DistStatus::Malformed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The differential grid: merged output must be bit-identical to the
+// single-process reference for every shard count, thread count, memo
+// setting, and snapshot warmth — including the poisoned-candidate error
+// rows and the ranking's tie-break order.
+
+TEST(DistGrid, MergedLogicalBytesMatchSingleProcessEverywhere) {
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+
+  // Reference: one shard, one thread, no sharing, cold.
+  SelectionOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.shared_memo = false;
+  const std::string reference =
+      merged_logical(run_all_shards(setup, 1, reference_options));
+  ASSERT_FALSE(reference.empty());
+
+  // The reference carries the poison rows: 6 errors, 6 ranked.
+  {
+    const auto parsed = sorel::json::parse(reference);
+    EXPECT_EQ(parsed.at("errors").size(), 6u);
+    EXPECT_EQ(parsed.at("ranking").size(), 6u);
+  }
+
+  // A warm snapshot shared by every warm-started worker below: populate a
+  // table with the full selection once, save it.
+  const fs::path snapshot = temp_path("grid.snap");
+  const std::uint64_t key = sorel::snap::spec_key(setup.assembly);
+  {
+    auto memo = sorel::core::make_shared_memo(setup.assembly);
+    SelectionOptions warmup;
+    warmup.shared_cache = memo;
+    (void)run_all_shards(setup, 1, warmup);
+    const auto saved = sorel::snap::save_snapshot(snapshot.string(), *memo, key);
+    ASSERT_TRUE(saved.ok());
+  }
+
+  enum class Mode { kNoSharing, kColdShared, kWarmShared };
+  for (const std::size_t n : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t threads : {1u, 8u}) {
+      for (const Mode mode : {Mode::kNoSharing, Mode::kColdShared,
+                              Mode::kWarmShared}) {
+        SCOPED_TRACE("n=" + std::to_string(n) + " threads=" +
+                     std::to_string(threads) + " mode=" +
+                     std::to_string(static_cast<int>(mode)));
+        std::vector<ShardReport> shards;
+        for (std::size_t k = 1; k <= n; ++k) {
+          SelectionOptions options;
+          options.threads = threads;
+          options.shared_memo = mode != Mode::kNoSharing;
+          if (mode == Mode::kWarmShared) {
+            // Each worker warms its own fresh table from the common file —
+            // exactly what `sorel_cli select --shard k/n --snapshot` does.
+            auto memo = sorel::core::make_shared_memo(setup.assembly);
+            const auto warm =
+                sorel::snap::load_snapshot(snapshot.string(), *memo, key);
+            ASSERT_TRUE(warm.ok()) << static_cast<int>(warm.error.status);
+            EXPECT_GT(warm.entries, 0u);
+            options.shared_cache = memo;
+          }
+          shards.push_back(run_shard(setup.assembly, "app", kArgs,
+                                     setup.points, ShardSpec{k, n}, options));
+        }
+        EXPECT_EQ(merged_logical(shards), reference);
+      }
+    }
+  }
+  fs::remove(snapshot);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: injected faults at the dist.* sites must surface as structured
+// errors (never a wrong answer, never a crash), and whatever succeeds must
+// be byte-identical to the no-chaos run.
+
+sorel::resil::FaultPlan dist_plan(double rate) {
+  sorel::resil::FaultPlan plan;
+  plan.seed = 11;
+  plan.rate(sorel::resil::Site::DistReportWrite) = rate;
+  plan.rate(sorel::resil::Site::DistReportRead) = rate;
+  return plan;
+}
+
+TEST(DistChaos, TornWriteLeavesPreviousReportIntact) {
+  SelectionFixture setup;
+  const fs::path path = temp_path("torn.json");
+  const ShardReport report = run_shard(setup.assembly, "app", kArgs,
+                                       setup.points, ShardSpec{1, 1}, {});
+  std::string original;
+  {
+    ChaosGuard quiet{sorel::resil::FaultPlan{}};
+    ASSERT_TRUE(write_report_file(report, path.string()).ok());
+    original = slurp(path);
+  }
+  {
+    ChaosGuard guard{dist_plan(1.0)};
+    const auto torn = write_report_file(report, path.string());
+    EXPECT_EQ(torn.error.status, DistStatus::IoError);
+  }
+  {
+    // The live file never saw the torn write; the temp file (if any) is not
+    // a valid report, so a reader that even found it would refuse it.
+    ChaosGuard quiet{sorel::resil::FaultPlan{}};
+    EXPECT_EQ(slurp(path), original);
+    const fs::path temp = path.string() + ".tmp";
+    if (fs::exists(temp)) {
+      EXPECT_NE(report_from_string(slurp(temp)).error.status, DistStatus::Ok);
+      fs::remove(temp);
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(DistChaos, ShortReadIsRejectedStructurally) {
+  SelectionFixture setup;
+  const fs::path path = temp_path("short.json");
+  const ShardReport report = run_shard(setup.assembly, "app", kArgs,
+                                       setup.points, ShardSpec{1, 1}, {});
+  {
+    ChaosGuard quiet{sorel::resil::FaultPlan{}};
+    ASSERT_TRUE(write_report_file(report, path.string()).ok());
+  }
+  {
+    ChaosGuard guard{dist_plan(1.0)};
+    const ReadResult loaded = read_report_file(path.string());
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error.status, DistStatus::Malformed);
+  }
+  fs::remove(path);
+}
+
+TEST(DistChaos, RateSweepNeverYieldsAWrongMerge) {
+  // At fault rates 0.2 and 1.0 over both dist sites, drive the full
+  // worker -> file -> merge pipeline repeatedly: every failure must be a
+  // structured DistError and every end-to-end success must produce the
+  // byte-exact no-chaos merged report.
+  SelectionFixture setup;
+  std::string reference;
+  std::vector<ShardReport> shards;
+  {
+    ChaosGuard quiet{sorel::resil::FaultPlan{}};
+    shards = run_all_shards(setup, 2, {});
+    reference = merged_logical(shards);
+    ASSERT_FALSE(reference.empty());
+  }
+  const fs::path dir = temp_path("sweep");
+  fs::create_directories(dir);
+  for (const double rate : {0.2, 1.0}) {
+    SCOPED_TRACE(rate);
+    ChaosGuard guard{dist_plan(rate)};
+    std::size_t merges = 0;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      std::vector<ShardReport> loaded;
+      bool failed = false;
+      for (std::size_t k = 0; k < shards.size(); ++k) {
+        const fs::path path = dir / ("s" + std::to_string(k) + ".json");
+        const auto saved = write_report_file(shards[k], path.string());
+        if (!saved.ok()) {
+          EXPECT_EQ(saved.error.status, DistStatus::IoError);
+          failed = true;
+          break;
+        }
+        const ReadResult read = read_report_file(path.string());
+        if (!read.ok()) {
+          // A short read is a truncation: rejected, never half-parsed.
+          EXPECT_EQ(read.error.status, DistStatus::Malformed);
+          failed = true;
+          break;
+        }
+        loaded.push_back(std::move(*read.report));
+      }
+      if (failed) continue;
+      const MergeResult merged = merge(loaded);
+      ASSERT_TRUE(merged.ok()) << merged.error.detail;
+      EXPECT_EQ(logical_dump(merged_to_json(*merged.report)), reference);
+      ++merges;
+    }
+    if (rate == 0.2) {
+      EXPECT_GT(merges, 0u);  // seed 11: some attempts complete end to end
+    } else {
+      EXPECT_EQ(merges, 0u);  // rate 1.0 tears every write
+    }
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// The serve `shard` op: a daemon doubles as a shard worker, its hot table
+// standing in for the snapshot warm start, and its reports merge with
+// file-based workers' because the rows are logical.
+
+TEST(DistServe, ShardOpReportsMergeBitIdentically) {
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+  sorel::serve::Server server(setup.document, {});
+
+  std::vector<ShardReport> shards;
+  for (const char* spec : {"1/2", "2/2"}) {
+    const std::string line = std::string(
+        R"({"op":"shard","service":"app","args":[4.0],"shard":")") + spec +
+        R"("})";
+    const auto response = sorel::json::parse(server.handle_line(line));
+    ASSERT_TRUE(response.at("ok").as_bool()) << server.handle_line(line);
+    EXPECT_EQ(response.at("combinations").as_number(), 6.0);
+    // d3 is the most significant radix: every poisoned combination lives in
+    // the upper half of the space, i.e. shard 2 of 2.
+    EXPECT_EQ(response.at("failed").as_number(),
+              std::string(spec) == "1/2" ? 0.0 : 6.0);
+    // The embedded report round-trips through the validating loader: the
+    // canonical dump preserves the seal.
+    const ReadResult parsed =
+        report_from_string(response.at("report").dump());
+    ASSERT_TRUE(parsed.ok()) << parsed.error.detail;
+    shards.push_back(std::move(*parsed.report));
+  }
+
+  SelectionOptions direct;
+  const std::string reference = merged_logical(run_all_shards(setup, 2, direct));
+  EXPECT_EQ(merged_logical(shards), reference);
+
+  const auto stats = sorel::json::parse(
+      server.handle_line(R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("shard_requests").as_number(), 2.0);
+  EXPECT_EQ(stats.at("shard_combinations").as_number(), 12.0);
+  EXPECT_EQ(stats.at("ops").at("shard").as_number(), 2.0);
+}
+
+TEST(DistServe, ShardOpRejectsBadRequestsStructurally) {
+  ChaosGuard quiet{sorel::resil::FaultPlan{}};
+  SelectionFixture setup;
+  sorel::serve::Server server(setup.document, {});
+  // Malformed shard spec: a structured invalid_argument response, not a
+  // dropped connection.
+  const auto bad = sorel::json::parse(server.handle_line(
+      R"({"op":"shard","service":"app","shard":"9/4"})"));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").as_string(), "invalid_argument");
+
+  // A spec without selection points cannot shard.
+  sorel::serve::Server plain(
+      sorel::json::parse(
+          R"({"services": [{"type": "simple", "name": "s", "formals": [],
+               "pfail": 0.1}]})"),
+      {});
+  const auto refused = sorel::json::parse(plain.handle_line(
+      R"({"op":"shard","service":"s","shard":"1/1"})"));
+  EXPECT_FALSE(refused.at("ok").as_bool());
+  EXPECT_EQ(refused.at("error").as_string(), "model_error");
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sorel/dist/dist.hpp"
 #include "sorel/dsl/loader.hpp"
 #include "sorel/expr/parser.hpp"
 #include "sorel/faults/campaign_json.hpp"
@@ -84,6 +85,23 @@ int one_snap(const std::uint8_t* data, std::size_t size) {
   entries.clear();
   (void)snap::decode_snapshot(data, size, claimed + 1, /*max_dep_words=*/4,
                               entries);
+  return 0;
+}
+
+int one_shard(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  // The validating loader never throws — a crash, foreign exception, or
+  // sanitizer report here is a finding in the loader itself.
+  const dist::ReadResult loaded = dist::report_from_string(text);
+  if (!loaded.ok()) return 0;
+  // An accepted report must keep behaving: its canonical re-serialization
+  // re-validates, and the merger either accepts the singleton cover
+  // (shard 1/1) or refuses it with a structured reason.
+  const dist::ReadResult again =
+      dist::report_from_string(dist::report_to_json(*loaded.report).dump());
+  if (!again.ok()) return 1;
+  const dist::MergeResult merged = dist::merge({*loaded.report});
+  if (merged.ok()) (void)dist::merged_to_json(*merged.report).dump();
   return 0;
 }
 

@@ -29,4 +29,10 @@ int one_expr(const std::uint8_t* data, std::size_t size);
 /// with a mismatching key.
 int one_snap(const std::uint8_t* data, std::size_t size);
 
+/// Drive dist::report_from_string on arbitrary bytes. The shard-report
+/// loader promises a structured DistError (never a throw, never a crash);
+/// a report it accepts must additionally survive re-serialization and a
+/// singleton merge without tripping any internal invariant.
+int one_shard(const std::uint8_t* data, std::size_t size);
+
 }  // namespace sorel::fuzz

@@ -1,0 +1,10 @@
+// libFuzzer target over the shard-report loader (-DSOREL_FUZZ=ON).
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_entry.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sorel::fuzz::one_shard(data, size);
+}

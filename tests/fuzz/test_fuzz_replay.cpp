@@ -4,8 +4,8 @@
 // every ctest invocation — including the ASan+UBSan CI job, which is where
 // the memory-safety half of the contract is actually enforced. Files are
 // routed by extension: .expr drives the expression parser, .json the
-// JSON/DSL/campaign loaders, .snap the snapshot loader, anything else
-// drives the first two.
+// JSON/DSL/campaign loaders, .snap the snapshot loader, .shard the
+// shard-report loader, anything else drives the first two.
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
@@ -57,6 +57,8 @@ TEST(FuzzReplay, EveryCorpusFileIsHandled) {
       EXPECT_EQ(0, sorel::fuzz::one_spec(data, bytes.size()));
     } else if (ext == ".snap") {
       EXPECT_EQ(0, sorel::fuzz::one_snap(data, bytes.size()));
+    } else if (ext == ".shard") {
+      EXPECT_EQ(0, sorel::fuzz::one_shard(data, bytes.size()));
     } else {
       EXPECT_EQ(0, sorel::fuzz::one_spec(data, bytes.size()));
       EXPECT_EQ(0, sorel::fuzz::one_expr(data, bytes.size()));

@@ -186,7 +186,7 @@ TEST(ChaosSite, InventoryIsPinned) {
   static constexpr const char* kExpected[] = {
       "tcp.accept",       "tcp.recv",  "tcp.send", "sched.task_start",
       "memo.insert",      "spec.load", "fs.write", "fs.fsync",
-      "fs.rename",        "fs.read"};
+      "fs.rename",        "fs.read",   "dist.report_write", "dist.report_read"};
   ASSERT_EQ(kSiteCount, std::size(kExpected));
   for (std::size_t i = 0; i < kSiteCount; ++i) {
     const Site site = static_cast<Site>(i);

@@ -361,11 +361,11 @@ TEST(ServeServer, StatsSaturationHighWatersAndPerOpCounters) {
   EXPECT_EQ(ops.at("stats").as_number(), 1.0);
   for (const char* op :
        {"batch", "eval", "health", "inject", "load_spec", "set_attributes",
-        "shutdown", "snapshot", "stats", "version"}) {
+        "shard", "shutdown", "snapshot", "stats", "version"}) {
     ASSERT_TRUE(ops.contains(op)) << op;
     EXPECT_GE(ops.at(op).as_number(), 0.0);
   }
-  EXPECT_EQ(ops.as_object().size(), 10u);  // unknown ops never mint keys
+  EXPECT_EQ(ops.as_object().size(), 11u);  // unknown ops never mint keys
 }
 
 TEST(ServeServer, RecursiveEvalReportsFixpointSccs) {

@@ -14,6 +14,8 @@
 // strict counters on `!chaos_active()`.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -73,7 +75,12 @@ sorel::resil::FaultPlan plan_with(sorel::resil::Site site, double rate) {
 }
 
 fs::path temp_path(const std::string& name) {
-  return fs::temp_directory_path() / ("sorel_snap_test_" + name);
+  // Pid-qualified: the SnapChaos fixture gives every test the same logical
+  // name, and under `ctest -j` those tests run as concurrent processes — a
+  // shared literal path lets one test's TearDown unlink the file mid-rename
+  // in another.
+  return fs::temp_directory_path() /
+         ("sorel_snap_test_" + std::to_string(::getpid()) + "_" + name);
 }
 
 std::vector<std::uint8_t> read_file(const fs::path& path) {
